@@ -1,0 +1,102 @@
+// Ablation A2: gossip parameter sweep. Cachet-style caching rides on
+// epidemic dissemination; this measures rounds-to-full-coverage and traffic
+// as fanout varies, and coverage under churn-like offline fractions.
+#include <cstdio>
+#include <memory>
+
+#include "dosn/overlay/gossip.hpp"
+
+using namespace dosn;
+using namespace dosn::overlay;
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+constexpr std::size_t kNodes = 40;
+
+struct Outcome {
+  double coverage = 0;          // fraction of nodes holding the rumor
+  double virtualSeconds = 0;    // time until (observed) full coverage
+  std::uint64_t messages = 0;
+};
+
+Outcome run(std::size_t fanout, double offlineFraction) {
+  util::Rng rng(42);
+  sim::Simulator simulator;
+  sim::Network net(simulator,
+                   sim::LatencyModel{10 * kMillisecond, 5 * kMillisecond, 0.0},
+                   rng);
+  GossipConfig config;
+  config.interval = 500 * kMillisecond;
+  config.fanout = fanout;
+
+  std::vector<std::unique_ptr<GossipNode>> nodes;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    nodes.push_back(std::make_unique<GossipNode>(net, config));
+  }
+  std::vector<sim::NodeAddr> peers;
+  for (const auto& n : nodes) peers.push_back(n->addr());
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    nodes[i]->setPeers(peers);
+    if (rng.chance(offlineFraction)) net.setOnline(nodes[i]->addr(), false);
+    nodes[i]->start();
+  }
+  const OverlayId rumor = OverlayId::hash("rumor");
+  nodes[0]->put(rumor, util::toBytes("x"), 1);
+  net.setOnline(nodes[0]->addr(), true);  // the source is online
+
+  Outcome out;
+  sim::SimTime coveredAt = 0;
+  for (int tick = 1; tick <= 120; ++tick) {
+    simulator.runUntil(static_cast<sim::SimTime>(tick) * 500 * kMillisecond);
+    std::size_t have = 0;
+    for (const auto& n : nodes) {
+      if (n->get(rumor)) ++have;
+    }
+    if (have == kNodes && coveredAt == 0) {
+      coveredAt = simulator.now();
+      break;
+    }
+  }
+  std::size_t have = 0;
+  for (const auto& n : nodes) {
+    if (n->get(rumor)) ++have;
+    n->stop();
+  }
+  out.coverage = static_cast<double>(have) / kNodes;
+  out.virtualSeconds =
+      coveredAt ? static_cast<double>(coveredAt) / kSecond : -1;
+  out.messages = net.messagesSent();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A2 (ablation): gossip fanout sweep (%zu nodes, 500 ms rounds)\n\n",
+              kNodes);
+  for (const double offline : {0.0, 0.4}) {
+    std::printf("offline fraction = %.0f%%\n", 100 * offline);
+    std::printf("  %-8s %12s %18s %12s\n", "fanout", "coverage",
+                "full-coverage(s)", "messages");
+    for (const std::size_t fanout : {1u, 2u, 4u}) {
+      const Outcome o = run(fanout, offline);
+      if (o.virtualSeconds >= 0) {
+        std::printf("  %-8zu %11.0f%% %18.1f %12llu\n", fanout,
+                    100 * o.coverage, o.virtualSeconds,
+                    static_cast<unsigned long long>(o.messages));
+      } else {
+        std::printf("  %-8zu %11.0f%% %18s %12llu\n", fanout, 100 * o.coverage,
+                    "(60s cap)", static_cast<unsigned long long>(o.messages));
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shape: higher fanout reaches full coverage in fewer rounds\n"
+      "at proportionally higher traffic; offline nodes never receive the\n"
+      "rumor (coverage caps at the online fraction), motivating the DHT\n"
+      "fallback of the hybrid overlay.\n");
+  return 0;
+}

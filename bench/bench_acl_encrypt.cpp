@@ -1,0 +1,98 @@
+// Experiment E1 (paper §III-B): "since symmetric encryption methods use
+// simpler operations, they have the advantage of running faster in comparison
+// to other schemes."
+//
+// Measures encrypt and decrypt latency per ACL scheme across payload sizes.
+// Expected shape: symmetric << hybrid < public-key/IBBE < CP-ABE, with the
+// asymmetric schemes' costs independent of payload (hybrid) or scaling with
+// members (naive public-key).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "dosn/privacy/abe_acl.hpp"
+#include "dosn/privacy/hybrid_acl.hpp"
+#include "dosn/privacy/ibbe_acl.hpp"
+#include "dosn/privacy/publickey_acl.hpp"
+#include "dosn/privacy/symmetric_acl.hpp"
+
+namespace {
+
+using namespace dosn;
+
+constexpr std::size_t kGroupMembers = 8;
+
+const pkcrypto::DlogGroup& benchGroup() {
+  return pkcrypto::DlogGroup::cached(512);
+}
+
+enum class Scheme { kSymmetric, kPublicKey, kAbe, kIbbe, kHybridPk, kHybridAbe };
+
+std::unique_ptr<privacy::AccessController> makeAcl(Scheme scheme,
+                                                   util::Rng& rng) {
+  switch (scheme) {
+    case Scheme::kSymmetric:
+      return std::make_unique<privacy::SymmetricAcl>(rng);
+    case Scheme::kPublicKey:
+      return std::make_unique<privacy::PublicKeyAcl>(benchGroup(), rng);
+    case Scheme::kAbe:
+      return std::make_unique<privacy::AbeAcl>(benchGroup(), rng);
+    case Scheme::kIbbe:
+      return std::make_unique<privacy::IbbeAcl>(benchGroup(), rng);
+    case Scheme::kHybridPk:
+      return std::make_unique<privacy::HybridAcl>(benchGroup(), rng,
+                                                  privacy::WrapScheme::kPublicKey);
+    case Scheme::kHybridAbe:
+      return std::make_unique<privacy::HybridAcl>(benchGroup(), rng,
+                                                  privacy::WrapScheme::kCpAbe);
+  }
+  return nullptr;
+}
+
+struct Fixture {
+  util::Rng rng{42};
+  std::unique_ptr<privacy::AccessController> acl;
+
+  explicit Fixture(Scheme scheme) : acl(makeAcl(scheme, rng)) {
+    acl->createGroup("g");
+    for (std::size_t i = 0; i < kGroupMembers; ++i) {
+      acl->addMember("g", "user" + std::to_string(i));
+    }
+  }
+};
+
+void encryptBench(benchmark::State& state, Scheme scheme) {
+  Fixture fx(scheme);
+  const util::Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.acl->encrypt("g", payload, fx.rng));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void decryptBench(benchmark::State& state, Scheme scheme) {
+  Fixture fx(scheme);
+  const util::Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5a);
+  const privacy::Envelope env = fx.acl->encrypt("g", payload, fx.rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.acl->decrypt("user3", env));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+}  // namespace
+
+#define DOSN_E1(name, scheme)                                            \
+  BENCHMARK_CAPTURE(encryptBench, name, scheme)                          \
+      ->Arg(256)->Arg(4096)->Arg(65536)->Unit(benchmark::kMicrosecond);  \
+  BENCHMARK_CAPTURE(decryptBench, name, scheme)                          \
+      ->Arg(256)->Arg(4096)->Arg(65536)->Unit(benchmark::kMicrosecond);
+
+DOSN_E1(symmetric, Scheme::kSymmetric)
+DOSN_E1(public_key, Scheme::kPublicKey)
+DOSN_E1(cp_abe, Scheme::kAbe)
+DOSN_E1(ibbe, Scheme::kIbbe)
+DOSN_E1(hybrid_pk, Scheme::kHybridPk)
+DOSN_E1(hybrid_abe, Scheme::kHybridAbe)

@@ -1,0 +1,117 @@
+// Experiment E9 (paper §IV-B): fork-consistency detection. "If the clients
+// who have been equivocated by the service provider communicate to each
+// other, they will discover the provider's misbehaviour."
+//
+// A malicious provider forks a subset of N clients onto a divergent view.
+// Per round, each client cross-checks one random peer with probability p. We
+// measure the probability that the fork has been detected after r rounds as
+// a function of the fork size and p — detection needs exactly one cross-fork
+// pair to talk.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "dosn/integrity/fork_consistency.hpp"
+
+using namespace dosn;
+using integrity::AuditingClient;
+using integrity::ForkingProvider;
+
+namespace {
+
+constexpr std::size_t kClients = 20;
+constexpr std::size_t kTrials = 60;
+
+double detectionProbability(std::size_t forkedClients, double contactProb,
+                            std::size_t rounds, std::uint64_t seed) {
+  std::size_t detectedTrials = 0;
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    util::Rng rng(seed + trial);
+    const auto& group = pkcrypto::DlogGroup::cached(256);
+    ForkingProvider provider(group, rng);
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < kClients; ++i) {
+      names.push_back("client" + std::to_string(i));
+      provider.addClient(names.back());
+    }
+    // Fork a random subset of the given size.
+    std::vector<std::string> shuffled = names;
+    rng.shuffle(shuffled);
+    provider.fork(std::vector<std::string>(
+        shuffled.begin(),
+        shuffled.begin() + static_cast<std::ptrdiff_t>(forkedClients)));
+    // Divergent activity on both forks.
+    provider.appendAs(shuffled.front(), util::toBytes("forked-op"), rng);
+    provider.appendAs(shuffled.back(), util::toBytes("honest-op"), rng);
+
+    std::vector<std::unique_ptr<AuditingClient>> clients;
+    for (const auto& name : names) {
+      clients.push_back(
+          std::make_unique<AuditingClient>(group, name, provider.publicKey()));
+      clients.back()->observe(provider.headFor(name));
+    }
+
+    bool detected = false;
+    for (std::size_t round = 0; round < rounds && !detected; ++round) {
+      for (std::size_t i = 0; i < kClients && !detected; ++i) {
+        if (!rng.chance(contactProb)) continue;  // clients talk only sometimes
+        const std::size_t j = rng.uniform(kClients);
+        if (j == i) continue;
+        detected = clients[i]->crossCheck(*clients[j], provider);
+      }
+    }
+    if (detected) ++detectedTrials;
+  }
+  return static_cast<double>(detectedTrials) / kTrials;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E9: fork detection probability (%zu clients, %zu trials)\n"
+      "(per round, each client cross-checks one random peer with prob. p)\n\n",
+      kClients, kTrials);
+  for (const double p : {0.1, 0.5}) {
+    std::printf("  contact probability p=%.1f\n", p);
+    std::printf("    %-16s", "forked clients");
+    for (const std::size_t rounds : {1u, 2u, 4u, 8u}) {
+      std::printf("  after %zu round(s)", rounds);
+    }
+    std::printf("\n");
+    for (const std::size_t forked : {1u, 2u, 5u, 10u}) {
+      std::printf("    %-16zu", forked);
+      for (const std::size_t rounds : {1u, 2u, 4u, 8u}) {
+        std::printf("  %15.0f%%",
+                    100 * detectionProbability(
+                              forked, p, rounds,
+                              1000 * forked + static_cast<std::uint64_t>(100 * p)));
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nexpected shape: detection needs one cross-fork contact; a 50/50 fork\n"
+      "is caught almost immediately, while forking a single victim takes\n"
+      "more rounds (only contacts involving that victim help). Either way\n"
+      "detection converges to 1 — the paper's claim that communicating\n"
+      "clients 'will discover the provider's misbehaviour'.\n");
+
+  // A control: an honest (unforked) provider is never falsely accused.
+  util::Rng rng(9);
+  const auto& group = pkcrypto::DlogGroup::cached(256);
+  ForkingProvider honest(group, rng);
+  honest.addClient("a");
+  honest.addClient("b");
+  honest.appendAs("a", util::toBytes("op1"), rng);
+  honest.appendAs("b", util::toBytes("op2"), rng);
+  AuditingClient a(group, "a", honest.publicKey());
+  AuditingClient b(group, "b", honest.publicKey());
+  a.observe(honest.headFor("a"));
+  b.observe(honest.headFor("b"));
+  std::printf("\ncontrol (honest provider): false positives = %s\n",
+              (a.crossCheck(b, honest) || b.crossCheck(a, honest)) ? "YES (BUG)"
+                                                                   : "0");
+  return 0;
+}

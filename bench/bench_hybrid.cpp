@@ -1,0 +1,77 @@
+// Experiment E4 (paper §III-F): "a hybrid encryption is one which combines
+// the convenience of a public-key encryption with the high speed of a
+// symmetric-key encryption."
+//
+// Sweeps payload size for a fixed 8-member group: naive per-member public-key
+// encryption pays asymmetric work per byte per member; the hybrid scheme pays
+// it once for a 32-byte data key. The crossover appears immediately and the
+// gap widens with payload size.
+#include <benchmark/benchmark.h>
+
+#include "dosn/privacy/hybrid_acl.hpp"
+#include "dosn/privacy/publickey_acl.hpp"
+
+namespace {
+
+using namespace dosn;
+
+constexpr std::size_t kMembers = 8;
+
+struct PkFixture {
+  util::Rng rng{42};
+  privacy::PublicKeyAcl acl{pkcrypto::DlogGroup::cached(512), rng};
+  PkFixture() {
+    acl.createGroup("g");
+    for (std::size_t i = 0; i < kMembers; ++i) {
+      acl.addMember("g", "user" + std::to_string(i));
+    }
+  }
+};
+
+struct HybridFixture {
+  util::Rng rng{42};
+  privacy::HybridAcl acl{pkcrypto::DlogGroup::cached(512), rng,
+                         privacy::WrapScheme::kPublicKey};
+  HybridFixture() {
+    acl.createGroup("g");
+    for (std::size_t i = 0; i < kMembers; ++i) {
+      acl.addMember("g", "user" + std::to_string(i));
+    }
+  }
+};
+
+void naivePublicKey(benchmark::State& state) {
+  PkFixture fx;
+  const util::Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5a);
+  std::size_t envelopeBytes = 0;
+  for (auto _ : state) {
+    auto env = fx.acl.encrypt("g", payload, fx.rng);
+    envelopeBytes = env.blob.size();
+    benchmark::DoNotOptimize(env);
+  }
+  state.counters["envelope_bytes"] =
+      static_cast<double>(envelopeBytes);
+}
+
+void hybrid(benchmark::State& state) {
+  HybridFixture fx;
+  const util::Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5a);
+  std::size_t envelopeBytes = 0;
+  for (auto _ : state) {
+    auto env = fx.acl.encrypt("g", payload, fx.rng);
+    envelopeBytes = env.blob.size();
+    benchmark::DoNotOptimize(env);
+  }
+  state.counters["envelope_bytes"] = static_cast<double>(envelopeBytes);
+}
+
+}  // namespace
+
+BENCHMARK(naivePublicKey)
+    ->RangeMultiplier(8)
+    ->Range(64, 262144)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(hybrid)
+    ->RangeMultiplier(8)
+    ->Range(64, 262144)
+    ->Unit(benchmark::kMicrosecond);

@@ -1,0 +1,101 @@
+// Experiment E8 (paper §IV-B): historical-integrity mechanism costs.
+//   - hash-chained timelines: append/verify cost vs timeline length
+//     (verification is linear — the price of "provable partial ordering");
+//   - object history tree: membership-proof size and verification stay
+//     logarithmic in the log length;
+//   - tamper detection: a corrupted interior entry is always caught.
+#include <chrono>
+#include <cstdio>
+
+#include "dosn/integrity/hash_chain.hpp"
+#include "dosn/integrity/history_tree.hpp"
+
+using namespace dosn;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  util::Rng rng(42);
+  const auto& group = pkcrypto::DlogGroup::cached(512);
+  const social::Keyring publisher = social::createKeyring(group, "bob", rng);
+
+  std::printf("E8: historical-integrity costs\n\n");
+  std::printf("hash-chained timeline (Schnorr-512 per entry):\n");
+  std::printf("  %-8s %12s %14s %14s\n", "length", "append(ms)", "verify(ms)",
+              "tamper-found");
+  for (const std::size_t length : {8u, 32u, 128u, 512u}) {
+    integrity::Timeline timeline(group, publisher);
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < length; ++i) {
+      timeline.append(util::toBytes("post " + std::to_string(i)), rng);
+    }
+    const double appendMs = msSince(t0) / static_cast<double>(length);
+
+    t0 = std::chrono::steady_clock::now();
+    const bool valid =
+        integrity::verifyChain(group, publisher.signing.pub, timeline.entries());
+    const double verifyMs = msSince(t0);
+
+    // Tamper an interior entry; detection must be 100%.
+    std::size_t detected = 0;
+    const std::size_t trials = 10;
+    for (std::size_t t = 0; t < trials; ++t) {
+      auto entries = timeline.entries();
+      entries[rng.uniform(entries.size())].payload = util::toBytes("evil");
+      if (!integrity::verifyChain(group, publisher.signing.pub, entries)) {
+        ++detected;
+      }
+    }
+    std::printf("  %-8zu %12.3f %14.2f %11zu/%zu%s\n", length, appendMs,
+                verifyMs, detected, trials, valid ? "" : "  (BUG: invalid)");
+  }
+
+  std::printf("\nobject history tree (Frientegrity):\n");
+  std::printf("  %-8s %14s %12s %12s %14s %12s\n", "ops", "append(us)",
+              "prove(us)", "verify(us)", "proof-steps", "consistent");
+  for (const std::size_t ops : {16u, 128u, 1024u, 8192u}) {
+    integrity::HistoryTree tree;
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < ops; ++i) {
+      tree.append(util::toBytes("op" + std::to_string(i)));
+    }
+    const double appendUs = 1000 * msSince(t0) / static_cast<double>(ops);
+
+    const crypto::Digest root = tree.root();
+    const std::size_t trials = 200;
+    std::vector<integrity::HistoryTree::MembershipProof> proofs;
+    proofs.reserve(trials);
+    t0 = std::chrono::steady_clock::now();
+    for (std::size_t t = 0; t < trials; ++t) {
+      proofs.push_back(*tree.prove(rng.uniform(ops), ops));
+    }
+    const double proveUs = 1000 * msSince(t0) / static_cast<double>(trials);
+
+    t0 = std::chrono::steady_clock::now();
+    bool allGood = true;
+    for (const auto& proof : proofs) {
+      allGood &= integrity::HistoryTree::verifyMembership(root, proof);
+    }
+    const double verifyUs = 1000 * msSince(t0) / static_cast<double>(trials);
+
+    // Prefix consistency against a historical root.
+    const bool consistent = tree.consistentWith(ops / 2, tree.rootAt(ops / 2));
+    std::printf("  %-8zu %14.2f %12.2f %12.2f %14zu %12s%s\n", ops, appendUs,
+                proveUs, verifyUs, proofs.back().path.size(),
+                consistent ? "yes" : "NO",
+                allGood ? "" : "  (BUG: proof failed)");
+  }
+  std::printf(
+      "\nexpected shape: chain verification linear in length (one signature\n"
+      "check per entry); history-tree proof size/time logarithmic in ops;\n"
+      "interior tampering detected 10/10.\n");
+  return 0;
+}

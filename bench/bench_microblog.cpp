@@ -1,0 +1,140 @@
+// Experiment E16 (system-level): the full DOSN stack under churn — encrypted,
+// hash-chained microblog timelines stored in the Kademlia DHT, fetched and
+// verified by followers while nodes come and go.
+//
+// Sweeps the DHT replication width k and reports end-to-end fetch success,
+// verification outcomes and latency — the paper's §I thesis ("replication
+// ... to ensure availability" at the price of replica exposure) measured on
+// the complete system rather than a single layer.
+#include <cstdio>
+#include <memory>
+
+#include "dosn/app/microblog.hpp"
+#include "dosn/privacy/symmetric_acl.hpp"
+#include "dosn/sim/churn.hpp"
+
+using namespace dosn;
+using namespace dosn::app;
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+struct Outcome {
+  std::size_t attempts = 0;
+  std::size_t fetched = 0;      // head found + chain valid
+  std::size_t decrypted = 0;    // all posts decrypted
+  double meanLatencyMs = 0;
+};
+
+Outcome run(std::size_t replication, double onlineFraction) {
+  util::Rng rng(42);
+  sim::Simulator simulator;
+  sim::Network net(simulator,
+                   sim::LatencyModel{20 * kMillisecond, 10 * kMillisecond, 0.0},
+                   rng);
+  const auto& group = pkcrypto::DlogGroup::cached(256);
+  social::IdentityRegistry registry;
+  privacy::SymmetricAcl acl(rng);
+
+  overlay::KademliaConfig config;
+  config.k = 8;                    // healthy routing tables
+  config.storeWidth = replication; // the swept replication factor
+  config.rpcTimeout = 300 * kMillisecond;
+
+  // Substrate peers carry replicas; publisher and readers are MicroblogNodes.
+  std::vector<std::unique_ptr<overlay::KademliaNode>> substrate;
+  for (int i = 0; i < 30; ++i) {
+    substrate.push_back(std::make_unique<overlay::KademliaNode>(
+        net, overlay::OverlayId::random(rng), config));
+  }
+  const overlay::Contact seed{substrate[0]->id(), substrate[0]->addr()};
+  for (std::size_t i = 1; i < substrate.size(); ++i) {
+    substrate[i]->bootstrap(seed);
+    simulator.run();
+  }
+
+  MicroblogNode alice(net, overlay::OverlayId::random(rng), group, "alice",
+                      registry, acl, rng, config);
+  MicroblogNode bob(net, overlay::OverlayId::random(rng), group, "bob",
+                    registry, acl, rng, config);
+  alice.join(seed);
+  simulator.run();
+  bob.join(seed);
+  simulator.run();
+
+  alice.createCircle("friends");
+  alice.addToCircle("friends", "bob");
+  for (int i = 0; i < 5; ++i) {
+    alice.publish("friends", "post " + std::to_string(i),
+                  static_cast<social::Timestamp>(i), rng);
+    simulator.run();
+  }
+
+  // Churn the substrate (publisher goes offline too: the availability test).
+  std::vector<sim::NodeAddr> churnable;
+  for (const auto& p : substrate) churnable.push_back(p->addr());
+  churnable.push_back(alice.dht().addr());
+  sim::ChurnConfig churnConfig;
+  churnConfig.meanOnlineSeconds = 300 * onlineFraction;
+  churnConfig.meanOfflineSeconds = 300 * (1 - onlineFraction);
+  churnConfig.initialOnlineFraction = onlineFraction;
+  sim::ChurnProcess churn(net, churnConfig, churnable);
+
+  Outcome out;
+  double latencySum = 0;
+  for (int round = 0; round < 30; ++round) {
+    simulator.runUntil(simulator.now() + 30 * kSecond);
+    ++out.attempts;
+    const sim::SimTime start = simulator.now();
+    sim::SimTime doneAt = start;
+    FetchedTimeline fetched;
+    bool completed = false;
+    bob.fetchTimeline("alice", [&](FetchedTimeline t) {
+      fetched = std::move(t);
+      doneAt = simulator.now();
+      completed = true;
+    });
+    // Churn keeps the event queue alive forever; give each fetch a bounded
+    // window instead of draining.
+    while (!completed) {
+      simulator.runUntil(simulator.now() + kSecond);
+    }
+    if (fetched.headValid && fetched.chainValid) {
+      ++out.fetched;
+      latencySum += static_cast<double>(doneAt - start) / kMillisecond;
+      if (fetched.posts.size() == 5 && fetched.undecryptable == 0) {
+        ++out.decrypted;
+      }
+    }
+  }
+  churn.stop();
+  out.meanLatencyMs =
+      out.fetched ? latencySum / static_cast<double>(out.fetched) : 0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E16 (system-level): encrypted microblog fetches under churn\n"
+      "(30 substrate peers + publisher churn, 5-post timeline, 30 fetches)\n\n");
+  for (const double online : {0.5, 0.8}) {
+    std::printf("node availability a=%.0f%%\n", 100 * online);
+    std::printf("  %-6s %18s %18s %14s\n", "k", "verified fetches",
+                "fully decrypted", "latency(ms)");
+    for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+      const Outcome o = run(k, online);
+      std::printf("  %-6zu %13zu/%-4zu %13zu/%-4zu %14.0f\n", k, o.fetched,
+                  o.attempts, o.decrypted, o.attempts, o.meanLatencyMs);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shape: fetch success tracks replica availability (all 6 DHT\n"
+      "records must be reachable), rising steeply with k and with node\n"
+      "uptime; every successful fetch verifies the chain and decrypts — the\n"
+      "full privacy+integrity+availability story at once.\n");
+  return 0;
+}

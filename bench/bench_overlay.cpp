@@ -1,0 +1,293 @@
+// Experiment E6 (paper §II-B): overlay-organization comparison.
+//   - structured (DHT): "queries will be resolved in a limited number of
+//     steps" — bounded hops, per-node index state, bootstrap traffic.
+//   - unstructured (flooding): "almost zero overhead" maintenance, paid for
+//     with heavy query-time traffic and TTL-bounded reach.
+//   - semi-structured (super peers): small index tier, cheap queries.
+//   - hybrid (Cuckoo-style): "fast discovery of popular items" from the
+//     gossip cache, DHT fallback for rare ones.
+//
+// All overlays run the same workload on the same simulated network: 60 peers,
+// 40 items, 200 Zipf-distributed lookups.
+#include <cstdio>
+#include <memory>
+
+#include "dosn/overlay/flooding.hpp"
+#include "dosn/overlay/hybrid.hpp"
+#include "dosn/overlay/kademlia.hpp"
+#include "dosn/overlay/superpeer.hpp"
+
+using namespace dosn;
+using namespace dosn::overlay;
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+constexpr std::size_t kPeers = 60;
+constexpr std::size_t kItems = 40;
+constexpr std::size_t kLookups = 200;
+constexpr double kZipfExponent = 1.0;
+
+struct Workload {
+  std::vector<OverlayId> keys;
+  std::vector<std::size_t> owners;    // which peer publishes item i
+  std::vector<std::size_t> queries;   // item index per lookup (Zipf)
+  std::vector<std::size_t> queriers;  // peer issuing each lookup
+};
+
+Workload makeWorkload(util::Rng& rng) {
+  Workload w;
+  for (std::size_t i = 0; i < kItems; ++i) {
+    w.keys.push_back(OverlayId::hash("item-" + std::to_string(i)));
+    w.owners.push_back(rng.uniform(kPeers));
+  }
+  for (std::size_t q = 0; q < kLookups; ++q) {
+    w.queries.push_back(rng.zipf(kItems, kZipfExponent));
+    w.queriers.push_back(rng.uniform(kPeers));
+  }
+  return w;
+}
+
+struct Result {
+  const char* name;
+  std::size_t found = 0;
+  double meanLatencyMs = 0;
+  double msgsPerLookup = 0;
+  std::uint64_t setupMessages = 0;
+  double cacheHitRate = -1;  // hybrid only
+};
+
+void printRow(const Result& r) {
+  std::printf("  %-12s %8zu/%-4zu %14.1f %14.1f %14llu", r.name, r.found,
+              kLookups, r.meanLatencyMs, r.msgsPerLookup,
+              static_cast<unsigned long long>(r.setupMessages));
+  if (r.cacheHitRate >= 0) {
+    std::printf(" %13.0f%%", 100 * r.cacheHitRate);
+  }
+  std::printf("\n");
+}
+
+Result runDht(const Workload& w) {
+  util::Rng rng(1);
+  sim::Simulator simulator;
+  sim::Network net(simulator,
+                   sim::LatencyModel{20 * kMillisecond, 10 * kMillisecond, 0.0},
+                   rng);
+  std::vector<std::unique_ptr<KademliaNode>> peers;
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    peers.push_back(std::make_unique<KademliaNode>(net, OverlayId::random(rng)));
+  }
+  const Contact seed{peers[0]->id(), peers[0]->addr()};
+  for (std::size_t i = 1; i < kPeers; ++i) {
+    peers[i]->bootstrap(seed);
+    simulator.run();
+  }
+  for (std::size_t i = 0; i < kItems; ++i) {
+    peers[w.owners[i]]->store(w.keys[i], util::toBytes("v"), {});
+    simulator.run();
+  }
+  Result r{"dht"};
+  r.setupMessages = net.messagesSent();
+  net.resetStats();
+  double latencySum = 0;
+  for (std::size_t q = 0; q < kLookups; ++q) {
+    const sim::SimTime start = simulator.now();
+    bool found = false;
+    sim::SimTime foundAt = start;
+    peers[w.queriers[q]]->findValue(w.keys[w.queries[q]],
+                                    [&](LookupResult result) {
+                                      found = result.value.has_value();
+                                      foundAt = simulator.now();
+                                    });
+    simulator.run();
+    if (found) {
+      ++r.found;
+      latencySum += static_cast<double>(foundAt - start) / kMillisecond;
+    }
+  }
+  r.meanLatencyMs = r.found ? latencySum / static_cast<double>(r.found) : 0;
+  r.msgsPerLookup = static_cast<double>(net.messagesSent()) / kLookups;
+  return r;
+}
+
+Result runFlooding(const Workload& w) {
+  util::Rng rng(2);
+  sim::Simulator simulator;
+  sim::Network net(simulator,
+                   sim::LatencyModel{20 * kMillisecond, 10 * kMillisecond, 0.0},
+                   rng);
+  std::vector<std::unique_ptr<FloodingNode>> peers;
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    peers.push_back(std::make_unique<FloodingNode>(net, OverlayId::random(rng)));
+  }
+  // Random 4-regular-ish graph: ring + 2 random chords per node.
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    linkNodes(*peers[i], *peers[(i + 1) % kPeers]);
+  }
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    const std::size_t j = rng.uniform(kPeers);
+    if (j != i) linkNodes(*peers[i], *peers[j]);
+  }
+  for (std::size_t i = 0; i < kItems; ++i) {
+    peers[w.owners[i]]->publish(w.keys[i], util::toBytes("v"));
+  }
+  Result r{"flooding"};
+  r.setupMessages = net.messagesSent();  // zero: no index maintenance
+  net.resetStats();
+  double latencySum = 0;
+  for (std::size_t q = 0; q < kLookups; ++q) {
+    const sim::SimTime start = simulator.now();
+    bool found = false;
+    sim::SimTime foundAt = start;
+    peers[w.queriers[q]]->search(w.keys[w.queries[q]], /*ttl=*/6,
+                                 /*timeout=*/5 * kSecond,
+                                 [&](std::optional<util::Bytes> v) {
+                                   found = v.has_value();
+                                   foundAt = simulator.now();
+                                 });
+    simulator.run();
+    if (found) {
+      ++r.found;
+      latencySum += static_cast<double>(foundAt - start) / kMillisecond;
+    }
+  }
+  r.meanLatencyMs = r.found ? latencySum / static_cast<double>(r.found) : 0;
+  r.msgsPerLookup = static_cast<double>(net.messagesSent()) / kLookups;
+  return r;
+}
+
+Result runSuperPeer(const Workload& w) {
+  util::Rng rng(3);
+  sim::Simulator simulator;
+  sim::Network net(simulator,
+                   sim::LatencyModel{20 * kMillisecond, 10 * kMillisecond, 0.0},
+                   rng);
+  constexpr std::size_t kSupers = 4;
+  std::vector<std::unique_ptr<SuperPeer>> supers;
+  for (std::size_t i = 0; i < kSupers; ++i) {
+    supers.push_back(std::make_unique<SuperPeer>(net));
+  }
+  for (std::size_t i = 0; i < kSupers; ++i) {
+    std::vector<sim::NodeAddr> others;
+    for (std::size_t j = 0; j < kSupers; ++j) {
+      if (j != i) others.push_back(supers[j]->addr());
+    }
+    supers[i]->setPeers(others);
+  }
+  std::vector<std::unique_ptr<LeafPeer>> peers;
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    peers.push_back(
+        std::make_unique<LeafPeer>(net, supers[i % kSupers]->addr()));
+  }
+  for (std::size_t i = 0; i < kItems; ++i) {
+    peers[w.owners[i]]->publish(w.keys[i], util::toBytes("v"));
+  }
+  simulator.run();
+  Result r{"super-peer"};
+  r.setupMessages = net.messagesSent();
+  net.resetStats();
+  double latencySum = 0;
+  for (std::size_t q = 0; q < kLookups; ++q) {
+    const sim::SimTime start = simulator.now();
+    bool found = false;
+    sim::SimTime foundAt = start;
+    peers[w.queriers[q]]->search(w.keys[w.queries[q]], 5 * kSecond,
+                                 [&](std::optional<util::Bytes> v) {
+                                   found = v.has_value();
+                                   foundAt = simulator.now();
+                                 });
+    simulator.run();
+    if (found) {
+      ++r.found;
+      latencySum += static_cast<double>(foundAt - start) / kMillisecond;
+    }
+  }
+  r.meanLatencyMs = r.found ? latencySum / static_cast<double>(r.found) : 0;
+  r.msgsPerLookup = static_cast<double>(net.messagesSent()) / kLookups;
+  return r;
+}
+
+Result runHybrid(const Workload& w) {
+  util::Rng rng(4);
+  sim::Simulator simulator;
+  sim::Network net(simulator,
+                   sim::LatencyModel{20 * kMillisecond, 10 * kMillisecond, 0.0},
+                   rng);
+  std::vector<std::unique_ptr<HybridNode>> peers;
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    peers.push_back(std::make_unique<HybridNode>(net, OverlayId::random(rng)));
+  }
+  const Contact seed{peers[0]->dht().id(), peers[0]->dht().addr()};
+  std::vector<sim::NodeAddr> cachePeers;
+  for (const auto& p : peers) cachePeers.push_back(p->cache().addr());
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    if (i > 0) peers[i]->dht().bootstrap(seed);
+    peers[i]->cache().setPeers(cachePeers);
+    simulator.run();
+  }
+  // Popular items (top 20% of the Zipf ranks) are gossiped; the rest are
+  // DHT-only.
+  for (std::size_t i = 0; i < kItems; ++i) {
+    peers[w.owners[i]]->publish(w.keys[i], util::toBytes("v"),
+                                /*seedCache=*/i < kItems / 5);
+    simulator.run();
+  }
+  for (const auto& p : peers) p->cache().start();
+  simulator.runUntil(simulator.now() + 15 * kSecond);
+  for (const auto& p : peers) p->cache().stop();
+
+  Result r{"hybrid"};
+  r.setupMessages = net.messagesSent();
+  net.resetStats();
+  double latencySum = 0;
+  std::size_t cacheHits = 0;
+  for (std::size_t q = 0; q < kLookups; ++q) {
+    const sim::SimTime start = simulator.now();
+    bool found = false;
+    bool fromCache = false;
+    sim::SimTime foundAt = start;
+    peers[w.queriers[q]]->lookup(w.keys[w.queries[q]],
+                                 [&](HybridLookupResult result) {
+                                   found = result.value.has_value();
+                                   fromCache = result.fromCache;
+                                   foundAt = simulator.now();
+                                 });
+    simulator.run();
+    if (found) {
+      ++r.found;
+      if (fromCache) ++cacheHits;
+      latencySum += static_cast<double>(foundAt - start) / kMillisecond;
+    }
+  }
+  r.meanLatencyMs = r.found ? latencySum / static_cast<double>(r.found) : 0;
+  r.msgsPerLookup = static_cast<double>(net.messagesSent()) / kLookups;
+  r.cacheHitRate = r.found ? static_cast<double>(cacheHits) /
+                                 static_cast<double>(r.found)
+                           : 0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  util::Rng rng(42);
+  const Workload w = makeWorkload(rng);
+  std::printf(
+      "E6: overlay lookup comparison (%zu peers, %zu items, %zu Zipf(%.1f) "
+      "lookups)\n\n",
+      kPeers, kItems, kLookups, kZipfExponent);
+  std::printf("  %-12s %13s %14s %14s %14s %14s\n", "overlay", "found",
+              "latency(ms)", "msgs/lookup", "setup-msgs", "cache-hits");
+  printRow(runDht(w));
+  printRow(runFlooding(w));
+  printRow(runSuperPeer(w));
+  printRow(runHybrid(w));
+  std::printf(
+      "\nexpected shape: flooding has ~0 setup messages but the most traffic\n"
+      "per lookup and TTL-bounded success; the DHT resolves everything in\n"
+      "bounded steps at moderate cost; super-peers are cheapest per query\n"
+      "but concentrate index state; hybrid serves popular items from cache\n"
+      "at near-zero marginal cost with DHT completeness for rare ones.\n");
+  return 0;
+}

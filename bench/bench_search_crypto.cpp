@@ -1,0 +1,81 @@
+// Experiment E10 (paper §V-A/§V-B, §III-F): the cryptographic building
+// blocks of secure social search — blind RSA signatures, the 2HashDH OPRF
+// and Schnorr ZKPs — measured across group/modulus sizes.
+//
+// Expected shape: all operations are dominated by modular exponentiation, so
+// costs grow ~cubically with modulus bits; every protocol stays in the
+// single-digit-millisecond range at simulation sizes.
+#include <benchmark/benchmark.h>
+
+#include "dosn/pkcrypto/blind_rsa.hpp"
+#include "dosn/pkcrypto/oprf.hpp"
+#include "dosn/pkcrypto/schnorr.hpp"
+
+namespace {
+
+using namespace dosn;
+using namespace dosn::pkcrypto;
+
+// --- Blind RSA (one full subscribe: blind, sign, unblind, verify) ---
+
+void blindSignatureRound(benchmark::State& state) {
+  util::Rng rng(42);
+  const RsaPrivateKey signer =
+      rsaGenerate(static_cast<std::size_t>(state.range(0)), rng);
+  const util::Bytes tag = util::toBytes("#hashtag");
+  for (auto _ : state) {
+    BlindSignatureRequest request(signer.pub, tag, rng);
+    const auto sig = request.unblind(blindSign(signer, request.blinded()));
+    benchmark::DoNotOptimize(blindSignatureVerify(signer.pub, tag, sig));
+  }
+}
+
+// --- OPRF (one oblivious evaluation: blind, evaluate, finalize) ---
+
+void oprfRound(benchmark::State& state) {
+  util::Rng rng(42);
+  const DlogGroup& group =
+      DlogGroup::cached(static_cast<std::size_t>(state.range(0)));
+  const OprfSender sender(group, rng);
+  const util::Bytes input = util::toBytes("#hashtag");
+  for (auto _ : state) {
+    OprfReceiver receiver(group, input, rng);
+    benchmark::DoNotOptimize(
+        receiver.finalize(sender.evaluateBlinded(receiver.blinded())));
+  }
+}
+
+// --- Schnorr ZKP (non-interactive prove + verify) ---
+
+void zkpRound(benchmark::State& state) {
+  util::Rng rng(42);
+  const DlogGroup& group =
+      DlogGroup::cached(static_cast<std::size_t>(state.range(0)));
+  const SchnorrPrivateKey key = schnorrGenerate(group, rng);
+  const util::Bytes context = util::toBytes("resource/album");
+  for (auto _ : state) {
+    const SchnorrProof proof = schnorrProve(group, key, context, rng);
+    benchmark::DoNotOptimize(schnorrProofVerify(group, key.pub, context, proof));
+  }
+}
+
+// --- Plain Schnorr signature (the §IV baseline all integrity uses) ---
+
+void schnorrSignVerify(benchmark::State& state) {
+  util::Rng rng(42);
+  const DlogGroup& group =
+      DlogGroup::cached(static_cast<std::size_t>(state.range(0)));
+  const SchnorrPrivateKey key = schnorrGenerate(group, rng);
+  const util::Bytes message = util::toBytes("a signed wall post");
+  for (auto _ : state) {
+    const auto sig = schnorrSign(group, key, message, rng);
+    benchmark::DoNotOptimize(schnorrVerify(group, key.pub, message, sig));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(blindSignatureRound)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(oprfRound)->Arg(256)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(zkpRound)->Arg(256)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(schnorrSignVerify)->Arg(256)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);

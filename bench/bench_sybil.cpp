@@ -1,0 +1,73 @@
+// Experiment E13 (extension; paper §VI "Sybil attacks"): SybilGuard-style
+// random-walk defense. Sybil regions attach through few attack edges, so a
+// verifier's random walks rarely intersect sybil walks.
+//
+// Sweeps the attack-edge count and reports honest-acceptance vs
+// sybil-acceptance rates — the defense degrades gracefully as the attacker
+// buys more real friendships (the known SybilGuard limitation).
+#include <cstdio>
+
+#include "dosn/social/graph_gen.hpp"
+#include "dosn/social/sybil.hpp"
+
+using namespace dosn;
+using namespace dosn::social;
+
+namespace {
+
+struct Rates {
+  double honestAccept = 0;
+  double sybilAccept = 0;
+};
+
+Rates measure(std::size_t attackEdges, std::uint64_t seed) {
+  util::Rng rng(seed);
+  SocialGraph graph = wattsStrogatz(150, 4, 0.1, rng);
+  const std::vector<UserId> sybils =
+      plantSybilRegion(graph, /*sybilCount=*/40, attackEdges, rng);
+
+  SybilGuardConfig config;
+  config.walkLength = 12;
+  config.walkCount = 24;
+  config.acceptThreshold = 0.2;
+  const SybilGuard guard(graph, config, rng);
+
+  Rates rates;
+  std::size_t honestTrials = 0;
+  std::size_t sybilTrials = 0;
+  for (int v = 0; v < 20; ++v) {
+    const UserId verifier = "u" + std::to_string(v * 7);
+    for (int s = 0; s < 10; ++s) {
+      const UserId honest = "u" + std::to_string(37 + s * 11);
+      if (honest == verifier) continue;
+      rates.honestAccept += guard.accepts(verifier, honest) ? 1 : 0;
+      ++honestTrials;
+      rates.sybilAccept += guard.accepts(verifier, sybils[static_cast<std::size_t>(s) * 3]) ? 1 : 0;
+      ++sybilTrials;
+    }
+  }
+  rates.honestAccept /= static_cast<double>(honestTrials);
+  rates.sybilAccept /= static_cast<double>(sybilTrials);
+  return rates;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E13 (extension): SybilGuard random-walk defense\n"
+      "(150 honest users, 40 sybils, walk length 12, 24 walks, thresh 0.2)\n\n");
+  std::printf("  %-14s %16s %16s\n", "attack edges", "honest accepted",
+              "sybil accepted");
+  for (const std::size_t edges : {1u, 2u, 5u, 10u, 25u, 60u}) {
+    const Rates r = measure(edges, 42 + edges);
+    std::printf("  %-14zu %15.0f%% %15.0f%%\n", edges, 100 * r.honestAccept,
+                100 * r.sybilAccept);
+  }
+  std::printf(
+      "\nexpected shape: honest users are accepted at a high stable rate;\n"
+      "sybil acceptance starts near zero and grows with attack edges — the\n"
+      "defense is only as strong as real friendships are hard to obtain\n"
+      "(the survey's point that sybil attacks subvert reputation systems).\n");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Experiment T1: regenerate the paper's Table I ("Classification of security
+// aspects and solutions in OSNs") from the live scheme registry, and list the
+// module implementing each row in this repository.
+#include <cstdio>
+
+#include "dosn/core/table1.hpp"
+
+int main() {
+  std::printf("%s\n", dosn::core::renderImplementationInventory().c_str());
+  return 0;
+}

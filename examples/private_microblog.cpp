@@ -1,0 +1,72 @@
+// Hummingbird-style private microblogging (paper §III-F / §V-A): the server
+// matches encrypted tweets to subscriptions without learning contents or
+// hashtags; subscribers obtain stream keys via OPRF or blind signatures
+// without revealing their interests to the publisher.
+//
+//   ./private_microblog
+#include <cstdio>
+
+#include "dosn/search/hummingbird.hpp"
+
+int main() {
+  using namespace dosn;
+  using namespace dosn::search;
+
+  util::Rng rng(99);
+  const pkcrypto::DlogGroup& group = pkcrypto::DlogGroup::cached(512);
+
+  HummingbirdPublisher publisher(group, /*rsaBits=*/1024, rng);
+  HummingbirdSubscriber subscriber(group);
+  HummingbirdServer server;
+
+  // The publisher tweets under hashtag-derived keys; the server stores only
+  // opaque (index, ciphertext) pairs.
+  server.accept(publisher.publish("#privacy", "DOSNs shift trust to replicas", rng));
+  server.accept(publisher.publish("#privacy", "read the ICDCS'15 survey", rng));
+  server.accept(publisher.publish("#cats", "cat pic thread", rng));
+  std::printf("server stores %zu tweets across %zu opaque streams\n",
+              server.tweetCount(), server.streamCount());
+
+  // --- OPRF subscription: the publisher never learns WHICH tag ---
+  const auto oprfReq = subscriber.beginOprf("#privacy", rng);
+  const Subscription privacySub =
+      subscriber.finishOprf(oprfReq, publisher.oprfEvaluate(oprfReq.blinded()));
+  std::printf("\n[OPRF] subscriber pulls the '#privacy' stream:\n");
+  for (const EncryptedTweet& tweet : server.match(privacySub.index)) {
+    const auto text = HummingbirdSubscriber::decrypt(privacySub, tweet);
+    std::printf("  decrypted: %s\n", text ? text->c_str() : "(failed)");
+  }
+
+  // A guess at the wrong tag matches nothing.
+  const auto wrongReq = subscriber.beginOprf("#politics", rng);
+  const Subscription wrongSub = subscriber.finishOprf(
+      wrongReq, publisher.oprfEvaluate(wrongReq.blinded()));
+  std::printf("  '#politics' guess matches %zu tweets\n",
+              server.match(wrongSub.index).size());
+
+  // --- Blind-signature subscription (sec V-A) ---
+  server.accept(publisher.publish("#jazz", "late-night live set",
+                                  rng, KeyPath::kBlindSig));
+  auto blindReq = subscriber.beginBlind(publisher.blindPublicKey(), "#jazz", rng);
+  const auto blindSig = publisher.blindSign(blindReq.blinded());
+  const auto jazzSub =
+      subscriber.finishBlind(publisher.blindPublicKey(), blindReq, blindSig);
+  std::printf("\n[blind-sig] '#jazz' subscription %s\n",
+              jazzSub ? "established (signature verified)" : "FAILED");
+  if (jazzSub) {
+    for (const EncryptedTweet& tweet : server.match(jazzSub->index)) {
+      const auto text = HummingbirdSubscriber::decrypt(*jazzSub, tweet);
+      std::printf("  decrypted: %s\n", text ? text->c_str() : "(failed)");
+    }
+  }
+
+  // What the curious server actually sees.
+  std::printf("\nserver's view of stream indexes (opaque, tag-unlinkable):\n");
+  std::printf("  #privacy stream index: %s...\n",
+              util::toHex(util::BytesView(privacySub.index.data(), 8)).c_str());
+  if (jazzSub) {
+    std::printf("  #jazz    stream index: %s...\n",
+                util::toHex(util::BytesView(jazzSub->index.data(), 8)).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,197 @@
+#include "dosn/abe/cpabe.hpp"
+
+#include "dosn/crypto/aead.hpp"
+#include "dosn/crypto/hkdf.hpp"
+#include "dosn/crypto/hmac.hpp"
+#include "dosn/policy/shamir.hpp"
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::abe {
+
+using policy::PolicyNode;
+using policy::PrimeField;
+using policy::Share;
+
+namespace {
+
+const PrimeField& field() { return PrimeField::standard(); }
+
+util::Bytes payloadKey(const PrimeField& f, const BigUint& s) {
+  return crypto::deriveKey(f.encode(s), "cpabe-payload");
+}
+
+util::Bytes leafKey(const DlogGroup& group, const BigUint& shared) {
+  return crypto::deriveKey(shared.toBytesPadded(group.elementBytes()),
+                           "cpabe-leaf");
+}
+
+// Walks the tree assigning each leaf its Shamir share of `secret` (DFS leaf
+// order matches Policy::leaves()).
+void distributeShares(const PolicyNode& node, const BigUint& secret,
+                      util::Rng& rng, std::vector<BigUint>& leafSecrets) {
+  if (node.kind == PolicyNode::Kind::kAttribute) {
+    leafSecrets.push_back(secret);
+    return;
+  }
+  const auto shares = policy::shamirShare(field(), secret, node.threshold,
+                                          node.children.size(), rng);
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    distributeShares(*node.children[i], shares[i].y, rng, leafSecrets);
+  }
+}
+
+// Recursively reconstructs the node's secret from recovered leaf values.
+// `leafValues[i]` is the recovered share of DFS-leaf i (nullopt if that leaf
+// could not be opened). `nextLeaf` advances through DFS order.
+std::optional<BigUint> reconstruct(
+    const PolicyNode& node,
+    const std::vector<std::optional<BigUint>>& leafValues,
+    std::size_t& nextLeaf) {
+  if (node.kind == PolicyNode::Kind::kAttribute) {
+    return leafValues[nextLeaf++];
+  }
+  std::vector<Share> recovered;
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    const auto childValue = reconstruct(*node.children[i], leafValues, nextLeaf);
+    if (childValue && recovered.size() < node.threshold) {
+      recovered.push_back(Share{BigUint(i + 1), *childValue});
+    }
+  }
+  if (recovered.size() < node.threshold) return std::nullopt;
+  return policy::shamirReconstruct(field(), recovered);
+}
+
+}  // namespace
+
+util::Bytes CpAbeCiphertext::serialize() const {
+  util::Writer w;
+  w.bytes(accessPolicy.serialize());
+  w.u32(static_cast<std::uint32_t>(leafWraps.size()));
+  for (const auto& wrap : leafWraps) {
+    w.bytes(wrap.c1.toBytes());
+    w.bytes(wrap.box);
+  }
+  w.bytes(payloadBox);
+  return w.take();
+}
+
+std::optional<CpAbeCiphertext> CpAbeCiphertext::deserialize(
+    util::BytesView data) {
+  try {
+    util::Reader r(data);
+    CpAbeCiphertext ct;
+    const auto pol = policy::Policy::deserialize(r.bytes());
+    if (!pol) return std::nullopt;
+    ct.accessPolicy = *pol;
+    const std::uint32_t count = r.u32();
+    if (count != ct.accessPolicy.leaves().size()) return std::nullopt;
+    ct.leafWraps.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      LeafWrap wrap;
+      wrap.c1 = BigUint::fromBytes(r.bytes());
+      wrap.box = r.bytes();
+      ct.leafWraps.push_back(std::move(wrap));
+    }
+    ct.payloadBox = r.bytes();
+    r.expectEnd();
+    return ct;
+  } catch (const util::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+CpAbeAuthority::CpAbeAuthority(const DlogGroup& group, util::Rng& rng)
+    : group_(group), masterSecret_(rng.bytes(32)) {}
+
+BigUint CpAbeAuthority::attributeSecret(const std::string& attribute) const {
+  // Deterministic scalar per attribute, derived from the master secret.
+  const util::Bytes material =
+      crypto::prf(masterSecret_, util::toBytes("attr:" + attribute));
+  return group_.hashToScalar(material);
+}
+
+BigUint CpAbeAuthority::attributePublicKey(const std::string& attribute) const {
+  return group_.exp(attributeSecret(attribute));
+}
+
+AttributePublicKeys CpAbeAuthority::publicKeysFor(
+    const policy::Policy& policy) const {
+  AttributePublicKeys keys;
+  for (const auto& attr : policy.attributes()) {
+    keys.emplace(attr, attributePublicKey(attr));
+  }
+  return keys;
+}
+
+CpAbeUserKey CpAbeAuthority::keyGen(
+    const std::set<std::string>& attributes) const {
+  CpAbeUserKey key;
+  key.attributes = attributes;
+  for (const auto& attr : attributes) {
+    key.attributeSecrets.emplace(attr, attributeSecret(attr));
+  }
+  return key;
+}
+
+CpAbeCiphertext cpabeEncrypt(const DlogGroup& group,
+                             const AttributePublicKeys& attributeKeys,
+                             const policy::Policy& accessPolicy,
+                             util::BytesView plaintext, util::Rng& rng) {
+  if (accessPolicy.empty()) {
+    throw util::CryptoError("cpabeEncrypt: empty policy");
+  }
+  const PrimeField& f = field();
+  const BigUint s = f.random(rng);
+
+  std::vector<BigUint> leafSecrets;
+  distributeShares(*accessPolicy.root(), s, rng, leafSecrets);
+
+  CpAbeCiphertext ct;
+  ct.accessPolicy = accessPolicy;
+  const auto leaves = accessPolicy.leaves();
+  ct.leafWraps.reserve(leaves.size());
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    const auto it = attributeKeys.find(leaves[i]->attribute);
+    if (it == attributeKeys.end()) {
+      throw util::CryptoError("cpabeEncrypt: missing public key for attribute " +
+                              leaves[i]->attribute);
+    }
+    const BigUint k = group.randomScalar(rng);
+    CpAbeCiphertext::LeafWrap wrap;
+    wrap.c1 = group.exp(k);
+    const BigUint shared = group.exp(it->second, k);
+    wrap.box = crypto::sealWithNonce(leafKey(group, shared),
+                                     f.encode(leafSecrets[i]), rng);
+    ct.leafWraps.push_back(std::move(wrap));
+  }
+  ct.payloadBox = crypto::sealWithNonce(payloadKey(f, s), plaintext, rng);
+  return ct;
+}
+
+std::optional<util::Bytes> cpabeDecrypt(const DlogGroup& group,
+                                        const CpAbeUserKey& key,
+                                        const CpAbeCiphertext& ct) {
+  const PrimeField& f = field();
+  const auto leaves = ct.accessPolicy.leaves();
+  if (leaves.size() != ct.leafWraps.size()) return std::nullopt;
+
+  // Open every leaf whose attribute we hold.
+  std::vector<std::optional<BigUint>> leafValues(leaves.size());
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    const auto it = key.attributeSecrets.find(leaves[i]->attribute);
+    if (it == key.attributeSecrets.end()) continue;
+    const BigUint shared = group.exp(ct.leafWraps[i].c1, it->second);
+    const auto opened =
+        crypto::openWithNonce(leafKey(group, shared), ct.leafWraps[i].box);
+    if (!opened) return std::nullopt;  // corrupted ciphertext
+    leafValues[i] = BigUint::fromBytes(*opened);
+  }
+
+  std::size_t nextLeaf = 0;
+  const auto s = reconstruct(*ct.accessPolicy.root(), leafValues, nextLeaf);
+  if (!s) return std::nullopt;  // policy not satisfied
+  return crypto::openWithNonce(payloadKey(f, *s), ct.payloadBox);
+}
+
+}  // namespace dosn::abe

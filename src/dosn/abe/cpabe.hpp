@@ -1,0 +1,96 @@
+// Ciphertext-Policy ABE (paper §III-D; used by Persona and Cachet).
+//
+// Construction (simulation-grade; see DESIGN.md §3.1): the access-structure
+// machinery of Bethencourt-Sahai-Waters is implemented exactly — the
+// encryptor embeds a policy tree in the ciphertext, a random secret s is
+// Shamir-shared down every threshold gate, and decryption Lagrange-
+// reconstructs s from the leaves it can open. The pairing-based leaf blinding
+// is replaced by per-attribute hashed ElGamal: the authority derives a scalar
+// k_a per attribute from its master secret and publishes Y_a = g^{k_a};
+// leaf shares are encrypted to Y_a and holders of attribute a receive k_a.
+//
+// Preserved properties (the ones the paper's claims are about): encryption is
+// public-key; a group is formed with a single encryption; expressive
+// AND/OR/k-of-n policies; ciphertext size and decrypt cost grow with the
+// policy; revocation requires re-encryption. Known deviation: attribute keys
+// are attribute-global, so colluding users can pool attributes (real CP-ABE
+// binds keys to a user); none of the reproduced experiments depend on
+// collusion resistance.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dosn/pkcrypto/group.hpp"
+#include "dosn/policy/field.hpp"
+#include "dosn/policy/policy.hpp"
+#include "dosn/util/bytes.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace dosn::abe {
+
+using bignum::BigUint;
+using pkcrypto::DlogGroup;
+
+/// Public per-attribute keys Y_a needed by encryptors.
+using AttributePublicKeys = std::map<std::string, BigUint>;
+
+/// A user's decryption key: the scalar k_a for each attribute held.
+struct CpAbeUserKey {
+  std::set<std::string> attributes;
+  std::map<std::string, BigUint> attributeSecrets;
+};
+
+struct CpAbeCiphertext {
+  policy::Policy accessPolicy;
+  // Per policy leaf (DFS order): ElGamal ephemeral + wrapped share.
+  struct LeafWrap {
+    BigUint c1;
+    util::Bytes box;
+  };
+  std::vector<LeafWrap> leafWraps;
+  util::Bytes payloadBox;  // AEAD under KDF(s)
+
+  util::Bytes serialize() const;
+  static std::optional<CpAbeCiphertext> deserialize(util::BytesView data);
+};
+
+/// The trusted attribute authority (holds the master secret).
+class CpAbeAuthority {
+ public:
+  CpAbeAuthority(const DlogGroup& group, util::Rng& rng);
+
+  /// Public key for an attribute (derived lazily; any string is valid).
+  BigUint attributePublicKey(const std::string& attribute) const;
+
+  /// Public keys for every attribute in a policy.
+  AttributePublicKeys publicKeysFor(const policy::Policy& policy) const;
+
+  /// Issues a decryption key for an attribute set.
+  CpAbeUserKey keyGen(const std::set<std::string>& attributes) const;
+
+  const DlogGroup& group() const { return group_; }
+
+ private:
+  BigUint attributeSecret(const std::string& attribute) const;
+
+  const DlogGroup& group_;
+  util::Bytes masterSecret_;
+};
+
+/// Encrypts under a policy. `attributeKeys` must contain Y_a for every leaf
+/// attribute (use CpAbeAuthority::publicKeysFor).
+CpAbeCiphertext cpabeEncrypt(const DlogGroup& group,
+                             const AttributePublicKeys& attributeKeys,
+                             const policy::Policy& accessPolicy,
+                             util::BytesView plaintext, util::Rng& rng);
+
+/// Decrypts if the key's attributes satisfy the ciphertext policy.
+std::optional<util::Bytes> cpabeDecrypt(const DlogGroup& group,
+                                        const CpAbeUserKey& key,
+                                        const CpAbeCiphertext& ct);
+
+}  // namespace dosn::abe

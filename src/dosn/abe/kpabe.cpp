@@ -1,0 +1,133 @@
+#include "dosn/abe/kpabe.hpp"
+
+#include "dosn/crypto/aead.hpp"
+#include "dosn/crypto/hkdf.hpp"
+#include "dosn/crypto/hmac.hpp"
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::abe {
+
+namespace {
+
+util::Bytes wrapKey(const DlogGroup& group, const BigUint& shared,
+                    const std::string& attribute) {
+  util::Bytes material = shared.toBytesPadded(group.elementBytes());
+  const util::Bytes attr = util::toBytes(attribute);
+  material.insert(material.end(), attr.begin(), attr.end());
+  return crypto::deriveKey(material, "kpabe-wrap");
+}
+
+}  // namespace
+
+util::Bytes KpAbeCiphertext::serialize() const {
+  util::Writer w;
+  w.u32(static_cast<std::uint32_t>(attributes.size()));
+  for (const auto& a : attributes) w.str(a);
+  w.bytes(c1.toBytes());
+  w.u32(static_cast<std::uint32_t>(wraps.size()));
+  for (const auto& [attr, box] : wraps) {
+    w.str(attr);
+    w.bytes(box);
+  }
+  w.bytes(payloadBox);
+  return w.take();
+}
+
+std::optional<KpAbeCiphertext> KpAbeCiphertext::deserialize(
+    util::BytesView data) {
+  try {
+    util::Reader r(data);
+    KpAbeCiphertext ct;
+    const std::uint32_t attrCount = r.u32();
+    for (std::uint32_t i = 0; i < attrCount; ++i) ct.attributes.insert(r.str());
+    ct.c1 = BigUint::fromBytes(r.bytes());
+    const std::uint32_t wrapCount = r.u32();
+    for (std::uint32_t i = 0; i < wrapCount; ++i) {
+      std::string attr = r.str();
+      ct.wraps.emplace(std::move(attr), r.bytes());
+    }
+    ct.payloadBox = r.bytes();
+    r.expectEnd();
+    return ct;
+  } catch (const util::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+KpAbeAuthority::KpAbeAuthority(const DlogGroup& group, util::Rng& rng)
+    : group_(group), masterSecret_(rng.bytes(32)) {}
+
+BigUint KpAbeAuthority::attributeSecret(const std::string& attribute) const {
+  const util::Bytes material =
+      crypto::prf(masterSecret_, util::toBytes("attr:" + attribute));
+  return group_.hashToScalar(material);
+}
+
+BigUint KpAbeAuthority::attributePublicKey(const std::string& attribute) const {
+  return group_.exp(attributeSecret(attribute));
+}
+
+AttributePublicKeys KpAbeAuthority::publicKeysFor(
+    const std::set<std::string>& attrs) const {
+  AttributePublicKeys keys;
+  for (const auto& attr : attrs) keys.emplace(attr, attributePublicKey(attr));
+  return keys;
+}
+
+KpAbeUserKey KpAbeAuthority::keyGen(const policy::Policy& keyPolicy) const {
+  KpAbeUserKey key;
+  key.keyPolicy = keyPolicy;
+  for (const auto& attr : keyPolicy.attributes()) {
+    key.attributeSecrets.emplace(attr, attributeSecret(attr));
+  }
+  return key;
+}
+
+KpAbeCiphertext kpabeEncrypt(const DlogGroup& group,
+                             const AttributePublicKeys& attributeKeys,
+                             const std::set<std::string>& attributes,
+                             util::BytesView plaintext, util::Rng& rng) {
+  if (attributes.empty()) {
+    throw util::CryptoError("kpabeEncrypt: empty attribute set");
+  }
+  KpAbeCiphertext ct;
+  ct.attributes = attributes;
+  const BigUint k = group.randomScalar(rng);
+  ct.c1 = group.exp(k);
+  const util::Bytes sessionSecret = rng.bytes(32);
+  for (const auto& attr : attributes) {
+    const auto it = attributeKeys.find(attr);
+    if (it == attributeKeys.end()) {
+      throw util::CryptoError("kpabeEncrypt: missing public key for " + attr);
+    }
+    const BigUint shared = group.exp(it->second, k);
+    ct.wraps.emplace(attr, crypto::sealWithNonce(wrapKey(group, shared, attr),
+                                                 sessionSecret, rng));
+  }
+  ct.payloadBox = crypto::sealWithNonce(
+      crypto::deriveKey(sessionSecret, "kpabe-payload"), plaintext, rng);
+  return ct;
+}
+
+std::optional<util::Bytes> kpabeDecrypt(const DlogGroup& group,
+                                        const KpAbeUserKey& key,
+                                        const KpAbeCiphertext& ct) {
+  // Policy gate: the ciphertext's attribute set must satisfy the key policy.
+  if (!key.keyPolicy.satisfied(ct.attributes)) return std::nullopt;
+  // Unwrap the session secret through any held attribute present in the
+  // ciphertext.
+  for (const auto& [attr, secret] : key.attributeSecrets) {
+    const auto wrapIt = ct.wraps.find(attr);
+    if (wrapIt == ct.wraps.end()) continue;
+    const BigUint shared = group.exp(ct.c1, secret);
+    const auto session =
+        crypto::openWithNonce(wrapKey(group, shared, attr), wrapIt->second);
+    if (!session) continue;
+    return crypto::openWithNonce(crypto::deriveKey(*session, "kpabe-payload"),
+                                 ct.payloadBox);
+  }
+  return std::nullopt;
+}
+
+}  // namespace dosn::abe

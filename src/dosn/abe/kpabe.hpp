@@ -1,0 +1,77 @@
+// Key-Policy ABE (paper §III-D: "the condition in the key policy ABE is
+// reverse" — the key carries the access structure, the ciphertext carries an
+// attribute set).
+//
+// Construction (simulation-grade; see DESIGN.md §3.1): ciphertexts label the
+// payload with an attribute set A; for each a in A the session secret is
+// wrapped to the attribute public key Y_a (hashed ElGamal). A user key holds
+// the policy tree plus the scalar k_a for every attribute appearing in it.
+// Decryption verifies that A satisfies the key's policy and unwraps via a
+// leaf attribute in the satisfying set.
+//
+// Known deviation (forced without pairings, since the encryptor cannot know
+// key policies): the threshold gates are enforced by the decryption routine,
+// not algebraically — a dishonest key holder with any single matching
+// attribute could skip the tree. Leaf access itself IS cryptographic. The
+// structural properties the paper discusses (key size grows with the policy,
+// ciphertext size with |A|, revocation via re-encryption) are preserved.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dosn/abe/cpabe.hpp"  // AttributePublicKeys
+#include "dosn/pkcrypto/group.hpp"
+#include "dosn/policy/policy.hpp"
+#include "dosn/util/bytes.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace dosn::abe {
+
+struct KpAbeUserKey {
+  policy::Policy keyPolicy;
+  std::map<std::string, BigUint> attributeSecrets;  // k_a per policy attr
+};
+
+struct KpAbeCiphertext {
+  std::set<std::string> attributes;
+  BigUint c1;  // g^k, shared across attribute wraps
+  std::map<std::string, util::Bytes> wraps;  // a -> AEAD(KDF(Y_a^k), s)
+  util::Bytes payloadBox;
+
+  util::Bytes serialize() const;
+  static std::optional<KpAbeCiphertext> deserialize(util::BytesView data);
+};
+
+class KpAbeAuthority {
+ public:
+  KpAbeAuthority(const DlogGroup& group, util::Rng& rng);
+
+  BigUint attributePublicKey(const std::string& attribute) const;
+  AttributePublicKeys publicKeysFor(const std::set<std::string>& attrs) const;
+
+  /// Issues a key whose policy governs which ciphertexts it can open.
+  KpAbeUserKey keyGen(const policy::Policy& keyPolicy) const;
+
+  const DlogGroup& group() const { return group_; }
+
+ private:
+  BigUint attributeSecret(const std::string& attribute) const;
+
+  const DlogGroup& group_;
+  util::Bytes masterSecret_;
+};
+
+KpAbeCiphertext kpabeEncrypt(const DlogGroup& group,
+                             const AttributePublicKeys& attributeKeys,
+                             const std::set<std::string>& attributes,
+                             util::BytesView plaintext, util::Rng& rng);
+
+std::optional<util::Bytes> kpabeDecrypt(const DlogGroup& group,
+                                        const KpAbeUserKey& key,
+                                        const KpAbeCiphertext& ct);
+
+}  // namespace dosn::abe

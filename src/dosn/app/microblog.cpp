@@ -1,0 +1,262 @@
+#include "dosn/app/microblog.hpp"
+
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::app {
+
+util::Bytes HeadRecord::signedBytes() const {
+  util::Writer w;
+  w.u64(length);
+  w.raw(util::BytesView(headHash));
+  return w.take();
+}
+
+util::Bytes HeadRecord::serialize() const {
+  util::Writer w;
+  w.u64(length);
+  w.raw(util::BytesView(headHash));
+  w.bytes(signature.serialize());
+  return w.take();
+}
+
+std::optional<HeadRecord> HeadRecord::deserialize(util::BytesView data) {
+  try {
+    util::Reader r(data);
+    HeadRecord record;
+    record.length = r.u64();
+    const util::Bytes hash = r.raw(crypto::kSha256DigestSize);
+    std::copy(hash.begin(), hash.end(), record.headHash.begin());
+    const auto sig = pkcrypto::SchnorrSignature::deserialize(r.bytes());
+    if (!sig) return std::nullopt;
+    record.signature = *sig;
+    r.expectEnd();
+    return record;
+  } catch (const util::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes TimelineRecord::serialize() const {
+  util::Writer w;
+  w.bytes(entry.serialize());
+  w.str(envelope.scheme);
+  w.str(envelope.group);
+  w.u64(envelope.serial);
+  w.bytes(envelope.blob);
+  return w.take();
+}
+
+std::optional<TimelineRecord> TimelineRecord::deserialize(util::BytesView data) {
+  try {
+    util::Reader r(data);
+    TimelineRecord record;
+    const auto entry = integrity::ChainEntry::deserialize(r.bytes());
+    if (!entry) return std::nullopt;
+    record.entry = *entry;
+    record.envelope.scheme = r.str();
+    record.envelope.group = r.str();
+    record.envelope.serial = r.u64();
+    record.envelope.blob = r.bytes();
+    r.expectEnd();
+    return record;
+  } catch (const util::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+overlay::OverlayId MicroblogNode::headKey(const UserId& user) {
+  return overlay::OverlayId::hash("mb:" + user + ":head");
+}
+
+overlay::OverlayId MicroblogNode::entryKey(const UserId& user,
+                                           std::uint64_t seq) {
+  return overlay::OverlayId::hash("mb:" + user + ":" + std::to_string(seq));
+}
+
+MicroblogNode::MicroblogNode(sim::Network& network, overlay::OverlayId dhtId,
+                             const pkcrypto::DlogGroup& group, UserId user,
+                             social::IdentityRegistry& registry,
+                             AccessController& acl, util::Rng& rng,
+                             overlay::KademliaConfig dhtConfig)
+    : group_(group),
+      registry_(registry),
+      acl_(acl),
+      keyring_(social::createKeyring(group, std::move(user), rng)),
+      timeline_(group, keyring_),
+      dht_(network, dhtId, dhtConfig),
+      rng_(rng) {
+  registry_.registerIdentity(social::publicIdentity(keyring_));
+}
+
+void MicroblogNode::join(const overlay::Contact& seed,
+                         std::function<void()> done) {
+  dht_.bootstrap(seed, std::move(done));
+}
+
+std::string MicroblogNode::circleId(const std::string& circle) const {
+  return keyring_.user + "/" + circle;
+}
+
+void MicroblogNode::createCircle(const std::string& circle) {
+  acl_.createGroup(circleId(circle));
+  acl_.addMember(circleId(circle), keyring_.user);
+}
+
+void MicroblogNode::addToCircle(const std::string& circle,
+                                const UserId& member) {
+  acl_.addMember(circleId(circle), member);
+}
+
+void MicroblogNode::publish(const std::string& circle, const std::string& text,
+                            social::Timestamp now, util::Rng& rng,
+                            std::function<void(bool)> done) {
+  social::Post post;
+  post.author = keyring_.user;
+  post.id = nextPostId_++;
+  post.created = now;
+  post.text = text;
+
+  TimelineRecord record;
+  record.envelope = acl_.encrypt(circleId(circle), post.serialize(), rng);
+  // The chain entry commits to the stored ciphertext, binding order and
+  // content even though replicas only ever see the envelope.
+  record.entry =
+      timeline_.append(crypto::sha256Bytes(record.envelope.blob), rng);
+  envelopes_.push_back(record.envelope);
+  const std::uint64_t seq = timeline_.size() - 1;
+
+  HeadRecord head;
+  head.length = timeline_.size();
+  head.headHash = timeline_.head();
+  head.signature =
+      pkcrypto::schnorrSign(group_, keyring_.signing, head.signedBytes(), rng);
+
+  // Store the entry, then the head.
+  auto shared = std::make_shared<std::pair<bool, bool>>(false, false);
+  auto maybeDone = [shared, done]() {
+    if (shared->first && shared->second && done) done(true);
+  };
+  dht_.store(entryKey(keyring_.user, seq), record.serialize(),
+             [shared, maybeDone](bool) {
+               shared->first = true;
+               maybeDone();
+             });
+  dht_.store(headKey(keyring_.user), head.serialize(),
+             [shared, maybeDone](bool) {
+               shared->second = true;
+               maybeDone();
+             });
+}
+
+struct MicroblogNode::FetchState {
+  UserId author;
+  pkcrypto::SchnorrPublicKey authorKey;
+  HeadRecord head;
+  std::vector<std::optional<TimelineRecord>> records;
+  std::size_t pending = 0;
+  std::function<void(FetchedTimeline)> done;
+};
+
+void MicroblogNode::fetchTimeline(const UserId& author,
+                                  std::function<void(FetchedTimeline)> done) {
+  const auto identity = registry_.lookup(author);
+  if (!identity) {
+    done(FetchedTimeline{});
+    return;
+  }
+  auto state = std::make_shared<FetchState>();
+  state->author = author;
+  state->authorKey = identity->signingKey;
+  state->done = std::move(done);
+
+  dht_.findValue(headKey(author), [this, state](overlay::LookupResult result) {
+    if (!result.value) {
+      state->done(FetchedTimeline{});
+      return;
+    }
+    const auto head = HeadRecord::deserialize(*result.value);
+    if (!head || !pkcrypto::schnorrVerify(group_, state->authorKey,
+                                          head->signedBytes(),
+                                          head->signature)) {
+      state->done(FetchedTimeline{});
+      return;
+    }
+    state->head = *head;
+    fetchEntries(state);
+  });
+}
+
+void MicroblogNode::fetchEntries(const std::shared_ptr<FetchState>& state) {
+  const std::size_t count = state->head.length;
+  if (count == 0) {
+    FetchedTimeline out;
+    out.headValid = true;
+    out.chainValid = true;
+    state->done(std::move(out));
+    return;
+  }
+  state->records.assign(count, std::nullopt);
+  state->pending = count;
+  for (std::uint64_t seq = 0; seq < count; ++seq) {
+    dht_.findValue(entryKey(state->author, seq),
+                   [this, state, seq](overlay::LookupResult result) {
+                     if (result.value) {
+                       state->records[seq] =
+                           TimelineRecord::deserialize(*result.value);
+                     }
+                     if (--state->pending == 0) finishFetch(state);
+                   });
+  }
+}
+
+void MicroblogNode::finishFetch(const std::shared_ptr<FetchState>& state) {
+  FetchedTimeline out;
+  out.headValid = true;
+
+  // Assemble and verify the chain.
+  std::vector<integrity::ChainEntry> entries;
+  for (const auto& record : state->records) {
+    if (!record) {
+      state->done(std::move(out));  // missing entry: chain invalid
+      return;
+    }
+    entries.push_back(record->entry);
+  }
+  if (!integrity::verifyChain(group_, state->authorKey, entries)) {
+    state->done(std::move(out));
+    return;
+  }
+  // The signed head must match the reconstructed chain's head.
+  if (entries.back().entryHash() != state->head.headHash) {
+    state->done(std::move(out));
+    return;
+  }
+  // Each chain entry must commit to its envelope (payload = H(envelope)).
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].payload !=
+        crypto::sha256Bytes((*state->records[i]).envelope.blob)) {
+      state->done(std::move(out));
+      return;
+    }
+  }
+  out.chainValid = true;
+
+  // Decrypt what we can.
+  for (const auto& record : state->records) {
+    const auto plain = acl_.decrypt(keyring_.user, record->envelope);
+    if (!plain) {
+      ++out.undecryptable;
+      continue;
+    }
+    const auto post = social::Post::deserialize(*plain);
+    if (post) {
+      out.posts.push_back(*post);
+    } else {
+      ++out.undecryptable;
+    }
+  }
+  state->done(std::move(out));
+}
+
+}  // namespace dosn::app

@@ -1,0 +1,110 @@
+// A decentralized microblogging service (Fethr [21] / Cuckoo [22] style) that
+// ties the whole stack together: publishers keep hash-chained, ACL-encrypted
+// timelines whose entries are stored in the Kademlia DHT; followers fetch a
+// publisher's signed head record, walk the chain, verify every signature and
+// decrypt what their circle membership allows.
+//
+// DHT layout (all values are replica-visible ciphertext/marshalled bytes):
+//   mb:<user>:head      -> signed HeadRecord{length, headHash}
+//   mb:<user>:<seq>     -> TimelineRecord{ChainEntry, Envelope}
+//
+// Trust model: replicas are untrusted. Content integrity and order are
+// protected by the chain + signatures; confidentiality by the ACL envelope.
+// A malicious replica can at worst serve a stale (shorter) but internally
+// valid prefix — the §IV-B freshness limitation the fork-consistency
+// machinery addresses at the provider level.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "dosn/integrity/hash_chain.hpp"
+#include "dosn/overlay/kademlia.hpp"
+#include "dosn/privacy/access_controller.hpp"
+#include "dosn/social/content.hpp"
+
+namespace dosn::app {
+
+using privacy::AccessController;
+using social::UserId;
+
+/// The publisher-signed head pointer for a timeline.
+struct HeadRecord {
+  std::uint64_t length = 0;
+  crypto::Digest headHash{};
+  pkcrypto::SchnorrSignature signature;
+
+  util::Bytes signedBytes() const;
+  util::Bytes serialize() const;
+  static std::optional<HeadRecord> deserialize(util::BytesView data);
+};
+
+/// One stored timeline slot: the chain entry plus the encrypted post.
+struct TimelineRecord {
+  integrity::ChainEntry entry;
+  privacy::Envelope envelope;
+
+  util::Bytes serialize() const;
+  static std::optional<TimelineRecord> deserialize(util::BytesView data);
+};
+
+/// A fetched, verified, decrypted view of someone's timeline.
+struct FetchedTimeline {
+  bool chainValid = false;          // signatures + hash chain verified
+  bool headValid = false;           // head record signature verified
+  std::vector<social::Post> posts;  // the posts this reader could decrypt
+  std::size_t undecryptable = 0;    // entries the reader had no access to
+};
+
+class MicroblogNode {
+ public:
+  /// The node owns its DHT presence; registry/ACL are shared infrastructure.
+  MicroblogNode(sim::Network& network, overlay::OverlayId dhtId,
+                const pkcrypto::DlogGroup& group, UserId user,
+                social::IdentityRegistry& registry, AccessController& acl,
+                util::Rng& rng, overlay::KademliaConfig dhtConfig = {});
+
+  const UserId& user() const { return keyring_.user; }
+  overlay::KademliaNode& dht() { return dht_; }
+
+  /// Joins the DHT through a seed contact.
+  void join(const overlay::Contact& seed, std::function<void()> done = {});
+
+  // Circle management (namespaced like DosnNode).
+  std::string circleId(const std::string& circle) const;
+  void createCircle(const std::string& circle);
+  void addToCircle(const std::string& circle, const UserId& member);
+
+  /// Encrypts, chains, and stores a post in the DHT; updates the signed head.
+  /// `done(ok)` fires when both stores complete.
+  void publish(const std::string& circle, const std::string& text,
+               social::Timestamp now, util::Rng& rng,
+               std::function<void(bool ok)> done = {});
+
+  /// Fetches and verifies `author`'s full timeline from the DHT, decrypting
+  /// as this node's user.
+  void fetchTimeline(const UserId& author,
+                     std::function<void(FetchedTimeline)> done);
+
+  std::size_t publishedCount() const { return timeline_.size(); }
+
+  static overlay::OverlayId headKey(const UserId& user);
+  static overlay::OverlayId entryKey(const UserId& user, std::uint64_t seq);
+
+ private:
+  struct FetchState;
+  void fetchEntries(const std::shared_ptr<FetchState>& state);
+  void finishFetch(const std::shared_ptr<FetchState>& state);
+
+  const pkcrypto::DlogGroup& group_;
+  social::IdentityRegistry& registry_;
+  AccessController& acl_;
+  social::Keyring keyring_;
+  integrity::Timeline timeline_;
+  overlay::KademliaNode dht_;
+  std::vector<privacy::Envelope> envelopes_;  // local copies, by seq
+  social::PostId nextPostId_ = 1;
+  util::Rng& rng_;
+};
+
+}  // namespace dosn::app

@@ -1,0 +1,38 @@
+// Modular arithmetic over BigUint: the engine behind every discrete-log and
+// RSA operation in dosn/pkcrypto.
+#pragma once
+
+#include <optional>
+
+#include "dosn/bignum/biguint.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace dosn::bignum {
+
+/// (a + b) mod m.
+BigUint addMod(const BigUint& a, const BigUint& b, const BigUint& m);
+/// (a - b) mod m (wraps around).
+BigUint subMod(const BigUint& a, const BigUint& b, const BigUint& m);
+/// (a * b) mod m.
+BigUint mulMod(const BigUint& a, const BigUint& b, const BigUint& m);
+
+/// base^exponent mod m via 4-bit fixed-window square-and-multiply.
+/// m must be nonzero.
+BigUint powMod(const BigUint& base, const BigUint& exponent, const BigUint& m);
+
+/// Greatest common divisor (binary-free Euclid).
+BigUint gcd(BigUint a, BigUint b);
+
+/// Multiplicative inverse of a mod m, if gcd(a, m) == 1.
+std::optional<BigUint> invMod(const BigUint& a, const BigUint& m);
+
+/// Uniform value in [0, bound) (bound > 0), via rejection sampling.
+BigUint randomBelow(const BigUint& bound, util::Rng& rng);
+
+/// Uniform value in [2, bound-1]; bound must be >= 4.
+BigUint randomUnit(const BigUint& bound, util::Rng& rng);
+
+/// Uniform value with exactly `bits` bits (MSB forced to 1).
+BigUint randomBits(std::size_t bits, util::Rng& rng);
+
+}  // namespace dosn::bignum

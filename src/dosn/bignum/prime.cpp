@@ -1,0 +1,72 @@
+#include "dosn/bignum/prime.hpp"
+
+#include <array>
+
+#include "dosn/bignum/modmath.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::bignum {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+bool millerRabinRound(const BigUint& n, const BigUint& d, std::size_t r,
+                      const BigUint& base) {
+  BigUint x = powMod(base, d, n);
+  const BigUint nMinus1 = n - BigUint(1);
+  if (x == BigUint(1) || x == nMinus1) return true;
+  for (std::size_t i = 1; i < r; ++i) {
+    x = mulMod(x, x, n);
+    if (x == nMinus1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool isProbablePrime(const BigUint& n, util::Rng& rng, int rounds) {
+  if (n < BigUint(2)) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    const BigUint bp(p);
+    if (n == bp) return true;
+    if ((n % bp).isZero()) return false;
+  }
+  // Write n-1 = d * 2^r with d odd.
+  const BigUint nMinus1 = n - BigUint(1);
+  BigUint d = nMinus1;
+  std::size_t r = 0;
+  while (d.isEven()) {
+    d = d >> 1;
+    ++r;
+  }
+  for (int i = 0; i < rounds; ++i) {
+    const BigUint base = randomUnit(n, rng);
+    if (!millerRabinRound(n, d, r, base)) return false;
+  }
+  return true;
+}
+
+BigUint randomPrime(std::size_t bits, util::Rng& rng) {
+  if (bits < 8) throw util::DosnError("randomPrime: need >= 8 bits");
+  while (true) {
+    BigUint candidate = randomBits(bits, rng);
+    if (candidate.isEven()) candidate += BigUint(1);
+    if (isProbablePrime(candidate, rng)) return candidate;
+  }
+}
+
+BigUint randomSafePrime(std::size_t bits, util::Rng& rng) {
+  if (bits < 16) throw util::DosnError("randomSafePrime: need >= 16 bits");
+  while (true) {
+    const BigUint q = randomPrime(bits - 1, rng);
+    const BigUint p = (q << 1) + BigUint(1);
+    if (p.bitLength() == bits && isProbablePrime(p, rng, 12)) return p;
+  }
+}
+
+}  // namespace dosn::bignum

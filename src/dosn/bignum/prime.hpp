@@ -1,0 +1,20 @@
+// Primality testing and prime generation for RSA/DH parameter setup.
+#pragma once
+
+#include "dosn/bignum/biguint.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace dosn::bignum {
+
+/// Miller-Rabin with `rounds` random bases (plus small trial division).
+bool isProbablePrime(const BigUint& n, util::Rng& rng, int rounds = 24);
+
+/// Random prime with exactly `bits` bits.
+BigUint randomPrime(std::size_t bits, util::Rng& rng);
+
+/// Safe prime p = 2q + 1 with q prime; returns p (q = (p-1)/2).
+/// Expensive for large sizes — benches use the cached groups in
+/// dosn/pkcrypto/group.hpp instead of regenerating.
+BigUint randomSafePrime(std::size_t bits, util::Rng& rng);
+
+}  // namespace dosn::bignum

@@ -1,0 +1,88 @@
+#include "dosn/core/node.hpp"
+
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::core {
+
+DosnNode::DosnNode(const pkcrypto::DlogGroup& group, UserId user,
+                   social::IdentityRegistry& registry, AccessController& acl,
+                   util::Rng& rng)
+    : group_(group),
+      registry_(registry),
+      acl_(acl),
+      keyring_(social::createKeyring(group, std::move(user), rng)),
+      timeline_(group, keyring_) {
+  registry_.registerIdentity(social::publicIdentity(keyring_));
+}
+
+std::string DosnNode::circleId(const std::string& circle) const {
+  return keyring_.user + "/" + circle;
+}
+
+void DosnNode::createCircle(const std::string& circle) {
+  acl_.createGroup(circleId(circle));
+  // The owner always reads their own circles.
+  acl_.addMember(circleId(circle), keyring_.user);
+}
+
+void DosnNode::addToCircle(const std::string& circle, const UserId& member) {
+  acl_.addMember(circleId(circle), member);
+}
+
+privacy::RevocationReport DosnNode::removeFromCircle(const std::string& circle,
+                                                     const UserId& member) {
+  if (member == keyring_.user) {
+    throw util::DosnError("DosnNode: cannot revoke the circle owner");
+  }
+  return acl_.removeMember(circleId(circle), member);
+}
+
+namespace {
+
+// Timeline payload: envelope metadata binding the chain entry to the
+// published ciphertext.
+util::Bytes timelinePayload(const Envelope& envelope) {
+  util::Writer w;
+  w.str(envelope.scheme);
+  w.str(envelope.group);
+  w.u64(envelope.serial);
+  w.bytes(crypto::sha256Bytes(envelope.blob));
+  return w.take();
+}
+
+}  // namespace
+
+const PublishedItem& DosnNode::publish(const std::string& circle,
+                                       const std::string& text,
+                                       social::Timestamp now, util::Rng& rng) {
+  PublishedItem item;
+  item.post.author = keyring_.user;
+  item.post.id = nextPostId_++;
+  item.post.created = now;
+  item.post.text = text;
+  item.envelope = acl_.encrypt(circleId(circle), item.post.serialize(), rng);
+  timeline_.append(timelinePayload(item.envelope), rng);
+  item.timelineIndex = timeline_.size() - 1;
+  wall_.push_back(std::move(item));
+  return wall_.back();
+}
+
+std::optional<social::Post> DosnNode::read(const DosnNode& author,
+                                           std::size_t index) const {
+  if (index >= author.wall_.size()) return std::nullopt;
+  if (!verifyTimelineOf(author)) return std::nullopt;
+  const PublishedItem& item = author.wall_[index];
+  const auto plain = acl_.decrypt(keyring_.user, item.envelope);
+  if (!plain) return std::nullopt;
+  return social::Post::deserialize(*plain);
+}
+
+bool DosnNode::verifyTimelineOf(const DosnNode& author) const {
+  const auto identity = registry_.lookup(author.user());
+  if (!identity) return false;
+  return integrity::verifyChain(group_, identity->signingKey,
+                                author.timeline_.entries());
+}
+
+}  // namespace dosn::core

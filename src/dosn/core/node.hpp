@@ -1,0 +1,75 @@
+// DosnNode: the user-facing facade tying the stack together. A node owns a
+// keyring, registers its identity out-of-band, keeps a hash-chained timeline
+// of everything it publishes, and encrypts posts to circles through a
+// pluggable AccessController — i.e. one "user client" of the DOSN.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dosn/integrity/hash_chain.hpp"
+#include "dosn/privacy/access_controller.hpp"
+#include "dosn/social/content.hpp"
+
+namespace dosn::core {
+
+using privacy::AccessController;
+using privacy::Envelope;
+using social::UserId;
+
+/// One published wall item: the cleartext post (author-side), the envelope
+/// replicas store, and the timeline entry chaining it.
+struct PublishedItem {
+  social::Post post;
+  Envelope envelope;
+  std::size_t timelineIndex = 0;
+};
+
+class DosnNode {
+ public:
+  /// Creates the node's keyring and registers it with the shared identity
+  /// registry (the out-of-band key exchange of §IV-A).
+  DosnNode(const pkcrypto::DlogGroup& group, UserId user,
+           social::IdentityRegistry& registry, AccessController& acl,
+           util::Rng& rng);
+
+  const UserId& user() const { return keyring_.user; }
+  const social::Keyring& keyring() const { return keyring_; }
+
+  /// Circle management. Circle names are namespaced per user
+  /// ("alice/friends") so controllers can be shared across nodes.
+  std::string circleId(const std::string& circle) const;
+  void createCircle(const std::string& circle);
+  void addToCircle(const std::string& circle, const UserId& member);
+  privacy::RevocationReport removeFromCircle(const std::string& circle,
+                                             const UserId& member);
+
+  /// Encrypts a post to a circle, signs it, and chains it on the timeline.
+  const PublishedItem& publish(const std::string& circle,
+                               const std::string& text,
+                               social::Timestamp now, util::Rng& rng);
+
+  const std::vector<PublishedItem>& wall() const { return wall_; }
+  const integrity::Timeline& timeline() const { return timeline_; }
+
+  /// Reads item `index` from `author`'s wall as this user: verifies the
+  /// author's chain, then decrypts through the ACL. std::nullopt if the
+  /// chain fails to verify or this user lacks access.
+  std::optional<social::Post> read(const DosnNode& author,
+                                   std::size_t index) const;
+
+  /// Verifies another node's full timeline against its registered key.
+  bool verifyTimelineOf(const DosnNode& author) const;
+
+ private:
+  const pkcrypto::DlogGroup& group_;
+  social::IdentityRegistry& registry_;
+  AccessController& acl_;
+  social::Keyring keyring_;
+  integrity::Timeline timeline_;
+  std::vector<PublishedItem> wall_;
+  social::PostId nextPostId_ = 1;
+};
+
+}  // namespace dosn::core

@@ -1,0 +1,66 @@
+#include "dosn/core/registry.hpp"
+
+#include "dosn/util/error.hpp"
+
+namespace dosn::core {
+
+std::string categoryName(Category category) {
+  switch (category) {
+    case Category::kDataPrivacy: return "Data privacy";
+    case Category::kDataIntegrity: return "Data integrity";
+    case Category::kSecureSocialSearch: return "Secure Social Search";
+  }
+  throw util::DosnError("categoryName: bad category");
+}
+
+const std::vector<SchemeInfo>& schemeRegistry() {
+  static const std::vector<SchemeInfo> registry = {
+      // --- Data privacy (paper §III) ---
+      {Category::kDataPrivacy, "Information substitution",
+       "dosn/privacy/substitution",
+       "VPSN fake profiles + NOYB atom dictionary rotation"},
+      {Category::kDataPrivacy, "Symmetric key encryption",
+       "dosn/privacy/symmetric_acl",
+       "per-group ChaCha20-Poly1305 key; revoke = re-key + re-encrypt"},
+      {Category::kDataPrivacy, "Public key encryption",
+       "dosn/privacy/publickey_acl",
+       "per-member ElGamal (Flybynight/PeerSoN style)"},
+      {Category::kDataPrivacy, "Attribute based encryption",
+       "dosn/abe + dosn/privacy/abe_acl",
+       "CP-ABE & KP-ABE over Shamir policy trees (Persona/Cachet style)"},
+      {Category::kDataPrivacy, "Identity based broadcast encryption",
+       "dosn/ibbe + dosn/privacy/ibbe_acl",
+       "PKG-extracted identity keys; O(1) recipient removal"},
+      {Category::kDataPrivacy, "Hybrid encryption",
+       "dosn/privacy/hybrid_acl + dosn/privacy/pad",
+       "symmetric payload + pluggable pk/ABE/IBBE key wrap; PAD ACLs"},
+      // --- Data integrity (paper §IV) ---
+      {Category::kDataIntegrity, "Integrity of data owner and data content",
+       "dosn/integrity/signed_post",
+       "hash-then-sign Schnorr signatures, out-of-band key registry"},
+      {Category::kDataIntegrity, "Historical integrity",
+       "dosn/integrity/hash_chain + entanglement + history_tree + "
+       "fork_consistency",
+       "hash-chained timelines, cross-timeline entanglement, signed history "
+       "trees with fork detection"},
+      {Category::kDataIntegrity, "Integrity of data relations",
+       "dosn/integrity/relation",
+       "per-post embedded comment keys (Cachet style)"},
+      // --- Secure social search (paper §V) ---
+      {Category::kSecureSocialSearch, "Content privacy",
+       "dosn/search/hummingbird + dosn/pkcrypto/blind_rsa",
+       "blind-signature keyword subscription; index-matched encrypted tweets"},
+      {Category::kSecureSocialSearch, "Privacy of searcher",
+       "dosn/search/proxy_alias + friend_rings + zkp_access",
+       "proxy aliases, Safebook matryoshka rings, Schnorr ZKP pseudonyms"},
+      {Category::kSecureSocialSearch, "Privacy of searched data owner",
+       "dosn/search/resource_handler",
+       "handler indirection with owner-gated content release"},
+      {Category::kSecureSocialSearch, "Trusted search result",
+       "dosn/search/trust_rank",
+       "max-product chain trust blended with popularity"},
+  };
+  return registry;
+}
+
+}  // namespace dosn::core

@@ -1,0 +1,29 @@
+// The scheme registry: every security aspect/solution the survey classifies,
+// mapped to the module in this repository that implements it. Table I of the
+// paper is regenerated from this data (see table1.hpp / bench_table1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dosn::core {
+
+enum class Category {
+  kDataPrivacy,
+  kDataIntegrity,
+  kSecureSocialSearch,
+};
+
+std::string categoryName(Category category);
+
+struct SchemeInfo {
+  Category category;
+  std::string aspect;   // the Table I row label
+  std::string module;   // implementing module/path in this repo
+  std::string detail;   // one-line description of the implementation
+};
+
+/// All implemented aspects/solutions, in Table I order.
+const std::vector<SchemeInfo>& schemeRegistry();
+
+}  // namespace dosn::core

@@ -1,0 +1,64 @@
+#include "dosn/core/table1.hpp"
+
+#include <sstream>
+
+#include "dosn/core/registry.hpp"
+
+namespace dosn::core {
+
+namespace {
+
+std::string padded(const std::string& text, std::size_t width) {
+  std::string out = text;
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
+}  // namespace
+
+std::string renderTable1() {
+  const auto& registry = schemeRegistry();
+  std::size_t categoryWidth = 0;
+  std::size_t aspectWidth = 0;
+  for (const SchemeInfo& info : registry) {
+    categoryWidth = std::max(categoryWidth, categoryName(info.category).size());
+    aspectWidth = std::max(aspectWidth, info.aspect.size());
+  }
+
+  std::ostringstream out;
+  const std::string separator =
+      "+" + std::string(categoryWidth + 2, '-') + "+" +
+      std::string(aspectWidth + 2, '-') + "+\n";
+  out << separator;
+  out << "| " << padded("Category", categoryWidth) << " | "
+      << padded("Security aspects/solutions", aspectWidth) << " |\n";
+  out << separator;
+  Category last = Category::kSecureSocialSearch;
+  bool first = true;
+  for (const SchemeInfo& info : registry) {
+    const bool newCategory = first || info.category != last;
+    if (newCategory && !first) out << separator;
+    out << "| "
+        << padded(newCategory ? categoryName(info.category) : "", categoryWidth)
+        << " | " << padded(info.aspect, aspectWidth) << " |\n";
+    last = info.category;
+    first = false;
+  }
+  out << separator;
+  out << "TABLE I: Classification of security aspects and solutions in OSNs\n";
+  return out.str();
+}
+
+std::string renderImplementationInventory() {
+  std::ostringstream out;
+  out << renderTable1() << "\n";
+  out << "Implementation inventory:\n";
+  for (const SchemeInfo& info : schemeRegistry()) {
+    out << "  [" << categoryName(info.category) << "] " << info.aspect << "\n";
+    out << "      module: " << info.module << "\n";
+    out << "      impl:   " << info.detail << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace dosn::core

@@ -1,0 +1,16 @@
+// Renders the paper's Table I ("Classification of security aspects and
+// solutions in OSNs") from the live scheme registry, plus an extended
+// inventory with implementation pointers.
+#pragma once
+
+#include <string>
+
+namespace dosn::core {
+
+/// The two-column table exactly as the paper presents it.
+std::string renderTable1();
+
+/// Table I extended with the implementing module and detail per row.
+std::string renderImplementationInventory();
+
+}  // namespace dosn::core

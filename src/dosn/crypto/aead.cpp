@@ -1,0 +1,69 @@
+#include "dosn/crypto/aead.hpp"
+
+#include "dosn/crypto/chacha20.hpp"
+#include "dosn/crypto/poly1305.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::crypto {
+
+namespace {
+
+// Poly1305 input per RFC 8439: aad || pad16 || ct || pad16 || len(aad) || len(ct).
+util::Bytes macInput(util::BytesView aad, util::BytesView ciphertext) {
+  util::Bytes input(aad.begin(), aad.end());
+  input.resize((input.size() + 15) / 16 * 16, 0);
+  input.insert(input.end(), ciphertext.begin(), ciphertext.end());
+  input.resize((input.size() + 15) / 16 * 16, 0);
+  auto appendLen = [&input](std::uint64_t n) {
+    for (int i = 0; i < 8; ++i) input.push_back(static_cast<std::uint8_t>(n >> (8 * i)));
+  };
+  appendLen(aad.size());
+  appendLen(ciphertext.size());
+  return input;
+}
+
+util::Bytes oneTimeKey(util::BytesView key, util::BytesView nonce) {
+  const auto block = chacha20Block(key, nonce, 0);
+  return util::Bytes(block.begin(), block.begin() + 32);
+}
+
+}  // namespace
+
+util::Bytes aeadSeal(util::BytesView key, util::BytesView nonce,
+                     util::BytesView plaintext, util::BytesView aad) {
+  util::Bytes ciphertext = chacha20Xor(key, nonce, 1, plaintext);
+  const util::Bytes otk = oneTimeKey(key, nonce);
+  const PolyTag tag = poly1305(otk, macInput(aad, ciphertext));
+  ciphertext.insert(ciphertext.end(), tag.begin(), tag.end());
+  return ciphertext;
+}
+
+std::optional<util::Bytes> aeadOpen(util::BytesView key, util::BytesView nonce,
+                                    util::BytesView sealed,
+                                    util::BytesView aad) {
+  if (sealed.size() < kPolyTagSize) return std::nullopt;
+  const util::BytesView ciphertext = sealed.first(sealed.size() - kPolyTagSize);
+  const util::BytesView tag = sealed.last(kPolyTagSize);
+  const util::Bytes otk = oneTimeKey(key, nonce);
+  const PolyTag expected = poly1305(otk, macInput(aad, ciphertext));
+  if (!util::constantTimeEqual(util::BytesView(expected), tag)) return std::nullopt;
+  return chacha20Xor(key, nonce, 1, ciphertext);
+}
+
+util::Bytes sealWithNonce(util::BytesView key, util::BytesView plaintext,
+                          util::Rng& rng, util::BytesView aad) {
+  util::Bytes nonce = rng.bytes(kChaChaNonceSize);
+  util::Bytes sealed = aeadSeal(key, nonce, plaintext, aad);
+  nonce.insert(nonce.end(), sealed.begin(), sealed.end());
+  return nonce;
+}
+
+std::optional<util::Bytes> openWithNonce(util::BytesView key,
+                                         util::BytesView box,
+                                         util::BytesView aad) {
+  if (box.size() < kChaChaNonceSize + kPolyTagSize) return std::nullopt;
+  return aeadOpen(key, box.first(kChaChaNonceSize),
+                  box.subspan(kChaChaNonceSize), aad);
+}
+
+}  // namespace dosn::crypto

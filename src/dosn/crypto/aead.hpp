@@ -1,0 +1,29 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439). This is the library's authenticated
+// symmetric encryption: the "symmetric key encryption ... mostly used with the
+// combination of other data integrity methods" of the paper's §III-B.
+#pragma once
+
+#include <optional>
+
+#include "dosn/util/bytes.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace dosn::crypto {
+
+/// Ciphertext || 16-byte tag. Nonce must be 12 bytes and unique per key.
+util::Bytes aeadSeal(util::BytesView key, util::BytesView nonce,
+                     util::BytesView plaintext, util::BytesView aad = {});
+
+/// Returns std::nullopt if the tag does not verify.
+std::optional<util::Bytes> aeadOpen(util::BytesView key, util::BytesView nonce,
+                                    util::BytesView sealed,
+                                    util::BytesView aad = {});
+
+/// Convenience envelope that prepends a random nonce to the sealed box.
+util::Bytes sealWithNonce(util::BytesView key, util::BytesView plaintext,
+                          util::Rng& rng, util::BytesView aad = {});
+std::optional<util::Bytes> openWithNonce(util::BytesView key,
+                                         util::BytesView box,
+                                         util::BytesView aad = {});
+
+}  // namespace dosn::crypto

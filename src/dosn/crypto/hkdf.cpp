@@ -1,0 +1,42 @@
+#include "dosn/crypto/hkdf.hpp"
+
+#include "dosn/crypto/hmac.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::crypto {
+
+util::Bytes hkdfExtract(util::BytesView salt, util::BytesView ikm) {
+  return hmacSha256Bytes(salt, ikm);
+}
+
+util::Bytes hkdfExpand(util::BytesView prk, util::BytesView info,
+                       std::size_t length) {
+  if (length > 255 * kSha256DigestSize) {
+    throw util::CryptoError("hkdfExpand: length too large");
+  }
+  util::Bytes okm;
+  okm.reserve(length);
+  util::Bytes previous;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    util::Bytes input = previous;
+    input.insert(input.end(), info.begin(), info.end());
+    input.push_back(counter++);
+    previous = hmacSha256Bytes(prk, input);
+    const std::size_t take = std::min(previous.size(), length - okm.size());
+    okm.insert(okm.end(), previous.begin(),
+               previous.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return okm;
+}
+
+util::Bytes hkdf(util::BytesView ikm, util::BytesView salt,
+                 util::BytesView info, std::size_t length) {
+  return hkdfExpand(hkdfExtract(salt, ikm), info, length);
+}
+
+util::Bytes deriveKey(util::BytesView secret, std::string_view label) {
+  return hkdf(secret, {}, util::toBytes(label), 32);
+}
+
+}  // namespace dosn::crypto

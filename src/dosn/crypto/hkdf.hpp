@@ -1,0 +1,24 @@
+// HKDF-SHA256 (RFC 5869). Used everywhere a key must be derived from a shared
+// secret: hybrid envelopes, IBBE identity keys, ABE share-wrapping, OPRF
+// outputs.
+#pragma once
+
+#include "dosn/util/bytes.hpp"
+
+namespace dosn::crypto {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+util::Bytes hkdfExtract(util::BytesView salt, util::BytesView ikm);
+
+/// HKDF-Expand: OKM of `length` bytes (length <= 255*32).
+util::Bytes hkdfExpand(util::BytesView prk, util::BytesView info,
+                       std::size_t length);
+
+/// Extract-then-expand convenience.
+util::Bytes hkdf(util::BytesView ikm, util::BytesView salt,
+                 util::BytesView info, std::size_t length);
+
+/// Derives a 32-byte key from a secret and a domain-separation label.
+util::Bytes deriveKey(util::BytesView secret, std::string_view label);
+
+}  // namespace dosn::crypto

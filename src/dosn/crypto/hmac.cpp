@@ -1,0 +1,45 @@
+#include "dosn/crypto/hmac.hpp"
+
+#include <array>
+
+namespace dosn::crypto {
+
+Digest hmacSha256(util::BytesView key, util::BytesView message) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > block.size()) {
+    const Digest kd = sha256(key);
+    std::copy(kd.begin(), kd.end(), block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block.begin());
+  }
+
+  std::array<std::uint8_t, 64> ipad{};
+  std::array<std::uint8_t, 64> opad{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = block[i] ^ 0x36;
+    opad[i] = block[i] ^ 0x5c;
+  }
+
+  const Digest inner =
+      Sha256{}.update(util::BytesView(ipad)).update(message).finish();
+  return Sha256{}
+      .update(util::BytesView(opad))
+      .update(util::BytesView(inner))
+      .finish();
+}
+
+util::Bytes hmacSha256Bytes(util::BytesView key, util::BytesView message) {
+  return digestToBytes(hmacSha256(key, message));
+}
+
+util::Bytes prf(util::BytesView secret, util::BytesView input) {
+  return hmacSha256Bytes(secret, input);
+}
+
+bool verifyHmacSha256(util::BytesView key, util::BytesView message,
+                      util::BytesView tag) {
+  const Digest expected = hmacSha256(key, message);
+  return util::constantTimeEqual(util::BytesView(expected), tag);
+}
+
+}  // namespace dosn::crypto

@@ -1,0 +1,73 @@
+#include "dosn/crypto/merkle.hpp"
+
+#include "dosn/util/error.hpp"
+
+namespace dosn::crypto {
+
+Digest merkleLeafHash(util::BytesView leaf) {
+  Sha256 h;
+  const std::uint8_t tag = 0x00;
+  h.update(util::BytesView(&tag, 1)).update(leaf);
+  return h.finish();
+}
+
+Digest merkleNodeHash(const Digest& left, const Digest& right) {
+  Sha256 h;
+  const std::uint8_t tag = 0x01;
+  h.update(util::BytesView(&tag, 1))
+      .update(util::BytesView(left))
+      .update(util::BytesView(right));
+  return h.finish();
+}
+
+MerkleTree::MerkleTree(const std::vector<util::Bytes>& leaves)
+    : leafCount_(leaves.size()) {
+  if (leaves.empty()) {
+    root_ = sha256({});
+    return;
+  }
+  std::vector<Digest> level;
+  level.reserve(leaves.size());
+  for (const auto& leaf : leaves) level.push_back(merkleLeafHash(leaf));
+  levels_.push_back(level);
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i < prev.size(); i += 2) {
+      const Digest& left = prev[i];
+      const Digest& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(merkleNodeHash(left, right));
+    }
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back().front();
+}
+
+MerkleProof MerkleTree::prove(std::size_t index) const {
+  if (index >= leafCount_) throw util::DosnError("MerkleTree::prove: index out of range");
+  MerkleProof proof;
+  std::size_t i = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& nodes = levels_[lvl];
+    const std::size_t sibling = (i % 2 == 0) ? i + 1 : i - 1;
+    MerkleStep step;
+    step.sibling = (sibling < nodes.size()) ? nodes[sibling] : nodes[i];
+    step.siblingOnLeft = (i % 2 == 1);
+    proof.push_back(step);
+    i /= 2;
+  }
+  return proof;
+}
+
+bool merkleVerify(const Digest& root, util::BytesView leaf,
+                  const MerkleProof& proof) {
+  Digest current = merkleLeafHash(leaf);
+  for (const auto& step : proof) {
+    current = step.siblingOnLeft ? merkleNodeHash(step.sibling, current)
+                                 : merkleNodeHash(current, step.sibling);
+  }
+  return current == root;
+}
+
+}  // namespace dosn::crypto

@@ -1,0 +1,49 @@
+// Binary Merkle tree with membership proofs. Substrate for the persistent
+// authenticated dictionary (Frientegrity ACLs, paper §III-F) and the object
+// history tree (paper §IV-B).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dosn/crypto/sha256.hpp"
+#include "dosn/util/bytes.hpp"
+
+namespace dosn::crypto {
+
+/// One step of a Merkle authentication path.
+struct MerkleStep {
+  Digest sibling{};
+  bool siblingOnLeft = false;
+};
+
+using MerkleProof = std::vector<MerkleStep>;
+
+/// Domain-separated hashing so leaves can't be confused with inner nodes.
+Digest merkleLeafHash(util::BytesView leaf);
+Digest merkleNodeHash(const Digest& left, const Digest& right);
+
+/// Merkle tree over a fixed list of leaves (odd levels duplicate the last
+/// node, Bitcoin-style).
+class MerkleTree {
+ public:
+  explicit MerkleTree(const std::vector<util::Bytes>& leaves);
+
+  const Digest& root() const { return root_; }
+  std::size_t leafCount() const { return leafCount_; }
+
+  /// Authentication path for the leaf at `index`.
+  MerkleProof prove(std::size_t index) const;
+
+ private:
+  std::vector<std::vector<Digest>> levels_;  // levels_[0] = leaf hashes
+  Digest root_{};
+  std::size_t leafCount_ = 0;
+};
+
+/// Verifies a membership proof against a root.
+bool merkleVerify(const Digest& root, util::BytesView leaf,
+                  const MerkleProof& proof);
+
+}  // namespace dosn::crypto

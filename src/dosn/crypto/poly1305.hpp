@@ -1,0 +1,19 @@
+// Poly1305 one-time authenticator (RFC 8439).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "dosn/util/bytes.hpp"
+
+namespace dosn::crypto {
+
+inline constexpr std::size_t kPolyKeySize = 32;
+inline constexpr std::size_t kPolyTagSize = 16;
+
+using PolyTag = std::array<std::uint8_t, kPolyTagSize>;
+
+/// Computes the Poly1305 tag of `message` under a 32-byte one-time key.
+PolyTag poly1305(util::BytesView key, util::BytesView message);
+
+}  // namespace dosn::crypto

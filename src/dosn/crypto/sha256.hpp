@@ -1,0 +1,48 @@
+// SHA-256 (FIPS 180-4), streaming and one-shot.
+//
+// Simulation-grade crypto notice: this is a from-scratch reproduction
+// implementation — unaudited and not constant-time. Do not protect real data
+// with it. (Applies to every header in dosn/crypto and dosn/pkcrypto.)
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "dosn/util/bytes.hpp"
+
+namespace dosn::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+
+using Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs more input.
+  Sha256& update(util::BytesView data);
+
+  /// Finalizes and returns the digest. The object must not be reused after.
+  Digest finish();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t bufferLen_ = 0;
+  std::uint64_t totalLen_ = 0;
+  bool finished_ = false;
+};
+
+/// One-shot convenience.
+Digest sha256(util::BytesView data);
+
+/// One-shot returning an owning buffer (handy for codec APIs).
+util::Bytes sha256Bytes(util::BytesView data);
+
+/// Digest -> Bytes conversion.
+util::Bytes digestToBytes(const Digest& d);
+
+}  // namespace dosn::crypto

@@ -1,0 +1,111 @@
+#include "dosn/ibbe/ibbe.hpp"
+
+#include "dosn/crypto/aead.hpp"
+#include "dosn/crypto/hkdf.hpp"
+#include "dosn/crypto/hmac.hpp"
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::ibbe {
+
+namespace {
+
+util::Bytes wrapKey(const DlogGroup& group, const BigUint& shared,
+                    const std::string& identity) {
+  util::Bytes material = shared.toBytesPadded(group.elementBytes());
+  const util::Bytes id = util::toBytes(identity);
+  material.insert(material.end(), id.begin(), id.end());
+  return crypto::deriveKey(material, "ibbe-wrap");
+}
+
+}  // namespace
+
+util::Bytes IbbeCiphertext::serialize() const {
+  util::Writer w;
+  w.bytes(c1.toBytes());
+  w.u32(static_cast<std::uint32_t>(wraps.size()));
+  for (const auto& [id, box] : wraps) {
+    w.str(id);
+    w.bytes(box);
+  }
+  w.bytes(payloadBox);
+  return w.take();
+}
+
+std::optional<IbbeCiphertext> IbbeCiphertext::deserialize(util::BytesView data) {
+  try {
+    util::Reader r(data);
+    IbbeCiphertext ct;
+    ct.c1 = BigUint::fromBytes(r.bytes());
+    const std::uint32_t count = r.u32();
+    ct.wraps.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::string id = r.str();
+      ct.wraps.emplace_back(std::move(id), r.bytes());
+    }
+    ct.payloadBox = r.bytes();
+    r.expectEnd();
+    return ct;
+  } catch (const util::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+Pkg::Pkg(const DlogGroup& group, util::Rng& rng)
+    : group_(group), masterSecret_(rng.bytes(32)) {}
+
+BigUint Pkg::identitySecret(const std::string& identity) const {
+  const util::Bytes material =
+      crypto::prf(masterSecret_, util::toBytes("id:" + identity));
+  return group_.hashToScalar(material);
+}
+
+BigUint Pkg::identityPublicKey(const std::string& identity) const {
+  return group_.exp(identitySecret(identity));
+}
+
+IbbeUserKey Pkg::extract(const std::string& identity) const {
+  return IbbeUserKey{identity, identitySecret(identity)};
+}
+
+IbbeCiphertext ibbeEncrypt(const DlogGroup& group,
+                           const std::map<std::string, BigUint>& directory,
+                           const std::vector<std::string>& recipients,
+                           util::BytesView plaintext, util::Rng& rng) {
+  if (recipients.empty()) {
+    throw util::CryptoError("ibbeEncrypt: empty recipient list");
+  }
+  IbbeCiphertext ct;
+  const BigUint k = group.randomScalar(rng);
+  ct.c1 = group.exp(k);
+  const util::Bytes sessionKey = rng.bytes(32);
+  ct.wraps.reserve(recipients.size());
+  for (const auto& id : recipients) {
+    const auto it = directory.find(id);
+    if (it == directory.end()) {
+      throw util::CryptoError("ibbeEncrypt: identity not in directory: " + id);
+    }
+    const BigUint shared = group.exp(it->second, k);
+    ct.wraps.emplace_back(
+        id, crypto::sealWithNonce(wrapKey(group, shared, id), sessionKey, rng));
+  }
+  ct.payloadBox = crypto::sealWithNonce(
+      crypto::deriveKey(sessionKey, "ibbe-payload"), plaintext, rng);
+  return ct;
+}
+
+std::optional<util::Bytes> ibbeDecrypt(const DlogGroup& group,
+                                       const IbbeUserKey& key,
+                                       const IbbeCiphertext& ct) {
+  for (const auto& [id, box] : ct.wraps) {
+    if (id != key.identity) continue;
+    const BigUint shared = group.exp(ct.c1, key.secret);
+    const auto session = crypto::openWithNonce(wrapKey(group, shared, id), box);
+    if (!session) return std::nullopt;
+    return crypto::openWithNonce(crypto::deriveKey(*session, "ibbe-payload"),
+                                 ct.payloadBox);
+  }
+  return std::nullopt;
+}
+
+}  // namespace dosn::ibbe

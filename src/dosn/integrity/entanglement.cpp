@@ -1,0 +1,109 @@
+#include "dosn/integrity/entanglement.hpp"
+
+#include <set>
+
+#include "dosn/util/codec.hpp"
+
+namespace dosn::integrity {
+
+util::Bytes EntangledEntry::signedBytes() const {
+  util::Writer w;
+  w.u64(seq);
+  w.raw(util::BytesView(prev));
+  w.u32(static_cast<std::uint32_t>(references.size()));
+  for (const auto& [user, hash] : references) {
+    w.str(user);
+    w.raw(util::BytesView(hash));
+  }
+  w.bytes(payload);
+  return w.take();
+}
+
+crypto::Digest EntangledEntry::entryHash() const {
+  util::Writer w;
+  w.raw(signedBytes());
+  w.raw(signature.serialize());
+  return crypto::sha256(w.buffer());
+}
+
+EntangledTimeline::EntangledTimeline(const pkcrypto::DlogGroup& group,
+                                     const social::Keyring& keyring)
+    : group_(group), keyring_(keyring) {}
+
+const EntangledEntry& EntangledTimeline::append(
+    util::BytesView payload,
+    const std::vector<std::pair<social::UserId, crypto::Digest>>& references,
+    util::Rng& rng) {
+  EntangledEntry entry;
+  entry.seq = entries_.size();
+  entry.prev = head();
+  entry.references = references;
+  entry.payload = util::Bytes(payload.begin(), payload.end());
+  entry.signature =
+      pkcrypto::schnorrSign(group_, keyring_.signing, entry.signedBytes(), rng);
+  entries_.push_back(std::move(entry));
+  return entries_.back();
+}
+
+crypto::Digest EntangledTimeline::head() const {
+  if (entries_.empty()) return crypto::Digest{};
+  return entries_.back().entryHash();
+}
+
+bool verifyEntangledChain(const pkcrypto::DlogGroup& group,
+                          const pkcrypto::SchnorrPublicKey& publisherKey,
+                          const std::vector<EntangledEntry>& entries) {
+  crypto::Digest expectedPrev{};
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const EntangledEntry& entry = entries[i];
+    if (entry.seq != i) return false;
+    if (entry.prev != expectedPrev) return false;
+    if (!pkcrypto::schnorrVerify(group, publisherKey, entry.signedBytes(),
+                                 entry.signature)) {
+      return false;
+    }
+    expectedPrev = entry.entryHash();
+  }
+  return true;
+}
+
+OrderOracle::OrderOracle(
+    const std::vector<const EntangledTimeline*>& timelines) {
+  const crypto::Digest zero{};
+  for (const EntangledTimeline* timeline : timelines) {
+    for (const EntangledEntry& entry : timeline->entries()) {
+      auto& preds = predecessors_[entry.entryHash()];
+      if (entry.prev != zero) preds.push_back(entry.prev);
+      for (const auto& [user, hash] : entry.references) {
+        if (hash != zero) preds.push_back(hash);
+      }
+    }
+  }
+}
+
+bool OrderOracle::happenedBefore(const crypto::Digest& a,
+                                 const crypto::Digest& b) const {
+  if (a == b) return false;
+  // BFS backwards from b looking for a.
+  std::set<crypto::Digest> visited;
+  std::vector<crypto::Digest> frontier{b};
+  while (!frontier.empty()) {
+    const crypto::Digest current = frontier.back();
+    frontier.pop_back();
+    if (!visited.insert(current).second) continue;
+    const auto it = predecessors_.find(current);
+    if (it == predecessors_.end()) continue;
+    for (const crypto::Digest& pred : it->second) {
+      if (pred == a) return true;
+      frontier.push_back(pred);
+    }
+  }
+  return false;
+}
+
+bool OrderOracle::concurrent(const crypto::Digest& a,
+                             const crypto::Digest& b) const {
+  return !happenedBefore(a, b) && !happenedBefore(b, a);
+}
+
+}  // namespace dosn::integrity

@@ -1,0 +1,74 @@
+// Cross-timeline entanglement (paper §IV-B): "the publisher adds the hashes
+// of prior events from other participants alongside using the digital
+// signature. In this way, a provable order between their messages will be
+// established." Entangled entries reference the heads of other publishers'
+// timelines; the resulting hash DAG yields provable happened-before facts
+// across users.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dosn/integrity/hash_chain.hpp"
+
+namespace dosn::integrity {
+
+struct EntangledEntry {
+  std::uint64_t seq = 0;
+  crypto::Digest prev{};  // own-chain predecessor
+  /// References to other publishers' entries: (publisher, entry hash).
+  std::vector<std::pair<social::UserId, crypto::Digest>> references;
+  util::Bytes payload;
+  pkcrypto::SchnorrSignature signature;
+
+  util::Bytes signedBytes() const;
+  crypto::Digest entryHash() const;
+};
+
+class EntangledTimeline {
+ public:
+  EntangledTimeline(const pkcrypto::DlogGroup& group,
+                    const social::Keyring& keyring);
+
+  /// Appends an entry referencing the given foreign heads.
+  const EntangledEntry& append(
+      util::BytesView payload,
+      const std::vector<std::pair<social::UserId, crypto::Digest>>& references,
+      util::Rng& rng);
+
+  const std::vector<EntangledEntry>& entries() const { return entries_; }
+  crypto::Digest head() const;
+  const social::UserId& owner() const { return keyring_.user; }
+
+ private:
+  const pkcrypto::DlogGroup& group_;
+  const social::Keyring& keyring_;
+  std::vector<EntangledEntry> entries_;
+};
+
+bool verifyEntangledChain(const pkcrypto::DlogGroup& group,
+                          const pkcrypto::SchnorrPublicKey& publisherKey,
+                          const std::vector<EntangledEntry>& entries);
+
+/// The provable-order oracle over a set of verified timelines: entry A
+/// happened-before entry B iff A's hash is reachable from B through prev
+/// links and cross references.
+class OrderOracle {
+ public:
+  /// Indexes the timelines (caller has verified them).
+  explicit OrderOracle(
+      const std::vector<const EntangledTimeline*>& timelines);
+
+  /// True if the entry with hash `a` provably precedes the one with hash `b`.
+  bool happenedBefore(const crypto::Digest& a, const crypto::Digest& b) const;
+
+  /// True if neither order is provable (concurrent).
+  bool concurrent(const crypto::Digest& a, const crypto::Digest& b) const;
+
+ private:
+  // entry hash -> hashes it directly references (prev + cross refs).
+  std::map<crypto::Digest, std::vector<crypto::Digest>> predecessors_;
+};
+
+}  // namespace dosn::integrity

@@ -1,0 +1,105 @@
+#include "dosn/integrity/fork_consistency.hpp"
+
+#include "dosn/util/error.hpp"
+
+namespace dosn::integrity {
+
+ForkingProvider::ForkingProvider(const pkcrypto::DlogGroup& group,
+                                 util::Rng& rng)
+    : group_(group), key_(pkcrypto::schnorrGenerate(group, rng)) {
+  Fork fork;
+  resign(fork, rng);
+  forks_.push_back(std::move(fork));
+}
+
+void ForkingProvider::resign(Fork& fork, util::Rng& rng) {
+  fork.head =
+      signRoot(group_, key_, fork.log.version(), fork.log.root(), rng);
+}
+
+void ForkingProvider::addClient(const std::string& client) {
+  clientFork_[client] = 0;
+}
+
+std::size_t ForkingProvider::fork(const std::vector<std::string>& clients) {
+  Fork copy = forks_[0];  // equivocation starts from the honest view
+  forks_.push_back(std::move(copy));
+  const std::size_t id = forks_.size() - 1;
+  for (const std::string& client : clients) {
+    if (!clientFork_.count(client)) {
+      throw util::DosnError("ForkingProvider: unknown client " + client);
+    }
+    clientFork_[client] = id;
+  }
+  return id;
+}
+
+void ForkingProvider::appendAs(const std::string& client, util::Bytes operation,
+                               util::Rng& rng) {
+  const auto it = clientFork_.find(client);
+  if (it == clientFork_.end()) {
+    throw util::DosnError("ForkingProvider: unknown client " + client);
+  }
+  Fork& fork = forks_[it->second];
+  fork.log.append(std::move(operation));
+  resign(fork, rng);
+}
+
+SignedRoot ForkingProvider::headFor(const std::string& client) const {
+  const auto it = clientFork_.find(client);
+  if (it == clientFork_.end()) {
+    throw util::DosnError("ForkingProvider: unknown client " + client);
+  }
+  return forks_[it->second].head;
+}
+
+bool ForkingProvider::prefixConsistent(const std::string& client,
+                                       std::uint64_t version,
+                                       const crypto::Digest& root) const {
+  const auto it = clientFork_.find(client);
+  if (it == clientFork_.end()) {
+    throw util::DosnError("ForkingProvider: unknown client " + client);
+  }
+  return forks_[it->second].log.consistentWith(version, root);
+}
+
+std::size_t ForkingProvider::forkOf(const std::string& client) const {
+  const auto it = clientFork_.find(client);
+  if (it == clientFork_.end()) {
+    throw util::DosnError("ForkingProvider: unknown client " + client);
+  }
+  return it->second;
+}
+
+AuditingClient::AuditingClient(const pkcrypto::DlogGroup& group,
+                               std::string name,
+                               pkcrypto::SchnorrPublicKey providerKey)
+    : group_(group), name_(std::move(name)), providerKey_(std::move(providerKey)) {}
+
+void AuditingClient::observe(const SignedRoot& head) {
+  if (!verifySignedRoot(group_, providerKey_, head)) {
+    throw util::DosnError("AuditingClient: invalid provider signature");
+  }
+  // Clients keep their highest-version head (a provider serving an older
+  // head to roll the client back is a separate, also detectable, attack).
+  if (!observed_ || head.version >= lastSeen_.version) {
+    lastSeen_ = head;
+    observed_ = true;
+  }
+}
+
+bool AuditingClient::crossCheck(const AuditingClient& peer,
+                                const ForkingProvider& provider) const {
+  if (!observed_ || !peer.observed_) return false;
+  const SignedRoot& mine = lastSeen_;
+  const SignedRoot& theirs = peer.lastSeen_;
+  // Same version, different roots: immediate equivocation proof.
+  if (mine.version == theirs.version) return mine.root != theirs.root;
+  // Otherwise the older head must be a prefix of the newer client's log;
+  // audit through the newer client's fork view of the provider.
+  const SignedRoot& older = mine.version < theirs.version ? mine : theirs;
+  const AuditingClient& newer = mine.version < theirs.version ? peer : *this;
+  return !provider.prefixConsistent(newer.name_, older.version, older.root);
+}
+
+}  // namespace dosn::integrity

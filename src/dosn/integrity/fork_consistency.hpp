@@ -1,0 +1,92 @@
+// Fork-consistency detection (paper §IV-B, Frientegrity): "a malicious
+// service provider ... cannot present different clients with divergent views
+// ... if the clients who have been equivocated by the service provider
+// communicate to each other, they will discover the provider's misbehaviour."
+//
+// ForkingProvider is the malicious test double (DESIGN.md §3.3): it maintains
+// per-fork logs and serves each client the view of its assigned fork, signing
+// every root. Clients keep the latest signed root they saw; a pairwise
+// cross-check between two clients on divergent forks is guaranteed to expose
+// the equivocation (same-version roots differ, or the older root is not a
+// prefix of the newer log).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "dosn/integrity/history_tree.hpp"
+
+namespace dosn::integrity {
+
+class ForkingProvider {
+ public:
+  ForkingProvider(const pkcrypto::DlogGroup& group, util::Rng& rng);
+
+  const pkcrypto::SchnorrPublicKey& publicKey() const {
+    return key_.pub;
+  }
+
+  /// Registers a client (initially on fork 0 — the honest view).
+  void addClient(const std::string& client);
+
+  /// Splits the named clients onto a new fork (copy-on-fork of the log).
+  /// Returns the new fork id.
+  std::size_t fork(const std::vector<std::string>& clients);
+
+  /// Appends an operation to the fork a client sees.
+  void appendAs(const std::string& client, util::Bytes operation,
+                util::Rng& rng);
+
+  /// The provider's signed head for the client's fork.
+  SignedRoot headFor(const std::string& client) const;
+
+  /// Honest prefix query against the client's fork (what a client asks when
+  /// auditing someone else's signed root).
+  bool prefixConsistent(const std::string& client, std::uint64_t version,
+                        const crypto::Digest& root) const;
+
+  std::size_t forkCount() const { return forks_.size(); }
+  std::size_t forkOf(const std::string& client) const;
+
+ private:
+  struct Fork {
+    HistoryTree log;
+    SignedRoot head;
+  };
+
+  void resign(Fork& fork, util::Rng& rng);
+
+  const pkcrypto::DlogGroup& group_;
+  pkcrypto::SchnorrPrivateKey key_;
+  std::vector<Fork> forks_;
+  std::map<std::string, std::size_t> clientFork_;
+};
+
+/// A client's audit state: the latest signed root it accepted.
+class AuditingClient {
+ public:
+  AuditingClient(const pkcrypto::DlogGroup& group, std::string name,
+                 pkcrypto::SchnorrPublicKey providerKey);
+
+  const std::string& name() const { return name_; }
+
+  /// Accepts a provider head (verifies the signature; throws on bad sig).
+  void observe(const SignedRoot& head);
+
+  const SignedRoot& lastSeen() const { return lastSeen_; }
+  bool hasObserved() const { return observed_; }
+
+  /// Cross-check with a peer's view, consulting the provider for prefix
+  /// proofs. Returns true iff equivocation is detected.
+  bool crossCheck(const AuditingClient& peer,
+                  const ForkingProvider& provider) const;
+
+ private:
+  const pkcrypto::DlogGroup& group_;
+  std::string name_;
+  pkcrypto::SchnorrPublicKey providerKey_;
+  SignedRoot lastSeen_;
+  bool observed_ = false;
+};
+
+}  // namespace dosn::integrity

@@ -1,0 +1,78 @@
+#include "dosn/integrity/history_tree.hpp"
+
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::integrity {
+
+util::Bytes SignedRoot::signedBytes() const {
+  util::Writer w;
+  w.u64(version);
+  w.raw(util::BytesView(root));
+  return w.take();
+}
+
+std::uint64_t HistoryTree::append(util::Bytes operation) {
+  leaves_.push_back(std::move(operation));
+  cachedTree_.reset();  // invalidate
+  cachedVersion_ = ~std::uint64_t{0};
+  return leaves_.size();
+}
+
+const crypto::MerkleTree& HistoryTree::treeAt(std::uint64_t v) const {
+  if (v != cachedVersion_ || !cachedTree_) {
+    const std::vector<util::Bytes> prefix(
+        leaves_.begin(), leaves_.begin() + static_cast<std::ptrdiff_t>(v));
+    cachedTree_.emplace(prefix);
+    cachedVersion_ = v;
+  }
+  return *cachedTree_;
+}
+
+crypto::Digest HistoryTree::root() const { return rootAt(leaves_.size()); }
+
+crypto::Digest HistoryTree::rootAt(std::uint64_t v) const {
+  if (v > leaves_.size()) throw util::DosnError("HistoryTree: bad version");
+  return treeAt(v).root();
+}
+
+std::optional<HistoryTree::MembershipProof> HistoryTree::prove(
+    std::uint64_t index, std::uint64_t v) const {
+  if (v > leaves_.size() || index >= v) return std::nullopt;
+  MembershipProof proof;
+  proof.operation = leaves_[index];
+  proof.path = treeAt(v).prove(index);
+  return proof;
+}
+
+bool HistoryTree::verifyMembership(const crypto::Digest& root,
+                                   const MembershipProof& proof) {
+  return crypto::merkleVerify(root, proof.operation, proof.path);
+}
+
+bool HistoryTree::consistentWith(std::uint64_t v,
+                                 const crypto::Digest& claimedRoot) const {
+  if (v > leaves_.size()) return false;
+  return rootAt(v) == claimedRoot;
+}
+
+SignedRoot signRoot(const pkcrypto::DlogGroup& group,
+                    const pkcrypto::SchnorrPrivateKey& providerKey,
+                    std::uint64_t version, const crypto::Digest& root,
+                    util::Rng& rng) {
+  SignedRoot sr;
+  sr.version = version;
+  sr.root = root;
+  sr.signature =
+      pkcrypto::schnorrSign(group, providerKey, sr.signedBytes(), rng);
+  return sr;
+}
+
+bool verifySignedRoot(const pkcrypto::DlogGroup& group,
+                      const pkcrypto::SchnorrPublicKey& providerKey,
+                      const SignedRoot& signedRoot) {
+  return pkcrypto::schnorrVerify(group, providerKey, signedRoot.signedBytes(),
+                                 signedRoot.signature);
+}
+
+}  // namespace dosn::integrity

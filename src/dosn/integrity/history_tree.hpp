@@ -1,0 +1,75 @@
+// Object history tree (paper §IV-B, Frientegrity): an append-only Merkle
+// structure over an object's operation log. Every version has a root digest;
+// the (possibly malicious) provider signs roots, clients verify membership
+// proofs against them, and divergent views are detectable by comparing signed
+// roots (see fork_consistency.hpp).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dosn/crypto/merkle.hpp"
+#include "dosn/pkcrypto/schnorr.hpp"
+
+namespace dosn::integrity {
+
+/// A provider-signed (version, root) commitment — the paper's "service
+/// provider also digitally signs the root of object history tree".
+struct SignedRoot {
+  std::uint64_t version = 0;  // number of operations committed
+  crypto::Digest root{};
+  pkcrypto::SchnorrSignature signature;
+
+  util::Bytes signedBytes() const;
+};
+
+class HistoryTree {
+ public:
+  /// Appends an operation; returns the new version number.
+  std::uint64_t append(util::Bytes operation);
+
+  std::uint64_t version() const { return leaves_.size(); }
+
+  /// Root digest of the current version.
+  crypto::Digest root() const;
+  /// Root digest of a historical version v (first v operations).
+  crypto::Digest rootAt(std::uint64_t v) const;
+
+  /// Membership proof that operation `index` is in version `v`.
+  struct MembershipProof {
+    util::Bytes operation;
+    crypto::MerkleProof path;
+  };
+  std::optional<MembershipProof> prove(std::uint64_t index,
+                                       std::uint64_t v) const;
+
+  static bool verifyMembership(const crypto::Digest& root,
+                               const MembershipProof& proof);
+
+  /// Prefix-consistency check: would an honest log with this tree's first
+  /// `v` operations produce `claimedRoot`? (Clients use this to cross-check
+  /// a peer's signed root against their own view of the log.)
+  bool consistentWith(std::uint64_t v, const crypto::Digest& claimedRoot) const;
+
+  const std::vector<util::Bytes>& operations() const { return leaves_; }
+
+ private:
+  /// Merkle tree over the first v leaves; the current version is cached.
+  const crypto::MerkleTree& treeAt(std::uint64_t v) const;
+
+  std::vector<util::Bytes> leaves_;
+  // Cache for the most-recently requested version (usually the head).
+  mutable std::uint64_t cachedVersion_ = ~std::uint64_t{0};
+  mutable std::optional<crypto::MerkleTree> cachedTree_;
+};
+
+/// Provider-side helper: sign / verify root commitments.
+SignedRoot signRoot(const pkcrypto::DlogGroup& group,
+                    const pkcrypto::SchnorrPrivateKey& providerKey,
+                    std::uint64_t version, const crypto::Digest& root,
+                    util::Rng& rng);
+bool verifySignedRoot(const pkcrypto::DlogGroup& group,
+                      const pkcrypto::SchnorrPublicKey& providerKey,
+                      const SignedRoot& signedRoot);
+
+}  // namespace dosn::integrity

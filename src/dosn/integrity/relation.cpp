@@ -1,0 +1,72 @@
+#include "dosn/integrity/relation.hpp"
+
+#include "dosn/crypto/aead.hpp"
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::integrity {
+
+RelationPost createRelationPost(const pkcrypto::DlogGroup& group,
+                                const social::Keyring& author,
+                                social::Post post,
+                                util::BytesView commenterGroupKey,
+                                util::Rng& rng) {
+  RelationPost rp;
+  const pkcrypto::SchnorrPrivateKey commentKey =
+      pkcrypto::schnorrGenerate(group, rng);
+  rp.commentVerifyKey = commentKey.pub;
+  rp.sealedSigningKey = crypto::sealWithNonce(
+      commenterGroupKey, commentKey.x.toBytes(), rng);
+  rp.base = signPost(group, author, std::move(post), rng);
+  return rp;
+}
+
+std::optional<pkcrypto::SchnorrPrivateKey> extractCommentKey(
+    const pkcrypto::DlogGroup& group, const RelationPost& post,
+    util::BytesView commenterGroupKey) {
+  const auto scalarBytes =
+      crypto::openWithNonce(commenterGroupKey, post.sealedSigningKey);
+  if (!scalarBytes) return std::nullopt;
+  const bignum::BigUint x = bignum::BigUint::fromBytes(*scalarBytes);
+  pkcrypto::SchnorrPrivateKey key{pkcrypto::SchnorrPublicKey{group.exp(x)}, x};
+  // The unsealed key must match the post's embedded verification key.
+  if (key.pub.y != post.commentVerifyKey.y) return std::nullopt;
+  return key;
+}
+
+namespace {
+
+util::Bytes commentContext(const RelationPost& post, const Comment& comment) {
+  util::Writer w;
+  // Bind to the specific post instance (its signature digest), not just the
+  // id, so a comment can't be replayed under a forged same-id post.
+  w.bytes(post.base.signature.serialize());
+  w.bytes(comment.serialize());
+  return w.take();
+}
+
+}  // namespace
+
+SignedComment signComment(const pkcrypto::DlogGroup& group,
+                          const RelationPost& post,
+                          const pkcrypto::SchnorrPrivateKey& commentKey,
+                          Comment comment, util::Rng& rng) {
+  if (comment.post != post.base.post.id) {
+    throw util::DosnError("signComment: comment names a different post");
+  }
+  SignedComment sc;
+  sc.signature = pkcrypto::schnorrSign(group, commentKey,
+                                       commentContext(post, comment), rng);
+  sc.comment = std::move(comment);
+  return sc;
+}
+
+bool verifyComment(const pkcrypto::DlogGroup& group, const RelationPost& post,
+                   const SignedComment& comment) {
+  if (comment.comment.post != post.base.post.id) return false;
+  return pkcrypto::schnorrVerify(group, post.commentVerifyKey,
+                                 commentContext(post, comment.comment),
+                                 comment.signature);
+}
+
+}  // namespace dosn::integrity

@@ -1,0 +1,54 @@
+// Integrity of data relations (paper §IV-C, Cachet-style): each post embeds a
+// fresh comment-signing key pair. The verification key is public in the post;
+// the signing key is sealed so only authorized commenters can extract it.
+// A comment verifies against its post iff it was signed with that post's key
+// and names the post's id — binding comment to post and proving commenter
+// privilege.
+#pragma once
+
+#include <optional>
+
+#include "dosn/integrity/signed_post.hpp"
+#include "dosn/social/content.hpp"
+
+namespace dosn::integrity {
+
+using social::Comment;
+
+/// A post carrying its comment-key material.
+struct RelationPost {
+  SignedPost base;
+  pkcrypto::SchnorrPublicKey commentVerifyKey;
+  /// The comment-signing scalar, AEAD-sealed under the commenter group key.
+  util::Bytes sealedSigningKey;
+};
+
+struct SignedComment {
+  Comment comment;
+  pkcrypto::SchnorrSignature signature;
+};
+
+/// Creates a post with an embedded per-post comment key, sealed to holders of
+/// `commenterGroupKey` (32 bytes — e.g. a SymmetricAcl group key).
+RelationPost createRelationPost(const pkcrypto::DlogGroup& group,
+                                const social::Keyring& author,
+                                social::Post post,
+                                util::BytesView commenterGroupKey,
+                                util::Rng& rng);
+
+/// Unseals the post's comment-signing key (authorized commenters only).
+std::optional<pkcrypto::SchnorrPrivateKey> extractCommentKey(
+    const pkcrypto::DlogGroup& group, const RelationPost& post,
+    util::BytesView commenterGroupKey);
+
+/// Signs a comment for the post. Throws if comment.post != post id.
+SignedComment signComment(const pkcrypto::DlogGroup& group,
+                          const RelationPost& post,
+                          const pkcrypto::SchnorrPrivateKey& commentKey,
+                          Comment comment, util::Rng& rng);
+
+/// Verifies the comment-to-post binding and the commenter's privilege.
+bool verifyComment(const pkcrypto::DlogGroup& group, const RelationPost& post,
+                   const SignedComment& comment);
+
+}  // namespace dosn::integrity

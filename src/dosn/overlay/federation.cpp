@@ -1,0 +1,113 @@
+#include "dosn/overlay/federation.hpp"
+
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::overlay {
+
+void FederationDirectory::assign(const std::string& user, sim::NodeAddr server) {
+  homes_[user] = server;
+}
+
+std::optional<sim::NodeAddr> FederationDirectory::homeOf(
+    const std::string& user) const {
+  const auto it = homes_.find(user);
+  if (it == homes_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::map<sim::NodeAddr, std::size_t> FederationDirectory::viewSizes() const {
+  std::map<sim::NodeAddr, std::size_t> sizes;
+  for (const auto& [user, server] : homes_) ++sizes[server];
+  return sizes;
+}
+
+FederatedServer::FederatedServer(sim::Network& network,
+                                 const FederationDirectory& directory)
+    : network_(network), directory_(directory), addr_(network.addNode()) {
+  network_.setHandler(addr_, [this](sim::NodeAddr from, const sim::Message& msg) {
+    onMessage(from, msg);
+  });
+}
+
+void FederatedServer::storeLocal(const std::string& user, const std::string& key,
+                                 util::Bytes value) {
+  data_[user][key] = std::move(value);
+}
+
+std::size_t FederatedServer::localUserCount() const { return data_.size(); }
+
+void FederatedServer::query(
+    const std::string& user, const std::string& key, sim::SimTime timeout,
+    std::function<void(std::optional<util::Bytes>)> done) {
+  const auto home = directory_.homeOf(user);
+  if (!home) {
+    network_.simulator().schedule(0, [done = std::move(done)] { done(std::nullopt); });
+    return;
+  }
+  if (*home == addr_) {
+    const auto userIt = data_.find(user);
+    std::optional<util::Bytes> value;
+    if (userIt != data_.end()) {
+      const auto keyIt = userIt->second.find(key);
+      if (keyIt != userIt->second.end()) value = keyIt->second;
+    }
+    network_.simulator().schedule(0, [done = std::move(done), value] { done(value); });
+    return;
+  }
+  const std::uint64_t queryId =
+      (static_cast<std::uint64_t>(addr_) << 32) | nextQueryId_++;
+  pending_.emplace(queryId, std::move(done));
+  util::Writer w;
+  w.u64(queryId);
+  w.str(user);
+  w.str(key);
+  network_.send(addr_, *home, sim::Message{"fed.query", w.take()});
+  network_.simulator().schedule(timeout, [this, queryId] {
+    const auto it = pending_.find(queryId);
+    if (it == pending_.end()) return;
+    auto callback = std::move(it->second);
+    pending_.erase(it);
+    callback(std::nullopt);
+  });
+}
+
+void FederatedServer::onMessage(sim::NodeAddr from, const sim::Message& msg) {
+  try {
+    util::Reader r(msg.payload);
+    if (msg.type == "fed.query") {
+      const std::uint64_t queryId = r.u64();
+      const std::string user = r.str();
+      const std::string key = r.str();
+      util::Writer w;
+      w.u64(queryId);
+      const auto userIt = data_.find(user);
+      if (userIt != data_.end()) {
+        const auto keyIt = userIt->second.find(key);
+        if (keyIt != userIt->second.end()) {
+          w.boolean(true);
+          w.bytes(keyIt->second);
+          network_.send(addr_, from, sim::Message{"fed.reply", w.take()});
+          return;
+        }
+      }
+      w.boolean(false);
+      network_.send(addr_, from, sim::Message{"fed.reply", w.take()});
+    } else if (msg.type == "fed.reply") {
+      const std::uint64_t queryId = r.u64();
+      const auto it = pending_.find(queryId);
+      if (it == pending_.end()) return;
+      auto callback = std::move(it->second);
+      pending_.erase(it);
+      if (r.boolean()) {
+        callback(r.bytes());
+      } else {
+        callback(std::nullopt);
+      }
+    }
+  } catch (const util::CodecError&) {
+    // Malformed: drop.
+  }
+}
+
+}  // namespace dosn::overlay

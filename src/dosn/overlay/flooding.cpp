@@ -1,0 +1,115 @@
+#include "dosn/overlay/flooding.hpp"
+
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::overlay {
+
+namespace {
+
+// Query payload: u64 queryId, u64 originAddr, i32 ttl, raw key(20).
+util::Bytes encodeQuery(std::uint64_t queryId, sim::NodeAddr origin, int ttl,
+                        const OverlayId& key) {
+  util::Writer w;
+  w.u64(queryId);
+  w.u64(origin);
+  w.u32(static_cast<std::uint32_t>(ttl));
+  w.raw(util::BytesView(key.bytes));
+  return w.take();
+}
+
+}  // namespace
+
+FloodingNode::FloodingNode(sim::Network& network, OverlayId id)
+    : network_(network), id_(id), addr_(network.addNode()) {
+  network_.setHandler(addr_, [this](sim::NodeAddr from, const sim::Message& msg) {
+    onMessage(from, msg);
+  });
+}
+
+void FloodingNode::addNeighbor(sim::NodeAddr neighbor) {
+  for (const sim::NodeAddr n : neighbors_) {
+    if (n == neighbor) return;
+  }
+  neighbors_.push_back(neighbor);
+}
+
+void linkNodes(FloodingNode& a, FloodingNode& b) {
+  a.addNeighbor(b.addr());
+  b.addNeighbor(a.addr());
+}
+
+void FloodingNode::publish(const OverlayId& key, util::Bytes value) {
+  store_[key] = std::move(value);
+}
+
+void FloodingNode::search(
+    const OverlayId& key, int ttl, sim::SimTime timeout,
+    std::function<void(std::optional<util::Bytes>)> done) {
+  // Local hit short-circuits.
+  const auto it = store_.find(key);
+  if (it != store_.end()) {
+    network_.simulator().schedule(0, [done = std::move(done), v = it->second] {
+      done(v);
+    });
+    return;
+  }
+  const std::uint64_t queryId =
+      (static_cast<std::uint64_t>(addr_) << 32) | nextQueryId_++;
+  seenQueries_.insert(queryId);
+  pendingSearches_.emplace(queryId, std::move(done));
+
+  const util::Bytes payload = encodeQuery(queryId, addr_, ttl, key);
+  for (const sim::NodeAddr n : neighbors_) {
+    network_.send(addr_, n, sim::Message{"flood.query", payload});
+  }
+  network_.simulator().schedule(timeout, [this, queryId] {
+    const auto pending = pendingSearches_.find(queryId);
+    if (pending == pendingSearches_.end()) return;
+    auto callback = std::move(pending->second);
+    pendingSearches_.erase(pending);
+    callback(std::nullopt);
+  });
+}
+
+void FloodingNode::onMessage(sim::NodeAddr from, const sim::Message& msg) {
+  try {
+    util::Reader r(msg.payload);
+    if (msg.type == "flood.query") {
+      const std::uint64_t queryId = r.u64();
+      const sim::NodeAddr origin = r.u64();
+      const int ttl = static_cast<int>(r.u32());
+      const util::Bytes keyRaw = r.raw(kIdBytes);
+      OverlayId key;
+      std::copy(keyRaw.begin(), keyRaw.end(), key.bytes.begin());
+
+      if (!seenQueries_.insert(queryId).second) return;  // duplicate
+
+      const auto it = store_.find(key);
+      if (it != store_.end()) {
+        util::Writer hit;
+        hit.u64(queryId);
+        hit.bytes(it->second);
+        network_.send(addr_, origin, sim::Message{"flood.hit", hit.take()});
+        return;
+      }
+      if (ttl <= 1) return;
+      const util::Bytes forward = encodeQuery(queryId, origin, ttl - 1, key);
+      for (const sim::NodeAddr n : neighbors_) {
+        if (n == from) continue;
+        network_.send(addr_, n, sim::Message{"flood.query", forward});
+      }
+    } else if (msg.type == "flood.hit") {
+      const std::uint64_t queryId = r.u64();
+      const auto pending = pendingSearches_.find(queryId);
+      if (pending == pendingSearches_.end()) return;  // late duplicate
+      auto callback = std::move(pending->second);
+      pendingSearches_.erase(pending);
+      callback(r.bytes());
+    }
+  } catch (const util::CodecError&) {
+    // Malformed: drop.
+  }
+}
+
+}  // namespace dosn::overlay

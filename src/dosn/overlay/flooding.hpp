@@ -1,0 +1,54 @@
+// Unstructured overlay (paper §II-B): no index anywhere; lookups are TTL-
+// limited floods over a random neighbor graph. "This kind of management has
+// almost zero overhead" — zero *maintenance* overhead, paid for at query time.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "dosn/overlay/node_id.hpp"
+#include "dosn/sim/network.hpp"
+
+namespace dosn::overlay {
+
+class FloodingNode {
+ public:
+  FloodingNode(sim::Network& network, OverlayId id);
+
+  const OverlayId& id() const { return id_; }
+  sim::NodeAddr addr() const { return addr_; }
+
+  /// Adds a bidirectional link (call on both nodes, or use linkNodes).
+  void addNeighbor(sim::NodeAddr neighbor);
+  const std::vector<sim::NodeAddr>& neighbors() const { return neighbors_; }
+
+  /// Publishes a value locally (floods nothing; unstructured storage is
+  /// owner-local).
+  void publish(const OverlayId& key, util::Bytes value);
+
+  /// Floods a query with the given TTL. The callback fires once: with the
+  /// value on the first hit, or std::nullopt when `timeout` sim-time passes.
+  void search(const OverlayId& key, int ttl, sim::SimTime timeout,
+              std::function<void(std::optional<util::Bytes>)> done);
+
+ private:
+  void onMessage(sim::NodeAddr from, const sim::Message& msg);
+
+  sim::Network& network_;
+  OverlayId id_;
+  sim::NodeAddr addr_;
+  std::vector<sim::NodeAddr> neighbors_;
+  std::map<OverlayId, util::Bytes> store_;
+  std::set<std::uint64_t> seenQueries_;
+  std::map<std::uint64_t, std::function<void(std::optional<util::Bytes>)>>
+      pendingSearches_;
+  std::uint64_t nextQueryId_ = 1;
+};
+
+/// Convenience: creates a bidirectional link.
+void linkNodes(FloodingNode& a, FloodingNode& b);
+
+}  // namespace dosn::overlay

@@ -1,0 +1,173 @@
+#include "dosn/overlay/gossip.hpp"
+
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::overlay {
+
+namespace {
+
+void writeId(util::Writer& w, const OverlayId& id) {
+  w.raw(util::BytesView(id.bytes));
+}
+
+OverlayId readId(util::Reader& r) {
+  const util::Bytes raw = r.raw(kIdBytes);
+  OverlayId id;
+  std::copy(raw.begin(), raw.end(), id.bytes.begin());
+  return id;
+}
+
+}  // namespace
+
+GossipNode::GossipNode(sim::Network& network, GossipConfig config)
+    : network_(network),
+      config_(config),
+      addr_(network.addNode()),
+      running_(std::make_shared<bool>(false)) {
+  network_.setHandler(addr_, [this](sim::NodeAddr from, const sim::Message& msg) {
+    onMessage(from, msg);
+  });
+}
+
+GossipNode::~GossipNode() { stop(); }
+
+void GossipNode::setPeers(std::vector<sim::NodeAddr> peers) {
+  peers_ = std::move(peers);
+}
+
+void GossipNode::put(const OverlayId& key, util::Bytes value,
+                     std::uint64_t version) {
+  const auto it = store_.find(key);
+  if (it != store_.end() && version <= it->second.version) return;
+  Entry& entry = store_[key];
+  entry.value = std::move(value);
+  entry.version = version;
+}
+
+std::optional<util::Bytes> GossipNode::get(const OverlayId& key) const {
+  const auto it = store_.find(key);
+  if (it == store_.end()) return std::nullopt;
+  return it->second.value;
+}
+
+std::optional<std::uint64_t> GossipNode::version(const OverlayId& key) const {
+  const auto it = store_.find(key);
+  if (it == store_.end()) return std::nullopt;
+  return it->second.version;
+}
+
+void GossipNode::start() {
+  if (*running_) return;
+  *running_ = true;
+  round();
+}
+
+void GossipNode::stop() { *running_ = false; }
+
+void GossipNode::round() {
+  if (!*running_) return;
+  if (!peers_.empty()) {
+    for (std::size_t i = 0; i < config_.fanout; ++i) {
+      const sim::NodeAddr peer =
+          peers_[network_.rng().uniform(peers_.size())];
+      if (peer == addr_) continue;
+      network_.send(addr_, peer, sim::Message{"gossip.digest", encodeDigest()});
+    }
+  }
+  std::shared_ptr<bool> running = running_;
+  network_.simulator().schedule(config_.interval, [this, running] {
+    if (*running) round();
+  });
+}
+
+util::Bytes GossipNode::encodeDigest() const {
+  util::Writer w;
+  w.u32(static_cast<std::uint32_t>(store_.size()));
+  for (const auto& [key, entry] : store_) {
+    writeId(w, key);
+    w.u64(entry.version);
+  }
+  return w.take();
+}
+
+util::Bytes GossipNode::encodeEntries(const std::vector<OverlayId>& keys) const {
+  util::Writer w;
+  w.u32(static_cast<std::uint32_t>(keys.size()));
+  for (const OverlayId& key : keys) {
+    const auto it = store_.find(key);
+    if (it == store_.end()) continue;
+    writeId(w, key);
+    w.u64(it->second.version);
+    w.bytes(it->second.value);
+  }
+  return w.take();
+}
+
+void GossipNode::applyEntries(util::Reader& r) {
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const OverlayId key = readId(r);
+    const std::uint64_t version = r.u64();
+    util::Bytes value = r.bytes();
+    const auto it = store_.find(key);
+    if (it != store_.end() && version <= it->second.version) continue;
+    Entry& entry = store_[key];
+    entry.version = version;
+    entry.value = std::move(value);
+    if (updateHook_) updateHook_(key, entry.value);
+  }
+}
+
+void GossipNode::onMessage(sim::NodeAddr from, const sim::Message& msg) {
+  try {
+    util::Reader r(msg.payload);
+    if (msg.type == "gossip.digest") {
+      // Push-pull: reply with entries the peer is missing, and request the
+      // ones we are missing.
+      std::map<OverlayId, std::uint64_t> peerVersions;
+      const std::uint32_t count = r.u32();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const OverlayId key = readId(r);
+        peerVersions[key] = r.u64();
+      }
+      std::vector<OverlayId> toSend;
+      for (const auto& [key, entry] : store_) {
+        const auto it = peerVersions.find(key);
+        if (it == peerVersions.end() || it->second < entry.version) {
+          toSend.push_back(key);
+        }
+      }
+      std::vector<OverlayId> toRequest;
+      for (const auto& [key, version] : peerVersions) {
+        const auto it = store_.find(key);
+        if (it == store_.end() || it->second.version < version) {
+          toRequest.push_back(key);
+        }
+      }
+      if (!toSend.empty()) {
+        network_.send(addr_, from,
+                      sim::Message{"gossip.entries", encodeEntries(toSend)});
+      }
+      if (!toRequest.empty()) {
+        util::Writer w;
+        w.u32(static_cast<std::uint32_t>(toRequest.size()));
+        for (const OverlayId& key : toRequest) writeId(w, key);
+        network_.send(addr_, from, sim::Message{"gossip.request", w.take()});
+      }
+    } else if (msg.type == "gossip.entries") {
+      applyEntries(r);
+    } else if (msg.type == "gossip.request") {
+      const std::uint32_t count = r.u32();
+      std::vector<OverlayId> keys;
+      keys.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) keys.push_back(readId(r));
+      network_.send(addr_, from,
+                    sim::Message{"gossip.entries", encodeEntries(keys)});
+    }
+  } catch (const util::CodecError&) {
+    // Malformed: drop.
+  }
+}
+
+}  // namespace dosn::overlay

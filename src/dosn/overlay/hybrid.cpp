@@ -1,0 +1,37 @@
+#include "dosn/overlay/hybrid.hpp"
+
+namespace dosn::overlay {
+
+HybridNode::HybridNode(sim::Network& network, OverlayId id,
+                       KademliaConfig kadConfig, GossipConfig gossipConfig)
+    : dht_(network, id, kadConfig), cache_(network, gossipConfig) {}
+
+void HybridNode::publish(const OverlayId& key, util::Bytes value,
+                         bool seedCache) {
+  if (seedCache) cache_.put(key, value, nextVersion_++);
+  dht_.store(key, std::move(value));
+}
+
+void HybridNode::lookup(const OverlayId& key,
+                        std::function<void(HybridLookupResult)> done) {
+  if (const auto cached = cache_.get(key)) {
+    HybridLookupResult result;
+    result.value = *cached;
+    result.fromCache = true;
+    done(std::move(result));
+    return;
+  }
+  dht_.findValue(key, [this, key, done = std::move(done)](LookupResult dhtResult) {
+    HybridLookupResult result;
+    result.value = dhtResult.value;
+    result.messagesSent = dhtResult.messagesSent;
+    result.hops = dhtResult.hops;
+    if (dhtResult.value) {
+      // Popular items get cached and then spread epidemically.
+      cache_.put(key, *dhtResult.value, nextVersion_++);
+    }
+    done(std::move(result));
+  });
+}
+
+}  // namespace dosn::overlay

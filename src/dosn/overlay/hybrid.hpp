@@ -1,0 +1,47 @@
+// Hybrid control overlay (paper §II-B, Cuckoo-style): "structured lookup for
+// finding rare items, whereas the unstructured lookup helps with the fast
+// discovery of popular items". A gossip cache is consulted first; misses fall
+// through to the DHT.
+#pragma once
+
+#include <functional>
+
+#include "dosn/overlay/gossip.hpp"
+#include "dosn/overlay/kademlia.hpp"
+
+namespace dosn::overlay {
+
+struct HybridLookupResult {
+  std::optional<util::Bytes> value;
+  bool fromCache = false;      // served by the unstructured tier
+  std::size_t messagesSent = 0;
+  std::size_t hops = 0;
+};
+
+/// Combines a KademliaNode (structured tier, authoritative storage) with a
+/// GossipNode (unstructured tier, popularity-driven cache).
+class HybridNode {
+ public:
+  HybridNode(sim::Network& network, OverlayId id, KademliaConfig kadConfig = {},
+             GossipConfig gossipConfig = {});
+
+  KademliaNode& dht() { return dht_; }
+  GossipNode& cache() { return cache_; }
+  const OverlayId& id() const { return dht_.id(); }
+
+  /// Publishes authoritatively to the DHT; optionally seeds the cache
+  /// (publishers of popular content gossip it).
+  void publish(const OverlayId& key, util::Bytes value, bool seedCache);
+
+  /// Cache-first lookup with DHT fallback. Hits found via the DHT are
+  /// inserted into the local cache (and spread from there by gossip).
+  void lookup(const OverlayId& key,
+              std::function<void(HybridLookupResult)> done);
+
+ private:
+  KademliaNode dht_;
+  GossipNode cache_;
+  std::uint64_t nextVersion_ = 1;
+};
+
+}  // namespace dosn::overlay

@@ -1,0 +1,338 @@
+#include "dosn/overlay/kademlia.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::overlay {
+
+namespace {
+
+void writeId(util::Writer& w, const OverlayId& id) {
+  w.raw(util::BytesView(id.bytes));
+}
+
+OverlayId readId(util::Reader& r) {
+  const util::Bytes raw = r.raw(kIdBytes);
+  OverlayId id;
+  std::copy(raw.begin(), raw.end(), id.bytes.begin());
+  return id;
+}
+
+constexpr std::uint8_t kReplyContacts = 0;
+constexpr std::uint8_t kReplyValue = 1;
+constexpr std::uint8_t kReplyOk = 2;
+
+}  // namespace
+
+RoutingTable::RoutingTable(OverlayId self, std::size_t k)
+    : self_(self), k_(k) {}
+
+void RoutingTable::observe(const Contact& contact) {
+  const int index = bucketIndex(self_, contact.id);
+  if (index < 0) return;  // self
+  auto& bucket = buckets_[static_cast<std::size_t>(index)];
+  const auto it = std::find_if(bucket.begin(), bucket.end(), [&](const Contact& c) {
+    return c.id == contact.id;
+  });
+  if (it != bucket.end()) {
+    // Move to the most-recently-seen position, refreshing the address.
+    bucket.erase(it);
+    bucket.push_back(contact);
+    return;
+  }
+  if (bucket.size() >= k_) {
+    // Evict the least-recently-seen contact. (Real Kademlia pings it first;
+    // in the simulator stale contacts are simply replaced.)
+    bucket.erase(bucket.begin());
+  }
+  bucket.push_back(contact);
+}
+
+std::vector<Contact> RoutingTable::closest(const OverlayId& target,
+                                           std::size_t count) const {
+  std::vector<Contact> all;
+  for (const auto& bucket : buckets_) {
+    all.insert(all.end(), bucket.begin(), bucket.end());
+  }
+  std::sort(all.begin(), all.end(), [&](const Contact& a, const Contact& b) {
+    return closerTo(target, a.id, b.id);
+  });
+  if (all.size() > count) all.resize(count);
+  return all;
+}
+
+std::size_t RoutingTable::size() const {
+  std::size_t total = 0;
+  for (const auto& bucket : buckets_) total += bucket.size();
+  return total;
+}
+
+struct KademliaNode::Lookup {
+  struct Entry {
+    Contact contact;
+    bool queried = false;
+  };
+
+  OverlayId target;
+  bool wantValue = false;
+  std::function<void(LookupResult)> done;
+  std::vector<Entry> shortlist;  // sorted by closeness to target
+  std::set<OverlayId> known;
+  std::size_t inflight = 0;
+  bool finished = false;
+  LookupResult result;
+};
+
+KademliaNode::KademliaNode(sim::Network& network, OverlayId id,
+                           KademliaConfig config)
+    : network_(network),
+      id_(id),
+      addr_(network.addNode()),
+      config_(config),
+      table_(id, config.k) {
+  network_.setHandler(addr_, [this](sim::NodeAddr from, const sim::Message& msg) {
+    onMessage(from, msg);
+  });
+}
+
+void KademliaNode::bootstrap(const Contact& seed, std::function<void()> done) {
+  table_.observe(seed);
+  findNode(id_, [done = std::move(done)](LookupResult) {
+    if (done) done();
+  });
+}
+
+void KademliaNode::rejoin(const Contact& seed) { bootstrap(seed, {}); }
+
+void KademliaNode::onMessage(sim::NodeAddr from, const sim::Message& msg) {
+  try {
+    util::Reader r(msg.payload);
+    if (msg.type == "kad.reply") {
+      const std::uint64_t rpcId = r.u64();
+      const OverlayId senderId = readId(r);
+      table_.observe(Contact{senderId, from});
+      const auto it = pending_.find(rpcId);
+      if (it == pending_.end()) return;  // timed out already
+      auto callback = std::move(it->second);
+      pending_.erase(it);
+      // Hand the remainder of the payload (after rpcId + sender id) to the
+      // waiting RPC callback.
+      callback(true, util::BytesView(msg.payload).subspan(8 + kIdBytes));
+      return;
+    }
+
+    const std::uint64_t rpcId = r.u64();
+    const OverlayId senderId = readId(r);
+    table_.observe(Contact{senderId, from});
+
+    util::Writer reply;
+    reply.u64(rpcId);
+    writeId(reply, id_);
+
+    if (msg.type == "kad.ping") {
+      reply.u8(kReplyOk);
+    } else if (msg.type == "kad.find_node") {
+      const OverlayId target = readId(r);
+      reply.u8(kReplyContacts);
+      reply.raw(encodeContacts(table_.closest(target, config_.k)));
+    } else if (msg.type == "kad.find_value") {
+      const OverlayId key = readId(r);
+      const auto it = store_.find(key);
+      if (it != store_.end()) {
+        reply.u8(kReplyValue);
+        reply.bytes(it->second);
+      } else {
+        reply.u8(kReplyContacts);
+        reply.raw(encodeContacts(table_.closest(key, config_.k)));
+      }
+    } else if (msg.type == "kad.store") {
+      const OverlayId key = readId(r);
+      store_[key] = r.bytes();
+      reply.u8(kReplyOk);
+    } else {
+      return;  // unknown type
+    }
+    network_.send(addr_, from, sim::Message{"kad.reply", reply.take()});
+  } catch (const util::CodecError&) {
+    // Malformed message: drop.
+  }
+}
+
+void KademliaNode::sendRpc(
+    const Contact& to, const std::string& type, util::Bytes body,
+    std::function<void(bool ok, util::BytesView reply)> onReply) {
+  const std::uint64_t rpcId = nextRpcId_++;
+  util::Writer w;
+  w.u64(rpcId);
+  writeId(w, id_);
+  w.raw(body);
+  pending_.emplace(rpcId, std::move(onReply));
+  network_.send(addr_, to.addr, sim::Message{type, w.take()});
+  network_.simulator().schedule(config_.rpcTimeout, [this, rpcId] {
+    const auto it = pending_.find(rpcId);
+    if (it == pending_.end()) return;
+    auto callback = std::move(it->second);
+    pending_.erase(it);
+    callback(false, {});
+  });
+}
+
+util::Bytes KademliaNode::encodeContacts(const std::vector<Contact>& contacts) {
+  util::Writer w;
+  w.u32(static_cast<std::uint32_t>(contacts.size()));
+  for (const auto& c : contacts) {
+    writeId(w, c.id);
+    w.u64(c.addr);
+  }
+  return w.take();
+}
+
+std::vector<Contact> KademliaNode::decodeContacts(util::Reader& r) {
+  const std::uint32_t count = r.u32();
+  std::vector<Contact> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Contact c;
+    c.id = readId(r);
+    c.addr = r.u64();
+    out.push_back(c);
+  }
+  return out;
+}
+
+void KademliaNode::store(const OverlayId& key, util::Bytes value,
+                         std::function<void(bool)> done) {
+  findNode(key, [this, key, value = std::move(value),
+                 done = std::move(done)](LookupResult result) {
+    if (result.closest.empty()) {
+      // No peers known: keep the value locally so at least the owner has it.
+      store_[key] = value;
+      if (done) done(false);
+      return;
+    }
+    util::Writer body;
+    body.raw(util::BytesView(key.bytes));
+    body.bytes(value);
+    const util::Bytes encoded = body.take();
+    const std::size_t width =
+        config_.storeWidth == 0
+            ? result.closest.size()
+            : std::min(config_.storeWidth, result.closest.size());
+    for (std::size_t i = 0; i < width; ++i) {
+      const Contact& contact = result.closest[i];
+      if (contact.addr == addr_) {
+        store_[key] = value;
+        continue;
+      }
+      sendRpc(contact, "kad.store", encoded, [](bool, util::BytesView) {});
+    }
+    if (done) done(true);
+  });
+}
+
+void KademliaNode::findValue(const OverlayId& key,
+                             std::function<void(LookupResult)> done) {
+  const auto it = store_.find(key);
+  if (it != store_.end()) {
+    LookupResult result;
+    result.value = it->second;
+    network_.simulator().schedule(0, [done = std::move(done), result] {
+      done(result);
+    });
+    return;
+  }
+  startLookup(key, /*wantValue=*/true, std::move(done));
+}
+
+void KademliaNode::findNode(const OverlayId& target,
+                            std::function<void(LookupResult)> done) {
+  startLookup(target, /*wantValue=*/false, std::move(done));
+}
+
+void KademliaNode::startLookup(const OverlayId& target, bool wantValue,
+                               std::function<void(LookupResult)> done) {
+  auto lookup = std::make_shared<Lookup>();
+  lookup->target = target;
+  lookup->wantValue = wantValue;
+  lookup->done = std::move(done);
+  for (const Contact& c : table_.closest(target, config_.k)) {
+    lookup->shortlist.push_back(Lookup::Entry{c, false});
+    lookup->known.insert(c.id);
+  }
+  lookupStep(lookup);
+}
+
+void KademliaNode::lookupStep(const std::shared_ptr<Lookup>& lookup) {
+  if (lookup->finished) return;
+
+  // Issue queries to the closest unqueried contacts, up to alpha in flight.
+  // Only the k closest entries matter for termination.
+  std::size_t consideredUnqueried = 0;
+  bool issuedAny = false;
+  const std::size_t considerLimit = std::min(config_.k, lookup->shortlist.size());
+  for (std::size_t i = 0; i < considerLimit; ++i) {
+    auto& entry = lookup->shortlist[i];
+    if (entry.queried) continue;
+    ++consideredUnqueried;
+    if (lookup->inflight >= config_.alpha) break;
+    entry.queried = true;
+    ++lookup->inflight;
+    ++lookup->result.messagesSent;
+    issuedAny = true;
+
+    util::Writer body;
+    body.raw(util::BytesView(lookup->target.bytes));
+    const std::string type = lookup->wantValue ? "kad.find_value" : "kad.find_node";
+    sendRpc(entry.contact, type, body.take(),
+            [this, lookup](bool ok, util::BytesView reply) {
+              --lookup->inflight;
+              if (lookup->finished) return;
+              if (ok) {
+                try {
+                  util::Reader r(reply);
+                  const std::uint8_t kind = r.u8();
+                  if (kind == kReplyValue && lookup->wantValue) {
+                    lookup->result.value = r.bytes();
+                    finishLookup(lookup);
+                    return;
+                  }
+                  if (kind == kReplyContacts) {
+                    for (const Contact& c : decodeContacts(r)) {
+                      if (lookup->known.insert(c.id).second) {
+                        lookup->shortlist.push_back(Lookup::Entry{c, false});
+                      }
+                    }
+                    std::sort(lookup->shortlist.begin(), lookup->shortlist.end(),
+                              [&](const Lookup::Entry& a, const Lookup::Entry& b) {
+                                return closerTo(lookup->target, a.contact.id,
+                                                b.contact.id);
+                              });
+                  }
+                } catch (const util::CodecError&) {
+                  // Malformed reply: treat as no new information.
+                }
+              }
+              lookupStep(lookup);
+            });
+  }
+  if (issuedAny) ++lookup->result.hops;
+
+  if (consideredUnqueried == 0 && lookup->inflight == 0) {
+    finishLookup(lookup);
+  }
+}
+
+void KademliaNode::finishLookup(const std::shared_ptr<Lookup>& lookup) {
+  if (lookup->finished) return;
+  lookup->finished = true;
+  for (const auto& entry : lookup->shortlist) {
+    lookup->result.closest.push_back(entry.contact);
+    if (lookup->result.closest.size() >= config_.k) break;
+  }
+  if (lookup->done) lookup->done(std::move(lookup->result));
+}
+
+}  // namespace dosn::overlay

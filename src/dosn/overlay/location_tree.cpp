@@ -1,0 +1,139 @@
+#include "dosn/overlay/location_tree.hpp"
+
+#include <algorithm>
+
+#include "dosn/util/strings.hpp"
+
+namespace dosn::overlay {
+
+bool LocationTree::splitPath(const LocationPath& path,
+                             std::vector<std::string>& segments) {
+  segments.clear();
+  for (const std::string& segment : util::split(path, '/')) {
+    if (segment.empty()) return false;
+    segments.push_back(util::toLower(segment));
+  }
+  return !segments.empty();
+}
+
+bool LocationTree::registerUser(const social::UserId& user,
+                                const LocationPath& path) {
+  std::vector<std::string> segments;
+  if (!splitPath(path, segments)) return false;
+  deregisterUser(user);
+
+  Node* node = &root_;
+  for (const std::string& segment : segments) {
+    auto& child = node->children[segment];
+    if (!child) child = std::make_unique<Node>();
+    node = child.get();
+    // First registrant through a node coordinates it.
+    if (!node->coordinator) node->coordinator = user;
+  }
+  node->residents.insert(user);
+  locations_[user] = path;
+  return true;
+}
+
+void LocationTree::deregisterUser(const social::UserId& user) {
+  const auto it = locations_.find(user);
+  if (it == locations_.end()) return;
+  std::vector<std::string> segments;
+  splitPath(it->second, segments);
+  // Walk down, removing residency and re-electing coordinators.
+  std::vector<Node*> pathNodes;
+  Node* node = &root_;
+  for (const std::string& segment : segments) {
+    node = node->children.at(segment).get();
+    pathNodes.push_back(node);
+  }
+  node->residents.erase(user);
+  // Re-elect bottom-up so parents can inherit freshly elected child
+  // coordinators.
+  for (auto it = pathNodes.rbegin(); it != pathNodes.rend(); ++it) {
+    if ((*it)->coordinator == user) {
+      (*it)->coordinator.reset();
+      electCoordinator(**it);
+    }
+  }
+  locations_.erase(it);
+}
+
+void LocationTree::electCoordinator(Node& node) {
+  if (!node.residents.empty()) {
+    node.coordinator = *node.residents.begin();
+    return;
+  }
+  for (const auto& [name, child] : node.children) {
+    if (child->coordinator) {
+      node.coordinator = child->coordinator;
+      return;
+    }
+  }
+}
+
+const LocationTree::Node* LocationTree::findNode(const LocationPath& path) const {
+  std::vector<std::string> segments;
+  if (!splitPath(path, segments)) return nullptr;
+  const Node* node = &root_;
+  for (const std::string& segment : segments) {
+    const auto it = node->children.find(segment);
+    if (it == node->children.end()) return nullptr;
+    node = it->second.get();
+  }
+  return node;
+}
+
+void LocationTree::collect(const Node& node,
+                           std::vector<social::UserId>& out) const {
+  out.insert(out.end(), node.residents.begin(), node.residents.end());
+  for (const auto& [name, child] : node.children) collect(*child, out);
+}
+
+std::vector<social::UserId> LocationTree::usersIn(const LocationPath& path) const {
+  std::vector<social::UserId> out;
+  const Node* node = findNode(path);
+  if (node) collect(*node, out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<social::UserId> LocationTree::usersExactlyAt(
+    const LocationPath& path) const {
+  const Node* node = findNode(path);
+  if (!node) return {};
+  return std::vector<social::UserId>(node->residents.begin(),
+                                     node->residents.end());
+}
+
+std::optional<social::UserId> LocationTree::coordinatorOf(
+    const LocationPath& path) const {
+  const Node* node = findNode(path);
+  if (!node) return std::nullopt;
+  return node->coordinator;
+}
+
+std::optional<LocationPath> LocationTree::locationOf(
+    const social::UserId& user) const {
+  const auto it = locations_.find(user);
+  if (it == locations_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t LocationTree::countNodes(const Node& node) {
+  std::size_t total = 1;
+  for (const auto& [name, child] : node.children) total += countNodes(*child);
+  return total;
+}
+
+std::size_t LocationTree::nodesTouchedBy(const LocationPath& path) const {
+  const Node* node = findNode(path);
+  if (!node) return 0;
+  std::vector<std::string> segments;
+  splitPath(path, segments);
+  return segments.size() + countNodes(*node);
+}
+
+std::size_t LocationTree::regionCount() const { return countNodes(root_) - 1; }
+
+}  // namespace dosn::overlay

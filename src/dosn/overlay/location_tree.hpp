@@ -1,0 +1,73 @@
+// Distributed location trees (paper §II-B: "Vis-a-vis designed its own
+// structure distributed location trees, which provides efficient and
+// scalable sharing"). Users' virtual individual servers register under
+// hierarchical location paths ("tr/istanbul/kadikoy"); region queries
+// resolve by descending the tree, touching only the queried subtree.
+//
+// Each tree node is coordinated by one registered participant (Vis-a-vis
+// elects coordinators among VIS instances); here the first registrant under
+// a node becomes its coordinator, handed off when it deregisters.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dosn/social/identity.hpp"
+
+namespace dosn::overlay {
+
+/// A location path like "tr/istanbul/kadikoy" (validated, lowercase).
+using LocationPath = std::string;
+
+class LocationTree {
+ public:
+  /// Registers a user at a leaf region. Creates intermediate nodes on
+  /// demand. Returns false for malformed paths (empty segments).
+  bool registerUser(const social::UserId& user, const LocationPath& path);
+
+  /// Removes the user's registration (no-op if absent).
+  void deregisterUser(const social::UserId& user);
+
+  /// All users registered at or below the region.
+  std::vector<social::UserId> usersIn(const LocationPath& path) const;
+
+  /// Users registered exactly at the region (not descendants).
+  std::vector<social::UserId> usersExactlyAt(const LocationPath& path) const;
+
+  /// The coordinator of a region's node; std::nullopt for unknown regions or
+  /// regions whose subtree is empty.
+  std::optional<social::UserId> coordinatorOf(const LocationPath& path) const;
+
+  /// Where a user is registered.
+  std::optional<LocationPath> locationOf(const social::UserId& user) const;
+
+  /// Tree nodes visited by a usersIn() query (the "efficient sharing" claim:
+  /// proportional to the queried subtree, not the whole tree).
+  std::size_t nodesTouchedBy(const LocationPath& path) const;
+
+  std::size_t regionCount() const;
+  std::size_t userCount() const { return locations_.size(); }
+
+ private:
+  struct Node {
+    std::set<social::UserId> residents;
+    std::optional<social::UserId> coordinator;
+    std::map<std::string, std::unique_ptr<Node>> children;
+  };
+
+  static bool splitPath(const LocationPath& path,
+                        std::vector<std::string>& segments);
+  const Node* findNode(const LocationPath& path) const;
+  void collect(const Node& node, std::vector<social::UserId>& out) const;
+  static std::size_t countNodes(const Node& node);
+  void electCoordinator(Node& node);
+
+  Node root_;
+  std::map<social::UserId, LocationPath> locations_;
+};
+
+}  // namespace dosn::overlay

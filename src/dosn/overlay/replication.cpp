@@ -1,0 +1,106 @@
+#include "dosn/overlay/replication.hpp"
+
+#include "dosn/util/error.hpp"
+
+namespace dosn::overlay {
+
+ReplicationManager::ReplicationManager(sim::Network& network)
+    : network_(network) {}
+
+std::vector<sim::NodeAddr> ReplicationManager::place(
+    const OverlayId& item, std::size_t replicas,
+    const std::vector<sim::NodeAddr>& candidates) {
+  if (replicas == 0 || candidates.empty()) {
+    throw util::NetError("ReplicationManager::place: bad arguments");
+  }
+  std::vector<sim::NodeAddr> pool = candidates;
+  network_.rng().shuffle(pool);
+  if (pool.size() > replicas) pool.resize(replicas);
+  ItemState& state = items_[item];
+  state.replicas = std::set<sim::NodeAddr>(pool.begin(), pool.end());
+  state.target = replicas;
+  return pool;
+}
+
+std::size_t ReplicationManager::repair(
+    const std::vector<sim::NodeAddr>& candidates) {
+  std::size_t added = 0;
+  for (auto& [item, state] : items_) {
+    std::size_t online = 0;
+    for (const sim::NodeAddr node : state.replicas) {
+      if (network_.isOnline(node)) ++online;
+    }
+    if (online >= state.target) continue;
+    // Recruit online candidates not already holding a replica.
+    std::vector<sim::NodeAddr> pool;
+    for (const sim::NodeAddr node : candidates) {
+      if (network_.isOnline(node) && !state.replicas.count(node)) {
+        pool.push_back(node);
+      }
+    }
+    network_.rng().shuffle(pool);
+    for (const sim::NodeAddr node : pool) {
+      if (online >= state.target) break;
+      state.replicas.insert(node);
+      ++online;
+      ++added;
+    }
+  }
+  return added;
+}
+
+bool ReplicationManager::available(const OverlayId& item) const {
+  return onlineReplicas(item) > 0;
+}
+
+std::size_t ReplicationManager::onlineReplicas(const OverlayId& item) const {
+  const auto it = items_.find(item);
+  if (it == items_.end()) return 0;
+  std::size_t online = 0;
+  for (const sim::NodeAddr node : it->second.replicas) {
+    if (network_.isOnline(node)) ++online;
+  }
+  return online;
+}
+
+const std::set<sim::NodeAddr>& ReplicationManager::replicasOf(
+    const OverlayId& item) const {
+  static const std::set<sim::NodeAddr> kEmpty;
+  const auto it = items_.find(item);
+  return it == items_.end() ? kEmpty : it->second.replicas;
+}
+
+std::map<sim::NodeAddr, std::size_t> ReplicationManager::observerViewSizes()
+    const {
+  std::map<sim::NodeAddr, std::size_t> views;
+  for (const auto& [item, state] : items_) {
+    for (const sim::NodeAddr node : state.replicas) ++views[node];
+  }
+  return views;
+}
+
+AvailabilityProbe::AvailabilityProbe(ReplicationManager& manager,
+                                     std::vector<OverlayId> items)
+    : manager_(manager), items_(std::move(items)) {}
+
+void AvailabilityProbe::sample() {
+  for (const OverlayId& item : items_) {
+    ++samples_;
+    if (manager_.available(item)) ++availableObservations_;
+  }
+}
+
+void AvailabilityProbe::schedule(sim::Simulator& sim, sim::SimTime interval,
+                                 std::size_t count) {
+  for (std::size_t i = 1; i <= count; ++i) {
+    sim.schedule(interval * i, [this] { sample(); });
+  }
+}
+
+double AvailabilityProbe::meanAvailability() const {
+  if (samples_ == 0) return 0.0;
+  return static_cast<double>(availableObservations_) /
+         static_cast<double>(samples_);
+}
+
+}  // namespace dosn::overlay

@@ -1,0 +1,80 @@
+// Replica placement and availability tracking — the paper's §I motivation:
+// "replication and caching are proven techniques to ensure availability",
+// at the price of replicas becoming "another kind of service provider in a
+// small scale" (the survey's central observation).
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "dosn/overlay/node_id.hpp"
+#include "dosn/sim/network.hpp"
+
+namespace dosn::overlay {
+
+/// Tracks which nodes hold a replica of each item and answers availability
+/// queries against the network's live/offline state.
+class ReplicationManager {
+ public:
+  explicit ReplicationManager(sim::Network& network);
+
+  /// Places `replicas` copies of the item on distinct nodes drawn from
+  /// `candidates` (uniformly at random). Returns the chosen replica set.
+  std::vector<sim::NodeAddr> place(const OverlayId& item, std::size_t replicas,
+                                   const std::vector<sim::NodeAddr>& candidates);
+
+  /// Maintenance pass: for every item whose ONLINE replica count fell below
+  /// its placement target, recruits additional online candidates (and drops
+  /// nothing — offline replicas may come back). Returns replicas added.
+  /// This is the re-replication loop DOSN designs run to survive permanent
+  /// departures, traded against extra storage/traffic.
+  std::size_t repair(const std::vector<sim::NodeAddr>& candidates);
+
+  /// Item is available iff at least one replica node is online.
+  bool available(const OverlayId& item) const;
+
+  /// Number of currently online replicas.
+  std::size_t onlineReplicas(const OverlayId& item) const;
+
+  const std::set<sim::NodeAddr>& replicasOf(const OverlayId& item) const;
+
+  /// How many distinct items a node can observe (it stores their replicas) —
+  /// the "small-scale service provider" view-size metric.
+  std::map<sim::NodeAddr, std::size_t> observerViewSizes() const;
+
+  std::size_t itemCount() const { return items_.size(); }
+
+ private:
+  struct ItemState {
+    std::set<sim::NodeAddr> replicas;
+    std::size_t target = 0;
+  };
+
+  sim::Network& network_;
+  std::map<OverlayId, ItemState> items_;
+};
+
+/// Samples availability of all items at fixed intervals; reports the mean.
+class AvailabilityProbe {
+ public:
+  AvailabilityProbe(ReplicationManager& manager,
+                    std::vector<OverlayId> items);
+
+  /// Takes one sample now.
+  void sample();
+
+  /// Schedules `count` samples every `interval` on the simulator.
+  void schedule(sim::Simulator& sim, sim::SimTime interval, std::size_t count);
+
+  double meanAvailability() const;
+  std::size_t sampleCount() const { return samples_; }
+
+ private:
+  ReplicationManager& manager_;
+  std::vector<OverlayId> items_;
+  std::size_t samples_ = 0;
+  std::size_t availableObservations_ = 0;
+};
+
+}  // namespace dosn::overlay

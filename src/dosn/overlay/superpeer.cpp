@@ -1,0 +1,158 @@
+#include "dosn/overlay/superpeer.hpp"
+
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::overlay {
+
+namespace {
+
+void writeId(util::Writer& w, const OverlayId& id) {
+  w.raw(util::BytesView(id.bytes));
+}
+
+OverlayId readId(util::Reader& r) {
+  const util::Bytes raw = r.raw(kIdBytes);
+  OverlayId id;
+  std::copy(raw.begin(), raw.end(), id.bytes.begin());
+  return id;
+}
+
+}  // namespace
+
+SuperPeer::SuperPeer(sim::Network& network)
+    : network_(network), addr_(network.addNode()) {
+  network_.setHandler(addr_, [this](sim::NodeAddr from, const sim::Message& msg) {
+    onMessage(from, msg);
+  });
+}
+
+void SuperPeer::setPeers(std::vector<sim::NodeAddr> otherSuperPeers) {
+  peers_ = std::move(otherSuperPeers);
+}
+
+void SuperPeer::onMessage(sim::NodeAddr from, const sim::Message& msg) {
+  try {
+    util::Reader r(msg.payload);
+    if (msg.type == "sp.register") {
+      const OverlayId key = readId(r);
+      index_[key] = from;
+    } else if (msg.type == "sp.query") {
+      // From a leaf: answer locally or fan out to the other super peers.
+      const std::uint64_t queryId = r.u64();
+      const sim::NodeAddr origin = r.u64();
+      const OverlayId key = readId(r);
+      const auto it = index_.find(key);
+      if (it != index_.end()) {
+        util::Writer w;
+        w.u64(queryId);
+        w.u64(it->second);
+        network_.send(addr_, origin, sim::Message{"sp.owner", w.take()});
+        return;
+      }
+      util::Writer w;
+      w.u64(queryId);
+      w.u64(origin);
+      writeId(w, key);
+      const util::Bytes payload = w.take();
+      for (const sim::NodeAddr peer : peers_) {
+        network_.send(addr_, peer, sim::Message{"sp.peer_query", payload});
+      }
+    } else if (msg.type == "sp.peer_query") {
+      // From another super peer: answer the origin directly on a hit.
+      const std::uint64_t queryId = r.u64();
+      const sim::NodeAddr origin = r.u64();
+      const OverlayId key = readId(r);
+      const auto it = index_.find(key);
+      if (it != index_.end()) {
+        util::Writer w;
+        w.u64(queryId);
+        w.u64(it->second);
+        network_.send(addr_, origin, sim::Message{"sp.owner", w.take()});
+      }
+    }
+  } catch (const util::CodecError&) {
+    // Malformed: drop.
+  }
+}
+
+LeafPeer::LeafPeer(sim::Network& network, sim::NodeAddr superPeer)
+    : network_(network), addr_(network.addNode()), superPeer_(superPeer) {
+  network_.setHandler(addr_, [this](sim::NodeAddr from, const sim::Message& msg) {
+    onMessage(from, msg);
+  });
+}
+
+void LeafPeer::publish(const OverlayId& key, util::Bytes value) {
+  store_[key] = std::move(value);
+  util::Writer w;
+  writeId(w, key);
+  network_.send(addr_, superPeer_, sim::Message{"sp.register", w.take()});
+}
+
+void LeafPeer::search(const OverlayId& key, sim::SimTime timeout,
+                      std::function<void(std::optional<util::Bytes>)> done) {
+  const auto local = store_.find(key);
+  if (local != store_.end()) {
+    network_.simulator().schedule(0, [done = std::move(done), v = local->second] {
+      done(v);
+    });
+    return;
+  }
+  const std::uint64_t queryId =
+      (static_cast<std::uint64_t>(addr_) << 32) | nextQueryId_++;
+  pending_.emplace(queryId, PendingQuery{key, std::move(done)});
+  util::Writer w;
+  w.u64(queryId);
+  w.u64(addr_);
+  writeId(w, key);
+  network_.send(addr_, superPeer_, sim::Message{"sp.query", w.take()});
+  network_.simulator().schedule(timeout, [this, queryId] {
+    const auto it = pending_.find(queryId);
+    if (it == pending_.end()) return;
+    auto callback = std::move(it->second.done);
+    pending_.erase(it);
+    callback(std::nullopt);
+  });
+}
+
+void LeafPeer::onMessage(sim::NodeAddr from, const sim::Message& msg) {
+  (void)from;
+  try {
+    util::Reader r(msg.payload);
+    if (msg.type == "sp.owner") {
+      // The index gave us the owner; fetch the value from it.
+      const std::uint64_t queryId = r.u64();
+      const sim::NodeAddr owner = r.u64();
+      const auto it = pending_.find(queryId);
+      if (it == pending_.end()) return;
+      util::Writer w;
+      w.u64(queryId);
+      w.u64(addr_);
+      writeId(w, it->second.key);
+      network_.send(addr_, owner, sim::Message{"sp.fetch", w.take()});
+    } else if (msg.type == "sp.fetch") {
+      // Another leaf wants one of our values.
+      const std::uint64_t queryId = r.u64();
+      const sim::NodeAddr origin = r.u64();
+      const OverlayId key = readId(r);
+      const auto it = store_.find(key);
+      if (it == store_.end()) return;
+      util::Writer w;
+      w.u64(queryId);
+      w.bytes(it->second);
+      network_.send(addr_, origin, sim::Message{"sp.value", w.take()});
+    } else if (msg.type == "sp.value") {
+      const std::uint64_t queryId = r.u64();
+      const auto it = pending_.find(queryId);
+      if (it == pending_.end()) return;
+      auto callback = std::move(it->second.done);
+      pending_.erase(it);
+      callback(r.bytes());
+    }
+  } catch (const util::CodecError&) {
+    // Malformed: drop.
+  }
+}
+
+}  // namespace dosn::overlay

@@ -1,0 +1,67 @@
+// Semi-structured overlay (paper §II-B, Supernova-style): a subset of peers
+// act as super peers that index the content of their assigned leaf peers and
+// answer searches by consulting the other super peers (one hop).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dosn/overlay/node_id.hpp"
+#include "dosn/sim/network.hpp"
+
+namespace dosn::overlay {
+
+class SuperPeer {
+ public:
+  explicit SuperPeer(sim::Network& network);
+
+  sim::NodeAddr addr() const { return addr_; }
+
+  /// Super peers know each other (small, stable set).
+  void setPeers(std::vector<sim::NodeAddr> otherSuperPeers);
+
+  std::size_t indexSize() const { return index_.size(); }
+
+ private:
+  friend class LeafPeer;
+  void onMessage(sim::NodeAddr from, const sim::Message& msg);
+
+  sim::Network& network_;
+  sim::NodeAddr addr_;
+  std::vector<sim::NodeAddr> peers_;
+  // key -> owner leaf address (the index; values stay on the owner).
+  std::map<OverlayId, sim::NodeAddr> index_;
+};
+
+class LeafPeer {
+ public:
+  LeafPeer(sim::Network& network, sim::NodeAddr superPeer);
+
+  sim::NodeAddr addr() const { return addr_; }
+
+  /// Stores locally and registers the key with the assigned super peer.
+  void publish(const OverlayId& key, util::Bytes value);
+
+  /// Asks the super-peer tier; fetches the value from the owning leaf.
+  void search(const OverlayId& key, sim::SimTime timeout,
+              std::function<void(std::optional<util::Bytes>)> done);
+
+ private:
+  void onMessage(sim::NodeAddr from, const sim::Message& msg);
+
+  struct PendingQuery {
+    OverlayId key;
+    std::function<void(std::optional<util::Bytes>)> done;
+  };
+
+  sim::Network& network_;
+  sim::NodeAddr addr_;
+  sim::NodeAddr superPeer_;
+  std::map<OverlayId, util::Bytes> store_;
+  std::map<std::uint64_t, PendingQuery> pending_;
+  std::uint64_t nextQueryId_ = 1;
+};
+
+}  // namespace dosn::overlay

@@ -1,0 +1,43 @@
+#include "dosn/pkcrypto/blind_rsa.hpp"
+
+#include "dosn/bignum/modmath.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::pkcrypto {
+
+using bignum::gcd;
+using bignum::invMod;
+using bignum::mulMod;
+using bignum::powMod;
+using bignum::randomUnit;
+
+BlindSignatureRequest::BlindSignatureRequest(const RsaPublicKey& signerKey,
+                                             util::BytesView message,
+                                             util::Rng& rng)
+    : signerKey_(signerKey) {
+  const BigUint h = rsaFullDomainHash(signerKey, message);
+  // Pick r coprime to n (overwhelmingly likely on the first draw).
+  BigUint r = randomUnit(signerKey.n, rng);
+  while (gcd(r, signerKey.n) != BigUint(1)) r = randomUnit(signerKey.n, rng);
+  rInverse_ = *invMod(r, signerKey.n);
+  blinded_ = mulMod(h, powMod(r, signerKey.e, signerKey.n), signerKey.n);
+}
+
+BigUint BlindSignatureRequest::unblind(const BigUint& blindSignature) const {
+  return mulMod(blindSignature, rInverse_, signerKey_.n);
+}
+
+BigUint blindSign(const RsaPrivateKey& key, const BigUint& blinded) {
+  if (blinded >= key.pub.n) {
+    throw util::CryptoError("blindSign: value out of range");
+  }
+  return rsaRawPrivate(key, blinded);
+}
+
+bool blindSignatureVerify(const RsaPublicKey& key, util::BytesView message,
+                          const BigUint& signature) {
+  if (signature >= key.n) return false;
+  return rsaRawPublic(key, signature) == rsaFullDomainHash(key, message);
+}
+
+}  // namespace dosn::pkcrypto

@@ -1,0 +1,39 @@
+// Chaum blind RSA signatures (paper §V-A "Blind Signatures ... signing the
+// document without knowing what the document contains"). Hummingbird uses the
+// resulting signature on a hashtag as the tweet decryption key.
+//
+//   Requester: m_b = H(m) * r^e mod n          --m_b-->
+//   Signer:                                     s_b = m_b^d
+//   Requester: s = s_b * r^{-1}  (= H(m)^d)    <--s_b--
+#pragma once
+
+#include "dosn/pkcrypto/rsa.hpp"
+
+namespace dosn::pkcrypto {
+
+/// Requester state for one blind-signature run.
+class BlindSignatureRequest {
+ public:
+  BlindSignatureRequest(const RsaPublicKey& signerKey, util::BytesView message,
+                        util::Rng& rng);
+
+  /// The blinded value sent to the signer.
+  const BigUint& blinded() const { return blinded_; }
+
+  /// Unblinds the signer's response into a standard FDH-RSA signature.
+  BigUint unblind(const BigUint& blindSignature) const;
+
+ private:
+  RsaPublicKey signerKey_;
+  BigUint rInverse_;
+  BigUint blinded_;
+};
+
+/// Signer side: signs a blinded value (cannot see the message).
+BigUint blindSign(const RsaPrivateKey& key, const BigUint& blinded);
+
+/// Verifies an (unblinded) FDH-RSA signature: sig^e == H(m) mod n.
+bool blindSignatureVerify(const RsaPublicKey& key, util::BytesView message,
+                          const BigUint& signature);
+
+}  // namespace dosn::pkcrypto

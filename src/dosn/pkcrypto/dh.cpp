@@ -1,0 +1,27 @@
+#include "dosn/pkcrypto/dh.hpp"
+
+#include "dosn/crypto/hkdf.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::pkcrypto {
+
+DhKeyPair dhGenerate(const DlogGroup& group, util::Rng& rng) {
+  const BigUint a = group.randomScalar(rng);
+  return DhKeyPair{a, group.exp(a)};
+}
+
+BigUint dhSharedElement(const DlogGroup& group, const DhKeyPair& mine,
+                        const BigUint& peerOpen) {
+  if (!group.isElement(peerOpen)) {
+    throw util::CryptoError("dh: peer value not in group");
+  }
+  return group.exp(peerOpen, mine.secret);
+}
+
+util::Bytes dhSharedKey(const DlogGroup& group, const DhKeyPair& mine,
+                        const BigUint& peerOpen) {
+  const BigUint shared = dhSharedElement(group, mine, peerOpen);
+  return crypto::deriveKey(shared.toBytesPadded(group.elementBytes()), "dh");
+}
+
+}  // namespace dosn::pkcrypto

@@ -1,0 +1,26 @@
+// Diffie-Hellman key agreement over a DlogGroup, with HKDF key derivation.
+// Used for pairwise friend keys (out-of-band key establishment, paper §IV-A).
+#pragma once
+
+#include "dosn/pkcrypto/group.hpp"
+#include "dosn/util/bytes.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace dosn::pkcrypto {
+
+struct DhKeyPair {
+  BigUint secret;   // a
+  BigUint open;     // g^a
+};
+
+DhKeyPair dhGenerate(const DlogGroup& group, util::Rng& rng);
+
+/// Raw shared element (peerOpen)^secret.
+BigUint dhSharedElement(const DlogGroup& group, const DhKeyPair& mine,
+                        const BigUint& peerOpen);
+
+/// 32-byte symmetric key derived from the shared element.
+util::Bytes dhSharedKey(const DlogGroup& group, const DhKeyPair& mine,
+                        const BigUint& peerOpen);
+
+}  // namespace dosn::pkcrypto

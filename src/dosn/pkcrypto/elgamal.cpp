@@ -1,0 +1,65 @@
+#include "dosn/pkcrypto/elgamal.hpp"
+
+#include "dosn/crypto/aead.hpp"
+#include "dosn/crypto/hkdf.hpp"
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::pkcrypto {
+
+ElGamalPrivateKey elgamalGenerate(const DlogGroup& group, util::Rng& rng) {
+  const BigUint x = group.randomScalar(rng);
+  return ElGamalPrivateKey{ElGamalPublicKey{group.exp(x)}, x};
+}
+
+ElGamalElementCiphertext elgamalEncryptElement(const DlogGroup& group,
+                                               const ElGamalPublicKey& key,
+                                               const BigUint& m,
+                                               util::Rng& rng) {
+  if (m.isZero() || m >= group.p()) {
+    throw util::CryptoError("elgamal: message not a group element");
+  }
+  const BigUint k = group.randomScalar(rng);
+  return ElGamalElementCiphertext{group.exp(k),
+                                  group.mul(m, group.exp(key.y, k))};
+}
+
+BigUint elgamalDecryptElement(const DlogGroup& group,
+                              const ElGamalPrivateKey& key,
+                              const ElGamalElementCiphertext& ct) {
+  const BigUint shared = group.exp(ct.c1, key.x);
+  return group.mul(ct.c2, group.inv(shared));
+}
+
+util::Bytes elgamalEncrypt(const DlogGroup& group, const ElGamalPublicKey& key,
+                           util::BytesView plaintext, util::Rng& rng) {
+  const BigUint k = group.randomScalar(rng);
+  const BigUint c1 = group.exp(k);
+  const BigUint shared = group.exp(key.y, k);
+  const util::Bytes aeadKey =
+      crypto::deriveKey(shared.toBytesPadded(group.elementBytes()), "elgamal-kem");
+  util::Writer w;
+  w.bytes(c1.toBytes());
+  w.bytes(crypto::sealWithNonce(aeadKey, plaintext, rng));
+  return w.take();
+}
+
+std::optional<util::Bytes> elgamalDecrypt(const DlogGroup& group,
+                                          const ElGamalPrivateKey& key,
+                                          util::BytesView ciphertext) {
+  try {
+    util::Reader r(ciphertext);
+    const BigUint c1 = BigUint::fromBytes(r.bytes());
+    const util::Bytes box = r.bytes();
+    r.expectEnd();
+    if (c1.isZero() || c1 >= group.p()) return std::nullopt;
+    const BigUint shared = group.exp(c1, key.x);
+    const util::Bytes aeadKey = crypto::deriveKey(
+        shared.toBytesPadded(group.elementBytes()), "elgamal-kem");
+    return crypto::openWithNonce(aeadKey, box);
+  } catch (const util::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace dosn::pkcrypto

@@ -1,0 +1,49 @@
+// ElGamal public-key encryption over a DlogGroup, in two forms:
+//  - textbook ElGamal on group elements (used in tests and protocol building);
+//  - a DHIES-style KEM+AEAD for arbitrary byte strings (used by the ACLs).
+#pragma once
+
+#include <optional>
+
+#include "dosn/pkcrypto/group.hpp"
+#include "dosn/util/bytes.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace dosn::pkcrypto {
+
+struct ElGamalPublicKey {
+  BigUint y;  // g^x
+};
+
+struct ElGamalPrivateKey {
+  ElGamalPublicKey pub;
+  BigUint x;
+};
+
+struct ElGamalKeyPair {
+  ElGamalPrivateKey priv;
+};
+
+ElGamalPrivateKey elgamalGenerate(const DlogGroup& group, util::Rng& rng);
+
+/// Textbook ElGamal on a group element m: (c1, c2) = (g^k, m * y^k).
+struct ElGamalElementCiphertext {
+  BigUint c1;
+  BigUint c2;
+};
+ElGamalElementCiphertext elgamalEncryptElement(const DlogGroup& group,
+                                               const ElGamalPublicKey& key,
+                                               const BigUint& m,
+                                               util::Rng& rng);
+BigUint elgamalDecryptElement(const DlogGroup& group,
+                              const ElGamalPrivateKey& key,
+                              const ElGamalElementCiphertext& ct);
+
+/// DHIES-style byte encryption: c1 = g^k, then AEAD under HKDF(y^k).
+util::Bytes elgamalEncrypt(const DlogGroup& group, const ElGamalPublicKey& key,
+                           util::BytesView plaintext, util::Rng& rng);
+std::optional<util::Bytes> elgamalDecrypt(const DlogGroup& group,
+                                          const ElGamalPrivateKey& key,
+                                          util::BytesView ciphertext);
+
+}  // namespace dosn::pkcrypto

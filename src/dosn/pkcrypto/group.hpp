@@ -1,0 +1,61 @@
+// Discrete-log group parameters: a safe prime p = 2q + 1 and a generator g of
+// the order-q subgroup of quadratic residues. Shared by ElGamal, Schnorr, DH
+// and the OPRF.
+//
+// Cached parameter sets avoid regenerating safe primes in tests/benches:
+// 256/512-bit groups were generated once with dosn::bignum::randomSafePrime
+// (seed 42); 1024/2048-bit groups are the RFC 2409 / RFC 3526 MODP groups.
+#pragma once
+
+#include "dosn/bignum/biguint.hpp"
+#include "dosn/bignum/modmath.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace dosn::pkcrypto {
+
+using bignum::BigUint;
+
+class DlogGroup {
+ public:
+  DlogGroup(BigUint p, BigUint q, BigUint g);
+
+  /// Fresh parameters (expensive: safe-prime search).
+  static DlogGroup generate(std::size_t bits, util::Rng& rng);
+
+  /// Cached parameters; bits must be one of 256, 512, 1024, 2048.
+  static const DlogGroup& cached(std::size_t bits);
+
+  const BigUint& p() const { return p_; }
+  const BigUint& q() const { return q_; }
+  const BigUint& g() const { return g_; }
+
+  /// g^e mod p.
+  BigUint exp(const BigUint& e) const;
+  /// b^e mod p.
+  BigUint exp(const BigUint& b, const BigUint& e) const;
+  /// a*b mod p.
+  BigUint mul(const BigUint& a, const BigUint& b) const;
+  /// a^{-1} mod p (a must be a unit).
+  BigUint inv(const BigUint& a) const;
+  /// Uniform scalar in [1, q-1].
+  BigUint randomScalar(util::Rng& rng) const;
+  /// Scalar inverse mod q.
+  BigUint scalarInv(const BigUint& s) const;
+  /// Hash arbitrary bytes to a group element: g^{H(x) mod q}.
+  BigUint hashToGroup(util::BytesView input) const;
+  /// Hash arbitrary bytes to a scalar mod q.
+  BigUint hashToScalar(util::BytesView input) const;
+  /// True if x is in [1, p-1] and x^q == 1 (i.e., in the prime-order
+  /// subgroup).
+  bool isElement(const BigUint& x) const;
+
+  /// Serialized element width in bytes (elements are fixed-width encoded).
+  std::size_t elementBytes() const { return (p_.bitLength() + 7) / 8; }
+
+ private:
+  BigUint p_;
+  BigUint q_;
+  BigUint g_;
+};
+
+}  // namespace dosn::pkcrypto

@@ -1,0 +1,57 @@
+#include "dosn/pkcrypto/oprf.hpp"
+
+#include "dosn/crypto/hkdf.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::pkcrypto {
+
+namespace {
+
+util::Bytes outputHash(const DlogGroup& group, util::BytesView input,
+                       const BigUint& element) {
+  util::Bytes material(input.begin(), input.end());
+  const util::Bytes el = element.toBytesPadded(group.elementBytes());
+  material.insert(material.end(), el.begin(), el.end());
+  return crypto::deriveKey(material, "oprf-h2");
+}
+
+}  // namespace
+
+OprfSender::OprfSender(const DlogGroup& group, util::Rng& rng)
+    : group_(group), s_(group.randomScalar(rng)) {}
+
+OprfSender::OprfSender(const DlogGroup& group, BigUint secret)
+    : group_(group), s_(std::move(secret)) {
+  if (s_.isZero() || s_ >= group.q()) {
+    throw util::CryptoError("OprfSender: secret out of range");
+  }
+}
+
+BigUint OprfSender::evaluateBlinded(const BigUint& a) const {
+  if (!group_.isElement(a)) {
+    throw util::CryptoError("OprfSender: input not a group element");
+  }
+  return group_.exp(a, s_);
+}
+
+util::Bytes OprfSender::evaluate(util::BytesView input) const {
+  const BigUint h1 = group_.hashToGroup(input);
+  return outputHash(group_, input, group_.exp(h1, s_));
+}
+
+OprfReceiver::OprfReceiver(const DlogGroup& group, util::BytesView input,
+                           util::Rng& rng)
+    : group_(group),
+      input_(input.begin(), input.end()),
+      r_(group.randomScalar(rng)),
+      blinded_(group.exp(group.hashToGroup(input), r_)) {}
+
+util::Bytes OprfReceiver::finalize(const BigUint& reply) const {
+  if (!group_.isElement(reply)) {
+    throw util::CryptoError("OprfReceiver: reply not a group element");
+  }
+  const BigUint unblinded = group_.exp(reply, group_.scalarInv(r_));
+  return outputHash(group_, input_, unblinded);
+}
+
+}  // namespace dosn::pkcrypto

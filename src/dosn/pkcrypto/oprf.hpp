@@ -1,0 +1,53 @@
+// Oblivious PRF (2HashDH): the protocol of the paper's §III-F, where a
+// receiver learns f_s(x) = H2(x, H1(x)^s) without revealing x to the sender,
+// and the sender reveals nothing about s beyond the single evaluation.
+//
+//   Receiver: r <- Zq,  a = H1(x)^r            --a-->
+//   Sender:                                     b = a^s
+//   Receiver: f = H2(x, b^{1/r})               <--b--
+#pragma once
+
+#include "dosn/pkcrypto/group.hpp"
+#include "dosn/util/bytes.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace dosn::pkcrypto {
+
+/// Sender side: holds the PRF secret s.
+class OprfSender {
+ public:
+  OprfSender(const DlogGroup& group, util::Rng& rng);
+  OprfSender(const DlogGroup& group, BigUint secret);
+
+  /// Blind evaluation: b = a^s. Throws if `a` is not a group element.
+  BigUint evaluateBlinded(const BigUint& a) const;
+
+  /// Direct (non-oblivious) evaluation — what the sender itself can compute.
+  util::Bytes evaluate(util::BytesView input) const;
+
+  const BigUint& secret() const { return s_; }
+
+ private:
+  const DlogGroup& group_;
+  BigUint s_;
+};
+
+/// Receiver side: one instance per evaluated input.
+class OprfReceiver {
+ public:
+  OprfReceiver(const DlogGroup& group, util::BytesView input, util::Rng& rng);
+
+  /// First message a = H1(x)^r.
+  const BigUint& blinded() const { return blinded_; }
+
+  /// Finishes with the sender's reply; returns f_s(x).
+  util::Bytes finalize(const BigUint& reply) const;
+
+ private:
+  const DlogGroup& group_;
+  util::Bytes input_;
+  BigUint r_;
+  BigUint blinded_;
+};
+
+}  // namespace dosn::pkcrypto

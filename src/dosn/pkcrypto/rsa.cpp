@@ -1,0 +1,158 @@
+#include "dosn/pkcrypto/rsa.hpp"
+
+#include "dosn/bignum/modmath.hpp"
+#include "dosn/bignum/prime.hpp"
+#include "dosn/crypto/hkdf.hpp"
+#include "dosn/crypto/sha256.hpp"
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::pkcrypto {
+
+using bignum::gcd;
+using bignum::invMod;
+using bignum::powMod;
+
+util::Bytes RsaPublicKey::serialize() const {
+  util::Writer w;
+  w.bytes(n.toBytes());
+  w.bytes(e.toBytes());
+  return w.take();
+}
+
+RsaPublicKey RsaPublicKey::deserialize(util::BytesView data) {
+  util::Reader r(data);
+  RsaPublicKey key;
+  key.n = BigUint::fromBytes(r.bytes());
+  key.e = BigUint::fromBytes(r.bytes());
+  r.expectEnd();
+  return key;
+}
+
+RsaPrivateKey rsaGenerate(std::size_t bits, util::Rng& rng) {
+  if (bits < 128) throw util::CryptoError("rsaGenerate: key too small");
+  const BigUint e(65537);
+  while (true) {
+    const BigUint p = bignum::randomPrime(bits / 2, rng);
+    const BigUint q = bignum::randomPrime(bits - bits / 2, rng);
+    if (p == q) continue;
+    const BigUint n = p * q;
+    const BigUint phi = (p - BigUint(1)) * (q - BigUint(1));
+    if (gcd(e, phi) != BigUint(1)) continue;
+    const auto d = invMod(e, phi);
+    if (!d) continue;
+    return RsaPrivateKey{RsaPublicKey{n, e}, *d};
+  }
+}
+
+namespace {
+
+constexpr std::size_t kSeedLen = 16;
+
+// Two-round Feistel "OAEP-lite": db = payload block, masked with
+// HKDF(seed); seed masked with HKDF(maskedDb).
+util::Bytes mask(util::BytesView key, std::string_view label, std::size_t len) {
+  return crypto::hkdf(key, {}, util::toBytes(label), len);
+}
+
+}  // namespace
+
+util::Bytes rsaEncrypt(const RsaPublicKey& key, util::BytesView plaintext,
+                       util::Rng& rng) {
+  const std::size_t k = key.modulusBytes();
+  if (k < 2 * kSeedLen + 2 || plaintext.size() > k - 2 * kSeedLen - 2) {
+    throw util::CryptoError("rsaEncrypt: plaintext too long for modulus");
+  }
+  // db = lHash(32, zero here) is omitted; layout: PS(0x00..) || 0x01 || M.
+  util::Bytes db(k - kSeedLen - 1 - plaintext.size() - 1, 0);
+  db.push_back(0x01);
+  db.insert(db.end(), plaintext.begin(), plaintext.end());
+
+  const util::Bytes seed = rng.bytes(kSeedLen);
+  const util::Bytes maskedDb = util::xorBytes(db, mask(seed, "oaep-db", db.size()));
+  const util::Bytes maskedSeed =
+      util::xorBytes(seed, mask(maskedDb, "oaep-seed", kSeedLen));
+
+  util::Bytes em;
+  em.reserve(k);
+  em.push_back(0x00);
+  em.insert(em.end(), maskedSeed.begin(), maskedSeed.end());
+  em.insert(em.end(), maskedDb.begin(), maskedDb.end());
+
+  const BigUint m = BigUint::fromBytes(em);
+  return rsaRawPublic(key, m).toBytesPadded(k);
+}
+
+std::optional<util::Bytes> rsaDecrypt(const RsaPrivateKey& key,
+                                      util::BytesView ciphertext) {
+  const std::size_t k = key.pub.modulusBytes();
+  if (ciphertext.size() != k) return std::nullopt;
+  const BigUint c = BigUint::fromBytes(ciphertext);
+  if (c >= key.pub.n) return std::nullopt;
+  const util::Bytes em = rsaRawPrivate(key, c).toBytesPadded(k);
+  if (em[0] != 0x00) return std::nullopt;
+  const util::BytesView maskedSeed = util::BytesView(em).subspan(1, kSeedLen);
+  const util::BytesView maskedDb = util::BytesView(em).subspan(1 + kSeedLen);
+
+  const util::Bytes seed =
+      util::xorBytes(maskedSeed, mask(maskedDb, "oaep-seed", kSeedLen));
+  const util::Bytes db =
+      util::xorBytes(maskedDb, mask(seed, "oaep-db", maskedDb.size()));
+
+  // Find the 0x01 separator after the zero padding.
+  std::size_t i = 0;
+  while (i < db.size() && db[i] == 0x00) ++i;
+  if (i == db.size() || db[i] != 0x01) return std::nullopt;
+  return util::Bytes(db.begin() + static_cast<std::ptrdiff_t>(i + 1), db.end());
+}
+
+namespace {
+
+// Deterministic signature padding: 0x00 0x01 0xFF.. 0x00 || digest.
+BigUint signaturePadding(const RsaPublicKey& key, util::BytesView message) {
+  const std::size_t k = key.modulusBytes();
+  const crypto::Digest digest = crypto::sha256(message);
+  if (k < digest.size() + 11) {
+    throw util::CryptoError("rsa sign: modulus too small");
+  }
+  util::Bytes em;
+  em.reserve(k);
+  em.push_back(0x00);
+  em.push_back(0x01);
+  em.insert(em.end(), k - digest.size() - 3, 0xff);
+  em.push_back(0x00);
+  em.insert(em.end(), digest.begin(), digest.end());
+  return BigUint::fromBytes(em);
+}
+
+}  // namespace
+
+util::Bytes rsaSign(const RsaPrivateKey& key, util::BytesView message) {
+  const BigUint m = signaturePadding(key.pub, message);
+  return rsaRawPrivate(key, m).toBytesPadded(key.pub.modulusBytes());
+}
+
+bool rsaVerify(const RsaPublicKey& key, util::BytesView message,
+               util::BytesView signature) {
+  if (signature.size() != key.modulusBytes()) return false;
+  const BigUint s = BigUint::fromBytes(signature);
+  if (s >= key.n) return false;
+  return rsaRawPublic(key, s) == signaturePadding(key, message);
+}
+
+BigUint rsaRawPublic(const RsaPublicKey& key, const BigUint& x) {
+  return powMod(x, key.e, key.n);
+}
+
+BigUint rsaRawPrivate(const RsaPrivateKey& key, const BigUint& x) {
+  return powMod(x, key.d, key.pub.n);
+}
+
+BigUint rsaFullDomainHash(const RsaPublicKey& key, util::BytesView message) {
+  // Expand the digest to modulus width + 16 bytes, then reduce mod n.
+  util::Bytes material = crypto::hkdf(message, {}, util::toBytes("rsa-fdh"),
+                                      key.modulusBytes() + 16);
+  return BigUint::fromBytes(material) % key.n;
+}
+
+}  // namespace dosn::pkcrypto

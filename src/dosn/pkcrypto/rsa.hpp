@@ -1,0 +1,57 @@
+// RSA: key generation, OAEP-style encryption, hash-then-sign signatures
+// (paper §III-C public key encryption, §IV digital signatures).
+//
+// Simulation-grade: default key sizes in tests/benches are 512-1024 bits so
+// sweeps finish quickly; the relative cost ordering the paper discusses is
+// preserved. See DESIGN.md §3.
+#pragma once
+
+#include <optional>
+
+#include "dosn/bignum/biguint.hpp"
+#include "dosn/util/bytes.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace dosn::pkcrypto {
+
+using bignum::BigUint;
+
+struct RsaPublicKey {
+  BigUint n;
+  BigUint e;
+
+  std::size_t modulusBytes() const { return (n.bitLength() + 7) / 8; }
+  util::Bytes serialize() const;
+  static RsaPublicKey deserialize(util::BytesView data);
+};
+
+struct RsaPrivateKey {
+  RsaPublicKey pub;
+  BigUint d;
+};
+
+/// Generates an RSA key pair with an n of `bits` bits (e = 65537).
+RsaPrivateKey rsaGenerate(std::size_t bits, util::Rng& rng);
+
+/// OAEP-style encryption. Plaintext must fit: size <= modulusBytes - 2*16 - 2.
+util::Bytes rsaEncrypt(const RsaPublicKey& key, util::BytesView plaintext,
+                       util::Rng& rng);
+
+/// Returns std::nullopt if padding doesn't verify.
+std::optional<util::Bytes> rsaDecrypt(const RsaPrivateKey& key,
+                                      util::BytesView ciphertext);
+
+/// Hash-then-sign: SHA-256 digest, deterministic PKCS#1-v1.5-style padding.
+util::Bytes rsaSign(const RsaPrivateKey& key, util::BytesView message);
+
+bool rsaVerify(const RsaPublicKey& key, util::BytesView message,
+               util::BytesView signature);
+
+/// Textbook RSA on integers — exposed for the blind-signature protocol.
+BigUint rsaRawPublic(const RsaPublicKey& key, const BigUint& x);
+BigUint rsaRawPrivate(const RsaPrivateKey& key, const BigUint& x);
+
+/// Full-domain hash of a message into Z_n (used by blind signatures).
+BigUint rsaFullDomainHash(const RsaPublicKey& key, util::BytesView message);
+
+}  // namespace dosn::pkcrypto

@@ -1,0 +1,140 @@
+#include "dosn/pkcrypto/schnorr.hpp"
+
+#include "dosn/bignum/modmath.hpp"
+#include "dosn/crypto/sha256.hpp"
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::pkcrypto {
+
+using bignum::addMod;
+using bignum::mulMod;
+
+util::Bytes SchnorrPublicKey::serialize() const {
+  util::Writer w;
+  w.bytes(y.toBytes());
+  return w.take();
+}
+
+SchnorrPrivateKey schnorrGenerate(const DlogGroup& group, util::Rng& rng) {
+  const BigUint x = group.randomScalar(rng);
+  return SchnorrPrivateKey{SchnorrPublicKey{group.exp(x)}, x};
+}
+
+namespace {
+
+BigUint challengeHash(const DlogGroup& group, const BigUint& r,
+                      const BigUint& y, util::BytesView message) {
+  util::Writer w;
+  w.bytes(r.toBytes());
+  w.bytes(y.toBytes());
+  w.bytes(message);
+  return group.hashToScalar(w.buffer());
+}
+
+}  // namespace
+
+util::Bytes SchnorrSignature::serialize() const {
+  util::Writer w;
+  w.bytes(e.toBytes());
+  w.bytes(s.toBytes());
+  return w.take();
+}
+
+std::optional<SchnorrSignature> SchnorrSignature::deserialize(
+    util::BytesView data) {
+  try {
+    util::Reader r(data);
+    SchnorrSignature sig;
+    sig.e = BigUint::fromBytes(r.bytes());
+    sig.s = BigUint::fromBytes(r.bytes());
+    r.expectEnd();
+    return sig;
+  } catch (const util::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+SchnorrSignature schnorrSign(const DlogGroup& group,
+                             const SchnorrPrivateKey& key,
+                             util::BytesView message, util::Rng& rng) {
+  const BigUint k = group.randomScalar(rng);
+  const BigUint r = group.exp(k);
+  const BigUint e = challengeHash(group, r, key.pub.y, message);
+  const BigUint s = addMod(k, mulMod(key.x, e, group.q()), group.q());
+  return SchnorrSignature{e, s};
+}
+
+bool schnorrVerify(const DlogGroup& group, const SchnorrPublicKey& key,
+                   util::BytesView message, const SchnorrSignature& sig) {
+  if (sig.s >= group.q() || sig.e >= group.q()) return false;
+  if (!group.isElement(key.y)) return false;
+  // r' = g^s * y^{-e}
+  const BigUint gs = group.exp(sig.s);
+  const BigUint ye = group.exp(key.y, sig.e);
+  const BigUint r = group.mul(gs, group.inv(ye));
+  return challengeHash(group, r, key.y, message) == sig.e;
+}
+
+SchnorrProver::SchnorrProver(const DlogGroup& group,
+                             const SchnorrPrivateKey& key, util::Rng& rng)
+    : group_(group), key_(key), k_(group.randomScalar(rng)), r_(group.exp(k_)) {}
+
+BigUint SchnorrProver::respond(const BigUint& challenge) const {
+  return addMod(k_, mulMod(key_.x, challenge, group_.q()), group_.q());
+}
+
+SchnorrVerifier::SchnorrVerifier(const DlogGroup& group, SchnorrPublicKey key,
+                                 const BigUint& commitment, util::Rng& rng)
+    : group_(group),
+      key_(std::move(key)),
+      r_(commitment),
+      c_(group.randomScalar(rng)) {}
+
+bool SchnorrVerifier::check(const BigUint& response) const {
+  if (!group_.isElement(r_)) return false;
+  const BigUint lhs = group_.exp(response);
+  const BigUint rhs = group_.mul(r_, group_.exp(key_.y, c_));
+  return lhs == rhs;
+}
+
+util::Bytes SchnorrProof::serialize() const {
+  util::Writer w;
+  w.bytes(r.toBytes());
+  w.bytes(s.toBytes());
+  return w.take();
+}
+
+std::optional<SchnorrProof> SchnorrProof::deserialize(util::BytesView data) {
+  try {
+    util::Reader rd(data);
+    SchnorrProof p;
+    p.r = BigUint::fromBytes(rd.bytes());
+    p.s = BigUint::fromBytes(rd.bytes());
+    rd.expectEnd();
+    return p;
+  } catch (const util::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+SchnorrProof schnorrProve(const DlogGroup& group, const SchnorrPrivateKey& key,
+                          util::BytesView context, util::Rng& rng) {
+  const BigUint k = group.randomScalar(rng);
+  const BigUint r = group.exp(k);
+  const BigUint c = challengeHash(group, r, key.pub.y, context);
+  const BigUint s = addMod(k, mulMod(key.x, c, group.q()), group.q());
+  return SchnorrProof{r, s};
+}
+
+bool schnorrProofVerify(const DlogGroup& group, const SchnorrPublicKey& key,
+                        util::BytesView context, const SchnorrProof& proof) {
+  if (!group.isElement(proof.r) || !group.isElement(key.y)) return false;
+  if (proof.s >= group.q()) return false;
+  const BigUint c = challengeHash(group, proof.r, key.y, context);
+  const BigUint lhs = group.exp(proof.s);
+  const BigUint rhs = group.mul(proof.r, group.exp(key.y, c));
+  return lhs == rhs;
+}
+
+}  // namespace dosn::pkcrypto

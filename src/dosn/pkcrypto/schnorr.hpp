@@ -1,0 +1,92 @@
+// Schnorr signatures (Fiat-Shamir) and the interactive Schnorr identification
+// protocol — the zero-knowledge proof of the paper's §V-B: proving knowledge
+// of the secret behind a pseudonym without revealing it.
+#pragma once
+
+#include <optional>
+
+#include "dosn/pkcrypto/group.hpp"
+#include "dosn/util/bytes.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace dosn::pkcrypto {
+
+struct SchnorrPublicKey {
+  BigUint y;  // g^x
+  util::Bytes serialize() const;
+};
+
+struct SchnorrPrivateKey {
+  SchnorrPublicKey pub;
+  BigUint x;
+};
+
+SchnorrPrivateKey schnorrGenerate(const DlogGroup& group, util::Rng& rng);
+
+struct SchnorrSignature {
+  BigUint e;  // challenge = H(r || y || m) mod q
+  BigUint s;  // response  = k + x*e mod q
+
+  util::Bytes serialize() const;
+  static std::optional<SchnorrSignature> deserialize(util::BytesView data);
+};
+
+SchnorrSignature schnorrSign(const DlogGroup& group,
+                             const SchnorrPrivateKey& key,
+                             util::BytesView message, util::Rng& rng);
+
+bool schnorrVerify(const DlogGroup& group, const SchnorrPublicKey& key,
+                   util::BytesView message, const SchnorrSignature& sig);
+
+/// Interactive Schnorr identification (honest-verifier ZKP).
+///
+///   Prover                         Verifier
+///   k <- Zq, r = g^k   --r-->
+///                      <--c--      c <- Zq
+///   s = k + x*c        --s-->      accept iff g^s == r * y^c
+class SchnorrProver {
+ public:
+  SchnorrProver(const DlogGroup& group, const SchnorrPrivateKey& key,
+                util::Rng& rng);
+
+  const BigUint& commitment() const { return r_; }
+  BigUint respond(const BigUint& challenge) const;
+
+ private:
+  const DlogGroup& group_;
+  const SchnorrPrivateKey& key_;
+  BigUint k_;
+  BigUint r_;
+};
+
+class SchnorrVerifier {
+ public:
+  SchnorrVerifier(const DlogGroup& group, SchnorrPublicKey key,
+                  const BigUint& commitment, util::Rng& rng);
+
+  const BigUint& challenge() const { return c_; }
+  bool check(const BigUint& response) const;
+
+ private:
+  const DlogGroup& group_;
+  SchnorrPublicKey key_;
+  BigUint r_;
+  BigUint c_;
+};
+
+/// Non-interactive proof of knowledge of x for y = g^x, bound to a context
+/// string (Fiat-Shamir transform of the identification protocol).
+struct SchnorrProof {
+  BigUint r;
+  BigUint s;
+  util::Bytes serialize() const;
+  static std::optional<SchnorrProof> deserialize(util::BytesView data);
+};
+
+SchnorrProof schnorrProve(const DlogGroup& group, const SchnorrPrivateKey& key,
+                          util::BytesView context, util::Rng& rng);
+
+bool schnorrProofVerify(const DlogGroup& group, const SchnorrPublicKey& key,
+                        util::BytesView context, const SchnorrProof& proof);
+
+}  // namespace dosn::pkcrypto

@@ -1,0 +1,328 @@
+#include "dosn/policy/policy.hpp"
+
+#include <cctype>
+
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::policy {
+
+std::unique_ptr<PolicyNode> PolicyNode::clone() const {
+  auto node = std::make_unique<PolicyNode>();
+  node->kind = kind;
+  node->attribute = attribute;
+  node->threshold = threshold;
+  node->children.reserve(children.size());
+  for (const auto& child : children) node->children.push_back(child->clone());
+  return node;
+}
+
+Policy::Policy(const Policy& other)
+    : root_(other.root_ ? other.root_->clone() : nullptr) {}
+
+Policy& Policy::operator=(const Policy& other) {
+  if (this != &other) root_ = other.root_ ? other.root_->clone() : nullptr;
+  return *this;
+}
+
+namespace {
+
+// Recursive-descent parser. Grammar:
+//   expr      := orExpr
+//   orExpr    := andExpr ( "OR" andExpr )*
+//   andExpr   := primary ( "AND" primary )*
+//   primary   := attribute | "(" expr ")" | INT "of" "(" expr ("," expr)* ")"
+//   attribute := [A-Za-z_][A-Za-z0-9_:.-]*
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::unique_ptr<PolicyNode> run() {
+    auto node = parseExpr();
+    if (!node) return nullptr;
+    skipSpace();
+    if (pos_ != text_.size()) return nullptr;  // trailing garbage
+    return node;
+  }
+
+ private:
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool isWordChar(char c) const {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':' || c == '.' || c == '-';
+  }
+
+  std::string peekWord() {
+    skipSpace();
+    std::size_t end = pos_;
+    while (end < text_.size() && isWordChar(text_[end])) ++end;
+    return std::string(text_.substr(pos_, end - pos_));
+  }
+
+  void consumeWord(const std::string& word) { pos_ += word.size(); }
+
+  bool consumeChar(char c) {
+    skipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  static std::string lower(std::string s) {
+    for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+  }
+
+  std::unique_ptr<PolicyNode> makeGate(std::size_t k,
+                                       std::vector<std::unique_ptr<PolicyNode>> kids) {
+    if (kids.size() == 1 && k == 1) return std::move(kids.front());
+    auto node = std::make_unique<PolicyNode>();
+    node->kind = PolicyNode::Kind::kThreshold;
+    node->threshold = k;
+    node->children = std::move(kids);
+    return node;
+  }
+
+  std::unique_ptr<PolicyNode> parseExpr() { return parseOr(); }
+
+  std::unique_ptr<PolicyNode> parseOr() {
+    std::vector<std::unique_ptr<PolicyNode>> kids;
+    auto first = parseAnd();
+    if (!first) return nullptr;
+    kids.push_back(std::move(first));
+    while (true) {
+      const std::string word = peekWord();
+      if (lower(word) != "or") break;
+      consumeWord(word);
+      auto next = parseAnd();
+      if (!next) return nullptr;
+      kids.push_back(std::move(next));
+    }
+    return makeGate(1, std::move(kids));
+  }
+
+  std::unique_ptr<PolicyNode> parseAnd() {
+    std::vector<std::unique_ptr<PolicyNode>> kids;
+    auto first = parsePrimary();
+    if (!first) return nullptr;
+    kids.push_back(std::move(first));
+    while (true) {
+      const std::string word = peekWord();
+      if (lower(word) != "and") break;
+      consumeWord(word);
+      auto next = parsePrimary();
+      if (!next) return nullptr;
+      kids.push_back(std::move(next));
+    }
+    const std::size_t k = kids.size();  // before the move (evaluation order!)
+    return makeGate(k, std::move(kids));
+  }
+
+  std::unique_ptr<PolicyNode> parsePrimary() {
+    skipSpace();
+    if (consumeChar('(')) {
+      auto inner = parseExpr();
+      if (!inner || !consumeChar(')')) return nullptr;
+      return inner;
+    }
+    const std::string word = peekWord();
+    if (word.empty()) return nullptr;
+    // Threshold form: INT of ( ... , ... )
+    if (std::isdigit(static_cast<unsigned char>(word[0]))) {
+      for (char c : word) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) return nullptr;
+      }
+      consumeWord(word);
+      const std::string ofWord = peekWord();
+      if (lower(ofWord) != "of") return nullptr;
+      consumeWord(ofWord);
+      if (!consumeChar('(')) return nullptr;
+      std::vector<std::unique_ptr<PolicyNode>> kids;
+      while (true) {
+        auto child = parseExpr();
+        if (!child) return nullptr;
+        kids.push_back(std::move(child));
+        if (consumeChar(',')) continue;
+        if (consumeChar(')')) break;
+        return nullptr;
+      }
+      const std::size_t k = std::stoul(word);
+      if (k == 0 || k > kids.size()) return nullptr;
+      auto node = std::make_unique<PolicyNode>();
+      node->kind = PolicyNode::Kind::kThreshold;
+      node->threshold = k;
+      node->children = std::move(kids);
+      return node;
+    }
+    // Reserved words can't be attributes.
+    const std::string lw = lower(word);
+    if (lw == "and" || lw == "or" || lw == "of") return nullptr;
+    consumeWord(word);
+    auto node = std::make_unique<PolicyNode>();
+    node->kind = PolicyNode::Kind::kAttribute;
+    node->attribute = word;
+    return node;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool nodeSatisfied(const PolicyNode& node,
+                   const std::set<std::string>& attributes) {
+  if (node.kind == PolicyNode::Kind::kAttribute) {
+    return attributes.count(node.attribute) > 0;
+  }
+  std::size_t satisfied = 0;
+  for (const auto& child : node.children) {
+    if (nodeSatisfied(*child, attributes)) ++satisfied;
+    if (satisfied >= node.threshold) return true;
+  }
+  return false;
+}
+
+void collectLeaves(const PolicyNode& node,
+                   std::vector<const PolicyNode*>& out) {
+  if (node.kind == PolicyNode::Kind::kAttribute) {
+    out.push_back(&node);
+    return;
+  }
+  for (const auto& child : node.children) collectLeaves(*child, out);
+}
+
+std::string nodeToString(const PolicyNode& node) {
+  if (node.kind == PolicyNode::Kind::kAttribute) return node.attribute;
+  std::string out = std::to_string(node.threshold) + " of (";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += nodeToString(*node.children[i]);
+  }
+  out += ")";
+  return out;
+}
+
+void serializeNode(const PolicyNode& node, util::Writer& w) {
+  if (node.kind == PolicyNode::Kind::kAttribute) {
+    w.u8(0);
+    w.str(node.attribute);
+    return;
+  }
+  w.u8(1);
+  w.u32(static_cast<std::uint32_t>(node.threshold));
+  w.u32(static_cast<std::uint32_t>(node.children.size()));
+  for (const auto& child : node.children) serializeNode(*child, w);
+}
+
+std::unique_ptr<PolicyNode> deserializeNode(util::Reader& r, int depth) {
+  if (depth > 64) throw util::CodecError("policy: nesting too deep");
+  auto node = std::make_unique<PolicyNode>();
+  const std::uint8_t tag = r.u8();
+  if (tag == 0) {
+    node->kind = PolicyNode::Kind::kAttribute;
+    node->attribute = r.str();
+    if (node->attribute.empty()) throw util::CodecError("policy: empty attribute");
+    return node;
+  }
+  if (tag != 1) throw util::CodecError("policy: bad node tag");
+  node->kind = PolicyNode::Kind::kThreshold;
+  node->threshold = r.u32();
+  const std::uint32_t count = r.u32();
+  if (count == 0 || count > 4096 || node->threshold == 0 ||
+      node->threshold > count) {
+    throw util::CodecError("policy: bad threshold gate");
+  }
+  node->children.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    node->children.push_back(deserializeNode(r, depth + 1));
+  }
+  return node;
+}
+
+}  // namespace
+
+std::optional<Policy> Policy::parse(std::string_view text) {
+  auto root = Parser(text).run();
+  if (!root) return std::nullopt;
+  return Policy(std::move(root));
+}
+
+Policy Policy::attribute(std::string name) {
+  auto node = std::make_unique<PolicyNode>();
+  node->kind = PolicyNode::Kind::kAttribute;
+  node->attribute = std::move(name);
+  return Policy(std::move(node));
+}
+
+bool Policy::satisfied(const std::set<std::string>& attributes) const {
+  if (!root_) return false;
+  return nodeSatisfied(*root_, attributes);
+}
+
+std::vector<const PolicyNode*> Policy::leaves() const {
+  std::vector<const PolicyNode*> out;
+  if (root_) collectLeaves(*root_, out);
+  return out;
+}
+
+std::set<std::string> Policy::attributes() const {
+  std::set<std::string> out;
+  for (const PolicyNode* leaf : leaves()) out.insert(leaf->attribute);
+  return out;
+}
+
+std::string Policy::toString() const {
+  if (!root_) return "";
+  return nodeToString(*root_);
+}
+
+namespace {
+
+void renameLeaves(PolicyNode& node,
+                  const std::function<std::string(const std::string&)>& fn) {
+  if (node.kind == PolicyNode::Kind::kAttribute) {
+    node.attribute = fn(node.attribute);
+    return;
+  }
+  for (auto& child : node.children) renameLeaves(*child, fn);
+}
+
+}  // namespace
+
+Policy Policy::mapAttributes(
+    const std::function<std::string(const std::string&)>& fn) const {
+  Policy copy(*this);
+  if (copy.root_) renameLeaves(*copy.root_, fn);
+  return copy;
+}
+
+util::Bytes Policy::serialize() const {
+  util::Writer w;
+  w.boolean(root_ != nullptr);
+  if (root_) serializeNode(*root_, w);
+  return w.take();
+}
+
+std::optional<Policy> Policy::deserialize(util::BytesView data) {
+  try {
+    util::Reader r(data);
+    if (!r.boolean()) {
+      r.expectEnd();
+      return Policy{};
+    }
+    auto root = deserializeNode(r, 0);
+    r.expectEnd();
+    return Policy(std::move(root));
+  } catch (const util::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace dosn::policy

@@ -1,0 +1,77 @@
+// Access-structure language for attribute-based encryption (paper §III-D):
+// monotone boolean formulas over attributes with AND / OR / k-of-n threshold
+// gates, e.g.
+//
+//   (relative AND doctor) OR painter
+//   2 of (family, colleague, neighbor)
+//
+// AND is an n-of-n gate, OR a 1-of-n gate. The tree drives Shamir share
+// distribution during encryption and Lagrange reconstruction on decryption.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dosn/util/bytes.hpp"
+
+namespace dosn::policy {
+
+struct PolicyNode {
+  enum class Kind { kAttribute, kThreshold };
+
+  Kind kind = Kind::kAttribute;
+  std::string attribute;       // leaves only
+  std::size_t threshold = 0;   // gates only: k of children.size()
+  std::vector<std::unique_ptr<PolicyNode>> children;
+
+  std::unique_ptr<PolicyNode> clone() const;
+};
+
+class Policy {
+ public:
+  Policy() = default;
+  Policy(const Policy& other);
+  Policy& operator=(const Policy& other);
+  Policy(Policy&&) noexcept = default;
+  Policy& operator=(Policy&&) noexcept = default;
+
+  /// Parses the policy language; std::nullopt on syntax errors.
+  static std::optional<Policy> parse(std::string_view text);
+
+  /// Single-attribute policy.
+  static Policy attribute(std::string name);
+
+  bool empty() const { return root_ == nullptr; }
+  const PolicyNode* root() const { return root_.get(); }
+
+  /// True if the attribute set satisfies the formula.
+  bool satisfied(const std::set<std::string>& attributes) const;
+
+  /// All leaf nodes in DFS order (the order shares are assigned in).
+  std::vector<const PolicyNode*> leaves() const;
+
+  /// All distinct attribute names referenced.
+  std::set<std::string> attributes() const;
+
+  /// Canonical text form (round-trips through parse()).
+  std::string toString() const;
+
+  /// Structure-preserving attribute rename (e.g. epoch-qualifying names).
+  Policy mapAttributes(
+      const std::function<std::string(const std::string&)>& fn) const;
+
+  /// Compact binary form for embedding in ciphertexts.
+  util::Bytes serialize() const;
+  static std::optional<Policy> deserialize(util::BytesView data);
+
+ private:
+  explicit Policy(std::unique_ptr<PolicyNode> root) : root_(std::move(root)) {}
+
+  std::unique_ptr<PolicyNode> root_;
+};
+
+}  // namespace dosn::policy

@@ -1,0 +1,57 @@
+#include "dosn/policy/shamir.hpp"
+
+#include "dosn/util/error.hpp"
+
+namespace dosn::policy {
+
+std::vector<Share> shamirShare(const PrimeField& field, const BigUint& secret,
+                               std::size_t k, std::size_t n, util::Rng& rng) {
+  if (k == 0 || k > n) throw util::DosnError("shamirShare: need 1 <= k <= n");
+  if (BigUint(n) >= field.modulus()) {
+    throw util::DosnError("shamirShare: too many shares for field");
+  }
+  // Random polynomial of degree k-1 with constant term = secret.
+  std::vector<BigUint> coeffs;
+  coeffs.reserve(k);
+  coeffs.push_back(field.reduce(secret));
+  for (std::size_t i = 1; i < k; ++i) coeffs.push_back(field.random(rng));
+
+  std::vector<Share> shares;
+  shares.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    const BigUint x(i);
+    // Horner evaluation.
+    BigUint y{};
+    for (std::size_t c = coeffs.size(); c-- > 0;) {
+      y = field.add(field.mul(y, x), coeffs[c]);
+    }
+    shares.push_back(Share{x, y});
+  }
+  return shares;
+}
+
+BigUint lagrangeCoefficientAtZero(const PrimeField& field,
+                                  const std::vector<Share>& shares,
+                                  std::size_t i) {
+  BigUint num(1);
+  BigUint den(1);
+  for (std::size_t j = 0; j < shares.size(); ++j) {
+    if (j == i) continue;
+    num = field.mul(num, shares[j].x);
+    den = field.mul(den, field.sub(shares[j].x, shares[i].x));
+  }
+  return field.mul(num, field.inv(den));
+}
+
+BigUint shamirReconstruct(const PrimeField& field,
+                          const std::vector<Share>& shares) {
+  if (shares.empty()) throw util::DosnError("shamirReconstruct: no shares");
+  BigUint secret{};
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    const BigUint li = lagrangeCoefficientAtZero(field, shares, i);
+    secret = field.add(secret, field.mul(shares[i].y, li));
+  }
+  return secret;
+}
+
+}  // namespace dosn::policy

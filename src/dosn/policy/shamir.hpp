@@ -1,0 +1,32 @@
+// Shamir secret sharing over a prime field — the share-distribution machinery
+// behind the ABE constructions (threshold gates in access trees).
+#pragma once
+
+#include <vector>
+
+#include "dosn/policy/field.hpp"
+
+namespace dosn::policy {
+
+struct Share {
+  BigUint x;  // evaluation point (nonzero)
+  BigUint y;  // polynomial value
+};
+
+/// Splits `secret` into n shares with threshold k (any k reconstruct).
+/// Evaluation points are 1..n. Requires 1 <= k <= n and n < field modulus.
+std::vector<Share> shamirShare(const PrimeField& field, const BigUint& secret,
+                               std::size_t k, std::size_t n, util::Rng& rng);
+
+/// Reconstructs the secret (polynomial at 0) from >= k distinct shares.
+/// With fewer than k shares the result is garbage, not an error — callers
+/// check satisfiability first.
+BigUint shamirReconstruct(const PrimeField& field,
+                          const std::vector<Share>& shares);
+
+/// Lagrange coefficient for interpolation at 0: prod_{j != i} x_j/(x_j - x_i).
+BigUint lagrangeCoefficientAtZero(const PrimeField& field,
+                                  const std::vector<Share>& shares,
+                                  std::size_t i);
+
+}  // namespace dosn::policy

@@ -1,0 +1,5 @@
+#include "dosn/privacy/access_controller.hpp"
+
+// Interface-only translation unit (keeps one vtable anchor per module).
+
+namespace dosn::privacy {}  // namespace dosn::privacy

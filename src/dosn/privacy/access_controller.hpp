@@ -1,0 +1,72 @@
+// The common access-control interface every §III scheme implements:
+// group management (create / add / revoke) plus encrypt-to-group and
+// member decryption. Controllers also retain the envelopes they published so
+// revocation can honestly account for the re-encryption work each scheme
+// requires (the paper's core cost comparison between §III-B..F).
+//
+// Each concrete controller internally stores the per-user key material it
+// issues at addMember time — modeling each user's client-side key store, so
+// decrypt(reader, ...) runs exactly the computation that user's client would.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dosn/social/identity.hpp"
+#include "dosn/util/bytes.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace dosn::privacy {
+
+using social::UserId;
+
+using GroupId = std::string;
+
+/// An encrypted object as stored/replicated in the DOSN.
+struct Envelope {
+  std::string scheme;   // producing controller's name
+  GroupId group;
+  std::uint64_t serial = 0;  // controller-assigned id (stable across re-encryption)
+  util::Bytes blob;
+};
+
+/// Work performed by a revocation — the measurable quantities behind
+/// experiment E2.
+struct RevocationReport {
+  std::size_t reencryptedEnvelopes = 0;  // history items rewritten
+  std::size_t rewrittenBytes = 0;        // ciphertext bytes rewritten
+  std::size_t keyOperations = 0;         // keys issued/replaced/distributed
+};
+
+class AccessController {
+ public:
+  virtual ~AccessController() = default;
+
+  virtual std::string schemeName() const = 0;
+
+  virtual void createGroup(const GroupId& group) = 0;
+  virtual void addMember(const GroupId& group, const UserId& user) = 0;
+  /// Removes a member, performing whatever re-keying / re-encryption the
+  /// scheme requires so the revoked user cannot read group data anymore
+  /// (modulo copies they already made — paper §III-B's caveat).
+  virtual RevocationReport removeMember(const GroupId& group,
+                                        const UserId& user) = 0;
+  virtual std::vector<UserId> members(const GroupId& group) const = 0;
+  virtual bool isMember(const GroupId& group, const UserId& user) const = 0;
+
+  /// Encrypts to the group and retains the envelope in the group's history.
+  virtual Envelope encrypt(const GroupId& group, util::BytesView plaintext,
+                           util::Rng& rng) = 0;
+
+  /// Attempts decryption as `reader`; std::nullopt if unauthorized (or the
+  /// envelope was re-encrypted away after the reader's revocation).
+  virtual std::optional<util::Bytes> decrypt(const UserId& reader,
+                                             const Envelope& envelope) = 0;
+
+  /// Retained history (current ciphertext for each serial, in issue order).
+  virtual std::vector<Envelope> history(const GroupId& group) const = 0;
+};
+
+}  // namespace dosn::privacy

@@ -1,0 +1,74 @@
+// Application access control (paper §II-A: Persona "gave users this autonomy
+// to decide who can see their private data, even for the applications, with
+// fine-grained policies"; §VI "protection of data from API").
+//
+// A capability token is a user-signed grant: (app, resource scope, rights,
+// expiry). Applications present tokens to data holders, who verify the
+// user's signature and the scope — no "install = full access" ambient
+// authority. Revocation is by token id, checked before the signature.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "dosn/pkcrypto/schnorr.hpp"
+#include "dosn/social/identity.hpp"
+
+namespace dosn::privacy {
+
+enum class AppRight : std::uint8_t {
+  kRead = 1,
+  kWrite = 2,
+  kReadWrite = 3,
+};
+
+/// A user-signed, scope-limited grant to an application.
+struct CapabilityToken {
+  std::uint64_t id = 0;           // per-user unique (revocation handle)
+  social::UserId owner;           // granting user
+  std::string app;                // application identifier
+  std::string scope;              // resource prefix, e.g. "alice/photos"
+  AppRight rights = AppRight::kRead;
+  std::uint64_t expiresAt = 0;    // timestamp; 0 = never
+  pkcrypto::SchnorrSignature signature;
+
+  util::Bytes signedBytes() const;
+  util::Bytes serialize() const;
+  static std::optional<CapabilityToken> deserialize(util::BytesView data);
+};
+
+/// User side: issue and revoke grants.
+class CapabilityIssuer {
+ public:
+  CapabilityIssuer(const pkcrypto::DlogGroup& group,
+                   const social::Keyring& owner)
+      : group_(group), owner_(owner) {}
+
+  CapabilityToken issue(const std::string& app, const std::string& scope,
+                        AppRight rights, std::uint64_t expiresAt,
+                        util::Rng& rng);
+
+  /// Adds the token id to the owner's revocation list.
+  void revoke(std::uint64_t tokenId) { revoked_.insert(tokenId); }
+  const std::set<std::uint64_t>& revocationList() const { return revoked_; }
+
+ private:
+  const pkcrypto::DlogGroup& group_;
+  const social::Keyring& owner_;
+  std::uint64_t nextId_ = 1;
+  std::set<std::uint64_t> revoked_;
+};
+
+/// Data-holder side: decide an app's request against a presented token.
+/// `resource` must fall under the token scope ("alice/photos" covers
+/// "alice/photos/2024/img1"); `now` checks expiry; the owner's registered
+/// key checks authenticity; the revocation list checks liveness.
+bool checkCapability(const pkcrypto::DlogGroup& group,
+                     const social::IdentityRegistry& registry,
+                     const CapabilityToken& token,
+                     const std::set<std::uint64_t>& revocationList,
+                     const std::string& app, const std::string& resource,
+                     AppRight needed, std::uint64_t now);
+
+}  // namespace dosn::privacy

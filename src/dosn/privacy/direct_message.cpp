@@ -1,0 +1,93 @@
+#include "dosn/privacy/direct_message.hpp"
+
+#include "dosn/crypto/aead.hpp"
+#include "dosn/crypto/hkdf.hpp"
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::privacy {
+
+util::Bytes SealedMessage::header() const {
+  util::Writer w;
+  w.str(from);
+  w.str(to);
+  w.u64(counter);
+  return w.take();
+}
+
+util::Bytes SealedMessage::serialize() const {
+  util::Writer w;
+  w.str(from);
+  w.str(to);
+  w.u64(counter);
+  w.bytes(box);
+  return w.take();
+}
+
+std::optional<SealedMessage> SealedMessage::deserialize(util::BytesView data) {
+  try {
+    util::Reader r(data);
+    SealedMessage m;
+    m.from = r.str();
+    m.to = r.str();
+    m.counter = r.u64();
+    m.box = r.bytes();
+    r.expectEnd();
+    return m;
+  } catch (const util::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+MessageChannel::MessageChannel(const pkcrypto::DlogGroup& group,
+                               const social::Keyring& keyring,
+                               const social::IdentityRegistry& registry)
+    : group_(group), keyring_(keyring), registry_(registry) {}
+
+util::Bytes MessageChannel::directionKey(const social::UserId& sender,
+                                         const social::UserId& receiver) {
+  const social::UserId peer = (sender == keyring_.user) ? receiver : sender;
+  auto it = sharedSecrets_.find(peer);
+  if (it == sharedSecrets_.end()) {
+    const auto identity = registry_.lookup(peer);
+    if (!identity) throw util::DosnError("MessageChannel: unknown peer " + peer);
+    // The ElGamal identity key doubles as the DH contribution: y = g^x.
+    const pkcrypto::DhKeyPair mine{keyring_.encryption.x,
+                                   keyring_.encryption.pub.y};
+    const bignum::BigUint shared =
+        pkcrypto::dhSharedElement(group_, mine, identity->encryptionKey.y);
+    it = sharedSecrets_
+             .emplace(peer, shared.toBytesPadded(group_.elementBytes()))
+             .first;
+  }
+  return crypto::hkdf(it->second, {},
+                      util::toBytes("dm:" + sender + ">" + receiver), 32);
+}
+
+SealedMessage MessageChannel::seal(const social::UserId& to,
+                                   util::BytesView plaintext, util::Rng& rng) {
+  SealedMessage m;
+  m.from = keyring_.user;
+  m.to = to;
+  m.counter = ++sendCounter_[to];
+  const util::Bytes key = directionKey(m.from, m.to);
+  m.box = crypto::sealWithNonce(key, plaintext, rng, m.header());
+  return m;
+}
+
+std::optional<util::Bytes> MessageChannel::open(const SealedMessage& message) {
+  if (message.to != keyring_.user) return std::nullopt;
+  if (!registry_.contains(message.from)) return std::nullopt;
+  // Replay protection: strictly increasing per-sender counters.
+  const auto last = lastReceived_.find(message.from);
+  if (last != lastReceived_.end() && message.counter <= last->second) {
+    return std::nullopt;
+  }
+  const util::Bytes key = directionKey(message.from, message.to);
+  const auto plain = crypto::openWithNonce(key, message.box, message.header());
+  if (!plain) return std::nullopt;
+  lastReceived_[message.from] = message.counter;
+  return plain;
+}
+
+}  // namespace dosn::privacy

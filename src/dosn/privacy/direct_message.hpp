@@ -1,0 +1,58 @@
+// Pairwise friend messaging: the channel the paper's scenarios assume
+// ("Alice receives an invitation letter in a packet from Bob"). Built from
+// the §IV-A key-establishment story: identities exchanged out-of-band, a DH
+// shared secret per friend pair, and AEAD with per-direction monotonic
+// counters for confidentiality + integrity + replay protection.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "dosn/pkcrypto/dh.hpp"
+#include "dosn/social/identity.hpp"
+
+namespace dosn::privacy {
+
+/// A sealed direct message as it travels through untrusted relays.
+struct SealedMessage {
+  social::UserId from;
+  social::UserId to;
+  std::uint64_t counter = 0;  // per (from -> to) direction, monotonic
+  util::Bytes box;            // AEAD(key_dir, plaintext, aad = header)
+
+  util::Bytes header() const;
+  util::Bytes serialize() const;
+  static std::optional<SealedMessage> deserialize(util::BytesView data);
+};
+
+/// One user's messaging endpoint. Channels are established from the ElGamal
+/// identity keys in the registry (their DH shape: y = g^x).
+class MessageChannel {
+ public:
+  MessageChannel(const pkcrypto::DlogGroup& group,
+                 const social::Keyring& keyring,
+                 const social::IdentityRegistry& registry);
+
+  /// Seals a message for a friend. Throws if the peer isn't registered.
+  SealedMessage seal(const social::UserId& to, util::BytesView plaintext,
+                     util::Rng& rng);
+
+  /// Opens a received message: verifies the AEAD under the pairwise key and
+  /// enforces the replay window (counters must strictly increase).
+  /// std::nullopt on any failure.
+  std::optional<util::Bytes> open(const SealedMessage& message);
+
+ private:
+  /// Directional key: HKDF(dh(me, peer), "dm:" + sender + ">" + receiver).
+  util::Bytes directionKey(const social::UserId& sender,
+                           const social::UserId& receiver);
+
+  const pkcrypto::DlogGroup& group_;
+  const social::Keyring& keyring_;
+  const social::IdentityRegistry& registry_;
+  std::map<social::UserId, util::Bytes> sharedSecrets_;  // peer -> raw DH
+  std::map<social::UserId, std::uint64_t> sendCounter_;
+  std::map<social::UserId, std::uint64_t> lastReceived_;
+};
+
+}  // namespace dosn::privacy

@@ -1,0 +1,217 @@
+#include "dosn/privacy/pad.hpp"
+
+#include "dosn/util/codec.hpp"
+
+namespace dosn::privacy {
+
+namespace {
+
+crypto::Digest emptyHash() { return crypto::sha256({}); }
+
+std::uint64_t keyPriority(const std::string& key) {
+  const crypto::Digest d = crypto::sha256(util::toBytes(key));
+  std::uint64_t p = 0;
+  for (int i = 0; i < 8; ++i) p = (p << 8) | d[static_cast<std::size_t>(i)];
+  return p;
+}
+
+crypto::Digest hashValue(util::BytesView value) { return crypto::sha256(value); }
+
+}  // namespace
+
+struct Pad::Node {
+  std::string key;
+  util::Bytes value;
+  std::uint64_t priority;
+  NodePtr left;
+  NodePtr right;
+  crypto::Digest hash;
+};
+
+namespace {
+
+using NodePtr = std::shared_ptr<const Pad::Node>;
+
+crypto::Digest childHash(const NodePtr& node) {
+  return node ? node->hash : emptyHash();
+}
+
+crypto::Digest nodeHash(const std::string& key, util::BytesView value,
+                        const NodePtr& left, const NodePtr& right) {
+  util::Writer w;
+  w.str(key);
+  w.raw(util::BytesView(hashValue(value)));
+  w.raw(util::BytesView(childHash(left)));
+  w.raw(util::BytesView(childHash(right)));
+  return crypto::sha256(w.buffer());
+}
+
+NodePtr makeNode(std::string key, util::Bytes value, NodePtr left,
+                 NodePtr right) {
+  auto node = std::make_shared<Pad::Node>();
+  node->key = std::move(key);
+  node->value = std::move(value);
+  node->priority = keyPriority(node->key);
+  node->left = std::move(left);
+  node->right = std::move(right);
+  node->hash = nodeHash(node->key, node->value, node->left, node->right);
+  return node;
+}
+
+NodePtr rebuild(const NodePtr& node, NodePtr left, NodePtr right) {
+  return makeNode(node->key, node->value, std::move(left), std::move(right));
+}
+
+NodePtr insertNode(const NodePtr& node, const std::string& key,
+                   const util::Bytes& value, bool& added) {
+  if (!node) {
+    added = true;
+    return makeNode(key, value, nullptr, nullptr);
+  }
+  if (key == node->key) {
+    added = false;
+    return makeNode(key, value, node->left, node->right);
+  }
+  if (key < node->key) {
+    NodePtr newLeft = insertNode(node->left, key, value, added);
+    // Restore the heap property by rotating right if needed.
+    if (newLeft->priority > node->priority) {
+      return rebuild(newLeft, newLeft->left,
+                     rebuild(node, newLeft->right, node->right));
+    }
+    return rebuild(node, std::move(newLeft), node->right);
+  }
+  NodePtr newRight = insertNode(node->right, key, value, added);
+  if (newRight->priority > node->priority) {
+    return rebuild(newRight, rebuild(node, node->left, newRight->left),
+                   newRight->right);
+  }
+  return rebuild(node, node->left, std::move(newRight));
+}
+
+/// Merges two treaps where every key in `a` < every key in `b`.
+NodePtr mergeNodes(const NodePtr& a, const NodePtr& b) {
+  if (!a) return b;
+  if (!b) return a;
+  if (a->priority >= b->priority) {
+    return rebuild(a, a->left, mergeNodes(a->right, b));
+  }
+  return rebuild(b, mergeNodes(a, b->left), b->right);
+}
+
+NodePtr removeNode(const NodePtr& node, const std::string& key, bool& removed) {
+  if (!node) {
+    removed = false;
+    return nullptr;
+  }
+  if (key == node->key) {
+    removed = true;
+    return mergeNodes(node->left, node->right);
+  }
+  if (key < node->key) {
+    NodePtr newLeft = removeNode(node->left, key, removed);
+    if (!removed) return node;
+    return rebuild(node, std::move(newLeft), node->right);
+  }
+  NodePtr newRight = removeNode(node->right, key, removed);
+  if (!removed) return node;
+  return rebuild(node, node->left, std::move(newRight));
+}
+
+std::size_t nodeHeight(const NodePtr& node) {
+  if (!node) return 0;
+  return 1 + std::max(nodeHeight(node->left), nodeHeight(node->right));
+}
+
+}  // namespace
+
+Pad::Pad() : rootHash_(emptyHash()) {}
+
+Pad::Pad(NodePtr root, std::size_t size)
+    : root_(std::move(root)),
+      size_(size),
+      rootHash_(root_ ? root_->hash : emptyHash()) {}
+
+Pad Pad::insert(const std::string& key, util::Bytes value) const {
+  bool added = false;
+  NodePtr newRoot = insertNode(root_, key, value, added);
+  return Pad(std::move(newRoot), size_ + (added ? 1 : 0));
+}
+
+Pad Pad::remove(const std::string& key) const {
+  bool removed = false;
+  NodePtr newRoot = removeNode(root_, key, removed);
+  if (!removed) return *this;
+  return Pad(std::move(newRoot), size_ - 1);
+}
+
+std::optional<util::Bytes> Pad::find(const std::string& key) const {
+  const Node* node = root_.get();
+  while (node) {
+    if (key == node->key) return node->value;
+    node = (key < node->key) ? node->left.get() : node->right.get();
+  }
+  return std::nullopt;
+}
+
+bool Pad::contains(const std::string& key) const {
+  return find(key).has_value();
+}
+
+std::size_t Pad::height() const { return nodeHeight(root_); }
+
+std::optional<Pad::LookupProof> Pad::prove(const std::string& key) const {
+  // Record the path root -> node, then emit steps bottom-up.
+  std::vector<const Node*> path;
+  const Node* node = root_.get();
+  while (node) {
+    path.push_back(node);
+    if (key == node->key) break;
+    node = (key < node->key) ? node->left.get() : node->right.get();
+  }
+  if (!node || node->key != key) return std::nullopt;
+
+  LookupProof proof;
+  proof.value = node->value;
+  proof.leftHash = childHash(node->left);
+  proof.rightHash = childHash(node->right);
+  for (std::size_t i = path.size() - 1; i-- > 0;) {
+    const Node* parent = path[i];
+    const Node* child = path[i + 1];
+    ProofStep step;
+    step.parentKey = parent->key;
+    step.parentValueHash = hashValue(parent->value);
+    step.cameFromLeft = parent->left.get() == child;
+    step.siblingHash =
+        step.cameFromLeft ? childHash(parent->right) : childHash(parent->left);
+    proof.steps.push_back(step);
+  }
+  return proof;
+}
+
+bool Pad::verify(const crypto::Digest& root, const std::string& key,
+                 const LookupProof& proof) {
+  // Recompute the found node's hash, then fold the path upward.
+  util::Writer w;
+  w.str(key);
+  w.raw(util::BytesView(hashValue(proof.value)));
+  w.raw(util::BytesView(proof.leftHash));
+  w.raw(util::BytesView(proof.rightHash));
+  crypto::Digest h = crypto::sha256(w.buffer());
+  for (const ProofStep& step : proof.steps) {
+    util::Writer sw;
+    sw.str(step.parentKey);
+    sw.raw(util::BytesView(step.parentValueHash));
+    if (step.cameFromLeft) {
+      sw.raw(util::BytesView(h));
+      sw.raw(util::BytesView(step.siblingHash));
+    } else {
+      sw.raw(util::BytesView(step.siblingHash));
+      sw.raw(util::BytesView(h));
+    }
+    h = crypto::sha256(sw.buffer());
+  }
+  return h == root;
+}
+
+}  // namespace dosn::privacy

@@ -1,0 +1,72 @@
+// Persistent Authenticated Dictionary (paper §III-F: Frientegrity keeps its
+// ACLs in PADs, "making it possible to access in logarithmic time").
+//
+// Implemented as a persistent (path-copying) treap with deterministic
+// priorities derived from the key hash, Merkle-hashed so any version's root
+// digest authenticates the full contents. Lookups produce proofs verifiable
+// against a signed root — exactly the object an untrusted provider serves.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dosn/crypto/sha256.hpp"
+#include "dosn/util/bytes.hpp"
+
+namespace dosn::privacy {
+
+class Pad {
+ public:
+  Pad();  // empty dictionary
+
+  /// Persistent update: returns the new version; *this is unchanged.
+  Pad insert(const std::string& key, util::Bytes value) const;
+  Pad remove(const std::string& key) const;
+
+  std::optional<util::Bytes> find(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  std::size_t size() const { return size_; }
+
+  /// Root digest authenticating this version (the thing the provider signs).
+  const crypto::Digest& rootHash() const { return rootHash_; }
+
+  /// Height of the treap (log-time witness for experiment E5).
+  std::size_t height() const;
+
+  struct ProofStep {
+    std::string parentKey;
+    crypto::Digest parentValueHash{};
+    crypto::Digest siblingHash{};
+    bool cameFromLeft = false;  // true if our node is the parent's left child
+  };
+
+  /// Everything needed to verify `key -> value` against a root digest.
+  struct LookupProof {
+    util::Bytes value;
+    crypto::Digest leftHash{};   // hashes of the found node's children
+    crypto::Digest rightHash{};
+    std::vector<ProofStep> steps;  // bottom-up to the root
+  };
+
+  /// Membership proof; std::nullopt if the key is absent.
+  std::optional<LookupProof> prove(const std::string& key) const;
+
+  /// Verifies a proof against a trusted root digest.
+  static bool verify(const crypto::Digest& root, const std::string& key,
+                     const LookupProof& proof);
+
+  /// Implementation node (exposed for the .cpp's free helpers only).
+  struct Node;
+  using NodePtr = std::shared_ptr<const Node>;
+
+ private:
+  Pad(NodePtr root, std::size_t size);
+
+  NodePtr root_;
+  std::size_t size_ = 0;
+  crypto::Digest rootHash_{};
+};
+
+}  // namespace dosn::privacy

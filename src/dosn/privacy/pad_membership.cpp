@@ -1,0 +1,62 @@
+#include "dosn/privacy/pad_membership.hpp"
+
+#include "dosn/util/codec.hpp"
+
+namespace dosn::privacy {
+
+util::Bytes SignedAclRoot::signedBytes() const {
+  util::Writer w;
+  w.u64(version);
+  w.raw(util::BytesView(root));
+  return w.take();
+}
+
+PadAcl::PadAcl(const pkcrypto::DlogGroup& group, const social::Keyring& owner)
+    : group_(group), owner_(owner) {
+  signedRoot_.version = 0;
+  signedRoot_.root = pad_.rootHash();
+  // The initial (empty) root is signed lazily on the first mutation; readers
+  // of an untouched ACL have nothing to verify against yet.
+}
+
+void PadAcl::resign(util::Rng& rng) {
+  ++version_;
+  signedRoot_.version = version_;
+  signedRoot_.root = pad_.rootHash();
+  signedRoot_.signature = pkcrypto::schnorrSign(
+      group_, owner_.signing, signedRoot_.signedBytes(), rng);
+}
+
+void PadAcl::grant(const social::UserId& member, const std::string& permission,
+                   util::Rng& rng) {
+  pad_ = pad_.insert(member, util::toBytes(permission));
+  resign(rng);
+}
+
+void PadAcl::revoke(const social::UserId& member, util::Rng& rng) {
+  pad_ = pad_.remove(member);
+  resign(rng);
+}
+
+std::optional<MembershipProof> PadAcl::proveMembership(
+    const social::UserId& member) const {
+  const auto proof = pad_.prove(member);
+  if (!proof) return std::nullopt;
+  return MembershipProof{signedRoot_, *proof};
+}
+
+std::optional<std::string> verifyMembership(
+    const pkcrypto::DlogGroup& group, const pkcrypto::SchnorrPublicKey& ownerKey,
+    const social::UserId& member, const MembershipProof& attestation) {
+  if (!pkcrypto::schnorrVerify(group, ownerKey,
+                               attestation.signedRoot.signedBytes(),
+                               attestation.signedRoot.signature)) {
+    return std::nullopt;
+  }
+  if (!Pad::verify(attestation.signedRoot.root, member, attestation.proof)) {
+    return std::nullopt;
+  }
+  return util::toString(attestation.proof.value);
+}
+
+}  // namespace dosn::privacy

@@ -1,0 +1,70 @@
+// Frientegrity-style authenticated group membership (paper §III-F): "the
+// hybrid structure of the access control lists (ACLs) in Frientegrity is
+// organized in a persistent authenticated dictionary (PAD)".
+//
+// The group owner maintains membership in a Pad and signs each version's
+// root. An untrusted provider serves (root, proof) pairs; readers verify a
+// member's permission against the owner-signed root without trusting the
+// provider or downloading the whole ACL.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dosn/pkcrypto/schnorr.hpp"
+#include "dosn/privacy/pad.hpp"
+#include "dosn/social/identity.hpp"
+
+namespace dosn::privacy {
+
+/// A provider-storable, owner-signed ACL version.
+struct SignedAclRoot {
+  std::uint64_t version = 0;
+  crypto::Digest root{};
+  pkcrypto::SchnorrSignature signature;
+
+  util::Bytes signedBytes() const;
+};
+
+/// A provider-served membership attestation.
+struct MembershipProof {
+  SignedAclRoot signedRoot;
+  Pad::LookupProof proof;
+};
+
+/// Owner side: mutate membership, sign roots.
+class PadAcl {
+ public:
+  PadAcl(const pkcrypto::DlogGroup& group, const social::Keyring& owner);
+
+  /// Grants a permission string ("r", "rw", ...) to a member.
+  void grant(const social::UserId& member, const std::string& permission,
+             util::Rng& rng);
+  void revoke(const social::UserId& member, util::Rng& rng);
+
+  std::uint64_t version() const { return version_; }
+  const SignedAclRoot& currentRoot() const { return signedRoot_; }
+  std::size_t memberCount() const { return pad_.size(); }
+
+  /// What the provider stores/serves for a member (std::nullopt if absent).
+  std::optional<MembershipProof> proveMembership(
+      const social::UserId& member) const;
+
+ private:
+  void resign(util::Rng& rng);
+
+  const pkcrypto::DlogGroup& group_;
+  const social::Keyring& owner_;
+  Pad pad_;
+  std::uint64_t version_ = 0;
+  SignedAclRoot signedRoot_;
+};
+
+/// Reader side: verify an attestation against the owner's registered key.
+/// Returns the permission string iff everything checks out.
+std::optional<std::string> verifyMembership(
+    const pkcrypto::DlogGroup& group, const pkcrypto::SchnorrPublicKey& ownerKey,
+    const social::UserId& member, const MembershipProof& attestation);
+
+}  // namespace dosn::privacy

@@ -1,0 +1,100 @@
+#include "dosn/privacy/publickey_acl.hpp"
+
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::privacy {
+
+PublicKeyAcl::PublicKeyAcl(const pkcrypto::DlogGroup& group, util::Rng& rng)
+    : dlog_(group), rng_(rng) {}
+
+const pkcrypto::ElGamalPrivateKey& PublicKeyAcl::userKey(const UserId& user) {
+  const auto it = userKeys_.find(user);
+  if (it != userKeys_.end()) return it->second;
+  return userKeys_.emplace(user, pkcrypto::elgamalGenerate(dlog_, rng_))
+      .first->second;
+}
+
+void PublicKeyAcl::createGroup(const GroupId& group) {
+  if (groups_.count(group)) throw util::DosnError("PublicKeyAcl: group exists");
+  groups_.emplace(group, GroupState{});
+}
+
+void PublicKeyAcl::addMember(const GroupId& group, const UserId& user) {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) throw util::DosnError("PublicKeyAcl: unknown group");
+  userKey(user);  // ensure the key pair exists
+  it->second.members.insert(user);
+}
+
+RevocationReport PublicKeyAcl::removeMember(const GroupId& group,
+                                            const UserId& user) {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) throw util::DosnError("PublicKeyAcl: unknown group");
+  it->second.members.erase(user);
+  // "His public key will be deleted from the list of group members": future
+  // envelopes exclude them; history is untouched (already-decryptable data
+  // cannot be revoked — paper §III-B caveat applies to every scheme).
+  return RevocationReport{0, 0, 1};
+}
+
+std::vector<UserId> PublicKeyAcl::members(const GroupId& group) const {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) throw util::DosnError("PublicKeyAcl: unknown group");
+  return std::vector<UserId>(it->second.members.begin(),
+                             it->second.members.end());
+}
+
+bool PublicKeyAcl::isMember(const GroupId& group, const UserId& user) const {
+  const auto it = groups_.find(group);
+  return it != groups_.end() && it->second.members.count(user) > 0;
+}
+
+Envelope PublicKeyAcl::encrypt(const GroupId& group, util::BytesView plaintext,
+                               util::Rng& rng) {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) throw util::DosnError("PublicKeyAcl: unknown group");
+  // Naive per-member encryption: one full public-key ciphertext per member
+  // (the §III-C baseline the hybrid scheme of §III-F improves on).
+  util::Writer w;
+  w.u32(static_cast<std::uint32_t>(it->second.members.size()));
+  for (const UserId& member : it->second.members) {
+    w.str(member);
+    w.bytes(pkcrypto::elgamalEncrypt(dlog_, userKey(member).pub, plaintext, rng));
+  }
+  Envelope env;
+  env.scheme = schemeName();
+  env.group = group;
+  env.serial = nextSerial_++;
+  env.blob = w.take();
+  it->second.history.push_back(env);
+  return env;
+}
+
+std::optional<util::Bytes> PublicKeyAcl::decrypt(const UserId& reader,
+                                                 const Envelope& envelope) {
+  const auto keyIt = userKeys_.find(reader);
+  if (keyIt == userKeys_.end()) return std::nullopt;
+  try {
+    util::Reader r(envelope.blob);
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::string member = r.str();
+      util::Bytes ciphertext = r.bytes();
+      if (member == reader) {
+        return pkcrypto::elgamalDecrypt(dlog_, keyIt->second, ciphertext);
+      }
+    }
+    return std::nullopt;  // reader was not a recipient
+  } catch (const util::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<Envelope> PublicKeyAcl::history(const GroupId& group) const {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) throw util::DosnError("PublicKeyAcl: unknown group");
+  return it->second.history;
+}
+
+}  // namespace dosn::privacy

@@ -1,0 +1,50 @@
+// Public-key per-member ACL (paper §III-C, Flybynight/PeerSoN style): data is
+// "encrypted under the public keys of all group's members"; leaving the group
+// just deletes the member's public key from the list (no history rewrite —
+// future envelopes simply exclude them).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "dosn/pkcrypto/elgamal.hpp"
+#include "dosn/privacy/access_controller.hpp"
+
+namespace dosn::privacy {
+
+class PublicKeyAcl final : public AccessController {
+ public:
+  PublicKeyAcl(const pkcrypto::DlogGroup& group, util::Rng& rng);
+
+  std::string schemeName() const override { return "public-key"; }
+
+  void createGroup(const GroupId& group) override;
+  void addMember(const GroupId& group, const UserId& user) override;
+  RevocationReport removeMember(const GroupId& group,
+                                const UserId& user) override;
+  std::vector<UserId> members(const GroupId& group) const override;
+  bool isMember(const GroupId& group, const UserId& user) const override;
+
+  Envelope encrypt(const GroupId& group, util::BytesView plaintext,
+                   util::Rng& rng) override;
+  std::optional<util::Bytes> decrypt(const UserId& reader,
+                                     const Envelope& envelope) override;
+  std::vector<Envelope> history(const GroupId& group) const override;
+
+ private:
+  struct GroupState {
+    std::set<UserId> members;
+    std::vector<Envelope> history;
+  };
+
+  /// Key pair per user, generated lazily on first membership.
+  const pkcrypto::ElGamalPrivateKey& userKey(const UserId& user);
+
+  const pkcrypto::DlogGroup& dlog_;
+  util::Rng& rng_;
+  std::map<GroupId, GroupState> groups_;
+  std::map<UserId, pkcrypto::ElGamalPrivateKey> userKeys_;
+  std::uint64_t nextSerial_ = 1;
+};
+
+}  // namespace dosn::privacy

@@ -1,0 +1,88 @@
+#include "dosn/privacy/substitution.hpp"
+
+#include <algorithm>
+
+#include "dosn/crypto/hmac.hpp"
+
+namespace dosn::privacy {
+
+void FakeProfileService::publish(const UserId& user, Profile real, Profile fake,
+                                 const std::vector<UserId>& friends) {
+  entries_[user] = Entry{std::move(real), std::move(fake), friends};
+}
+
+std::optional<Profile> FakeProfileService::providerView(const UserId& user) const {
+  const auto it = entries_.find(user);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.fake;
+}
+
+std::optional<Profile> FakeProfileService::view(const UserId& viewer,
+                                                const UserId& user) const {
+  const auto it = entries_.find(user);
+  if (it == entries_.end()) return std::nullopt;
+  const auto& friends = it->second.friends;
+  if (std::find(friends.begin(), friends.end(), viewer) != friends.end()) {
+    return it->second.real;
+  }
+  return it->second.fake;
+}
+
+void AtomDictionary::defineClass(const std::string& atomClass,
+                                 std::vector<std::string> atoms) {
+  classes_[atomClass] = std::move(atoms);
+}
+
+std::optional<std::size_t> AtomDictionary::indexOf(
+    const std::string& atomClass, const std::string& atom) const {
+  const auto it = classes_.find(atomClass);
+  if (it == classes_.end()) return std::nullopt;
+  const auto pos = std::find(it->second.begin(), it->second.end(), atom);
+  if (pos == it->second.end()) return std::nullopt;
+  return static_cast<std::size_t>(pos - it->second.begin());
+}
+
+std::optional<std::string> AtomDictionary::atomAt(const std::string& atomClass,
+                                                  std::size_t index) const {
+  const auto it = classes_.find(atomClass);
+  if (it == classes_.end() || index >= it->second.size()) return std::nullopt;
+  return it->second[index];
+}
+
+std::size_t AtomDictionary::classSize(const std::string& atomClass) const {
+  const auto it = classes_.find(atomClass);
+  return it == classes_.end() ? 0 : it->second.size();
+}
+
+std::size_t AtomDictionary::shiftFor(util::BytesView key,
+                                     const std::string& atomClass) const {
+  const util::Bytes tag = crypto::prf(key, util::toBytes("noyb:" + atomClass));
+  std::size_t shift = 0;
+  for (int i = 0; i < 8; ++i) {
+    shift = (shift << 8) | tag[static_cast<std::size_t>(i)];
+  }
+  return shift;
+}
+
+std::optional<std::string> AtomDictionary::substitute(
+    util::BytesView key, const std::string& atomClass,
+    const std::string& realAtom) const {
+  const auto index = indexOf(atomClass, realAtom);
+  if (!index) return std::nullopt;
+  const std::size_t n = classSize(atomClass);
+  // Keyed rotation: a permutation of the index space, invertible by key
+  // holders via recover().
+  return atomAt(atomClass, (*index + shiftFor(key, atomClass)) % n);
+}
+
+std::optional<std::string> AtomDictionary::recover(
+    util::BytesView key, const std::string& atomClass,
+    const std::string& storedAtom) const {
+  const auto index = indexOf(atomClass, storedAtom);
+  if (!index) return std::nullopt;
+  const std::size_t n = classSize(atomClass);
+  const std::size_t shift = shiftFor(key, atomClass) % n;
+  return atomAt(atomClass, (*index + n - shift) % n);
+}
+
+}  // namespace dosn::privacy

@@ -1,0 +1,82 @@
+// Information substitution (paper §III-A): hide real data from the provider
+// by serving fakes.
+//
+// Two mechanisms from the survey:
+//  - VPSN-style fake profiles (Conti et al. [11]): the provider stores a
+//    pseudo profile; trusted friends fetch the real one through a side
+//    channel (modeled by FakeProfileService).
+//  - NOYB-style atom substitution (Guha et al. [23]): profile values are
+//    split into typed atoms; each user's stored atom index is encrypted with
+//    a keyed rotation over a *public* dictionary, so the provider sees a
+//    plausible (but wrong) atom and key holders invert the substitution.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dosn/social/content.hpp"
+#include "dosn/util/bytes.hpp"
+
+namespace dosn::privacy {
+
+using social::Profile;
+using social::UserId;
+
+/// VPSN: provider sees the fake; friends holding the side channel see truth.
+class FakeProfileService {
+ public:
+  /// Publishes `fake` to the provider and retains `real` for friends.
+  void publish(const UserId& user, Profile real, Profile fake,
+               const std::vector<UserId>& friends);
+
+  /// What the (curious) service provider observes.
+  std::optional<Profile> providerView(const UserId& user) const;
+
+  /// What `viewer` sees: the real profile if they are a trusted friend of
+  /// `user`, otherwise the provider's fake.
+  std::optional<Profile> view(const UserId& viewer, const UserId& user) const;
+
+ private:
+  struct Entry {
+    Profile real;
+    Profile fake;
+    std::vector<UserId> friends;
+  };
+  std::map<UserId, Entry> entries_;
+};
+
+/// NOYB: a public dictionary of atoms per class ("first-name", "city", ...).
+class AtomDictionary {
+ public:
+  /// Registers the atom universe for a class. Order defines indices.
+  void defineClass(const std::string& atomClass,
+                   std::vector<std::string> atoms);
+
+  /// Index of an atom within its class; std::nullopt if unknown.
+  std::optional<std::size_t> indexOf(const std::string& atomClass,
+                                     const std::string& atom) const;
+  /// Atom at an index.
+  std::optional<std::string> atomAt(const std::string& atomClass,
+                                    std::size_t index) const;
+  std::size_t classSize(const std::string& atomClass) const;
+
+  /// The substituted (provider-visible) atom for a real atom under `key`:
+  /// a keyed rotation of the index within the public dictionary.
+  std::optional<std::string> substitute(util::BytesView key,
+                                        const std::string& atomClass,
+                                        const std::string& realAtom) const;
+
+  /// Inverts substitute() for key holders.
+  std::optional<std::string> recover(util::BytesView key,
+                                     const std::string& atomClass,
+                                     const std::string& storedAtom) const;
+
+ private:
+  std::size_t shiftFor(util::BytesView key, const std::string& atomClass) const;
+
+  std::map<std::string, std::vector<std::string>> classes_;
+};
+
+}  // namespace dosn::privacy

@@ -1,0 +1,52 @@
+// Symmetric-key group ACL (paper §III-B): one shared key per group; adding a
+// member shares the key; revocation creates a new key and re-encrypts the
+// whole retained history ("for the revocation, we need to create a new key
+// and re-encrypt the whole data").
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "dosn/privacy/access_controller.hpp"
+
+namespace dosn::privacy {
+
+class SymmetricAcl final : public AccessController {
+ public:
+  explicit SymmetricAcl(util::Rng& rng);
+
+  std::string schemeName() const override { return "symmetric"; }
+
+  void createGroup(const GroupId& group) override;
+  void addMember(const GroupId& group, const UserId& user) override;
+  RevocationReport removeMember(const GroupId& group,
+                                const UserId& user) override;
+  std::vector<UserId> members(const GroupId& group) const override;
+  bool isMember(const GroupId& group, const UserId& user) const override;
+
+  Envelope encrypt(const GroupId& group, util::BytesView plaintext,
+                   util::Rng& rng) override;
+  std::optional<util::Bytes> decrypt(const UserId& reader,
+                                     const Envelope& envelope) override;
+  std::vector<Envelope> history(const GroupId& group) const override;
+
+  /// Current key epoch of a group (bumped by every revocation).
+  std::uint64_t keyEpoch(const GroupId& group) const;
+
+ private:
+  struct Group {
+    util::Bytes key;
+    std::uint64_t epoch = 0;
+    std::set<UserId> members;
+    std::vector<Envelope> history;
+  };
+
+  Group& groupRef(const GroupId& group);
+  const Group& groupRef(const GroupId& group) const;
+
+  util::Rng& rng_;
+  std::map<GroupId, Group> groups_;
+  std::uint64_t nextSerial_ = 1;
+};
+
+}  // namespace dosn::privacy

@@ -1,0 +1,63 @@
+#include "dosn/search/friend_finder.hpp"
+
+#include <algorithm>
+
+#include "dosn/util/strings.hpp"
+
+namespace dosn::search {
+
+void FriendFinder::publishProfile(const social::Profile& profile) {
+  index_.indexProfile(profile);
+  published_.insert(profile.user);
+}
+
+std::vector<FriendCandidate> FriendFinder::find(
+    const UserId& searcher, const std::string& interests) const {
+  const std::size_t queryTokens = util::tokenize(interests).size();
+  if (queryTokens == 0) return {};
+
+  // 1. Candidate generation from the opt-in index.
+  std::vector<FriendCandidate> candidates;
+  std::set<UserId> seen;
+  const std::set<UserId> fof =
+      config_.fofOnly ? graph_.friendsOfFriends(searcher) : std::set<UserId>{};
+  for (const auto& [ref, hits] : index_.searchAny(interests)) {
+    if (ref.owner == searcher) continue;
+    if (graph_.areFriends(searcher, ref.owner)) continue;  // already friends
+    if (config_.fofOnly && !fof.count(ref.owner)) continue;
+    if (!seen.insert(ref.owner).second) continue;
+    FriendCandidate c;
+    c.user = ref.owner;
+    c.matchStrength =
+        static_cast<double>(hits) / static_cast<double>(queryTokens);
+    candidates.push_back(std::move(c));
+  }
+  if (candidates.empty()) return {};
+
+  // 2. Trust + popularity ranking.
+  std::vector<UserId> users;
+  users.reserve(candidates.size());
+  for (const auto& c : candidates) users.push_back(c.user);
+  const auto ranked = trustRankedSearch(graph_, searcher, users,
+                                        config_.maxHops, config_.alpha);
+  for (auto& candidate : candidates) {
+    const auto it = std::find_if(ranked.begin(), ranked.end(),
+                                 [&](const RankedResult& r) {
+                                   return r.user == candidate.user;
+                                 });
+    candidate.trust = it->trust;
+    candidate.popularity = it->popularity;
+    candidate.score = candidate.matchStrength * it->score;
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const FriendCandidate& a, const FriendCandidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.user < b.user;
+            });
+  if (candidates.size() > config_.maxResults) {
+    candidates.resize(config_.maxResults);
+  }
+  return candidates;
+}
+
+}  // namespace dosn::search

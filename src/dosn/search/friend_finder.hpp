@@ -1,0 +1,62 @@
+// Friend discovery as a pipeline (paper §V intro: "the social network users
+// ... intend to find new friends with common interests", under the
+// search-vs-privacy trade-off):
+//
+//   1. candidate generation — keyword match over the profiles users chose to
+//      expose (owner privacy: only published fields are indexed, §V-C);
+//   2. ranking — chain trust blended with popularity (§V-D);
+//   3. optional scope restriction — friends-of-friends only, trading recall
+//      for not surfacing strangers.
+//
+// The searcher's identity never reaches the index (queries are posed under
+// an opaque session tag), mirroring the §V-B searcher-privacy concern at the
+// API level.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dosn/search/search_index.hpp"
+#include "dosn/search/trust_rank.hpp"
+
+namespace dosn::search {
+
+struct FriendFinderConfig {
+  std::size_t maxHops = 4;      // trust-chain search bound
+  double alpha = 0.7;           // trust vs popularity blend
+  bool fofOnly = false;         // restrict to friends-of-friends
+  std::size_t maxResults = 10;
+};
+
+struct FriendCandidate {
+  UserId user;
+  double matchStrength = 0;  // fraction of query tokens the profile matched
+  double trust = 0;
+  double popularity = 0;
+  double score = 0;  // matchStrength * (alpha*trust + (1-alpha)*popularity)
+};
+
+class FriendFinder {
+ public:
+  FriendFinder(const SocialGraph& graph, FriendFinderConfig config = {})
+      : graph_(graph), config_(config) {}
+
+  /// A user opts INTO discoverability by publishing (a subset of) their
+  /// profile. Unpublished users never appear in results.
+  void publishProfile(const social::Profile& profile);
+
+  /// Runs the pipeline for `searcher` (used only for trust ranking and the
+  /// optional friends-of-friends scope — never exposed to the index).
+  std::vector<FriendCandidate> find(const UserId& searcher,
+                                    const std::string& interests) const;
+
+  std::size_t publishedCount() const { return published_.size(); }
+
+ private:
+  const SocialGraph& graph_;
+  FriendFinderConfig config_;
+  InvertedIndex index_;
+  std::set<UserId> published_;
+};
+
+}  // namespace dosn::search

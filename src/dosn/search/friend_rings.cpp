@@ -1,0 +1,83 @@
+#include "dosn/search/friend_rings.hpp"
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "dosn/util/error.hpp"
+
+namespace dosn::search {
+
+Matryoshka::Matryoshka(const SocialGraph& graph, UserId core, std::size_t depth,
+                       std::size_t pathCount, util::Rng& rng)
+    : core_(std::move(core)) {
+  if (depth == 0) throw util::DosnError("Matryoshka: depth must be >= 1");
+  std::set<UserId> used;  // nodes already serving on some path
+  used.insert(core_);
+  for (std::size_t p = 0; p < pathCount; ++p) {
+    std::vector<UserId> path;
+    UserId current = core_;
+    for (std::size_t hop = 0; hop < depth; ++hop) {
+      std::vector<UserId> candidates;
+      for (const UserId& f : graph.friendsOf(current)) {
+        if (!used.count(f)) candidates.push_back(f);
+      }
+      if (candidates.empty()) break;
+      const UserId next = candidates[rng.uniform(candidates.size())];
+      path.push_back(next);
+      used.insert(next);
+      current = next;
+    }
+    if (!path.empty()) paths_.push_back(std::move(path));
+  }
+}
+
+const std::vector<UserId>& Matryoshka::path(std::size_t index) const {
+  return paths_.at(index);
+}
+
+const UserId& Matryoshka::entryPoint(std::size_t index) const {
+  return paths_.at(index).back();
+}
+
+std::string Matryoshka::route(
+    std::size_t pathIndex, const std::string& request,
+    const std::function<std::string(const std::string&)>& coreHandler,
+    std::vector<UserId>* relayTrace) const {
+  const std::vector<UserId>& chain = paths_.at(pathIndex);
+  // Relay inward: entry point first, then toward the core.
+  for (std::size_t i = chain.size(); i-- > 0;) {
+    if (relayTrace) relayTrace->push_back(chain[i]);
+  }
+  return coreHandler(request);
+}
+
+std::size_t Matryoshka::anonymitySetSize(const SocialGraph& graph,
+                                         std::size_t pathIndex) const {
+  const UserId& entry = entryPoint(pathIndex);
+  const std::size_t chainLength = paths_.at(pathIndex).size();
+  // BFS from the entry point; candidates are all users at distance exactly
+  // chainLength (any of them could be the core behind this mirror).
+  std::map<UserId, std::size_t> dist;
+  std::deque<UserId> queue;
+  dist[entry] = 0;
+  queue.push_back(entry);
+  std::size_t candidates = 0;
+  while (!queue.empty()) {
+    const UserId current = queue.front();
+    queue.pop_front();
+    const std::size_t d = dist[current];
+    if (d == chainLength) {
+      ++candidates;
+      continue;  // no need to expand past the radius
+    }
+    for (const UserId& next : graph.friendsOf(current)) {
+      if (dist.count(next)) continue;
+      dist[next] = d + 1;
+      queue.push_back(next);
+    }
+  }
+  return candidates;
+}
+
+}  // namespace dosn::search

@@ -1,0 +1,61 @@
+// Trusted-friends ring routing (paper §V-B, Safebook's matryoshka): "each
+// user connects directly to trusted friends to forward messages. It will
+// cause a concentric circle of friends around each user, which makes it
+// possible to communicate with the user without revealing identity or even
+// IP address."
+//
+// A Matryoshka builds chains of friends from the core outward; requests enter
+// at the outermost node (the mirror) and are relayed inward hop by hop. Each
+// hop knows only its predecessor and successor; the requester learns only the
+// entry point. anonymitySetSize() measures how many users an observer at the
+// entry point must consider as possible cores (experiment E11).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "dosn/social/graph.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace dosn::search {
+
+using social::SocialGraph;
+using social::UserId;
+
+class Matryoshka {
+ public:
+  /// Builds up to `pathCount` disjoint chains of length `depth` from `core`
+  /// outward, each hop a friendship edge. Chains may come out shorter when
+  /// the neighborhood is too small.
+  Matryoshka(const SocialGraph& graph, UserId core, std::size_t depth,
+             std::size_t pathCount, util::Rng& rng);
+
+  const UserId& core() const { return core_; }
+  std::size_t pathCount() const { return paths_.size(); }
+
+  /// A chain, innermost hop first (paths_[i][0] is a direct friend of core).
+  const std::vector<UserId>& path(std::size_t index) const;
+
+  /// The outermost node of a chain — the only identity exposed to outsiders.
+  const UserId& entryPoint(std::size_t index) const;
+
+  /// Routes a request inward along the chain; every relay appends itself to
+  /// `relayTrace` (what a global observer could log). Returns the core's
+  /// response.
+  std::string route(std::size_t pathIndex, const std::string& request,
+                    const std::function<std::string(const std::string&)>& coreHandler,
+                    std::vector<UserId>* relayTrace = nullptr) const;
+
+  /// Size of the anonymity set an observer at the entry point faces: all
+  /// users whose graph distance to the entry point is exactly the chain
+  /// length (the observer knows the protocol depth, not the direction).
+  std::size_t anonymitySetSize(const SocialGraph& graph,
+                               std::size_t pathIndex) const;
+
+ private:
+  UserId core_;
+  std::vector<std::vector<UserId>> paths_;
+};
+
+}  // namespace dosn::search

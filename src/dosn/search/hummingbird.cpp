@@ -1,0 +1,131 @@
+#include "dosn/search/hummingbird.hpp"
+
+#include "dosn/crypto/aead.hpp"
+#include "dosn/crypto/hkdf.hpp"
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::search {
+
+util::Bytes EncryptedTweet::serialize() const {
+  util::Writer w;
+  w.bytes(index);
+  w.bytes(box);
+  return w.take();
+}
+
+std::optional<EncryptedTweet> EncryptedTweet::deserialize(
+    util::BytesView data) {
+  try {
+    util::Reader r(data);
+    EncryptedTweet t;
+    t.index = r.bytes();
+    t.box = r.bytes();
+    r.expectEnd();
+    return t;
+  } catch (const util::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+HummingbirdPublisher::HummingbirdPublisher(const pkcrypto::DlogGroup& group,
+                                           std::size_t rsaBits, util::Rng& rng)
+    : group_(group), oprf_(group, rng), rsa_(pkcrypto::rsaGenerate(rsaBits, rng)) {}
+
+Subscription HummingbirdPublisher::deriveFromPrfOutput(
+    util::BytesView prfOutput) {
+  Subscription sub;
+  sub.key = crypto::deriveKey(prfOutput, "hummingbird-key");
+  sub.index = crypto::deriveKey(prfOutput, "hummingbird-index");
+  return sub;
+}
+
+Subscription HummingbirdPublisher::selfSubscription(const std::string& hashtag,
+                                                    KeyPath path) const {
+  if (path == KeyPath::kOprf) {
+    return deriveFromPrfOutput(oprf_.evaluate(util::toBytes(hashtag)));
+  }
+  // FDH-RSA signature on the tag, computed directly with the private key.
+  const bignum::BigUint h =
+      pkcrypto::rsaFullDomainHash(rsa_.pub, util::toBytes(hashtag));
+  const bignum::BigUint sig = pkcrypto::rsaRawPrivate(rsa_, h);
+  return deriveFromPrfOutput(sig.toBytesPadded(rsa_.pub.modulusBytes()));
+}
+
+EncryptedTweet HummingbirdPublisher::publish(const std::string& hashtag,
+                                             const std::string& text,
+                                             util::Rng& rng, KeyPath path) {
+  const Subscription sub = selfSubscription(hashtag, path);
+  EncryptedTweet tweet;
+  tweet.index = sub.index;
+  tweet.box = crypto::sealWithNonce(sub.key, util::toBytes(text), rng);
+  return tweet;
+}
+
+bignum::BigUint HummingbirdPublisher::oprfEvaluate(
+    const bignum::BigUint& blinded) const {
+  return oprf_.evaluateBlinded(blinded);
+}
+
+bignum::BigUint HummingbirdPublisher::blindSign(
+    const bignum::BigUint& blinded) const {
+  return pkcrypto::blindSign(rsa_, blinded);
+}
+
+HummingbirdSubscriber::OprfRequest HummingbirdSubscriber::beginOprf(
+    const std::string& hashtag, util::Rng& rng) const {
+  return OprfRequest{
+      pkcrypto::OprfReceiver(group_, util::toBytes(hashtag), rng)};
+}
+
+Subscription HummingbirdSubscriber::finishOprf(
+    const OprfRequest& request, const bignum::BigUint& reply) const {
+  return HummingbirdPublisher::deriveFromPrfOutput(
+      request.receiver.finalize(reply));
+}
+
+HummingbirdSubscriber::BlindRequest HummingbirdSubscriber::beginBlind(
+    const pkcrypto::RsaPublicKey& publisherKey, const std::string& hashtag,
+    util::Rng& rng) const {
+  return BlindRequest{
+      pkcrypto::BlindSignatureRequest(publisherKey, util::toBytes(hashtag), rng),
+      hashtag};
+}
+
+std::optional<Subscription> HummingbirdSubscriber::finishBlind(
+    const pkcrypto::RsaPublicKey& publisherKey, const BlindRequest& request,
+    const bignum::BigUint& blindSignature) const {
+  const bignum::BigUint sig = request.request.unblind(blindSignature);
+  if (!pkcrypto::blindSignatureVerify(publisherKey,
+                                      util::toBytes(request.hashtag), sig)) {
+    return std::nullopt;
+  }
+  return HummingbirdPublisher::deriveFromPrfOutput(
+      sig.toBytesPadded(publisherKey.modulusBytes()));
+}
+
+std::optional<std::string> HummingbirdSubscriber::decrypt(
+    const Subscription& sub, const EncryptedTweet& tweet) {
+  const auto plain = crypto::openWithNonce(sub.key, tweet.box);
+  if (!plain) return std::nullopt;
+  return util::toString(*plain);
+}
+
+void HummingbirdServer::accept(EncryptedTweet tweet) {
+  tweets_[tweet.index].push_back(std::move(tweet));
+}
+
+std::vector<EncryptedTweet> HummingbirdServer::match(
+    util::BytesView index) const {
+  const auto it = tweets_.find(util::Bytes(index.begin(), index.end()));
+  if (it == tweets_.end()) return {};
+  return it->second;
+}
+
+std::size_t HummingbirdServer::tweetCount() const {
+  std::size_t total = 0;
+  for (const auto& [index, stream] : tweets_) total += stream.size();
+  return total;
+}
+
+}  // namespace dosn::search

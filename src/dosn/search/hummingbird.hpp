@@ -1,0 +1,127 @@
+// Hummingbird (paper §III-F and §V-A): a Twitter-like service where the
+// server matches encrypted tweets to subscriptions without learning tweet
+// contents or hashtags.
+//
+//  - Publishing: the tweet key is derived by "a combination of a PRF and a
+//    hash function" on the hashtag: key = H(f_s(tag)). A deterministic index
+//    H(f_s(tag) || "idx") lets the server match without learning the tag.
+//  - Subscription (OPRF): the subscriber runs the oblivious PRF with the
+//    publisher, learning f_s(tag) without revealing the tag.
+//  - Subscription (blind signature, §V-A): the subscriber obtains the
+//    publisher's FDH-RSA signature on the tag blindly; H(sig(tag)) is the
+//    key, "while his interest will not be revealed to the publisher".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dosn/pkcrypto/blind_rsa.hpp"
+#include "dosn/pkcrypto/oprf.hpp"
+#include "dosn/util/bytes.hpp"
+
+namespace dosn::search {
+
+/// An encrypted tweet as the (untrusted) server stores it.
+struct EncryptedTweet {
+  util::Bytes index;  // deterministic per (publisher, tag); opaque to server
+  util::Bytes box;    // AEAD ciphertext of the tweet text
+
+  util::Bytes serialize() const;
+  static std::optional<EncryptedTweet> deserialize(util::BytesView data);
+};
+
+/// A subscriber's capability for one (publisher, tag) stream.
+struct Subscription {
+  util::Bytes key;    // decryption key
+  util::Bytes index;  // matching index to query the server with
+};
+
+/// Which dissemination protocol a tweet stream's key is derived for. The two
+/// paths produce unrelated keys; a publisher picks one per stream.
+enum class KeyPath {
+  kOprf,      // f_s(tag) via the 2HashDH OPRF
+  kBlindSig,  // FDH-RSA signature on the tag (itself a verifiable OPRF)
+};
+
+class HummingbirdPublisher {
+ public:
+  HummingbirdPublisher(const pkcrypto::DlogGroup& group, std::size_t rsaBits,
+                       util::Rng& rng);
+
+  /// Encrypts a tweet under its hashtag-derived key.
+  EncryptedTweet publish(const std::string& hashtag, const std::string& text,
+                         util::Rng& rng, KeyPath path = KeyPath::kOprf);
+
+  // --- OPRF subscription protocol (server side of f_s) ---
+  bignum::BigUint oprfEvaluate(const bignum::BigUint& blinded) const;
+
+  // --- Blind-signature subscription protocol ---
+  const pkcrypto::RsaPublicKey& blindPublicKey() const { return rsa_.pub; }
+  bignum::BigUint blindSign(const bignum::BigUint& blinded) const;
+
+  /// The publisher's own (non-oblivious) subscription for a tag.
+  Subscription selfSubscription(const std::string& hashtag,
+                                KeyPath path = KeyPath::kOprf) const;
+
+  /// Key/index derivation shared by both subscription paths.
+  static Subscription deriveFromPrfOutput(util::BytesView prfOutput);
+
+  const pkcrypto::DlogGroup& group() const { return group_; }
+
+ private:
+  const pkcrypto::DlogGroup& group_;
+  pkcrypto::OprfSender oprf_;
+  pkcrypto::RsaPrivateKey rsa_;
+};
+
+class HummingbirdSubscriber {
+ public:
+  explicit HummingbirdSubscriber(const pkcrypto::DlogGroup& group)
+      : group_(group) {}
+
+  /// OPRF flow: blind the tag, send blinded() to the publisher, finish with
+  /// the reply.
+  struct OprfRequest {
+    pkcrypto::OprfReceiver receiver;
+    const bignum::BigUint& blinded() const { return receiver.blinded(); }
+  };
+  OprfRequest beginOprf(const std::string& hashtag, util::Rng& rng) const;
+  Subscription finishOprf(const OprfRequest& request,
+                          const bignum::BigUint& reply) const;
+
+  /// Blind-signature flow.
+  struct BlindRequest {
+    pkcrypto::BlindSignatureRequest request;
+    std::string hashtag;
+    const bignum::BigUint& blinded() const { return request.blinded(); }
+  };
+  BlindRequest beginBlind(const pkcrypto::RsaPublicKey& publisherKey,
+                          const std::string& hashtag, util::Rng& rng) const;
+  /// Verifies the unblinded signature before deriving the key; std::nullopt
+  /// if the publisher cheated.
+  std::optional<Subscription> finishBlind(
+      const pkcrypto::RsaPublicKey& publisherKey, const BlindRequest& request,
+      const bignum::BigUint& blindSignature) const;
+
+  /// Decrypts a matched tweet.
+  static std::optional<std::string> decrypt(const Subscription& sub,
+                                            const EncryptedTweet& tweet);
+
+ private:
+  const pkcrypto::DlogGroup& group_;
+};
+
+/// The honest-but-curious server: stores ciphertexts and matches by index.
+class HummingbirdServer {
+ public:
+  void accept(EncryptedTweet tweet);
+  std::vector<EncryptedTweet> match(util::BytesView index) const;
+  std::size_t tweetCount() const;
+  std::size_t streamCount() const { return tweets_.size(); }
+
+ private:
+  std::map<util::Bytes, std::vector<EncryptedTweet>> tweets_;
+};
+
+}  // namespace dosn::search

@@ -1,0 +1,82 @@
+#include "dosn/search/proxy_alias.hpp"
+
+#include <memory>
+
+#include "dosn/util/bytes.hpp"
+
+namespace dosn::search {
+
+ProxyServer::ProxyServer(std::string name) : name_(std::move(name)) {}
+
+Alias ProxyServer::registerUser(const UserId& user, util::Rng& rng) {
+  const auto existing = mapping_.find(user);
+  if (existing != mapping_.end()) return existing->second;
+  const Alias alias = name_ + ":" + util::toHex(rng.bytes(8));
+  mapping_[user] = alias;
+  reverse_[alias] = user;
+  return alias;
+}
+
+std::optional<Alias> ProxyServer::aliasOf(const UserId& user) const {
+  const auto it = mapping_.find(user);
+  if (it == mapping_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<UserId> ProxyServer::resolve(const Alias& alias) const {
+  const auto it = reverse_.find(alias);
+  if (it == reverse_.end()) return std::nullopt;
+  return it->second;
+}
+
+ProxyServer& ProxyNetwork::addProxy(const std::string& name) {
+  proxies_.push_back(std::make_unique<ProxyServer>(name));
+  return *proxies_.back();
+}
+
+Alias ProxyNetwork::registerUser(const UserId& user, std::size_t proxyIndex,
+                                 util::Rng& rng) {
+  const Alias alias = proxies_.at(proxyIndex)->registerUser(user, rng);
+  ++totalUsers_;
+  return alias;
+}
+
+std::optional<std::size_t> ProxyNetwork::proxyOfUser(const UserId& user) const {
+  for (std::size_t i = 0; i < proxies_.size(); ++i) {
+    if (proxies_[i]->aliasOf(user)) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> ProxyNetwork::proxyOfAlias(const Alias& alias) const {
+  for (std::size_t i = 0; i < proxies_.size(); ++i) {
+    if (proxies_[i]->resolve(alias)) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<DeliveredMessage> ProxyNetwork::send(const UserId& from,
+                                                   const Alias& toAlias,
+                                                   util::Bytes body) {
+  const auto fromProxy = proxyOfUser(from);
+  const auto toProxy = proxyOfAlias(toAlias);
+  if (!fromProxy || !toProxy) return std::nullopt;
+  // The sender's proxy swaps the real name for the alias before the message
+  // crosses the proxy boundary.
+  const Alias fromAlias = *proxies_[*fromProxy]->aliasOf(from);
+  // The receiver's proxy resolves the destination alias for delivery.
+  const UserId to = *proxies_[*toProxy]->resolve(toAlias);
+  return DeliveredMessage{fromAlias, to, std::move(body)};
+}
+
+double ProxyNetwork::collusionRecoveryFraction(
+    const std::vector<std::size_t>& colluding) const {
+  if (totalUsers_ == 0) return 0.0;
+  std::size_t recovered = 0;
+  for (const std::size_t index : colluding) {
+    recovered += proxies_.at(index)->observedMapping().size();
+  }
+  return static_cast<double>(recovered) / static_cast<double>(totalUsers_);
+}
+
+}  // namespace dosn::search

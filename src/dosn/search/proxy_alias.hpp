@@ -1,0 +1,86 @@
+// Searcher privacy via proxies (paper §V-B): "the real identity of users will
+// be replaced by aliases via the proxy server. Since the proxy server knows
+// all the aliases of their users, it can forward messages correctly. Servers
+// cannot see the real names of other servers' users. However, the security of
+// this approach can be under the risk by collusion of proxy servers."
+//
+// Each user registers with one proxy under an alias; cross-proxy messages are
+// forwarded alias-to-alias. Every proxy records what it observes so the
+// collusion experiment (E11) can quantify the deanonymization risk.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dosn/social/identity.hpp"
+#include "dosn/util/bytes.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace dosn::search {
+
+using social::UserId;
+using Alias = std::string;
+
+struct DeliveredMessage {
+  Alias fromAlias;
+  UserId to;  // the receiving proxy resolves the alias for final delivery
+  util::Bytes body;
+};
+
+class ProxyServer {
+ public:
+  explicit ProxyServer(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Registers a user, assigning a fresh alias.
+  Alias registerUser(const UserId& user, util::Rng& rng);
+
+  std::optional<Alias> aliasOf(const UserId& user) const;
+  std::optional<UserId> resolve(const Alias& alias) const;
+
+  /// What this proxy alone has observed: its own alias<->user table.
+  const std::map<UserId, Alias>& observedMapping() const { return mapping_; }
+
+ private:
+  std::string name_;
+  std::map<UserId, Alias> mapping_;
+  std::map<Alias, UserId> reverse_;
+};
+
+/// A network of proxies: routes messages between users of (possibly)
+/// different proxies, exposing only aliases across proxy boundaries.
+class ProxyNetwork {
+ public:
+  ProxyServer& addProxy(const std::string& name);
+
+  /// Registers a user at a proxy (round-robin helper available via index).
+  Alias registerUser(const UserId& user, std::size_t proxyIndex,
+                     util::Rng& rng);
+
+  /// Sends from a real user to a destination alias. Returns what the final
+  /// receiver sees. The sender's proxy learns (sender, toAlias); the
+  /// receiver's proxy learns (fromAlias, receiver).
+  std::optional<DeliveredMessage> send(const UserId& from, const Alias& toAlias,
+                                       util::Bytes body);
+
+  std::size_t proxyCount() const { return proxies_.size(); }
+  ProxyServer& proxy(std::size_t index) { return *proxies_[index]; }
+
+  /// The alias->user mapping recoverable when the given subset of proxies
+  /// colludes, as a fraction of all registered users.
+  double collusionRecoveryFraction(const std::vector<std::size_t>& colluding) const;
+
+ private:
+  std::optional<std::size_t> proxyOfUser(const UserId& user) const;
+  std::optional<std::size_t> proxyOfAlias(const Alias& alias) const;
+
+  std::vector<std::unique_ptr<ProxyServer>> proxies_;
+  std::size_t totalUsers_ = 0;
+};
+
+}  // namespace dosn::search

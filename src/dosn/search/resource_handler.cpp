@@ -1,0 +1,60 @@
+#include "dosn/search/resource_handler.hpp"
+
+#include "dosn/util/error.hpp"
+
+namespace dosn::search {
+
+void ResourceHandlerRegistry::registerResource(const std::string& handle,
+                                               const std::string& owner,
+                                               util::Bytes content) {
+  if (resources_.count(handle)) {
+    throw util::DosnError("ResourceHandlerRegistry: handle exists");
+  }
+  resources_.emplace(handle, Resource{owner, std::move(content)});
+}
+
+void ResourceHandlerRegistry::grant(const std::string& handle,
+                                    const std::string& owner,
+                                    const std::string& pseudonymHandle,
+                                    const pkcrypto::SchnorrPublicKey& key) {
+  const auto it = resources_.find(handle);
+  if (it == resources_.end() || it->second.owner != owner) {
+    throw util::DosnError("ResourceHandlerRegistry: not the owner");
+  }
+  gate_.authorize(handle, pseudonymHandle, key);
+}
+
+void ResourceHandlerRegistry::revoke(const std::string& handle,
+                                     const std::string& owner,
+                                     const std::string& pseudonymHandle) {
+  const auto it = resources_.find(handle);
+  if (it == resources_.end() || it->second.owner != owner) {
+    throw util::DosnError("ResourceHandlerRegistry: not the owner");
+  }
+  gate_.revoke(handle, pseudonymHandle);
+}
+
+std::vector<std::string> ResourceHandlerRegistry::listHandles() const {
+  std::vector<std::string> out;
+  out.reserve(resources_.size());
+  for (const auto& [handle, resource] : resources_) out.push_back(handle);
+  return out;
+}
+
+std::optional<std::string> ResourceHandlerRegistry::ownerOf(
+    const std::string& handle) const {
+  const auto it = resources_.find(handle);
+  if (it == resources_.end()) return std::nullopt;
+  return it->second.owner;
+}
+
+std::optional<util::Bytes> ResourceHandlerRegistry::request(
+    const std::string& handle, const std::string& pseudonymHandle,
+    const pkcrypto::SchnorrProof& proof) const {
+  const auto it = resources_.find(handle);
+  if (it == resources_.end()) return std::nullopt;
+  if (!gate_.checkAccess(handle, pseudonymHandle, proof)) return std::nullopt;
+  return it->second.content;
+}
+
+}  // namespace dosn::search

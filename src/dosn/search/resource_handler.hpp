@@ -1,0 +1,56 @@
+// Privacy of the searched data owner (paper §V-C): "every data item has a
+// handler as a reference to that data. For example 'Alice's birthday' instead
+// of '26 October 1990'. When one is interested in knowing the content of that
+// handler, he must prove himself to the data owner and then get access to the
+// real content."
+//
+// Handlers are freely searchable/listable metadata; the content behind a
+// handler is released only to pseudonyms that pass the owner's AccessGate.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dosn/search/zkp_access.hpp"
+#include "dosn/util/bytes.hpp"
+
+namespace dosn::search {
+
+class ResourceHandlerRegistry {
+ public:
+  explicit ResourceHandlerRegistry(const pkcrypto::DlogGroup& group)
+      : gate_(group) {}
+
+  /// Registers content behind a handler ("alice/birthday").
+  void registerResource(const std::string& handle, const std::string& owner,
+                        util::Bytes content);
+
+  /// Owner grants a pseudonym access to one of their handlers.
+  void grant(const std::string& handle, const std::string& owner,
+             const std::string& pseudonymHandle,
+             const pkcrypto::SchnorrPublicKey& pseudonymKey);
+  void revoke(const std::string& handle, const std::string& owner,
+              const std::string& pseudonymHandle);
+
+  /// What searches see: handlers only, never content.
+  std::vector<std::string> listHandles() const;
+  std::optional<std::string> ownerOf(const std::string& handle) const;
+
+  /// Content release: requires a valid ZKP access proof for the handle.
+  std::optional<util::Bytes> request(const std::string& handle,
+                                     const std::string& pseudonymHandle,
+                                     const pkcrypto::SchnorrProof& proof) const;
+
+ private:
+  struct Resource {
+    std::string owner;
+    util::Bytes content;
+  };
+
+  AccessGate gate_;
+  std::map<std::string, Resource> resources_;
+};
+
+}  // namespace dosn::search

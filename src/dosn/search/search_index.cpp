@@ -1,0 +1,64 @@
+#include "dosn/search/search_index.hpp"
+
+#include <algorithm>
+
+#include "dosn/util/strings.hpp"
+
+namespace dosn::search {
+
+void InvertedIndex::indexPost(const UserId& owner, PostId post,
+                              std::string_view text) {
+  for (const std::string& token : util::tokenize(text)) {
+    postings_[token].insert(PostingRef{owner, post});
+  }
+}
+
+void InvertedIndex::indexProfile(const social::Profile& profile) {
+  for (const auto& [field, value] : profile.fields) {
+    for (const std::string& token : util::tokenize(value)) {
+      postings_[token].insert(PostingRef{profile.user, 0});
+    }
+  }
+}
+
+std::vector<PostingRef> InvertedIndex::search(std::string_view query) const {
+  const std::vector<std::string> tokens = util::tokenize(query);
+  if (tokens.empty()) return {};
+  std::set<PostingRef> result;
+  bool first = true;
+  for (const std::string& token : tokens) {
+    const auto it = postings_.find(token);
+    if (it == postings_.end()) return {};
+    if (first) {
+      result = it->second;
+      first = false;
+      continue;
+    }
+    std::set<PostingRef> intersection;
+    std::set_intersection(result.begin(), result.end(), it->second.begin(),
+                          it->second.end(),
+                          std::inserter(intersection, intersection.begin()));
+    result = std::move(intersection);
+    if (result.empty()) return {};
+  }
+  return std::vector<PostingRef>(result.begin(), result.end());
+}
+
+std::vector<std::pair<PostingRef, std::size_t>> InvertedIndex::searchAny(
+    std::string_view query) const {
+  std::map<PostingRef, std::size_t> counts;
+  for (const std::string& token : util::tokenize(query)) {
+    const auto it = postings_.find(token);
+    if (it == postings_.end()) continue;
+    for (const PostingRef& ref : it->second) ++counts[ref];
+  }
+  std::vector<std::pair<PostingRef, std::size_t>> out(counts.begin(),
+                                                      counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace dosn::search

@@ -1,0 +1,46 @@
+// Keyword search substrate: a tokenizing inverted index over social content.
+// The secure-search mechanisms of §V wrap this plain index with their privacy
+// layers (blind subscription, pseudonymous access, trust ranking).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dosn/social/content.hpp"
+
+namespace dosn::search {
+
+using social::PostId;
+using social::UserId;
+
+struct PostingRef {
+  UserId owner;
+  PostId post = 0;
+
+  auto operator<=>(const PostingRef&) const = default;
+};
+
+class InvertedIndex {
+ public:
+  /// Tokenizes and indexes a post's text.
+  void indexPost(const UserId& owner, PostId post, std::string_view text);
+
+  /// Indexes a profile's field values under their tokens.
+  void indexProfile(const social::Profile& profile);
+
+  /// Posts matching ALL query tokens (conjunctive).
+  std::vector<PostingRef> search(std::string_view query) const;
+
+  /// Posts matching ANY query token, ranked by match count.
+  std::vector<std::pair<PostingRef, std::size_t>> searchAny(
+      std::string_view query) const;
+
+  std::size_t termCount() const { return postings_.size(); }
+
+ private:
+  std::map<std::string, std::set<PostingRef>> postings_;
+};
+
+}  // namespace dosn::search

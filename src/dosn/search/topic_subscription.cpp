@@ -1,0 +1,34 @@
+#include "dosn/search/topic_subscription.hpp"
+
+namespace dosn::search {
+
+TopicPost TopicPublisher::publish(const std::set<std::string>& topics,
+                                  const social::Post& post,
+                                  util::Rng& rng) const {
+  TopicPost out;
+  out.topics = topics;
+  out.ciphertext =
+      abe::kpabeEncrypt(authority_.group(), authority_.publicKeysFor(topics),
+                        topics, post.serialize(), rng)
+          .serialize();
+  return out;
+}
+
+std::optional<social::Post> TopicSubscriber::receive(const TopicPost& post) const {
+  const auto ct = abe::KpAbeCiphertext::deserialize(post.ciphertext);
+  if (!ct) return std::nullopt;
+  const auto plain = abe::kpabeDecrypt(group_, key_, *ct);
+  if (!plain) return std::nullopt;
+  return social::Post::deserialize(*plain);
+}
+
+std::vector<social::Post> TopicSubscriber::filterFeed(
+    const std::vector<TopicPost>& feed) const {
+  std::vector<social::Post> out;
+  for (const TopicPost& post : feed) {
+    if (auto decoded = receive(post)) out.push_back(std::move(*decoded));
+  }
+  return out;
+}
+
+}  // namespace dosn::search

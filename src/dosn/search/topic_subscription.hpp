@@ -1,0 +1,53 @@
+// KP-ABE topic subscriptions (paper §III-D, key-policy flavor): the
+// subscriber's KEY carries the filter policy; publishers just label posts
+// with topic attributes. A subscription key for "sports AND turkey" opens
+// exactly the posts tagged with both — enforced by the KP-ABE layer, without
+// the publisher knowing any subscriber's interests.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "dosn/abe/kpabe.hpp"
+#include "dosn/social/content.hpp"
+
+namespace dosn::search {
+
+/// A labeled, encrypted post as published to the (untrusted) feed store.
+struct TopicPost {
+  std::set<std::string> topics;  // public labels (the KP-ABE attribute set)
+  util::Bytes ciphertext;        // serialized KpAbeCiphertext
+};
+
+/// Publisher side: encrypts posts to their topic sets.
+class TopicPublisher {
+ public:
+  explicit TopicPublisher(const abe::KpAbeAuthority& authority)
+      : authority_(authority) {}
+
+  TopicPost publish(const std::set<std::string>& topics,
+                    const social::Post& post, util::Rng& rng) const;
+
+ private:
+  const abe::KpAbeAuthority& authority_;
+};
+
+/// Subscriber side: holds a key whose policy IS the subscription filter.
+class TopicSubscriber {
+ public:
+  TopicSubscriber(const pkcrypto::DlogGroup& group, abe::KpAbeUserKey key)
+      : group_(group), key_(std::move(key)) {}
+
+  /// Decrypts iff the post's topic set satisfies the subscription policy.
+  std::optional<social::Post> receive(const TopicPost& post) const;
+
+  /// Filters a feed down to the matching, decrypted posts.
+  std::vector<social::Post> filterFeed(const std::vector<TopicPost>& feed) const;
+
+ private:
+  const pkcrypto::DlogGroup& group_;
+  abe::KpAbeUserKey key_;
+};
+
+}  // namespace dosn::search

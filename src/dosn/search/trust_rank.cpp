@@ -1,0 +1,82 @@
+#include "dosn/search/trust_rank.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+namespace dosn::search {
+
+std::optional<double> chainTrust(const SocialGraph& graph,
+                                 const std::vector<UserId>& chain) {
+  if (chain.size() < 2) return std::nullopt;
+  double product = 1.0;
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const auto edge = graph.trust(chain[i], chain[i + 1]);
+    if (!edge) return std::nullopt;
+    product *= *edge;
+  }
+  return product;
+}
+
+std::optional<double> bestChainTrust(const SocialGraph& graph,
+                                     const UserId& from, const UserId& to,
+                                     std::size_t maxHops) {
+  if (from == to) return 1.0;
+  // Max-product Dijkstra with a hop bound: state = (trust, hops, user).
+  struct State {
+    double trust;
+    std::size_t hops;
+    UserId user;
+    bool operator<(const State& o) const { return trust < o.trust; }
+  };
+  // best[user][hops] pruning: track the best trust seen per user at <= hops.
+  std::map<UserId, double> best;
+  std::priority_queue<State> queue;
+  queue.push(State{1.0, 0, from});
+  while (!queue.empty()) {
+    const State current = queue.top();
+    queue.pop();
+    if (current.user == to) return current.trust;
+    if (current.hops == maxHops) continue;
+    const auto bestIt = best.find(current.user);
+    if (bestIt != best.end() && bestIt->second > current.trust) continue;
+    for (const UserId& next : graph.friendsOf(current.user)) {
+      const double edge = *graph.trust(current.user, next);
+      const double trust = current.trust * edge;
+      const auto it = best.find(next);
+      if (it != best.end() && it->second >= trust) continue;
+      best[next] = trust;
+      queue.push(State{trust, current.hops + 1, next});
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<RankedResult> trustRankedSearch(const SocialGraph& graph,
+                                            const UserId& searcher,
+                                            const std::vector<UserId>& candidates,
+                                            std::size_t maxHops, double alpha) {
+  std::size_t maxDegree = 1;
+  for (const UserId& user : graph.users()) {
+    maxDegree = std::max(maxDegree, graph.degree(user));
+  }
+  std::vector<RankedResult> results;
+  results.reserve(candidates.size());
+  for (const UserId& candidate : candidates) {
+    RankedResult r;
+    r.user = candidate;
+    r.trust = bestChainTrust(graph, searcher, candidate, maxHops).value_or(0.0);
+    r.popularity = static_cast<double>(graph.degree(candidate)) /
+                   static_cast<double>(maxDegree);
+    r.score = alpha * r.trust + (1.0 - alpha) * r.popularity;
+    results.push_back(std::move(r));
+  }
+  std::sort(results.begin(), results.end(),
+            [](const RankedResult& a, const RankedResult& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.user < b.user;
+            });
+  return results;
+}
+
+}  // namespace dosn::search

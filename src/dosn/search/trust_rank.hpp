@@ -1,0 +1,47 @@
+// Trusted search results (paper §V-D): "if Alice trusts Bob and Bob trusts
+// Sara, then Alice can trust Sara too. The amount of trust ... is a function
+// of trust levels of every intermediate friend of that chain" — with
+// popularity blended in, following Huang et al. [41].
+//
+// Chain trust is the product of edge trusts along the best chain (found with
+// a Dijkstra-style max-product search, bounded by a hop limit). Popularity is
+// normalized degree. The final score blends both.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dosn/social/graph.hpp"
+
+namespace dosn::search {
+
+using social::SocialGraph;
+using social::UserId;
+
+/// Trust of a concrete chain: product of edge trusts; std::nullopt if any
+/// link is missing.
+std::optional<double> chainTrust(const SocialGraph& graph,
+                                 const std::vector<UserId>& chain);
+
+/// Best-chain trust from `from` to `to` within `maxHops` hops (max-product
+/// Dijkstra). std::nullopt if unreachable within the bound.
+std::optional<double> bestChainTrust(const SocialGraph& graph,
+                                     const UserId& from, const UserId& to,
+                                     std::size_t maxHops);
+
+struct RankedResult {
+  UserId user;
+  double trust = 0.0;       // best-chain trust from the searcher
+  double popularity = 0.0;  // degree / max degree
+  double score = 0.0;       // alpha*trust + (1-alpha)*popularity
+};
+
+/// Ranks `candidates` for `searcher`. `alpha` weighs trust vs popularity.
+/// Unreachable candidates (within maxHops) get trust 0.
+std::vector<RankedResult> trustRankedSearch(const SocialGraph& graph,
+                                            const UserId& searcher,
+                                            const std::vector<UserId>& candidates,
+                                            std::size_t maxHops,
+                                            double alpha = 0.7);
+
+}  // namespace dosn::search

@@ -1,0 +1,61 @@
+#include "dosn/search/zkp_access.hpp"
+
+#include "dosn/crypto/sha256.hpp"
+#include "dosn/util/bytes.hpp"
+
+namespace dosn::search {
+
+namespace {
+
+util::Bytes accessContext(const std::string& resource,
+                          const std::string& handle) {
+  return util::toBytes("zkp-access:" + resource + ":" + handle);
+}
+
+}  // namespace
+
+Pseudonym createPseudonym(const pkcrypto::DlogGroup& group, util::Rng& rng) {
+  Pseudonym p;
+  p.key = pkcrypto::schnorrGenerate(group, rng);
+  const crypto::Digest d = crypto::sha256(p.key.pub.serialize());
+  p.handle = "pseu:" + util::toHex(util::BytesView(d.data(), 8));
+  return p;
+}
+
+void AccessGate::authorize(const std::string& resource,
+                           const std::string& handle,
+                           const pkcrypto::SchnorrPublicKey& key) {
+  authorized_[resource][handle] = key;
+}
+
+void AccessGate::revoke(const std::string& resource,
+                        const std::string& handle) {
+  const auto it = authorized_.find(resource);
+  if (it != authorized_.end()) it->second.erase(handle);
+}
+
+bool AccessGate::checkAccess(const std::string& resource,
+                             const std::string& handle,
+                             const pkcrypto::SchnorrProof& proof) const {
+  const auto resIt = authorized_.find(resource);
+  if (resIt == authorized_.end()) return false;
+  const auto keyIt = resIt->second.find(handle);
+  if (keyIt == resIt->second.end()) return false;
+  return pkcrypto::schnorrProofVerify(group_, keyIt->second,
+                                      accessContext(resource, handle), proof);
+}
+
+std::size_t AccessGate::authorizedCount(const std::string& resource) const {
+  const auto it = authorized_.find(resource);
+  return it == authorized_.end() ? 0 : it->second.size();
+}
+
+pkcrypto::SchnorrProof proveAccess(const pkcrypto::DlogGroup& group,
+                                   const Pseudonym& pseudonym,
+                                   const std::string& resource,
+                                   util::Rng& rng) {
+  return pkcrypto::schnorrProve(group, pseudonym.key,
+                                accessContext(resource, pseudonym.handle), rng);
+}
+
+}  // namespace dosn::search

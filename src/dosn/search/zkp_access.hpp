@@ -1,0 +1,59 @@
+// Pseudonymous access with zero-knowledge proofs (paper §V-B): "A user can
+// use a pseudonym while searching in the network, and when (s)he wants to
+// reach a content belonging to another person, (s)he uses ZKP to prove having
+// privileges to access" (Backes et al. [40]).
+//
+// A pseudonym is a fresh Schnorr public key y = g^x; access proofs are
+// Fiat-Shamir Schnorr proofs of knowledge of x bound to the resource being
+// requested, so a proof for one resource cannot be replayed for another.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "dosn/pkcrypto/schnorr.hpp"
+
+namespace dosn::search {
+
+/// A pseudonym: an unlinkable key pair (no connection to the real UserId is
+/// ever registered anywhere).
+struct Pseudonym {
+  std::string handle;  // "pseu:" + hex of the public key hash
+  pkcrypto::SchnorrPrivateKey key;
+};
+
+Pseudonym createPseudonym(const pkcrypto::DlogGroup& group, util::Rng& rng);
+
+/// Guards resources; grants access to authorized pseudonyms that prove key
+/// knowledge, learning nothing but the pseudonym handle.
+class AccessGate {
+ public:
+  explicit AccessGate(const pkcrypto::DlogGroup& group) : group_(group) {}
+
+  /// The resource owner authorizes a pseudonym (public part only).
+  void authorize(const std::string& resource, const std::string& handle,
+                 const pkcrypto::SchnorrPublicKey& key);
+  void revoke(const std::string& resource, const std::string& handle);
+
+  /// Non-interactive access check: the proof must be bound to (resource ||
+  /// handle).
+  bool checkAccess(const std::string& resource, const std::string& handle,
+                   const pkcrypto::SchnorrProof& proof) const;
+
+  std::size_t authorizedCount(const std::string& resource) const;
+
+ private:
+  const pkcrypto::DlogGroup& group_;
+  std::map<std::string, std::map<std::string, pkcrypto::SchnorrPublicKey>>
+      authorized_;
+};
+
+/// Client-side: produce the access proof for a resource.
+pkcrypto::SchnorrProof proveAccess(const pkcrypto::DlogGroup& group,
+                                   const Pseudonym& pseudonym,
+                                   const std::string& resource,
+                                   util::Rng& rng);
+
+}  // namespace dosn::search

@@ -1,0 +1,37 @@
+#include "dosn/sim/churn.hpp"
+
+#include <memory>
+
+namespace dosn::sim {
+
+double expectedAvailability(const ChurnConfig& config) {
+  return config.meanOnlineSeconds /
+         (config.meanOnlineSeconds + config.meanOfflineSeconds);
+}
+
+ChurnProcess::ChurnProcess(Network& network, ChurnConfig config,
+                           std::vector<NodeAddr> nodes)
+    : network_(network), config_(config), alive_(std::make_shared<bool>(true)) {
+  for (const NodeAddr node : nodes) {
+    const bool startOnline = network_.rng().chance(config_.initialOnlineFraction);
+    network_.setOnline(node, startOnline);
+    scheduleTransition(node);
+  }
+}
+
+void ChurnProcess::scheduleTransition(NodeAddr node) {
+  const bool online = network_.isOnline(node);
+  const double meanSeconds =
+      online ? config_.meanOnlineSeconds : config_.meanOfflineSeconds;
+  const double durationSeconds = network_.rng().exponential(meanSeconds);
+  const auto delay =
+      static_cast<SimTime>(durationSeconds * static_cast<double>(kSecond));
+  std::shared_ptr<bool> alive = alive_;
+  network_.simulator().schedule(delay, [this, node, alive] {
+    if (!*alive) return;
+    network_.setOnline(node, !network_.isOnline(node));
+    scheduleTransition(node);
+  });
+}
+
+}  // namespace dosn::sim

@@ -1,0 +1,43 @@
+// Churn model: nodes alternate online/offline sessions with exponentially
+// distributed durations — the availability threat the paper's §I motivates
+// replication against ("users cannot guarantee full time data availability").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dosn/sim/network.hpp"
+
+namespace dosn::sim {
+
+struct ChurnConfig {
+  double meanOnlineSeconds = 600;   // mean session length
+  double meanOfflineSeconds = 1200; // mean downtime
+  /// Fraction of nodes that are online at t=0.
+  double initialOnlineFraction = 0.5;
+};
+
+/// Expected steady-state availability of a node under this config.
+double expectedAvailability(const ChurnConfig& config);
+
+/// Drives on/off sessions for a set of nodes. Construct after the nodes
+/// exist; it schedules the first transition for each node immediately.
+class ChurnProcess {
+ public:
+  ChurnProcess(Network& network, ChurnConfig config,
+               std::vector<NodeAddr> nodes);
+
+  /// Stops scheduling further transitions (in-flight ones become no-ops).
+  void stop() { *alive_ = false; }
+
+  const ChurnConfig& config() const { return config_; }
+
+ private:
+  void scheduleTransition(NodeAddr node);
+
+  Network& network_;
+  ChurnConfig config_;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace dosn::sim

@@ -1,0 +1,61 @@
+#include "dosn/sim/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dosn::sim {
+
+void Histogram::record(double value) {
+  values_.push_back(value);
+  sorted_ = false;
+}
+
+void Histogram::ensureSorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Histogram::min() const {
+  ensureSorted();
+  return values_.empty() ? 0.0 : values_.front();
+}
+
+double Histogram::max() const {
+  ensureSorted();
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+double Histogram::percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: bad p");
+  ensureSorted();
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+void Metrics::increment(const std::string& name, std::uint64_t by) {
+  counters_[name] += by;
+}
+
+std::uint64_t Metrics::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+Histogram& Metrics::histogram(const std::string& name) {
+  return histograms_[name];
+}
+
+}  // namespace dosn::sim

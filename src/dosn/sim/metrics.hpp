@@ -1,0 +1,48 @@
+// Lightweight metrics for experiments: counters and value histograms with
+// percentile queries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dosn::sim {
+
+class Histogram {
+ public:
+  void record(double value);
+
+  std::size_t count() const { return values_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// p in [0, 100]; linear interpolation between order statistics.
+  double percentile(double p) const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+
+  void ensureSorted() const;
+};
+
+class Metrics {
+ public:
+  void increment(const std::string& name, std::uint64_t by = 1);
+  std::uint64_t counter(const std::string& name) const;
+
+  Histogram& histogram(const std::string& name);
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace dosn::sim

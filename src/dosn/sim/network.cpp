@@ -1,0 +1,87 @@
+#include "dosn/sim/network.hpp"
+
+#include "dosn/util/error.hpp"
+
+namespace dosn::sim {
+
+SimTime LatencyModel::sample(util::Rng& rng) const {
+  SimTime t = base;
+  if (jitter > 0) t += rng.uniform(jitter + 1);
+  return t;
+}
+
+Network::Network(Simulator& sim, LatencyModel latency, util::Rng& rng)
+    : sim_(sim), latency_(latency), rng_(rng) {}
+
+NodeAddr Network::addNode() {
+  const NodeAddr addr = nextAddr_++;
+  nodes_.emplace(addr, NodeState{});
+  return addr;
+}
+
+Network::NodeState& Network::state(NodeAddr node) {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) throw util::NetError("Network: unknown node");
+  return it->second;
+}
+
+const Network::NodeState& Network::state(NodeAddr node) const {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end()) throw util::NetError("Network: unknown node");
+  return it->second;
+}
+
+void Network::setHandler(NodeAddr node, Handler handler) {
+  state(node).handler = std::move(handler);
+}
+
+void Network::setStatusHook(NodeAddr node, StatusHook hook) {
+  state(node).statusHook = std::move(hook);
+}
+
+void Network::setOnline(NodeAddr node, bool online) {
+  NodeState& s = state(node);
+  if (s.online == online) return;
+  s.online = online;
+  if (s.statusHook) s.statusHook(node, online);
+}
+
+bool Network::isOnline(NodeAddr node) const { return state(node).online; }
+
+std::size_t Network::onlineCount() const {
+  std::size_t count = 0;
+  for (const auto& [addr, s] : nodes_) {
+    if (s.online) ++count;
+  }
+  return count;
+}
+
+void Network::send(NodeAddr from, NodeAddr to, Message msg) {
+  const NodeState& sender = state(from);
+  state(to);  // validate address
+  if (!sender.online) return;
+
+  ++messagesSent_;
+  bytesSent_ += msg.payload.size();
+  ++messagesByType_[msg.type];
+
+  if (latency_.lossProbability > 0 && rng_.chance(latency_.lossProbability)) {
+    return;
+  }
+  const SimTime delay = latency_.sample(rng_);
+  sim_.schedule(delay, [this, from, to, msg = std::move(msg)]() mutable {
+    const auto it = nodes_.find(to);
+    if (it == nodes_.end() || !it->second.online || !it->second.handler) return;
+    ++messagesDelivered_;
+    it->second.handler(from, msg);
+  });
+}
+
+void Network::resetStats() {
+  messagesSent_ = 0;
+  messagesDelivered_ = 0;
+  bytesSent_ = 0;
+  messagesByType_.clear();
+}
+
+}  // namespace dosn::sim

@@ -1,0 +1,42 @@
+#include "dosn/sim/simulator.hpp"
+
+#include "dosn/util/error.hpp"
+
+namespace dosn::sim {
+
+void Simulator::schedule(SimTime delay, std::function<void()> fn) {
+  scheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::scheduleAt(SimTime when, std::function<void()> fn) {
+  if (when < now_) throw util::NetError("Simulator: scheduling in the past");
+  queue_.push(Event{when, nextSeq_++, std::move(fn)});
+}
+
+std::size_t Simulator::run(std::size_t maxEvents) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && executed < maxEvents) {
+    // Copy out before pop: the handler may schedule new events.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    event.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+std::size_t Simulator::runUntil(SimTime until, std::size_t maxEvents) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && executed < maxEvents && queue_.top().when <= until) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    event.fn();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+}  // namespace dosn::sim

@@ -1,0 +1,60 @@
+// Discrete-event simulator: the substrate substituting for a planet-scale P2P
+// deployment (DESIGN.md §3.2). Virtual time is in microseconds; events are
+// closures ordered by (time, insertion sequence).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dosn::sim {
+
+/// Virtual time in microseconds.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1000 * 1000;
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` after the current time.
+  void schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedules `fn` at an absolute time (>= now).
+  void scheduleAt(SimTime when, std::function<void()> fn);
+
+  /// Runs events until the queue drains or `maxEvents` have executed.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t maxEvents = kDefaultMaxEvents);
+
+  /// Runs events with time <= `until` (events scheduled later stay queued).
+  std::size_t runUntil(SimTime until, std::size_t maxEvents = kDefaultMaxEvents);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pendingEvents() const { return queue_.size(); }
+
+  static constexpr std::size_t kDefaultMaxEvents = 50'000'000;
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t nextSeq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace dosn::sim

@@ -1,0 +1,99 @@
+#include "dosn/social/anonymize.hpp"
+
+#include <algorithm>
+
+namespace dosn::social {
+
+namespace {
+
+AnonymizedGraph pseudonymize(const SocialGraph& graph, util::Rng& rng) {
+  AnonymizedGraph out;
+  std::vector<UserId> users = graph.users();
+  rng.shuffle(users);
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    out.pseudonymOf[users[i]] = "n" + std::to_string(i);
+    out.graph.addUser("n" + std::to_string(i));
+  }
+  for (const UserId& u : graph.users()) {
+    for (const UserId& v : graph.friendsOf(u)) {
+      if (u < v) {
+        out.graph.addFriendship(out.pseudonymOf[u], out.pseudonymOf[v],
+                                *graph.trust(u, v));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+AnonymizedGraph anonymize(const SocialGraph& graph, util::Rng& rng) {
+  return pseudonymize(graph, rng);
+}
+
+AnonymizedGraph anonymizePerturbed(const SocialGraph& graph,
+                                   double edgePerturbation, util::Rng& rng) {
+  AnonymizedGraph out = pseudonymize(graph, rng);
+  // Collect the current edge list.
+  std::vector<std::pair<UserId, UserId>> edges;
+  for (const UserId& u : out.graph.users()) {
+    for (const UserId& v : out.graph.friendsOf(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  const std::vector<UserId> nodes = out.graph.users();
+  const auto flips =
+      static_cast<std::size_t>(edgePerturbation * static_cast<double>(edges.size()));
+  for (std::size_t i = 0; i < flips && !edges.empty(); ++i) {
+    // Delete a random existing edge...
+    const std::size_t pick = rng.uniform(edges.size());
+    out.graph.removeFriendship(edges[pick].first, edges[pick].second);
+    edges.erase(edges.begin() + static_cast<std::ptrdiff_t>(pick));
+    // ...and add a random new one.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const UserId& a = nodes[rng.uniform(nodes.size())];
+      const UserId& b = nodes[rng.uniform(nodes.size())];
+      if (a == b || out.graph.areFriends(a, b)) continue;
+      out.graph.addFriendship(a, b, 0.5);
+      edges.emplace_back(std::min(a, b), std::max(a, b));
+      break;
+    }
+  }
+  return out;
+}
+
+std::map<UserId, UserId> degreeAttack(const SocialGraph& original,
+                                      const SocialGraph& anonymized) {
+  // Sort both sides by degree (descending); match greedily by closest degree.
+  auto byDegree = [](const SocialGraph& g) {
+    std::vector<std::pair<std::size_t, UserId>> out;
+    for (const UserId& u : g.users()) out.emplace_back(g.degree(u), u);
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    return out;
+  };
+  const auto origRanked = byDegree(original);
+  const auto anonRanked = byDegree(anonymized);
+  std::map<UserId, UserId> mapping;
+  const std::size_t n = std::min(origRanked.size(), anonRanked.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    mapping[origRanked[i].second] = anonRanked[i].second;
+  }
+  return mapping;
+}
+
+double reidentificationRate(const AnonymizedGraph& published,
+                            const std::map<UserId, UserId>& attack) {
+  if (published.pseudonymOf.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& [user, pseudonym] : published.pseudonymOf) {
+    const auto it = attack.find(user);
+    if (it != attack.end() && it->second == pseudonym) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(published.pseudonymOf.size());
+}
+
+}  // namespace dosn::social

@@ -1,0 +1,47 @@
+// Social-graph anonymization and de-anonymization (paper §VI: "there should
+// be an 'anonymized' way that let the OSN providers to publish these data
+// sets ... one can reverse the anonymization process" ).
+//
+// Anonymization: replace user ids with pseudonyms, optionally perturbing the
+// structure (random edge additions/deletions).
+// De-anonymization: the classic degree-sequence re-identification attack —
+// match anonymized nodes back to known users by (perturbed) degree, measuring
+// how much structure alone reveals.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dosn/social/graph.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace dosn::social {
+
+struct AnonymizedGraph {
+  SocialGraph graph;  // pseudonymous node ids ("n0", "n1", ...)
+  /// Ground truth (held by the publisher only; attacks don't see it).
+  std::map<UserId, UserId> pseudonymOf;
+};
+
+/// Naive anonymization: pseudonyms only, structure untouched.
+AnonymizedGraph anonymize(const SocialGraph& graph, util::Rng& rng);
+
+/// Perturbed anonymization: pseudonyms + flip `edgePerturbation` fraction of
+/// edges (delete an existing edge / add a random one each).
+AnonymizedGraph anonymizePerturbed(const SocialGraph& graph,
+                                   double edgePerturbation, util::Rng& rng);
+
+/// Degree-based re-identification: the attacker knows the original graph
+/// (auxiliary information) and matches each original user to the anonymized
+/// node with the closest degree (greedy, distinct assignments, largest
+/// degrees first — rare degrees are most identifying).
+/// Returns attacker's mapping original-user -> claimed pseudonym.
+std::map<UserId, UserId> degreeAttack(const SocialGraph& original,
+                                      const SocialGraph& anonymized);
+
+/// Fraction of users the attack re-identified correctly.
+double reidentificationRate(const AnonymizedGraph& published,
+                            const std::map<UserId, UserId>& attack);
+
+}  // namespace dosn::social

@@ -1,0 +1,84 @@
+#include "dosn/social/content.hpp"
+
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::social {
+
+util::Bytes Post::serialize() const {
+  util::Writer w;
+  w.str(author);
+  w.u64(id);
+  w.u64(created);
+  w.str(text);
+  return w.take();
+}
+
+std::optional<Post> Post::deserialize(util::BytesView data) {
+  try {
+    util::Reader r(data);
+    Post post;
+    post.author = r.str();
+    post.id = r.u64();
+    post.created = r.u64();
+    post.text = r.str();
+    r.expectEnd();
+    return post;
+  } catch (const util::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes Comment::serialize() const {
+  util::Writer w;
+  w.str(commenter);
+  w.u64(post);
+  w.u64(created);
+  w.str(text);
+  return w.take();
+}
+
+std::optional<Comment> Comment::deserialize(util::BytesView data) {
+  try {
+    util::Reader r(data);
+    Comment comment;
+    comment.commenter = r.str();
+    comment.post = r.u64();
+    comment.created = r.u64();
+    comment.text = r.str();
+    r.expectEnd();
+    return comment;
+  } catch (const util::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes Profile::serialize() const {
+  util::Writer w;
+  w.str(user);
+  w.u32(static_cast<std::uint32_t>(fields.size()));
+  for (const auto& [key, value] : fields) {
+    w.str(key);
+    w.str(value);
+  }
+  return w.take();
+}
+
+std::optional<Profile> Profile::deserialize(util::BytesView data) {
+  try {
+    util::Reader r(data);
+    Profile profile;
+    profile.user = r.str();
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::string key = r.str();
+      profile.fields.emplace(std::move(key), r.str());
+    }
+    r.expectEnd();
+    return profile;
+  } catch (const util::CodecError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace dosn::social

@@ -1,0 +1,50 @@
+// Social content objects: profiles, posts, comments — the data every privacy
+// and integrity mechanism in the library protects. All objects have a stable
+// binary encoding (the bytes that get hashed, signed and encrypted).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "dosn/social/identity.hpp"
+#include "dosn/util/bytes.hpp"
+
+namespace dosn::social {
+
+using PostId = std::uint64_t;
+using Timestamp = std::uint64_t;  // microseconds (simulator time)
+
+struct Post {
+  UserId author;
+  PostId id = 0;
+  Timestamp created = 0;
+  std::string text;
+
+  util::Bytes serialize() const;
+  static std::optional<Post> deserialize(util::BytesView data);
+  bool operator==(const Post&) const = default;
+};
+
+struct Comment {
+  UserId commenter;
+  PostId post = 0;        // the post this comment belongs to
+  Timestamp created = 0;
+  std::string text;
+
+  util::Bytes serialize() const;
+  static std::optional<Comment> deserialize(util::BytesView data);
+  bool operator==(const Comment&) const = default;
+};
+
+struct Profile {
+  UserId user;
+  std::map<std::string, std::string> fields;  // "name", "birthday", ...
+
+  util::Bytes serialize() const;
+  static std::optional<Profile> deserialize(util::BytesView data);
+  bool operator==(const Profile&) const = default;
+};
+
+}  // namespace dosn::social

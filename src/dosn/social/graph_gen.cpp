@@ -1,0 +1,101 @@
+#include "dosn/social/graph_gen.hpp"
+
+#include <stdexcept>
+
+namespace dosn::social {
+
+namespace {
+
+double randomTrust(util::Rng& rng, double minTrust) {
+  return minTrust + (1.0 - minTrust) * rng.uniformReal();
+}
+
+}  // namespace
+
+UserId syntheticUser(std::size_t index) { return "u" + std::to_string(index); }
+
+SocialGraph erdosRenyi(std::size_t n, double edgeProbability, util::Rng& rng,
+                       double minTrust) {
+  SocialGraph graph;
+  for (std::size_t i = 0; i < n; ++i) graph.addUser(syntheticUser(i));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.chance(edgeProbability)) {
+        graph.addFriendship(syntheticUser(i), syntheticUser(j),
+                            randomTrust(rng, minTrust));
+      }
+    }
+  }
+  return graph;
+}
+
+SocialGraph wattsStrogatz(std::size_t n, std::size_t k, double beta,
+                          util::Rng& rng, double minTrust) {
+  if (n < 2 * k + 1) throw std::invalid_argument("wattsStrogatz: n too small");
+  SocialGraph graph;
+  for (std::size_t i = 0; i < n; ++i) graph.addUser(syntheticUser(i));
+  // Ring lattice.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 1; d <= k; ++d) {
+      const std::size_t j = (i + d) % n;
+      if (!graph.areFriends(syntheticUser(i), syntheticUser(j))) {
+        graph.addFriendship(syntheticUser(i), syntheticUser(j),
+                            randomTrust(rng, minTrust));
+      }
+    }
+  }
+  // Rewire.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 1; d <= k; ++d) {
+      if (!rng.chance(beta)) continue;
+      const std::size_t j = (i + d) % n;
+      if (!graph.areFriends(syntheticUser(i), syntheticUser(j))) continue;
+      // Pick a new endpoint that isn't i, j or an existing friend of i.
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const std::size_t t = static_cast<std::size_t>(rng.uniform(n));
+        if (t == i || t == j) continue;
+        if (graph.areFriends(syntheticUser(i), syntheticUser(t))) continue;
+        graph.removeFriendship(syntheticUser(i), syntheticUser(j));
+        graph.addFriendship(syntheticUser(i), syntheticUser(t),
+                            randomTrust(rng, minTrust));
+        break;
+      }
+    }
+  }
+  return graph;
+}
+
+SocialGraph barabasiAlbert(std::size_t n, std::size_t m, util::Rng& rng,
+                           double minTrust) {
+  if (m == 0 || n < m + 1) throw std::invalid_argument("barabasiAlbert: bad n/m");
+  SocialGraph graph;
+  // Endpoint multiset for preferential attachment.
+  std::vector<std::size_t> endpoints;
+  // Seed: complete graph on m+1 nodes.
+  for (std::size_t i = 0; i <= m; ++i) graph.addUser(syntheticUser(i));
+  for (std::size_t i = 0; i <= m; ++i) {
+    for (std::size_t j = i + 1; j <= m; ++j) {
+      graph.addFriendship(syntheticUser(i), syntheticUser(j),
+                          randomTrust(rng, minTrust));
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  }
+  for (std::size_t i = m + 1; i < n; ++i) {
+    graph.addUser(syntheticUser(i));
+    std::set<std::size_t> targets;
+    while (targets.size() < m) {
+      const std::size_t pick = endpoints[rng.uniform(endpoints.size())];
+      if (pick != i) targets.insert(pick);
+    }
+    for (const std::size_t t : targets) {
+      graph.addFriendship(syntheticUser(i), syntheticUser(t),
+                          randomTrust(rng, minTrust));
+      endpoints.push_back(i);
+      endpoints.push_back(t);
+    }
+  }
+  return graph;
+}
+
+}  // namespace dosn::social

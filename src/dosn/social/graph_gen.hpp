@@ -1,0 +1,26 @@
+// Synthetic social-graph generators (DESIGN.md §3.4): Erdős–Rényi,
+// Watts–Strogatz small-world and Barabási–Albert preferential attachment —
+// the standard models the DOSN evaluation literature uses for workloads.
+// Edge trust values are drawn uniformly from [minTrust, 1].
+#pragma once
+
+#include "dosn/social/graph.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace dosn::social {
+
+/// Names users "u0".."u{n-1}".
+UserId syntheticUser(std::size_t index);
+
+SocialGraph erdosRenyi(std::size_t n, double edgeProbability, util::Rng& rng,
+                       double minTrust = 0.5);
+
+/// Ring lattice with k neighbors per side, rewired with probability beta.
+SocialGraph wattsStrogatz(std::size_t n, std::size_t k, double beta,
+                          util::Rng& rng, double minTrust = 0.5);
+
+/// Preferential attachment: each new node links to m existing nodes.
+SocialGraph barabasiAlbert(std::size_t n, std::size_t m, util::Rng& rng,
+                           double minTrust = 0.5);
+
+}  // namespace dosn::social

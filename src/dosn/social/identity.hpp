@@ -1,0 +1,51 @@
+// User identities and keyrings. Verification keys are distributed
+// "out-of-band" (paper §IV-A: physical meeting / e-mail) — modeled by the
+// IdentityRegistry, a trusted directory of verified public keys.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "dosn/pkcrypto/elgamal.hpp"
+#include "dosn/pkcrypto/schnorr.hpp"
+#include "dosn/util/bytes.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace dosn::social {
+
+using UserId = std::string;
+
+/// Everything a user keeps private.
+struct Keyring {
+  UserId user;
+  pkcrypto::SchnorrPrivateKey signing;     // post/message signatures
+  pkcrypto::ElGamalPrivateKey encryption;  // inbound encrypted messages
+  util::Bytes masterSymmetric;             // local-data encryption root
+};
+
+/// The public half other users see.
+struct PublicIdentity {
+  UserId user;
+  pkcrypto::SchnorrPublicKey signingKey;
+  pkcrypto::ElGamalPublicKey encryptionKey;
+};
+
+Keyring createKeyring(const pkcrypto::DlogGroup& group, UserId user,
+                      util::Rng& rng);
+PublicIdentity publicIdentity(const Keyring& keyring);
+
+/// Out-of-band verified key directory (paper §IV-A's "distributing proper
+/// keys out-of-band").
+class IdentityRegistry {
+ public:
+  void registerIdentity(PublicIdentity identity);
+  std::optional<PublicIdentity> lookup(const UserId& user) const;
+  bool contains(const UserId& user) const;
+  std::size_t size() const { return identities_.size(); }
+
+ private:
+  std::map<UserId, PublicIdentity> identities_;
+};
+
+}  // namespace dosn::social

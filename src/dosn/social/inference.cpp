@@ -1,0 +1,104 @@
+#include "dosn/social/inference.hpp"
+
+#include <algorithm>
+
+namespace dosn::social {
+
+void AttributeWorld::setTrueValue(const UserId& user, const std::string& value) {
+  values_[user] = value;
+}
+
+void AttributeWorld::setPublished(const UserId& user, bool published) {
+  if (published) {
+    published_.insert(user);
+  } else {
+    published_.erase(user);
+  }
+}
+
+std::optional<std::string> AttributeWorld::trueValue(const UserId& user) const {
+  const auto it = values_.find(user);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> AttributeWorld::visibleValue(const UserId& user) const {
+  if (!published_.count(user)) return std::nullopt;
+  return trueValue(user);
+}
+
+bool AttributeWorld::isHidden(const UserId& user) const {
+  return values_.count(user) > 0 && !published_.count(user);
+}
+
+std::set<UserId> AttributeWorld::hiddenUsers() const {
+  std::set<UserId> out;
+  for (const auto& [user, value] : values_) {
+    if (!published_.count(user)) out.insert(user);
+  }
+  return out;
+}
+
+AttributeWorld plantHomophilousAttribute(const SocialGraph& graph,
+                                         std::size_t valueCount,
+                                         double homophily,
+                                         double hiddenFraction, util::Rng& rng) {
+  AttributeWorld world;
+  const std::vector<UserId> users = graph.users();
+  auto valueName = [](std::size_t i) { return "v" + std::to_string(i); };
+
+  // Assign values: with probability `homophily` copy a random friend's
+  // already-assigned value, else pick uniformly. Iterate in random order.
+  std::vector<UserId> order = users;
+  rng.shuffle(order);
+  for (const UserId& user : order) {
+    std::string value;
+    std::vector<std::string> friendValues;
+    for (const UserId& f : graph.friendsOf(user)) {
+      if (const auto v = world.trueValue(f)) friendValues.push_back(*v);
+    }
+    if (!friendValues.empty() && rng.chance(homophily)) {
+      value = friendValues[rng.uniform(friendValues.size())];
+    } else {
+      value = valueName(rng.uniform(valueCount));
+    }
+    world.setTrueValue(user, value);
+    world.setPublished(user, true);
+  }
+  // Hide a fraction.
+  for (const UserId& user : users) {
+    if (rng.chance(hiddenFraction)) world.setPublished(user, false);
+  }
+  return world;
+}
+
+std::optional<std::string> inferByNeighborMajority(const SocialGraph& graph,
+                                                   const AttributeWorld& world,
+                                                   const UserId& user) {
+  std::map<std::string, std::size_t> votes;
+  for (const UserId& f : graph.friendsOf(user)) {
+    if (const auto value = world.visibleValue(f)) ++votes[*value];
+  }
+  if (votes.empty()) return std::nullopt;
+  return std::max_element(votes.begin(), votes.end(),
+                          [](const auto& a, const auto& b) {
+                            if (a.second != b.second) return a.second < b.second;
+                            return a.first > b.first;  // deterministic tie-break
+                          })
+      ->first;
+}
+
+InferenceReport runInferenceAttack(const SocialGraph& graph,
+                                   const AttributeWorld& world) {
+  InferenceReport report;
+  for (const UserId& user : world.hiddenUsers()) {
+    ++report.hidden;
+    const auto guess = inferByNeighborMajority(graph, world, user);
+    if (!guess) continue;
+    ++report.inferred;
+    if (guess == world.trueValue(user)) ++report.correct;
+  }
+  return report;
+}
+
+}  // namespace dosn::social

@@ -1,0 +1,73 @@
+// Attribute-inference ("implicit information leakage" / "network inference",
+// paper §VI): even when a user hides an attribute, it "can implicitly be
+// derived from published data" — here, from the attribute's distribution
+// among the user's friends (homophily).
+//
+// The attack is a neighbor-majority-vote classifier; the defense surface is
+// how many of a user's friends also hide the attribute. Used by
+// bench_inference to quantify the leak the survey says "no solution ... has
+// been proposed so far" for.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "dosn/social/graph.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace dosn::social {
+
+/// A single-attribute world: every user has a true value; some publish it.
+class AttributeWorld {
+ public:
+  void setTrueValue(const UserId& user, const std::string& value);
+  void setPublished(const UserId& user, bool published);
+
+  std::optional<std::string> trueValue(const UserId& user) const;
+  /// What the attacker can see: the value iff the user published it.
+  std::optional<std::string> visibleValue(const UserId& user) const;
+  bool isHidden(const UserId& user) const;
+
+  std::set<UserId> hiddenUsers() const;
+
+ private:
+  std::map<UserId, std::string> values_;
+  std::set<UserId> published_;
+};
+
+/// Plants a homophilous attribute over a graph: seeds `valueCount` distinct
+/// values on random users and spreads by label propagation (friends tend to
+/// share values with probability `homophily`); then hides the value of a
+/// `hiddenFraction` of users.
+AttributeWorld plantHomophilousAttribute(const SocialGraph& graph,
+                                         std::size_t valueCount,
+                                         double homophily,
+                                         double hiddenFraction, util::Rng& rng);
+
+/// The attack: guess a hidden user's value as the majority among the VISIBLE
+/// values of their friends. std::nullopt when no friend publishes anything.
+std::optional<std::string> inferByNeighborMajority(const SocialGraph& graph,
+                                                   const AttributeWorld& world,
+                                                   const UserId& user);
+
+struct InferenceReport {
+  std::size_t hidden = 0;       // users attacked
+  std::size_t inferred = 0;     // attack produced a guess
+  std::size_t correct = 0;      // guess matched the hidden true value
+  double accuracyOnInferred() const {
+    return inferred ? static_cast<double>(correct) / static_cast<double>(inferred)
+                    : 0.0;
+  }
+  double leakRate() const {
+    return hidden ? static_cast<double>(correct) / static_cast<double>(hidden)
+                  : 0.0;
+  }
+};
+
+/// Runs the attack against every hidden user.
+InferenceReport runInferenceAttack(const SocialGraph& graph,
+                                   const AttributeWorld& world);
+
+}  // namespace dosn::social

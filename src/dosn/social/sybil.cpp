@@ -1,0 +1,79 @@
+#include "dosn/social/sybil.hpp"
+
+#include <stdexcept>
+
+namespace dosn::social {
+
+SybilGuard::SybilGuard(const SocialGraph& graph, SybilGuardConfig config,
+                       util::Rng& rng)
+    : graph_(graph), config_(config) {
+  // Precompute every user's walk set.
+  for (const UserId& user : graph.users()) {
+    std::set<UserId>& touched = walkSets_[user];
+    for (std::size_t w = 0; w < config_.walkCount; ++w) {
+      UserId current = user;
+      for (std::size_t step = 0; step < config_.walkLength; ++step) {
+        const auto friends = graph_.friendsOf(current);
+        if (friends.empty()) break;
+        current = friends[rng.uniform(friends.size())];
+        touched.insert(current);
+      }
+    }
+  }
+}
+
+const std::set<UserId>& SybilGuard::walkSet(const UserId& user) const {
+  static const std::set<UserId> kEmpty;
+  const auto it = walkSets_.find(user);
+  return it == walkSets_.end() ? kEmpty : it->second;
+}
+
+double SybilGuard::intersectionFraction(const UserId& verifier,
+                                        const UserId& suspect) const {
+  const std::set<UserId>& mine = walkSet(verifier);
+  const std::set<UserId>& theirs = walkSet(suspect);
+  if (mine.empty() || theirs.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const UserId& node : mine) {
+    if (theirs.count(node)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(mine.size());
+}
+
+bool SybilGuard::accepts(const UserId& verifier, const UserId& suspect) const {
+  return intersectionFraction(verifier, suspect) >= config_.acceptThreshold;
+}
+
+std::vector<UserId> plantSybilRegion(SocialGraph& graph,
+                                     std::size_t sybilCount,
+                                     std::size_t attackEdges, util::Rng& rng) {
+  if (sybilCount < 2) throw std::invalid_argument("plantSybilRegion: too few");
+  const std::vector<UserId> honest = graph.users();
+  if (honest.empty()) throw std::invalid_argument("plantSybilRegion: empty graph");
+
+  std::vector<UserId> sybils;
+  for (std::size_t i = 0; i < sybilCount; ++i) {
+    sybils.push_back("sybil" + std::to_string(i));
+    graph.addUser(sybils.back());
+  }
+  // Dense sybil region: ring + random chords (the attacker fully controls
+  // these edges).
+  for (std::size_t i = 0; i < sybilCount; ++i) {
+    graph.addFriendship(sybils[i], sybils[(i + 1) % sybilCount], 1.0);
+    const std::size_t j = rng.uniform(sybilCount);
+    if (j != i && !graph.areFriends(sybils[i], sybils[j])) {
+      graph.addFriendship(sybils[i], sybils[j], 1.0);
+    }
+  }
+  // Few attack edges into the honest region (the scarce resource).
+  for (std::size_t e = 0; e < attackEdges; ++e) {
+    const UserId& sybil = sybils[rng.uniform(sybils.size())];
+    const UserId& victim = honest[rng.uniform(honest.size())];
+    if (!graph.areFriends(sybil, victim)) {
+      graph.addFriendship(sybil, victim, 0.6);
+    }
+  }
+  return sybils;
+}
+
+}  // namespace dosn::social

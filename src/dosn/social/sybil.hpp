@@ -1,0 +1,54 @@
+// Sybil-attack mitigation (paper §VI "other concerns": "in a sybil attack,
+// the reputation system of a network will be subverted by attacker who makes
+// (usually multiple) pseudonymous entities").
+//
+// Implements a SybilGuard-style detector: sybil regions attach to the honest
+// social graph through few "attack edges", so short random walks started at a
+// verifier rarely cross into the sybil region. A suspect is accepted iff
+// enough of the verifier's walks intersect the suspect's walks.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "dosn/social/graph.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace dosn::social {
+
+struct SybilGuardConfig {
+  std::size_t walkLength = 10;    // ~ sqrt(n log n) in the original paper
+  std::size_t walkCount = 24;     // walks per principal
+  double acceptThreshold = 0.25;  // fraction of walks that must intersect
+};
+
+class SybilGuard {
+ public:
+  SybilGuard(const SocialGraph& graph, SybilGuardConfig config, util::Rng& rng);
+
+  /// The verifier accepts the suspect iff >= threshold of the verifier's
+  /// walks intersect the suspect's walk set (node intersection).
+  bool accepts(const UserId& verifier, const UserId& suspect) const;
+
+  /// Fraction of the verifier's walks that intersect the suspect's.
+  double intersectionFraction(const UserId& verifier,
+                              const UserId& suspect) const;
+
+ private:
+  const std::set<UserId>& walkSet(const UserId& user) const;
+
+  const SocialGraph& graph_;
+  SybilGuardConfig config_;
+  // Nodes touched by each user's random walks (precomputed).
+  std::map<UserId, std::set<UserId>> walkSets_;
+};
+
+/// Test/benchmark helper: grafts a sybil region of `sybilCount` fake users
+/// (densely interconnected) onto `graph`, connected to honest users through
+/// exactly `attackEdges` edges. Returns the sybil user ids.
+std::vector<UserId> plantSybilRegion(SocialGraph& graph,
+                                     std::size_t sybilCount,
+                                     std::size_t attackEdges, util::Rng& rng);
+
+}  // namespace dosn::social

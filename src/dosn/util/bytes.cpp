@@ -1,0 +1,153 @@
+#include "dosn/util/bytes.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace dosn::util {
+
+Bytes toBytes(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+std::string toString(BytesView data) {
+  return std::string(data.begin(), data.end());
+}
+
+std::string toHex(BytesView data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+namespace {
+
+int hexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<Bytes> fromHex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hexNibble(hex[i]);
+    const int lo = hexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+namespace {
+
+constexpr std::string_view kB64Alphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int b64Value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+}  // namespace
+
+std::string toBase64(BytesView data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                            data[i + 2];
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);
+    out.push_back(kB64Alphabet[(n >> 6) & 63]);
+    out.push_back(kB64Alphabet[n & 63]);
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    const std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);
+    out.append("==");
+  } else if (rem == 2) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);
+    out.push_back(kB64Alphabet[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<Bytes> fromBase64(std::string_view b64) {
+  // Strip trailing padding.
+  while (!b64.empty() && b64.back() == '=') b64.remove_suffix(1);
+  Bytes out;
+  out.reserve(b64.size() * 3 / 4);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (char c : b64) {
+    const int v = b64Value(c);
+    if (v < 0) return std::nullopt;
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xff));
+    }
+  }
+  // Leftover bits must be zero padding of a valid encoding.
+  if (bits >= 6) return std::nullopt;
+  if ((acc & ((1u << bits) - 1)) != 0) return std::nullopt;
+  return out;
+}
+
+bool constantTimeEqual(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+Bytes concat(BytesView a, BytesView b) {
+  Bytes out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+Bytes concat(BytesView a, BytesView b, BytesView c) {
+  Bytes out;
+  out.reserve(a.size() + b.size() + c.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  out.insert(out.end(), c.begin(), c.end());
+  return out;
+}
+
+Bytes xorBytes(BytesView a, BytesView b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("xorBytes: size mismatch");
+  }
+  Bytes out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] ^ b[i];
+  return out;
+}
+
+}  // namespace dosn::util

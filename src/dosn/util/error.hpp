@@ -1,0 +1,35 @@
+// Library-wide exception hierarchy. Exceptions signal contract violations and
+// unrecoverable states; expected failures (bad signature, failed decryption)
+// are std::optional/bool returns instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dosn::util {
+
+/// Root of all dosn exceptions.
+class DosnError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed serialized data (truncated, out-of-range, bad tag).
+class CodecError : public DosnError {
+ public:
+  using DosnError::DosnError;
+};
+
+/// Misuse of a cryptographic API (wrong key size, nonce reuse guard, ...).
+class CryptoError : public DosnError {
+ public:
+  using DosnError::DosnError;
+};
+
+/// Simulator/overlay misuse (unknown node, send while offline, ...).
+class NetError : public DosnError {
+ public:
+  using DosnError::DosnError;
+};
+
+}  // namespace dosn::util

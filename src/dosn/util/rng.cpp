@@ -1,0 +1,123 @@
+#include "dosn/util/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dosn::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::uniform: bound == 0");
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return v % bound;
+}
+
+std::uint64_t Rng::range(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::range: lo > hi");
+  const std::uint64_t span = hi - lo;
+  if (span == ~std::uint64_t{0}) return next();
+  return lo + uniform(span + 1);
+}
+
+double Rng::uniformReal() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0) throw std::invalid_argument("Rng::exponential: mean <= 0");
+  double u = uniformReal();
+  while (u <= 0.0) u = uniformReal();
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = uniformReal();
+  while (u1 <= 0.0) u1 = uniformReal();
+  const double u2 = uniformReal();
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * 3.14159265358979323846 * u2);
+  return mean + stddev * z;
+}
+
+bool Rng::chance(double probability) {
+  return uniformReal() < probability;
+}
+
+void Rng::fill(std::uint8_t* out, std::size_t len) {
+  std::size_t i = 0;
+  while (i + 8 <= len) {
+    const std::uint64_t v = next();
+    for (int b = 0; b < 8; ++b) out[i++] = static_cast<std::uint8_t>(v >> (8 * b));
+  }
+  if (i < len) {
+    const std::uint64_t v = next();
+    for (int b = 0; i < len; ++b) out[i++] = static_cast<std::uint8_t>(v >> (8 * b));
+  }
+}
+
+Bytes Rng::bytes(std::size_t len) {
+  Bytes out(len);
+  fill(out.data(), len);
+  return out;
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("Rng::zipf: n == 0");
+  if (s <= 0.0) return static_cast<std::size_t>(uniform(n));
+  // Inverse-CDF on the continuous Zipf approximation, clamped to [0, n).
+  // P(X <= x) ~ H(x)/H(n) with H via the integral approximation.
+  const double u = uniformReal();
+  double value;
+  if (s == 1.0) {
+    value = std::exp(u * std::log(static_cast<double>(n) + 1.0)) - 1.0;
+  } else {
+    const double t = 1.0 - s;
+    const double hn = (std::pow(static_cast<double>(n) + 1.0, t) - 1.0) / t;
+    value = std::pow(u * hn * t + 1.0, 1.0 / t) - 1.0;
+  }
+  auto rank = static_cast<std::size_t>(value);
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+Rng& globalRng() {
+  static Rng rng{0xd05a600dull};
+  return rng;
+}
+
+}  // namespace dosn::util

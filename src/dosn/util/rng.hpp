@@ -1,0 +1,72 @@
+// Deterministic random number generation. Every random choice in the library
+// (key generation, simulator jitter, workload generation) flows through Rng so
+// that tests and experiments are reproducible under a fixed seed.
+//
+// The generator is xoshiro256** seeded via splitmix64. It is NOT a CSPRNG;
+// this whole repository is a reproduction/simulation codebase (see DESIGN.md
+// "simulation-grade crypto notice").
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "dosn/util/bytes.hpp"
+
+namespace dosn::util {
+
+class Rng {
+ public:
+  /// Seeds deterministically from a 64-bit value.
+  explicit Rng(std::uint64_t seed = 0xd05adefau);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniformReal();
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normally distributed value (Box-Muller).
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial.
+  bool chance(double probability);
+
+  /// Fills a buffer with random bytes.
+  void fill(std::uint8_t* out, std::size_t len);
+
+  /// Fresh random byte buffer of the given length.
+  Bytes bytes(std::size_t len);
+
+  /// Fisher-Yates shuffle of any random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    if (c.size() < 2) return;
+    for (std::size_t i = c.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(i + 1));
+      using std::swap;
+      swap(c[i], c[j]);
+    }
+  }
+
+  /// Zipf-distributed rank in [0, n) with exponent s (s=0 -> uniform).
+  /// Uses the rejection-free inverse-CDF over precomputation-less harmonic
+  /// approximation; adequate for workload generation.
+  std::size_t zipf(std::size_t n, double s);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Process-wide RNG used when callers don't thread their own through.
+Rng& globalRng();
+
+}  // namespace dosn::util

@@ -1,0 +1,26 @@
+// Small string helpers used by the policy parser, search tokenizer and CLIs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dosn::util {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string trim(std::string_view text);
+
+/// ASCII lower-casing.
+std::string toLower(std::string_view text);
+
+/// Splits into lowercase word tokens (alphanumeric runs) — the search
+/// tokenizer.
+std::vector<std::string> tokenize(std::string_view text);
+
+}  // namespace dosn::util

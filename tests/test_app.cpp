@@ -1,0 +1,182 @@
+// Integration tests for the decentralized microblog: full-stack flows over
+// the simulated DHT (publish -> replicate -> fetch -> verify -> decrypt),
+// including malicious-replica tampering.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dosn/app/microblog.hpp"
+#include "dosn/privacy/symmetric_acl.hpp"
+
+namespace dosn::app {
+namespace {
+
+using overlay::Contact;
+using overlay::OverlayId;
+using sim::kMillisecond;
+
+class MicroblogTest : public ::testing::Test {
+ protected:
+  MicroblogTest() {
+    // A small DHT substrate of plain peers for replication.
+    for (int i = 0; i < 12; ++i) {
+      peers_.push_back(std::make_unique<overlay::KademliaNode>(
+          net_, OverlayId::random(rng_)));
+    }
+    seed_ = Contact{peers_[0]->id(), peers_[0]->addr()};
+    for (std::size_t i = 1; i < peers_.size(); ++i) {
+      peers_[i]->bootstrap(seed_);
+      sim_.run();
+    }
+    alice_ = makeNode("alice");
+    bob_ = makeNode("bob");
+    eve_ = makeNode("eve");
+  }
+
+  std::unique_ptr<MicroblogNode> makeNode(const std::string& user) {
+    auto node = std::make_unique<MicroblogNode>(
+        net_, OverlayId::random(rng_), group_, user, registry_, acl_, rng_);
+    node->join(seed_);
+    sim_.run();
+    return node;
+  }
+
+  util::Rng rng_{42};
+  sim::Simulator sim_;
+  sim::Network net_{sim_, sim::LatencyModel{5 * kMillisecond, 2 * kMillisecond, 0.0},
+                    rng_};
+  const pkcrypto::DlogGroup& group_ = pkcrypto::DlogGroup::cached(256);
+  social::IdentityRegistry registry_;
+  privacy::SymmetricAcl acl_{rng_};
+  std::vector<std::unique_ptr<overlay::KademliaNode>> peers_;
+  Contact seed_;
+  std::unique_ptr<MicroblogNode> alice_;
+  std::unique_ptr<MicroblogNode> bob_;
+  std::unique_ptr<MicroblogNode> eve_;
+};
+
+TEST_F(MicroblogTest, PublishFetchDecrypt) {
+  alice_->createCircle("friends");
+  alice_->addToCircle("friends", "bob");
+  bool published = false;
+  alice_->publish("friends", "first!", 1, rng_, [&](bool ok) { published = ok; });
+  sim_.run();
+  EXPECT_TRUE(published);
+  alice_->publish("friends", "second", 2, rng_);
+  sim_.run();
+
+  FetchedTimeline fetched;
+  bob_->fetchTimeline("alice", [&](FetchedTimeline t) { fetched = std::move(t); });
+  sim_.run();
+  EXPECT_TRUE(fetched.headValid);
+  EXPECT_TRUE(fetched.chainValid);
+  ASSERT_EQ(fetched.posts.size(), 2u);
+  EXPECT_EQ(fetched.posts[0].text, "first!");
+  EXPECT_EQ(fetched.posts[1].text, "second");
+  EXPECT_EQ(fetched.undecryptable, 0u);
+}
+
+TEST_F(MicroblogTest, NonMemberSeesCiphertextOnly) {
+  alice_->createCircle("friends");
+  alice_->addToCircle("friends", "bob");
+  alice_->publish("friends", "secret plan", 1, rng_);
+  sim_.run();
+
+  FetchedTimeline fetched;
+  eve_->fetchTimeline("alice", [&](FetchedTimeline t) { fetched = std::move(t); });
+  sim_.run();
+  // Eve can verify integrity (public) but decrypt nothing (confidential).
+  EXPECT_TRUE(fetched.chainValid);
+  EXPECT_TRUE(fetched.posts.empty());
+  EXPECT_EQ(fetched.undecryptable, 1u);
+}
+
+TEST_F(MicroblogTest, UnknownAuthorFails) {
+  FetchedTimeline fetched;
+  fetched.headValid = true;
+  bob_->fetchTimeline("nobody", [&](FetchedTimeline t) { fetched = std::move(t); });
+  sim_.run();
+  EXPECT_FALSE(fetched.headValid);
+}
+
+TEST_F(MicroblogTest, EmptyTimelineFetches) {
+  // Alice never published: no head record exists in the DHT.
+  FetchedTimeline fetched;
+  fetched.headValid = true;
+  bob_->fetchTimeline("alice", [&](FetchedTimeline t) { fetched = std::move(t); });
+  sim_.run();
+  EXPECT_FALSE(fetched.headValid);  // nothing stored yet
+}
+
+TEST_F(MicroblogTest, TamperedReplicaDetected) {
+  alice_->createCircle("friends");
+  alice_->addToCircle("friends", "bob");
+  alice_->publish("friends", "genuine", 1, rng_);
+  sim_.run();
+
+  // A malicious replica set overwrites entry 0 with forged bytes (store is
+  // unauthenticated at the DHT layer — the chain must catch it).
+  TimelineRecord forged;
+  forged.entry.seq = 0;
+  forged.entry.payload = util::toBytes("forged");
+  forged.envelope.scheme = "symmetric";
+  forged.envelope.group = "alice/friends";
+  forged.envelope.serial = 999;
+  forged.envelope.blob = util::toBytes("junk");
+  peers_[3]->store(MicroblogNode::entryKey("alice", 0), forged.serialize());
+  sim_.run();
+
+  FetchedTimeline fetched;
+  bob_->fetchTimeline("alice", [&](FetchedTimeline t) { fetched = std::move(t); });
+  sim_.run();
+  EXPECT_TRUE(fetched.headValid);
+  EXPECT_FALSE(fetched.chainValid);
+  EXPECT_TRUE(fetched.posts.empty());
+}
+
+TEST_F(MicroblogTest, ForgedHeadRejected) {
+  alice_->createCircle("friends");
+  alice_->publish("friends", "post", 1, rng_);
+  sim_.run();
+
+  // A forger (without alice's key) plants a head record claiming 5 entries.
+  HeadRecord fake;
+  fake.length = 5;
+  fake.headHash = crypto::sha256(util::toBytes("nope"));
+  const auto forgerKey = pkcrypto::schnorrGenerate(group_, rng_);
+  fake.signature =
+      pkcrypto::schnorrSign(group_, forgerKey, fake.signedBytes(), rng_);
+  peers_[5]->store(MicroblogNode::headKey("alice"), fake.serialize());
+  sim_.run();
+
+  FetchedTimeline fetched;
+  fetched.chainValid = true;
+  bob_->fetchTimeline("alice", [&](FetchedTimeline t) { fetched = std::move(t); });
+  sim_.run();
+  // Depending on which replica answers, bob sees either the genuine head
+  // (valid chain) or the forged head (rejected signature) — never a forged
+  // timeline accepted as valid.
+  if (fetched.headValid) {
+    EXPECT_TRUE(fetched.chainValid);
+    EXPECT_LE(fetched.posts.size(), 1u);
+  } else {
+    EXPECT_FALSE(fetched.chainValid);
+  }
+}
+
+TEST_F(MicroblogTest, RecordSerializationRoundTrips) {
+  HeadRecord head;
+  head.length = 7;
+  head.headHash = crypto::sha256(util::toBytes("x"));
+  const auto key = pkcrypto::schnorrGenerate(group_, rng_);
+  head.signature = pkcrypto::schnorrSign(group_, key, head.signedBytes(), rng_);
+  const auto headBack = HeadRecord::deserialize(head.serialize());
+  ASSERT_TRUE(headBack.has_value());
+  EXPECT_EQ(headBack->length, 7u);
+  EXPECT_EQ(headBack->headHash, head.headHash);
+  EXPECT_FALSE(HeadRecord::deserialize(util::toBytes("junk")).has_value());
+  EXPECT_FALSE(TimelineRecord::deserialize(util::toBytes("junk")).has_value());
+}
+
+}  // namespace
+}  // namespace dosn::app

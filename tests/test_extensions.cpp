@@ -1,0 +1,219 @@
+// Tests for the §VI extension modules: sybil defense, graph anonymization /
+// de-anonymization, and attribute inference.
+#include <gtest/gtest.h>
+
+#include "dosn/social/anonymize.hpp"
+#include "dosn/social/graph_gen.hpp"
+#include "dosn/social/inference.hpp"
+#include "dosn/social/sybil.hpp"
+
+namespace dosn::social {
+namespace {
+
+// --- SybilGuard ---
+
+class SybilTest : public ::testing::Test {
+ protected:
+  util::Rng rng_{42};
+};
+
+TEST_F(SybilTest, PlantedRegionHasExpectedShape) {
+  SocialGraph graph = wattsStrogatz(60, 3, 0.1, rng_);
+  const std::size_t honestEdges = graph.edgeCount();
+  const auto sybils = plantSybilRegion(graph, 20, 3, rng_);
+  EXPECT_EQ(sybils.size(), 20u);
+  EXPECT_EQ(graph.userCount(), 80u);
+  EXPECT_GT(graph.edgeCount(), honestEdges + 20);  // ring + chords + attack
+  // Attack edges are scarce: at most 3 sybil-honest edges.
+  std::size_t attackEdges = 0;
+  for (const UserId& s : sybils) {
+    for (const UserId& f : graph.friendsOf(s)) {
+      if (f.rfind("sybil", 0) != 0) ++attackEdges;
+    }
+  }
+  EXPECT_LE(attackEdges, 3u);
+}
+
+TEST_F(SybilTest, HonestUsersIntersectStrongly) {
+  SocialGraph graph = wattsStrogatz(80, 4, 0.1, rng_);
+  SybilGuardConfig config{10, 16, 0.2};
+  const SybilGuard guard(graph, config, rng_);
+  std::size_t accepted = 0;
+  std::size_t trials = 0;
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 10; j < 20; ++j) {
+      if (i == j) continue;
+      ++trials;
+      if (guard.accepts(syntheticUser(static_cast<std::size_t>(i) * 3),
+                        syntheticUser(static_cast<std::size_t>(j) * 4))) {
+        ++accepted;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(accepted) / static_cast<double>(trials), 0.8);
+}
+
+TEST_F(SybilTest, SybilsWithFewAttackEdgesRejected) {
+  SocialGraph graph = wattsStrogatz(100, 4, 0.1, rng_);
+  const auto sybils = plantSybilRegion(graph, 30, 2, rng_);
+  SybilGuardConfig config{10, 16, 0.2};
+  const SybilGuard guard(graph, config, rng_);
+  std::size_t accepted = 0;
+  std::size_t trials = 0;
+  for (int v = 0; v < 10; ++v) {
+    for (std::size_t s = 0; s < sybils.size(); s += 5) {
+      ++trials;
+      if (guard.accepts(syntheticUser(static_cast<std::size_t>(v) * 9), sybils[s])) {
+        ++accepted;
+      }
+    }
+  }
+  EXPECT_LT(static_cast<double>(accepted) / static_cast<double>(trials), 0.3);
+}
+
+TEST_F(SybilTest, IntersectionFractionSymmetricallyBounded) {
+  SocialGraph graph = wattsStrogatz(40, 3, 0.1, rng_);
+  const SybilGuard guard(graph, SybilGuardConfig{}, rng_);
+  const double f = guard.intersectionFraction("u0", "u20");
+  EXPECT_GE(f, 0.0);
+  EXPECT_LE(f, 1.0);
+  EXPECT_EQ(guard.intersectionFraction("ghost", "u0"), 0.0);
+}
+
+// --- Anonymization ---
+
+class AnonymizeTest : public ::testing::Test {
+ protected:
+  util::Rng rng_{7};
+};
+
+TEST_F(AnonymizeTest, PseudonymsPreserveStructure) {
+  const SocialGraph graph = erdosRenyi(50, 0.1, rng_);
+  const AnonymizedGraph published = anonymize(graph, rng_);
+  EXPECT_EQ(published.graph.userCount(), graph.userCount());
+  EXPECT_EQ(published.graph.edgeCount(), graph.edgeCount());
+  // No original id leaks into the published graph.
+  for (const UserId& u : published.graph.users()) {
+    EXPECT_EQ(u.rfind("n", 0), 0u) << u;
+  }
+  // The mapping is a bijection.
+  std::set<UserId> pseudonyms;
+  for (const auto& [user, pseudonym] : published.pseudonymOf) {
+    EXPECT_TRUE(pseudonyms.insert(pseudonym).second);
+  }
+  EXPECT_EQ(pseudonyms.size(), graph.userCount());
+}
+
+TEST_F(AnonymizeTest, PerturbationKeepsEdgeCountApproximately) {
+  const SocialGraph graph = erdosRenyi(60, 0.15, rng_);
+  const AnonymizedGraph published = anonymizePerturbed(graph, 0.3, rng_);
+  const double ratio = static_cast<double>(published.graph.edgeCount()) /
+                       static_cast<double>(graph.edgeCount());
+  EXPECT_GT(ratio, 0.85);
+  EXPECT_LE(ratio, 1.05);
+}
+
+TEST_F(AnonymizeTest, DegreeAttackBeatsChanceOnScaleFree) {
+  const SocialGraph graph = barabasiAlbert(200, 3, rng_);
+  const AnonymizedGraph published = anonymize(graph, rng_);
+  const auto attack = degreeAttack(graph, published.graph);
+  const double rate = reidentificationRate(published, attack);
+  // Chance would be 1/200 = 0.5%; degree structure does far better on hubs.
+  EXPECT_GT(rate, 0.05);
+}
+
+TEST_F(AnonymizeTest, PerturbationReducesReidentification) {
+  const SocialGraph graph = barabasiAlbert(200, 3, rng_);
+  const AnonymizedGraph naive = anonymize(graph, rng_);
+  const AnonymizedGraph perturbed = anonymizePerturbed(graph, 0.5, rng_);
+  const double naiveRate =
+      reidentificationRate(naive, degreeAttack(graph, naive.graph));
+  const double perturbedRate =
+      reidentificationRate(perturbed, degreeAttack(graph, perturbed.graph));
+  EXPECT_LE(perturbedRate, naiveRate);
+}
+
+TEST_F(AnonymizeTest, ReidentificationRateBounds) {
+  const SocialGraph graph = erdosRenyi(30, 0.2, rng_);
+  const AnonymizedGraph published = anonymize(graph, rng_);
+  // A perfect oracle attack scores 1.0.
+  std::map<UserId, UserId> oracle = published.pseudonymOf;
+  EXPECT_DOUBLE_EQ(reidentificationRate(published, oracle), 1.0);
+  // An empty attack scores 0.
+  EXPECT_DOUBLE_EQ(reidentificationRate(published, {}), 0.0);
+}
+
+// --- Attribute inference ---
+
+class InferenceTest : public ::testing::Test {
+ protected:
+  util::Rng rng_{11};
+};
+
+TEST_F(InferenceTest, WorldBookkeeping) {
+  AttributeWorld world;
+  world.setTrueValue("alice", "red");
+  world.setPublished("alice", true);
+  EXPECT_EQ(world.visibleValue("alice").value(), "red");
+  EXPECT_FALSE(world.isHidden("alice"));
+  world.setPublished("alice", false);
+  EXPECT_FALSE(world.visibleValue("alice").has_value());
+  EXPECT_TRUE(world.isHidden("alice"));
+  EXPECT_EQ(world.trueValue("alice").value(), "red");
+  EXPECT_FALSE(world.trueValue("ghost").has_value());
+}
+
+TEST_F(InferenceTest, MajorityVoteWorks) {
+  SocialGraph graph;
+  graph.addFriendship("target", "f1");
+  graph.addFriendship("target", "f2");
+  graph.addFriendship("target", "f3");
+  AttributeWorld world;
+  world.setTrueValue("target", "blue");
+  world.setPublished("target", false);
+  for (const char* f : {"f1", "f2"}) {
+    world.setTrueValue(f, "blue");
+    world.setPublished(f, true);
+  }
+  world.setTrueValue("f3", "red");
+  world.setPublished("f3", true);
+  EXPECT_EQ(inferByNeighborMajority(graph, world, "target").value(), "blue");
+}
+
+TEST_F(InferenceTest, NoVisibleFriendsNoGuess) {
+  SocialGraph graph;
+  graph.addFriendship("target", "f1");
+  AttributeWorld world;
+  world.setTrueValue("target", "x");
+  world.setPublished("target", false);
+  world.setTrueValue("f1", "x");
+  world.setPublished("f1", false);
+  EXPECT_FALSE(inferByNeighborMajority(graph, world, "target").has_value());
+}
+
+TEST_F(InferenceTest, HomophilyDrivesLeakage) {
+  const SocialGraph graph = wattsStrogatz(200, 4, 0.1, rng_);
+  const AttributeWorld strong =
+      plantHomophilousAttribute(graph, 4, 0.95, 0.3, rng_);
+  const AttributeWorld none =
+      plantHomophilousAttribute(graph, 4, 0.0, 0.3, rng_);
+  const double strongAcc = runInferenceAttack(graph, strong).accuracyOnInferred();
+  const double noneAcc = runInferenceAttack(graph, none).accuracyOnInferred();
+  EXPECT_GT(strongAcc, 0.6);
+  // Without homophily the attack hovers near the 1/4 random baseline.
+  EXPECT_LT(noneAcc, 0.45);
+  EXPECT_GT(strongAcc, noneAcc);
+}
+
+TEST_F(InferenceTest, ReportArithmetic) {
+  InferenceReport report;
+  report.hidden = 10;
+  report.inferred = 8;
+  report.correct = 6;
+  EXPECT_DOUBLE_EQ(report.accuracyOnInferred(), 0.75);
+  EXPECT_DOUBLE_EQ(report.leakRate(), 0.6);
+  EXPECT_DOUBLE_EQ(InferenceReport{}.accuracyOnInferred(), 0.0);
+}
+
+}  // namespace
+}  // namespace dosn::social

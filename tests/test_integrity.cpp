@@ -1,0 +1,427 @@
+// Tests for the §IV integrity mechanisms, organized around the paper's party-
+// invitation scenario: owner/content integrity, historical integrity (chains,
+// entanglement, history trees, fork detection) and relation integrity.
+#include <gtest/gtest.h>
+
+#include "dosn/integrity/entanglement.hpp"
+#include "dosn/integrity/fork_consistency.hpp"
+#include "dosn/integrity/hash_chain.hpp"
+#include "dosn/integrity/history_tree.hpp"
+#include "dosn/integrity/relation.hpp"
+#include "dosn/integrity/signed_post.hpp"
+#include "dosn/util/codec.hpp"
+
+namespace dosn::integrity {
+namespace {
+
+using social::Keyring;
+using util::toBytes;
+
+const pkcrypto::DlogGroup& testGroup() {
+  return pkcrypto::DlogGroup::cached(256);
+}
+
+class IntegrityTest : public ::testing::Test {
+ protected:
+  IntegrityTest() {
+    bob_ = social::createKeyring(testGroup(), "bob", rng_);
+    alice_ = social::createKeyring(testGroup(), "alice", rng_);
+    mallory_ = social::createKeyring(testGroup(), "mallory", rng_);
+    registry_.registerIdentity(social::publicIdentity(bob_));
+    registry_.registerIdentity(social::publicIdentity(alice_));
+    registry_.registerIdentity(social::publicIdentity(mallory_));
+  }
+
+  util::Rng rng_{42};
+  social::IdentityRegistry registry_;
+  Keyring bob_;
+  Keyring alice_;
+  Keyring mallory_;
+};
+
+// --- Owner + content integrity (§IV-A) ---
+
+TEST_F(IntegrityTest, AliceVerifiesBobsInvitation) {
+  social::Post invitation{"bob", 1, 100,
+                          "Come to my party held at my home on Friday"};
+  const SignedPost sp = signPost(testGroup(), bob_, invitation, rng_);
+  EXPECT_TRUE(verifyPost(testGroup(), registry_, sp));
+}
+
+TEST_F(IntegrityTest, ForgedSenderDetected) {
+  // Mallory forges an invitation claiming to be from Bob: she can only sign
+  // with her own key, and the registry lookup for "bob" exposes her.
+  social::Post forged{"bob", 2, 100, "Party at my place, bring gifts"};
+  SignedPost sp;
+  sp.post = forged;
+  sp.signature =
+      pkcrypto::schnorrSign(testGroup(), mallory_.signing, forged.serialize(), rng_);
+  EXPECT_FALSE(verifyPost(testGroup(), registry_, sp));
+  // signPost itself refuses to sign someone else's authorship.
+  EXPECT_THROW(signPost(testGroup(), mallory_, forged, rng_), util::DosnError);
+}
+
+TEST_F(IntegrityTest, TamperedContentDetected) {
+  social::Post invitation{"bob", 1, 100, "Party on Friday"};
+  SignedPost sp = signPost(testGroup(), bob_, invitation, rng_);
+  sp.post.text = "Party on Saturday";  // tampered in transit
+  EXPECT_FALSE(verifyPost(testGroup(), registry_, sp));
+}
+
+TEST_F(IntegrityTest, UnknownAuthorRejected) {
+  social::Post post{"stranger", 1, 1, "hi"};
+  SignedPost sp;
+  sp.post = post;
+  sp.signature =
+      pkcrypto::schnorrSign(testGroup(), bob_.signing, post.serialize(), rng_);
+  EXPECT_FALSE(verifyPost(testGroup(), registry_, sp));
+}
+
+TEST_F(IntegrityTest, SignedPostSerializationRoundTrip) {
+  social::Post post{"bob", 3, 50, "hello"};
+  const SignedPost sp = signPost(testGroup(), bob_, post, rng_);
+  const auto back = SignedPost::deserialize(sp.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(verifyPost(testGroup(), registry_, *back));
+  EXPECT_FALSE(SignedPost::deserialize(toBytes("junk")).has_value());
+}
+
+// --- Historical integrity: hash chains (§IV-B) ---
+
+TEST_F(IntegrityTest, ChainVerifies) {
+  Timeline timeline(testGroup(), bob_);
+  for (int i = 0; i < 5; ++i) {
+    timeline.append(toBytes("post " + std::to_string(i)), rng_);
+  }
+  EXPECT_TRUE(verifyChain(testGroup(), bob_.signing.pub, timeline.entries()));
+}
+
+TEST_F(IntegrityTest, TamperedEntryBreaksChain) {
+  Timeline timeline(testGroup(), bob_);
+  for (int i = 0; i < 4; ++i) timeline.append(toBytes("p"), rng_);
+  auto entries = timeline.entries();
+  entries[1].payload = toBytes("tampered");
+  EXPECT_FALSE(verifyChain(testGroup(), bob_.signing.pub, entries));
+}
+
+TEST_F(IntegrityTest, ReorderedEntriesBreakChain) {
+  Timeline timeline(testGroup(), bob_);
+  for (int i = 0; i < 4; ++i) timeline.append(toBytes("p" + std::to_string(i)), rng_);
+  auto entries = timeline.entries();
+  std::swap(entries[1], entries[2]);
+  EXPECT_FALSE(verifyChain(testGroup(), bob_.signing.pub, entries));
+}
+
+TEST_F(IntegrityTest, DroppedInteriorEntryDetected) {
+  Timeline timeline(testGroup(), bob_);
+  for (int i = 0; i < 4; ++i) timeline.append(toBytes("p"), rng_);
+  auto entries = timeline.entries();
+  entries.erase(entries.begin() + 1);
+  EXPECT_FALSE(verifyChain(testGroup(), bob_.signing.pub, entries));
+}
+
+TEST_F(IntegrityTest, TruncationFromTailNotDetectedByChainAlone) {
+  // A known limitation the paper's fork-consistency section addresses:
+  // dropping the newest entries still yields a valid (shorter) chain.
+  Timeline timeline(testGroup(), bob_);
+  for (int i = 0; i < 4; ++i) timeline.append(toBytes("p"), rng_);
+  auto entries = timeline.entries();
+  entries.pop_back();
+  EXPECT_TRUE(verifyChain(testGroup(), bob_.signing.pub, entries));
+}
+
+TEST_F(IntegrityTest, WrongPublisherKeyFails) {
+  Timeline timeline(testGroup(), bob_);
+  timeline.append(toBytes("p"), rng_);
+  EXPECT_FALSE(verifyChain(testGroup(), alice_.signing.pub, timeline.entries()));
+}
+
+TEST_F(IntegrityTest, ChainEntrySerializationRoundTrip) {
+  Timeline timeline(testGroup(), bob_);
+  const ChainEntry& entry = timeline.append(toBytes("data"), rng_);
+  const auto back = ChainEntry::deserialize(entry.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->entryHash(), entry.entryHash());
+}
+
+// --- Expired-invitation freshness via the chain (the scenario's "is this
+// invitation valid for an upcoming event?") ---
+
+TEST_F(IntegrityTest, FreshnessProvableViaChainPosition) {
+  Timeline timeline(testGroup(), bob_);
+  timeline.append(toBytes("invitation: party friday week 1"), rng_);
+  timeline.append(toBytes("cancellation: week 1 party off"), rng_);
+  timeline.append(toBytes("invitation: party friday week 2"), rng_);
+  ASSERT_TRUE(verifyChain(testGroup(), bob_.signing.pub, timeline.entries()));
+  // The cancellation provably follows the first invitation.
+  EXPECT_TRUE(provablyPrecedes(timeline.entries(), 0, 1));
+  EXPECT_FALSE(provablyPrecedes(timeline.entries(), 1, 0));
+}
+
+// --- Cross-timeline entanglement (§IV-B) ---
+
+TEST_F(IntegrityTest, EntanglementEstablishesCrossUserOrder) {
+  EntangledTimeline bobLine(testGroup(), bob_);
+  EntangledTimeline aliceLine(testGroup(), alice_);
+
+  const crypto::Digest bobPost =
+      bobLine.append(toBytes("party friday!"), {}, rng_).entryHash();
+  // Alice replies, entangling with Bob's head.
+  const crypto::Digest aliceReply =
+      aliceLine.append(toBytes("i'll be there"), {{"bob", bobLine.head()}}, rng_)
+          .entryHash();
+  // Bob posts again, entangling with Alice.
+  const crypto::Digest bobFollowup =
+      bobLine
+          .append(toBytes("great, see you"), {{"alice", aliceLine.head()}}, rng_)
+          .entryHash();
+
+  ASSERT_TRUE(verifyEntangledChain(testGroup(), bob_.signing.pub, bobLine.entries()));
+  ASSERT_TRUE(
+      verifyEntangledChain(testGroup(), alice_.signing.pub, aliceLine.entries()));
+
+  OrderOracle oracle({&bobLine, &aliceLine});
+  EXPECT_TRUE(oracle.happenedBefore(bobPost, aliceReply));
+  EXPECT_TRUE(oracle.happenedBefore(aliceReply, bobFollowup));
+  // Transitivity across users.
+  EXPECT_TRUE(oracle.happenedBefore(bobPost, bobFollowup));
+  EXPECT_FALSE(oracle.happenedBefore(aliceReply, bobPost));
+}
+
+TEST_F(IntegrityTest, UnentangledEntriesAreConcurrent) {
+  EntangledTimeline bobLine(testGroup(), bob_);
+  EntangledTimeline aliceLine(testGroup(), alice_);
+  const auto& b = bobLine.append(toBytes("x"), {}, rng_);
+  const auto& a = aliceLine.append(toBytes("y"), {}, rng_);
+  OrderOracle oracle({&bobLine, &aliceLine});
+  EXPECT_TRUE(oracle.concurrent(a.entryHash(), b.entryHash()));
+}
+
+TEST_F(IntegrityTest, TamperedEntangledChainFails) {
+  EntangledTimeline bobLine(testGroup(), bob_);
+  bobLine.append(toBytes("a"), {}, rng_);
+  bobLine.append(toBytes("b"), {}, rng_);
+  auto entries = bobLine.entries();
+  entries[0].references.push_back({"alice", crypto::sha256(toBytes("fake"))});
+  EXPECT_FALSE(verifyEntangledChain(testGroup(), bob_.signing.pub, entries));
+}
+
+// --- History tree + signed roots (§IV-B Frientegrity) ---
+
+TEST_F(IntegrityTest, HistoryTreeMembershipProofs) {
+  HistoryTree tree;
+  for (int i = 0; i < 10; ++i) tree.append(toBytes("op" + std::to_string(i)));
+  const crypto::Digest root = tree.root();
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const auto proof = tree.prove(i, 10);
+    ASSERT_TRUE(proof.has_value());
+    EXPECT_TRUE(HistoryTree::verifyMembership(root, *proof));
+  }
+  // Proof against an older version's root.
+  const crypto::Digest oldRoot = tree.rootAt(5);
+  const auto oldProof = tree.prove(2, 5);
+  ASSERT_TRUE(oldProof.has_value());
+  EXPECT_TRUE(HistoryTree::verifyMembership(oldRoot, *oldProof));
+  EXPECT_FALSE(HistoryTree::verifyMembership(root, *oldProof));
+}
+
+TEST_F(IntegrityTest, HistoryTreePrefixConsistency) {
+  HistoryTree tree;
+  std::vector<crypto::Digest> roots;
+  for (int i = 0; i < 8; ++i) {
+    tree.append(toBytes("op" + std::to_string(i)));
+    roots.push_back(tree.root());
+  }
+  // Every historical root is a consistent prefix of the current log.
+  for (std::uint64_t v = 1; v <= 8; ++v) {
+    EXPECT_TRUE(tree.consistentWith(v, roots[v - 1]));
+  }
+  EXPECT_FALSE(tree.consistentWith(3, roots[4]));
+  EXPECT_FALSE(tree.consistentWith(100, roots[0]));
+}
+
+TEST_F(IntegrityTest, HistoryTreeCacheInvalidatedOnAppend) {
+  HistoryTree tree;
+  tree.append(toBytes("op0"));
+  const crypto::Digest rootBefore = tree.root();  // warms the cache
+  const auto proofBefore = tree.prove(0, 1);
+  tree.append(toBytes("op1"));
+  const crypto::Digest rootAfter = tree.root();
+  EXPECT_NE(rootBefore, rootAfter);
+  // Old proof still verifies against the old root, not the new one.
+  EXPECT_TRUE(HistoryTree::verifyMembership(rootBefore, *proofBefore));
+  EXPECT_FALSE(HistoryTree::verifyMembership(rootAfter, *proofBefore));
+  // New proofs cover both operations.
+  EXPECT_TRUE(HistoryTree::verifyMembership(rootAfter, *tree.prove(1, 2)));
+}
+
+TEST_F(IntegrityTest, SignedRootVerification) {
+  HistoryTree tree;
+  tree.append(toBytes("op"));
+  const auto provider = pkcrypto::schnorrGenerate(testGroup(), rng_);
+  const SignedRoot sr =
+      signRoot(testGroup(), provider, tree.version(), tree.root(), rng_);
+  EXPECT_TRUE(verifySignedRoot(testGroup(), provider.pub, sr));
+  SignedRoot bad = sr;
+  bad.version = 99;
+  EXPECT_FALSE(verifySignedRoot(testGroup(), provider.pub, bad));
+}
+
+// --- Fork-consistency detection (§IV-B) ---
+
+class ForkTest : public ::testing::Test {
+ protected:
+  util::Rng rng_{7};
+  const pkcrypto::DlogGroup& group_ = testGroup();
+  ForkingProvider provider_{group_, rng_};
+};
+
+TEST_F(ForkTest, HonestProviderPassesCrossChecks) {
+  provider_.addClient("alice");
+  provider_.addClient("bob");
+  provider_.appendAs("alice", toBytes("op1"), rng_);
+  provider_.appendAs("bob", toBytes("op2"), rng_);
+
+  AuditingClient alice(group_, "alice", provider_.publicKey());
+  AuditingClient bob(group_, "bob", provider_.publicKey());
+  alice.observe(provider_.headFor("alice"));
+  bob.observe(provider_.headFor("bob"));
+  EXPECT_FALSE(alice.crossCheck(bob, provider_));
+  EXPECT_FALSE(bob.crossCheck(alice, provider_));
+}
+
+TEST_F(ForkTest, EquivocationDetectedOnCrossCheck) {
+  provider_.addClient("alice");
+  provider_.addClient("bob");
+  provider_.appendAs("alice", toBytes("shared-op"), rng_);
+
+  // The provider forks bob off and serves divergent updates.
+  provider_.fork({"bob"});
+  provider_.appendAs("alice", toBytes("alice-only"), rng_);
+  provider_.appendAs("bob", toBytes("bob-only"), rng_);
+
+  AuditingClient alice(group_, "alice", provider_.publicKey());
+  AuditingClient bob(group_, "bob", provider_.publicKey());
+  alice.observe(provider_.headFor("alice"));
+  bob.observe(provider_.headFor("bob"));
+  // Same version (2), different roots: caught immediately.
+  EXPECT_TRUE(alice.crossCheck(bob, provider_));
+}
+
+TEST_F(ForkTest, EquivocationDetectedAcrossVersions) {
+  provider_.addClient("alice");
+  provider_.addClient("bob");
+  provider_.appendAs("alice", toBytes("op1"), rng_);
+  provider_.fork({"bob"});
+  provider_.appendAs("bob", toBytes("bob-divergent"), rng_);
+  provider_.appendAs("bob", toBytes("bob-more"), rng_);
+  provider_.appendAs("alice", toBytes("alice-2"), rng_);
+
+  AuditingClient alice(group_, "alice", provider_.publicKey());
+  AuditingClient bob(group_, "bob", provider_.publicKey());
+  alice.observe(provider_.headFor("alice"));  // version 2 on fork 0
+  bob.observe(provider_.headFor("bob"));      // version 3 on fork 1
+  // Alice's version-2 root is not a prefix of bob's fork: detected.
+  EXPECT_TRUE(alice.crossCheck(bob, provider_));
+}
+
+TEST_F(ForkTest, ClientsOnSameForkSeeNoEvidence) {
+  provider_.addClient("alice");
+  provider_.addClient("bob");
+  provider_.addClient("carol");
+  provider_.appendAs("alice", toBytes("op"), rng_);
+  provider_.fork({"bob", "carol"});
+  provider_.appendAs("bob", toBytes("fork-op"), rng_);
+
+  AuditingClient bob(group_, "bob", provider_.publicKey());
+  AuditingClient carol(group_, "carol", provider_.publicKey());
+  bob.observe(provider_.headFor("bob"));
+  carol.observe(provider_.headFor("carol"));
+  // Both are on fork 1: their views are mutually consistent (the fork is
+  // only visible across forks — the paper's point about needing
+  // client-to-client communication).
+  EXPECT_FALSE(bob.crossCheck(carol, provider_));
+}
+
+TEST_F(ForkTest, BadProviderSignatureRejected) {
+  provider_.addClient("alice");
+  provider_.appendAs("alice", toBytes("op"), rng_);
+  SignedRoot head = provider_.headFor("alice");
+  head.root[0] ^= 1;
+  AuditingClient alice(group_, "alice", provider_.publicKey());
+  EXPECT_THROW(alice.observe(head), util::DosnError);
+}
+
+// --- Relation integrity (§IV-C) ---
+
+class RelationTest : public IntegrityTest {
+ protected:
+  util::Bytes commenterKey_ = rng_.bytes(32);
+};
+
+TEST_F(RelationTest, AuthorizedCommentVerifies) {
+  social::Post post{"bob", 10, 100, "party friday"};
+  const RelationPost rp =
+      createRelationPost(testGroup(), bob_, post, commenterKey_, rng_);
+  ASSERT_TRUE(verifyPost(testGroup(), registry_, rp.base));
+
+  const auto commentKey = extractCommentKey(testGroup(), rp, commenterKey_);
+  ASSERT_TRUE(commentKey.has_value());
+  const SignedComment sc = signComment(
+      testGroup(), rp, *commentKey,
+      social::Comment{"alice", 10, 101, "count me in"}, rng_);
+  EXPECT_TRUE(verifyComment(testGroup(), rp, sc));
+}
+
+TEST_F(RelationTest, UnauthorizedCannotExtractKey) {
+  social::Post post{"bob", 11, 100, "p"};
+  const RelationPost rp =
+      createRelationPost(testGroup(), bob_, post, commenterKey_, rng_);
+  const util::Bytes wrongKey = rng_.bytes(32);
+  EXPECT_FALSE(extractCommentKey(testGroup(), rp, wrongKey).has_value());
+}
+
+TEST_F(RelationTest, CommentBoundToItsPost) {
+  social::Post post1{"bob", 20, 100, "post one"};
+  social::Post post2{"bob", 21, 100, "post two"};
+  const RelationPost rp1 =
+      createRelationPost(testGroup(), bob_, post1, commenterKey_, rng_);
+  const RelationPost rp2 =
+      createRelationPost(testGroup(), bob_, post2, commenterKey_, rng_);
+  const auto key1 = extractCommentKey(testGroup(), rp1, commenterKey_);
+  const SignedComment sc = signComment(
+      testGroup(), rp1, *key1, social::Comment{"alice", 20, 1, "c"}, rng_);
+  // A comment for post 20 does not verify against post 21 (different id AND
+  // different per-post key).
+  EXPECT_FALSE(verifyComment(testGroup(), rp2, sc));
+  EXPECT_TRUE(verifyComment(testGroup(), rp1, sc));
+}
+
+TEST_F(RelationTest, ForgedCommentWithoutKeyFails) {
+  social::Post post{"bob", 30, 100, "p"};
+  const RelationPost rp =
+      createRelationPost(testGroup(), bob_, post, commenterKey_, rng_);
+  // Mallory signs with her own key instead of the post's comment key.
+  social::Comment comment{"mallory", 30, 1, "spam"};
+  SignedComment forged;
+  forged.comment = comment;
+  util::Writer ctx;
+  ctx.bytes(rp.base.signature.serialize());
+  ctx.bytes(comment.serialize());
+  forged.signature =
+      pkcrypto::schnorrSign(testGroup(), mallory_.signing, ctx.buffer(), rng_);
+  EXPECT_FALSE(verifyComment(testGroup(), rp, forged));
+}
+
+TEST_F(RelationTest, MismatchedPostIdThrowsOnSign) {
+  social::Post post{"bob", 40, 100, "p"};
+  const RelationPost rp =
+      createRelationPost(testGroup(), bob_, post, commenterKey_, rng_);
+  const auto key = extractCommentKey(testGroup(), rp, commenterKey_);
+  EXPECT_THROW(signComment(testGroup(), rp, *key,
+                           social::Comment{"alice", 41, 1, "c"}, rng_),
+               util::DosnError);
+}
+
+}  // namespace
+}  // namespace dosn::integrity

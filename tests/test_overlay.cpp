@@ -1,0 +1,720 @@
+// Tests for the overlay tier: node ids, Kademlia DHT, flooding, gossip,
+// super-peers, hybrid lookup, federation, replication.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dosn/overlay/federation.hpp"
+#include "dosn/overlay/flooding.hpp"
+#include "dosn/overlay/gossip.hpp"
+#include "dosn/overlay/hybrid.hpp"
+#include "dosn/overlay/kademlia.hpp"
+#include "dosn/overlay/location_tree.hpp"
+#include "dosn/overlay/node_id.hpp"
+#include "dosn/overlay/replication.hpp"
+#include "dosn/overlay/superpeer.hpp"
+#include "dosn/sim/churn.hpp"
+
+namespace dosn::overlay {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+using util::toBytes;
+
+// --- OverlayId ---
+
+TEST(OverlayId, HashDeterministic) {
+  EXPECT_EQ(OverlayId::hash("alice"), OverlayId::hash("alice"));
+  EXPECT_NE(OverlayId::hash("alice"), OverlayId::hash("bob"));
+}
+
+TEST(OverlayId, XorDistanceProperties) {
+  util::Rng rng(1);
+  const OverlayId a = OverlayId::random(rng);
+  const OverlayId b = OverlayId::random(rng);
+  EXPECT_EQ(xorDistance(a, a), OverlayId{});
+  EXPECT_EQ(xorDistance(a, b), xorDistance(b, a));
+}
+
+TEST(OverlayId, BucketIndex) {
+  OverlayId a{};
+  OverlayId b{};
+  EXPECT_EQ(bucketIndex(a, b), -1);
+  b.bytes[kIdBytes - 1] = 0x01;  // differs in the lowest bit
+  EXPECT_EQ(bucketIndex(a, b), 0);
+  b = OverlayId{};
+  b.bytes[0] = 0x80;  // highest bit
+  EXPECT_EQ(bucketIndex(a, b), 159);
+}
+
+TEST(OverlayId, CloserTo) {
+  OverlayId target{};
+  OverlayId near{};
+  near.bytes[kIdBytes - 1] = 1;
+  OverlayId far{};
+  far.bytes[0] = 0x80;
+  EXPECT_TRUE(closerTo(target, near, far));
+  EXPECT_FALSE(closerTo(target, far, near));
+  EXPECT_FALSE(closerTo(target, near, near));
+}
+
+// --- RoutingTable ---
+
+TEST(RoutingTable, ObserveAndClosest) {
+  util::Rng rng(2);
+  const OverlayId self = OverlayId::random(rng);
+  RoutingTable table(self, 4);
+  std::vector<Contact> contacts;
+  for (int i = 0; i < 50; ++i) {
+    Contact c{OverlayId::random(rng), static_cast<sim::NodeAddr>(i + 1)};
+    contacts.push_back(c);
+    table.observe(c);
+  }
+  const OverlayId target = OverlayId::random(rng);
+  const auto closest = table.closest(target, 5);
+  ASSERT_LE(closest.size(), 5u);
+  // Returned contacts are sorted by distance.
+  for (std::size_t i = 0; i + 1 < closest.size(); ++i) {
+    EXPECT_FALSE(closerTo(target, closest[i + 1].id, closest[i].id));
+  }
+}
+
+TEST(RoutingTable, SelfIsIgnored) {
+  util::Rng rng(3);
+  const OverlayId self = OverlayId::random(rng);
+  RoutingTable table(self, 4);
+  table.observe(Contact{self, 1});
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(RoutingTable, BucketEvictsOldest) {
+  OverlayId self{};
+  RoutingTable table(self, 2);
+  // Three ids in the same (top) bucket.
+  OverlayId id1{};
+  id1.bytes[0] = 0x80;
+  OverlayId id2{};
+  id2.bytes[0] = 0x81;
+  OverlayId id3{};
+  id3.bytes[0] = 0x82;
+  table.observe(Contact{id1, 1});
+  table.observe(Contact{id2, 2});
+  table.observe(Contact{id3, 3});
+  EXPECT_EQ(table.size(), 2u);
+  const auto closest = table.closest(id1, 3);
+  // id1 (oldest) was evicted.
+  for (const Contact& c : closest) EXPECT_NE(c.id, id1);
+}
+
+// --- Kademlia over the simulator ---
+
+class KademliaTest : public ::testing::Test {
+ protected:
+  void buildNetwork(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes_.push_back(std::make_unique<KademliaNode>(
+          net_, OverlayId::random(rng_), config_));
+    }
+    // Bootstrap everyone through node 0.
+    const Contact seed{nodes_[0]->id(), nodes_[0]->addr()};
+    for (std::size_t i = 1; i < nodes_.size(); ++i) {
+      nodes_[i]->bootstrap(seed);
+      sim_.run();
+    }
+  }
+
+  util::Rng rng_{42};
+  sim::Simulator sim_;
+  sim::Network net_{sim_, sim::LatencyModel{5 * kMillisecond, 2 * kMillisecond, 0.0},
+                    rng_};
+  KademliaConfig config_{8, 3, 500 * kMillisecond};
+  std::vector<std::unique_ptr<KademliaNode>> nodes_;
+};
+
+TEST_F(KademliaTest, StoreAndFindValue) {
+  buildNetwork(30);
+  const OverlayId key = OverlayId::hash("profile:alice");
+  bool stored = false;
+  nodes_[5]->store(key, toBytes("alice-data"), [&](bool ok) { stored = ok; });
+  sim_.run();
+  EXPECT_TRUE(stored);
+
+  std::optional<util::Bytes> found;
+  nodes_[20]->findValue(key, [&](LookupResult result) { found = result.value; });
+  sim_.run();
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, toBytes("alice-data"));
+}
+
+TEST_F(KademliaTest, MissingKeyNotFound) {
+  buildNetwork(20);
+  std::optional<util::Bytes> found = toBytes("sentinel");
+  bool completed = false;
+  nodes_[3]->findValue(OverlayId::hash("missing"), [&](LookupResult result) {
+    found = result.value;
+    completed = true;
+  });
+  sim_.run();
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(found.has_value());
+}
+
+TEST_F(KademliaTest, LookupHopsAreBounded) {
+  buildNetwork(40);
+  const OverlayId key = OverlayId::hash("item");
+  nodes_[1]->store(key, toBytes("v"), {});
+  sim_.run();
+  std::size_t hops = 999;
+  nodes_[35]->findValue(key, [&](LookupResult result) { hops = result.hops; });
+  sim_.run();
+  // "Queries will be resolved in a limited number of steps": O(log n).
+  EXPECT_LE(hops, 8u);
+}
+
+TEST_F(KademliaTest, ValueSurvivesOriginGoingOffline) {
+  buildNetwork(30);
+  const OverlayId key = OverlayId::hash("replicated");
+  nodes_[2]->store(key, toBytes("v"), {});
+  sim_.run();
+  net_.setOnline(nodes_[2]->addr(), false);
+  std::optional<util::Bytes> found;
+  nodes_[17]->findValue(key, [&](LookupResult result) { found = result.value; });
+  sim_.run();
+  // The store placed k=8 replicas; losing the origin must not lose the data.
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, toBytes("v"));
+}
+
+TEST_F(KademliaTest, RejoinAfterDowntimeRestoresLookups) {
+  buildNetwork(25);
+  const OverlayId key = OverlayId::hash("persistent");
+  nodes_[4]->store(key, toBytes("v"), {});
+  sim_.run();
+
+  // Node 12 goes offline; the world moves on; it rejoins later.
+  net_.setOnline(nodes_[12]->addr(), false);
+  sim_.run();
+  net_.setOnline(nodes_[12]->addr(), true);
+  nodes_[12]->rejoin(Contact{nodes_[0]->id(), nodes_[0]->addr()});
+  sim_.run();
+
+  std::optional<util::Bytes> found;
+  nodes_[12]->findValue(key, [&](LookupResult r) { found = r.value; });
+  sim_.run();
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, toBytes("v"));
+}
+
+TEST_F(KademliaTest, StoreWidthLimitsReplicaCount) {
+  config_.storeWidth = 2;
+  buildNetwork(20);
+  const OverlayId key = OverlayId::hash("narrow");
+  nodes_[3]->store(key, toBytes("v"), {});
+  sim_.run();
+  std::size_t replicas = 0;
+  for (const auto& node : nodes_) {
+    replicas += node->localStore().count(key);
+  }
+  EXPECT_GE(replicas, 1u);
+  EXPECT_LE(replicas, 2u);
+}
+
+TEST_F(KademliaTest, FindNodeReturnsClosest) {
+  buildNetwork(25);
+  const OverlayId target = OverlayId::random(rng_);
+  std::vector<Contact> closest;
+  nodes_[10]->findNode(target, [&](LookupResult r) { closest = r.closest; });
+  sim_.run();
+  ASSERT_FALSE(closest.empty());
+  for (std::size_t i = 0; i + 1 < closest.size(); ++i) {
+    EXPECT_FALSE(closerTo(target, closest[i + 1].id, closest[i].id));
+  }
+}
+
+// --- Flooding ---
+
+class FloodingTest : public ::testing::Test {
+ protected:
+  void buildRing(std::size_t n, std::size_t extraLinks = 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes_.push_back(std::make_unique<FloodingNode>(net_, OverlayId::random(rng_)));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      linkNodes(*nodes_[i], *nodes_[(i + 1) % n]);
+    }
+    for (std::size_t i = 0; i < extraLinks; ++i) {
+      const std::size_t a = rng_.uniform(n);
+      const std::size_t b = rng_.uniform(n);
+      if (a != b) linkNodes(*nodes_[a], *nodes_[b]);
+    }
+  }
+
+  util::Rng rng_{7};
+  sim::Simulator sim_;
+  sim::Network net_{sim_, sim::LatencyModel{5 * kMillisecond, 0, 0.0}, rng_};
+  std::vector<std::unique_ptr<FloodingNode>> nodes_;
+};
+
+TEST_F(FloodingTest, FindsValueWithinTtl) {
+  buildRing(10);
+  const OverlayId key = OverlayId::hash("k");
+  nodes_[3]->publish(key, toBytes("v"));
+  std::optional<util::Bytes> found;
+  nodes_[0]->search(key, /*ttl=*/5, 10 * kSecond,
+                    [&](std::optional<util::Bytes> v) { found = v; });
+  sim_.run();
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, toBytes("v"));
+}
+
+TEST_F(FloodingTest, TtlLimitsReach) {
+  buildRing(20);
+  const OverlayId key = OverlayId::hash("far");
+  nodes_[10]->publish(key, toBytes("v"));  // 10 hops away on the ring
+  std::optional<util::Bytes> found = toBytes("sentinel");
+  nodes_[0]->search(key, /*ttl=*/3, 5 * kSecond,
+                    [&](std::optional<util::Bytes> v) { found = v; });
+  sim_.run();
+  EXPECT_FALSE(found.has_value());
+}
+
+TEST_F(FloodingTest, LocalHitImmediate) {
+  buildRing(5);
+  const OverlayId key = OverlayId::hash("mine");
+  nodes_[0]->publish(key, toBytes("v"));
+  std::optional<util::Bytes> found;
+  nodes_[0]->search(key, 1, kSecond, [&](std::optional<util::Bytes> v) { found = v; });
+  sim_.run();
+  EXPECT_TRUE(found.has_value());
+}
+
+TEST_F(FloodingTest, DuplicateSuppressionBoundsTraffic) {
+  buildRing(12, 12);  // ring + random chords: plenty of cycles
+  const OverlayId key = OverlayId::hash("nonexistent");
+  nodes_[0]->search(key, 8, 5 * kSecond, [](std::optional<util::Bytes>) {});
+  sim_.run();
+  // Each node forwards a query at most once; with 12 nodes and ~3 links each,
+  // the flood must stay far below the no-dedup explosion.
+  EXPECT_LT(net_.messagesSent(), 200u);
+}
+
+// --- Gossip ---
+
+TEST(Gossip, EntrySpreadsToAllPeers) {
+  util::Rng rng(11);
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel{5 * kMillisecond, 0, 0.0}, rng);
+  std::vector<std::unique_ptr<GossipNode>> nodes;
+  GossipConfig config{500 * kMillisecond, 2};
+  for (int i = 0; i < 12; ++i) {
+    nodes.push_back(std::make_unique<GossipNode>(net, config));
+  }
+  std::vector<sim::NodeAddr> peers;
+  for (const auto& n : nodes) peers.push_back(n->addr());
+  for (const auto& n : nodes) {
+    n->setPeers(peers);
+    n->start();
+  }
+  const OverlayId key = OverlayId::hash("rumor");
+  nodes[0]->put(key, toBytes("spreading"), 1);
+  sim.runUntil(30 * kSecond);
+  for (const auto& n : nodes) n->stop();
+  std::size_t have = 0;
+  for (const auto& n : nodes) {
+    if (n->get(key)) ++have;
+  }
+  EXPECT_EQ(have, nodes.size());
+}
+
+TEST(Gossip, NewerVersionWins) {
+  util::Rng rng(12);
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel{5 * kMillisecond, 0, 0.0}, rng);
+  GossipNode a(net, {200 * kMillisecond, 1});
+  GossipNode b(net, {200 * kMillisecond, 1});
+  a.setPeers({b.addr()});
+  b.setPeers({a.addr()});
+  const OverlayId key = OverlayId::hash("k");
+  a.put(key, toBytes("old"), 1);
+  b.put(key, toBytes("new"), 2);
+  a.start();
+  b.start();
+  sim.runUntil(5 * kSecond);
+  a.stop();
+  b.stop();
+  EXPECT_EQ(a.get(key).value(), toBytes("new"));
+  EXPECT_EQ(b.get(key).value(), toBytes("new"));
+  EXPECT_EQ(a.version(key).value(), 2u);
+}
+
+TEST(Gossip, UpdateHookFiresOnGossipedEntries) {
+  util::Rng rng(14);
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel{5 * kMillisecond, 0, 0.0}, rng);
+  GossipNode a(net, {200 * kMillisecond, 1});
+  GossipNode b(net, {200 * kMillisecond, 1});
+  a.setPeers({b.addr()});
+  b.setPeers({a.addr()});
+  std::vector<OverlayId> arrived;
+  b.onUpdate([&](const OverlayId& key, const util::Bytes&) {
+    arrived.push_back(key);
+  });
+  const OverlayId key = OverlayId::hash("hooked");
+  a.put(key, toBytes("v"), 1);
+  a.start();
+  b.start();
+  sim.runUntil(3 * kSecond);
+  a.stop();
+  b.stop();
+  ASSERT_EQ(arrived.size(), 1u);
+  EXPECT_EQ(arrived[0], key);
+}
+
+TEST(Gossip, StaleVersionDoesNotOverwrite) {
+  util::Rng rng(13);
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel{}, rng);
+  GossipNode a(net);
+  const OverlayId key = OverlayId::hash("k");
+  a.put(key, toBytes("v2"), 2);
+  a.put(key, toBytes("v1"), 1);
+  EXPECT_EQ(a.get(key).value(), toBytes("v2"));
+}
+
+// --- Super-peer ---
+
+TEST(SuperPeer, CrossSuperPeerSearch) {
+  util::Rng rng(17);
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel{5 * kMillisecond, 0, 0.0}, rng);
+  SuperPeer sp1(net);
+  SuperPeer sp2(net);
+  sp1.setPeers({sp2.addr()});
+  sp2.setPeers({sp1.addr()});
+  LeafPeer leafA(net, sp1.addr());
+  LeafPeer leafB(net, sp2.addr());
+
+  const OverlayId key = OverlayId::hash("b-content");
+  leafB.publish(key, toBytes("value-b"));
+  sim.run();
+  EXPECT_EQ(sp2.indexSize(), 1u);
+
+  std::optional<util::Bytes> found;
+  leafA.search(key, 10 * kSecond, [&](std::optional<util::Bytes> v) { found = v; });
+  sim.run();
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, toBytes("value-b"));
+}
+
+TEST(SuperPeer, MissTimesOut) {
+  util::Rng rng(18);
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel{5 * kMillisecond, 0, 0.0}, rng);
+  SuperPeer sp(net);
+  LeafPeer leaf(net, sp.addr());
+  bool called = false;
+  std::optional<util::Bytes> found;
+  leaf.search(OverlayId::hash("nothing"), kSecond,
+              [&](std::optional<util::Bytes> v) {
+                called = true;
+                found = v;
+              });
+  sim.run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(found.has_value());
+}
+
+// --- Hybrid ---
+
+TEST(Hybrid, CacheServesPopularDhtServesRare) {
+  util::Rng rng(21);
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel{5 * kMillisecond, 0, 0.0}, rng);
+  KademliaConfig kconfig{8, 3, 500 * kMillisecond};
+  GossipConfig gconfig{500 * kMillisecond, 2};
+
+  std::vector<std::unique_ptr<HybridNode>> nodes;
+  for (int i = 0; i < 15; ++i) {
+    nodes.push_back(std::make_unique<HybridNode>(net, OverlayId::random(rng),
+                                                 kconfig, gconfig));
+  }
+  const Contact seed{nodes[0]->dht().id(), nodes[0]->dht().addr()};
+  std::vector<sim::NodeAddr> cachePeers;
+  for (const auto& n : nodes) cachePeers.push_back(n->cache().addr());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) nodes[i]->dht().bootstrap(seed);
+    nodes[i]->cache().setPeers(cachePeers);
+    sim.run();  // caches not started yet, so the queue drains
+  }
+
+  const OverlayId popular = OverlayId::hash("popular");
+  const OverlayId rare = OverlayId::hash("rare");
+  nodes[1]->publish(popular, toBytes("pop"), /*seedCache=*/true);
+  nodes[2]->publish(rare, toBytes("rare"), /*seedCache=*/false);
+  sim.run();
+  // Let gossip spread the popular item, then stop the periodic rounds so the
+  // final sim.run() drains instead of gossiping forever.
+  for (const auto& n : nodes) n->cache().start();
+  sim.runUntil(sim.now() + 20 * kSecond);
+  for (const auto& n : nodes) n->cache().stop();
+
+  HybridLookupResult popResult;
+  nodes[10]->lookup(popular, [&](HybridLookupResult r) { popResult = r; });
+  sim.run();
+  ASSERT_TRUE(popResult.value.has_value());
+  EXPECT_TRUE(popResult.fromCache);
+  EXPECT_EQ(popResult.messagesSent, 0u);
+
+  HybridLookupResult rareResult;
+  nodes[10]->lookup(rare, [&](HybridLookupResult r) { rareResult = r; });
+  sim.run();
+  ASSERT_TRUE(rareResult.value.has_value());
+  // The rare item was never gossiped: it comes through the DHT tier (possibly
+  // from the local DHT replica if node 10 happens to hold one).
+  EXPECT_FALSE(rareResult.fromCache);
+}
+
+// --- Federation ---
+
+TEST(Federation, CrossServerQuery) {
+  util::Rng rng(23);
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel{5 * kMillisecond, 0, 0.0}, rng);
+  FederationDirectory directory;
+  FederatedServer s1(net, directory);
+  FederatedServer s2(net, directory);
+  directory.assign("alice", s1.addr());
+  directory.assign("bob", s2.addr());
+  s1.storeLocal("alice", "profile", toBytes("alice-profile"));
+  s2.storeLocal("bob", "profile", toBytes("bob-profile"));
+
+  // Query for bob via s1 (cross-server forward).
+  std::optional<util::Bytes> found;
+  s1.query("bob", "profile", 5 * kSecond,
+           [&](std::optional<util::Bytes> v) { found = v; });
+  sim.run();
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, toBytes("bob-profile"));
+
+  // Local query stays local.
+  std::optional<util::Bytes> local;
+  s1.query("alice", "profile", 5 * kSecond,
+           [&](std::optional<util::Bytes> v) { local = v; });
+  sim.run();
+  EXPECT_TRUE(local.has_value());
+}
+
+TEST(Federation, NoServerHasGlobalView) {
+  util::Rng rng(24);
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel{}, rng);
+  FederationDirectory directory;
+  FederatedServer s1(net, directory);
+  FederatedServer s2(net, directory);
+  FederatedServer s3(net, directory);
+  for (int i = 0; i < 30; ++i) {
+    const std::string user = "u" + std::to_string(i);
+    FederatedServer* home = (i % 3 == 0) ? &s1 : (i % 3 == 1) ? &s2 : &s3;
+    directory.assign(user, home->addr());
+    home->storeLocal(user, "d", toBytes("x"));
+  }
+  const auto views = directory.viewSizes();
+  EXPECT_EQ(views.size(), 3u);
+  for (const auto& [server, count] : views) {
+    EXPECT_EQ(count, 10u);  // each server sees only a third of the users
+  }
+  EXPECT_EQ(s1.localUserCount(), 10u);
+}
+
+TEST(Federation, UnknownUserFails) {
+  util::Rng rng(25);
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel{}, rng);
+  FederationDirectory directory;
+  FederatedServer s1(net, directory);
+  bool called = false;
+  std::optional<util::Bytes> found = toBytes("sentinel");
+  s1.query("ghost", "profile", kSecond, [&](std::optional<util::Bytes> v) {
+    called = true;
+    found = v;
+  });
+  sim.run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(found.has_value());
+}
+
+// --- Replication / availability ---
+
+TEST(Replication, AvailabilityRequiresOneOnlineReplica) {
+  util::Rng rng(27);
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel{}, rng);
+  std::vector<sim::NodeAddr> nodes;
+  for (int i = 0; i < 10; ++i) nodes.push_back(net.addNode());
+  ReplicationManager manager(net);
+  const OverlayId item = OverlayId::hash("item");
+  const auto replicas = manager.place(item, 3, nodes);
+  ASSERT_EQ(replicas.size(), 3u);
+  EXPECT_TRUE(manager.available(item));
+  EXPECT_EQ(manager.onlineReplicas(item), 3u);
+
+  net.setOnline(replicas[0], false);
+  net.setOnline(replicas[1], false);
+  EXPECT_TRUE(manager.available(item));
+  net.setOnline(replicas[2], false);
+  EXPECT_FALSE(manager.available(item));
+}
+
+TEST(Replication, MoreReplicasMoreAvailabilityUnderChurn) {
+  util::Rng rng(29);
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel{}, rng);
+  std::vector<sim::NodeAddr> nodes;
+  for (int i = 0; i < 100; ++i) nodes.push_back(net.addNode());
+  sim::ChurnConfig churnConfig{300, 300, 0.5};  // 50% expected availability
+  sim::ChurnProcess churn(net, churnConfig, nodes);
+
+  ReplicationManager manager(net);
+  std::vector<OverlayId> itemsK1;
+  std::vector<OverlayId> itemsK4;
+  for (int i = 0; i < 40; ++i) {
+    const OverlayId a = OverlayId::hash("k1-" + std::to_string(i));
+    const OverlayId b = OverlayId::hash("k4-" + std::to_string(i));
+    manager.place(a, 1, nodes);
+    manager.place(b, 4, nodes);
+    itemsK1.push_back(a);
+    itemsK4.push_back(b);
+  }
+  AvailabilityProbe probe1(manager, itemsK1);
+  AvailabilityProbe probe4(manager, itemsK4);
+  probe1.schedule(sim, 60 * kSecond, 30);
+  probe4.schedule(sim, 60 * kSecond, 30);
+  sim.runUntil(31 * 60 * kSecond);
+  churn.stop();
+
+  EXPECT_NEAR(probe1.meanAvailability(), 0.5, 0.15);
+  EXPECT_GT(probe4.meanAvailability(), probe1.meanAvailability() + 0.2);
+  EXPECT_GT(probe4.meanAvailability(), 0.85);
+}
+
+TEST(Replication, ObserverViewSizes) {
+  util::Rng rng(31);
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel{}, rng);
+  std::vector<sim::NodeAddr> nodes;
+  for (int i = 0; i < 5; ++i) nodes.push_back(net.addNode());
+  ReplicationManager manager(net);
+  for (int i = 0; i < 20; ++i) {
+    manager.place(OverlayId::hash("i" + std::to_string(i)), 2, nodes);
+  }
+  const auto views = manager.observerViewSizes();
+  std::size_t total = 0;
+  for (const auto& [node, count] : views) total += count;
+  EXPECT_EQ(total, 40u);  // 20 items x 2 replicas
+}
+
+TEST(Replication, RepairRestoresTargetOnlineReplicas) {
+  util::Rng rng(35);
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel{}, rng);
+  std::vector<sim::NodeAddr> nodes;
+  for (int i = 0; i < 20; ++i) nodes.push_back(net.addNode());
+  ReplicationManager manager(net);
+  const OverlayId item = OverlayId::hash("repairable");
+  const auto replicas = manager.place(item, 3, nodes);
+  // Two replicas depart permanently.
+  net.setOnline(replicas[0], false);
+  net.setOnline(replicas[1], false);
+  EXPECT_EQ(manager.onlineReplicas(item), 1u);
+  const std::size_t added = manager.repair(nodes);
+  EXPECT_EQ(added, 2u);
+  EXPECT_EQ(manager.onlineReplicas(item), 3u);
+  // A second pass is a no-op.
+  EXPECT_EQ(manager.repair(nodes), 0u);
+}
+
+TEST(Replication, RepairSkipsHealthyItems) {
+  util::Rng rng(36);
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel{}, rng);
+  std::vector<sim::NodeAddr> nodes;
+  for (int i = 0; i < 10; ++i) nodes.push_back(net.addNode());
+  ReplicationManager manager(net);
+  manager.place(OverlayId::hash("healthy"), 2, nodes);
+  EXPECT_EQ(manager.repair(nodes), 0u);
+}
+
+// --- Location tree (Vis-a-vis, sec II-B) ---
+
+TEST(LocationTree, RegisterAndRegionQueries) {
+  LocationTree tree;
+  EXPECT_TRUE(tree.registerUser("alice", "tr/istanbul/kadikoy"));
+  EXPECT_TRUE(tree.registerUser("bob", "tr/istanbul/besiktas"));
+  EXPECT_TRUE(tree.registerUser("carol", "tr/ankara"));
+  EXPECT_TRUE(tree.registerUser("dave", "de/berlin"));
+
+  EXPECT_EQ(tree.usersIn("tr/istanbul"),
+            (std::vector<social::UserId>{"alice", "bob"}));
+  EXPECT_EQ(tree.usersIn("tr").size(), 3u);
+  EXPECT_EQ(tree.usersIn("de"), (std::vector<social::UserId>{"dave"}));
+  EXPECT_TRUE(tree.usersIn("us").empty());
+  EXPECT_EQ(tree.usersExactlyAt("tr/istanbul").size(), 0u);
+  EXPECT_EQ(tree.usersExactlyAt("tr/ankara").size(), 1u);
+  EXPECT_EQ(tree.userCount(), 4u);
+}
+
+TEST(LocationTree, PathsAreCaseNormalizedAndValidated) {
+  LocationTree tree;
+  EXPECT_TRUE(tree.registerUser("alice", "TR/Istanbul"));
+  EXPECT_EQ(tree.usersIn("tr/istanbul"),
+            (std::vector<social::UserId>{"alice"}));
+  EXPECT_FALSE(tree.registerUser("bob", ""));
+  EXPECT_FALSE(tree.registerUser("bob", "tr//kadikoy"));
+}
+
+TEST(LocationTree, MovingUserUpdatesRegistration) {
+  LocationTree tree;
+  tree.registerUser("alice", "tr/istanbul");
+  tree.registerUser("alice", "de/berlin");
+  EXPECT_TRUE(tree.usersIn("tr").empty());
+  EXPECT_EQ(tree.locationOf("alice").value(), "de/berlin");
+}
+
+TEST(LocationTree, CoordinatorElectionAndHandoff) {
+  LocationTree tree;
+  tree.registerUser("alice", "tr/istanbul");
+  tree.registerUser("bob", "tr/istanbul");
+  EXPECT_EQ(tree.coordinatorOf("tr/istanbul").value(), "alice");
+  EXPECT_EQ(tree.coordinatorOf("tr").value(), "alice");
+  // Coordinator leaves: bob takes over.
+  tree.deregisterUser("alice");
+  EXPECT_EQ(tree.coordinatorOf("tr/istanbul").value(), "bob");
+  EXPECT_EQ(tree.coordinatorOf("tr").value(), "bob");
+}
+
+TEST(LocationTree, QueriesTouchOnlyTheSubtree) {
+  LocationTree tree;
+  for (int c = 0; c < 5; ++c) {
+    for (int i = 0; i < 4; ++i) {
+      tree.registerUser("u" + std::to_string(c * 10 + i),
+                        "cc" + std::to_string(c) + "/city" + std::to_string(i));
+    }
+  }
+  // A city query touches far fewer nodes than the whole tree.
+  EXPECT_LT(tree.nodesTouchedBy("cc0/city0"), tree.regionCount() / 2);
+  EXPECT_GT(tree.regionCount(), 20u);
+}
+
+TEST(Replication, BadPlacementThrows) {
+  util::Rng rng(33);
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel{}, rng);
+  ReplicationManager manager(net);
+  EXPECT_THROW(manager.place(OverlayId::hash("x"), 0, {net.addNode()}),
+               util::NetError);
+  EXPECT_THROW(manager.place(OverlayId::hash("x"), 1, {}), util::NetError);
+}
+
+}  // namespace
+}  // namespace dosn::overlay

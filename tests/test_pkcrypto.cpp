@@ -1,0 +1,401 @@
+// Tests for dosn/pkcrypto: group, RSA, ElGamal, Schnorr (signatures +
+// interactive ZKP), DH, OPRF, blind RSA. Uses the cached 256-bit test group
+// and 512-bit RSA so the suite stays fast on one core.
+#include <gtest/gtest.h>
+
+#include "dosn/bignum/modmath.hpp"
+#include "dosn/bignum/prime.hpp"
+#include "dosn/pkcrypto/blind_rsa.hpp"
+#include "dosn/pkcrypto/dh.hpp"
+#include "dosn/pkcrypto/elgamal.hpp"
+#include "dosn/pkcrypto/group.hpp"
+#include "dosn/pkcrypto/oprf.hpp"
+#include "dosn/pkcrypto/rsa.hpp"
+#include "dosn/pkcrypto/schnorr.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::pkcrypto {
+namespace {
+
+using util::toBytes;
+
+const DlogGroup& testGroup() { return DlogGroup::cached(256); }
+
+// --- DlogGroup ---
+
+TEST(Group, CachedParametersAreValid) {
+  util::Rng rng(1);
+  for (std::size_t bits : {256u, 512u}) {
+    const DlogGroup& g = DlogGroup::cached(bits);
+    EXPECT_EQ(g.p().bitLength(), bits);
+    // p = 2q + 1.
+    EXPECT_EQ((g.q() << 1) + bignum::BigUint(1), g.p());
+    EXPECT_TRUE(bignum::isProbablePrime(g.p(), rng, 8));
+    EXPECT_TRUE(bignum::isProbablePrime(g.q(), rng, 8));
+    // The generator has order q.
+    EXPECT_TRUE(g.isElement(g.g()));
+    EXPECT_EQ(g.exp(g.g(), g.q()), bignum::BigUint(1));
+  }
+}
+
+TEST(Group, Rfc1024GroupLoads) {
+  const DlogGroup& g = DlogGroup::cached(1024);
+  EXPECT_EQ(g.p().bitLength(), 1024u);
+  EXPECT_TRUE(g.isElement(g.g()));
+}
+
+TEST(Group, UnsupportedSizeThrows) {
+  EXPECT_THROW(DlogGroup::cached(333), util::CryptoError);
+}
+
+TEST(Group, ExpMulInvConsistent) {
+  util::Rng rng(2);
+  const DlogGroup& g = testGroup();
+  const auto a = g.randomScalar(rng);
+  const auto b = g.randomScalar(rng);
+  // g^a * g^b == g^(a+b mod q)
+  const auto lhs = g.mul(g.exp(a), g.exp(b));
+  const auto rhs = g.exp(bignum::addMod(a, b, g.q()));
+  EXPECT_EQ(lhs, rhs);
+  // x * x^-1 == 1
+  const auto x = g.exp(a);
+  EXPECT_EQ(g.mul(x, g.inv(x)), bignum::BigUint(1));
+}
+
+TEST(Group, HashToGroupProducesElements) {
+  const DlogGroup& g = testGroup();
+  for (const char* input : {"", "alice", "#hashtag", "x"}) {
+    EXPECT_TRUE(g.isElement(g.hashToGroup(toBytes(input)))) << input;
+  }
+  EXPECT_NE(g.hashToGroup(toBytes("a")), g.hashToGroup(toBytes("b")));
+}
+
+TEST(Group, IsElementRejectsNonMembers) {
+  const DlogGroup& g = testGroup();
+  EXPECT_FALSE(g.isElement(bignum::BigUint(0)));
+  EXPECT_FALSE(g.isElement(g.p()));
+  // A generator of the full group (order 2q) is not in the q-subgroup;
+  // p-1 has order 2.
+  EXPECT_FALSE(g.isElement(g.p() - bignum::BigUint(1)));
+}
+
+// --- RSA ---
+
+class RsaTest : public ::testing::Test {
+ protected:
+  util::Rng rng_{42};
+  RsaPrivateKey key_ = rsaGenerate(512, rng_);
+};
+
+TEST_F(RsaTest, EncryptDecryptRoundTrip) {
+  const util::Bytes msg = toBytes("top secret message");
+  const util::Bytes ct = rsaEncrypt(key_.pub, msg, rng_);
+  EXPECT_EQ(ct.size(), key_.pub.modulusBytes());
+  EXPECT_EQ(rsaDecrypt(key_, ct).value(), msg);
+}
+
+TEST_F(RsaTest, EncryptionIsRandomized) {
+  const util::Bytes msg = toBytes("same message");
+  EXPECT_NE(rsaEncrypt(key_.pub, msg, rng_), rsaEncrypt(key_.pub, msg, rng_));
+}
+
+TEST_F(RsaTest, TamperedCiphertextRejected) {
+  util::Bytes ct = rsaEncrypt(key_.pub, toBytes("hello"), rng_);
+  ct[ct.size() / 2] ^= 1;
+  EXPECT_FALSE(rsaDecrypt(key_, ct).has_value());
+}
+
+TEST_F(RsaTest, WrongKeyRejected) {
+  const RsaPrivateKey other = rsaGenerate(512, rng_);
+  const util::Bytes ct = rsaEncrypt(key_.pub, toBytes("hello"), rng_);
+  EXPECT_FALSE(rsaDecrypt(other, ct).has_value());
+}
+
+TEST_F(RsaTest, PlaintextTooLongThrows) {
+  const util::Bytes big(key_.pub.modulusBytes(), 0x41);
+  EXPECT_THROW(rsaEncrypt(key_.pub, big, rng_), util::CryptoError);
+}
+
+TEST_F(RsaTest, MaximumLengthPlaintext) {
+  const std::size_t maxLen = key_.pub.modulusBytes() - 2 * 16 - 2;
+  const util::Bytes msg(maxLen, 0x5a);
+  EXPECT_EQ(rsaDecrypt(key_, rsaEncrypt(key_.pub, msg, rng_)).value(), msg);
+}
+
+TEST_F(RsaTest, SignVerify) {
+  const util::Bytes msg = toBytes("signed statement");
+  const util::Bytes sig = rsaSign(key_, msg);
+  EXPECT_TRUE(rsaVerify(key_.pub, msg, sig));
+  EXPECT_FALSE(rsaVerify(key_.pub, toBytes("other"), sig));
+  util::Bytes bad = sig;
+  bad[0] ^= 1;
+  EXPECT_FALSE(rsaVerify(key_.pub, msg, bad));
+}
+
+TEST_F(RsaTest, PublicKeySerializationRoundTrip) {
+  const util::Bytes ser = key_.pub.serialize();
+  const RsaPublicKey back = RsaPublicKey::deserialize(ser);
+  EXPECT_EQ(back.n, key_.pub.n);
+  EXPECT_EQ(back.e, key_.pub.e);
+}
+
+TEST_F(RsaTest, RawRoundTrip) {
+  const bignum::BigUint x(123456789);
+  EXPECT_EQ(rsaRawPublic(key_.pub, rsaRawPrivate(key_, x)), x);
+}
+
+// --- ElGamal ---
+
+TEST(ElGamal, ElementRoundTrip) {
+  util::Rng rng(7);
+  const DlogGroup& g = testGroup();
+  const auto key = elgamalGenerate(g, rng);
+  const bignum::BigUint m = g.exp(g.randomScalar(rng));  // random element
+  const auto ct = elgamalEncryptElement(g, key.pub, m, rng);
+  EXPECT_EQ(elgamalDecryptElement(g, key, ct), m);
+}
+
+TEST(ElGamal, ElementHomomorphism) {
+  util::Rng rng(8);
+  const DlogGroup& g = testGroup();
+  const auto key = elgamalGenerate(g, rng);
+  const bignum::BigUint m1 = g.exp(bignum::BigUint(11));
+  const bignum::BigUint m2 = g.exp(bignum::BigUint(13));
+  const auto c1 = elgamalEncryptElement(g, key.pub, m1, rng);
+  const auto c2 = elgamalEncryptElement(g, key.pub, m2, rng);
+  const ElGamalElementCiphertext prod{g.mul(c1.c1, c2.c1), g.mul(c1.c2, c2.c2)};
+  EXPECT_EQ(elgamalDecryptElement(g, key, prod), g.mul(m1, m2));
+}
+
+TEST(ElGamal, BytesRoundTrip) {
+  util::Rng rng(9);
+  const DlogGroup& g = testGroup();
+  const auto key = elgamalGenerate(g, rng);
+  const util::Bytes msg = toBytes("arbitrary length plaintext, longer than an element");
+  const util::Bytes ct = elgamalEncrypt(g, key.pub, msg, rng);
+  EXPECT_EQ(elgamalDecrypt(g, key, ct).value(), msg);
+}
+
+TEST(ElGamal, BytesWrongKeyFails) {
+  util::Rng rng(10);
+  const DlogGroup& g = testGroup();
+  const auto key = elgamalGenerate(g, rng);
+  const auto other = elgamalGenerate(g, rng);
+  const util::Bytes ct = elgamalEncrypt(g, key.pub, toBytes("m"), rng);
+  EXPECT_FALSE(elgamalDecrypt(g, other, ct).has_value());
+}
+
+TEST(ElGamal, MalformedCiphertextRejected) {
+  util::Rng rng(11);
+  const DlogGroup& g = testGroup();
+  const auto key = elgamalGenerate(g, rng);
+  EXPECT_FALSE(elgamalDecrypt(g, key, toBytes("garbage")).has_value());
+}
+
+// --- Schnorr signatures ---
+
+TEST(Schnorr, SignVerify) {
+  util::Rng rng(12);
+  const DlogGroup& g = testGroup();
+  const auto key = schnorrGenerate(g, rng);
+  const auto sig = schnorrSign(g, key, toBytes("message"), rng);
+  EXPECT_TRUE(schnorrVerify(g, key.pub, toBytes("message"), sig));
+  EXPECT_FALSE(schnorrVerify(g, key.pub, toBytes("other"), sig));
+}
+
+TEST(Schnorr, WrongKeyFails) {
+  util::Rng rng(13);
+  const DlogGroup& g = testGroup();
+  const auto key = schnorrGenerate(g, rng);
+  const auto other = schnorrGenerate(g, rng);
+  const auto sig = schnorrSign(g, key, toBytes("m"), rng);
+  EXPECT_FALSE(schnorrVerify(g, other.pub, toBytes("m"), sig));
+}
+
+TEST(Schnorr, TamperedSignatureFails) {
+  util::Rng rng(14);
+  const DlogGroup& g = testGroup();
+  const auto key = schnorrGenerate(g, rng);
+  auto sig = schnorrSign(g, key, toBytes("m"), rng);
+  sig.s = bignum::addMod(sig.s, bignum::BigUint(1), g.q());
+  EXPECT_FALSE(schnorrVerify(g, key.pub, toBytes("m"), sig));
+}
+
+TEST(Schnorr, SerializationRoundTrip) {
+  util::Rng rng(15);
+  const DlogGroup& g = testGroup();
+  const auto key = schnorrGenerate(g, rng);
+  const auto sig = schnorrSign(g, key, toBytes("m"), rng);
+  const auto back = SchnorrSignature::deserialize(sig.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(schnorrVerify(g, key.pub, toBytes("m"), *back));
+  EXPECT_FALSE(SchnorrSignature::deserialize(toBytes("junk")).has_value());
+}
+
+// --- Interactive Schnorr identification (the §V-B ZKP) ---
+
+TEST(SchnorrZkp, HonestProverAccepted) {
+  util::Rng rng(16);
+  const DlogGroup& g = testGroup();
+  const auto key = schnorrGenerate(g, rng);
+  for (int round = 0; round < 5; ++round) {
+    SchnorrProver prover(g, key, rng);
+    SchnorrVerifier verifier(g, key.pub, prover.commitment(), rng);
+    EXPECT_TRUE(verifier.check(prover.respond(verifier.challenge())));
+  }
+}
+
+TEST(SchnorrZkp, ImpostorRejected) {
+  util::Rng rng(17);
+  const DlogGroup& g = testGroup();
+  const auto key = schnorrGenerate(g, rng);
+  const auto impostor = schnorrGenerate(g, rng);
+  // The impostor runs the protocol with its own secret against the honest
+  // public key: must fail.
+  SchnorrProver prover(g, impostor, rng);
+  SchnorrVerifier verifier(g, key.pub, prover.commitment(), rng);
+  EXPECT_FALSE(verifier.check(prover.respond(verifier.challenge())));
+}
+
+TEST(SchnorrZkp, NonInteractiveProofBindsContext) {
+  util::Rng rng(18);
+  const DlogGroup& g = testGroup();
+  const auto key = schnorrGenerate(g, rng);
+  const auto proof = schnorrProve(g, key, toBytes("resource-A"), rng);
+  EXPECT_TRUE(schnorrProofVerify(g, key.pub, toBytes("resource-A"), proof));
+  // Replaying the proof in a different context must fail.
+  EXPECT_FALSE(schnorrProofVerify(g, key.pub, toBytes("resource-B"), proof));
+}
+
+TEST(SchnorrZkp, ProofSerializationRoundTrip) {
+  util::Rng rng(19);
+  const DlogGroup& g = testGroup();
+  const auto key = schnorrGenerate(g, rng);
+  const auto proof = schnorrProve(g, key, toBytes("ctx"), rng);
+  const auto back = SchnorrProof::deserialize(proof.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(schnorrProofVerify(g, key.pub, toBytes("ctx"), *back));
+}
+
+// --- DH ---
+
+TEST(Dh, SharedKeyAgrees) {
+  util::Rng rng(20);
+  const DlogGroup& g = testGroup();
+  const auto alice = dhGenerate(g, rng);
+  const auto bob = dhGenerate(g, rng);
+  EXPECT_EQ(dhSharedKey(g, alice, bob.open), dhSharedKey(g, bob, alice.open));
+}
+
+TEST(Dh, DifferentPeersDifferentKeys) {
+  util::Rng rng(21);
+  const DlogGroup& g = testGroup();
+  const auto alice = dhGenerate(g, rng);
+  const auto bob = dhGenerate(g, rng);
+  const auto carol = dhGenerate(g, rng);
+  EXPECT_NE(dhSharedKey(g, alice, bob.open), dhSharedKey(g, alice, carol.open));
+}
+
+TEST(Dh, RejectsNonElement) {
+  util::Rng rng(22);
+  const DlogGroup& g = testGroup();
+  const auto alice = dhGenerate(g, rng);
+  EXPECT_THROW(dhSharedKey(g, alice, g.p() - bignum::BigUint(1)),
+               util::CryptoError);
+}
+
+// --- OPRF ---
+
+TEST(Oprf, ObliviousMatchesDirect) {
+  util::Rng rng(23);
+  const DlogGroup& g = testGroup();
+  const OprfSender sender(g, rng);
+  for (const char* input : {"#music", "#privacy", ""}) {
+    OprfReceiver receiver(g, toBytes(input), rng);
+    const auto reply = sender.evaluateBlinded(receiver.blinded());
+    EXPECT_EQ(receiver.finalize(reply), sender.evaluate(toBytes(input)))
+        << input;
+  }
+}
+
+TEST(Oprf, DifferentInputsDifferentOutputs) {
+  util::Rng rng(24);
+  const DlogGroup& g = testGroup();
+  const OprfSender sender(g, rng);
+  EXPECT_NE(sender.evaluate(toBytes("a")), sender.evaluate(toBytes("b")));
+}
+
+TEST(Oprf, DifferentSecretsDifferentOutputs) {
+  util::Rng rng(25);
+  const DlogGroup& g = testGroup();
+  const OprfSender s1(g, rng);
+  const OprfSender s2(g, rng);
+  EXPECT_NE(s1.evaluate(toBytes("x")), s2.evaluate(toBytes("x")));
+}
+
+TEST(Oprf, BlindingHidesInput) {
+  // The blinded value for the same input must differ across runs (the sender
+  // cannot correlate requests, let alone read the input).
+  util::Rng rng(26);
+  const DlogGroup& g = testGroup();
+  OprfReceiver r1(g, toBytes("secret-tag"), rng);
+  OprfReceiver r2(g, toBytes("secret-tag"), rng);
+  EXPECT_NE(r1.blinded(), r2.blinded());
+}
+
+TEST(Oprf, SenderRejectsNonElement) {
+  util::Rng rng(27);
+  const DlogGroup& g = testGroup();
+  const OprfSender sender(g, rng);
+  EXPECT_THROW(sender.evaluateBlinded(bignum::BigUint(0)), util::CryptoError);
+}
+
+// --- Blind RSA ---
+
+TEST(BlindRsa, UnblindedSignatureVerifies) {
+  util::Rng rng(28);
+  const RsaPrivateKey signer = rsaGenerate(512, rng);
+  BlindSignatureRequest request(signer.pub, toBytes("#topic"), rng);
+  const bignum::BigUint blindSig = blindSign(signer, request.blinded());
+  const bignum::BigUint sig = request.unblind(blindSig);
+  EXPECT_TRUE(blindSignatureVerify(signer.pub, toBytes("#topic"), sig));
+  EXPECT_FALSE(blindSignatureVerify(signer.pub, toBytes("#other"), sig));
+}
+
+TEST(BlindRsa, SignerCannotSeeMessage) {
+  // Blinded values for the same message are unlinkable across requests.
+  util::Rng rng(29);
+  const RsaPrivateKey signer = rsaGenerate(512, rng);
+  BlindSignatureRequest r1(signer.pub, toBytes("m"), rng);
+  BlindSignatureRequest r2(signer.pub, toBytes("m"), rng);
+  EXPECT_NE(r1.blinded(), r2.blinded());
+  // And neither equals the full-domain hash the signature is on.
+  EXPECT_NE(r1.blinded(), rsaFullDomainHash(signer.pub, toBytes("m")));
+}
+
+TEST(BlindRsa, UnblindedEqualsDirectFdhSignature) {
+  util::Rng rng(30);
+  const RsaPrivateKey signer = rsaGenerate(512, rng);
+  BlindSignatureRequest request(signer.pub, toBytes("msg"), rng);
+  const bignum::BigUint sig = request.unblind(blindSign(signer, request.blinded()));
+  const bignum::BigUint direct =
+      rsaRawPrivate(signer, rsaFullDomainHash(signer.pub, toBytes("msg")));
+  EXPECT_EQ(sig, direct);
+}
+
+class OprfManyInputs : public ::testing::TestWithParam<int> {};
+
+TEST_P(OprfManyInputs, ConsistencyUnderSeed) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const DlogGroup& g = testGroup();
+  const OprfSender sender(g, rng);
+  const std::string input = "input-" + std::to_string(GetParam());
+  OprfReceiver receiver(g, toBytes(input), rng);
+  EXPECT_EQ(receiver.finalize(sender.evaluateBlinded(receiver.blinded())),
+            sender.evaluate(toBytes(input)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OprfManyInputs, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace dosn::pkcrypto

@@ -1,0 +1,416 @@
+// Tests for the access-control schemes of §III, the PAD, and information
+// substitution. The revocation tests verify the *semantic differences* the
+// paper describes between the schemes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dosn/privacy/abe_acl.hpp"
+#include "dosn/privacy/hybrid_acl.hpp"
+#include "dosn/privacy/ibbe_acl.hpp"
+#include "dosn/privacy/pad.hpp"
+#include "dosn/privacy/publickey_acl.hpp"
+#include "dosn/privacy/substitution.hpp"
+#include "dosn/privacy/symmetric_acl.hpp"
+
+namespace dosn::privacy {
+namespace {
+
+using util::toBytes;
+
+const pkcrypto::DlogGroup& testGroup() {
+  return pkcrypto::DlogGroup::cached(256);
+}
+
+// ---------- Common behaviour across all AccessController implementations ----
+
+enum class Scheme {
+  kSymmetric,
+  kPublicKey,
+  kAbe,
+  kIbbe,
+  kHybridPk,
+  kHybridAbe,
+  kHybridIbbe,
+};
+
+std::unique_ptr<AccessController> makeController(Scheme scheme,
+                                                 util::Rng& rng) {
+  switch (scheme) {
+    case Scheme::kSymmetric:
+      return std::make_unique<SymmetricAcl>(rng);
+    case Scheme::kPublicKey:
+      return std::make_unique<PublicKeyAcl>(testGroup(), rng);
+    case Scheme::kAbe:
+      return std::make_unique<AbeAcl>(testGroup(), rng);
+    case Scheme::kIbbe:
+      return std::make_unique<IbbeAcl>(testGroup(), rng);
+    case Scheme::kHybridPk:
+      return std::make_unique<HybridAcl>(testGroup(), rng, WrapScheme::kPublicKey);
+    case Scheme::kHybridAbe:
+      return std::make_unique<HybridAcl>(testGroup(), rng, WrapScheme::kCpAbe);
+    case Scheme::kHybridIbbe:
+      return std::make_unique<HybridAcl>(testGroup(), rng, WrapScheme::kIbbe);
+  }
+  return nullptr;
+}
+
+class AclConformance : public ::testing::TestWithParam<Scheme> {
+ protected:
+  util::Rng rng_{42};
+  std::unique_ptr<AccessController> acl_ = makeController(GetParam(), rng_);
+};
+
+TEST_P(AclConformance, MembersDecryptNonMembersDont) {
+  acl_->createGroup("friends");
+  acl_->addMember("friends", "alice");
+  acl_->addMember("friends", "bob");
+  const Envelope env = acl_->encrypt("friends", toBytes("secret post"), rng_);
+  EXPECT_EQ(acl_->decrypt("alice", env).value(), toBytes("secret post"));
+  EXPECT_EQ(acl_->decrypt("bob", env).value(), toBytes("secret post"));
+  EXPECT_FALSE(acl_->decrypt("eve", env).has_value());
+}
+
+TEST_P(AclConformance, RevokedMemberLosesAccessToNewData) {
+  acl_->createGroup("g");
+  acl_->addMember("g", "alice");
+  acl_->addMember("g", "bob");
+  acl_->removeMember("g", "bob");
+  const Envelope after = acl_->encrypt("g", toBytes("post-revocation"), rng_);
+  EXPECT_TRUE(acl_->decrypt("alice", after).has_value());
+  EXPECT_FALSE(acl_->decrypt("bob", after).has_value());
+}
+
+TEST_P(AclConformance, MembershipBookkeeping) {
+  acl_->createGroup("g");
+  acl_->addMember("g", "alice");
+  acl_->addMember("g", "bob");
+  EXPECT_TRUE(acl_->isMember("g", "alice"));
+  EXPECT_EQ(acl_->members("g").size(), 2u);
+  acl_->removeMember("g", "alice");
+  EXPECT_FALSE(acl_->isMember("g", "alice"));
+  EXPECT_EQ(acl_->members("g").size(), 1u);
+}
+
+TEST_P(AclConformance, SeparateGroupsAreIsolated) {
+  acl_->createGroup("g1");
+  acl_->createGroup("g2");
+  acl_->addMember("g1", "alice");
+  acl_->addMember("g2", "bob");
+  const Envelope env1 = acl_->encrypt("g1", toBytes("for g1"), rng_);
+  EXPECT_TRUE(acl_->decrypt("alice", env1).has_value());
+  EXPECT_FALSE(acl_->decrypt("bob", env1).has_value());
+}
+
+TEST_P(AclConformance, HistoryRetained) {
+  acl_->createGroup("g");
+  acl_->addMember("g", "alice");
+  acl_->encrypt("g", toBytes("one"), rng_);
+  acl_->encrypt("g", toBytes("two"), rng_);
+  EXPECT_EQ(acl_->history("g").size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, AclConformance,
+    ::testing::Values(Scheme::kSymmetric, Scheme::kPublicKey, Scheme::kAbe,
+                      Scheme::kIbbe, Scheme::kHybridPk, Scheme::kHybridAbe,
+                      Scheme::kHybridIbbe),
+    [](const ::testing::TestParamInfo<Scheme>& info) {
+      switch (info.param) {
+        case Scheme::kSymmetric: return std::string("Symmetric");
+        case Scheme::kPublicKey: return std::string("PublicKey");
+        case Scheme::kAbe: return std::string("CpAbe");
+        case Scheme::kIbbe: return std::string("Ibbe");
+        case Scheme::kHybridPk: return std::string("HybridPk");
+        case Scheme::kHybridAbe: return std::string("HybridAbe");
+        case Scheme::kHybridIbbe: return std::string("HybridIbbe");
+      }
+      return std::string("Unknown");
+    });
+
+// ---------- Scheme-specific revocation semantics (the paper's §III claims) --
+
+TEST(SymmetricAclTest, RevocationReencryptsWholeHistory) {
+  util::Rng rng(1);
+  SymmetricAcl acl(rng);
+  acl.createGroup("g");
+  acl.addMember("g", "alice");
+  acl.addMember("g", "bob");
+  for (int i = 0; i < 5; ++i) {
+    acl.encrypt("g", toBytes("post " + std::to_string(i)), rng);
+  }
+  EXPECT_EQ(acl.keyEpoch("g"), 0u);
+  const RevocationReport report = acl.removeMember("g", "bob");
+  // "We need to create a new key and re-encrypt the whole data."
+  EXPECT_EQ(report.reencryptedEnvelopes, 5u);
+  EXPECT_GT(report.rewrittenBytes, 0u);
+  EXPECT_EQ(report.keyOperations, 1u);  // alice gets the new key
+  EXPECT_EQ(acl.keyEpoch("g"), 1u);
+  // Alice still reads old posts (they were re-encrypted under her new key).
+  const Envelope& old = acl.history("g")[0];
+  EXPECT_TRUE(acl.decrypt("alice", old).has_value());
+  EXPECT_FALSE(acl.decrypt("bob", old).has_value());
+}
+
+TEST(PublicKeyAclTest, RevocationTouchesNothing) {
+  util::Rng rng(2);
+  PublicKeyAcl acl(testGroup(), rng);
+  acl.createGroup("g");
+  acl.addMember("g", "alice");
+  acl.addMember("g", "bob");
+  const Envelope before = acl.encrypt("g", toBytes("old"), rng);
+  const RevocationReport report = acl.removeMember("g", "bob");
+  // "His public key will be deleted from the list" — no re-encryption.
+  EXPECT_EQ(report.reencryptedEnvelopes, 0u);
+  // The paper's caveat: data bob could already decrypt stays decryptable.
+  EXPECT_TRUE(acl.decrypt("bob", before).has_value());
+  EXPECT_FALSE(acl.decrypt("bob", acl.encrypt("g", toBytes("new"), rng))
+                   .has_value());
+}
+
+TEST(PublicKeyAclTest, EnvelopeGrowsWithMembers) {
+  util::Rng rng(3);
+  PublicKeyAcl acl(testGroup(), rng);
+  acl.createGroup("small");
+  acl.createGroup("large");
+  acl.addMember("small", "u0");
+  for (int i = 0; i < 8; ++i) acl.addMember("large", "u" + std::to_string(i));
+  const auto small = acl.encrypt("small", toBytes("m"), rng);
+  const auto large = acl.encrypt("large", toBytes("m"), rng);
+  // §III-C: naive per-member encryption — blob scales with group size.
+  EXPECT_GT(large.blob.size(), small.blob.size() * 6);
+}
+
+TEST(AbeAclTest, RevocationBumpsEpochAndReencrypts) {
+  util::Rng rng(4);
+  AbeAcl acl(testGroup(), rng);
+  acl.createGroup("family");
+  acl.addMember("family", "alice");
+  acl.addMember("family", "bob");
+  acl.encrypt("family", toBytes("p1"), rng);
+  acl.encrypt("family", toBytes("p2"), rng);
+  EXPECT_EQ(acl.attributeEpoch("family"), 0u);
+  const RevocationReport report = acl.removeMember("family", "bob");
+  // "Usual revocation methods for ABE use frequent re-keying ... previous
+  // data ... must be encrypted and stored again."
+  EXPECT_EQ(acl.attributeEpoch("family"), 1u);
+  EXPECT_EQ(report.reencryptedEnvelopes, 2u);
+  EXPECT_EQ(report.keyOperations, 1u);  // alice re-keyed
+  EXPECT_TRUE(acl.decrypt("alice", acl.history("family")[0]).has_value());
+  EXPECT_FALSE(acl.decrypt("bob", acl.history("family")[0]).has_value());
+}
+
+TEST(AbeAclTest, PolicyEnvelopeAcrossGroups) {
+  util::Rng rng(5);
+  AbeAcl acl(testGroup(), rng);
+  acl.createGroup("relative");
+  acl.createGroup("doctor");
+  acl.createGroup("painter");
+  acl.addMember("relative", "alice");
+  acl.addMember("doctor", "alice");
+  acl.addMember("painter", "paula");
+  acl.addMember("relative", "rita");
+
+  const auto p = *policy::Policy::parse("(relative AND doctor) OR painter");
+  const Envelope env = acl.encryptWithPolicy(p, toBytes("the scan"), rng);
+  EXPECT_TRUE(acl.decrypt("alice", env).has_value());   // relative AND doctor
+  EXPECT_TRUE(acl.decrypt("paula", env).has_value());   // painter
+  EXPECT_FALSE(acl.decrypt("rita", env).has_value());   // relative only
+}
+
+TEST(IbbeAclTest, RevocationIsFree) {
+  util::Rng rng(6);
+  IbbeAcl acl(testGroup(), rng);
+  acl.createGroup("g");
+  acl.addMember("g", "alice");
+  acl.addMember("g", "bob");
+  acl.encrypt("g", toBytes("p1"), rng);
+  const RevocationReport report = acl.removeMember("g", "bob");
+  // "Removing a recipient from the list would then have no extra cost."
+  EXPECT_EQ(report.reencryptedEnvelopes, 0u);
+  EXPECT_EQ(report.keyOperations, 0u);
+  EXPECT_EQ(report.rewrittenBytes, 0u);
+}
+
+TEST(HybridAclTest, RevocationRewrapsHistory) {
+  util::Rng rng(7);
+  HybridAcl acl(testGroup(), rng, WrapScheme::kPublicKey);
+  acl.createGroup("g");
+  acl.addMember("g", "alice");
+  acl.addMember("g", "bob");
+  acl.encrypt("g", toBytes("p1"), rng);
+  acl.encrypt("g", toBytes("p2"), rng);
+  const RevocationReport report = acl.removeMember("g", "bob");
+  EXPECT_EQ(report.reencryptedEnvelopes, 2u);
+  EXPECT_TRUE(acl.decrypt("alice", acl.history("g")[0]).has_value());
+  EXPECT_FALSE(acl.decrypt("bob", acl.history("g")[0]).has_value());
+}
+
+TEST(HybridAclTest, WrapIsSmallComparedToNaivePk) {
+  util::Rng rng(8);
+  PublicKeyAcl naive(testGroup(), rng);
+  HybridAcl hybrid(testGroup(), rng, WrapScheme::kPublicKey);
+  for (auto* acl : std::initializer_list<AccessController*>{&naive, &hybrid}) {
+    acl->createGroup("g");
+    for (int i = 0; i < 6; ++i) acl->addMember("g", "u" + std::to_string(i));
+  }
+  const util::Bytes bigPayload(8000, 0x5a);
+  const auto naiveEnv = naive.encrypt("g", bigPayload, rng);
+  const auto hybridEnv = hybrid.encrypt("g", bigPayload, rng);
+  // §III-F: hybrid seals the payload once; naive PK encrypts it per member.
+  EXPECT_LT(hybridEnv.blob.size(), naiveEnv.blob.size() / 3);
+  EXPECT_EQ(hybrid.decrypt("u3", hybridEnv).value(), bigPayload);
+}
+
+// ---------- PAD ----------
+
+TEST(PadTest, InsertFindRemove) {
+  Pad pad;
+  EXPECT_EQ(pad.size(), 0u);
+  Pad v1 = pad.insert("alice", toBytes("rw"));
+  Pad v2 = v1.insert("bob", toBytes("r"));
+  EXPECT_EQ(v2.size(), 2u);
+  EXPECT_EQ(v2.find("alice").value(), toBytes("rw"));
+  EXPECT_EQ(v2.find("bob").value(), toBytes("r"));
+  EXPECT_FALSE(v2.find("carol").has_value());
+  Pad v3 = v2.remove("alice");
+  EXPECT_FALSE(v3.find("alice").has_value());
+  EXPECT_EQ(v3.size(), 1u);
+  // Removing a missing key is a no-op.
+  EXPECT_EQ(v3.remove("ghost").size(), 1u);
+}
+
+TEST(PadTest, PersistenceOldVersionsIntact) {
+  Pad v1 = Pad().insert("a", toBytes("1"));
+  Pad v2 = v1.insert("b", toBytes("2"));
+  Pad v3 = v2.remove("a");
+  // Every version remains readable.
+  EXPECT_TRUE(v1.find("a").has_value());
+  EXPECT_FALSE(v1.find("b").has_value());
+  EXPECT_TRUE(v2.find("a").has_value());
+  EXPECT_TRUE(v2.find("b").has_value());
+  EXPECT_FALSE(v3.find("a").has_value());
+  // Roots differ across versions.
+  EXPECT_NE(v1.rootHash(), v2.rootHash());
+  EXPECT_NE(v2.rootHash(), v3.rootHash());
+}
+
+TEST(PadTest, UpdateOverwritesValue) {
+  Pad v1 = Pad().insert("k", toBytes("old"));
+  Pad v2 = v1.insert("k", toBytes("new"));
+  EXPECT_EQ(v2.size(), 1u);
+  EXPECT_EQ(v2.find("k").value(), toBytes("new"));
+  EXPECT_EQ(v1.find("k").value(), toBytes("old"));
+}
+
+TEST(PadTest, DeterministicRoot) {
+  // Same contents, different insertion orders: the treap shape is determined
+  // by key priorities, so roots must agree.
+  Pad a = Pad().insert("x", toBytes("1")).insert("y", toBytes("2")).insert("z", toBytes("3"));
+  Pad b = Pad().insert("z", toBytes("3")).insert("x", toBytes("1")).insert("y", toBytes("2"));
+  EXPECT_EQ(a.rootHash(), b.rootHash());
+}
+
+TEST(PadTest, ProofsVerify) {
+  Pad pad;
+  for (int i = 0; i < 30; ++i) {
+    pad = pad.insert("user" + std::to_string(i), toBytes("perm" + std::to_string(i)));
+  }
+  for (int i = 0; i < 30; ++i) {
+    const std::string key = "user" + std::to_string(i);
+    const auto proof = pad.prove(key);
+    ASSERT_TRUE(proof.has_value()) << key;
+    EXPECT_TRUE(Pad::verify(pad.rootHash(), key, *proof)) << key;
+  }
+  EXPECT_FALSE(pad.prove("nonmember").has_value());
+}
+
+TEST(PadTest, TamperedProofRejected) {
+  Pad pad = Pad().insert("a", toBytes("1")).insert("b", toBytes("2")).insert("c", toBytes("3"));
+  auto proof = *pad.prove("b");
+  proof.value = toBytes("forged");
+  EXPECT_FALSE(Pad::verify(pad.rootHash(), "b", proof));
+  // Proof against a different version's root also fails.
+  const Pad newer = pad.insert("d", toBytes("4"));
+  EXPECT_FALSE(Pad::verify(newer.rootHash(), "b", *pad.prove("b")));
+  EXPECT_TRUE(Pad::verify(newer.rootHash(), "b", *newer.prove("b")));
+}
+
+TEST(PadTest, HeightIsLogarithmic) {
+  Pad pad;
+  const std::size_t n = 1000;
+  for (std::size_t i = 0; i < n; ++i) {
+    pad = pad.insert("member" + std::to_string(i), toBytes("x"));
+  }
+  EXPECT_EQ(pad.size(), n);
+  // Treap height is O(log n) w.h.p.: ~ 3*log2(1000) = 30 as a loose bound.
+  EXPECT_LT(pad.height(), 40u);
+  EXPECT_GE(pad.height(), 10u);  // log2(1000)
+}
+
+// ---------- Substitution ----------
+
+TEST(Substitution, ProviderSeesFakeFriendSeesReal) {
+  FakeProfileService service;
+  social::Profile real{"alice", {{"city", "Istanbul"}}};
+  social::Profile fake{"alice", {{"city", "Atlantis"}}};
+  service.publish("alice", real, fake, {"bob"});
+  EXPECT_EQ(service.providerView("alice")->fields.at("city"), "Atlantis");
+  EXPECT_EQ(service.view("bob", "alice")->fields.at("city"), "Istanbul");
+  EXPECT_EQ(service.view("eve", "alice")->fields.at("city"), "Atlantis");
+  EXPECT_FALSE(service.providerView("ghost").has_value());
+}
+
+TEST(Substitution, NoybRoundTrip) {
+  AtomDictionary dict;
+  dict.defineClass("first-name", {"Ada", "Bela", "Cem", "Deniz", "Efe"});
+  util::Rng rng(11);
+  const util::Bytes key = rng.bytes(32);
+  const auto stored = dict.substitute(key, "first-name", "Cem");
+  ASSERT_TRUE(stored.has_value());
+  // The provider-visible atom is a plausible dictionary member...
+  EXPECT_TRUE(dict.indexOf("first-name", *stored).has_value());
+  // ...and key holders invert it.
+  EXPECT_EQ(dict.recover(key, "first-name", *stored).value(), "Cem");
+}
+
+TEST(Substitution, NoybWrongKeyGivesWrongAtom) {
+  AtomDictionary dict;
+  dict.defineClass("city", {"Ankara", "Berlin", "Cairo", "Delhi", "Espoo",
+                            "Fes", "Graz"});
+  util::Rng rng(12);
+  const util::Bytes key1 = rng.bytes(32);
+  const util::Bytes key2 = rng.bytes(32);
+  const auto stored = dict.substitute(key1, "city", "Cairo");
+  ASSERT_TRUE(stored.has_value());
+  const auto recovered = dict.recover(key2, "city", *stored);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_NE(*recovered, "Cairo");
+}
+
+TEST(Substitution, NoybAllAtomsRoundTrip) {
+  AtomDictionary dict;
+  std::vector<std::string> atoms;
+  for (int i = 0; i < 17; ++i) atoms.push_back("atom" + std::to_string(i));
+  dict.defineClass("c", atoms);
+  util::Rng rng(13);
+  const util::Bytes key = rng.bytes(32);
+  for (const std::string& atom : atoms) {
+    const auto stored = dict.substitute(key, "c", atom);
+    ASSERT_TRUE(stored.has_value());
+    EXPECT_EQ(dict.recover(key, "c", *stored).value(), atom);
+  }
+}
+
+TEST(Substitution, UnknownClassOrAtom) {
+  AtomDictionary dict;
+  dict.defineClass("c", {"a", "b"});
+  util::Rng rng(14);
+  const util::Bytes key = rng.bytes(32);
+  EXPECT_FALSE(dict.substitute(key, "missing", "a").has_value());
+  EXPECT_FALSE(dict.substitute(key, "c", "zz").has_value());
+  EXPECT_EQ(dict.classSize("missing"), 0u);
+}
+
+}  // namespace
+}  // namespace dosn::privacy

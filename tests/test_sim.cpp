@@ -1,0 +1,251 @@
+// Tests for the discrete-event simulator, network, churn and metrics.
+#include <gtest/gtest.h>
+
+#include "dosn/sim/churn.hpp"
+#include "dosn/sim/metrics.hpp"
+#include "dosn/sim/network.hpp"
+#include "dosn/sim/simulator.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::sim {
+namespace {
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(5, [&] { order.push_back(1); });
+  sim.schedule(5, [&] { order.push_back(2); });
+  sim.schedule(5, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) sim.schedule(10, tick);
+  };
+  sim.schedule(10, tick);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule(10, [&] { ++ran; });
+  sim.schedule(20, [&] { ++ran; });
+  sim.schedule(30, [&] { ++ran; });
+  sim.runUntil(20);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.now(), 20u);
+  EXPECT_EQ(sim.pendingEvents(), 1u);
+  sim.run();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.scheduleAt(5, [] {}), util::NetError);
+}
+
+TEST(Simulator, MaxEventsGuard) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.schedule(1, forever); };
+  sim.schedule(1, forever);
+  const std::size_t executed = sim.run(1000);
+  EXPECT_EQ(executed, 1000u);
+}
+
+// --- Network ---
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  util::Rng rng_{42};
+  Simulator sim_;
+  Network net_{sim_, LatencyModel{10 * kMillisecond, 0, 0.0}, rng_};
+};
+
+TEST_F(NetworkTest, MessageDelivered) {
+  const NodeAddr a = net_.addNode();
+  const NodeAddr b = net_.addNode();
+  std::string received;
+  net_.setHandler(b, [&](NodeAddr from, const Message& msg) {
+    EXPECT_EQ(from, a);
+    received = msg.type;
+  });
+  net_.send(a, b, Message{"hello", util::toBytes("x")});
+  sim_.run();
+  EXPECT_EQ(received, "hello");
+  EXPECT_EQ(net_.messagesSent(), 1u);
+  EXPECT_EQ(net_.messagesDelivered(), 1u);
+}
+
+TEST_F(NetworkTest, LatencyApplied) {
+  const NodeAddr a = net_.addNode();
+  const NodeAddr b = net_.addNode();
+  SimTime deliveredAt = 0;
+  net_.setHandler(b, [&](NodeAddr, const Message&) { deliveredAt = sim_.now(); });
+  net_.send(a, b, Message{"m", {}});
+  sim_.run();
+  EXPECT_EQ(deliveredAt, 10 * kMillisecond);
+}
+
+TEST_F(NetworkTest, OfflineSenderDropsSilently) {
+  const NodeAddr a = net_.addNode();
+  const NodeAddr b = net_.addNode();
+  int delivered = 0;
+  net_.setHandler(b, [&](NodeAddr, const Message&) { ++delivered; });
+  net_.setOnline(a, false);
+  net_.send(a, b, Message{"m", {}});
+  sim_.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net_.messagesSent(), 0u);
+}
+
+TEST_F(NetworkTest, ReceiverOfflineAtDeliveryDrops) {
+  const NodeAddr a = net_.addNode();
+  const NodeAddr b = net_.addNode();
+  int delivered = 0;
+  net_.setHandler(b, [&](NodeAddr, const Message&) { ++delivered; });
+  net_.send(a, b, Message{"m", {}});
+  // b goes offline while the message is in flight.
+  sim_.schedule(5 * kMillisecond, [&] { net_.setOnline(b, false); });
+  sim_.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net_.messagesSent(), 1u);
+  EXPECT_EQ(net_.messagesDelivered(), 0u);
+}
+
+TEST_F(NetworkTest, StatusHookFires) {
+  const NodeAddr a = net_.addNode();
+  std::vector<bool> transitions;
+  net_.setStatusHook(a, [&](NodeAddr, bool online) {
+    transitions.push_back(online);
+  });
+  net_.setOnline(a, false);
+  net_.setOnline(a, false);  // no-op
+  net_.setOnline(a, true);
+  EXPECT_EQ(transitions, (std::vector<bool>{false, true}));
+}
+
+TEST_F(NetworkTest, UnknownNodeThrows) {
+  const NodeAddr a = net_.addNode();
+  EXPECT_THROW(net_.send(a, 9999, Message{"m", {}}), util::NetError);
+  EXPECT_THROW(net_.isOnline(9999), util::NetError);
+}
+
+TEST_F(NetworkTest, PerTypeAccounting) {
+  const NodeAddr a = net_.addNode();
+  const NodeAddr b = net_.addNode();
+  net_.setHandler(b, [](NodeAddr, const Message&) {});
+  net_.send(a, b, Message{"x", util::Bytes(10, 0)});
+  net_.send(a, b, Message{"x", util::Bytes(5, 0)});
+  net_.send(a, b, Message{"y", {}});
+  EXPECT_EQ(net_.messagesByType().at("x"), 2u);
+  EXPECT_EQ(net_.messagesByType().at("y"), 1u);
+  EXPECT_EQ(net_.bytesSent(), 15u);
+  net_.resetStats();
+  EXPECT_EQ(net_.messagesSent(), 0u);
+}
+
+TEST(NetworkLoss, LossyLinkDropsSome) {
+  util::Rng rng(7);
+  Simulator sim;
+  Network net(sim, LatencyModel{kMillisecond, 0, 0.5}, rng);
+  const NodeAddr a = net.addNode();
+  const NodeAddr b = net.addNode();
+  int delivered = 0;
+  net.setHandler(b, [&](NodeAddr, const Message&) { ++delivered; });
+  for (int i = 0; i < 200; ++i) net.send(a, b, Message{"m", {}});
+  sim.run();
+  EXPECT_GT(delivered, 60);
+  EXPECT_LT(delivered, 140);
+}
+
+// --- Churn ---
+
+TEST(Churn, SteadyStateAvailabilityMatchesExpectation) {
+  util::Rng rng(11);
+  Simulator sim;
+  Network net(sim, LatencyModel{}, rng);
+  std::vector<NodeAddr> nodes;
+  for (int i = 0; i < 200; ++i) nodes.push_back(net.addNode());
+  ChurnConfig config;
+  config.meanOnlineSeconds = 100;
+  config.meanOfflineSeconds = 300;
+  config.initialOnlineFraction = 0.25;
+  ChurnProcess churn(net, config, nodes);
+  EXPECT_NEAR(expectedAvailability(config), 0.25, 1e-9);
+
+  // Sample online fraction over a long horizon.
+  double sum = 0;
+  int samples = 0;
+  for (int s = 1; s <= 50; ++s) {
+    sim.runUntil(static_cast<SimTime>(s) * 100 * kSecond);
+    sum += static_cast<double>(net.onlineCount()) / static_cast<double>(nodes.size());
+    ++samples;
+  }
+  churn.stop();
+  EXPECT_NEAR(sum / samples, 0.25, 0.06);
+}
+
+TEST(Churn, StopHaltsTransitions) {
+  util::Rng rng(13);
+  Simulator sim;
+  Network net(sim, LatencyModel{}, rng);
+  std::vector<NodeAddr> nodes{net.addNode()};
+  ChurnProcess churn(net, ChurnConfig{1, 1, 1.0}, nodes);
+  churn.stop();
+  sim.runUntil(1000 * kSecond);
+  // Node state frozen after stop: it started online (fraction 1.0).
+  EXPECT_TRUE(net.isOnline(nodes[0]));
+}
+
+// --- Metrics ---
+
+TEST(Metrics, CountersAccumulate) {
+  Metrics m;
+  m.increment("a");
+  m.increment("a", 4);
+  EXPECT_EQ(m.counter("a"), 5u);
+  EXPECT_EQ(m.counter("missing"), 0u);
+}
+
+TEST(Metrics, HistogramStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 5.0);
+  EXPECT_THROW(h.percentile(101), std::invalid_argument);
+}
+
+TEST(Metrics, EmptyHistogramSafe) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0.0);
+}
+
+}  // namespace
+}  // namespace dosn::sim
