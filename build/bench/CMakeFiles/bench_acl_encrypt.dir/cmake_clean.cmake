@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_acl_encrypt.dir/bench_acl_encrypt.cpp.o"
+  "CMakeFiles/bench_acl_encrypt.dir/bench_acl_encrypt.cpp.o.d"
+  "bench_acl_encrypt"
+  "bench_acl_encrypt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_acl_encrypt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

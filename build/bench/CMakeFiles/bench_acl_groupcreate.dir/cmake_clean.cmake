@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_acl_groupcreate.dir/bench_acl_groupcreate.cpp.o"
+  "CMakeFiles/bench_acl_groupcreate.dir/bench_acl_groupcreate.cpp.o.d"
+  "bench_acl_groupcreate"
+  "bench_acl_groupcreate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_acl_groupcreate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_acl_membership.dir/bench_acl_membership.cpp.o"
+  "CMakeFiles/bench_acl_membership.dir/bench_acl_membership.cpp.o.d"
+  "bench_acl_membership"
+  "bench_acl_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_acl_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_anonymity.dir/bench_anonymity.cpp.o"
+  "CMakeFiles/bench_anonymity.dir/bench_anonymity.cpp.o.d"
+  "bench_anonymity"
+  "bench_anonymity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anonymity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_anonymization.dir/bench_anonymization.cpp.o"
+  "CMakeFiles/bench_anonymization.dir/bench_anonymization.cpp.o.d"
+  "bench_anonymization"
+  "bench_anonymization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_anonymization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

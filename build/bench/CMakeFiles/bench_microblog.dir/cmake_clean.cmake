@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_microblog.dir/bench_microblog.cpp.o"
+  "CMakeFiles/bench_microblog.dir/bench_microblog.cpp.o.d"
+  "bench_microblog"
+  "bench_microblog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microblog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

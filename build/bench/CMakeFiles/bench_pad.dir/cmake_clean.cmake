@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pad.dir/bench_pad.cpp.o"
+  "CMakeFiles/bench_pad.dir/bench_pad.cpp.o.d"
+  "bench_pad"
+  "bench_pad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

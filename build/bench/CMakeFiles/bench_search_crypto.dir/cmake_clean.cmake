@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_search_crypto.dir/bench_search_crypto.cpp.o"
+  "CMakeFiles/bench_search_crypto.dir/bench_search_crypto.cpp.o.d"
+  "bench_search_crypto"
+  "bench_search_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_search_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trustrank.dir/bench_trustrank.cpp.o"
+  "CMakeFiles/bench_trustrank.dir/bench_trustrank.cpp.o.d"
+  "bench_trustrank"
+  "bench_trustrank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trustrank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dosn_simulation.cpp" "examples/CMakeFiles/dosn_simulation.dir/dosn_simulation.cpp.o" "gcc" "examples/CMakeFiles/dosn_simulation.dir/dosn_simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dosn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_abe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_ibbe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_integrity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_social.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_pkcrypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

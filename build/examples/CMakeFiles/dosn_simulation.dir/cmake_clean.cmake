@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_simulation.dir/dosn_simulation.cpp.o"
+  "CMakeFiles/dosn_simulation.dir/dosn_simulation.cpp.o.d"
+  "dosn_simulation"
+  "dosn_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

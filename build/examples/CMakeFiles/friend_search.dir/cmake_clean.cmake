@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/friend_search.dir/friend_search.cpp.o"
+  "CMakeFiles/friend_search.dir/friend_search.cpp.o.d"
+  "friend_search"
+  "friend_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/friend_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

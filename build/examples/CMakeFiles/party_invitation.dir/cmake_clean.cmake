@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/party_invitation.dir/party_invitation.cpp.o"
+  "CMakeFiles/party_invitation.dir/party_invitation.cpp.o.d"
+  "party_invitation"
+  "party_invitation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/party_invitation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

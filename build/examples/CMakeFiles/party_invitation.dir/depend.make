@@ -1,0 +1,2 @@
+# Empty dependencies file for party_invitation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_microblog.dir/private_microblog.cpp.o"
+  "CMakeFiles/private_microblog.dir/private_microblog.cpp.o.d"
+  "private_microblog"
+  "private_microblog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_microblog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_messaging.dir/secure_messaging.cpp.o"
+  "CMakeFiles/secure_messaging.dir/secure_messaging.cpp.o.d"
+  "secure_messaging"
+  "secure_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

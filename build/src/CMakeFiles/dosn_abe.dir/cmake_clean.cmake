@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_abe.dir/dosn/abe/cpabe.cpp.o"
+  "CMakeFiles/dosn_abe.dir/dosn/abe/cpabe.cpp.o.d"
+  "CMakeFiles/dosn_abe.dir/dosn/abe/kpabe.cpp.o"
+  "CMakeFiles/dosn_abe.dir/dosn/abe/kpabe.cpp.o.d"
+  "libdosn_abe.a"
+  "libdosn_abe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_abe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_app.dir/dosn/app/microblog.cpp.o"
+  "CMakeFiles/dosn_app.dir/dosn/app/microblog.cpp.o.d"
+  "libdosn_app.a"
+  "libdosn_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dosn/bignum/biguint.cpp" "src/CMakeFiles/dosn_bignum.dir/dosn/bignum/biguint.cpp.o" "gcc" "src/CMakeFiles/dosn_bignum.dir/dosn/bignum/biguint.cpp.o.d"
+  "/root/repo/src/dosn/bignum/modmath.cpp" "src/CMakeFiles/dosn_bignum.dir/dosn/bignum/modmath.cpp.o" "gcc" "src/CMakeFiles/dosn_bignum.dir/dosn/bignum/modmath.cpp.o.d"
+  "/root/repo/src/dosn/bignum/prime.cpp" "src/CMakeFiles/dosn_bignum.dir/dosn/bignum/prime.cpp.o" "gcc" "src/CMakeFiles/dosn_bignum.dir/dosn/bignum/prime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dosn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

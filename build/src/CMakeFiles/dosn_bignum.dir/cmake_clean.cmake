@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_bignum.dir/dosn/bignum/biguint.cpp.o"
+  "CMakeFiles/dosn_bignum.dir/dosn/bignum/biguint.cpp.o.d"
+  "CMakeFiles/dosn_bignum.dir/dosn/bignum/modmath.cpp.o"
+  "CMakeFiles/dosn_bignum.dir/dosn/bignum/modmath.cpp.o.d"
+  "CMakeFiles/dosn_bignum.dir/dosn/bignum/prime.cpp.o"
+  "CMakeFiles/dosn_bignum.dir/dosn/bignum/prime.cpp.o.d"
+  "libdosn_bignum.a"
+  "libdosn_bignum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_core.dir/dosn/core/node.cpp.o"
+  "CMakeFiles/dosn_core.dir/dosn/core/node.cpp.o.d"
+  "CMakeFiles/dosn_core.dir/dosn/core/registry.cpp.o"
+  "CMakeFiles/dosn_core.dir/dosn/core/registry.cpp.o.d"
+  "CMakeFiles/dosn_core.dir/dosn/core/table1.cpp.o"
+  "CMakeFiles/dosn_core.dir/dosn/core/table1.cpp.o.d"
+  "libdosn_core.a"
+  "libdosn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

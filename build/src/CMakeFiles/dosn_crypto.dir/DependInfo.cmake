@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dosn/crypto/aead.cpp" "src/CMakeFiles/dosn_crypto.dir/dosn/crypto/aead.cpp.o" "gcc" "src/CMakeFiles/dosn_crypto.dir/dosn/crypto/aead.cpp.o.d"
+  "/root/repo/src/dosn/crypto/chacha20.cpp" "src/CMakeFiles/dosn_crypto.dir/dosn/crypto/chacha20.cpp.o" "gcc" "src/CMakeFiles/dosn_crypto.dir/dosn/crypto/chacha20.cpp.o.d"
+  "/root/repo/src/dosn/crypto/hkdf.cpp" "src/CMakeFiles/dosn_crypto.dir/dosn/crypto/hkdf.cpp.o" "gcc" "src/CMakeFiles/dosn_crypto.dir/dosn/crypto/hkdf.cpp.o.d"
+  "/root/repo/src/dosn/crypto/hmac.cpp" "src/CMakeFiles/dosn_crypto.dir/dosn/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/dosn_crypto.dir/dosn/crypto/hmac.cpp.o.d"
+  "/root/repo/src/dosn/crypto/merkle.cpp" "src/CMakeFiles/dosn_crypto.dir/dosn/crypto/merkle.cpp.o" "gcc" "src/CMakeFiles/dosn_crypto.dir/dosn/crypto/merkle.cpp.o.d"
+  "/root/repo/src/dosn/crypto/poly1305.cpp" "src/CMakeFiles/dosn_crypto.dir/dosn/crypto/poly1305.cpp.o" "gcc" "src/CMakeFiles/dosn_crypto.dir/dosn/crypto/poly1305.cpp.o.d"
+  "/root/repo/src/dosn/crypto/sha256.cpp" "src/CMakeFiles/dosn_crypto.dir/dosn/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/dosn_crypto.dir/dosn/crypto/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dosn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_crypto.dir/dosn/crypto/aead.cpp.o"
+  "CMakeFiles/dosn_crypto.dir/dosn/crypto/aead.cpp.o.d"
+  "CMakeFiles/dosn_crypto.dir/dosn/crypto/chacha20.cpp.o"
+  "CMakeFiles/dosn_crypto.dir/dosn/crypto/chacha20.cpp.o.d"
+  "CMakeFiles/dosn_crypto.dir/dosn/crypto/hkdf.cpp.o"
+  "CMakeFiles/dosn_crypto.dir/dosn/crypto/hkdf.cpp.o.d"
+  "CMakeFiles/dosn_crypto.dir/dosn/crypto/hmac.cpp.o"
+  "CMakeFiles/dosn_crypto.dir/dosn/crypto/hmac.cpp.o.d"
+  "CMakeFiles/dosn_crypto.dir/dosn/crypto/merkle.cpp.o"
+  "CMakeFiles/dosn_crypto.dir/dosn/crypto/merkle.cpp.o.d"
+  "CMakeFiles/dosn_crypto.dir/dosn/crypto/poly1305.cpp.o"
+  "CMakeFiles/dosn_crypto.dir/dosn/crypto/poly1305.cpp.o.d"
+  "CMakeFiles/dosn_crypto.dir/dosn/crypto/sha256.cpp.o"
+  "CMakeFiles/dosn_crypto.dir/dosn/crypto/sha256.cpp.o.d"
+  "libdosn_crypto.a"
+  "libdosn_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

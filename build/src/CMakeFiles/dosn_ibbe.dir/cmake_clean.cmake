@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_ibbe.dir/dosn/ibbe/ibbe.cpp.o"
+  "CMakeFiles/dosn_ibbe.dir/dosn/ibbe/ibbe.cpp.o.d"
+  "libdosn_ibbe.a"
+  "libdosn_ibbe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_ibbe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

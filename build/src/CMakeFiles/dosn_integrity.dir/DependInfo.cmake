@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dosn/integrity/entanglement.cpp" "src/CMakeFiles/dosn_integrity.dir/dosn/integrity/entanglement.cpp.o" "gcc" "src/CMakeFiles/dosn_integrity.dir/dosn/integrity/entanglement.cpp.o.d"
+  "/root/repo/src/dosn/integrity/fork_consistency.cpp" "src/CMakeFiles/dosn_integrity.dir/dosn/integrity/fork_consistency.cpp.o" "gcc" "src/CMakeFiles/dosn_integrity.dir/dosn/integrity/fork_consistency.cpp.o.d"
+  "/root/repo/src/dosn/integrity/hash_chain.cpp" "src/CMakeFiles/dosn_integrity.dir/dosn/integrity/hash_chain.cpp.o" "gcc" "src/CMakeFiles/dosn_integrity.dir/dosn/integrity/hash_chain.cpp.o.d"
+  "/root/repo/src/dosn/integrity/history_tree.cpp" "src/CMakeFiles/dosn_integrity.dir/dosn/integrity/history_tree.cpp.o" "gcc" "src/CMakeFiles/dosn_integrity.dir/dosn/integrity/history_tree.cpp.o.d"
+  "/root/repo/src/dosn/integrity/relation.cpp" "src/CMakeFiles/dosn_integrity.dir/dosn/integrity/relation.cpp.o" "gcc" "src/CMakeFiles/dosn_integrity.dir/dosn/integrity/relation.cpp.o.d"
+  "/root/repo/src/dosn/integrity/signed_post.cpp" "src/CMakeFiles/dosn_integrity.dir/dosn/integrity/signed_post.cpp.o" "gcc" "src/CMakeFiles/dosn_integrity.dir/dosn/integrity/signed_post.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dosn_social.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_pkcrypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

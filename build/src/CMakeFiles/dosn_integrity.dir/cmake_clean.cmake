@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_integrity.dir/dosn/integrity/entanglement.cpp.o"
+  "CMakeFiles/dosn_integrity.dir/dosn/integrity/entanglement.cpp.o.d"
+  "CMakeFiles/dosn_integrity.dir/dosn/integrity/fork_consistency.cpp.o"
+  "CMakeFiles/dosn_integrity.dir/dosn/integrity/fork_consistency.cpp.o.d"
+  "CMakeFiles/dosn_integrity.dir/dosn/integrity/hash_chain.cpp.o"
+  "CMakeFiles/dosn_integrity.dir/dosn/integrity/hash_chain.cpp.o.d"
+  "CMakeFiles/dosn_integrity.dir/dosn/integrity/history_tree.cpp.o"
+  "CMakeFiles/dosn_integrity.dir/dosn/integrity/history_tree.cpp.o.d"
+  "CMakeFiles/dosn_integrity.dir/dosn/integrity/relation.cpp.o"
+  "CMakeFiles/dosn_integrity.dir/dosn/integrity/relation.cpp.o.d"
+  "CMakeFiles/dosn_integrity.dir/dosn/integrity/signed_post.cpp.o"
+  "CMakeFiles/dosn_integrity.dir/dosn/integrity/signed_post.cpp.o.d"
+  "libdosn_integrity.a"
+  "libdosn_integrity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_integrity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dosn/overlay/federation.cpp" "src/CMakeFiles/dosn_overlay.dir/dosn/overlay/federation.cpp.o" "gcc" "src/CMakeFiles/dosn_overlay.dir/dosn/overlay/federation.cpp.o.d"
+  "/root/repo/src/dosn/overlay/flooding.cpp" "src/CMakeFiles/dosn_overlay.dir/dosn/overlay/flooding.cpp.o" "gcc" "src/CMakeFiles/dosn_overlay.dir/dosn/overlay/flooding.cpp.o.d"
+  "/root/repo/src/dosn/overlay/gossip.cpp" "src/CMakeFiles/dosn_overlay.dir/dosn/overlay/gossip.cpp.o" "gcc" "src/CMakeFiles/dosn_overlay.dir/dosn/overlay/gossip.cpp.o.d"
+  "/root/repo/src/dosn/overlay/hybrid.cpp" "src/CMakeFiles/dosn_overlay.dir/dosn/overlay/hybrid.cpp.o" "gcc" "src/CMakeFiles/dosn_overlay.dir/dosn/overlay/hybrid.cpp.o.d"
+  "/root/repo/src/dosn/overlay/kademlia.cpp" "src/CMakeFiles/dosn_overlay.dir/dosn/overlay/kademlia.cpp.o" "gcc" "src/CMakeFiles/dosn_overlay.dir/dosn/overlay/kademlia.cpp.o.d"
+  "/root/repo/src/dosn/overlay/location_tree.cpp" "src/CMakeFiles/dosn_overlay.dir/dosn/overlay/location_tree.cpp.o" "gcc" "src/CMakeFiles/dosn_overlay.dir/dosn/overlay/location_tree.cpp.o.d"
+  "/root/repo/src/dosn/overlay/node_id.cpp" "src/CMakeFiles/dosn_overlay.dir/dosn/overlay/node_id.cpp.o" "gcc" "src/CMakeFiles/dosn_overlay.dir/dosn/overlay/node_id.cpp.o.d"
+  "/root/repo/src/dosn/overlay/replication.cpp" "src/CMakeFiles/dosn_overlay.dir/dosn/overlay/replication.cpp.o" "gcc" "src/CMakeFiles/dosn_overlay.dir/dosn/overlay/replication.cpp.o.d"
+  "/root/repo/src/dosn/overlay/superpeer.cpp" "src/CMakeFiles/dosn_overlay.dir/dosn/overlay/superpeer.cpp.o" "gcc" "src/CMakeFiles/dosn_overlay.dir/dosn/overlay/superpeer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dosn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

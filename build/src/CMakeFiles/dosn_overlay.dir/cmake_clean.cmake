@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_overlay.dir/dosn/overlay/federation.cpp.o"
+  "CMakeFiles/dosn_overlay.dir/dosn/overlay/federation.cpp.o.d"
+  "CMakeFiles/dosn_overlay.dir/dosn/overlay/flooding.cpp.o"
+  "CMakeFiles/dosn_overlay.dir/dosn/overlay/flooding.cpp.o.d"
+  "CMakeFiles/dosn_overlay.dir/dosn/overlay/gossip.cpp.o"
+  "CMakeFiles/dosn_overlay.dir/dosn/overlay/gossip.cpp.o.d"
+  "CMakeFiles/dosn_overlay.dir/dosn/overlay/hybrid.cpp.o"
+  "CMakeFiles/dosn_overlay.dir/dosn/overlay/hybrid.cpp.o.d"
+  "CMakeFiles/dosn_overlay.dir/dosn/overlay/kademlia.cpp.o"
+  "CMakeFiles/dosn_overlay.dir/dosn/overlay/kademlia.cpp.o.d"
+  "CMakeFiles/dosn_overlay.dir/dosn/overlay/location_tree.cpp.o"
+  "CMakeFiles/dosn_overlay.dir/dosn/overlay/location_tree.cpp.o.d"
+  "CMakeFiles/dosn_overlay.dir/dosn/overlay/node_id.cpp.o"
+  "CMakeFiles/dosn_overlay.dir/dosn/overlay/node_id.cpp.o.d"
+  "CMakeFiles/dosn_overlay.dir/dosn/overlay/replication.cpp.o"
+  "CMakeFiles/dosn_overlay.dir/dosn/overlay/replication.cpp.o.d"
+  "CMakeFiles/dosn_overlay.dir/dosn/overlay/superpeer.cpp.o"
+  "CMakeFiles/dosn_overlay.dir/dosn/overlay/superpeer.cpp.o.d"
+  "libdosn_overlay.a"
+  "libdosn_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dosn/pkcrypto/blind_rsa.cpp" "src/CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/blind_rsa.cpp.o" "gcc" "src/CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/blind_rsa.cpp.o.d"
+  "/root/repo/src/dosn/pkcrypto/dh.cpp" "src/CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/dh.cpp.o" "gcc" "src/CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/dh.cpp.o.d"
+  "/root/repo/src/dosn/pkcrypto/elgamal.cpp" "src/CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/elgamal.cpp.o" "gcc" "src/CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/elgamal.cpp.o.d"
+  "/root/repo/src/dosn/pkcrypto/group.cpp" "src/CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/group.cpp.o" "gcc" "src/CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/group.cpp.o.d"
+  "/root/repo/src/dosn/pkcrypto/oprf.cpp" "src/CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/oprf.cpp.o" "gcc" "src/CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/oprf.cpp.o.d"
+  "/root/repo/src/dosn/pkcrypto/rsa.cpp" "src/CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/rsa.cpp.o" "gcc" "src/CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/rsa.cpp.o.d"
+  "/root/repo/src/dosn/pkcrypto/schnorr.cpp" "src/CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/schnorr.cpp.o" "gcc" "src/CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/schnorr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dosn_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/blind_rsa.cpp.o"
+  "CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/blind_rsa.cpp.o.d"
+  "CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/dh.cpp.o"
+  "CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/dh.cpp.o.d"
+  "CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/elgamal.cpp.o"
+  "CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/elgamal.cpp.o.d"
+  "CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/group.cpp.o"
+  "CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/group.cpp.o.d"
+  "CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/oprf.cpp.o"
+  "CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/oprf.cpp.o.d"
+  "CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/rsa.cpp.o"
+  "CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/rsa.cpp.o.d"
+  "CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/schnorr.cpp.o"
+  "CMakeFiles/dosn_pkcrypto.dir/dosn/pkcrypto/schnorr.cpp.o.d"
+  "libdosn_pkcrypto.a"
+  "libdosn_pkcrypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_pkcrypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dosn/policy/field.cpp" "src/CMakeFiles/dosn_policy.dir/dosn/policy/field.cpp.o" "gcc" "src/CMakeFiles/dosn_policy.dir/dosn/policy/field.cpp.o.d"
+  "/root/repo/src/dosn/policy/policy.cpp" "src/CMakeFiles/dosn_policy.dir/dosn/policy/policy.cpp.o" "gcc" "src/CMakeFiles/dosn_policy.dir/dosn/policy/policy.cpp.o.d"
+  "/root/repo/src/dosn/policy/shamir.cpp" "src/CMakeFiles/dosn_policy.dir/dosn/policy/shamir.cpp.o" "gcc" "src/CMakeFiles/dosn_policy.dir/dosn/policy/shamir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dosn_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

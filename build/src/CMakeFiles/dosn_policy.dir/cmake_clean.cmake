@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_policy.dir/dosn/policy/field.cpp.o"
+  "CMakeFiles/dosn_policy.dir/dosn/policy/field.cpp.o.d"
+  "CMakeFiles/dosn_policy.dir/dosn/policy/policy.cpp.o"
+  "CMakeFiles/dosn_policy.dir/dosn/policy/policy.cpp.o.d"
+  "CMakeFiles/dosn_policy.dir/dosn/policy/shamir.cpp.o"
+  "CMakeFiles/dosn_policy.dir/dosn/policy/shamir.cpp.o.d"
+  "libdosn_policy.a"
+  "libdosn_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

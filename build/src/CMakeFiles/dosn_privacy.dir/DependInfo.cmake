@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dosn/privacy/abe_acl.cpp" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/abe_acl.cpp.o" "gcc" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/abe_acl.cpp.o.d"
+  "/root/repo/src/dosn/privacy/access_controller.cpp" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/access_controller.cpp.o" "gcc" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/access_controller.cpp.o.d"
+  "/root/repo/src/dosn/privacy/app_capability.cpp" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/app_capability.cpp.o" "gcc" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/app_capability.cpp.o.d"
+  "/root/repo/src/dosn/privacy/direct_message.cpp" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/direct_message.cpp.o" "gcc" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/direct_message.cpp.o.d"
+  "/root/repo/src/dosn/privacy/hybrid_acl.cpp" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/hybrid_acl.cpp.o" "gcc" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/hybrid_acl.cpp.o.d"
+  "/root/repo/src/dosn/privacy/ibbe_acl.cpp" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/ibbe_acl.cpp.o" "gcc" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/ibbe_acl.cpp.o.d"
+  "/root/repo/src/dosn/privacy/pad.cpp" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/pad.cpp.o" "gcc" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/pad.cpp.o.d"
+  "/root/repo/src/dosn/privacy/pad_membership.cpp" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/pad_membership.cpp.o" "gcc" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/pad_membership.cpp.o.d"
+  "/root/repo/src/dosn/privacy/publickey_acl.cpp" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/publickey_acl.cpp.o" "gcc" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/publickey_acl.cpp.o.d"
+  "/root/repo/src/dosn/privacy/substitution.cpp" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/substitution.cpp.o" "gcc" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/substitution.cpp.o.d"
+  "/root/repo/src/dosn/privacy/symmetric_acl.cpp" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/symmetric_acl.cpp.o" "gcc" "src/CMakeFiles/dosn_privacy.dir/dosn/privacy/symmetric_acl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dosn_social.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_abe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_ibbe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_pkcrypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/abe_acl.cpp.o"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/abe_acl.cpp.o.d"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/access_controller.cpp.o"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/access_controller.cpp.o.d"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/app_capability.cpp.o"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/app_capability.cpp.o.d"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/direct_message.cpp.o"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/direct_message.cpp.o.d"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/hybrid_acl.cpp.o"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/hybrid_acl.cpp.o.d"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/ibbe_acl.cpp.o"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/ibbe_acl.cpp.o.d"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/pad.cpp.o"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/pad.cpp.o.d"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/pad_membership.cpp.o"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/pad_membership.cpp.o.d"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/publickey_acl.cpp.o"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/publickey_acl.cpp.o.d"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/substitution.cpp.o"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/substitution.cpp.o.d"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/symmetric_acl.cpp.o"
+  "CMakeFiles/dosn_privacy.dir/dosn/privacy/symmetric_acl.cpp.o.d"
+  "libdosn_privacy.a"
+  "libdosn_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dosn/search/friend_finder.cpp" "src/CMakeFiles/dosn_search.dir/dosn/search/friend_finder.cpp.o" "gcc" "src/CMakeFiles/dosn_search.dir/dosn/search/friend_finder.cpp.o.d"
+  "/root/repo/src/dosn/search/friend_rings.cpp" "src/CMakeFiles/dosn_search.dir/dosn/search/friend_rings.cpp.o" "gcc" "src/CMakeFiles/dosn_search.dir/dosn/search/friend_rings.cpp.o.d"
+  "/root/repo/src/dosn/search/hummingbird.cpp" "src/CMakeFiles/dosn_search.dir/dosn/search/hummingbird.cpp.o" "gcc" "src/CMakeFiles/dosn_search.dir/dosn/search/hummingbird.cpp.o.d"
+  "/root/repo/src/dosn/search/proxy_alias.cpp" "src/CMakeFiles/dosn_search.dir/dosn/search/proxy_alias.cpp.o" "gcc" "src/CMakeFiles/dosn_search.dir/dosn/search/proxy_alias.cpp.o.d"
+  "/root/repo/src/dosn/search/resource_handler.cpp" "src/CMakeFiles/dosn_search.dir/dosn/search/resource_handler.cpp.o" "gcc" "src/CMakeFiles/dosn_search.dir/dosn/search/resource_handler.cpp.o.d"
+  "/root/repo/src/dosn/search/search_index.cpp" "src/CMakeFiles/dosn_search.dir/dosn/search/search_index.cpp.o" "gcc" "src/CMakeFiles/dosn_search.dir/dosn/search/search_index.cpp.o.d"
+  "/root/repo/src/dosn/search/topic_subscription.cpp" "src/CMakeFiles/dosn_search.dir/dosn/search/topic_subscription.cpp.o" "gcc" "src/CMakeFiles/dosn_search.dir/dosn/search/topic_subscription.cpp.o.d"
+  "/root/repo/src/dosn/search/trust_rank.cpp" "src/CMakeFiles/dosn_search.dir/dosn/search/trust_rank.cpp.o" "gcc" "src/CMakeFiles/dosn_search.dir/dosn/search/trust_rank.cpp.o.d"
+  "/root/repo/src/dosn/search/zkp_access.cpp" "src/CMakeFiles/dosn_search.dir/dosn/search/zkp_access.cpp.o" "gcc" "src/CMakeFiles/dosn_search.dir/dosn/search/zkp_access.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dosn_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_integrity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_abe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_ibbe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_social.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_pkcrypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_search.dir/dosn/search/friend_finder.cpp.o"
+  "CMakeFiles/dosn_search.dir/dosn/search/friend_finder.cpp.o.d"
+  "CMakeFiles/dosn_search.dir/dosn/search/friend_rings.cpp.o"
+  "CMakeFiles/dosn_search.dir/dosn/search/friend_rings.cpp.o.d"
+  "CMakeFiles/dosn_search.dir/dosn/search/hummingbird.cpp.o"
+  "CMakeFiles/dosn_search.dir/dosn/search/hummingbird.cpp.o.d"
+  "CMakeFiles/dosn_search.dir/dosn/search/proxy_alias.cpp.o"
+  "CMakeFiles/dosn_search.dir/dosn/search/proxy_alias.cpp.o.d"
+  "CMakeFiles/dosn_search.dir/dosn/search/resource_handler.cpp.o"
+  "CMakeFiles/dosn_search.dir/dosn/search/resource_handler.cpp.o.d"
+  "CMakeFiles/dosn_search.dir/dosn/search/search_index.cpp.o"
+  "CMakeFiles/dosn_search.dir/dosn/search/search_index.cpp.o.d"
+  "CMakeFiles/dosn_search.dir/dosn/search/topic_subscription.cpp.o"
+  "CMakeFiles/dosn_search.dir/dosn/search/topic_subscription.cpp.o.d"
+  "CMakeFiles/dosn_search.dir/dosn/search/trust_rank.cpp.o"
+  "CMakeFiles/dosn_search.dir/dosn/search/trust_rank.cpp.o.d"
+  "CMakeFiles/dosn_search.dir/dosn/search/zkp_access.cpp.o"
+  "CMakeFiles/dosn_search.dir/dosn/search/zkp_access.cpp.o.d"
+  "libdosn_search.a"
+  "libdosn_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dosn/sim/churn.cpp" "src/CMakeFiles/dosn_sim.dir/dosn/sim/churn.cpp.o" "gcc" "src/CMakeFiles/dosn_sim.dir/dosn/sim/churn.cpp.o.d"
+  "/root/repo/src/dosn/sim/metrics.cpp" "src/CMakeFiles/dosn_sim.dir/dosn/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/dosn_sim.dir/dosn/sim/metrics.cpp.o.d"
+  "/root/repo/src/dosn/sim/network.cpp" "src/CMakeFiles/dosn_sim.dir/dosn/sim/network.cpp.o" "gcc" "src/CMakeFiles/dosn_sim.dir/dosn/sim/network.cpp.o.d"
+  "/root/repo/src/dosn/sim/simulator.cpp" "src/CMakeFiles/dosn_sim.dir/dosn/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/dosn_sim.dir/dosn/sim/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dosn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_sim.dir/dosn/sim/churn.cpp.o"
+  "CMakeFiles/dosn_sim.dir/dosn/sim/churn.cpp.o.d"
+  "CMakeFiles/dosn_sim.dir/dosn/sim/metrics.cpp.o"
+  "CMakeFiles/dosn_sim.dir/dosn/sim/metrics.cpp.o.d"
+  "CMakeFiles/dosn_sim.dir/dosn/sim/network.cpp.o"
+  "CMakeFiles/dosn_sim.dir/dosn/sim/network.cpp.o.d"
+  "CMakeFiles/dosn_sim.dir/dosn/sim/simulator.cpp.o"
+  "CMakeFiles/dosn_sim.dir/dosn/sim/simulator.cpp.o.d"
+  "libdosn_sim.a"
+  "libdosn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dosn/social/anonymize.cpp" "src/CMakeFiles/dosn_social.dir/dosn/social/anonymize.cpp.o" "gcc" "src/CMakeFiles/dosn_social.dir/dosn/social/anonymize.cpp.o.d"
+  "/root/repo/src/dosn/social/content.cpp" "src/CMakeFiles/dosn_social.dir/dosn/social/content.cpp.o" "gcc" "src/CMakeFiles/dosn_social.dir/dosn/social/content.cpp.o.d"
+  "/root/repo/src/dosn/social/graph.cpp" "src/CMakeFiles/dosn_social.dir/dosn/social/graph.cpp.o" "gcc" "src/CMakeFiles/dosn_social.dir/dosn/social/graph.cpp.o.d"
+  "/root/repo/src/dosn/social/graph_gen.cpp" "src/CMakeFiles/dosn_social.dir/dosn/social/graph_gen.cpp.o" "gcc" "src/CMakeFiles/dosn_social.dir/dosn/social/graph_gen.cpp.o.d"
+  "/root/repo/src/dosn/social/identity.cpp" "src/CMakeFiles/dosn_social.dir/dosn/social/identity.cpp.o" "gcc" "src/CMakeFiles/dosn_social.dir/dosn/social/identity.cpp.o.d"
+  "/root/repo/src/dosn/social/inference.cpp" "src/CMakeFiles/dosn_social.dir/dosn/social/inference.cpp.o" "gcc" "src/CMakeFiles/dosn_social.dir/dosn/social/inference.cpp.o.d"
+  "/root/repo/src/dosn/social/sybil.cpp" "src/CMakeFiles/dosn_social.dir/dosn/social/sybil.cpp.o" "gcc" "src/CMakeFiles/dosn_social.dir/dosn/social/sybil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dosn_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_pkcrypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_social.dir/dosn/social/anonymize.cpp.o"
+  "CMakeFiles/dosn_social.dir/dosn/social/anonymize.cpp.o.d"
+  "CMakeFiles/dosn_social.dir/dosn/social/content.cpp.o"
+  "CMakeFiles/dosn_social.dir/dosn/social/content.cpp.o.d"
+  "CMakeFiles/dosn_social.dir/dosn/social/graph.cpp.o"
+  "CMakeFiles/dosn_social.dir/dosn/social/graph.cpp.o.d"
+  "CMakeFiles/dosn_social.dir/dosn/social/graph_gen.cpp.o"
+  "CMakeFiles/dosn_social.dir/dosn/social/graph_gen.cpp.o.d"
+  "CMakeFiles/dosn_social.dir/dosn/social/identity.cpp.o"
+  "CMakeFiles/dosn_social.dir/dosn/social/identity.cpp.o.d"
+  "CMakeFiles/dosn_social.dir/dosn/social/inference.cpp.o"
+  "CMakeFiles/dosn_social.dir/dosn/social/inference.cpp.o.d"
+  "CMakeFiles/dosn_social.dir/dosn/social/sybil.cpp.o"
+  "CMakeFiles/dosn_social.dir/dosn/social/sybil.cpp.o.d"
+  "libdosn_social.a"
+  "libdosn_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dosn/util/bytes.cpp" "src/CMakeFiles/dosn_util.dir/dosn/util/bytes.cpp.o" "gcc" "src/CMakeFiles/dosn_util.dir/dosn/util/bytes.cpp.o.d"
+  "/root/repo/src/dosn/util/codec.cpp" "src/CMakeFiles/dosn_util.dir/dosn/util/codec.cpp.o" "gcc" "src/CMakeFiles/dosn_util.dir/dosn/util/codec.cpp.o.d"
+  "/root/repo/src/dosn/util/rng.cpp" "src/CMakeFiles/dosn_util.dir/dosn/util/rng.cpp.o" "gcc" "src/CMakeFiles/dosn_util.dir/dosn/util/rng.cpp.o.d"
+  "/root/repo/src/dosn/util/strings.cpp" "src/CMakeFiles/dosn_util.dir/dosn/util/strings.cpp.o" "gcc" "src/CMakeFiles/dosn_util.dir/dosn/util/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

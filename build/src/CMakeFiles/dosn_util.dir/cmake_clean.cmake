@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_util.dir/dosn/util/bytes.cpp.o"
+  "CMakeFiles/dosn_util.dir/dosn/util/bytes.cpp.o.d"
+  "CMakeFiles/dosn_util.dir/dosn/util/codec.cpp.o"
+  "CMakeFiles/dosn_util.dir/dosn/util/codec.cpp.o.d"
+  "CMakeFiles/dosn_util.dir/dosn/util/rng.cpp.o"
+  "CMakeFiles/dosn_util.dir/dosn/util/rng.cpp.o.d"
+  "CMakeFiles/dosn_util.dir/dosn/util/strings.cpp.o"
+  "CMakeFiles/dosn_util.dir/dosn/util/strings.cpp.o.d"
+  "libdosn_util.a"
+  "libdosn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integrity.cpp" "tests/CMakeFiles/test_integrity.dir/test_integrity.cpp.o" "gcc" "tests/CMakeFiles/test_integrity.dir/test_integrity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dosn_integrity.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_social.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_pkcrypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dosn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pkcrypto.dir/test_pkcrypto.cpp.o"
+  "CMakeFiles/test_pkcrypto.dir/test_pkcrypto.cpp.o.d"
+  "test_pkcrypto"
+  "test_pkcrypto.pdb"
+  "test_pkcrypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pkcrypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

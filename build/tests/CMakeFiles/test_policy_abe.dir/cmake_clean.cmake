@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_abe.dir/test_policy_abe.cpp.o"
+  "CMakeFiles/test_policy_abe.dir/test_policy_abe.cpp.o.d"
+  "test_policy_abe"
+  "test_policy_abe.pdb"
+  "test_policy_abe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_abe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
