@@ -1,0 +1,108 @@
+// F1: fault-injection robustness sweep. The survey's availability discussion
+// (§IV) assumes the storage overlay keeps answering queries while individual
+// links misbehave. This experiment scripts increasingly hostile FaultPlans
+// (uniform drop storms) against a Kademlia swarm and sweeps the RPC retry
+// budget, showing how much lookup success retry-with-backoff buys back and
+// what it costs in extra messages.
+#include <cstdio>
+#include <memory>
+
+#include "dosn/overlay/kademlia.hpp"
+#include "dosn/sim/faults.hpp"
+#include "dosn/sim/metrics.hpp"
+
+using namespace dosn;
+using namespace dosn::overlay;
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+constexpr std::size_t kPeers = 40;
+constexpr std::size_t kItems = 20;
+constexpr std::size_t kLookups = 60;
+
+struct Outcome {
+  double successRate = 0;
+  double msgsPerLookup = 0;
+  std::size_t retries = 0;
+};
+
+Outcome run(double drop, std::size_t retryAttempts) {
+  util::Rng rng(42);
+  sim::Simulator simulator;
+  sim::Network net(simulator,
+                   sim::LatencyModel{20 * kMillisecond, 10 * kMillisecond, 0.0},
+                   rng);
+  sim::Metrics metrics;
+  net.setMetrics(&metrics);
+
+  KademliaConfig config;
+  config.k = 8;
+  config.alpha = 3;
+  config.rpcTimeout = 250 * kMillisecond;
+  config.storeWidth = 3;
+  config.retry = RetryPolicy{retryAttempts, 150 * kMillisecond, 2.0};
+
+  std::vector<std::unique_ptr<KademliaNode>> peers;
+  for (std::size_t i = 0; i < kPeers; ++i) {
+    peers.push_back(
+        std::make_unique<KademliaNode>(net, OverlayId::random(rng), config));
+  }
+  const Contact seed{peers[0]->id(), peers[0]->addr()};
+  for (std::size_t i = 1; i < kPeers; ++i) {
+    peers[i]->bootstrap(seed);
+    simulator.run();
+  }
+  std::vector<OverlayId> keys;
+  for (std::size_t i = 0; i < kItems; ++i) {
+    keys.push_back(OverlayId::hash("fault-" + std::to_string(i)));
+    peers[i % kPeers]->store(keys.back(), util::toBytes("v"), {});
+    simulator.run();
+  }
+
+  // Faults start only after the swarm is built and populated, so every
+  // configuration queries the same healthy topology.
+  sim::FaultPlan plan;
+  plan.at(simulator.now(), sim::FaultRule::global().drop(drop));
+  net.setFaultPlan(&plan);
+  net.resetStats();
+
+  std::size_t found = 0;
+  for (std::size_t q = 0; q < kLookups; ++q) {
+    bool ok = false;
+    peers[(q * 7) % kPeers]->findValue(keys[q % kItems], [&](LookupResult r) {
+      ok = r.value.has_value();
+    });
+    simulator.run();
+    if (ok) ++found;
+  }
+  Outcome out;
+  out.successRate = static_cast<double>(found) / kLookups;
+  out.msgsPerLookup = static_cast<double>(net.messagesSent()) / kLookups;
+  for (const auto& peer : peers) out.retries += peer->rpcRetries();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("F1: drop probability x RPC retry budget (%zu peers, %zu lookups)\n\n",
+              kPeers, kLookups);
+  std::printf("%-8s %-9s %10s %14s %10s\n", "drop", "attempts", "success",
+              "msgs/lookup", "retries");
+  for (const double drop : {0.0, 0.1, 0.2, 0.35}) {
+    for (const std::size_t attempts : {1u, 2u, 4u}) {
+      const Outcome o = run(drop, attempts);
+      std::printf("%-8.2f %-9zu %9.0f%% %14.1f %10zu\n", drop, attempts,
+                  100 * o.successRate, o.msgsPerLookup, o.retries);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shape: with a single attempt, success degrades steeply with\n"
+      "the drop rate; adding retry attempts recovers most of it, paying a\n"
+      "message overhead that grows with the drop rate (each retry is itself\n"
+      "subject to the same faults).\n");
+  return 0;
+}

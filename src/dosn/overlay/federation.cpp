@@ -105,8 +105,8 @@ void FederatedServer::onMessage(sim::NodeAddr from, const sim::Message& msg) {
         callback(std::nullopt);
       }
     }
-  } catch (const util::CodecError&) {
-    // Malformed: drop.
+  } catch (const util::DosnError&) {
+    // Malformed payload or unroutable wire-derived address: drop.
   }
 }
 

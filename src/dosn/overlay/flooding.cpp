@@ -107,8 +107,8 @@ void FloodingNode::onMessage(sim::NodeAddr from, const sim::Message& msg) {
       pendingSearches_.erase(pending);
       callback(r.bytes());
     }
-  } catch (const util::CodecError&) {
-    // Malformed: drop.
+  } catch (const util::DosnError&) {
+    // Malformed payload or unroutable wire-derived address: drop.
   }
 }
 

@@ -165,8 +165,8 @@ void GossipNode::onMessage(sim::NodeAddr from, const sim::Message& msg) {
       network_.send(addr_, from,
                     sim::Message{"gossip.entries", encodeEntries(keys)});
     }
-  } catch (const util::CodecError&) {
-    // Malformed: drop.
+  } catch (const util::DosnError&) {
+    // Malformed payload or unroutable wire-derived address: drop.
   }
 }
 

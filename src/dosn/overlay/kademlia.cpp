@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "dosn/sim/metrics.hpp"
 #include "dosn/util/codec.hpp"
 #include "dosn/util/error.hpp"
 
@@ -170,14 +171,43 @@ void KademliaNode::sendRpc(
   writeId(w, id_);
   w.raw(body);
   pending_.emplace(rpcId, std::move(onReply));
-  network_.send(addr_, to.addr, sim::Message{type, w.take()});
-  network_.simulator().schedule(config_.rpcTimeout, [this, rpcId] {
-    const auto it = pending_.find(rpcId);
-    if (it == pending_.end()) return;
-    auto callback = std::move(it->second);
-    pending_.erase(it);
-    callback(false, {});
-  });
+  transmitRpc(to.addr, type, w.take(), rpcId, 1);
+}
+
+void KademliaNode::transmitRpc(sim::NodeAddr to, std::string type,
+                               util::Bytes frame, std::uint64_t rpcId,
+                               std::size_t attempt) {
+  try {
+    network_.send(addr_, to, sim::Message{type, frame});
+  } catch (const util::NetError&) {
+    // Unroutable address (e.g. a contact learned from a corrupted reply):
+    // treat like a black hole and let the timeout/retry path run its course.
+  }
+  network_.simulator().schedule(
+      config_.rpcTimeout,
+      [this, to, type = std::move(type), frame = std::move(frame), rpcId,
+       attempt]() mutable {
+        const auto it = pending_.find(rpcId);
+        if (it == pending_.end()) return;  // answered in time
+        if (attempt < config_.retry.attempts) {
+          ++rpcRetries_;
+          if (auto* m = network_.metrics()) m->increment("kad.rpc.retry");
+          network_.simulator().schedule(
+              config_.retry.backoff(attempt),
+              [this, to, type = std::move(type), frame = std::move(frame),
+               rpcId, attempt]() mutable {
+                if (!pending_.count(rpcId)) return;  // answered during backoff
+                transmitRpc(to, std::move(type), std::move(frame), rpcId,
+                            attempt + 1);
+              });
+          return;
+        }
+        auto callback = std::move(it->second);
+        pending_.erase(it);
+        ++rpcFailures_;
+        if (auto* m = network_.metrics()) m->increment("kad.rpc.fail");
+        callback(false, {});
+      });
 }
 
 util::Bytes KademliaNode::encodeContacts(const std::vector<Contact>& contacts) {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "dosn/overlay/node_id.hpp"
+#include "dosn/overlay/retry.hpp"
 #include "dosn/sim/network.hpp"
 #include "dosn/util/codec.hpp"
 
@@ -35,6 +36,9 @@ struct KademliaConfig {
   /// Letting it differ from k keeps routing healthy while sweeping the
   /// replication factor (bench_microblog).
   std::size_t storeWidth = 0;
+  /// Per-RPC retry with exponential backoff; default attempts=1 disables
+  /// retries, preserving the classic single-shot timeout behavior.
+  RetryPolicy retry;
 };
 
 /// LRU k-bucket routing table.
@@ -94,12 +98,19 @@ class KademliaNode {
   /// is refreshed via a self-lookup through the seed.
   void rejoin(const Contact& seed);
 
+  // RPC robustness stats (also mirrored into the network's Metrics, if
+  // attached, as `kad.rpc.retry` / `kad.rpc.fail`).
+  std::uint64_t rpcRetries() const { return rpcRetries_; }
+  std::uint64_t rpcFailures() const { return rpcFailures_; }
+
  private:
   struct Lookup;
 
   void onMessage(sim::NodeAddr from, const sim::Message& msg);
   void sendRpc(const Contact& to, const std::string& type, util::Bytes payload,
                std::function<void(bool ok, util::BytesView reply)> onReply);
+  void transmitRpc(sim::NodeAddr to, std::string type, util::Bytes frame,
+                   std::uint64_t rpcId, std::size_t attempt);
   void startLookup(const OverlayId& target, bool wantValue,
                    std::function<void(LookupResult)> done);
   void lookupStep(const std::shared_ptr<Lookup>& lookup);
@@ -117,6 +128,8 @@ class KademliaNode {
 
   std::uint64_t nextRpcId_ = 1;
   std::map<std::uint64_t, std::function<void(bool, util::BytesView)>> pending_;
+  std::uint64_t rpcRetries_ = 0;
+  std::uint64_t rpcFailures_ = 0;
 };
 
 }  // namespace dosn::overlay

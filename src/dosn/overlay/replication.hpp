@@ -4,12 +4,16 @@
 // small scale" (the survey's central observation).
 #pragma once
 
+#include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <vector>
 
 #include "dosn/overlay/node_id.hpp"
+#include "dosn/overlay/retry.hpp"
 #include "dosn/sim/network.hpp"
+#include "dosn/util/bytes.hpp"
 
 namespace dosn::overlay {
 
@@ -53,6 +57,71 @@ class ReplicationManager {
 
   sim::Network& network_;
   std::map<OverlayId, ItemState> items_;
+};
+
+/// Holds replica payloads at a simulated node and answers the replica wire
+/// protocol: `repl.store` {reqId, item, value} -> `repl.ack` {reqId, ok} and
+/// `repl.fetch` {reqId, item} -> `repl.value` {reqId, found, value}.
+class ReplicaHost {
+ public:
+  explicit ReplicaHost(sim::Network& network);
+
+  sim::NodeAddr addr() const { return addr_; }
+  const std::map<OverlayId, util::Bytes>& data() const { return data_; }
+
+ private:
+  void onMessage(sim::NodeAddr from, const sim::Message& msg);
+
+  sim::Network& network_;
+  sim::NodeAddr addr_;
+  std::map<OverlayId, util::Bytes> data_;
+};
+
+/// Client side of the replica protocol: store/fetch against a ReplicaHost
+/// with per-RPC timeout and retry-with-exponential-backoff — the defense the
+/// fault-injection sweep (test_faults) exercises against lossy links. Fully
+/// deterministic under the sim clock (no randomized jitter).
+class ReplicaClient {
+ public:
+  explicit ReplicaClient(sim::Network& network, RetryPolicy retry = {},
+                         sim::SimTime rpcTimeout = 500 * sim::kMillisecond);
+
+  sim::NodeAddr addr() const { return addr_; }
+
+  /// Stores `value` for `item` on `host`; done(ok) fires exactly once —
+  /// true on ack, false after all attempts time out.
+  void store(sim::NodeAddr host, const OverlayId& item, util::Bytes value,
+             std::function<void(bool ok)> done);
+
+  /// Fetches `item` from `host`; done fires exactly once — the value on a
+  /// hit, nullopt if the host lacks it or all attempts time out.
+  void fetch(sim::NodeAddr host, const OverlayId& item,
+             std::function<void(std::optional<util::Bytes>)> done);
+
+  // Robustness stats (mirrored into the network's Metrics, if attached, as
+  // `repl.rpc.retry` / `repl.rpc.fail`).
+  std::uint64_t rpcRetries() const { return rpcRetries_; }
+  std::uint64_t rpcFailures() const { return rpcFailures_; }
+
+ private:
+  struct PendingRpc {
+    std::function<void(bool ok, util::BytesView reply)> onReply;
+  };
+
+  void onMessage(sim::NodeAddr from, const sim::Message& msg);
+  void sendRpc(sim::NodeAddr host, const std::string& type, util::Bytes body,
+               std::function<void(bool ok, util::BytesView reply)> onReply);
+  void transmitRpc(sim::NodeAddr host, std::string type, util::Bytes frame,
+                   std::uint64_t reqId, std::size_t attempt);
+
+  sim::Network& network_;
+  sim::NodeAddr addr_;
+  RetryPolicy retry_;
+  sim::SimTime rpcTimeout_;
+  std::uint64_t nextReqId_ = 1;
+  std::map<std::uint64_t, PendingRpc> pending_;
+  std::uint64_t rpcRetries_ = 0;
+  std::uint64_t rpcFailures_ = 0;
 };
 
 /// Samples availability of all items at fixed intervals; reports the mean.

@@ -1,0 +1,29 @@
+// Retry-with-exponential-backoff policy shared by the overlay RPC layers
+// (Kademlia, replication). Delays are fixed functions of the attempt number —
+// no randomized jitter — so retried runs stay bit-reproducible under the
+// simulator's virtual clock.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "dosn/sim/simulator.hpp"
+
+namespace dosn::overlay {
+
+struct RetryPolicy {
+  /// Total send attempts per RPC; 1 means no retries (classic behavior).
+  std::size_t attempts = 1;
+  /// Backoff before the 2nd attempt; attempt n waits base * multiplier^(n-1).
+  sim::SimTime backoffBase = 100 * sim::kMillisecond;
+  double backoffMultiplier = 2.0;
+
+  /// Backoff to wait after attempt `attempt` (1-based) times out.
+  sim::SimTime backoff(std::size_t attempt) const {
+    double delay = static_cast<double>(backoffBase);
+    for (std::size_t i = 1; i < attempt; ++i) delay *= backoffMultiplier;
+    return static_cast<sim::SimTime>(delay);
+  }
+};
+
+}  // namespace dosn::overlay

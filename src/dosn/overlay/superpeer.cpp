@@ -71,8 +71,8 @@ void SuperPeer::onMessage(sim::NodeAddr from, const sim::Message& msg) {
         network_.send(addr_, origin, sim::Message{"sp.owner", w.take()});
       }
     }
-  } catch (const util::CodecError&) {
-    // Malformed: drop.
+  } catch (const util::DosnError&) {
+    // Malformed payload or unroutable wire-derived address: drop.
   }
 }
 
@@ -150,8 +150,8 @@ void LeafPeer::onMessage(sim::NodeAddr from, const sim::Message& msg) {
       pending_.erase(it);
       callback(r.bytes());
     }
-  } catch (const util::CodecError&) {
-    // Malformed: drop.
+  } catch (const util::DosnError&) {
+    // Malformed payload or unroutable wire-derived address: drop.
   }
 }
 

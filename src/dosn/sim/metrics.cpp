@@ -1,9 +1,14 @@
 #include "dosn/sim/metrics.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace dosn::sim {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}
 
 void Histogram::record(double value) {
   values_.push_back(value);
@@ -18,7 +23,7 @@ void Histogram::ensureSorted() const {
 }
 
 double Histogram::mean() const {
-  if (values_.empty()) return 0.0;
+  if (values_.empty()) return kNaN;
   double sum = 0.0;
   for (double v : values_) sum += v;
   return sum / static_cast<double>(values_.size());
@@ -26,17 +31,17 @@ double Histogram::mean() const {
 
 double Histogram::min() const {
   ensureSorted();
-  return values_.empty() ? 0.0 : values_.front();
+  return values_.empty() ? kNaN : values_.front();
 }
 
 double Histogram::max() const {
   ensureSorted();
-  return values_.empty() ? 0.0 : values_.back();
+  return values_.empty() ? kNaN : values_.back();
 }
 
 double Histogram::percentile(double p) const {
-  if (values_.empty()) return 0.0;
   if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: bad p");
+  if (values_.empty()) return kNaN;
   ensureSorted();
   const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);

@@ -14,6 +14,8 @@ class Histogram {
   void record(double value);
 
   std::size_t count() const { return values_.size(); }
+  // mean/min/max/percentile return quiet NaN on an empty histogram — a value
+  // that cannot be mistaken for a measurement in a report (0.0 can).
   double mean() const;
   double min() const;
   double max() const;

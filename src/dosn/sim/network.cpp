@@ -1,5 +1,7 @@
 #include "dosn/sim/network.hpp"
 
+#include "dosn/sim/faults.hpp"
+#include "dosn/sim/metrics.hpp"
 #include "dosn/util/error.hpp"
 
 namespace dosn::sim {
@@ -56,6 +58,25 @@ std::size_t Network::onlineCount() const {
   return count;
 }
 
+void Network::count(const char* name) {
+  if (metrics_) metrics_->increment(name);
+}
+
+void Network::deliver(NodeAddr from, NodeAddr to, SimTime delay, Message msg) {
+  sim_.schedule(delay, [this, from, to, msg = std::move(msg)]() mutable {
+    const auto it = nodes_.find(to);
+    if (it == nodes_.end() || !it->second.online || !it->second.handler) {
+      ++messagesDropped_;
+      count("net.dropped.offline");
+      return;
+    }
+    ++messagesDelivered_;
+    bytesDelivered_ += msg.payload.size();
+    ++deliveredByType_[msg.type];
+    it->second.handler(from, msg);
+  });
+}
+
 void Network::send(NodeAddr from, NodeAddr to, Message msg) {
   const NodeState& sender = state(from);
   state(to);  // validate address
@@ -65,23 +86,44 @@ void Network::send(NodeAddr from, NodeAddr to, Message msg) {
   bytesSent_ += msg.payload.size();
   ++messagesByType_[msg.type];
 
-  if (latency_.lossProbability > 0 && rng_.chance(latency_.lossProbability)) {
+  if (faults_ && !faults_->empty()) {
+    const FaultPlan::Decision d =
+        faults_->decide(sim_.now(), from, to, latency_.lossProbability, rng_);
+    if (d.dropped()) {
+      ++messagesDropped_;
+      if (d.partitioned) count("net.partitioned");
+      if (d.droppedByFault) count("net.dropped.fault");
+      if (d.droppedByLoss) count("net.dropped.loss");
+      return;
+    }
+    if (d.corrupt) {
+      corruptPayload(msg.payload, rng_);
+      count("net.corrupted");
+    }
+    if (d.copies > 1) count("net.duplicated");
+    for (std::size_t i = 0; i < d.copies; ++i) {
+      const SimTime delay = latency_.sample(rng_) + d.extraDelay;
+      deliver(from, to, delay, msg);
+    }
     return;
   }
-  const SimTime delay = latency_.sample(rng_);
-  sim_.schedule(delay, [this, from, to, msg = std::move(msg)]() mutable {
-    const auto it = nodes_.find(to);
-    if (it == nodes_.end() || !it->second.online || !it->second.handler) return;
-    ++messagesDelivered_;
-    it->second.handler(from, msg);
-  });
+
+  if (latency_.lossProbability > 0 && rng_.chance(latency_.lossProbability)) {
+    ++messagesDropped_;
+    count("net.dropped.loss");
+    return;
+  }
+  deliver(from, to, latency_.sample(rng_), std::move(msg));
 }
 
 void Network::resetStats() {
   messagesSent_ = 0;
   messagesDelivered_ = 0;
+  messagesDropped_ = 0;
   bytesSent_ = 0;
+  bytesDelivered_ = 0;
   messagesByType_.clear();
+  deliveredByType_.clear();
 }
 
 }  // namespace dosn::sim

@@ -16,6 +16,9 @@
 
 namespace dosn::sim {
 
+class FaultPlan;
+class Metrics;
+
 using NodeAddr = std::uint64_t;
 inline constexpr NodeAddr kNoAddr = ~NodeAddr{0};
 
@@ -53,18 +56,35 @@ class Network {
   std::size_t onlineCount() const;
 
   /// Sends a message. Silently dropped if the sender is offline, the link
-  /// loses it, or the receiver is offline at delivery time.
+  /// loses it, an active fault swallows it, or the receiver is offline at
+  /// delivery time.
   void send(NodeAddr from, NodeAddr to, Message msg);
+
+  /// Attaches a fault plan (nullptr detaches). Not owned; must outlive use.
+  void setFaultPlan(const FaultPlan* plan) { faults_ = plan; }
+  /// Attaches a metrics sink for fault/drop counters (nullptr detaches):
+  /// `net.dropped.loss`, `net.dropped.fault`, `net.dropped.offline`,
+  /// `net.duplicated`, `net.corrupted`, `net.partitioned`.
+  void setMetrics(Metrics* metrics) { metrics_ = metrics; }
+  Metrics* metrics() { return metrics_; }
 
   Simulator& simulator() { return sim_; }
   util::Rng& rng() { return rng_; }
 
-  // Traffic accounting (for the overhead experiments).
+  // Traffic accounting (for the overhead experiments). "Sent" counts every
+  // send() by an online sender; "delivered" counts handler invocations, so
+  // the two differ by losses, faults and offline receivers (and duplicated
+  // messages can be delivered more often than sent).
   std::uint64_t messagesSent() const { return messagesSent_; }
   std::uint64_t messagesDelivered() const { return messagesDelivered_; }
+  std::uint64_t messagesDropped() const { return messagesDropped_; }
   std::uint64_t bytesSent() const { return bytesSent_; }
+  std::uint64_t bytesDelivered() const { return bytesDelivered_; }
   const std::map<std::string, std::uint64_t>& messagesByType() const {
     return messagesByType_;
+  }
+  const std::map<std::string, std::uint64_t>& deliveredByType() const {
+    return deliveredByType_;
   }
   void resetStats();
 
@@ -77,17 +97,24 @@ class Network {
 
   NodeState& state(NodeAddr node);
   const NodeState& state(NodeAddr node) const;
+  void count(const char* name);
+  void deliver(NodeAddr from, NodeAddr to, SimTime delay, Message msg);
 
   Simulator& sim_;
   LatencyModel latency_;
   util::Rng& rng_;
+  const FaultPlan* faults_ = nullptr;
+  Metrics* metrics_ = nullptr;
   std::unordered_map<NodeAddr, NodeState> nodes_;
   NodeAddr nextAddr_ = 1;
 
   std::uint64_t messagesSent_ = 0;
   std::uint64_t messagesDelivered_ = 0;
+  std::uint64_t messagesDropped_ = 0;
   std::uint64_t bytesSent_ = 0;
+  std::uint64_t bytesDelivered_ = 0;
   std::map<std::string, std::uint64_t> messagesByType_;
+  std::map<std::string, std::uint64_t> deliveredByType_;
 };
 
 }  // namespace dosn::sim

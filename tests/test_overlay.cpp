@@ -128,7 +128,7 @@ class KademliaTest : public ::testing::Test {
   sim::Simulator sim_;
   sim::Network net_{sim_, sim::LatencyModel{5 * kMillisecond, 2 * kMillisecond, 0.0},
                     rng_};
-  KademliaConfig config_{8, 3, 500 * kMillisecond};
+  KademliaConfig config_{8, 3, 500 * kMillisecond, 0, {}};
   std::vector<std::unique_ptr<KademliaNode>> nodes_;
 };
 
@@ -431,7 +431,7 @@ TEST(Hybrid, CacheServesPopularDhtServesRare) {
   util::Rng rng(21);
   sim::Simulator sim;
   sim::Network net(sim, sim::LatencyModel{5 * kMillisecond, 0, 0.0}, rng);
-  KademliaConfig kconfig{8, 3, 500 * kMillisecond};
+  KademliaConfig kconfig{8, 3, 500 * kMillisecond, 0, {}};
   GossipConfig gconfig{500 * kMillisecond, 2};
 
   std::vector<std::unique_ptr<HybridNode>> nodes;

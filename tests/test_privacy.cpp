@@ -147,7 +147,9 @@ TEST(SymmetricAclTest, RevocationReencryptsWholeHistory) {
   EXPECT_EQ(report.keyOperations, 1u);  // alice gets the new key
   EXPECT_EQ(acl.keyEpoch("g"), 1u);
   // Alice still reads old posts (they were re-encrypted under her new key).
-  const Envelope& old = acl.history("g")[0];
+  // history() returns by value, so take a copy — a reference into the
+  // temporary vector's element dangles once the full expression ends.
+  const Envelope old = acl.history("g")[0];
   EXPECT_TRUE(acl.decrypt("alice", old).has_value());
   EXPECT_FALSE(acl.decrypt("bob", old).has_value());
 }

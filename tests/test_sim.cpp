@@ -1,6 +1,8 @@
 // Tests for the discrete-event simulator, network, churn and metrics.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "dosn/sim/churn.hpp"
 #include "dosn/sim/metrics.hpp"
 #include "dosn/sim/network.hpp"
@@ -164,6 +166,51 @@ TEST_F(NetworkTest, PerTypeAccounting) {
   EXPECT_EQ(net_.messagesSent(), 0u);
 }
 
+TEST_F(NetworkTest, SentVersusDeliveredAccountingSplit) {
+  // Regression: messages lost in flight used to be indistinguishable from
+  // delivered ones in the per-type/bytes stats. "Sent" must count every
+  // send, "delivered" only what reached a live handler.
+  const NodeAddr a = net_.addNode();
+  const NodeAddr b = net_.addNode();
+  net_.setHandler(b, [](NodeAddr, const Message&) {});
+  net_.send(a, b, Message{"ok", util::Bytes(10, 0)});  // arrives at 10ms
+  sim_.schedule(15 * kMillisecond, [&] { net_.setOnline(b, false); });
+  // b offline while these two are in flight: sent, never delivered.
+  sim_.schedule(20 * kMillisecond, [&] {
+    net_.send(a, b, Message{"lost", util::Bytes(7, 0)});
+    net_.send(a, b, Message{"lost", util::Bytes(3, 0)});
+  });
+  sim_.run();
+  EXPECT_EQ(net_.messagesSent(), 3u);
+  EXPECT_EQ(net_.messagesDelivered(), 1u);
+  EXPECT_EQ(net_.messagesDropped(), 2u);
+  EXPECT_EQ(net_.bytesSent(), 20u);
+  EXPECT_EQ(net_.bytesDelivered(), 10u);
+  EXPECT_EQ(net_.messagesByType().at("ok"), 1u);
+  EXPECT_EQ(net_.messagesByType().at("lost"), 2u);
+  EXPECT_EQ(net_.deliveredByType().at("ok"), 1u);
+  EXPECT_EQ(net_.deliveredByType().count("lost"), 0u);
+}
+
+TEST(NetworkLoss, LinkLossExcludedFromDeliveredStats) {
+  util::Rng rng(7);
+  Simulator sim;
+  Network net(sim, LatencyModel{kMillisecond, 0, 1.0}, rng);
+  const NodeAddr a = net.addNode();
+  const NodeAddr b = net.addNode();
+  int delivered = 0;
+  net.setHandler(b, [&](NodeAddr, const Message&) { ++delivered; });
+  for (int i = 0; i < 20; ++i) net.send(a, b, Message{"m", util::Bytes(4, 0)});
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.messagesSent(), 20u);
+  EXPECT_EQ(net.messagesByType().at("m"), 20u);  // sends are still counted
+  EXPECT_EQ(net.messagesDelivered(), 0u);
+  EXPECT_EQ(net.messagesDropped(), 20u);
+  EXPECT_EQ(net.bytesDelivered(), 0u);
+  EXPECT_TRUE(net.deliveredByType().empty());
+}
+
 TEST(NetworkLoss, LossyLinkDropsSome) {
   util::Rng rng(7);
   Simulator sim;
@@ -205,16 +252,79 @@ TEST(Churn, SteadyStateAvailabilityMatchesExpectation) {
   EXPECT_NEAR(sum / samples, 0.25, 0.06);
 }
 
+TEST(Churn, TimeWeightedAvailabilityConvergesToExpectation) {
+  // Empirical per-node availability (time-integrated via status hooks, not
+  // point samples) over a long run must converge to expectedAvailability.
+  util::Rng rng(17);
+  Simulator sim;
+  Network net(sim, LatencyModel{}, rng);
+  std::vector<NodeAddr> nodes;
+  for (int i = 0; i < 100; ++i) nodes.push_back(net.addNode());
+  ChurnConfig config;
+  config.meanOnlineSeconds = 60;
+  config.meanOfflineSeconds = 180;
+  config.initialOnlineFraction = expectedAvailability(config);
+  ChurnProcess churn(net, config, nodes);
+  EXPECT_NEAR(expectedAvailability(config), 0.25, 1e-9);
+
+  struct Tracker {
+    SimTime lastChange = 0;
+    bool online = false;
+    double onlineTime = 0;
+  };
+  std::vector<Tracker> trackers(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    trackers[i].online = net.isOnline(nodes[i]);
+    net.setStatusHook(nodes[i], [&, i](NodeAddr, bool online) {
+      Tracker& t = trackers[i];
+      if (t.online) {
+        t.onlineTime += static_cast<double>(sim.now() - t.lastChange);
+      }
+      t.lastChange = sim.now();
+      t.online = online;
+    });
+  }
+  const SimTime horizon = 20'000 * kSecond;
+  sim.runUntil(horizon);
+  churn.stop();
+  double onlineTotal = 0;
+  for (Tracker& t : trackers) {
+    if (t.online) t.onlineTime += static_cast<double>(horizon - t.lastChange);
+    onlineTotal += t.onlineTime;
+  }
+  const double availability =
+      onlineTotal / (static_cast<double>(horizon) * static_cast<double>(nodes.size()));
+  EXPECT_NEAR(availability, expectedAvailability(config), 0.02);
+}
+
 TEST(Churn, StopHaltsTransitions) {
   util::Rng rng(13);
   Simulator sim;
   Network net(sim, LatencyModel{}, rng);
-  std::vector<NodeAddr> nodes{net.addNode()};
+  std::vector<NodeAddr> nodes;
+  for (int i = 0; i < 20; ++i) nodes.push_back(net.addNode());
+  // Fast churn (1s/1s sessions) so a leak after stop() would surface within
+  // the long horizon below.
   ChurnProcess churn(net, ChurnConfig{1, 1, 1.0}, nodes);
+  int transitions = 0;
+  for (const NodeAddr node : nodes) {
+    net.setStatusHook(node, [&](NodeAddr, bool) { ++transitions; });
+  }
+  sim.runUntil(10 * kSecond);
+  const int beforeStop = transitions;
+  EXPECT_GT(beforeStop, 0);
   churn.stop();
   sim.runUntil(1000 * kSecond);
-  // Node state frozen after stop: it started online (fraction 1.0).
-  EXPECT_TRUE(net.isOnline(nodes[0]));
+  // No transition fires after stop — in-flight events become no-ops.
+  EXPECT_EQ(transitions, beforeStop);
+  // Nodes all started online (fraction 1.0) and are now frozen in whatever
+  // state stop() caught them; the states must stop changing too.
+  std::vector<bool> frozen;
+  for (const NodeAddr node : nodes) frozen.push_back(net.isOnline(node));
+  sim.runUntil(2000 * kSecond);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(net.isOnline(nodes[i]), frozen[i]);
+  }
 }
 
 // --- Metrics ---
@@ -240,11 +350,31 @@ TEST(Metrics, HistogramStats) {
   EXPECT_THROW(h.percentile(101), std::invalid_argument);
 }
 
-TEST(Metrics, EmptyHistogramSafe) {
+TEST(Metrics, EmptyHistogramReturnsNaN) {
+  // 0.0 from an empty histogram is indistinguishable from a measured zero in
+  // a report; NaN is unmistakable.
   Histogram h;
   EXPECT_EQ(h.count(), 0u);
-  EXPECT_EQ(h.mean(), 0.0);
-  EXPECT_EQ(h.percentile(50), 0.0);
+  EXPECT_TRUE(std::isnan(h.mean()));
+  EXPECT_TRUE(std::isnan(h.min()));
+  EXPECT_TRUE(std::isnan(h.max()));
+  EXPECT_TRUE(std::isnan(h.percentile(0)));
+  EXPECT_TRUE(std::isnan(h.percentile(50)));
+  EXPECT_TRUE(std::isnan(h.percentile(100)));
+  // Range validation still applies to an empty histogram.
+  EXPECT_THROW(h.percentile(-1), std::invalid_argument);
+  EXPECT_THROW(h.percentile(101), std::invalid_argument);
+}
+
+TEST(Metrics, SingleElementHistogram) {
+  Histogram h;
+  h.record(7.5);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(h.min(), 7.5);
+  EXPECT_DOUBLE_EQ(h.max(), 7.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 7.5);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 7.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 7.5);
 }
 
 }  // namespace
