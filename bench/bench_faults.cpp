@@ -4,9 +4,16 @@
 // (uniform drop storms) against a Kademlia swarm and sweeps the RPC retry
 // budget, showing how much lookup success retry-with-backoff buys back and
 // what it costs in extra messages.
+//
+// Since every overlay RPC now flows through net::RpcEndpoint, the run also
+// reports the endpoint's uniform observability surface — rpc.<type>.*
+// counters and per-type round-trip latency histograms — plus an adaptive
+// row per storm where a fleet-shared AdaptiveRetryPolicy sizes the budget
+// from the observed timeout rate instead of a hand-picked constant.
 #include <cstdio>
 #include <memory>
 
+#include "dosn/net/retry.hpp"
 #include "dosn/overlay/kademlia.hpp"
 #include "dosn/sim/faults.hpp"
 #include "dosn/sim/metrics.hpp"
@@ -26,9 +33,13 @@ struct Outcome {
   double successRate = 0;
   double msgsPerLookup = 0;
   std::size_t retries = 0;
+  std::size_t finalBudget = 0;   // adaptive runs: attempts() after the sweep
+  double timeoutRate = 0;        // adaptive runs: final EWMA
 };
 
-Outcome run(double drop, std::size_t retryAttempts) {
+Outcome run(double drop, std::size_t retryAttempts,
+            net::AdaptiveRetryPolicy* adaptive = nullptr,
+            sim::Metrics* metricsOut = nullptr) {
   util::Rng rng(42);
   sim::Simulator simulator;
   sim::Network net(simulator,
@@ -43,6 +54,7 @@ Outcome run(double drop, std::size_t retryAttempts) {
   config.rpcTimeout = 250 * kMillisecond;
   config.storeWidth = 3;
   config.retry = RetryPolicy{retryAttempts, 150 * kMillisecond, 2.0};
+  config.adaptiveRetry = adaptive;
 
   std::vector<std::unique_ptr<KademliaNode>> peers;
   for (std::size_t i = 0; i < kPeers; ++i) {
@@ -67,6 +79,9 @@ Outcome run(double drop, std::size_t retryAttempts) {
   plan.at(simulator.now(), sim::FaultRule::global().drop(drop));
   net.setFaultPlan(&plan);
   net.resetStats();
+  // Swap in the caller's sink here so it sees the lookup phase only, not the
+  // (fault-free) bootstrap and store traffic.
+  if (metricsOut) net.setMetrics(metricsOut);
 
   std::size_t found = 0;
   for (std::size_t q = 0; q < kLookups; ++q) {
@@ -81,7 +96,27 @@ Outcome run(double drop, std::size_t retryAttempts) {
   out.successRate = static_cast<double>(found) / kLookups;
   out.msgsPerLookup = static_cast<double>(net.messagesSent()) / kLookups;
   for (const auto& peer : peers) out.retries += peer->rpcRetries();
+  if (adaptive) {
+    out.finalBudget = adaptive->attempts();
+    out.timeoutRate = adaptive->timeoutRate();
+  }
   return out;
+}
+
+void printRpcObservability(const sim::Metrics& metrics) {
+  std::printf("%-24s %10s\n", "counter", "value");
+  for (const auto& [name, value] : metrics.countersWithPrefix("rpc.")) {
+    std::printf("%-24s %10llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  std::printf("\n%-24s %8s %8s %8s %8s\n", "rtt histogram", "count", "mean",
+              "p50", "p99");
+  for (const auto& [name, hist] : metrics.histograms()) {
+    if (name.rfind("rpc.", 0) != 0) continue;
+    std::printf("%-24s %8zu %7.1fms %6.1fms %6.1fms\n", name.c_str(),
+                hist.count(), hist.mean(), hist.percentile(50),
+                hist.percentile(99));
+  }
 }
 
 }  // namespace
@@ -104,5 +139,32 @@ int main() {
       "the drop rate; adding retry attempts recovers most of it, paying a\n"
       "message overhead that grows with the drop rate (each retry is itself\n"
       "subject to the same faults).\n");
+
+  std::printf(
+      "\nF1a: adaptive retry budget (fleet-shared EWMA of timeout outcomes,\n"
+      "budget = smallest n with rate^n <= 1%%, capped at 4 attempts)\n\n");
+  std::printf("%-8s %10s %14s %10s %8s %9s\n", "drop", "success",
+              "msgs/lookup", "retries", "budget", "est.rate");
+  for (const double drop : {0.0, 0.1, 0.2, 0.35}) {
+    net::AdaptiveRetryPolicy::Config config;
+    config.base = RetryPolicy{1, 150 * kMillisecond, 2.0};
+    config.maxAttempts = 4;
+    net::AdaptiveRetryPolicy adaptive(config);
+    const Outcome o = run(drop, 1, &adaptive);
+    std::printf("%-8.2f %9.0f%% %14.1f %10zu %8zu %8.2f%%\n", drop,
+                100 * o.successRate, o.msgsPerLookup, o.retries, o.finalBudget,
+                100 * o.timeoutRate);
+  }
+  std::printf(
+      "expected shape: the budget stays at 1 on a clean network (no retry\n"
+      "overhead) and grows with the observed timeout rate, approaching the\n"
+      "fixed attempts=4 row's success without hand-tuning per deployment.\n");
+
+  std::printf(
+      "\nF1b: per-RPC observability at drop=0.20, attempts=4 (the endpoint's\n"
+      "uniform rpc.<type>.* surface; lookup phase only)\n\n");
+  sim::Metrics metrics;
+  run(0.2, 4, nullptr, &metrics);
+  printRpcObservability(metrics);
   return 0;
 }

@@ -67,6 +67,11 @@ class MicroblogNode {
   const UserId& user() const { return keyring_.user; }
   overlay::KademliaNode& dht() { return dht_; }
 
+  // DHT RPC robustness stats, surfaced so the fault/churn benches can report
+  // per-node retry spend without reaching through dht().
+  std::uint64_t dhtRpcRetries() const { return dht_.rpcRetries(); }
+  std::uint64_t dhtRpcFailures() const { return dht_.rpcFailures(); }
+
   /// Joins the DHT through a seed contact.
   void join(const overlay::Contact& seed, std::function<void()> done = {});
 

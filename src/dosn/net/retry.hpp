@@ -1,0 +1,95 @@
+// Retry policies for the shared RPC endpoint layer (net/rpc_endpoint.hpp).
+//
+// RetryPolicy: fixed retry-with-exponential-backoff. Delays are closed-form
+// functions of the attempt number — no randomized jitter — so retried runs
+// stay bit-reproducible under the simulator's virtual clock.
+//
+// AdaptiveRetryPolicy: sizes the retry budget from the observed per-attempt
+// timeout rate (an EWMA over attempt outcomes the endpoint feeds it), picking
+// the smallest budget whose residual failure probability meets a target.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "dosn/sim/simulator.hpp"
+
+namespace dosn::net {
+
+struct RetryPolicy {
+  /// Total send attempts per RPC; 1 means no retries (classic behavior).
+  std::size_t attempts = 1;
+  /// Backoff before the 2nd attempt; attempt n waits base * multiplier^(n-1).
+  sim::SimTime backoffBase = 100 * sim::kMillisecond;
+  double backoffMultiplier = 2.0;
+  /// Upper clamp on any single backoff delay. Keeps pathological attempt
+  /// counts (or multipliers) from overflowing SimTime in the cast below.
+  sim::SimTime maxBackoff = 60 * sim::kSecond;
+
+  /// Backoff to wait after attempt `attempt` (1-based) times out.
+  sim::SimTime backoff(std::size_t attempt) const {
+    const double delay =
+        static_cast<double>(backoffBase) *
+        std::pow(backoffMultiplier, static_cast<double>(attempt - 1));
+    // The negated comparison also catches NaN (e.g. 0 * inf) and +inf.
+    if (!(delay < static_cast<double>(maxBackoff))) return maxBackoff;
+    return static_cast<sim::SimTime>(delay);
+  }
+};
+
+/// Estimates the per-attempt timeout probability from outcomes observed at an
+/// RpcEndpoint and derives the smallest attempt budget whose residual failure
+/// probability (rate^attempts) meets `targetResidualFailure`. Deterministic:
+/// the estimate is a pure function of the observed outcome sequence.
+class AdaptiveRetryPolicy {
+ public:
+  struct Config {
+    RetryPolicy base;                    // backoff shape + minimum attempts
+    std::size_t maxAttempts = 6;         // budget ceiling
+    double targetResidualFailure = 0.01; // accepted give-up probability
+    double decay = 0.95;                 // EWMA weight of history per outcome
+  };
+
+  AdaptiveRetryPolicy() = default;
+  explicit AdaptiveRetryPolicy(Config config) : config_(config) {}
+
+  /// One attempt resolved: it either timed out or was answered.
+  void observeAttempt(bool timedOut) {
+    rate_ = config_.decay * rate_ + (timedOut ? 1.0 - config_.decay : 0.0);
+    ++observed_;
+  }
+
+  /// EWMA of the per-attempt timeout probability (0 until first observation).
+  double timeoutRate() const { return rate_; }
+  std::size_t observedAttempts() const { return observed_; }
+
+  /// Current budget: smallest n with timeoutRate()^n <= target, clamped to
+  /// [base.attempts, maxAttempts].
+  std::size_t attempts() const {
+    std::size_t n = config_.base.attempts > 0 ? config_.base.attempts : 1;
+    if (rate_ > 0.0) {
+      double residual = std::pow(rate_, static_cast<double>(n));
+      while (n < config_.maxAttempts && residual > config_.targetResidualFailure) {
+        ++n;
+        residual *= rate_;
+      }
+    }
+    return n;
+  }
+
+  /// The base policy with the adaptive attempt budget substituted in.
+  RetryPolicy current() const {
+    RetryPolicy policy = config_.base;
+    policy.attempts = attempts();
+    return policy;
+  }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  double rate_ = 0.0;
+  std::size_t observed_ = 0;
+};
+
+}  // namespace dosn::net

@@ -1,0 +1,248 @@
+#include "dosn/net/rpc_endpoint.hpp"
+
+#include <utility>
+
+#include "dosn/sim/metrics.hpp"
+#include "dosn/util/codec.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::net {
+
+RpcEndpoint::RpcEndpoint(sim::Network& network, std::string statsPrefix)
+    : network_(network),
+      statsPrefix_(std::move(statsPrefix)),
+      addr_(network.addNode()),
+      state_(std::make_shared<State>()) {
+  network_.setHandler(addr_, [this](sim::NodeAddr from, const sim::Message& msg) {
+    handleMessage(from, msg);
+  });
+}
+
+RpcEndpoint::~RpcEndpoint() {
+  // Unhook from the network so in-flight deliveries to this address are
+  // counted as offline drops instead of invoking a dangling handler. Timeout
+  // closures hold a weak_ptr to state_ and expire with it.
+  network_.setHandler(addr_, nullptr);
+}
+
+void RpcEndpoint::onRequest(const std::string& type, RequestHandler handler) {
+  requestHandlers_[type] = std::move(handler);
+}
+
+void RpcEndpoint::onMessage(const std::string& type, MessageHandler handler) {
+  messageHandlers_[type] = std::move(handler);
+}
+
+void RpcEndpoint::addReplyChannel(const std::string& type) {
+  replyChannels_.insert(type);
+}
+
+void RpcEndpoint::setReplyObserver(const std::string& type,
+                                   ReplyObserver observer) {
+  replyObservers_[type] = std::move(observer);
+}
+
+void RpcEndpoint::bump(const std::string& type, const char* event) {
+  if (auto* m = network_.metrics()) {
+    m->increment("rpc." + type + "." + event);
+  }
+}
+
+void RpcEndpoint::observeOutcome(bool timedOut) {
+  if (adaptive_) adaptive_->observeAttempt(timedOut);
+}
+
+RpcId RpcEndpoint::call(sim::NodeAddr to, const std::string& type,
+                        util::BytesView body, const CallOptions& options,
+                        ReplyCallback onReply) {
+  const RpcId id =
+      (static_cast<RpcId>(addr_) << 32) | static_cast<RpcId>(nextCallId_++);
+  util::Writer w;
+  w.u64(id);
+  w.raw(body);
+
+  PendingCall pending;
+  pending.type = type;
+  pending.onReply = std::move(onReply);
+  pending.startedAt = network_.simulator().now();
+  state_->pending.emplace(id, std::move(pending));
+
+  const RetryPolicy retry = adaptive_ ? adaptive_->current() : options.retry;
+  transmit(to, type, w.take(), id, 1, options.timeout, retry);
+  return id;
+}
+
+void RpcEndpoint::transmit(sim::NodeAddr to, const std::string& type,
+                           const util::Bytes& frame, RpcId id,
+                           std::size_t attempt, sim::SimTime timeout,
+                           const RetryPolicy& retry) {
+  bump(type, "sent");
+  try {
+    network_.send(addr_, to, sim::Message{type, frame});
+  } catch (const util::NetError&) {
+    // Unroutable address (e.g. a contact learned from a corrupted reply):
+    // treat like a black hole and let the timeout/retry path run its course.
+  }
+  std::weak_ptr<State> weak = state_;
+  network_.simulator().schedule(
+      timeout, [this, weak, to, type, frame, id, attempt, timeout, retry] {
+        const auto state = weak.lock();
+        if (!state) return;  // endpoint destroyed
+        const auto it = state->pending.find(id);
+        if (it == state->pending.end()) return;  // answered in time
+        bump(type, "timeouts");
+        observeOutcome(true);
+        if (attempt < retry.attempts) {
+          ++state->retries;
+          bump(type, "retries");
+          if (auto* m = network_.metrics()) m->increment(statsPrefix_ + ".retry");
+          network_.simulator().schedule(
+              retry.backoff(attempt),
+              [this, weak, to, type, frame, id, attempt, timeout, retry] {
+                const auto s = weak.lock();
+                if (!s) return;
+                if (!s->pending.count(id)) return;  // answered during backoff
+                transmit(to, type, frame, id, attempt + 1, timeout, retry);
+              });
+          return;
+        }
+        ++state->failures;
+        bump(type, "failed");
+        if (auto* m = network_.metrics()) m->increment(statsPrefix_ + ".fail");
+        auto callback = std::move(it->second.onReply);
+        state->pending.erase(it);
+        if (callback) callback(false, {});
+      });
+}
+
+RpcId RpcEndpoint::openCall(const std::string& opType, sim::SimTime timeout,
+                            util::Bytes tag, ReplyCallback onReply) {
+  const RpcId id =
+      (static_cast<RpcId>(addr_) << 32) | static_cast<RpcId>(nextCallId_++);
+  PendingCall pending;
+  pending.type = opType;
+  pending.onReply = std::move(onReply);
+  pending.startedAt = network_.simulator().now();
+  pending.tag = std::move(tag);
+  state_->pending.emplace(id, std::move(pending));
+  bump(opType, "sent");
+
+  std::weak_ptr<State> weak = state_;
+  network_.simulator().schedule(timeout, [this, weak, opType, id] {
+    const auto state = weak.lock();
+    if (!state) return;
+    const auto it = state->pending.find(id);
+    if (it == state->pending.end()) return;  // completed in time
+    bump(opType, "timeouts");
+    ++state->failures;
+    bump(opType, "failed");
+    if (auto* m = network_.metrics()) m->increment(statsPrefix_ + ".fail");
+    auto callback = std::move(it->second.onReply);
+    state->pending.erase(it);
+    if (callback) callback(false, {});
+  });
+  return id;
+}
+
+bool RpcEndpoint::complete(RpcId id, util::BytesView payload) {
+  if (!state_->pending.count(id)) return false;
+  finish(id, true, payload);
+  return true;
+}
+
+bool RpcEndpoint::isPending(RpcId id) const {
+  return state_->pending.count(id) > 0;
+}
+
+const util::Bytes* RpcEndpoint::tag(RpcId id) const {
+  const auto it = state_->pending.find(id);
+  if (it == state_->pending.end()) return nullptr;
+  return &it->second.tag;
+}
+
+void RpcEndpoint::finish(RpcId id, bool ok, util::BytesView payload) {
+  const auto it = state_->pending.find(id);
+  if (it == state_->pending.end()) return;
+  const std::string type = it->second.type;
+  if (ok) {
+    bump(type, "completed");
+    if (auto* m = network_.metrics()) {
+      const double rttMs =
+          static_cast<double>(network_.simulator().now() - it->second.startedAt) /
+          static_cast<double>(sim::kMillisecond);
+      m->histogram("rpc." + type + ".rtt_ms").record(rttMs);
+    }
+    observeOutcome(false);
+  }
+  auto callback = std::move(it->second.onReply);
+  state_->pending.erase(it);
+  if (callback) callback(ok, payload);
+}
+
+void RpcEndpoint::reply(sim::NodeAddr to, const std::string& replyType,
+                        RpcId rpcId, util::BytesView body) {
+  util::Writer w;
+  w.u64(rpcId);
+  w.raw(body);
+  network_.send(addr_, to, sim::Message{replyType, w.take()});
+}
+
+void RpcEndpoint::send(sim::NodeAddr to, const std::string& type,
+                       util::Bytes payload) {
+  network_.send(addr_, to, sim::Message{type, std::move(payload)});
+}
+
+void RpcEndpoint::handleReply(sim::NodeAddr from, const sim::Message& msg) {
+  RpcId id = 0;
+  try {
+    util::Reader r(msg.payload);
+    id = r.u64();
+  } catch (const util::CodecError&) {
+    return;  // frame too short to carry an rpcId
+  }
+  const util::BytesView body = util::BytesView(msg.payload).subspan(8);
+  const auto observer = replyObservers_.find(msg.type);
+  if (observer != replyObservers_.end()) {
+    try {
+      observer->second(from, body);
+    } catch (const util::DosnError&) {
+      // The observer doubles as a frame validator: a corrupted reply is
+      // dropped and the call stays pending for a retry or the timeout.
+      return;
+    }
+  }
+  if (!state_->pending.count(id)) {
+    if (auto* m = network_.metrics()) m->increment(statsPrefix_ + ".orphan");
+    return;  // timed out already, or a fault-duplicated reply
+  }
+  finish(id, true, body);
+}
+
+void RpcEndpoint::handleMessage(sim::NodeAddr from, const sim::Message& msg) {
+  if (replyChannels_.count(msg.type)) {
+    handleReply(from, msg);
+    return;
+  }
+  const auto request = requestHandlers_.find(msg.type);
+  if (request != requestHandlers_.end()) {
+    try {
+      util::Reader r(msg.payload);
+      const RpcId id = r.u64();
+      request->second(from, util::BytesView(msg.payload).subspan(8), id);
+    } catch (const util::DosnError&) {
+      // Malformed payload or unroutable wire-derived address: drop.
+    }
+    return;
+  }
+  const auto handler = messageHandlers_.find(msg.type);
+  if (handler != messageHandlers_.end()) {
+    try {
+      handler->second(from, msg.payload);
+    } catch (const util::DosnError&) {
+      // Malformed payload or unroutable wire-derived address: drop.
+    }
+  }
+  // Unknown type: ignore (matches the old per-overlay handlers).
+}
+
+}  // namespace dosn::net

@@ -1,0 +1,169 @@
+// Shared request/response endpoint on top of sim::Network — the one RPC
+// substrate under every overlay (Kademlia, flooding, super-peer, federation,
+// replication, gossip anti-entropy). It owns what each overlay used to
+// hand-roll separately:
+//
+//  - rpcId allocation (globally unique: high bits are the node address, so
+//    ids can double as flood/query identifiers deduplicated across nodes);
+//  - the pending-call map. A pending entry survives retransmissions, so a
+//    late reply to an earlier attempt still completes the call;
+//  - single-shot and retry-with-backoff timeout handling via RetryPolicy
+//    (or an attached AdaptiveRetryPolicy that sizes budgets from the
+//    endpoint's observed timeout rate);
+//  - DosnError containment: a corrupted payload that makes a handler or
+//    observer throw is dropped, never propagated;
+//  - uniform observability into the network's attached Metrics:
+//      rpc.<type>.sent / .retries / .timeouts / .completed / .failed
+//    counters plus a per-type round-trip latency histogram
+//      rpc.<type>.rtt_ms
+//    and legacy per-endpoint `<statsPrefix>.retry` / `<statsPrefix>.fail`
+//    counters (kept stable for the fault experiments).
+//
+// Two correlation styles cover all six layers:
+//
+//  - call(): a paired RPC. The request is framed as `u64 rpcId | body`; any
+//    message on a registered reply channel whose leading rpcId matches
+//    completes it (the responder need not be the node called — super-peer
+//    fan-outs answer from third parties). Timeouts retransmit per the
+//    RetryPolicy and finally fail the call exactly once.
+//  - openCall(): a correlation slot for multi-hop operations (flood search,
+//    super-peer query->owner->fetch chains). The overlay sends its own probe
+//    messages and completes the slot explicitly via complete(); the endpoint
+//    owns the single overall deadline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "dosn/net/retry.hpp"
+#include "dosn/sim/network.hpp"
+#include "dosn/util/bytes.hpp"
+
+namespace dosn::net {
+
+using RpcId = std::uint64_t;
+
+struct CallOptions {
+  sim::SimTime timeout = 500 * sim::kMillisecond;
+  /// attempts=1 preserves classic single-shot behavior. Ignored when an
+  /// AdaptiveRetryPolicy is attached to the endpoint.
+  RetryPolicy retry{};
+};
+
+class RpcEndpoint {
+ public:
+  /// Completion of a call: ok=true with the reply body (after the rpcId for
+  /// paired calls, verbatim for complete()), or ok=false on final timeout.
+  using ReplyCallback = std::function<void(bool ok, util::BytesView reply)>;
+  /// An incoming paired request: `body` is the payload after the rpcId;
+  /// answer it with reply(from, <replyType>, rpcId, ...).
+  using RequestHandler =
+      std::function<void(sim::NodeAddr from, util::BytesView body, RpcId rpcId)>;
+  /// An incoming one-way message (flood forwards, gossip pushes, registers).
+  using MessageHandler =
+      std::function<void(sim::NodeAddr from, util::BytesView payload)>;
+  /// Inspects every reply on a channel before correlation (late and duplicate
+  /// replies included — Kademlia refreshes routing contacts this way). If the
+  /// observer throws a DosnError the reply is dropped and the call stays
+  /// pending, so observers double as frame validators.
+  using ReplyObserver =
+      std::function<void(sim::NodeAddr from, util::BytesView body)>;
+
+  /// Registers a fresh node on the network and claims its handler. The
+  /// statsPrefix names the per-endpoint aggregate counters (e.g. "kad.rpc"
+  /// yields kad.rpc.retry / kad.rpc.fail in the attached Metrics).
+  RpcEndpoint(sim::Network& network, std::string statsPrefix);
+  ~RpcEndpoint();
+
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+
+  sim::NodeAddr addr() const { return addr_; }
+  sim::Network& network() { return network_; }
+
+  // --- server side ---
+  void onRequest(const std::string& type, RequestHandler handler);
+  void onMessage(const std::string& type, MessageHandler handler);
+  /// Frames and sends `body` as the reply to `rpcId`.
+  void reply(sim::NodeAddr to, const std::string& replyType, RpcId rpcId,
+             util::BytesView body);
+
+  // --- client side ---
+  /// Marks `type` as a reply channel: incoming messages of this type are
+  /// parsed as `u64 rpcId | body` and complete the matching pending call.
+  void addReplyChannel(const std::string& type);
+  void setReplyObserver(const std::string& type, ReplyObserver observer);
+
+  /// Starts a paired RPC to `to`. The wire frame is `u64 rpcId | body`.
+  RpcId call(sim::NodeAddr to, const std::string& type, util::BytesView body,
+             const CallOptions& options, ReplyCallback onReply);
+
+  /// Opens a correlation slot with a single overall deadline and no
+  /// retransmission. `opType` is the metrics name (e.g. "flood.search");
+  /// `tag` is opaque per-call context readable back via tag() (super-peer
+  /// chains stash the searched key there).
+  RpcId openCall(const std::string& opType, sim::SimTime timeout,
+                 util::Bytes tag, ReplyCallback onReply);
+  /// Completes a pending call with a validated payload; returns false if the
+  /// call is no longer pending (timed out, duplicate completion).
+  bool complete(RpcId id, util::BytesView payload);
+  bool isPending(RpcId id) const;
+  /// The tag attached at openCall, or nullptr if the call is not pending.
+  const util::Bytes* tag(RpcId id) const;
+
+  /// Fire-and-forget message from this endpoint's address.
+  void send(sim::NodeAddr to, const std::string& type, util::Bytes payload);
+
+  /// Attaches an adaptive budget (nullptr detaches). Not owned; must outlive
+  /// use. While attached it replaces CallOptions::retry on every call and is
+  /// fed every attempt outcome (timeout / answered).
+  void setAdaptiveRetry(AdaptiveRetryPolicy* policy) { adaptive_ = policy; }
+
+  // Aggregate robustness stats (also mirrored into the network's Metrics as
+  // `<statsPrefix>.retry` / `<statsPrefix>.fail`).
+  std::uint64_t retries() const { return state_->retries; }
+  std::uint64_t failures() const { return state_->failures; }
+  std::size_t pendingCalls() const { return state_->pending.size(); }
+
+ private:
+  struct PendingCall {
+    std::string type;            // request type (metrics key)
+    ReplyCallback onReply;
+    sim::SimTime startedAt = 0;
+    util::Bytes tag;             // openCall context
+  };
+
+  // Shared with every closure scheduled on the simulator so timeouts fired
+  // after the endpoint is destroyed find the state gone instead of dangling.
+  struct State {
+    std::map<RpcId, PendingCall> pending;
+    std::uint64_t retries = 0;
+    std::uint64_t failures = 0;
+  };
+
+  void handleMessage(sim::NodeAddr from, const sim::Message& msg);
+  void handleReply(sim::NodeAddr from, const sim::Message& msg);
+  void transmit(sim::NodeAddr to, const std::string& type, const util::Bytes& frame,
+                RpcId id, std::size_t attempt, sim::SimTime timeout,
+                const RetryPolicy& retry);
+  void finish(RpcId id, bool ok, util::BytesView payload);
+  void bump(const std::string& type, const char* event);
+  void observeOutcome(bool timedOut);
+
+  sim::Network& network_;
+  std::string statsPrefix_;
+  sim::NodeAddr addr_;
+  std::shared_ptr<State> state_;
+  std::uint32_t nextCallId_ = 1;
+  AdaptiveRetryPolicy* adaptive_ = nullptr;
+  std::map<std::string, RequestHandler> requestHandlers_;
+  std::map<std::string, MessageHandler> messageHandlers_;
+  std::map<std::string, ReplyObserver> replyObservers_;
+  std::set<std::string> replyChannels_;
+};
+
+}  // namespace dosn::net

@@ -24,9 +24,34 @@ std::map<sim::NodeAddr, std::size_t> FederationDirectory::viewSizes() const {
 
 FederatedServer::FederatedServer(sim::Network& network,
                                  const FederationDirectory& directory)
-    : network_(network), directory_(directory), addr_(network.addNode()) {
-  network_.setHandler(addr_, [this](sim::NodeAddr from, const sim::Message& msg) {
-    onMessage(from, msg);
+    : network_(network), directory_(directory), endpoint_(network, "fed.rpc") {
+  endpoint_.onRequest(
+      "fed.query",
+      [this](sim::NodeAddr from, util::BytesView body, net::RpcId rpcId) {
+        util::Reader r(body);
+        const std::string user = r.str();
+        const std::string key = r.str();
+        util::Writer w;
+        const auto userIt = data_.find(user);
+        if (userIt != data_.end()) {
+          const auto keyIt = userIt->second.find(key);
+          if (keyIt != userIt->second.end()) {
+            w.boolean(true);
+            w.bytes(keyIt->second);
+            endpoint_.reply(from, "fed.reply", rpcId, w.buffer());
+            return;
+          }
+        }
+        w.boolean(false);
+        endpoint_.reply(from, "fed.reply", rpcId, w.buffer());
+      });
+  // The observer validates the found-flag and value so a corrupted reply is
+  // dropped (the query then resolves nullopt at its deadline) instead of
+  // silently losing the caller's callback as the pre-endpoint code did.
+  endpoint_.addReplyChannel("fed.reply");
+  endpoint_.setReplyObserver("fed.reply", [](sim::NodeAddr, util::BytesView body) {
+    util::Reader r(body);
+    if (r.boolean()) r.bytes();
   });
 }
 
@@ -45,7 +70,7 @@ void FederatedServer::query(
     network_.simulator().schedule(0, [done = std::move(done)] { done(std::nullopt); });
     return;
   }
-  if (*home == addr_) {
+  if (*home == endpoint_.addr()) {
     const auto userIt = data_.find(user);
     std::optional<util::Bytes> value;
     if (userIt != data_.end()) {
@@ -55,59 +80,24 @@ void FederatedServer::query(
     network_.simulator().schedule(0, [done = std::move(done), value] { done(value); });
     return;
   }
-  const std::uint64_t queryId =
-      (static_cast<std::uint64_t>(addr_) << 32) | nextQueryId_++;
-  pending_.emplace(queryId, std::move(done));
   util::Writer w;
-  w.u64(queryId);
   w.str(user);
   w.str(key);
-  network_.send(addr_, *home, sim::Message{"fed.query", w.take()});
-  network_.simulator().schedule(timeout, [this, queryId] {
-    const auto it = pending_.find(queryId);
-    if (it == pending_.end()) return;
-    auto callback = std::move(it->second);
-    pending_.erase(it);
-    callback(std::nullopt);
-  });
-}
-
-void FederatedServer::onMessage(sim::NodeAddr from, const sim::Message& msg) {
-  try {
-    util::Reader r(msg.payload);
-    if (msg.type == "fed.query") {
-      const std::uint64_t queryId = r.u64();
-      const std::string user = r.str();
-      const std::string key = r.str();
-      util::Writer w;
-      w.u64(queryId);
-      const auto userIt = data_.find(user);
-      if (userIt != data_.end()) {
-        const auto keyIt = userIt->second.find(key);
-        if (keyIt != userIt->second.end()) {
-          w.boolean(true);
-          w.bytes(keyIt->second);
-          network_.send(addr_, from, sim::Message{"fed.reply", w.take()});
-          return;
-        }
-      }
-      w.boolean(false);
-      network_.send(addr_, from, sim::Message{"fed.reply", w.take()});
-    } else if (msg.type == "fed.reply") {
-      const std::uint64_t queryId = r.u64();
-      const auto it = pending_.find(queryId);
-      if (it == pending_.end()) return;
-      auto callback = std::move(it->second);
-      pending_.erase(it);
-      if (r.boolean()) {
-        callback(r.bytes());
-      } else {
-        callback(std::nullopt);
-      }
-    }
-  } catch (const util::DosnError&) {
-    // Malformed payload or unroutable wire-derived address: drop.
-  }
+  net::CallOptions options;
+  options.timeout = timeout;
+  endpoint_.call(*home, "fed.query", w.buffer(), options,
+                 [done = std::move(done)](bool ok, util::BytesView reply) {
+                   if (!ok) {
+                     done(std::nullopt);
+                     return;
+                   }
+                   util::Reader r(reply);
+                   if (r.boolean()) {
+                     done(r.bytes());
+                   } else {
+                     done(std::nullopt);
+                   }
+                 });
 }
 
 }  // namespace dosn::overlay

@@ -1,6 +1,10 @@
 // Server federation (paper §II-B): users' data distributed over several
 // servers so "none of them will have a complete global view". Each user has a
 // home server; cross-server queries are forwarded by the user's own server.
+//
+// Cross-server queries are paired RPCs on a net::RpcEndpoint ("fed.query" ->
+// "fed.reply"), giving them correlation, deadline handling, and per-RPC
+// metrics from the shared substrate.
 #pragma once
 
 #include <functional>
@@ -9,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "dosn/net/rpc_endpoint.hpp"
 #include "dosn/sim/network.hpp"
 #include "dosn/util/bytes.hpp"
 
@@ -35,7 +40,7 @@ class FederatedServer {
  public:
   FederatedServer(sim::Network& network, const FederationDirectory& directory);
 
-  sim::NodeAddr addr() const { return addr_; }
+  sim::NodeAddr addr() const { return endpoint_.addr(); }
 
   /// Stores a user's datum on this (their home) server.
   void storeLocal(const std::string& user, const std::string& key,
@@ -49,15 +54,10 @@ class FederatedServer {
              std::function<void(std::optional<util::Bytes>)> done);
 
  private:
-  void onMessage(sim::NodeAddr from, const sim::Message& msg);
-
   sim::Network& network_;
   const FederationDirectory& directory_;
-  sim::NodeAddr addr_;
+  net::RpcEndpoint endpoint_;
   std::map<std::string, std::map<std::string, util::Bytes>> data_;
-  std::map<std::uint64_t, std::function<void(std::optional<util::Bytes>)>>
-      pending_;
-  std::uint64_t nextQueryId_ = 1;
 };
 
 }  // namespace dosn::overlay

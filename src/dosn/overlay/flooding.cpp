@@ -21,10 +21,20 @@ util::Bytes encodeQuery(std::uint64_t queryId, sim::NodeAddr origin, int ttl,
 }  // namespace
 
 FloodingNode::FloodingNode(sim::Network& network, OverlayId id)
-    : network_(network), id_(id), addr_(network.addNode()) {
-  network_.setHandler(addr_, [this](sim::NodeAddr from, const sim::Message& msg) {
-    onMessage(from, msg);
-  });
+    : network_(network), id_(id), endpoint_(network, "flood.rpc") {
+  endpoint_.onMessage("flood.query",
+                      [this](sim::NodeAddr from, util::BytesView payload) {
+                        onQuery(from, payload);
+                      });
+  // A hit carries `u64 queryId | bytes value`; the observer validates the
+  // value field so a corrupted hit is dropped and the search keeps waiting
+  // for another replica (or the deadline).
+  endpoint_.addReplyChannel("flood.hit");
+  endpoint_.setReplyObserver("flood.hit",
+                             [](sim::NodeAddr, util::BytesView body) {
+                               util::Reader r(body);
+                               r.bytes();
+                             });
 }
 
 void FloodingNode::addNeighbor(sim::NodeAddr neighbor) {
@@ -54,61 +64,47 @@ void FloodingNode::search(
     });
     return;
   }
-  const std::uint64_t queryId =
-      (static_cast<std::uint64_t>(addr_) << 32) | nextQueryId_++;
+  const net::RpcId queryId = endpoint_.openCall(
+      "flood.search", timeout, {},
+      [done = std::move(done)](bool ok, util::BytesView reply) {
+        if (!ok) {
+          done(std::nullopt);
+          return;
+        }
+        util::Reader r(reply);
+        done(r.bytes());
+      });
   seenQueries_.insert(queryId);
-  pendingSearches_.emplace(queryId, std::move(done));
 
-  const util::Bytes payload = encodeQuery(queryId, addr_, ttl, key);
+  const util::Bytes payload = encodeQuery(queryId, endpoint_.addr(), ttl, key);
   for (const sim::NodeAddr n : neighbors_) {
-    network_.send(addr_, n, sim::Message{"flood.query", payload});
+    endpoint_.send(n, "flood.query", payload);
   }
-  network_.simulator().schedule(timeout, [this, queryId] {
-    const auto pending = pendingSearches_.find(queryId);
-    if (pending == pendingSearches_.end()) return;
-    auto callback = std::move(pending->second);
-    pendingSearches_.erase(pending);
-    callback(std::nullopt);
-  });
 }
 
-void FloodingNode::onMessage(sim::NodeAddr from, const sim::Message& msg) {
-  try {
-    util::Reader r(msg.payload);
-    if (msg.type == "flood.query") {
-      const std::uint64_t queryId = r.u64();
-      const sim::NodeAddr origin = r.u64();
-      const int ttl = static_cast<int>(r.u32());
-      const util::Bytes keyRaw = r.raw(kIdBytes);
-      OverlayId key;
-      std::copy(keyRaw.begin(), keyRaw.end(), key.bytes.begin());
+void FloodingNode::onQuery(sim::NodeAddr from, util::BytesView payload) {
+  util::Reader r(payload);
+  const std::uint64_t queryId = r.u64();
+  const sim::NodeAddr origin = r.u64();
+  const int ttl = static_cast<int>(r.u32());
+  const util::Bytes keyRaw = r.raw(kIdBytes);
+  OverlayId key;
+  std::copy(keyRaw.begin(), keyRaw.end(), key.bytes.begin());
 
-      if (!seenQueries_.insert(queryId).second) return;  // duplicate
+  if (!seenQueries_.insert(queryId).second) return;  // duplicate
 
-      const auto it = store_.find(key);
-      if (it != store_.end()) {
-        util::Writer hit;
-        hit.u64(queryId);
-        hit.bytes(it->second);
-        network_.send(addr_, origin, sim::Message{"flood.hit", hit.take()});
-        return;
-      }
-      if (ttl <= 1) return;
-      const util::Bytes forward = encodeQuery(queryId, origin, ttl - 1, key);
-      for (const sim::NodeAddr n : neighbors_) {
-        if (n == from) continue;
-        network_.send(addr_, n, sim::Message{"flood.query", forward});
-      }
-    } else if (msg.type == "flood.hit") {
-      const std::uint64_t queryId = r.u64();
-      const auto pending = pendingSearches_.find(queryId);
-      if (pending == pendingSearches_.end()) return;  // late duplicate
-      auto callback = std::move(pending->second);
-      pendingSearches_.erase(pending);
-      callback(r.bytes());
-    }
-  } catch (const util::DosnError&) {
-    // Malformed payload or unroutable wire-derived address: drop.
+  const auto it = store_.find(key);
+  if (it != store_.end()) {
+    util::Writer hit;
+    hit.bytes(it->second);
+    endpoint_.reply(origin, "flood.hit", queryId, hit.buffer());
+    return;
+  }
+  if (ttl <= 1) return;
+  const util::Bytes forward = encodeQuery(queryId, origin, ttl - 1, key);
+  for (const sim::NodeAddr n : neighbors_) {
+    if (n == from) continue;
+    endpoint_.send(n, "flood.query", forward);
   }
 }
 

@@ -1,6 +1,11 @@
 // Unstructured overlay (paper §II-B): no index anywhere; lookups are TTL-
 // limited floods over a random neighbor graph. "This kind of management has
 // almost zero overhead" — zero *maintenance* overhead, paid for at query time.
+//
+// A search is a net::RpcEndpoint openCall(): the endpoint allocates the
+// globally unique query id (deduplicated across the flood via seenQueries_),
+// owns the overall deadline, and records flood.search latency/outcome
+// metrics; the flood probes themselves are one-way messages.
 #pragma once
 
 #include <functional>
@@ -9,6 +14,7 @@
 #include <set>
 #include <vector>
 
+#include "dosn/net/rpc_endpoint.hpp"
 #include "dosn/overlay/node_id.hpp"
 #include "dosn/sim/network.hpp"
 
@@ -19,7 +25,7 @@ class FloodingNode {
   FloodingNode(sim::Network& network, OverlayId id);
 
   const OverlayId& id() const { return id_; }
-  sim::NodeAddr addr() const { return addr_; }
+  sim::NodeAddr addr() const { return endpoint_.addr(); }
 
   /// Adds a bidirectional link (call on both nodes, or use linkNodes).
   void addNeighbor(sim::NodeAddr neighbor);
@@ -35,17 +41,14 @@ class FloodingNode {
               std::function<void(std::optional<util::Bytes>)> done);
 
  private:
-  void onMessage(sim::NodeAddr from, const sim::Message& msg);
+  void onQuery(sim::NodeAddr from, util::BytesView payload);
 
   sim::Network& network_;
   OverlayId id_;
-  sim::NodeAddr addr_;
+  net::RpcEndpoint endpoint_;
   std::vector<sim::NodeAddr> neighbors_;
   std::map<OverlayId, util::Bytes> store_;
   std::set<std::uint64_t> seenQueries_;
-  std::map<std::uint64_t, std::function<void(std::optional<util::Bytes>)>>
-      pendingSearches_;
-  std::uint64_t nextQueryId_ = 1;
 };
 
 /// Convenience: creates a bidirectional link.

@@ -18,16 +18,71 @@ OverlayId readId(util::Reader& r) {
   return id;
 }
 
+// Parses a sync body (`entries | requested keys`) without applying it, so a
+// truncated/corrupted reply throws here and is dropped by the endpoint —
+// the digest call stays pending and the retry path gets another shot.
+void validateSync(util::BytesView body) {
+  util::Reader r(body);
+  const std::uint32_t entries = r.u32();
+  for (std::uint32_t i = 0; i < entries; ++i) {
+    readId(r);
+    r.u64();
+    r.bytes();
+  }
+  const std::uint32_t requested = r.u32();
+  for (std::uint32_t i = 0; i < requested; ++i) readId(r);
+}
+
 }  // namespace
 
 GossipNode::GossipNode(sim::Network& network, GossipConfig config)
     : network_(network),
       config_(config),
-      addr_(network.addNode()),
+      endpoint_(network, "gossip.rpc"),
       running_(std::make_shared<bool>(false)) {
-  network_.setHandler(addr_, [this](sim::NodeAddr from, const sim::Message& msg) {
-    onMessage(from, msg);
-  });
+  endpoint_.onRequest(
+      "gossip.digest",
+      [this](sim::NodeAddr from, util::BytesView body, net::RpcId rpcId) {
+        // Push-pull: reply with entries the peer is missing plus the keys we
+        // want from it. The reply is sent even when both lists are empty —
+        // an in-sync peer must still complete the RPC or it would retry.
+        util::Reader r(body);
+        std::map<OverlayId, std::uint64_t> peerVersions;
+        const std::uint32_t count = r.u32();
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const OverlayId key = readId(r);
+          peerVersions[key] = r.u64();
+        }
+        std::vector<OverlayId> toSend;
+        for (const auto& [key, entry] : store_) {
+          const auto it = peerVersions.find(key);
+          if (it == peerVersions.end() || it->second < entry.version) {
+            toSend.push_back(key);
+          }
+        }
+        std::vector<OverlayId> toRequest;
+        for (const auto& [key, version] : peerVersions) {
+          const auto it = store_.find(key);
+          if (it == store_.end() || it->second.version < version) {
+            toRequest.push_back(key);
+          }
+        }
+        util::Writer w;
+        w.raw(encodeEntries(toSend));
+        w.u32(static_cast<std::uint32_t>(toRequest.size()));
+        for (const OverlayId& key : toRequest) writeId(w, key);
+        endpoint_.reply(from, "gossip.sync", rpcId, w.buffer());
+      });
+  endpoint_.addReplyChannel("gossip.sync");
+  endpoint_.setReplyObserver("gossip.sync",
+                             [](sim::NodeAddr, util::BytesView body) {
+                               validateSync(body);
+                             });
+  endpoint_.onMessage("gossip.entries",
+                      [this](sim::NodeAddr, util::BytesView payload) {
+                        util::Reader r(payload);
+                        applyEntries(r);
+                      });
 }
 
 GossipNode::~GossipNode() { stop(); }
@@ -71,14 +126,36 @@ void GossipNode::round() {
     for (std::size_t i = 0; i < config_.fanout; ++i) {
       const sim::NodeAddr peer =
           peers_[network_.rng().uniform(peers_.size())];
-      if (peer == addr_) continue;
-      network_.send(addr_, peer, sim::Message{"gossip.digest", encodeDigest()});
+      if (peer == endpoint_.addr()) continue;
+      exchangeWith(peer);
     }
   }
   std::shared_ptr<bool> running = running_;
   network_.simulator().schedule(config_.interval, [this, running] {
     if (*running) round();
   });
+}
+
+void GossipNode::exchangeWith(sim::NodeAddr peer) {
+  net::CallOptions options;
+  options.timeout = config_.rpcTimeout;
+  options.retry = config_.retry;
+  endpoint_.call(
+      peer, "gossip.digest", encodeDigest(), options,
+      // Note no running_ gate: a stopped node still applies incoming state
+      // passively, exactly as the pre-endpoint message handler did.
+      [this, peer](bool ok, util::BytesView reply) {
+        if (!ok) return;  // final timeout
+        util::Reader r(reply);
+        applyEntries(r);
+        const std::uint32_t requested = r.u32();
+        std::vector<OverlayId> keys;
+        keys.reserve(requested);
+        for (std::uint32_t i = 0; i < requested; ++i) keys.push_back(readId(r));
+        if (!keys.empty()) {
+          endpoint_.send(peer, "gossip.entries", encodeEntries(keys));
+        }
+      });
 }
 
 util::Bytes GossipNode::encodeDigest() const {
@@ -116,57 +193,6 @@ void GossipNode::applyEntries(util::Reader& r) {
     entry.version = version;
     entry.value = std::move(value);
     if (updateHook_) updateHook_(key, entry.value);
-  }
-}
-
-void GossipNode::onMessage(sim::NodeAddr from, const sim::Message& msg) {
-  try {
-    util::Reader r(msg.payload);
-    if (msg.type == "gossip.digest") {
-      // Push-pull: reply with entries the peer is missing, and request the
-      // ones we are missing.
-      std::map<OverlayId, std::uint64_t> peerVersions;
-      const std::uint32_t count = r.u32();
-      for (std::uint32_t i = 0; i < count; ++i) {
-        const OverlayId key = readId(r);
-        peerVersions[key] = r.u64();
-      }
-      std::vector<OverlayId> toSend;
-      for (const auto& [key, entry] : store_) {
-        const auto it = peerVersions.find(key);
-        if (it == peerVersions.end() || it->second < entry.version) {
-          toSend.push_back(key);
-        }
-      }
-      std::vector<OverlayId> toRequest;
-      for (const auto& [key, version] : peerVersions) {
-        const auto it = store_.find(key);
-        if (it == store_.end() || it->second.version < version) {
-          toRequest.push_back(key);
-        }
-      }
-      if (!toSend.empty()) {
-        network_.send(addr_, from,
-                      sim::Message{"gossip.entries", encodeEntries(toSend)});
-      }
-      if (!toRequest.empty()) {
-        util::Writer w;
-        w.u32(static_cast<std::uint32_t>(toRequest.size()));
-        for (const OverlayId& key : toRequest) writeId(w, key);
-        network_.send(addr_, from, sim::Message{"gossip.request", w.take()});
-      }
-    } else if (msg.type == "gossip.entries") {
-      applyEntries(r);
-    } else if (msg.type == "gossip.request") {
-      const std::uint32_t count = r.u32();
-      std::vector<OverlayId> keys;
-      keys.reserve(count);
-      for (std::uint32_t i = 0; i < count; ++i) keys.push_back(readId(r));
-      network_.send(addr_, from,
-                    sim::Message{"gossip.entries", encodeEntries(keys)});
-    }
-  } catch (const util::DosnError&) {
-    // Malformed payload or unroutable wire-derived address: drop.
   }
 }
 

@@ -1,6 +1,12 @@
 // Gossip / epidemic dissemination (paper §II-B "flooding or gossip-based
 // communication"; Cachet's "gossip-based caching"). Periodic push-pull
 // anti-entropy of a versioned key-value cache over random peers.
+//
+// A round's digest exchange is a paired RPC on the shared net::RpcEndpoint
+// ("gossip.digest" -> "gossip.sync"), which buys the anti-entropy path what
+// every other overlay already had: correlation, per-RPC metrics, and —
+// new for gossip — timeout-driven retry with backoff, so a dropped digest
+// or sync no longer silently wastes the whole round.
 #pragma once
 
 #include <functional>
@@ -8,7 +14,9 @@
 #include <memory>
 #include <vector>
 
+#include "dosn/net/rpc_endpoint.hpp"
 #include "dosn/overlay/node_id.hpp"
+#include "dosn/overlay/retry.hpp"
 #include "dosn/sim/network.hpp"
 #include "dosn/util/codec.hpp"
 
@@ -17,6 +25,11 @@ namespace dosn::overlay {
 struct GossipConfig {
   sim::SimTime interval = 1 * sim::kSecond;  // anti-entropy round period
   std::size_t fanout = 1;                    // peers contacted per round
+  /// Deadline for one digest/sync exchange.
+  sim::SimTime rpcTimeout = 500 * sim::kMillisecond;
+  /// Retry budget for the digest RPC; default attempts=1 keeps the classic
+  /// fire-and-forget round economics.
+  RetryPolicy retry;
 };
 
 class GossipNode {
@@ -27,7 +40,7 @@ class GossipNode {
   GossipNode(const GossipNode&) = delete;
   GossipNode& operator=(const GossipNode&) = delete;
 
-  sim::NodeAddr addr() const { return addr_; }
+  sim::NodeAddr addr() const { return endpoint_.addr(); }
 
   /// Peers gossiped with (typically the whole group or a random subset).
   void setPeers(std::vector<sim::NodeAddr> peers);
@@ -49,21 +62,25 @@ class GossipNode {
     updateHook_ = std::move(hook);
   }
 
+  /// Digest RPCs retried / given up on (from the shared endpoint).
+  std::uint64_t rpcRetries() const { return endpoint_.retries(); }
+  std::uint64_t rpcFailures() const { return endpoint_.failures(); }
+
  private:
   struct Entry {
     util::Bytes value;
     std::uint64_t version = 0;
   };
 
-  void onMessage(sim::NodeAddr from, const sim::Message& msg);
   void round();
+  void exchangeWith(sim::NodeAddr peer);
   util::Bytes encodeDigest() const;
   util::Bytes encodeEntries(const std::vector<OverlayId>& keys) const;
   void applyEntries(util::Reader& r);
 
   sim::Network& network_;
   GossipConfig config_;
-  sim::NodeAddr addr_;
+  net::RpcEndpoint endpoint_;
   std::vector<sim::NodeAddr> peers_;
   std::map<OverlayId, Entry> store_;
   std::shared_ptr<bool> running_;

@@ -91,12 +91,81 @@ KademliaNode::KademliaNode(sim::Network& network, OverlayId id,
                            KademliaConfig config)
     : network_(network),
       id_(id),
-      addr_(network.addNode()),
       config_(config),
+      endpoint_(network, "kad.rpc"),
       table_(id, config.k) {
-  network_.setHandler(addr_, [this](sim::NodeAddr from, const sim::Message& msg) {
-    onMessage(from, msg);
+  endpoint_.setAdaptiveRetry(config_.adaptiveRetry);
+  setupRpcHandlers();
+}
+
+void KademliaNode::setupRpcHandlers() {
+  // Every reply refreshes the sender's routing-table entry — including late
+  // replies to already-failed calls. The observer also validates the frame:
+  // a reply too short to carry a sender id throws and is dropped, leaving
+  // the call pending for the retry/timeout path (matching the historical
+  // parse-failure-drops behavior).
+  endpoint_.addReplyChannel("kad.reply");
+  endpoint_.setReplyObserver(
+      "kad.reply", [this](sim::NodeAddr from, util::BytesView body) {
+        util::Reader r(body);
+        const OverlayId senderId = readId(r);
+        table_.observe(Contact{senderId, from});
+      });
+
+  // Request handlers. `body` is everything after the rpcId:
+  // `senderId | args`. Replies echo `id_ | kind | data` after the rpcId the
+  // endpoint prepends.
+  const auto serve = [this](sim::NodeAddr from, util::BytesView body,
+                            net::RpcId rpcId,
+                            const std::function<void(util::Reader&, util::Writer&)>&
+                                answer) {
+    util::Reader r(body);
+    const OverlayId senderId = readId(r);
+    table_.observe(Contact{senderId, from});
+    util::Writer reply;
+    writeId(reply, id_);
+    answer(r, reply);
+    endpoint_.reply(from, "kad.reply", rpcId, reply.buffer());
+  };
+
+  endpoint_.onRequest("kad.ping", [serve](sim::NodeAddr from,
+                                          util::BytesView body, net::RpcId id) {
+    serve(from, body, id,
+          [](util::Reader&, util::Writer& reply) { reply.u8(kReplyOk); });
   });
+  endpoint_.onRequest(
+      "kad.find_node",
+      [this, serve](sim::NodeAddr from, util::BytesView body, net::RpcId id) {
+        serve(from, body, id, [this](util::Reader& r, util::Writer& reply) {
+          const OverlayId target = readId(r);
+          reply.u8(kReplyContacts);
+          reply.raw(encodeContacts(table_.closest(target, config_.k)));
+        });
+      });
+  endpoint_.onRequest(
+      "kad.find_value",
+      [this, serve](sim::NodeAddr from, util::BytesView body, net::RpcId id) {
+        serve(from, body, id, [this](util::Reader& r, util::Writer& reply) {
+          const OverlayId key = readId(r);
+          const auto it = store_.find(key);
+          if (it != store_.end()) {
+            reply.u8(kReplyValue);
+            reply.bytes(it->second);
+          } else {
+            reply.u8(kReplyContacts);
+            reply.raw(encodeContacts(table_.closest(key, config_.k)));
+          }
+        });
+      });
+  endpoint_.onRequest(
+      "kad.store",
+      [this, serve](sim::NodeAddr from, util::BytesView body, net::RpcId id) {
+        serve(from, body, id, [this](util::Reader& r, util::Writer& reply) {
+          const OverlayId key = readId(r);
+          store_[key] = r.bytes();
+          reply.u8(kReplyOk);
+        });
+      });
 }
 
 void KademliaNode::bootstrap(const Contact& seed, std::function<void()> done) {
@@ -108,106 +177,22 @@ void KademliaNode::bootstrap(const Contact& seed, std::function<void()> done) {
 
 void KademliaNode::rejoin(const Contact& seed) { bootstrap(seed, {}); }
 
-void KademliaNode::onMessage(sim::NodeAddr from, const sim::Message& msg) {
-  try {
-    util::Reader r(msg.payload);
-    if (msg.type == "kad.reply") {
-      const std::uint64_t rpcId = r.u64();
-      const OverlayId senderId = readId(r);
-      table_.observe(Contact{senderId, from});
-      const auto it = pending_.find(rpcId);
-      if (it == pending_.end()) return;  // timed out already
-      auto callback = std::move(it->second);
-      pending_.erase(it);
-      // Hand the remainder of the payload (after rpcId + sender id) to the
-      // waiting RPC callback.
-      callback(true, util::BytesView(msg.payload).subspan(8 + kIdBytes));
-      return;
-    }
-
-    const std::uint64_t rpcId = r.u64();
-    const OverlayId senderId = readId(r);
-    table_.observe(Contact{senderId, from});
-
-    util::Writer reply;
-    reply.u64(rpcId);
-    writeId(reply, id_);
-
-    if (msg.type == "kad.ping") {
-      reply.u8(kReplyOk);
-    } else if (msg.type == "kad.find_node") {
-      const OverlayId target = readId(r);
-      reply.u8(kReplyContacts);
-      reply.raw(encodeContacts(table_.closest(target, config_.k)));
-    } else if (msg.type == "kad.find_value") {
-      const OverlayId key = readId(r);
-      const auto it = store_.find(key);
-      if (it != store_.end()) {
-        reply.u8(kReplyValue);
-        reply.bytes(it->second);
-      } else {
-        reply.u8(kReplyContacts);
-        reply.raw(encodeContacts(table_.closest(key, config_.k)));
-      }
-    } else if (msg.type == "kad.store") {
-      const OverlayId key = readId(r);
-      store_[key] = r.bytes();
-      reply.u8(kReplyOk);
-    } else {
-      return;  // unknown type
-    }
-    network_.send(addr_, from, sim::Message{"kad.reply", reply.take()});
-  } catch (const util::CodecError&) {
-    // Malformed message: drop.
-  }
-}
-
 void KademliaNode::sendRpc(
-    const Contact& to, const std::string& type, util::Bytes body,
+    const Contact& to, const std::string& type, util::Bytes payload,
     std::function<void(bool ok, util::BytesView reply)> onReply) {
-  const std::uint64_t rpcId = nextRpcId_++;
-  util::Writer w;
-  w.u64(rpcId);
-  writeId(w, id_);
-  w.raw(body);
-  pending_.emplace(rpcId, std::move(onReply));
-  transmitRpc(to.addr, type, w.take(), rpcId, 1);
-}
-
-void KademliaNode::transmitRpc(sim::NodeAddr to, std::string type,
-                               util::Bytes frame, std::uint64_t rpcId,
-                               std::size_t attempt) {
-  try {
-    network_.send(addr_, to, sim::Message{type, frame});
-  } catch (const util::NetError&) {
-    // Unroutable address (e.g. a contact learned from a corrupted reply):
-    // treat like a black hole and let the timeout/retry path run its course.
-  }
-  network_.simulator().schedule(
-      config_.rpcTimeout,
-      [this, to, type = std::move(type), frame = std::move(frame), rpcId,
-       attempt]() mutable {
-        const auto it = pending_.find(rpcId);
-        if (it == pending_.end()) return;  // answered in time
-        if (attempt < config_.retry.attempts) {
-          ++rpcRetries_;
-          if (auto* m = network_.metrics()) m->increment("kad.rpc.retry");
-          network_.simulator().schedule(
-              config_.retry.backoff(attempt),
-              [this, to, type = std::move(type), frame = std::move(frame),
-               rpcId, attempt]() mutable {
-                if (!pending_.count(rpcId)) return;  // answered during backoff
-                transmitRpc(to, std::move(type), std::move(frame), rpcId,
-                            attempt + 1);
-              });
-          return;
-        }
-        auto callback = std::move(it->second);
-        pending_.erase(it);
-        ++rpcFailures_;
-        if (auto* m = network_.metrics()) m->increment("kad.rpc.fail");
-        callback(false, {});
-      });
+  util::Writer body;
+  writeId(body, id_);
+  body.raw(payload);
+  net::CallOptions options;
+  options.timeout = config_.rpcTimeout;
+  options.retry = config_.retry;
+  endpoint_.call(to.addr, type, body.buffer(), options,
+                 [onReply = std::move(onReply)](bool ok, util::BytesView reply) {
+                   if (!onReply) return;
+                   // Strip the sender id the observer already consumed; the
+                   // caller sees `kind | data`.
+                   onReply(ok, ok ? reply.subspan(kIdBytes) : reply);
+                 });
 }
 
 util::Bytes KademliaNode::encodeContacts(const std::vector<Contact>& contacts) {
@@ -253,7 +238,7 @@ void KademliaNode::store(const OverlayId& key, util::Bytes value,
             : std::min(config_.storeWidth, result.closest.size());
     for (std::size_t i = 0; i < width; ++i) {
       const Contact& contact = result.closest[i];
-      if (contact.addr == addr_) {
+      if (contact.addr == endpoint_.addr()) {
         store_[key] = value;
         continue;
       }

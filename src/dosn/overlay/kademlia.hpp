@@ -4,7 +4,9 @@
 //
 // Implements k-bucket routing tables, iterative FIND_NODE / FIND_VALUE
 // lookups with alpha-way parallelism, STORE on the k closest nodes, and RPC
-// timeouts — all asynchronously on the discrete-event simulator.
+// timeouts — all asynchronously on the discrete-event simulator. Request/
+// response plumbing (rpcId correlation, retry/backoff, per-RPC metrics) is
+// delegated to the shared net::RpcEndpoint.
 #pragma once
 
 #include <functional>
@@ -14,6 +16,7 @@
 #include <set>
 #include <vector>
 
+#include "dosn/net/rpc_endpoint.hpp"
 #include "dosn/overlay/node_id.hpp"
 #include "dosn/overlay/retry.hpp"
 #include "dosn/sim/network.hpp"
@@ -39,6 +42,10 @@ struct KademliaConfig {
   /// Per-RPC retry with exponential backoff; default attempts=1 disables
   /// retries, preserving the classic single-shot timeout behavior.
   RetryPolicy retry;
+  /// Optional shared adaptive retry budget (not owned; must outlive the
+  /// node). When set it overrides `retry` and is fed every attempt outcome,
+  /// sizing the budget from the fleet's observed timeout rate.
+  net::AdaptiveRetryPolicy* adaptiveRetry = nullptr;
 };
 
 /// LRU k-bucket routing table.
@@ -73,8 +80,9 @@ class KademliaNode {
   KademliaNode(sim::Network& network, OverlayId id, KademliaConfig config = {});
 
   const OverlayId& id() const { return id_; }
-  sim::NodeAddr addr() const { return addr_; }
+  sim::NodeAddr addr() const { return endpoint_.addr(); }
   const RoutingTable& routingTable() const { return table_; }
+  net::RpcEndpoint& endpoint() { return endpoint_; }
 
   /// Seeds the routing table and performs a self-lookup.
   void bootstrap(const Contact& seed, std::function<void()> done = {});
@@ -100,17 +108,15 @@ class KademliaNode {
 
   // RPC robustness stats (also mirrored into the network's Metrics, if
   // attached, as `kad.rpc.retry` / `kad.rpc.fail`).
-  std::uint64_t rpcRetries() const { return rpcRetries_; }
-  std::uint64_t rpcFailures() const { return rpcFailures_; }
+  std::uint64_t rpcRetries() const { return endpoint_.retries(); }
+  std::uint64_t rpcFailures() const { return endpoint_.failures(); }
 
  private:
   struct Lookup;
 
-  void onMessage(sim::NodeAddr from, const sim::Message& msg);
+  void setupRpcHandlers();
   void sendRpc(const Contact& to, const std::string& type, util::Bytes payload,
                std::function<void(bool ok, util::BytesView reply)> onReply);
-  void transmitRpc(sim::NodeAddr to, std::string type, util::Bytes frame,
-                   std::uint64_t rpcId, std::size_t attempt);
   void startLookup(const OverlayId& target, bool wantValue,
                    std::function<void(LookupResult)> done);
   void lookupStep(const std::shared_ptr<Lookup>& lookup);
@@ -121,15 +127,10 @@ class KademliaNode {
 
   sim::Network& network_;
   OverlayId id_;
-  sim::NodeAddr addr_;
   KademliaConfig config_;
+  net::RpcEndpoint endpoint_;
   RoutingTable table_;
   std::map<OverlayId, util::Bytes> store_;
-
-  std::uint64_t nextRpcId_ = 1;
-  std::map<std::uint64_t, std::function<void(bool, util::BytesView)>> pending_;
-  std::uint64_t rpcRetries_ = 0;
-  std::uint64_t rpcFailures_ = 0;
 };
 
 }  // namespace dosn::overlay

@@ -99,113 +99,51 @@ std::map<sim::NodeAddr, std::size_t> ReplicationManager::observerViewSizes()
 }
 
 ReplicaHost::ReplicaHost(sim::Network& network)
-    : network_(network), addr_(network.addNode()) {
-  network_.setHandler(addr_, [this](sim::NodeAddr from, const sim::Message& msg) {
-    onMessage(from, msg);
-  });
-}
-
-void ReplicaHost::onMessage(sim::NodeAddr from, const sim::Message& msg) {
-  try {
-    util::Reader r(msg.payload);
-    if (msg.type == "repl.store") {
-      const std::uint64_t reqId = r.u64();
-      const OverlayId item = readId(r);
-      data_[item] = r.bytes();
-      util::Writer w;
-      w.u64(reqId);
-      w.boolean(true);
-      network_.send(addr_, from, sim::Message{"repl.ack", w.take()});
-    } else if (msg.type == "repl.fetch") {
-      const std::uint64_t reqId = r.u64();
-      const OverlayId item = readId(r);
-      util::Writer w;
-      w.u64(reqId);
-      const auto it = data_.find(item);
-      if (it != data_.end()) {
+    : endpoint_(network, "repl.host") {
+  endpoint_.onRequest(
+      "repl.store",
+      [this](sim::NodeAddr from, util::BytesView body, net::RpcId reqId) {
+        util::Reader r(body);
+        const OverlayId item = readId(r);
+        data_[item] = r.bytes();
+        util::Writer w;
         w.boolean(true);
-        w.bytes(it->second);
-      } else {
-        w.boolean(false);
-      }
-      network_.send(addr_, from, sim::Message{"repl.value", w.take()});
-    }
-  } catch (const util::DosnError&) {
-    // Malformed payload or unroutable wire-derived address: drop.
-  }
+        endpoint_.reply(from, "repl.ack", reqId, w.buffer());
+      });
+  endpoint_.onRequest(
+      "repl.fetch",
+      [this](sim::NodeAddr from, util::BytesView body, net::RpcId reqId) {
+        util::Reader r(body);
+        const OverlayId item = readId(r);
+        util::Writer w;
+        const auto it = data_.find(item);
+        if (it != data_.end()) {
+          w.boolean(true);
+          w.bytes(it->second);
+        } else {
+          w.boolean(false);
+        }
+        endpoint_.reply(from, "repl.value", reqId, w.buffer());
+      });
 }
 
 ReplicaClient::ReplicaClient(sim::Network& network, RetryPolicy retry,
                              sim::SimTime rpcTimeout)
-    : network_(network),
-      addr_(network.addNode()),
-      retry_(retry),
-      rpcTimeout_(rpcTimeout) {
-  network_.setHandler(addr_, [this](sim::NodeAddr from, const sim::Message& msg) {
-    onMessage(from, msg);
-  });
-}
-
-void ReplicaClient::onMessage(sim::NodeAddr from, const sim::Message& msg) {
-  (void)from;
-  if (msg.type != "repl.ack" && msg.type != "repl.value") return;
-  try {
-    util::Reader r(msg.payload);
-    const std::uint64_t reqId = r.u64();
-    const auto it = pending_.find(reqId);
-    if (it == pending_.end()) return;  // timed out or duplicate reply
-    auto callback = std::move(it->second.onReply);
-    pending_.erase(it);
-    callback(true, util::BytesView(msg.payload).subspan(8));
-  } catch (const util::DosnError&) {
-    // Malformed payload: drop (the RPC will time out / retry).
-  }
+    : endpoint_(network, "repl.rpc"), retry_(retry), rpcTimeout_(rpcTimeout) {
+  // No reply observers: a corrupted ack/value still completes the call and
+  // the store/fetch adapters map the unparseable body to failure (matching
+  // the historical client behavior the fault tests pin down).
+  endpoint_.addReplyChannel("repl.ack");
+  endpoint_.addReplyChannel("repl.value");
 }
 
 void ReplicaClient::sendRpc(
     sim::NodeAddr host, const std::string& type, util::Bytes body,
     std::function<void(bool ok, util::BytesView reply)> onReply) {
-  const std::uint64_t reqId = nextReqId_++;
-  util::Writer w;
-  w.u64(reqId);
-  w.raw(body);
-  pending_.emplace(reqId, PendingRpc{std::move(onReply)});
-  transmitRpc(host, type, w.take(), reqId, 1);
-}
-
-void ReplicaClient::transmitRpc(sim::NodeAddr host, std::string type,
-                                util::Bytes frame, std::uint64_t reqId,
-                                std::size_t attempt) {
-  try {
-    network_.send(addr_, host, sim::Message{type, frame});
-  } catch (const util::NetError&) {
-    // Unroutable host: let the timeout/retry path fail the RPC cleanly.
-  }
-  network_.simulator().schedule(
-      rpcTimeout_,
-      [this, host, type = std::move(type), frame = std::move(frame), reqId,
-       attempt]() mutable {
-        const auto it = pending_.find(reqId);
-        if (it == pending_.end()) return;  // answered in time
-        if (attempt < retry_.attempts) {
-          ++rpcRetries_;
-          if (auto* m = network_.metrics()) m->increment("repl.rpc.retry");
-          network_.simulator().schedule(
-              retry_.backoff(attempt),
-              [this, host, type = std::move(type), frame = std::move(frame),
-               reqId, attempt]() mutable {
-                if (!pending_.count(reqId)) return;  // answered during backoff
-                transmitRpc(host, std::move(type), std::move(frame), reqId,
-                            attempt + 1);
-              });
-          return;
-        }
-        auto callback = std::move(it->second.onReply);
-        pending_.erase(it);
-        ++rpcFailures_;
-        if (auto* m = network_.metrics()) m->increment("repl.rpc.fail");
-        callback(false, {});
-      });
+  net::CallOptions options;
+  options.timeout = rpcTimeout_;
+  options.retry = retry_;
+  endpoint_.call(host, type, body, options, std::move(onReply));
 }
 
 void ReplicaClient::store(sim::NodeAddr host, const OverlayId& item,

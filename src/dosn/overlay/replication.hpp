@@ -10,6 +10,7 @@
 #include <set>
 #include <vector>
 
+#include "dosn/net/rpc_endpoint.hpp"
 #include "dosn/overlay/node_id.hpp"
 #include "dosn/overlay/retry.hpp"
 #include "dosn/sim/network.hpp"
@@ -66,14 +67,11 @@ class ReplicaHost {
  public:
   explicit ReplicaHost(sim::Network& network);
 
-  sim::NodeAddr addr() const { return addr_; }
+  sim::NodeAddr addr() const { return endpoint_.addr(); }
   const std::map<OverlayId, util::Bytes>& data() const { return data_; }
 
  private:
-  void onMessage(sim::NodeAddr from, const sim::Message& msg);
-
-  sim::Network& network_;
-  sim::NodeAddr addr_;
+  net::RpcEndpoint endpoint_;
   std::map<OverlayId, util::Bytes> data_;
 };
 
@@ -86,7 +84,7 @@ class ReplicaClient {
   explicit ReplicaClient(sim::Network& network, RetryPolicy retry = {},
                          sim::SimTime rpcTimeout = 500 * sim::kMillisecond);
 
-  sim::NodeAddr addr() const { return addr_; }
+  sim::NodeAddr addr() const { return endpoint_.addr(); }
 
   /// Stores `value` for `item` on `host`; done(ok) fires exactly once —
   /// true on ack, false after all attempts time out.
@@ -100,28 +98,16 @@ class ReplicaClient {
 
   // Robustness stats (mirrored into the network's Metrics, if attached, as
   // `repl.rpc.retry` / `repl.rpc.fail`).
-  std::uint64_t rpcRetries() const { return rpcRetries_; }
-  std::uint64_t rpcFailures() const { return rpcFailures_; }
+  std::uint64_t rpcRetries() const { return endpoint_.retries(); }
+  std::uint64_t rpcFailures() const { return endpoint_.failures(); }
 
  private:
-  struct PendingRpc {
-    std::function<void(bool ok, util::BytesView reply)> onReply;
-  };
-
-  void onMessage(sim::NodeAddr from, const sim::Message& msg);
   void sendRpc(sim::NodeAddr host, const std::string& type, util::Bytes body,
                std::function<void(bool ok, util::BytesView reply)> onReply);
-  void transmitRpc(sim::NodeAddr host, std::string type, util::Bytes frame,
-                   std::uint64_t reqId, std::size_t attempt);
 
-  sim::Network& network_;
-  sim::NodeAddr addr_;
+  net::RpcEndpoint endpoint_;
   RetryPolicy retry_;
   sim::SimTime rpcTimeout_;
-  std::uint64_t nextReqId_ = 1;
-  std::map<std::uint64_t, PendingRpc> pending_;
-  std::uint64_t rpcRetries_ = 0;
-  std::uint64_t rpcFailures_ = 0;
 };
 
 /// Samples availability of all items at fixed intervals; reports the mean.

@@ -1,29 +1,13 @@
-// Retry-with-exponential-backoff policy shared by the overlay RPC layers
-// (Kademlia, replication). Delays are fixed functions of the attempt number —
-// no randomized jitter — so retried runs stay bit-reproducible under the
-// simulator's virtual clock.
+// Compatibility alias: the retry policies moved down a layer into net/ (they
+// now belong to the shared RPC endpoint, not any single overlay). Existing
+// overlay-facing code keeps spelling them overlay::RetryPolicy.
 #pragma once
 
-#include <cmath>
-#include <cstddef>
-
-#include "dosn/sim/simulator.hpp"
+#include "dosn/net/retry.hpp"
 
 namespace dosn::overlay {
 
-struct RetryPolicy {
-  /// Total send attempts per RPC; 1 means no retries (classic behavior).
-  std::size_t attempts = 1;
-  /// Backoff before the 2nd attempt; attempt n waits base * multiplier^(n-1).
-  sim::SimTime backoffBase = 100 * sim::kMillisecond;
-  double backoffMultiplier = 2.0;
-
-  /// Backoff to wait after attempt `attempt` (1-based) times out.
-  sim::SimTime backoff(std::size_t attempt) const {
-    double delay = static_cast<double>(backoffBase);
-    for (std::size_t i = 1; i < attempt; ++i) delay *= backoffMultiplier;
-    return static_cast<sim::SimTime>(delay);
-  }
-};
+using net::AdaptiveRetryPolicy;
+using net::RetryPolicy;
 
 }  // namespace dosn::overlay

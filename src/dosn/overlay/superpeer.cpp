@@ -20,66 +20,91 @@ OverlayId readId(util::Reader& r) {
 
 }  // namespace
 
-SuperPeer::SuperPeer(sim::Network& network)
-    : network_(network), addr_(network.addNode()) {
-  network_.setHandler(addr_, [this](sim::NodeAddr from, const sim::Message& msg) {
-    onMessage(from, msg);
-  });
+SuperPeer::SuperPeer(sim::Network& network) : endpoint_(network, "sp.rpc") {
+  endpoint_.onMessage(
+      "sp.register", [this](sim::NodeAddr from, util::BytesView payload) {
+        util::Reader r(payload);
+        index_[readId(r)] = from;
+      });
+  endpoint_.onMessage(
+      "sp.query", [this](sim::NodeAddr, util::BytesView payload) {
+        // From a leaf: answer locally or fan out to the other super peers.
+        util::Reader r(payload);
+        const std::uint64_t queryId = r.u64();
+        const sim::NodeAddr origin = r.u64();
+        const OverlayId key = readId(r);
+        const auto it = index_.find(key);
+        if (it != index_.end()) {
+          util::Writer w;
+          w.u64(it->second);
+          endpoint_.reply(origin, "sp.owner", queryId, w.buffer());
+          return;
+        }
+        util::Writer w;
+        w.u64(queryId);
+        w.u64(origin);
+        writeId(w, key);
+        const util::Bytes payload2 = w.take();
+        for (const sim::NodeAddr peer : peers_) {
+          endpoint_.send(peer, "sp.peer_query", payload2);
+        }
+      });
+  endpoint_.onMessage(
+      "sp.peer_query", [this](sim::NodeAddr, util::BytesView payload) {
+        // From another super peer: answer the origin directly on a hit.
+        util::Reader r(payload);
+        const std::uint64_t queryId = r.u64();
+        const sim::NodeAddr origin = r.u64();
+        const OverlayId key = readId(r);
+        const auto it = index_.find(key);
+        if (it != index_.end()) {
+          util::Writer w;
+          w.u64(it->second);
+          endpoint_.reply(origin, "sp.owner", queryId, w.buffer());
+        }
+      });
 }
 
 void SuperPeer::setPeers(std::vector<sim::NodeAddr> otherSuperPeers) {
   peers_ = std::move(otherSuperPeers);
 }
 
-void SuperPeer::onMessage(sim::NodeAddr from, const sim::Message& msg) {
-  try {
-    util::Reader r(msg.payload);
-    if (msg.type == "sp.register") {
-      const OverlayId key = readId(r);
-      index_[key] = from;
-    } else if (msg.type == "sp.query") {
-      // From a leaf: answer locally or fan out to the other super peers.
-      const std::uint64_t queryId = r.u64();
-      const sim::NodeAddr origin = r.u64();
-      const OverlayId key = readId(r);
-      const auto it = index_.find(key);
-      if (it != index_.end()) {
-        util::Writer w;
-        w.u64(queryId);
-        w.u64(it->second);
-        network_.send(addr_, origin, sim::Message{"sp.owner", w.take()});
-        return;
-      }
-      util::Writer w;
-      w.u64(queryId);
-      w.u64(origin);
-      writeId(w, key);
-      const util::Bytes payload = w.take();
-      for (const sim::NodeAddr peer : peers_) {
-        network_.send(addr_, peer, sim::Message{"sp.peer_query", payload});
-      }
-    } else if (msg.type == "sp.peer_query") {
-      // From another super peer: answer the origin directly on a hit.
-      const std::uint64_t queryId = r.u64();
-      const sim::NodeAddr origin = r.u64();
-      const OverlayId key = readId(r);
-      const auto it = index_.find(key);
-      if (it != index_.end()) {
-        util::Writer w;
-        w.u64(queryId);
-        w.u64(it->second);
-        network_.send(addr_, origin, sim::Message{"sp.owner", w.take()});
-      }
-    }
-  } catch (const util::DosnError&) {
-    // Malformed payload or unroutable wire-derived address: drop.
-  }
-}
-
 LeafPeer::LeafPeer(sim::Network& network, sim::NodeAddr superPeer)
-    : network_(network), addr_(network.addNode()), superPeer_(superPeer) {
-  network_.setHandler(addr_, [this](sim::NodeAddr from, const sim::Message& msg) {
-    onMessage(from, msg);
+    : network_(network), endpoint_(network, "sp.rpc"), superPeer_(superPeer) {
+  endpoint_.onMessage(
+      "sp.owner", [this](sim::NodeAddr, util::BytesView payload) {
+        // The index gave us the owner; fetch the value from it. The searched
+        // key rides on the pending call's tag.
+        util::Reader r(payload);
+        const std::uint64_t queryId = r.u64();
+        const sim::NodeAddr owner = r.u64();
+        const util::Bytes* key = endpoint_.tag(queryId);
+        if (!key) return;  // timed out or a duplicate owner answer
+        util::Writer w;
+        w.u64(queryId);
+        w.u64(endpoint_.addr());
+        w.raw(*key);
+        endpoint_.send(owner, "sp.fetch", w.take());
+      });
+  endpoint_.onMessage(
+      "sp.fetch", [this](sim::NodeAddr, util::BytesView payload) {
+        // Another leaf wants one of our values.
+        util::Reader r(payload);
+        const std::uint64_t queryId = r.u64();
+        const sim::NodeAddr origin = r.u64();
+        const OverlayId key = readId(r);
+        const auto it = store_.find(key);
+        if (it == store_.end()) return;
+        util::Writer w;
+        w.bytes(it->second);
+        endpoint_.reply(origin, "sp.value", queryId, w.buffer());
+      });
+  // The observer validates the value field, so a corrupted sp.value leaves
+  // the search pending until the deadline instead of completing it.
+  endpoint_.addReplyChannel("sp.value");
+  endpoint_.setReplyObserver("sp.value", [](sim::NodeAddr, util::BytesView body) {
+    util::Reader r(body);
+    r.bytes();
   });
 }
 
@@ -87,7 +112,7 @@ void LeafPeer::publish(const OverlayId& key, util::Bytes value) {
   store_[key] = std::move(value);
   util::Writer w;
   writeId(w, key);
-  network_.send(addr_, superPeer_, sim::Message{"sp.register", w.take()});
+  endpoint_.send(superPeer_, "sp.register", w.take());
 }
 
 void LeafPeer::search(const OverlayId& key, sim::SimTime timeout,
@@ -99,60 +124,21 @@ void LeafPeer::search(const OverlayId& key, sim::SimTime timeout,
     });
     return;
   }
-  const std::uint64_t queryId =
-      (static_cast<std::uint64_t>(addr_) << 32) | nextQueryId_++;
-  pending_.emplace(queryId, PendingQuery{key, std::move(done)});
+  const net::RpcId queryId = endpoint_.openCall(
+      "sp.search", timeout, util::Bytes(key.bytes.begin(), key.bytes.end()),
+      [done = std::move(done)](bool ok, util::BytesView reply) {
+        if (!ok) {
+          done(std::nullopt);
+          return;
+        }
+        util::Reader r(reply);
+        done(r.bytes());
+      });
   util::Writer w;
   w.u64(queryId);
-  w.u64(addr_);
+  w.u64(endpoint_.addr());
   writeId(w, key);
-  network_.send(addr_, superPeer_, sim::Message{"sp.query", w.take()});
-  network_.simulator().schedule(timeout, [this, queryId] {
-    const auto it = pending_.find(queryId);
-    if (it == pending_.end()) return;
-    auto callback = std::move(it->second.done);
-    pending_.erase(it);
-    callback(std::nullopt);
-  });
-}
-
-void LeafPeer::onMessage(sim::NodeAddr from, const sim::Message& msg) {
-  (void)from;
-  try {
-    util::Reader r(msg.payload);
-    if (msg.type == "sp.owner") {
-      // The index gave us the owner; fetch the value from it.
-      const std::uint64_t queryId = r.u64();
-      const sim::NodeAddr owner = r.u64();
-      const auto it = pending_.find(queryId);
-      if (it == pending_.end()) return;
-      util::Writer w;
-      w.u64(queryId);
-      w.u64(addr_);
-      writeId(w, it->second.key);
-      network_.send(addr_, owner, sim::Message{"sp.fetch", w.take()});
-    } else if (msg.type == "sp.fetch") {
-      // Another leaf wants one of our values.
-      const std::uint64_t queryId = r.u64();
-      const sim::NodeAddr origin = r.u64();
-      const OverlayId key = readId(r);
-      const auto it = store_.find(key);
-      if (it == store_.end()) return;
-      util::Writer w;
-      w.u64(queryId);
-      w.bytes(it->second);
-      network_.send(addr_, origin, sim::Message{"sp.value", w.take()});
-    } else if (msg.type == "sp.value") {
-      const std::uint64_t queryId = r.u64();
-      const auto it = pending_.find(queryId);
-      if (it == pending_.end()) return;
-      auto callback = std::move(it->second.done);
-      pending_.erase(it);
-      callback(r.bytes());
-    }
-  } catch (const util::DosnError&) {
-    // Malformed payload or unroutable wire-derived address: drop.
-  }
+  endpoint_.send(superPeer_, "sp.query", w.take());
 }
 
 }  // namespace dosn::overlay

@@ -1,6 +1,11 @@
 // Semi-structured overlay (paper §II-B, Supernova-style): a subset of peers
 // act as super peers that index the content of their assigned leaf peers and
 // answer searches by consulting the other super peers (one hop).
+//
+// A leaf search is a net::RpcEndpoint openCall(): the endpoint allocates the
+// query id, carries the searched key as the call tag across the
+// query -> owner -> fetch chain, owns the one overall deadline, and records
+// sp.search latency/outcome metrics.
 #pragma once
 
 #include <functional>
@@ -8,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "dosn/net/rpc_endpoint.hpp"
 #include "dosn/overlay/node_id.hpp"
 #include "dosn/sim/network.hpp"
 
@@ -17,7 +23,7 @@ class SuperPeer {
  public:
   explicit SuperPeer(sim::Network& network);
 
-  sim::NodeAddr addr() const { return addr_; }
+  sim::NodeAddr addr() const { return endpoint_.addr(); }
 
   /// Super peers know each other (small, stable set).
   void setPeers(std::vector<sim::NodeAddr> otherSuperPeers);
@@ -25,11 +31,7 @@ class SuperPeer {
   std::size_t indexSize() const { return index_.size(); }
 
  private:
-  friend class LeafPeer;
-  void onMessage(sim::NodeAddr from, const sim::Message& msg);
-
-  sim::Network& network_;
-  sim::NodeAddr addr_;
+  net::RpcEndpoint endpoint_;
   std::vector<sim::NodeAddr> peers_;
   // key -> owner leaf address (the index; values stay on the owner).
   std::map<OverlayId, sim::NodeAddr> index_;
@@ -39,7 +41,7 @@ class LeafPeer {
  public:
   LeafPeer(sim::Network& network, sim::NodeAddr superPeer);
 
-  sim::NodeAddr addr() const { return addr_; }
+  sim::NodeAddr addr() const { return endpoint_.addr(); }
 
   /// Stores locally and registers the key with the assigned super peer.
   void publish(const OverlayId& key, util::Bytes value);
@@ -49,19 +51,10 @@ class LeafPeer {
               std::function<void(std::optional<util::Bytes>)> done);
 
  private:
-  void onMessage(sim::NodeAddr from, const sim::Message& msg);
-
-  struct PendingQuery {
-    OverlayId key;
-    std::function<void(std::optional<util::Bytes>)> done;
-  };
-
   sim::Network& network_;
-  sim::NodeAddr addr_;
+  net::RpcEndpoint endpoint_;
   sim::NodeAddr superPeer_;
   std::map<OverlayId, util::Bytes> store_;
-  std::map<std::uint64_t, PendingQuery> pending_;
-  std::uint64_t nextQueryId_ = 1;
 };
 
 }  // namespace dosn::overlay

@@ -63,4 +63,15 @@ Histogram& Metrics::histogram(const std::string& name) {
   return histograms_[name];
 }
 
+std::vector<std::pair<std::string, std::uint64_t>> Metrics::countersWithPrefix(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  // counters_ is name-ordered, so the prefix range is contiguous.
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace_back(it->first, it->second);
+  }
+  return out;
+}
+
 }  // namespace dosn::sim

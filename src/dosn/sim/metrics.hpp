@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dosn::sim {
@@ -41,6 +42,11 @@ class Metrics {
   const std::map<std::string, std::uint64_t>& counters() const {
     return counters_;
   }
+
+  /// Counters whose name starts with `prefix`, in name order — how the
+  /// benches dump one RPC type's `rpc.<type>.*` family in one call.
+  std::vector<std::pair<std::string, std::uint64_t>> countersWithPrefix(
+      const std::string& prefix) const;
 
  private:
   std::map<std::string, std::uint64_t> counters_;

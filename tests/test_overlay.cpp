@@ -22,6 +22,13 @@ using sim::kMillisecond;
 using sim::kSecond;
 using util::toBytes;
 
+GossipConfig gossipConfig(sim::SimTime interval, std::size_t fanout) {
+  GossipConfig config;
+  config.interval = interval;
+  config.fanout = fanout;
+  return config;
+}
+
 // --- OverlayId ---
 
 TEST(OverlayId, HashDeterministic) {
@@ -306,7 +313,7 @@ TEST(Gossip, EntrySpreadsToAllPeers) {
   sim::Simulator sim;
   sim::Network net(sim, sim::LatencyModel{5 * kMillisecond, 0, 0.0}, rng);
   std::vector<std::unique_ptr<GossipNode>> nodes;
-  GossipConfig config{500 * kMillisecond, 2};
+  GossipConfig config = gossipConfig(500 * kMillisecond, 2);
   for (int i = 0; i < 12; ++i) {
     nodes.push_back(std::make_unique<GossipNode>(net, config));
   }
@@ -331,8 +338,8 @@ TEST(Gossip, NewerVersionWins) {
   util::Rng rng(12);
   sim::Simulator sim;
   sim::Network net(sim, sim::LatencyModel{5 * kMillisecond, 0, 0.0}, rng);
-  GossipNode a(net, {200 * kMillisecond, 1});
-  GossipNode b(net, {200 * kMillisecond, 1});
+  GossipNode a(net, gossipConfig(200 * kMillisecond, 1));
+  GossipNode b(net, gossipConfig(200 * kMillisecond, 1));
   a.setPeers({b.addr()});
   b.setPeers({a.addr()});
   const OverlayId key = OverlayId::hash("k");
@@ -352,8 +359,8 @@ TEST(Gossip, UpdateHookFiresOnGossipedEntries) {
   util::Rng rng(14);
   sim::Simulator sim;
   sim::Network net(sim, sim::LatencyModel{5 * kMillisecond, 0, 0.0}, rng);
-  GossipNode a(net, {200 * kMillisecond, 1});
-  GossipNode b(net, {200 * kMillisecond, 1});
+  GossipNode a(net, gossipConfig(200 * kMillisecond, 1));
+  GossipNode b(net, gossipConfig(200 * kMillisecond, 1));
   a.setPeers({b.addr()});
   b.setPeers({a.addr()});
   std::vector<OverlayId> arrived;
@@ -432,7 +439,7 @@ TEST(Hybrid, CacheServesPopularDhtServesRare) {
   sim::Simulator sim;
   sim::Network net(sim, sim::LatencyModel{5 * kMillisecond, 0, 0.0}, rng);
   KademliaConfig kconfig{8, 3, 500 * kMillisecond, 0, {}};
-  GossipConfig gconfig{500 * kMillisecond, 2};
+  GossipConfig gconfig = gossipConfig(500 * kMillisecond, 2);
 
   std::vector<std::unique_ptr<HybridNode>> nodes;
   for (int i = 0; i < 15; ++i) {
