@@ -9,6 +9,11 @@
 //
 // All overlays run the same workload on the same simulated network: 60 peers,
 // 40 items, 200 Zipf-distributed lookups.
+//
+// Every overlay's traffic flows through net::RpcEndpoint, so each run also
+// collects the endpoint's uniform rpc.<type>.* observability surface over
+// its lookup phase (same format as bench_faults F1b), printed per overlay
+// after the comparison table.
 #include <cstdio>
 #include <memory>
 
@@ -16,6 +21,7 @@
 #include "dosn/overlay/hybrid.hpp"
 #include "dosn/overlay/kademlia.hpp"
 #include "dosn/overlay/superpeer.hpp"
+#include "dosn/sim/metrics.hpp"
 
 using namespace dosn;
 using namespace dosn::overlay;
@@ -68,7 +74,7 @@ void printRow(const Result& r) {
   std::printf("\n");
 }
 
-Result runDht(const Workload& w) {
+Result runDht(const Workload& w, sim::Metrics* rpcMetrics) {
   util::Rng rng(1);
   sim::Simulator simulator;
   sim::Network net(simulator,
@@ -90,6 +96,9 @@ Result runDht(const Workload& w) {
   Result r{"dht"};
   r.setupMessages = net.messagesSent();
   net.resetStats();
+  // Attach the sink here so it covers the lookup phase only, matching the
+  // msgs/lookup column (and bench_faults F1b's convention).
+  if (rpcMetrics) net.setMetrics(rpcMetrics);
   double latencySum = 0;
   for (std::size_t q = 0; q < kLookups; ++q) {
     const sim::SimTime start = simulator.now();
@@ -111,7 +120,7 @@ Result runDht(const Workload& w) {
   return r;
 }
 
-Result runFlooding(const Workload& w) {
+Result runFlooding(const Workload& w, sim::Metrics* rpcMetrics) {
   util::Rng rng(2);
   sim::Simulator simulator;
   sim::Network net(simulator,
@@ -135,6 +144,7 @@ Result runFlooding(const Workload& w) {
   Result r{"flooding"};
   r.setupMessages = net.messagesSent();  // zero: no index maintenance
   net.resetStats();
+  if (rpcMetrics) net.setMetrics(rpcMetrics);
   double latencySum = 0;
   for (std::size_t q = 0; q < kLookups; ++q) {
     const sim::SimTime start = simulator.now();
@@ -157,7 +167,7 @@ Result runFlooding(const Workload& w) {
   return r;
 }
 
-Result runSuperPeer(const Workload& w) {
+Result runSuperPeer(const Workload& w, sim::Metrics* rpcMetrics) {
   util::Rng rng(3);
   sim::Simulator simulator;
   sim::Network net(simulator,
@@ -187,6 +197,7 @@ Result runSuperPeer(const Workload& w) {
   Result r{"super-peer"};
   r.setupMessages = net.messagesSent();
   net.resetStats();
+  if (rpcMetrics) net.setMetrics(rpcMetrics);
   double latencySum = 0;
   for (std::size_t q = 0; q < kLookups; ++q) {
     const sim::SimTime start = simulator.now();
@@ -208,7 +219,7 @@ Result runSuperPeer(const Workload& w) {
   return r;
 }
 
-Result runHybrid(const Workload& w) {
+Result runHybrid(const Workload& w, sim::Metrics* rpcMetrics) {
   util::Rng rng(4);
   sim::Simulator simulator;
   sim::Network net(simulator,
@@ -240,6 +251,7 @@ Result runHybrid(const Workload& w) {
   Result r{"hybrid"};
   r.setupMessages = net.messagesSent();
   net.resetStats();
+  if (rpcMetrics) net.setMetrics(rpcMetrics);
   double latencySum = 0;
   std::size_t cacheHits = 0;
   for (std::size_t q = 0; q < kLookups; ++q) {
@@ -279,15 +291,30 @@ int main() {
       kPeers, kItems, kLookups, kZipfExponent);
   std::printf("  %-12s %13s %14s %14s %14s %14s\n", "overlay", "found",
               "latency(ms)", "msgs/lookup", "setup-msgs", "cache-hits");
-  printRow(runDht(w));
-  printRow(runFlooding(w));
-  printRow(runSuperPeer(w));
-  printRow(runHybrid(w));
+  sim::Metrics dhtMetrics, floodMetrics, superMetrics, hybridMetrics;
+  printRow(runDht(w, &dhtMetrics));
+  printRow(runFlooding(w, &floodMetrics));
+  printRow(runSuperPeer(w, &superMetrics));
+  printRow(runHybrid(w, &hybridMetrics));
   std::printf(
       "\nexpected shape: flooding has ~0 setup messages but the most traffic\n"
       "per lookup and TTL-bounded success; the DHT resolves everything in\n"
       "bounded steps at moderate cost; super-peers are cheapest per query\n"
       "but concentrate index state; hybrid serves popular items from cache\n"
       "at near-zero marginal cost with DHT completeness for rare ones.\n");
+
+  const std::pair<const char*, const sim::Metrics*> surfaces[] = {
+      {"dht", &dhtMetrics},
+      {"flooding", &floodMetrics},
+      {"super-peer", &superMetrics},
+      {"hybrid", &hybridMetrics},
+  };
+  std::printf(
+      "\nper-overlay RPC observability (lookup phase only; the endpoint's\n"
+      "uniform rpc.<type>.* surface, format as bench_faults F1b)\n");
+  for (const auto& [name, metrics] : surfaces) {
+    std::printf("\n--- %s ---\n", name);
+    sim::printRpcObservability(*metrics);
+  }
   return 0;
 }

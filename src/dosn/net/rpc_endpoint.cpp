@@ -65,17 +65,23 @@ RpcId RpcEndpoint::call(sim::NodeAddr to, const std::string& type,
   pending.type = type;
   pending.onReply = std::move(onReply);
   pending.startedAt = network_.simulator().now();
+  pending.peer = to;
+  pending.adaptive = options.adaptiveTimeout;
   state_->pending.emplace(id, std::move(pending));
 
-  const RetryPolicy retry = adaptive_ ? adaptive_->current() : options.retry;
-  transmit(to, type, w.take(), id, 1, options.timeout, retry);
+  const RetryPolicy retry = options.adaptiveTimeout
+                                ? peers_.state(to).retry.current()
+                                : (adaptive_ ? adaptive_->current()
+                                             : options.retry);
+  transmit(to, type, w.take(), id, 1, options.timeout, retry,
+           options.adaptiveTimeout);
   return id;
 }
 
 void RpcEndpoint::transmit(sim::NodeAddr to, const std::string& type,
                            const util::Bytes& frame, RpcId id,
                            std::size_t attempt, sim::SimTime timeout,
-                           const RetryPolicy& retry) {
+                           const RetryPolicy& retry, bool adaptive) {
   bump(type, "sent");
   try {
     network_.send(addr_, to, sim::Message{type, frame});
@@ -83,26 +89,43 @@ void RpcEndpoint::transmit(sim::NodeAddr to, const std::string& type,
     // Unroutable address (e.g. a contact learned from a corrupted reply):
     // treat like a black hole and let the timeout/retry path run its course.
   }
+  // Adaptive calls take each attempt's timeout from the destination's
+  // estimator at send time, so a backoff applied after an earlier timeout —
+  // possibly by a concurrent call to the same peer — is already reflected.
+  // `timeout` stays the caller's fixed value and doubles as the pre-sample
+  // fallback.
+  const sim::SimTime wait =
+      adaptive ? peers_.state(to).rtt.timeout(timeout) : timeout;
   std::weak_ptr<State> weak = state_;
   network_.simulator().schedule(
-      timeout, [this, weak, to, type, frame, id, attempt, timeout, retry] {
+      wait, [this, weak, to, type, frame, id, attempt, timeout, retry,
+             adaptive] {
         const auto state = weak.lock();
         if (!state) return;  // endpoint destroyed
         const auto it = state->pending.find(id);
         if (it == state->pending.end()) return;  // answered in time
+        ++it->second.timeouts;
         bump(type, "timeouts");
         observeOutcome(true);
+        if (adaptive) {
+          PeerStateTable::PeerState& ps = peers_.state(to);
+          ps.rtt.onTimeout();
+          ps.retry.observeAttempt(true);
+        }
         if (attempt < retry.attempts) {
+          it->second.retransmitted = true;
           ++state->retries;
           bump(type, "retries");
           if (auto* m = network_.metrics()) m->increment(statsPrefix_ + ".retry");
           network_.simulator().schedule(
               retry.backoff(attempt),
-              [this, weak, to, type, frame, id, attempt, timeout, retry] {
+              [this, weak, to, type, frame, id, attempt, timeout, retry,
+               adaptive] {
                 const auto s = weak.lock();
                 if (!s) return;
                 if (!s->pending.count(id)) return;  // answered during backoff
-                transmit(to, type, frame, id, attempt + 1, timeout, retry);
+                transmit(to, type, frame, id, attempt + 1, timeout, retry,
+                         adaptive);
               });
           return;
         }
@@ -117,23 +140,40 @@ void RpcEndpoint::transmit(sim::NodeAddr to, const std::string& type,
 
 RpcId RpcEndpoint::openCall(const std::string& opType, sim::SimTime timeout,
                             util::Bytes tag, ReplyCallback onReply) {
+  OpenCallOptions options;
+  options.timeout = timeout;
+  return openCall(opType, options, std::move(tag), std::move(onReply));
+}
+
+RpcId RpcEndpoint::openCall(const std::string& opType,
+                            const OpenCallOptions& options, util::Bytes tag,
+                            ReplyCallback onReply) {
   const RpcId id =
       (static_cast<RpcId>(addr_) << 32) | static_cast<RpcId>(nextCallId_++);
+  const bool adaptive = options.adaptiveTimeout;
+  const sim::NodeAddr peer = options.peer;
   PendingCall pending;
   pending.type = opType;
   pending.onReply = std::move(onReply);
   pending.startedAt = network_.simulator().now();
   pending.tag = std::move(tag);
+  pending.peer = peer;
+  pending.adaptive = adaptive;
   state_->pending.emplace(id, std::move(pending));
   bump(opType, "sent");
 
+  const sim::SimTime deadline =
+      adaptive ? peers_.state(peer).rtt.timeout(options.timeout)
+               : options.timeout;
   std::weak_ptr<State> weak = state_;
-  network_.simulator().schedule(timeout, [this, weak, opType, id] {
+  network_.simulator().schedule(deadline, [this, weak, opType, id, adaptive,
+                                           peer] {
     const auto state = weak.lock();
     if (!state) return;
     const auto it = state->pending.find(id);
     if (it == state->pending.end()) return;  // completed in time
     bump(opType, "timeouts");
+    if (adaptive) peers_.state(peer).rtt.onTimeout();
     ++state->failures;
     bump(opType, "failed");
     if (auto* m = network_.metrics()) m->increment(statsPrefix_ + ".fail");
@@ -166,17 +206,47 @@ void RpcEndpoint::finish(RpcId id, bool ok, util::BytesView payload) {
   const std::string type = it->second.type;
   if (ok) {
     bump(type, "completed");
+    const sim::SimTime rtt =
+        network_.simulator().now() - it->second.startedAt;
     if (auto* m = network_.metrics()) {
       const double rttMs =
-          static_cast<double>(network_.simulator().now() - it->second.startedAt) /
-          static_cast<double>(sim::kMillisecond);
+          static_cast<double>(rtt) / static_cast<double>(sim::kMillisecond);
       m->histogram("rpc." + type + ".rtt_ms").record(rttMs);
+      if (trackSpurious_ && it->second.timeouts > 0) {
+        // The call completed after timing out: those timeouts fired on a
+        // reply that was late, not lost (exact when links never drop; an
+        // upper bound under loss, comparably so across timeout policies).
+        m->increment("rpc." + type + ".spurious_timeouts",
+                     it->second.timeouts);
+      }
     }
     observeOutcome(false);
+    if (it->second.adaptive) {
+      PeerStateTable::PeerState& ps = peers_.state(it->second.peer);
+      ps.retry.observeAttempt(false);
+      // Karn's rule: only calls answered on their first attempt yield an
+      // unambiguous sample. openCall never retransmits, so every completed
+      // operation samples its first-hop estimator.
+      if (!it->second.retransmitted) recordRttSample(it->second.peer, type, rtt);
+    }
   }
   auto callback = std::move(it->second.onReply);
   state_->pending.erase(it);
   if (callback) callback(ok, payload);
+}
+
+void RpcEndpoint::recordRttSample(sim::NodeAddr peer, const std::string& type,
+                                  sim::SimTime rtt) {
+  RttEstimator& est = peers_.state(peer).rtt;
+  est.addSample(rtt);
+  if (auto* m = network_.metrics()) {
+    constexpr double kMs = static_cast<double>(sim::kMillisecond);
+    m->increment("rpc.rtt." + type + ".samples");
+    m->gauge("rpc.rtt." + type + ".srtt", est.srtt() / kMs);
+    m->gauge("rpc.rtt." + type + ".rttvar", est.rttvar() / kMs);
+    m->gauge("rpc.rtt." + type + ".timeout",
+             static_cast<double>(est.timeout(0)) / kMs);
+  }
 }
 
 void RpcEndpoint::reply(sim::NodeAddr to, const std::string& replyType,

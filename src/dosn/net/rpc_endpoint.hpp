@@ -17,7 +17,14 @@
 //    counters plus a per-type round-trip latency histogram
 //      rpc.<type>.rtt_ms
 //    and legacy per-endpoint `<statsPrefix>.retry` / `<statsPrefix>.fail`
-//    counters (kept stable for the fault experiments).
+//    counters (kept stable for the fault experiments);
+//  - opt-in per-destination adaptivity (CallOptions::adaptiveTimeout): a
+//    PeerStateTable keys an RFC 6298-style RttEstimator and an
+//    AdaptiveRetryPolicy by destination, so each peer earns its own timeout
+//    and retry budget instead of fleet-global constants. Samples export
+//    rpc.rtt.<type>.{srtt,rttvar,timeout} gauges and a
+//    rpc.rtt.<type>.samples counter. With the flag off (the default) the
+//    fixed-timeout path is byte-identical to the pre-adaptive endpoint.
 //
 // Two correlation styles cover all six layers:
 //
@@ -40,6 +47,7 @@
 #include <string>
 
 #include "dosn/net/retry.hpp"
+#include "dosn/net/rtt.hpp"
 #include "dosn/sim/network.hpp"
 #include "dosn/util/bytes.hpp"
 
@@ -52,6 +60,25 @@ struct CallOptions {
   /// attempts=1 preserves classic single-shot behavior. Ignored when an
   /// AdaptiveRetryPolicy is attached to the endpoint.
   RetryPolicy retry{};
+  /// Opt-in per-destination adaptivity (RFC 6298 semantics, see net/rtt.hpp):
+  /// each attempt's timeout comes from the destination's RttEstimator
+  /// (`timeout` above is only the pre-sample fallback), the retry budget from
+  /// the destination's own AdaptiveRetryPolicy, and completions answered on
+  /// their first attempt feed the estimator (Karn's rule: retransmitted calls
+  /// never do). Off by default: the classic fixed-timeout path is untouched.
+  bool adaptiveTimeout = false;
+};
+
+struct OpenCallOptions {
+  sim::SimTime timeout = 5 * sim::kSecond;
+  /// Opt-in adaptive deadline for multi-hop operations: the deadline comes
+  /// from the estimator keyed by `peer` (the operation's first hop, or the
+  /// caller's own address for fan-outs with no single destination), which is
+  /// fed the operation's completion time — so the estimate is an *operation*
+  /// time, not a link RTT. openCall never retransmits, so every completion
+  /// is Karn-valid by construction.
+  bool adaptiveTimeout = false;
+  sim::NodeAddr peer = sim::kNoAddr;
 };
 
 class RpcEndpoint {
@@ -108,6 +135,9 @@ class RpcEndpoint {
   /// chains stash the searched key there).
   RpcId openCall(const std::string& opType, sim::SimTime timeout,
                  util::Bytes tag, ReplyCallback onReply);
+  /// As above with an optionally adaptive deadline (see OpenCallOptions).
+  RpcId openCall(const std::string& opType, const OpenCallOptions& options,
+                 util::Bytes tag, ReplyCallback onReply);
   /// Completes a pending call with a validated payload; returns false if the
   /// call is no longer pending (timed out, duplicate completion).
   bool complete(RpcId id, util::BytesView payload);
@@ -120,8 +150,23 @@ class RpcEndpoint {
 
   /// Attaches an adaptive budget (nullptr detaches). Not owned; must outlive
   /// use. While attached it replaces CallOptions::retry on every call and is
-  /// fed every attempt outcome (timeout / answered).
+  /// fed every attempt outcome (timeout / answered). Calls made with
+  /// adaptiveTimeout take their budget from the per-destination table
+  /// instead.
   void setAdaptiveRetry(AdaptiveRetryPolicy* policy) { adaptive_ = policy; }
+
+  /// Replaces the per-destination state table (estimator shape, retry
+  /// config, LRU bound). Existing per-peer state is discarded.
+  void configurePeerTable(PeerTableConfig config) {
+    peers_ = PeerStateTable(config);
+  }
+  PeerStateTable& peerStates() { return peers_; }
+  const PeerStateTable& peerStates() const { return peers_; }
+
+  /// Opt-in: counts `rpc.<type>.spurious_timeouts` — timeouts that fired on
+  /// calls which subsequently completed, i.e. the reply was merely late, not
+  /// lost. Off by default so existing metric surfaces stay byte-identical.
+  void trackSpuriousTimeouts(bool on) { trackSpurious_ = on; }
 
   // Aggregate robustness stats (also mirrored into the network's Metrics as
   // `<statsPrefix>.retry` / `<statsPrefix>.fail`).
@@ -135,6 +180,10 @@ class RpcEndpoint {
     ReplyCallback onReply;
     sim::SimTime startedAt = 0;
     util::Bytes tag;             // openCall context
+    sim::NodeAddr peer = sim::kNoAddr;  // estimator key for adaptive calls
+    bool adaptive = false;
+    bool retransmitted = false;  // Karn's rule: ambiguous once retransmitted
+    std::size_t timeouts = 0;    // timeouts fired against this call so far
   };
 
   // Shared with every closure scheduled on the simulator so timeouts fired
@@ -149,10 +198,14 @@ class RpcEndpoint {
   void handleReply(sim::NodeAddr from, const sim::Message& msg);
   void transmit(sim::NodeAddr to, const std::string& type, const util::Bytes& frame,
                 RpcId id, std::size_t attempt, sim::SimTime timeout,
-                const RetryPolicy& retry);
+                const RetryPolicy& retry, bool adaptive);
   void finish(RpcId id, bool ok, util::BytesView payload);
   void bump(const std::string& type, const char* event);
   void observeOutcome(bool timedOut);
+  /// Feeds a Karn-valid sample to `peer`'s estimator and exports the
+  /// rpc.rtt.<type>.{srtt,rttvar,timeout} gauges + sample counter.
+  void recordRttSample(sim::NodeAddr peer, const std::string& type,
+                       sim::SimTime rtt);
 
   sim::Network& network_;
   std::string statsPrefix_;
@@ -160,6 +213,8 @@ class RpcEndpoint {
   std::shared_ptr<State> state_;
   std::uint32_t nextCallId_ = 1;
   AdaptiveRetryPolicy* adaptive_ = nullptr;
+  PeerStateTable peers_;
+  bool trackSpurious_ = false;
   std::map<std::string, RequestHandler> requestHandlers_;
   std::map<std::string, MessageHandler> messageHandlers_;
   std::map<std::string, ReplyObserver> replyObservers_;

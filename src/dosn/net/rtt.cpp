@@ -1,0 +1,88 @@
+#include "dosn/net/rtt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dosn::net {
+
+void RttEstimator::addSample(sim::SimTime rtt) {
+  const double r = static_cast<double>(rtt);
+  if (samples_ == 0) {
+    srtt_ = r;
+    rttvar_ = r / 2.0;
+  } else {
+    // RFC 6298 §2.3: RTTVAR before SRTT, so the deviation is measured
+    // against the pre-update smoothed estimate.
+    rttvar_ = (1.0 - config_.beta) * rttvar_ + config_.beta * std::abs(srtt_ - r);
+    srtt_ = (1.0 - config_.alpha) * srtt_ + config_.alpha * r;
+  }
+  ++samples_;
+  consecutiveTimeouts_ = 0;
+}
+
+void RttEstimator::onTimeout() {
+  // Saturate well before the backoff factor alone exceeds any plausible
+  // maxTimeout; keeps pow() finite.
+  if (consecutiveTimeouts_ < 63) ++consecutiveTimeouts_;
+}
+
+sim::SimTime RttEstimator::timeout(sim::SimTime fallback) const {
+  double base = samples_ > 0 ? srtt_ + config_.k * rttvar_
+                             : static_cast<double>(fallback);
+  base *= std::pow(config_.backoffMultiplier,
+                   static_cast<double>(consecutiveTimeouts_));
+  const auto lo = static_cast<double>(config_.minTimeout);
+  const auto hi = static_cast<double>(config_.maxTimeout);
+  // The negated comparison also catches +inf/NaN from the pow above.
+  if (!(base < hi)) return config_.maxTimeout;
+  if (base < lo) return config_.minTimeout;
+  return static_cast<sim::SimTime>(base);
+}
+
+PeerStateTable::PeerStateTable(PeerTableConfig config) : config_(config) {
+  if (config_.maxPeers == 0) config_.maxPeers = 1;
+}
+
+PeerStateTable::PeerState& PeerStateTable::state(sim::NodeAddr peer) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) {
+    Entry entry;
+    entry.state.rtt = RttEstimator(config_.rtt);
+    entry.state.retry = AdaptiveRetryPolicy(config_.retry);
+    it = peers_.emplace(peer, std::move(entry)).first;
+  }
+  // Touch before evicting so a just-created entry can never be its own
+  // eviction victim.
+  it->second.lastTouch = ++touchClock_;
+  evictIfNeeded();
+  return it->second.state;
+}
+
+const PeerStateTable::PeerState* PeerStateTable::find(sim::NodeAddr peer) const {
+  const auto it = peers_.find(peer);
+  return it == peers_.end() ? nullptr : &it->second.state;
+}
+
+bool PeerStateTable::erase(sim::NodeAddr peer) {
+  return peers_.erase(peer) > 0;
+}
+
+std::size_t PeerStateTable::sampledPeers() const {
+  std::size_t n = 0;
+  for (const auto& [addr, entry] : peers_) {
+    if (entry.state.rtt.hasSample()) ++n;
+  }
+  return n;
+}
+
+void PeerStateTable::evictIfNeeded() {
+  while (peers_.size() > config_.maxPeers) {
+    auto victim = peers_.begin();
+    for (auto it = peers_.begin(); it != peers_.end(); ++it) {
+      if (it->second.lastTouch < victim->second.lastTouch) victim = it;
+    }
+    peers_.erase(victim);
+  }
+}
+
+}  // namespace dosn::net

@@ -1,0 +1,135 @@
+// Per-destination round-trip-time estimation for the shared RPC endpoint
+// (net/rpc_endpoint.hpp), following the Jacobson/Karn algorithm with RFC 6298
+// semantics:
+//
+//  - first valid sample R:        SRTT = R, RTTVAR = R/2
+//  - subsequent valid samples:    RTTVAR = (1-beta)*RTTVAR + beta*|SRTT - R|
+//                                 SRTT   = (1-alpha)*SRTT  + alpha*R
+//    (RTTVAR updated before SRTT, exactly as the RFC orders the assignments)
+//  - timeout = SRTT + k*RTTVAR, clamped to [minTimeout, maxTimeout]
+//  - Karn's rule: a reply to a call that was retransmitted is ambiguous (it
+//    may answer any attempt) and must never update the estimate — the
+//    endpoint only feeds addSample() for calls answered on their first
+//    attempt.
+//  - exponential backoff: every consecutive timeout doubles the effective
+//    timeout (still clamped to maxTimeout); the next valid sample collapses
+//    the backoff. Because the backoff persists across calls to the same
+//    destination, a peer whose true RTT exceeds the current estimate is
+//    probed with geometrically growing timeouts until one attempt survives
+//    unretransmitted and yields a Karn-valid sample — this is how the
+//    estimator escapes the classic "RTO < RTT forever" trap.
+//
+// Before the first sample the estimator has no opinion: timeout(fallback)
+// returns the caller-provided fixed timeout (backed off and clamped), so an
+// adaptive call to an unknown peer behaves like a classic fixed-timeout call.
+//
+// PeerStateTable keys one RttEstimator plus one AdaptiveRetryPolicy per
+// destination NodeAddr, so each peer earns its own timeout and retry budget
+// instead of sharing fleet-global constants. The table is bounded: under
+// churn, peers come and go forever, so entries are evicted least-recently-
+// used once maxPeers is exceeded (eviction order is deterministic — a
+// monotonic touch counter, no clocks).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+#include "dosn/net/retry.hpp"
+#include "dosn/sim/network.hpp"
+
+namespace dosn::net {
+
+class RttEstimator {
+ public:
+  struct Config {
+    double alpha = 0.125;  // SRTT gain  (RFC 6298 value 1/8)
+    double beta = 0.25;    // RTTVAR gain (RFC 6298 value 1/4)
+    double k = 4.0;        // timeout = SRTT + k*RTTVAR
+    sim::SimTime minTimeout = 50 * sim::kMillisecond;
+    sim::SimTime maxTimeout = 10 * sim::kSecond;
+    double backoffMultiplier = 2.0;  // per consecutive timeout
+  };
+
+  RttEstimator() = default;
+  explicit RttEstimator(Config config) : config_(config) {}
+
+  /// Feeds a Karn-valid sample (call answered without retransmission) and
+  /// collapses any accumulated backoff.
+  void addSample(sim::SimTime rtt);
+
+  /// One timeout expired against this destination: backs off the timeout.
+  void onTimeout();
+
+  /// The adaptive timeout: SRTT + k*RTTVAR (or `fallback` before the first
+  /// sample), multiplied by the current backoff, clamped to [min, max].
+  sim::SimTime timeout(sim::SimTime fallback) const;
+
+  bool hasSample() const { return samples_ > 0; }
+  std::size_t samples() const { return samples_; }
+  /// Smoothed RTT / variance in microseconds (0 before the first sample).
+  double srtt() const { return srtt_; }
+  double rttvar() const { return rttvar_; }
+  std::size_t consecutiveTimeouts() const { return consecutiveTimeouts_; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  std::size_t samples_ = 0;
+  std::size_t consecutiveTimeouts_ = 0;
+};
+
+struct PeerTableConfig {
+  RttEstimator::Config rtt;
+  /// Per-destination retry budget: each peer's budget is sized from the
+  /// timeout rate observed against *that peer*, not the fleet average.
+  AdaptiveRetryPolicy::Config retry;
+  /// LRU bound on tracked destinations (churny fleets meet new peers
+  /// forever; estimator state for long-gone ones is dead weight).
+  std::size_t maxPeers = 1024;
+};
+
+class PeerStateTable {
+ public:
+  struct PeerState {
+    RttEstimator rtt;
+    AdaptiveRetryPolicy retry;
+  };
+
+  PeerStateTable() : PeerStateTable(PeerTableConfig{}) {}
+  explicit PeerStateTable(PeerTableConfig config);
+
+  /// The state for `peer`, created on first use; touches the LRU order and
+  /// may evict the least-recently-used other entry to stay within maxPeers.
+  PeerState& state(sim::NodeAddr peer);
+
+  /// Read-only lookup; nullptr if the peer is not tracked. Does not touch
+  /// the LRU order.
+  const PeerState* find(sim::NodeAddr peer) const;
+
+  /// Drops a peer's state (e.g. on authoritative churn notice).
+  bool erase(sim::NodeAddr peer);
+
+  std::size_t size() const { return peers_.size(); }
+  const PeerTableConfig& config() const { return config_; }
+
+  /// Destinations with at least one Karn-valid sample.
+  std::size_t sampledPeers() const;
+
+ private:
+  struct Entry {
+    PeerState state;
+    std::uint64_t lastTouch = 0;
+  };
+
+  void evictIfNeeded();
+
+  PeerTableConfig config_;
+  std::map<sim::NodeAddr, Entry> peers_;
+  std::uint64_t touchClock_ = 0;
+};
+
+}  // namespace dosn::net

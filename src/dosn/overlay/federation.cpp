@@ -85,6 +85,7 @@ void FederatedServer::query(
   w.str(key);
   net::CallOptions options;
   options.timeout = timeout;
+  options.adaptiveTimeout = adaptiveTimeout_;
   endpoint_.call(*home, "fed.query", w.buffer(), options,
                  [done = std::move(done)](bool ok, util::BytesView reply) {
                    if (!ok) {

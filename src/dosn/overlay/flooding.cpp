@@ -64,8 +64,12 @@ void FloodingNode::search(
     });
     return;
   }
+  net::OpenCallOptions options;
+  options.timeout = timeout;
+  options.adaptiveTimeout = adaptiveTimeout_;
+  options.peer = endpoint_.addr();  // flood-wide op, keyed by the origin
   const net::RpcId queryId = endpoint_.openCall(
-      "flood.search", timeout, {},
+      "flood.search", options, {},
       [done = std::move(done)](bool ok, util::BytesView reply) {
         if (!ok) {
           done(std::nullopt);

@@ -40,6 +40,11 @@ GossipNode::GossipNode(sim::Network& network, GossipConfig config)
       config_(config),
       endpoint_(network, "gossip.rpc"),
       running_(std::make_shared<bool>(false)) {
+  if (config_.adaptiveTimeout) {
+    net::PeerTableConfig peerConfig;
+    peerConfig.retry.base = config_.retry;
+    endpoint_.configurePeerTable(peerConfig);
+  }
   endpoint_.onRequest(
       "gossip.digest",
       [this](sim::NodeAddr from, util::BytesView body, net::RpcId rpcId) {
@@ -140,6 +145,7 @@ void GossipNode::exchangeWith(sim::NodeAddr peer) {
   net::CallOptions options;
   options.timeout = config_.rpcTimeout;
   options.retry = config_.retry;
+  options.adaptiveTimeout = config_.adaptiveTimeout;
   endpoint_.call(
       peer, "gossip.digest", encodeDigest(), options,
       // Note no running_ gate: a stopped node still applies incoming state

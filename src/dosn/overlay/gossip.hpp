@@ -30,6 +30,10 @@ struct GossipConfig {
   /// Retry budget for the digest RPC; default attempts=1 keeps the classic
   /// fire-and-forget round economics.
   RetryPolicy retry;
+  /// Per-destination adaptive timeouts for the digest RPC (net/rtt.hpp):
+  /// `rpcTimeout` becomes the pre-sample fallback and `retry` the
+  /// per-destination budget base. Off by default.
+  bool adaptiveTimeout = false;
 };
 
 class GossipNode {

@@ -95,6 +95,11 @@ KademliaNode::KademliaNode(sim::Network& network, OverlayId id,
       endpoint_(network, "kad.rpc"),
       table_(id, config.k) {
   endpoint_.setAdaptiveRetry(config_.adaptiveRetry);
+  if (config_.adaptiveTimeout) {
+    net::PeerTableConfig peerConfig;
+    peerConfig.retry.base = config_.retry;
+    endpoint_.configurePeerTable(peerConfig);
+  }
   setupRpcHandlers();
 }
 
@@ -186,6 +191,7 @@ void KademliaNode::sendRpc(
   net::CallOptions options;
   options.timeout = config_.rpcTimeout;
   options.retry = config_.retry;
+  options.adaptiveTimeout = config_.adaptiveTimeout;
   endpoint_.call(to.addr, type, body.buffer(), options,
                  [onReply = std::move(onReply)](bool ok, util::BytesView reply) {
                    if (!onReply) return;

@@ -46,6 +46,12 @@ struct KademliaConfig {
   /// node). When set it overrides `retry` and is fed every attempt outcome,
   /// sizing the budget from the fleet's observed timeout rate.
   net::AdaptiveRetryPolicy* adaptiveRetry = nullptr;
+  /// Per-destination adaptive timeouts (net/rtt.hpp): every RPC takes its
+  /// timeout from an RFC 6298 estimator and its retry budget from an
+  /// AdaptiveRetryPolicy keyed by the destination, with `rpcTimeout` as the
+  /// pre-sample fallback and `retry` as the per-destination budget base.
+  /// Off by default: the classic fixed-timeout behavior is untouched.
+  bool adaptiveTimeout = false;
 };
 
 /// LRU k-bucket routing table.

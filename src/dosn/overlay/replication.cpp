@@ -128,8 +128,16 @@ ReplicaHost::ReplicaHost(sim::Network& network)
 }
 
 ReplicaClient::ReplicaClient(sim::Network& network, RetryPolicy retry,
-                             sim::SimTime rpcTimeout)
-    : endpoint_(network, "repl.rpc"), retry_(retry), rpcTimeout_(rpcTimeout) {
+                             sim::SimTime rpcTimeout, bool adaptiveTimeout)
+    : endpoint_(network, "repl.rpc"),
+      retry_(retry),
+      rpcTimeout_(rpcTimeout),
+      adaptiveTimeout_(adaptiveTimeout) {
+  if (adaptiveTimeout_) {
+    net::PeerTableConfig peerConfig;
+    peerConfig.retry.base = retry_;
+    endpoint_.configurePeerTable(peerConfig);
+  }
   // No reply observers: a corrupted ack/value still completes the call and
   // the store/fetch adapters map the unparseable body to failure (matching
   // the historical client behavior the fault tests pin down).
@@ -143,6 +151,7 @@ void ReplicaClient::sendRpc(
   net::CallOptions options;
   options.timeout = rpcTimeout_;
   options.retry = retry_;
+  options.adaptiveTimeout = adaptiveTimeout_;
   endpoint_.call(host, type, body, options, std::move(onReply));
 }
 

@@ -81,8 +81,12 @@ class ReplicaHost {
 /// deterministic under the sim clock (no randomized jitter).
 class ReplicaClient {
  public:
+  /// `adaptiveTimeout` opts store/fetch RPCs into per-destination adaptive
+  /// timeouts and retry budgets (net/rtt.hpp); `rpcTimeout` then serves as
+  /// the pre-sample fallback and `retry` as the per-host budget base.
   explicit ReplicaClient(sim::Network& network, RetryPolicy retry = {},
-                         sim::SimTime rpcTimeout = 500 * sim::kMillisecond);
+                         sim::SimTime rpcTimeout = 500 * sim::kMillisecond,
+                         bool adaptiveTimeout = false);
 
   sim::NodeAddr addr() const { return endpoint_.addr(); }
 
@@ -108,6 +112,7 @@ class ReplicaClient {
   net::RpcEndpoint endpoint_;
   RetryPolicy retry_;
   sim::SimTime rpcTimeout_;
+  bool adaptiveTimeout_;
 };
 
 /// Samples availability of all items at fixed intervals; reports the mean.

@@ -124,8 +124,12 @@ void LeafPeer::search(const OverlayId& key, sim::SimTime timeout,
     });
     return;
   }
+  net::OpenCallOptions options;
+  options.timeout = timeout;
+  options.adaptiveTimeout = adaptiveTimeout_;
+  options.peer = superPeer_;  // whole-chain time, keyed by the first hop
   const net::RpcId queryId = endpoint_.openCall(
-      "sp.search", timeout, util::Bytes(key.bytes.begin(), key.bytes.end()),
+      "sp.search", options, util::Bytes(key.bytes.begin(), key.bytes.end()),
       [done = std::move(done)](bool ok, util::BytesView reply) {
         if (!ok) {
           done(std::nullopt);

@@ -59,6 +59,15 @@ std::uint64_t Metrics::counter(const std::string& name) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
+void Metrics::gauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+double Metrics::gaugeValue(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? kNaN : it->second;
+}
+
 Histogram& Metrics::histogram(const std::string& name) {
   return histograms_[name];
 }
@@ -72,6 +81,22 @@ std::vector<std::pair<std::string, std::uint64_t>> Metrics::countersWithPrefix(
     out.emplace_back(it->first, it->second);
   }
   return out;
+}
+
+void printRpcObservability(const Metrics& metrics, std::FILE* out) {
+  std::fprintf(out, "%-24s %10s\n", "counter", "value");
+  for (const auto& [name, value] : metrics.countersWithPrefix("rpc.")) {
+    std::fprintf(out, "%-24s %10llu\n", name.c_str(),
+                 static_cast<unsigned long long>(value));
+  }
+  std::fprintf(out, "\n%-24s %8s %8s %8s %8s\n", "rtt histogram", "count",
+               "mean", "p50", "p99");
+  for (const auto& [name, hist] : metrics.histograms()) {
+    if (name.rfind("rpc.", 0) != 0) continue;
+    std::fprintf(out, "%-24s %8zu %7.1fms %6.1fms %6.1fms\n", name.c_str(),
+                 hist.count(), hist.mean(), hist.percentile(50),
+                 hist.percentile(99));
+  }
 }
 
 }  // namespace dosn::sim

@@ -1,8 +1,9 @@
-// Lightweight metrics for experiments: counters and value histograms with
-// percentile queries.
+// Lightweight metrics for experiments: counters, last-value gauges and value
+// histograms with percentile queries.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <string>
 #include <utility>
@@ -35,6 +36,12 @@ class Metrics {
   void increment(const std::string& name, std::uint64_t by = 1);
   std::uint64_t counter(const std::string& name) const;
 
+  /// Sets a last-value gauge (e.g. the current SRTT of an RTT estimator).
+  void gauge(const std::string& name, double value);
+  /// The gauge's last value, or quiet NaN if it was never set.
+  double gaugeValue(const std::string& name) const;
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+
   Histogram& histogram(const std::string& name);
   const std::map<std::string, Histogram>& histograms() const {
     return histograms_;
@@ -50,7 +57,14 @@ class Metrics {
 
  private:
   std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
   std::map<std::string, Histogram> histograms_;
 };
+
+/// Dumps the shared RPC endpoint's uniform observability surface — every
+/// `rpc.*` counter plus every `rpc.*` histogram (count/mean/p50/p99) — in
+/// the fixed format bench_faults F1b established, so the benches that adopt
+/// it print comparable trajectories.
+void printRpcObservability(const Metrics& metrics, std::FILE* out = stdout);
 
 }  // namespace dosn::sim

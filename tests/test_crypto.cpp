@@ -40,6 +40,15 @@ TEST(Sha256, TwoBlockMessage) {
       "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
 }
 
+TEST(Sha256, FourBlockMessage) {
+  // The 896-bit NIST message (FIPS 180-4 §A / SHA-2 test corpus).
+  EXPECT_EQ(
+      hexDigest(sha256(toBytes(
+          "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+          "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"))),
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
 TEST(Sha256, MillionAs) {
   Sha256 h;
   const Bytes chunk(1000, 'a');
@@ -97,12 +106,31 @@ TEST(Hmac, Rfc4231Case3) {
             "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
 }
 
+TEST(Hmac, Rfc4231Case4CombinedKeyAndData) {
+  Bytes key;
+  for (std::uint8_t b = 0x01; b <= 0x19; ++b) key.push_back(b);
+  const Bytes msg(50, 0xcd);
+  EXPECT_EQ(hexDigest(hmacSha256(key, msg)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
 TEST(Hmac, Rfc4231Case6LongKey) {
   const Bytes key(131, 0xaa);
   EXPECT_EQ(
       hexDigest(hmacSha256(
           key, toBytes("Test Using Larger Than Block-Size Key - Hash Key First"))),
       "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, Rfc4231Case7LongKeyLongData) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      hexDigest(hmacSha256(
+          key,
+          toBytes("This is a test using a larger than block-size key and a "
+                  "larger than block-size data. The key needs to be hashed "
+                  "before being used by the HMAC algorithm."))),
+      "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
 }
 
 TEST(Hmac, VerifyDetectsTamper) {
@@ -126,6 +154,20 @@ TEST(Hkdf, Rfc5869Case1) {
   EXPECT_EQ(toHex(okm),
             "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
             "34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869Case2LongInputs) {
+  // 80-byte IKM/salt/info and an output spanning three expand blocks — the
+  // only published vector exercising the T(n-1) chaining across rounds.
+  Bytes ikm, salt, info;
+  for (int b = 0x00; b <= 0x4f; ++b) ikm.push_back(static_cast<std::uint8_t>(b));
+  for (int b = 0x60; b <= 0xaf; ++b) salt.push_back(static_cast<std::uint8_t>(b));
+  for (int b = 0xb0; b <= 0xff; ++b) info.push_back(static_cast<std::uint8_t>(b));
+  const Bytes okm = hkdf(ikm, salt, info, 82);
+  EXPECT_EQ(toHex(okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c"
+            "59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71"
+            "cc30c58179ec3e87c14c01d5c1f3434f1d87");
 }
 
 TEST(Hkdf, Rfc5869Case3NoSaltNoInfo) {
@@ -164,6 +206,15 @@ TEST(ChaCha20, Rfc8439Encryption) {
   EXPECT_EQ(chacha20Xor(key, nonce, 1, ct), toBytes(plaintext));
 }
 
+TEST(ChaCha20, Rfc8439AppendixA1KeystreamBlock) {
+  // Appendix A.1 test vector #1: all-zero key, nonce and counter. XORing
+  // zeros exposes the raw first keystream block.
+  const Bytes zeros(64, 0x00);
+  EXPECT_EQ(toHex(chacha20Xor(Bytes(32, 0), Bytes(12, 0), 0, zeros)),
+            "76b8e0ada0f13d90405d6ae55386bd28bdd219b8a08ded1aa836efcc8b770dc7"
+            "da41597c5157488d7724e03fb8d84a376a43b8f41518a11cc387b669b2ee6586");
+}
+
 TEST(ChaCha20, RejectsBadKeyNonce) {
   EXPECT_THROW(chacha20Xor(Bytes(31, 0), Bytes(12, 0), 0, {}),
                util::CryptoError);
@@ -179,6 +230,21 @@ TEST(Poly1305, Rfc8439Vector) {
   const PolyTag tag =
       poly1305(key, toBytes("Cryptographic Forum Research Group"));
   EXPECT_EQ(toHex(util::BytesView(tag)), "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(Poly1305, Rfc8439AppendixA3DegenerateKeys) {
+  // Vector #1: r = s = 0 forces a zero tag for any message.
+  const PolyTag zeroTag = poly1305(Bytes(32, 0), Bytes(64, 0));
+  EXPECT_EQ(toHex(util::BytesView(zeroTag)), "00000000000000000000000000000000");
+  // Vector #2: r = 0 makes the polynomial vanish, so the tag is exactly s —
+  // for the RFC's 375-byte message or any other.
+  Bytes key(16, 0x00);
+  const Bytes s = *fromHex("36e5f6b5c5e06070f0efca96227a863e");
+  key.insert(key.end(), s.begin(), s.end());
+  const PolyTag tag =
+      poly1305(key, toBytes("Any submission to the IETF intended by the "
+                            "Contributor for publication"));
+  EXPECT_EQ(toHex(util::BytesView(tag)), toHex(s));
 }
 
 // --- AEAD (RFC 8439 §2.8.2) ---

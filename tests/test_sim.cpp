@@ -377,5 +377,54 @@ TEST(Metrics, SingleElementHistogram) {
   EXPECT_DOUBLE_EQ(h.percentile(100), 7.5);
 }
 
+TEST(Metrics, TwoSamplePercentileInterpolatesLinearly) {
+  Histogram h;
+  h.record(20.0);
+  h.record(10.0);  // out of order: percentile sorts first
+  EXPECT_DOUBLE_EQ(h.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(25), 12.5);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 15.0);
+  EXPECT_DOUBLE_EQ(h.percentile(75), 17.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 20.0);
+  // Recording after a percentile query re-sorts before the next query.
+  h.record(0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 10.0);
+}
+
+TEST(Metrics, GaugesKeepLastValueAndNaNWhenUnset) {
+  Metrics m;
+  EXPECT_TRUE(std::isnan(m.gaugeValue("rtt.srtt")));
+  m.gauge("rtt.srtt", 42.0);
+  EXPECT_DOUBLE_EQ(m.gaugeValue("rtt.srtt"), 42.0);
+  m.gauge("rtt.srtt", 17.5);  // last value wins, no accumulation
+  EXPECT_DOUBLE_EQ(m.gaugeValue("rtt.srtt"), 17.5);
+  EXPECT_EQ(m.gauges().size(), 1u);
+}
+
+TEST(Metrics, CountersWithPrefixHandlesOverlappingPrefixes) {
+  // The endpoint's counter families nest ("rpc." contains "rpc.rtt."): the
+  // prefix scan must honor full-prefix matches only, in name order.
+  Metrics m;
+  m.increment("rpc.req.sent", 3);
+  m.increment("rpc.rtt.req.samples", 2);
+  m.increment("rpcx.other");   // shares the characters but not the prefix
+  m.increment("gossip.sent");
+
+  const auto all = m.countersWithPrefix("rpc.");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].first, "rpc.req.sent");
+  EXPECT_EQ(all[0].second, 3u);
+  EXPECT_EQ(all[1].first, "rpc.rtt.req.samples");
+
+  const auto rtt = m.countersWithPrefix("rpc.rtt.");
+  ASSERT_EQ(rtt.size(), 1u);
+  EXPECT_EQ(rtt[0].first, "rpc.rtt.req.samples");
+
+  // The empty prefix matches everything; a non-existent one, nothing.
+  EXPECT_EQ(m.countersWithPrefix("").size(), 4u);
+  EXPECT_TRUE(m.countersWithPrefix("zzz.").empty());
+}
+
 }  // namespace
 }  // namespace dosn::sim
