@@ -1,0 +1,176 @@
+// Experiment B1: bignum microbenchmark — the Montgomery/CIOS fast path vs
+// the retained reference implementations, at the same fixed seed and with
+// output equality asserted on every pair (a benchmark that silently computes
+// different numbers measures nothing).
+//
+//   mulMod           (a*b) % m division path   vs MontgomeryContext::mulMod
+//   powMod 2048-bit  powModSimple              vs Montgomery powMod
+//   RSA-2048 sign    plain x^d mod n           vs CRT (dP/dQ/qInv)
+//   ElGamal-style    g^x via powModSimple      vs cached FixedBasePowerTable
+//
+// `--smoke` runs one iteration of every pair with small sizes and asserts
+// equality only — fast enough for CI (including sanitizer jobs), no timing
+// thresholds that could flake.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dosn/bignum/modmath.hpp"
+#include "dosn/bignum/montgomery.hpp"
+#include "dosn/pkcrypto/group.hpp"
+#include "dosn/pkcrypto/rsa.hpp"
+#include "dosn/util/rng.hpp"
+
+using namespace dosn;
+using bignum::BigUint;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+bool gAllEqual = true;
+
+void check(const BigUint& oldResult, const BigUint& newResult,
+           const char* what) {
+  if (oldResult != newResult) {
+    gAllEqual = false;
+    std::printf("MISMATCH in %s: old=%s new=%s\n", what,
+                oldResult.toHex().c_str(), newResult.toHex().c_str());
+  }
+}
+
+void report(const char* name, double oldMs, double newMs, std::size_t iters) {
+  std::printf("  %-22s %10.3f %10.3f %8.2fx   (%zu iters)\n", name,
+              oldMs / static_cast<double>(iters),
+              newMs / static_cast<double>(iters), oldMs / newMs, iters);
+}
+
+BigUint oddModulus(std::size_t bits, util::Rng& rng) {
+  BigUint m = bignum::randomBits(bits, rng);
+  if (m.isEven()) m += BigUint(1);
+  return m;
+}
+
+// Chained mulMod: each product feeds the next so the work can't be hoisted.
+void benchMulMod(std::size_t bits, std::size_t iters) {
+  util::Rng rng(1001);
+  const BigUint m = oddModulus(bits, rng);
+  const BigUint b = bignum::randomBits(bits - 1, rng);
+  const bignum::MontgomeryContext ctx(m);
+
+  BigUint accOld = bignum::randomBits(bits - 1, rng);
+  BigUint accNew = accOld;
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) accOld = bignum::mulMod(accOld, b, m);
+  const double oldMs = msSince(t0);
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) accNew = ctx.mulMod(accNew, b);
+  const double newMs = msSince(t0);
+  check(accOld, accNew, "mulMod");
+  std::string name = "mulMod " + std::to_string(bits) + "-bit";
+  report(name.c_str(), oldMs, newMs, iters);
+}
+
+void benchPowMod(std::size_t bits, std::size_t iters) {
+  util::Rng rng(1002);
+  const BigUint m = oddModulus(bits, rng);
+  const BigUint base = bignum::randomBits(bits - 1, rng);
+  const BigUint e = bignum::randomBits(bits - 1, rng);
+
+  BigUint oldResult, newResult;
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    oldResult = bignum::powModSimple(base, e, m);
+  }
+  const double oldMs = msSince(t0);
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    newResult = bignum::powMod(base, e, m);  // dispatches to Montgomery
+  }
+  const double newMs = msSince(t0);
+  check(oldResult, newResult, "powMod");
+  std::string name = "powMod " + std::to_string(bits) + "-bit";
+  report(name.c_str(), oldMs, newMs, iters);
+}
+
+void benchRsaSign(std::size_t bits, std::size_t iters) {
+  util::Rng rng(1003);
+  const auto key = pkcrypto::rsaGenerate(bits, rng);
+  const auto plain = key.withoutCrt();
+  const auto msg = util::toBytes("B1 signing benchmark message");
+
+  util::Bytes oldSig, newSig;
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) oldSig = pkcrypto::rsaSign(plain, msg);
+  const double oldMs = msSince(t0);
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) newSig = pkcrypto::rsaSign(key, msg);
+  const double newMs = msSince(t0);
+  if (oldSig != newSig) {
+    gAllEqual = false;
+    std::printf("MISMATCH in rsaSign\n");
+  }
+  std::string name = "RSA-" + std::to_string(bits) + " sign";
+  report(name.c_str(), oldMs, newMs, iters);
+}
+
+// ElGamal-style encryption is two fixed-base exponentiations (g^r, h^r); the
+// representative kernel is g^x on the cached group generator.
+void benchFixedBase(std::size_t bits, std::size_t iters) {
+  const auto& group = pkcrypto::DlogGroup::cached(bits);
+  util::Rng rng(1004);
+  std::vector<BigUint> exps;
+  exps.reserve(iters);
+  for (std::size_t i = 0; i < iters; ++i) exps.push_back(group.randomScalar(rng));
+
+  BigUint oldResult, newResult;
+  auto t0 = std::chrono::steady_clock::now();
+  for (const BigUint& e : exps) {
+    oldResult = bignum::powModSimple(group.g(), e, group.p());
+  }
+  const double oldMs = msSince(t0);
+  (void)group.exp(exps[0]);  // pay the table build outside the timed region
+  t0 = std::chrono::steady_clock::now();
+  for (const BigUint& e : exps) newResult = group.exp(e);
+  const double newMs = msSince(t0);
+  check(oldResult, newResult, "fixed-base exp");
+  std::string name = "g^x " + std::to_string(bits) + "-bit (ElGamal)";
+  report(name.c_str(), oldMs, newMs, iters);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  if (smoke) {
+    // Correctness-only pass at CI-friendly sizes (also run under ASan/UBSan).
+    benchMulMod(512, 64);
+    benchPowMod(512, 1);
+    benchRsaSign(512, 1);
+    benchFixedBase(512, 4);
+    std::printf(smoke && gAllEqual ? "smoke: all outputs equal\n"
+                                   : "smoke: FAILED\n");
+    return gAllEqual ? 0 : 1;
+  }
+
+  std::printf("B1: bignum microbench (old vs new, fixed seeds)\n");
+  std::printf("  %-22s %10s %10s %9s\n", "kernel", "old ms/op", "new ms/op",
+              "speedup");
+  benchMulMod(2048, 20000);
+  benchPowMod(1024, 12);
+  benchPowMod(2048, 4);
+  benchRsaSign(1024, 12);
+  benchRsaSign(2048, 4);
+  benchFixedBase(2048, 24);
+  if (!gAllEqual) {
+    std::printf("FAILED: differential mismatch\n");
+    return 1;
+  }
+  return 0;
+}

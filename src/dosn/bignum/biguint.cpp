@@ -65,6 +65,28 @@ BigUint BigUint::fromBytes(util::BytesView data) {
   return out;
 }
 
+BigUint BigUint::fromWords64(const std::vector<std::uint64_t>& words) {
+  BigUint out;
+  out.limbs_.reserve(words.size() * 2);
+  for (const std::uint64_t w : words) {
+    out.limbs_.push_back(static_cast<std::uint32_t>(w));
+    out.limbs_.push_back(static_cast<std::uint32_t>(w >> 32));
+  }
+  out.trim();
+  return out;
+}
+
+std::vector<std::uint64_t> BigUint::words64(std::size_t count) const {
+  if (limbs_.size() > count * 2) {
+    throw util::DosnError("BigUint::words64: value too wide");
+  }
+  std::vector<std::uint64_t> out(count, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out[i / 2] |= static_cast<std::uint64_t>(limbs_[i]) << ((i % 2) * 32);
+  }
+  return out;
+}
+
 std::size_t BigUint::bitLength() const {
   if (limbs_.empty()) return 0;
   std::size_t bits = (limbs_.size() - 1) * 32;

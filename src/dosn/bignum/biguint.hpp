@@ -32,6 +32,9 @@ class BigUint {
   static std::optional<BigUint> fromDecimal(std::string_view dec);
   /// Big-endian byte import (leading zeros fine).
   static BigUint fromBytes(util::BytesView data);
+  /// Little-endian 64-bit word import (trailing zeros fine). The inverse of
+  /// words64 — the bridge to the Montgomery engine's limb format.
+  static BigUint fromWords64(const std::vector<std::uint64_t>& words);
 
   bool isZero() const { return limbs_.empty(); }
   bool isOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
@@ -79,6 +82,10 @@ class BigUint {
   BigUint& operator*=(const BigUint& o) { return *this = *this * o; }
 
   const std::vector<std::uint32_t>& limbs() const { return limbs_; }
+
+  /// Little-endian 64-bit words, zero-padded to exactly `count`; throws if
+  /// the value needs more than `count` words.
+  std::vector<std::uint64_t> words64(std::size_t count) const;
 
  private:
   void trim();

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "dosn/bignum/montgomery.hpp"
 #include "dosn/util/error.hpp"
 
 namespace dosn::bignum {
@@ -22,6 +23,14 @@ BigUint mulMod(const BigUint& a, const BigUint& b, const BigUint& m) {
 }
 
 BigUint powMod(const BigUint& base, const BigUint& exponent, const BigUint& m) {
+  if (m.isZero()) throw util::DosnError("powMod: zero modulus");
+  if (m == BigUint(1)) return BigUint{};
+  if (m.isOdd()) return MontgomeryContext(m).powMod(base, exponent);
+  return powModSimple(base, exponent, m);
+}
+
+BigUint powModSimple(const BigUint& base, const BigUint& exponent,
+                     const BigUint& m) {
   if (m.isZero()) throw util::DosnError("powMod: zero modulus");
   if (m == BigUint(1)) return BigUint{};
   const std::size_t bits = exponent.bitLength();

@@ -1,0 +1,185 @@
+#include "dosn/bignum/montgomery.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "dosn/util/error.hpp"
+
+namespace dosn::bignum {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+// n0^{-1} mod 2^64 by Newton iteration: x = n0 is correct mod 2^3 for odd
+// n0, and each step doubles the number of valid low bits.
+std::uint64_t invertWord(std::uint64_t n0) {
+  std::uint64_t x = n0;
+  for (int i = 0; i < 6; ++i) x *= 2 - n0 * x;
+  return x;
+}
+
+}  // namespace
+
+MontgomeryContext::MontgomeryContext(const BigUint& modulus)
+    : modulus_(modulus) {
+  if (modulus_.isEven() || modulus_ <= BigUint(1)) {
+    throw util::DosnError("MontgomeryContext: modulus must be odd and > 1");
+  }
+  const std::size_t k = (modulus_.bitLength() + 63) / 64;
+  n_ = modulus_.words64(k);
+  nInv_ = ~invertWord(n_[0]) + 1;  // -n^{-1} mod 2^64
+  // R^2 mod n with R = 2^(64k), via one BigUint division at setup; every
+  // later reduction is division-free.
+  rr_ = ((BigUint(1) << (2 * 64 * k)) % modulus_).words64(k);
+  Limbs unit(k, 0);
+  unit[0] = 1;
+  one_ = montMul(unit, rr_);
+}
+
+MontgomeryContext::Limbs MontgomeryContext::montMul(const Limbs& a,
+                                                    const Limbs& b) const {
+  // CIOS: interleaves the schoolbook multiply with the Montgomery reduction
+  // one word at a time. Invariant (Koç et al.): t stays below 2n shifted, so
+  // t[k+1] is at most 1 and a single conditional subtraction finishes.
+  const std::size_t k = n_.size();
+  Limbs t(k + 2, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint64_t ai = a[i];
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const u128 cur = static_cast<u128>(ai) * b[j] + t[j] + carry;
+      t[j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    const u128 top = static_cast<u128>(t[k]) + carry;
+    t[k] = static_cast<std::uint64_t>(top);
+    t[k + 1] = static_cast<std::uint64_t>(top >> 64);
+
+    const std::uint64_t m = t[0] * nInv_;
+    // t[0] + m*n[0] is 0 mod 2^64 by choice of m; keep only its carry.
+    carry =
+        static_cast<std::uint64_t>((static_cast<u128>(m) * n_[0] + t[0]) >> 64);
+    for (std::size_t j = 1; j < k; ++j) {
+      const u128 cur = static_cast<u128>(m) * n_[j] + t[j] + carry;
+      t[j - 1] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    const u128 tail = static_cast<u128>(t[k]) + carry;
+    t[k - 1] = static_cast<std::uint64_t>(tail);
+    t[k] = t[k + 1] + static_cast<std::uint64_t>(tail >> 64);
+  }
+
+  // Result is t[0..k] in [0, 2n); subtract n once if needed so the
+  // representation stays canonical (< n).
+  bool subtract = t[k] != 0;
+  if (!subtract) {
+    subtract = true;  // t == n also subtracts, down to zero
+    for (std::size_t j = k; j-- > 0;) {
+      if (t[j] != n_[j]) {
+        subtract = t[j] > n_[j];
+        break;
+      }
+    }
+  }
+  Limbs out(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k));
+  if (subtract) {
+    std::uint64_t borrow = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::uint64_t d1 = out[j] - n_[j];
+      const std::uint64_t b1 = out[j] < n_[j];
+      const std::uint64_t d2 = d1 - borrow;
+      const std::uint64_t b2 = d1 < borrow;
+      out[j] = d2;
+      borrow = b1 | b2;
+    }
+  }
+  return out;
+}
+
+MontgomeryContext::Limbs MontgomeryContext::toMont(const BigUint& x) const {
+  const BigUint reduced = x >= modulus_ ? x % modulus_ : x;
+  return montMul(reduced.words64(n_.size()), rr_);
+}
+
+BigUint MontgomeryContext::fromMont(const Limbs& x) const {
+  Limbs unit(n_.size(), 0);
+  unit[0] = 1;
+  return BigUint::fromWords64(montMul(x, unit));
+}
+
+MontgomeryContext::Limbs MontgomeryContext::powMont(
+    const Limbs& baseMont, const BigUint& exponent) const {
+  const std::size_t bits = exponent.bitLength();
+  if (bits == 0) return one_;
+
+  // base^0..base^15, all in the Montgomery domain, for a 4-bit window.
+  std::array<Limbs, 16> table;
+  table[0] = one_;
+  table[1] = baseMont;
+  for (std::size_t i = 2; i < table.size(); ++i) {
+    table[i] = montMul(table[i - 1], baseMont);
+  }
+
+  Limbs result = one_;
+  const std::size_t windows = (bits + 3) / 4;
+  for (std::size_t w = windows; w-- > 0;) {
+    if (w + 1 != windows) {
+      for (int i = 0; i < 4; ++i) result = montMul(result, result);
+    }
+    std::uint32_t window = 0;
+    for (int i = 3; i >= 0; --i) {
+      window = (window << 1) |
+               static_cast<std::uint32_t>(
+                   exponent.bit(w * 4 + static_cast<std::size_t>(i)));
+    }
+    if (window != 0) result = montMul(result, table[window]);
+  }
+  return result;
+}
+
+BigUint MontgomeryContext::powMod(const BigUint& base,
+                                  const BigUint& exponent) const {
+  return fromMont(powMont(toMont(base), exponent));
+}
+
+BigUint MontgomeryContext::mulMod(const BigUint& a, const BigUint& b) const {
+  return fromMont(montMul(toMont(a), toMont(b)));
+}
+
+FixedBasePowerTable::FixedBasePowerTable(const BigUint& base,
+                                         const BigUint& modulus,
+                                         std::size_t maxExponentBits)
+    : ctx_(modulus),
+      base_(base % modulus),
+      windows_((std::max<std::size_t>(maxExponentBits, 1) + 3) / 4) {
+  table_.reserve(windows_ * 15);
+  MontgomeryContext::Limbs cur = ctx_.toMont(base_);
+  for (std::size_t i = 0; i < windows_; ++i) {
+    MontgomeryContext::Limbs power = cur;
+    for (std::size_t j = 1; j <= 15; ++j) {
+      table_.push_back(power);
+      power = ctx_.montMul(power, cur);
+    }
+    cur = std::move(power);  // cur^16: the next window's unit step
+  }
+}
+
+BigUint FixedBasePowerTable::pow(const BigUint& exponent) const {
+  const std::size_t bits = exponent.bitLength();
+  if (bits > windows_ * 4) return ctx_.powMod(base_, exponent);
+  MontgomeryContext::Limbs acc = ctx_.one();
+  const std::size_t windows = (bits + 3) / 4;
+  for (std::size_t w = 0; w < windows; ++w) {
+    std::uint32_t digit = 0;
+    for (int i = 3; i >= 0; --i) {
+      digit = (digit << 1) |
+              static_cast<std::uint32_t>(
+                  exponent.bit(w * 4 + static_cast<std::size_t>(i)));
+    }
+    if (digit != 0) acc = ctx_.montMul(acc, table_[w * 15 + digit - 1]);
+  }
+  return ctx_.fromMont(acc);
+}
+
+}  // namespace dosn::bignum

@@ -1,0 +1,94 @@
+// Montgomery-form modular arithmetic over 64-bit limbs — the fast path under
+// every modular exponentiation in the repository (RSA, ElGamal, Schnorr, DH,
+// OPRF, Shamir fields, Miller-Rabin).
+//
+// The classic BigUint path reduces with a full Knuth Algorithm D division
+// after every schoolbook multiply. MontgomeryContext instead keeps operands
+// in the Montgomery domain (x' = x * R mod n with R = 2^(64*k)) where a
+// multiply-and-reduce is one CIOS (coarsely integrated operand scanning)
+// pass: k rounds of 64x64->128 multiply-accumulate, no division anywhere.
+// See Koç, Acar & Kaliski, "Analyzing and Comparing Montgomery Multiplication
+// Algorithms" (1996) for the algorithm family; this is the CIOS variant.
+//
+// Requirements: the modulus must be odd (R = 2^(64k) and n must be coprime).
+// bignum::powMod dispatches here automatically for odd moduli and keeps the
+// historical square-and-multiply (powModSimple) for even ones — and for
+// differential testing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dosn/bignum/biguint.hpp"
+
+namespace dosn::bignum {
+
+class MontgomeryContext {
+ public:
+  /// A value in the Montgomery domain: little-endian 64-bit limbs, always
+  /// exactly words() long and fully reduced (< n), so limb-wise equality is
+  /// value equality.
+  using Limbs = std::vector<std::uint64_t>;
+
+  /// Throws DosnError unless `modulus` is odd and > 1.
+  explicit MontgomeryContext(const BigUint& modulus);
+
+  const BigUint& modulus() const { return modulus_; }
+  std::size_t words() const { return n_.size(); }
+
+  /// x * R mod n (x is reduced mod n first, so any x is accepted).
+  Limbs toMont(const BigUint& x) const;
+  /// The Montgomery representation of 1 (R mod n).
+  const Limbs& one() const { return one_; }
+  BigUint fromMont(const Limbs& x) const;
+
+  /// CIOS multiply-reduce: a * b * R^{-1} mod n for Montgomery-domain a, b.
+  Limbs montMul(const Limbs& a, const Limbs& b) const;
+
+  /// base^exponent mod n via a 4-bit window entirely in the Montgomery
+  /// domain; equals powModSimple(base, exponent, modulus()).
+  BigUint powMod(const BigUint& base, const BigUint& exponent) const;
+  /// As powMod but in-domain at both ends: baseMont is Montgomery-form and so
+  /// is the result (Miller-Rabin keeps squaring the result afterwards).
+  Limbs powMont(const Limbs& baseMont, const BigUint& exponent) const;
+
+  /// (a * b) mod n through the Montgomery domain; equals mulMod(a, b, n).
+  BigUint mulMod(const BigUint& a, const BigUint& b) const;
+
+ private:
+  BigUint modulus_;
+  Limbs n_;                  // modulus, 64-bit limbs
+  Limbs rr_;                 // R^2 mod n (Montgomery form of R)
+  Limbs one_;                // R mod n (Montgomery form of 1)
+  std::uint64_t nInv_ = 0;   // -n^{-1} mod 2^64
+};
+
+/// Precomputed window table for a fixed base g and odd modulus p: pow(e)
+/// computes g^e mod p with ~bits/4 Montgomery multiplies and *no squarings*,
+/// by storing g^(j * 16^i) for every 4-bit window i and digit j. Repeated
+/// g^x with the same (g, p) — DH handshakes, ElGamal encryptions, Schnorr
+/// commitments, OPRF blinding — amortizes the table across calls (see
+/// pkcrypto::fixedBasePowerTable for the per-(g, p) cache).
+class FixedBasePowerTable {
+ public:
+  /// Covers exponents up to maxExponentBits bits; wider exponents fall back
+  /// to the generic Montgomery powMod.
+  FixedBasePowerTable(const BigUint& base, const BigUint& modulus,
+                      std::size_t maxExponentBits);
+
+  const BigUint& base() const { return base_; }
+  const BigUint& modulus() const { return ctx_.modulus(); }
+  std::size_t maxExponentBits() const { return windows_ * 4; }
+
+  /// base^exponent mod modulus.
+  BigUint pow(const BigUint& exponent) const;
+
+ private:
+  MontgomeryContext ctx_;
+  BigUint base_;
+  std::size_t windows_;
+  // table_[i * 15 + (j - 1)] = Mont(base^(j * 16^i)), j in [1, 15].
+  std::vector<MontgomeryContext::Limbs> table_;
+};
+
+}  // namespace dosn::bignum

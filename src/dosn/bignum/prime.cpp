@@ -3,6 +3,7 @@
 #include <array>
 
 #include "dosn/bignum/modmath.hpp"
+#include "dosn/bignum/montgomery.hpp"
 #include "dosn/util/error.hpp"
 
 namespace dosn::bignum {
@@ -15,14 +16,18 @@ constexpr std::array<std::uint32_t, 54> kSmallPrimes = {
     109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
     191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
 
-bool millerRabinRound(const BigUint& n, const BigUint& d, std::size_t r,
-                      const BigUint& base) {
-  BigUint x = powMod(base, d, n);
-  const BigUint nMinus1 = n - BigUint(1);
-  if (x == BigUint(1) || x == nMinus1) return true;
+// One witness round, entirely in the Montgomery domain: the exponentiation
+// and every follow-up squaring are CIOS multiplies, and since Montgomery
+// representatives are canonical (< n), the ±1 comparisons are plain
+// limb-vector equality against precomputed Mont(1) / Mont(n-1).
+bool millerRabinRound(const MontgomeryContext& ctx, const BigUint& d,
+                      std::size_t r, const BigUint& base,
+                      const MontgomeryContext::Limbs& montNMinus1) {
+  MontgomeryContext::Limbs x = ctx.powMont(ctx.toMont(base), d);
+  if (x == ctx.one() || x == montNMinus1) return true;
   for (std::size_t i = 1; i < r; ++i) {
-    x = mulMod(x, x, n);
-    if (x == nMinus1) return true;
+    x = ctx.montMul(x, x);
+    if (x == montNMinus1) return true;
   }
   return false;
 }
@@ -36,6 +41,7 @@ bool isProbablePrime(const BigUint& n, util::Rng& rng, int rounds) {
     if (n == bp) return true;
     if ((n % bp).isZero()) return false;
   }
+  // n survived trial division by 2, so it is odd — Montgomery applies.
   // Write n-1 = d * 2^r with d odd.
   const BigUint nMinus1 = n - BigUint(1);
   BigUint d = nMinus1;
@@ -44,9 +50,11 @@ bool isProbablePrime(const BigUint& n, util::Rng& rng, int rounds) {
     d = d >> 1;
     ++r;
   }
+  const MontgomeryContext ctx(n);
+  const MontgomeryContext::Limbs montNMinus1 = ctx.toMont(nMinus1);
   for (int i = 0; i < rounds; ++i) {
     const BigUint base = randomUnit(n, rng);
-    if (!millerRabinRound(n, d, r, base)) return false;
+    if (!millerRabinRound(ctx, d, r, base, montNMinus1)) return false;
   }
   return true;
 }

@@ -1,8 +1,12 @@
 // Retry policies for the shared RPC endpoint layer (net/rpc_endpoint.hpp).
 //
-// RetryPolicy: fixed retry-with-exponential-backoff. Delays are closed-form
-// functions of the attempt number — no randomized jitter — so retried runs
-// stay bit-reproducible under the simulator's virtual clock.
+// RetryPolicy: fixed retry-with-exponential-backoff. With jitterFraction = 0
+// (the default) delays are closed-form functions of the attempt number, so
+// retried runs stay bit-reproducible under the simulator's virtual clock.
+// A nonzero jitterFraction scales each delay by a uniform factor drawn from
+// the simulation rng — still deterministic per seed, but retransmissions of
+// calls that timed out together decorrelate instead of re-colliding in
+// synchronized retry storms.
 //
 // AdaptiveRetryPolicy: sizes the retry budget from the observed per-attempt
 // timeout rate (an EWMA over attempt outcomes the endpoint feeds it), picking
@@ -13,6 +17,7 @@
 #include <cstddef>
 
 #include "dosn/sim/simulator.hpp"
+#include "dosn/util/rng.hpp"
 
 namespace dosn::net {
 
@@ -25,6 +30,10 @@ struct RetryPolicy {
   /// Upper clamp on any single backoff delay. Keeps pathological attempt
   /// counts (or multipliers) from overflowing SimTime in the cast below.
   sim::SimTime maxBackoff = 60 * sim::kSecond;
+  /// Fraction f in [0, 1): each backoff is scaled by a uniform factor in
+  /// [1-f, 1+f] drawn from the rng passed to backoff(). 0 (the default)
+  /// draws nothing, so existing fixed-seed runs stay byte-identical.
+  double jitterFraction = 0.0;
 
   /// Backoff to wait after attempt `attempt` (1-based) times out.
   sim::SimTime backoff(std::size_t attempt) const {
@@ -34,6 +43,20 @@ struct RetryPolicy {
     // The negated comparison also catches NaN (e.g. 0 * inf) and +inf.
     if (!(delay < static_cast<double>(maxBackoff))) return maxBackoff;
     return static_cast<sim::SimTime>(delay);
+  }
+
+  /// As backoff(attempt), jittered. Consumes exactly one rng draw when
+  /// jitterFraction > 0 and none otherwise — the zero-jitter path must not
+  /// perturb the deterministic draw sequence of existing experiments.
+  sim::SimTime backoff(std::size_t attempt, util::Rng& rng) const {
+    const sim::SimTime flat = backoff(attempt);
+    if (jitterFraction <= 0.0) return flat;
+    const double scale =
+        1.0 + jitterFraction * (2.0 * rng.uniformReal() - 1.0);
+    const double jittered = static_cast<double>(flat) * scale;
+    if (!(jittered < static_cast<double>(maxBackoff))) return maxBackoff;
+    if (jittered <= 0.0) return 0;
+    return static_cast<sim::SimTime>(jittered);
   }
 };
 

@@ -16,6 +16,13 @@ RpcEndpoint::RpcEndpoint(sim::Network& network, std::string statsPrefix)
   network_.setHandler(addr_, [this](sim::NodeAddr from, const sim::Message& msg) {
     handleMessage(from, msg);
   });
+  // Authoritative churn notice: a departed peer's RTT estimate and retry
+  // budget describe a node that no longer exists — evict rather than let a
+  // rejoining peer (or LRU pressure) inherit stale state.
+  statusToken_ = network_.addStatusObserver(
+      [this](sim::NodeAddr node, bool online) {
+        if (!online && node != addr_) peers_.erase(node);
+      });
 }
 
 RpcEndpoint::~RpcEndpoint() {
@@ -23,6 +30,7 @@ RpcEndpoint::~RpcEndpoint() {
   // counted as offline drops instead of invoking a dangling handler. Timeout
   // closures hold a weak_ptr to state_ and expire with it.
   network_.setHandler(addr_, nullptr);
+  network_.removeStatusObserver(statusToken_);
 }
 
 void RpcEndpoint::onRequest(const std::string& type, RequestHandler handler) {
@@ -118,7 +126,7 @@ void RpcEndpoint::transmit(sim::NodeAddr to, const std::string& type,
           bump(type, "retries");
           if (auto* m = network_.metrics()) m->increment(statsPrefix_ + ".retry");
           network_.simulator().schedule(
-              retry.backoff(attempt),
+              retry.backoff(attempt, network_.rng()),
               [this, weak, to, type, frame, id, attempt, timeout, retry,
                adaptive] {
                 const auto s = weak.lock();

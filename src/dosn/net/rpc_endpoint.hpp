@@ -210,6 +210,7 @@ class RpcEndpoint {
   sim::Network& network_;
   std::string statsPrefix_;
   sim::NodeAddr addr_;
+  std::uint64_t statusToken_ = 0;
   std::shared_ptr<State> state_;
   std::uint32_t nextCallId_ = 1;
   AdaptiveRetryPolicy* adaptive_ = nullptr;

@@ -9,11 +9,20 @@
 
 #include "dosn/bignum/biguint.hpp"
 #include "dosn/bignum/modmath.hpp"
+#include "dosn/bignum/montgomery.hpp"
 #include "dosn/util/rng.hpp"
 
 namespace dosn::pkcrypto {
 
 using bignum::BigUint;
+
+/// Process-wide cache of fixed-base exponentiation tables, keyed on (base,
+/// modulus). The first g^x for a given (g, p) pays the table build (~4x one
+/// exponentiation); every later call — DH handshakes, ElGamal encryptions,
+/// Schnorr commitments, OPRF evaluations — runs with no squarings at all.
+/// Entries live for the process lifetime, so the reference stays valid.
+const bignum::FixedBasePowerTable& fixedBasePowerTable(
+    const BigUint& base, const BigUint& modulus, std::size_t maxExponentBits);
 
 class DlogGroup {
  public:

@@ -29,6 +29,40 @@ RsaPublicKey RsaPublicKey::deserialize(util::BytesView data) {
   return key;
 }
 
+util::Bytes RsaPrivateKey::serialize() const {
+  util::Writer w;
+  w.bytes(pub.n.toBytes());
+  w.bytes(pub.e.toBytes());
+  w.bytes(d.toBytes());
+  // CRT tail is optional: keys from the pre-CRT format simply end here, and
+  // deserialize treats the absence as "no CRT params".
+  if (hasCrt()) {
+    w.bytes(p.toBytes());
+    w.bytes(q.toBytes());
+    w.bytes(dP.toBytes());
+    w.bytes(dQ.toBytes());
+    w.bytes(qInv.toBytes());
+  }
+  return w.take();
+}
+
+RsaPrivateKey RsaPrivateKey::deserialize(util::BytesView data) {
+  util::Reader r(data);
+  RsaPrivateKey key;
+  key.pub.n = BigUint::fromBytes(r.bytes());
+  key.pub.e = BigUint::fromBytes(r.bytes());
+  key.d = BigUint::fromBytes(r.bytes());
+  if (!r.atEnd()) {
+    key.p = BigUint::fromBytes(r.bytes());
+    key.q = BigUint::fromBytes(r.bytes());
+    key.dP = BigUint::fromBytes(r.bytes());
+    key.dQ = BigUint::fromBytes(r.bytes());
+    key.qInv = BigUint::fromBytes(r.bytes());
+  }
+  r.expectEnd();
+  return key;
+}
+
 RsaPrivateKey rsaGenerate(std::size_t bits, util::Rng& rng) {
   if (bits < 128) throw util::CryptoError("rsaGenerate: key too small");
   const BigUint e(65537);
@@ -41,7 +75,17 @@ RsaPrivateKey rsaGenerate(std::size_t bits, util::Rng& rng) {
     if (gcd(e, phi) != BigUint(1)) continue;
     const auto d = invMod(e, phi);
     if (!d) continue;
-    return RsaPrivateKey{RsaPublicKey{n, e}, *d};
+    const auto qInv = invMod(q, p);
+    if (!qInv) continue;  // p != q primes, so this never fails in practice
+    RsaPrivateKey key;
+    key.pub = RsaPublicKey{n, e};
+    key.d = *d;
+    key.p = p;
+    key.q = q;
+    key.dP = *d % (p - BigUint(1));
+    key.dQ = *d % (q - BigUint(1));
+    key.qInv = *qInv;
+    return key;
   }
 }
 
@@ -145,7 +189,14 @@ BigUint rsaRawPublic(const RsaPublicKey& key, const BigUint& x) {
 }
 
 BigUint rsaRawPrivate(const RsaPrivateKey& key, const BigUint& x) {
-  return powMod(x, key.d, key.pub.n);
+  if (!key.hasCrt()) return powMod(x, key.d, key.pub.n);
+  // Garner's recombination: two exponentiations at half the modulus width
+  // (~4x cheaper each than the full-width one they replace).
+  const BigUint m1 = powMod(x, key.dP, key.p);
+  const BigUint m2 = powMod(x, key.dQ, key.q);
+  const BigUint h =
+      bignum::mulMod(key.qInv, bignum::subMod(m1, m2, key.p), key.p);
+  return m2 + h * key.q;  // < q + (p-1)*q < p*q = n, so already reduced
 }
 
 BigUint rsaFullDomainHash(const RsaPublicKey& key, util::BytesView message) {

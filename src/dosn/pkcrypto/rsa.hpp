@@ -28,6 +28,29 @@ struct RsaPublicKey {
 struct RsaPrivateKey {
   RsaPublicKey pub;
   BigUint d;
+
+  // CRT acceleration (RFC 8017 §3.2): two half-size exponentiations instead
+  // of one full-size one. Populated by rsaGenerate; zero on keys
+  // deserialized from the pre-CRT wire format, in which case rsaRawPrivate
+  // falls back to the plain x^d mod n path.
+  BigUint p;     // first prime factor
+  BigUint q;     // second prime factor
+  BigUint dP;    // d mod (p-1)
+  BigUint dQ;    // d mod (q-1)
+  BigUint qInv;  // q^{-1} mod p
+
+  bool hasCrt() const { return !p.isZero(); }
+  /// Copy with the CRT fields stripped — the plain-path reference for
+  /// differential tests and benchmarks.
+  RsaPrivateKey withoutCrt() const {
+    RsaPrivateKey plain;
+    plain.pub = pub;
+    plain.d = d;
+    return plain;
+  }
+
+  util::Bytes serialize() const;
+  static RsaPrivateKey deserialize(util::BytesView data);
 };
 
 /// Generates an RSA key pair with an n of `bits` bits (e = 65537).

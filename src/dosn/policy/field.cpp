@@ -7,6 +7,9 @@ namespace dosn::policy {
 
 PrimeField::PrimeField(BigUint modulus) : p_(std::move(modulus)) {
   if (p_ < BigUint(2)) throw util::DosnError("PrimeField: modulus too small");
+  if (p_.isOdd()) {
+    mont_ = std::make_shared<const bignum::MontgomeryContext>(p_);
+  }
 }
 
 const PrimeField& PrimeField::standard() {
@@ -43,6 +46,7 @@ BigUint PrimeField::inv(const BigUint& a) const {
 }
 
 BigUint PrimeField::pow(const BigUint& a, const BigUint& e) const {
+  if (mont_) return mont_->powMod(a, e);
   return bignum::powMod(a, e, p_);
 }
 

@@ -3,7 +3,10 @@
 // bits; secrets are reduced mod p).
 #pragma once
 
+#include <memory>
+
 #include "dosn/bignum/biguint.hpp"
+#include "dosn/bignum/montgomery.hpp"
 #include "dosn/util/bytes.hpp"
 #include "dosn/util/rng.hpp"
 
@@ -36,6 +39,9 @@ class PrimeField {
 
  private:
   BigUint p_;
+  // Built once per field for odd moduli so pow() skips the per-call R^2
+  // division; shared_ptr keeps PrimeField cheaply copyable.
+  std::shared_ptr<const bignum::MontgomeryContext> mont_;
 };
 
 }  // namespace dosn::policy

@@ -1,5 +1,7 @@
 #include "dosn/sim/network.hpp"
 
+#include <vector>
+
 #include "dosn/sim/faults.hpp"
 #include "dosn/sim/metrics.hpp"
 #include "dosn/util/error.hpp"
@@ -41,11 +43,30 @@ void Network::setStatusHook(NodeAddr node, StatusHook hook) {
   state(node).statusHook = std::move(hook);
 }
 
+std::uint64_t Network::addStatusObserver(StatusHook observer) {
+  const std::uint64_t token = nextObserverToken_++;
+  statusObservers_.emplace(token, std::move(observer));
+  return token;
+}
+
+void Network::removeStatusObserver(std::uint64_t token) {
+  statusObservers_.erase(token);
+}
+
 void Network::setOnline(NodeAddr node, bool online) {
   NodeState& s = state(node);
   if (s.online == online) return;
   s.online = online;
   if (s.statusHook) s.statusHook(node, online);
+  // Copy the tokens first: an observer may add/remove observers while
+  // running (e.g. an endpoint tearing down in reaction to churn).
+  std::vector<std::uint64_t> tokens;
+  tokens.reserve(statusObservers_.size());
+  for (const auto& [token, hook] : statusObservers_) tokens.push_back(token);
+  for (const std::uint64_t token : tokens) {
+    const auto it = statusObservers_.find(token);
+    if (it != statusObservers_.end() && it->second) it->second(node, online);
+  }
 }
 
 bool Network::isOnline(NodeAddr node) const { return state(node).online; }

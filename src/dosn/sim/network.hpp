@@ -50,6 +50,13 @@ class Network {
   void setHandler(NodeAddr node, Handler handler);
   void setStatusHook(NodeAddr node, StatusHook hook);
 
+  /// Registers a network-wide status observer, invoked (after the node's own
+  /// StatusHook) whenever any node flips online/offline. Returns a token for
+  /// removeStatusObserver. Endpoints use this as the authoritative churn
+  /// signal to evict per-peer state for departed nodes.
+  std::uint64_t addStatusObserver(StatusHook observer);
+  void removeStatusObserver(std::uint64_t token);
+
   void setOnline(NodeAddr node, bool online);
   bool isOnline(NodeAddr node) const;
   std::size_t nodeCount() const { return nodes_.size(); }
@@ -106,6 +113,8 @@ class Network {
   const FaultPlan* faults_ = nullptr;
   Metrics* metrics_ = nullptr;
   std::unordered_map<NodeAddr, NodeState> nodes_;
+  std::map<std::uint64_t, StatusHook> statusObservers_;
+  std::uint64_t nextObserverToken_ = 1;
   NodeAddr nextAddr_ = 1;
 
   std::uint64_t messagesSent_ = 0;

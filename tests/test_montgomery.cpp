@@ -1,0 +1,229 @@
+// Differential tests for the Montgomery/CIOS fast path (bignum/montgomery):
+// powMod vs the retained powModSimple reference across widths and edge
+// moduli, CRT-RSA vs the plain private-key path, fixed-base tables vs
+// generic exponentiation, and KATs pinning the private-key wire format
+// (including the pre-CRT legacy layout).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dosn/bignum/modmath.hpp"
+#include "dosn/bignum/montgomery.hpp"
+#include "dosn/bignum/prime.hpp"
+#include "dosn/pkcrypto/group.hpp"
+#include "dosn/pkcrypto/rsa.hpp"
+#include "dosn/util/error.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace {
+
+using dosn::bignum::BigUint;
+using dosn::bignum::FixedBasePowerTable;
+using dosn::bignum::MontgomeryContext;
+using dosn::bignum::powMod;
+using dosn::bignum::powModSimple;
+using dosn::bignum::randomBits;
+using dosn::util::Rng;
+
+// Pinned serialization of rsaGenerate(128, Rng(20260805)) — regenerate only
+// on a deliberate, versioned format change.
+constexpr const char* kExpectedFullHex =
+    "100000009aa2d13bc3c988637f4360909b1a8519030000000100011000000068f2fdec"
+    "80f9c38d2cbc503d78690cf108000000b790d4da0465c53508000000d7a79ac9c795b0"
+    "d508000000465c1d39f3b58e81080000000275439b672dfa9d08000000394aa3aa185b"
+    "0e23";
+constexpr const char* kExpectedLegacyHex =
+    "100000009aa2d13bc3c988637f4360909b1a8519030000000100011000000068f2fdec"
+    "80f9c38d2cbc503d78690cf1";
+
+// Odd modulus with exactly `bits` bits, deterministic per (bits, rng state).
+BigUint oddModulus(std::size_t bits, Rng& rng) {
+  BigUint m = randomBits(bits, rng);
+  if (m.isEven()) m += BigUint(1);
+  return m;
+}
+
+TEST(Montgomery, RejectsEvenAndTrivialModuli) {
+  EXPECT_THROW(MontgomeryContext(BigUint(0)), dosn::util::DosnError);
+  EXPECT_THROW(MontgomeryContext(BigUint(1)), dosn::util::DosnError);
+  EXPECT_THROW(MontgomeryContext(BigUint(10)), dosn::util::DosnError);
+  EXPECT_NO_THROW(MontgomeryContext(BigUint(3)));
+}
+
+TEST(Montgomery, RoundTripThroughDomain) {
+  Rng rng(7);
+  const BigUint m = oddModulus(256, rng);
+  const MontgomeryContext ctx(m);
+  for (int i = 0; i < 20; ++i) {
+    const BigUint x = randomBits(250, rng) % m;
+    EXPECT_EQ(ctx.fromMont(ctx.toMont(x)), x);
+  }
+  EXPECT_EQ(ctx.fromMont(ctx.one()), BigUint(1));
+}
+
+TEST(Montgomery, MulModMatchesReference) {
+  Rng rng(11);
+  for (const std::size_t bits : {8u, 63u, 64u, 65u, 127u, 128u, 129u, 512u}) {
+    const BigUint m = oddModulus(bits, rng);
+    const MontgomeryContext ctx(m);
+    for (int i = 0; i < 10; ++i) {
+      const BigUint a = randomBits(bits + 10, rng);
+      const BigUint b = randomBits(bits, rng);
+      EXPECT_EQ(ctx.mulMod(a, b), dosn::bignum::mulMod(a, b, m))
+          << "bits=" << bits;
+    }
+  }
+}
+
+// The heart of the differential suite: the dispatching powMod (Montgomery
+// for odd m) must agree with the retained reference everywhere, including
+// the 64/128-bit word boundaries where CIOS carry chains are most fragile.
+TEST(Montgomery, PowModMatchesSimpleAcrossWidths) {
+  Rng rng(13);
+  for (const std::size_t bits :
+       {8u, 32u, 63u, 64u, 65u, 127u, 128u, 129u, 255u, 384u, 512u}) {
+    const BigUint m = oddModulus(bits, rng);
+    for (int i = 0; i < 6; ++i) {
+      const BigUint base = randomBits(bits + 16, rng);  // also base >= m
+      const BigUint e = randomBits(1 + (i * 37) % 200, rng);
+      EXPECT_EQ(powMod(base, e, m), powModSimple(base, e, m))
+          << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TEST(Montgomery, PowModEdgeCases) {
+  const BigUint m(3);
+  EXPECT_EQ(powMod(BigUint(5), BigUint(7), m),
+            powModSimple(BigUint(5), BigUint(7), m));
+  // 2^255 - 19: the Shamir field prime used throughout policy/.
+  const BigUint p25519 = (BigUint(1) << 255) - BigUint(19);
+  Rng rng(17);
+  const BigUint base = randomBits(260, rng);
+  const BigUint e = randomBits(254, rng);
+  EXPECT_EQ(powMod(base, e, p25519), powModSimple(base, e, p25519));
+  // Exponent 0 and 1; zero base.
+  EXPECT_EQ(powMod(base, BigUint(0), p25519), BigUint(1));
+  EXPECT_EQ(powMod(base, BigUint(1), p25519), base % p25519);
+  EXPECT_EQ(powMod(BigUint(0), e, p25519), BigUint(0));
+}
+
+TEST(Montgomery, EvenModulusStillDispatches) {
+  Rng rng(19);
+  BigUint m = randomBits(96, rng);
+  if (m.isOdd()) m += BigUint(1);
+  const BigUint base = randomBits(100, rng);
+  const BigUint e = randomBits(40, rng);
+  EXPECT_EQ(powMod(base, e, m), powModSimple(base, e, m));
+}
+
+TEST(FixedBase, MatchesGenericPow) {
+  Rng rng(23);
+  const BigUint m = oddModulus(256, rng);
+  const BigUint g = randomBits(200, rng) % m;
+  const FixedBasePowerTable table(g, m, 256);
+  EXPECT_EQ(table.maxExponentBits(), 256u);
+  for (int i = 0; i < 20; ++i) {
+    const BigUint e = randomBits(1 + (i * 13) % 256, rng);
+    EXPECT_EQ(table.pow(e), powModSimple(g, e, m)) << "i=" << i;
+  }
+  EXPECT_EQ(table.pow(BigUint(0)), BigUint(1));
+  EXPECT_EQ(table.pow(BigUint(1)), g % m);
+}
+
+TEST(FixedBase, WideExponentFallsBack) {
+  Rng rng(29);
+  const BigUint m = oddModulus(128, rng);
+  const BigUint g = randomBits(100, rng) % m;
+  const FixedBasePowerTable table(g, m, 64);
+  const BigUint wide = randomBits(200, rng);  // wider than the table
+  EXPECT_EQ(table.pow(wide), powModSimple(g, wide, m));
+}
+
+TEST(FixedBase, CachedTableIsStableAndShared) {
+  const auto& group = dosn::pkcrypto::DlogGroup::cached(256);
+  const auto& t1 = dosn::pkcrypto::fixedBasePowerTable(
+      group.g(), group.p(), group.p().bitLength());
+  const auto& t2 = dosn::pkcrypto::fixedBasePowerTable(
+      group.g(), group.p(), group.p().bitLength());
+  EXPECT_EQ(&t1, &t2);  // same entry, reference stable across lookups
+  Rng rng(31);
+  const BigUint e = randomBits(250, rng) % group.q();
+  EXPECT_EQ(group.exp(e), powModSimple(group.g(), e, group.p()));
+}
+
+TEST(CrtRsa, SignAndDecryptMatchPlainPath) {
+  Rng rng(37);
+  const auto key = dosn::pkcrypto::rsaGenerate(512, rng);
+  ASSERT_TRUE(key.hasCrt());
+  const auto plain = key.withoutCrt();
+  ASSERT_FALSE(plain.hasCrt());
+  for (int i = 0; i < 8; ++i) {
+    const BigUint x = randomBits(500, rng) % key.pub.n;
+    EXPECT_EQ(dosn::pkcrypto::rsaRawPrivate(key, x),
+              dosn::pkcrypto::rsaRawPrivate(plain, x))
+        << "i=" << i;
+  }
+  // End-to-end: CRT-signed verifies, and equals the plain-path signature.
+  const auto msg = dosn::util::toBytes("crt differential message");
+  const auto sig = dosn::pkcrypto::rsaSign(key, msg);
+  EXPECT_EQ(sig, dosn::pkcrypto::rsaSign(plain, msg));
+  EXPECT_TRUE(dosn::pkcrypto::rsaVerify(key.pub, msg, sig));
+  // And decryption agrees with the plain path.
+  const auto ct = dosn::pkcrypto::rsaEncrypt(key.pub,
+                                             dosn::util::toBytes("hi"), rng);
+  const auto viaCrt = dosn::pkcrypto::rsaDecrypt(key, ct);
+  const auto viaPlain = dosn::pkcrypto::rsaDecrypt(plain, ct);
+  ASSERT_TRUE(viaCrt.has_value());
+  ASSERT_TRUE(viaPlain.has_value());
+  EXPECT_EQ(*viaCrt, *viaPlain);
+}
+
+TEST(CrtRsa, CrtParamsSatisfyDefinitions) {
+  Rng rng(41);
+  const auto key = dosn::pkcrypto::rsaGenerate(256, rng);
+  EXPECT_EQ(key.p * key.q, key.pub.n);
+  EXPECT_EQ(key.dP, key.d % (key.p - BigUint(1)));
+  EXPECT_EQ(key.dQ, key.d % (key.q - BigUint(1)));
+  EXPECT_EQ(dosn::bignum::mulMod(key.qInv, key.q, key.p), BigUint(1));
+}
+
+TEST(CrtRsa, SerializationRoundTripsWithAndWithoutCrt) {
+  Rng rng(43);
+  const auto key = dosn::pkcrypto::rsaGenerate(256, rng);
+
+  const auto full = dosn::pkcrypto::RsaPrivateKey::deserialize(key.serialize());
+  EXPECT_TRUE(full.hasCrt());
+  EXPECT_EQ(full.pub.n, key.pub.n);
+  EXPECT_EQ(full.d, key.d);
+  EXPECT_EQ(full.p, key.p);
+  EXPECT_EQ(full.qInv, key.qInv);
+
+  // A key serialized without the CRT tail (the pre-CRT wire format) must
+  // deserialize as a working plain-path key.
+  const auto legacy =
+      dosn::pkcrypto::RsaPrivateKey::deserialize(key.withoutCrt().serialize());
+  EXPECT_FALSE(legacy.hasCrt());
+  const BigUint x = randomBits(200, rng) % key.pub.n;
+  EXPECT_EQ(dosn::pkcrypto::rsaRawPrivate(legacy, x),
+            dosn::pkcrypto::rsaRawPrivate(key, x));
+}
+
+// KAT: the serialized private-key bytes for a fixed seed are pinned, so a
+// format change (field order, optional-tail handling) cannot slip through
+// unnoticed and orphan stored keys.
+TEST(CrtRsa, SerializedKeyFormatKat) {
+  Rng rng(20260805);
+  const auto key = dosn::pkcrypto::rsaGenerate(128, rng);
+  const std::string fullHex = dosn::util::toHex(key.serialize());
+  const std::string legacyHex = dosn::util::toHex(key.withoutCrt().serialize());
+  EXPECT_EQ(fullHex, kExpectedFullHex);
+  EXPECT_EQ(legacyHex, kExpectedLegacyHex);
+  // The legacy serialization is a strict prefix of the full one: the CRT
+  // tail is purely additive, which is the whole back-compat argument.
+  ASSERT_LE(legacyHex.size(), fullHex.size());
+  EXPECT_EQ(fullHex.substr(0, legacyHex.size()), legacyHex);
+}
+
+}  // namespace

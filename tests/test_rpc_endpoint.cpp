@@ -237,6 +237,47 @@ TEST(RetryPolicyTest, BackoffClampsAtMaxInsteadOfOverflowing) {
   EXPECT_LE(weird.backoff(50), weird.maxBackoff);
 }
 
+TEST(RetryPolicyTest, ZeroJitterConsumesNoRngDraws) {
+  RetryPolicy policy;
+  policy.backoffBase = 100 * kMillisecond;
+  // Same-seeded rngs: if the zero-jitter path drew anything, the second rng
+  // would desynchronize from the first and the next draws would differ —
+  // which would silently reshuffle every existing fixed-seed experiment.
+  util::Rng a(99);
+  util::Rng b(99);
+  for (std::size_t attempt = 1; attempt <= 4; ++attempt) {
+    EXPECT_EQ(policy.backoff(attempt, a), policy.backoff(attempt));
+  }
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RetryPolicyTest, JitteredBackoffStaysInBoundsAndIsSeedDeterministic) {
+  RetryPolicy policy;
+  policy.backoffBase = 100 * kMillisecond;
+  policy.backoffMultiplier = 2.0;
+  policy.jitterFraction = 0.3;
+  util::Rng rng(7);
+  util::Rng replay(7);
+  bool sawJitter = false;
+  for (std::size_t attempt = 1; attempt <= 6; ++attempt) {
+    const SimTime flat = policy.backoff(attempt);
+    const SimTime jittered = policy.backoff(attempt, rng);
+    EXPECT_GE(jittered, static_cast<SimTime>(static_cast<double>(flat) * 0.7) - 1);
+    EXPECT_LE(jittered, static_cast<SimTime>(static_cast<double>(flat) * 1.3) + 1);
+    EXPECT_LE(jittered, policy.maxBackoff);
+    if (jittered != flat) sawJitter = true;
+    // Deterministic per seed: a same-seeded replay produces the same delay.
+    EXPECT_EQ(policy.backoff(attempt, replay), jittered);
+  }
+  EXPECT_TRUE(sawJitter);
+  // At the clamp, jitter scales downward from maxBackoff (spreading even the
+  // saturated cohort) but can never exceed it.
+  const SimTime clamped = policy.backoff(1000, rng);
+  EXPECT_LE(clamped, policy.maxBackoff);
+  EXPECT_GE(clamped,
+            static_cast<SimTime>(static_cast<double>(policy.maxBackoff) * 0.7) - 1);
+}
+
 // --- AdaptiveRetryPolicy ---
 
 TEST(AdaptiveRetryPolicyTest, BudgetGrowsWithTimeoutsAndDecaysWithSuccesses) {

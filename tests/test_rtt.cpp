@@ -274,6 +274,47 @@ TEST_F(AdaptiveRpcTest, CleanCallSamplesAndExportsGauges) {
   EXPECT_EQ(client.peerStates().sampledPeers(), 1u);
 }
 
+TEST_F(AdaptiveRpcTest, ChurnNoticeEvictsDepartedPeerState) {
+  RpcEndpoint client(net_, "rtt.rpc");
+  client.addReplyChannel("resp");
+  const NodeAddr server = addEchoServer();
+
+  CallOptions options;
+  options.timeout = 500 * kMillisecond;
+  options.adaptiveTimeout = true;
+  client.call(server, "req", {}, options, {});
+  sim_.run();
+  ASSERT_NE(client.peerStates().find(server), nullptr);
+
+  // Authoritative churn notice: the node leaves, its estimator state goes
+  // with it — a rejoining instance starts from the fixed fallback instead of
+  // inheriting a dead node's RTT history.
+  net_.setOnline(server, false);
+  EXPECT_EQ(client.peerStates().find(server), nullptr);
+
+  // Coming back online does not resurrect anything.
+  net_.setOnline(server, true);
+  EXPECT_EQ(client.peerStates().find(server), nullptr);
+  // And the endpoint still works against the rejoined peer.
+  bool ok = false;
+  client.call(server, "req", {}, options,
+              [&](bool replied, util::BytesView) { ok = replied; });
+  sim_.run();
+  EXPECT_TRUE(ok);
+  EXPECT_NE(client.peerStates().find(server), nullptr);
+}
+
+TEST_F(AdaptiveRpcTest, DestroyedEndpointDeregistersChurnObserver) {
+  const NodeAddr server = addEchoServer();
+  {
+    RpcEndpoint client(net_, "rtt.rpc");
+    client.peerStates().state(server);
+  }
+  // The endpoint is gone; a churn flip must not invoke its observer.
+  net_.setOnline(server, false);
+  net_.setOnline(server, true);
+}
+
 TEST_F(AdaptiveRpcTest, FixedTimeoutCallsLeaveTheTableUntouched) {
   RpcEndpoint client(net_, "rtt.rpc");
   client.addReplyChannel("resp");
