@@ -3,19 +3,22 @@
 // knobs — bucket size / replication width k and lookup parallelism alpha.
 // This sweep shows what each buys: k buys loss-resilience and shorter paths
 // (denser routing tables), alpha buys latency at the cost of messages.
+//
+// One benchkit scenario per loss level; `--smoke` shrinks the network and
+// trims the k sweep.
 #include <cstdio>
 #include <memory>
+#include <string>
 
+#include "dosn/benchkit/benchkit.hpp"
 #include "dosn/overlay/kademlia.hpp"
 
 using namespace dosn;
 using namespace dosn::overlay;
+using benchkit::ScenarioContext;
 using sim::kMillisecond;
 
 namespace {
-
-constexpr std::size_t kPeers = 50;
-constexpr std::size_t kItems = 25;
 
 struct Outcome {
   double successRate = 0;
@@ -23,8 +26,12 @@ struct Outcome {
   double msgsPerLookup = 0;
 };
 
-Outcome run(std::size_t k, std::size_t alpha, double loss) {
-  util::Rng rng(42);
+Outcome run(const ScenarioContext& ctx, std::size_t k, std::size_t alpha,
+            double loss) {
+  const std::size_t peersCount = ctx.smoke() ? 20 : 50;
+  const std::size_t itemCount = ctx.smoke() ? 10 : 25;
+  const std::size_t lookups = ctx.smoke() ? 30 : 100;
+  util::Rng rng(ctx.seed());
   sim::Simulator simulator;
   sim::Network net(simulator,
                    sim::LatencyModel{20 * kMillisecond, 10 * kMillisecond, loss},
@@ -35,34 +42,33 @@ Outcome run(std::size_t k, std::size_t alpha, double loss) {
   config.rpcTimeout = 300 * kMillisecond;
 
   std::vector<std::unique_ptr<KademliaNode>> peers;
-  for (std::size_t i = 0; i < kPeers; ++i) {
+  for (std::size_t i = 0; i < peersCount; ++i) {
     peers.push_back(
         std::make_unique<KademliaNode>(net, OverlayId::random(rng), config));
   }
   const Contact seed{peers[0]->id(), peers[0]->addr()};
-  for (std::size_t i = 1; i < kPeers; ++i) {
+  for (std::size_t i = 1; i < peersCount; ++i) {
     peers[i]->bootstrap(seed);
     simulator.run();
   }
   std::vector<OverlayId> keys;
-  for (std::size_t i = 0; i < kItems; ++i) {
+  for (std::size_t i = 0; i < itemCount; ++i) {
     keys.push_back(OverlayId::hash("ablation-" + std::to_string(i)));
-    peers[i % kPeers]->store(keys.back(), util::toBytes("v"), {});
+    peers[i % peersCount]->store(keys.back(), util::toBytes("v"), {});
     simulator.run();
   }
   net.resetStats();
   std::size_t found = 0;
   double latencySum = 0;
-  const std::size_t lookups = 100;
   for (std::size_t q = 0; q < lookups; ++q) {
     const sim::SimTime start = simulator.now();
     sim::SimTime foundAt = start;
     bool ok = false;
-    peers[rng.uniform(kPeers)]->findValue(keys[q % kItems],
-                                          [&](LookupResult r) {
-                                            ok = r.value.has_value();
-                                            foundAt = simulator.now();
-                                          });
+    peers[rng.uniform(peersCount)]->findValue(keys[q % itemCount],
+                                              [&](LookupResult r) {
+                                                ok = r.value.has_value();
+                                                foundAt = simulator.now();
+                                              });
     simulator.run();
     if (ok) {
       ++found;
@@ -70,32 +76,60 @@ Outcome run(std::size_t k, std::size_t alpha, double loss) {
     }
   }
   Outcome out;
-  out.successRate = static_cast<double>(found) / lookups;
+  out.successRate = static_cast<double>(found) / static_cast<double>(lookups);
   out.meanLatencyMs = found ? latencySum / static_cast<double>(found) : 0;
-  out.msgsPerLookup = static_cast<double>(net.messagesSent()) / lookups;
+  out.msgsPerLookup =
+      static_cast<double>(net.messagesSent()) / static_cast<double>(lookups);
   return out;
+}
+
+bool gHeaderPrinted = false;
+
+void runLossLevel(ScenarioContext& ctx, double loss) {
+  const std::size_t peersCount = ctx.smoke() ? 20 : 50;
+  if (ctx.printing()) {
+    if (!gHeaderPrinted) {
+      gHeaderPrinted = true;
+      std::printf("A1 (ablation): Kademlia k / alpha sweep (%zu peers)\n\n",
+                  peersCount);
+    }
+    std::printf("message loss = %.0f%%\n", 100 * loss);
+    std::printf("  %-4s %-6s %10s %14s %14s\n", "k", "alpha", "success",
+                "latency(ms)", "msgs/lookup");
+  }
+  ctx.param("peers", static_cast<double>(peersCount));
+  ctx.param("loss", loss);
+  const std::size_t maxK = ctx.smoke() ? 8 : 16;
+  for (const std::size_t k : {2u, 4u, 8u, 16u}) {
+    if (k > maxK) continue;
+    for (const std::size_t alpha : {1u, 3u}) {
+      const Outcome o = run(ctx, k, alpha, loss);
+      if (ctx.printing()) {
+        std::printf("  %-4zu %-6zu %9.0f%% %14.1f %14.1f\n", k, alpha,
+                    100 * o.successRate, o.meanLatencyMs, o.msgsPerLookup);
+      }
+      const std::string tag =
+          ".k" + std::to_string(k) + ".a" + std::to_string(alpha);
+      ctx.param("success" + tag, o.successRate);
+      ctx.param("latency_ms" + tag, o.meanLatencyMs);
+      ctx.param("msgs_per_lookup" + tag, o.msgsPerLookup);
+    }
+  }
+  if (ctx.printing()) std::printf("\n");
 }
 
 }  // namespace
 
-int main() {
-  std::printf("A1 (ablation): Kademlia k / alpha sweep (%zu peers)\n\n", kPeers);
-  for (const double loss : {0.0, 0.15}) {
-    std::printf("message loss = %.0f%%\n", 100 * loss);
-    std::printf("  %-4s %-6s %10s %14s %14s\n", "k", "alpha", "success",
-                "latency(ms)", "msgs/lookup");
-    for (const std::size_t k : {2u, 4u, 8u, 16u}) {
-      for (const std::size_t alpha : {1u, 3u}) {
-        const Outcome o = run(k, alpha, loss);
-        std::printf("  %-4zu %-6zu %9.0f%% %14.1f %14.1f\n", k, alpha,
-                    100 * o.successRate, o.meanLatencyMs, o.msgsPerLookup);
-      }
-    }
-    std::printf("\n");
+BENCH_SCENARIO(a1_kademlia_no_loss) { runLossLevel(ctx, 0.0); }
+
+BENCH_SCENARIO(a1_kademlia_loss15) {
+  runLossLevel(ctx, 0.15);
+  if (ctx.printing()) {
+    std::printf(
+        "expected shape: under loss, small k degrades success (fewer replicas\n"
+        "and sparser tables); larger alpha cuts latency (parallel probes mask\n"
+        "timeouts) while costing proportionally more messages.\n");
   }
-  std::printf(
-      "expected shape: under loss, small k degrades success (fewer replicas\n"
-      "and sparser tables); larger alpha cuts latency (parallel probes mask\n"
-      "timeouts) while costing proportionally more messages.\n");
-  return 0;
 }
+
+BENCHKIT_MAIN()

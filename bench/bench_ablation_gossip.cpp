@@ -1,19 +1,23 @@
 // Ablation A2: gossip parameter sweep. Cachet-style caching rides on
 // epidemic dissemination; this measures rounds-to-full-coverage and traffic
 // as fanout varies, and coverage under churn-like offline fractions.
+//
+// One benchkit scenario per offline fraction; `--smoke` shrinks the node
+// count.
 #include <cstdio>
 #include <memory>
+#include <string>
 
+#include "dosn/benchkit/benchkit.hpp"
 #include "dosn/overlay/gossip.hpp"
 
 using namespace dosn;
 using namespace dosn::overlay;
+using benchkit::ScenarioContext;
 using sim::kMillisecond;
 using sim::kSecond;
 
 namespace {
-
-constexpr std::size_t kNodes = 40;
 
 struct Outcome {
   double coverage = 0;          // fraction of nodes holding the rumor
@@ -21,8 +25,10 @@ struct Outcome {
   std::uint64_t messages = 0;
 };
 
-Outcome run(std::size_t fanout, double offlineFraction) {
-  util::Rng rng(42);
+Outcome run(const ScenarioContext& ctx, std::size_t fanout,
+            double offlineFraction) {
+  const std::size_t nodeCount = ctx.smoke() ? 16 : 40;
+  util::Rng rng(ctx.seed());
   sim::Simulator simulator;
   sim::Network net(simulator,
                    sim::LatencyModel{10 * kMillisecond, 5 * kMillisecond, 0.0},
@@ -32,12 +38,12 @@ Outcome run(std::size_t fanout, double offlineFraction) {
   config.fanout = fanout;
 
   std::vector<std::unique_ptr<GossipNode>> nodes;
-  for (std::size_t i = 0; i < kNodes; ++i) {
+  for (std::size_t i = 0; i < nodeCount; ++i) {
     nodes.push_back(std::make_unique<GossipNode>(net, config));
   }
   std::vector<sim::NodeAddr> peers;
   for (const auto& n : nodes) peers.push_back(n->addr());
-  for (std::size_t i = 0; i < kNodes; ++i) {
+  for (std::size_t i = 0; i < nodeCount; ++i) {
     nodes[i]->setPeers(peers);
     if (rng.chance(offlineFraction)) net.setOnline(nodes[i]->addr(), false);
     nodes[i]->start();
@@ -54,7 +60,7 @@ Outcome run(std::size_t fanout, double offlineFraction) {
     for (const auto& n : nodes) {
       if (n->get(rumor)) ++have;
     }
-    if (have == kNodes && coveredAt == 0) {
+    if (have == nodeCount && coveredAt == 0) {
       coveredAt = simulator.now();
       break;
     }
@@ -64,24 +70,33 @@ Outcome run(std::size_t fanout, double offlineFraction) {
     if (n->get(rumor)) ++have;
     n->stop();
   }
-  out.coverage = static_cast<double>(have) / kNodes;
+  out.coverage = static_cast<double>(have) / static_cast<double>(nodeCount);
   out.virtualSeconds =
       coveredAt ? static_cast<double>(coveredAt) / kSecond : -1;
   out.messages = net.messagesSent();
   return out;
 }
 
-}  // namespace
+bool gHeaderPrinted = false;
 
-int main() {
-  std::printf("A2 (ablation): gossip fanout sweep (%zu nodes, 500 ms rounds)\n\n",
-              kNodes);
-  for (const double offline : {0.0, 0.4}) {
+void runOfflineLevel(ScenarioContext& ctx, double offline) {
+  const std::size_t nodeCount = ctx.smoke() ? 16 : 40;
+  if (ctx.printing()) {
+    if (!gHeaderPrinted) {
+      gHeaderPrinted = true;
+      std::printf(
+          "A2 (ablation): gossip fanout sweep (%zu nodes, 500 ms rounds)\n\n",
+          nodeCount);
+    }
     std::printf("offline fraction = %.0f%%\n", 100 * offline);
     std::printf("  %-8s %12s %18s %12s\n", "fanout", "coverage",
                 "full-coverage(s)", "messages");
-    for (const std::size_t fanout : {1u, 2u, 4u}) {
-      const Outcome o = run(fanout, offline);
+  }
+  ctx.param("nodes", static_cast<double>(nodeCount));
+  ctx.param("offline", offline);
+  for (const std::size_t fanout : {1u, 2u, 4u}) {
+    const Outcome o = run(ctx, fanout, offline);
+    if (ctx.printing()) {
       if (o.virtualSeconds >= 0) {
         std::printf("  %-8zu %11.0f%% %18.1f %12llu\n", fanout,
                     100 * o.coverage, o.virtualSeconds,
@@ -91,12 +106,27 @@ int main() {
                     "(60s cap)", static_cast<unsigned long long>(o.messages));
       }
     }
-    std::printf("\n");
+    const std::string tag = ".f" + std::to_string(fanout);
+    ctx.param("coverage" + tag, o.coverage);
+    ctx.param("full_coverage_s" + tag, o.virtualSeconds);
+    ctx.counter("messages" + tag, o.messages);
   }
-  std::printf(
-      "expected shape: higher fanout reaches full coverage in fewer rounds\n"
-      "at proportionally higher traffic; offline nodes never receive the\n"
-      "rumor (coverage caps at the online fraction), motivating the DHT\n"
-      "fallback of the hybrid overlay.\n");
-  return 0;
+  if (ctx.printing()) std::printf("\n");
 }
+
+}  // namespace
+
+BENCH_SCENARIO(a2_gossip_online) { runOfflineLevel(ctx, 0.0); }
+
+BENCH_SCENARIO(a2_gossip_offline40) {
+  runOfflineLevel(ctx, 0.4);
+  if (ctx.printing()) {
+    std::printf(
+        "expected shape: higher fanout reaches full coverage in fewer rounds\n"
+        "at proportionally higher traffic; offline nodes never receive the\n"
+        "rumor (coverage caps at the online fraction), motivating the DHT\n"
+        "fallback of the hybrid overlay.\n");
+  }
+}
+
+BENCHKIT_MAIN()

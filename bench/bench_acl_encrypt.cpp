@@ -6,10 +6,16 @@
 // Expected shape: symmetric << hybrid < public-key/IBBE < CP-ABE, with the
 // asymmetric schemes' costs independent of payload (hybrid) or scaling with
 // members (naive public-key).
-#include <benchmark/benchmark.h>
-
+//
+// One benchkit scenario per scheme; each sweeps payload sizes and records
+// `encrypt_us.<payload>` / `decrypt_us.<payload>` params in the JSON output.
+// `--smoke` runs the 256-byte point once per scheme.
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "dosn/benchkit/benchkit.hpp"
 #include "dosn/privacy/abe_acl.hpp"
 #include "dosn/privacy/hybrid_acl.hpp"
 #include "dosn/privacy/ibbe_acl.hpp"
@@ -19,6 +25,7 @@
 namespace {
 
 using namespace dosn;
+using benchkit::ScenarioContext;
 
 constexpr std::size_t kGroupMembers = 8;
 
@@ -49,50 +56,74 @@ std::unique_ptr<privacy::AccessController> makeAcl(Scheme scheme,
   return nullptr;
 }
 
-struct Fixture {
-  util::Rng rng{42};
-  std::unique_ptr<privacy::AccessController> acl;
+bool gHeaderPrinted = false;
 
-  explicit Fixture(Scheme scheme) : acl(makeAcl(scheme, rng)) {
-    acl->createGroup("g");
-    for (std::size_t i = 0; i < kGroupMembers; ++i) {
-      acl->addMember("g", "user" + std::to_string(i));
+void runScheme(ScenarioContext& ctx, const char* label, Scheme scheme) {
+  util::Rng rng(ctx.seed());
+  auto acl = makeAcl(scheme, rng);
+  acl->createGroup("g");
+  for (std::size_t i = 0; i < kGroupMembers; ++i) {
+    acl->addMember("g", "user" + std::to_string(i));
+  }
+  const std::vector<std::size_t> payloads =
+      ctx.smoke() ? std::vector<std::size_t>{256}
+                  : std::vector<std::size_t>{256, 4096, 65536};
+  const std::size_t iters = ctx.smoke() ? 1 : 10;
+  ctx.param("members", static_cast<double>(kGroupMembers));
+  ctx.counter("iters", iters);
+
+  if (ctx.printing() && !gHeaderPrinted) {
+    gHeaderPrinted = true;
+    std::printf("E1: ACL encrypt/decrypt latency, %zu-member group (us/op)\n",
+                kGroupMembers);
+    std::printf("  %-12s %9s %12s %12s\n", "scheme", "payload", "encrypt",
+                "decrypt");
+  }
+  for (const std::size_t payloadBytes : payloads) {
+    const util::Bytes payload(payloadBytes, 0x5a);
+    privacy::Envelope env = acl->encrypt("g", payload, rng);
+    benchkit::Timer timer;
+    for (std::size_t i = 0; i < iters; ++i) {
+      env = acl->encrypt("g", payload, rng);
+    }
+    const double encUs = timer.ms() * 1000.0 / static_cast<double>(iters);
+    timer.reset();
+    for (std::size_t i = 0; i < iters; ++i) {
+      const auto plain = acl->decrypt("user3", env);
+      ctx.require(plain.has_value() && *plain == payload,
+                  "decrypt round-trip failed");
+    }
+    const double decUs = timer.ms() * 1000.0 / static_cast<double>(iters);
+    const std::string suffix = "." + std::to_string(payloadBytes);
+    ctx.param("encrypt_us" + suffix, encUs);
+    ctx.param("decrypt_us" + suffix, decUs);
+    if (ctx.printing()) {
+      std::printf("  %-12s %9zu %12.1f %12.1f\n", label, payloadBytes, encUs,
+                  decUs);
     }
   }
-};
-
-void encryptBench(benchmark::State& state, Scheme scheme) {
-  Fixture fx(scheme);
-  const util::Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5a);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(fx.acl->encrypt("g", payload, fx.rng));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          state.range(0));
-}
-
-void decryptBench(benchmark::State& state, Scheme scheme) {
-  Fixture fx(scheme);
-  const util::Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5a);
-  const privacy::Envelope env = fx.acl->encrypt("g", payload, fx.rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(fx.acl->decrypt("user3", env));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          state.range(0));
 }
 
 }  // namespace
 
-#define DOSN_E1(name, scheme)                                            \
-  BENCHMARK_CAPTURE(encryptBench, name, scheme)                          \
-      ->Arg(256)->Arg(4096)->Arg(65536)->Unit(benchmark::kMicrosecond);  \
-  BENCHMARK_CAPTURE(decryptBench, name, scheme)                          \
-      ->Arg(256)->Arg(4096)->Arg(65536)->Unit(benchmark::kMicrosecond);
+BENCH_SCENARIO(e1_symmetric, {.hot = true}) {
+  runScheme(ctx, "symmetric", Scheme::kSymmetric);
+}
 
-DOSN_E1(symmetric, Scheme::kSymmetric)
-DOSN_E1(public_key, Scheme::kPublicKey)
-DOSN_E1(cp_abe, Scheme::kAbe)
-DOSN_E1(ibbe, Scheme::kIbbe)
-DOSN_E1(hybrid_pk, Scheme::kHybridPk)
-DOSN_E1(hybrid_abe, Scheme::kHybridAbe)
+BENCH_SCENARIO(e1_public_key) {
+  runScheme(ctx, "public_key", Scheme::kPublicKey);
+}
+
+BENCH_SCENARIO(e1_cp_abe) { runScheme(ctx, "cp_abe", Scheme::kAbe); }
+
+BENCH_SCENARIO(e1_ibbe) { runScheme(ctx, "ibbe", Scheme::kIbbe); }
+
+BENCH_SCENARIO(e1_hybrid_pk, {.hot = true}) {
+  runScheme(ctx, "hybrid_pk", Scheme::kHybridPk);
+}
+
+BENCH_SCENARIO(e1_hybrid_abe) {
+  runScheme(ctx, "hybrid_abe", Scheme::kHybridAbe);
+}
+
+BENCHKIT_MAIN()

@@ -4,11 +4,12 @@
 // members" — cost and ciphertext size scale with N.
 //
 // Sweeps group size N and reports the cost of sharing one 1 KiB post to the
-// group, plus the envelope size.
-#include <chrono>
+// group, plus the envelope size. One benchkit scenario runs the whole sweep;
+// `--smoke` caps N at 16.
 #include <cstdio>
-#include <memory>
+#include <string>
 
+#include "dosn/benchkit/benchkit.hpp"
 #include "dosn/privacy/abe_acl.hpp"
 #include "dosn/privacy/hybrid_acl.hpp"
 #include "dosn/privacy/ibbe_acl.hpp"
@@ -16,6 +17,7 @@
 #include "dosn/privacy/symmetric_acl.hpp"
 
 using namespace dosn;
+using benchkit::ScenarioContext;
 
 namespace {
 
@@ -34,26 +36,33 @@ Row measure(privacy::AccessController& acl, std::size_t members,
   // Warm-up (lazy key generation happens on first use).
   acl.encrypt("g", payload, rng);
   const int reps = 3;
-  const auto t0 = std::chrono::steady_clock::now();
+  benchkit::Timer timer;
   privacy::Envelope env;
   for (int i = 0; i < reps; ++i) env = acl.encrypt("g", payload, rng);
-  const double ms = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count() /
-                    reps;
-  return Row{ms, env.blob.size()};
+  return Row{timer.ms() / reps, env.blob.size()};
+}
+
+void record(ScenarioContext& ctx, const char* scheme, std::size_t n,
+            const Row& row) {
+  const std::string tag = std::string(".") + scheme + "." + std::to_string(n);
+  ctx.param("encrypt_ms" + tag, row.encryptMs);
+  ctx.counter("envelope_bytes" + tag, row.envelopeBytes);
 }
 
 }  // namespace
 
-int main() {
-  std::printf("E3: cost of sharing one 1 KiB post to a group of N members\n\n");
+BENCH_SCENARIO(e3_group_create) {
+  if (ctx.printing()) {
+    std::printf("E3: cost of sharing one 1 KiB post to a group of N members\n\n");
+    std::printf("%-8s | %-22s | %-22s | %-22s | %-22s\n", "N",
+                "symmetric ms/bytes", "public-key ms/bytes", "cp-abe ms/bytes",
+                "ibbe ms/bytes");
+  }
   const auto& group = pkcrypto::DlogGroup::cached(512);
-  std::printf("%-8s | %-22s | %-22s | %-22s | %-22s\n", "N",
-              "symmetric ms/bytes", "public-key ms/bytes", "cp-abe ms/bytes",
-              "ibbe ms/bytes");
+  const std::size_t maxN = ctx.smoke() ? 16 : 64;
   for (std::size_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-    util::Rng rng(42);
+    if (n > maxN) continue;
+    util::Rng rng(ctx.seed());
     privacy::SymmetricAcl sym(rng);
     privacy::PublicKeyAcl pk(group, rng);
     privacy::AbeAcl abe(group, rng);
@@ -62,14 +71,24 @@ int main() {
     const Row pkRow = measure(pk, n, rng);
     const Row abeRow = measure(abe, n, rng);
     const Row ibbeRow = measure(ibbe, n, rng);
-    std::printf("%-8zu | %8.3f / %-11zu | %8.3f / %-11zu | %8.3f / %-11zu | %8.3f / %-11zu\n",
-                n, symRow.encryptMs, symRow.envelopeBytes, pkRow.encryptMs,
-                pkRow.envelopeBytes, abeRow.encryptMs, abeRow.envelopeBytes,
-                ibbeRow.encryptMs, ibbeRow.envelopeBytes);
+    if (ctx.printing()) {
+      std::printf("%-8zu | %8.3f / %-11zu | %8.3f / %-11zu | %8.3f / %-11zu | %8.3f / %-11zu\n",
+                  n, symRow.encryptMs, symRow.envelopeBytes, pkRow.encryptMs,
+                  pkRow.envelopeBytes, abeRow.encryptMs, abeRow.envelopeBytes,
+                  ibbeRow.encryptMs, ibbeRow.envelopeBytes);
+    }
+    record(ctx, "symmetric", n, symRow);
+    record(ctx, "public_key", n, pkRow);
+    record(ctx, "cp_abe", n, abeRow);
+    record(ctx, "ibbe", n, ibbeRow);
   }
-  std::printf(
-      "\nexpected shape: symmetric and cp-abe flat in N (one encryption per\n"
-      "group); public-key and ibbe linear in N (per-recipient work), with\n"
-      "public-key also duplicating the payload N times.\n");
-  return 0;
+  ctx.param("max_members", static_cast<double>(maxN));
+  if (ctx.printing()) {
+    std::printf(
+        "\nexpected shape: symmetric and cp-abe flat in N (one encryption per\n"
+        "group); public-key and ibbe linear in N (per-recipient work), with\n"
+        "public-key also duplicating the payload N times.\n");
+  }
 }
+
+BENCHKIT_MAIN()

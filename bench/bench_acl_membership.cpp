@@ -6,11 +6,15 @@
 //   - IBBE (§III-E): "removing a recipient ... no extra cost"
 //
 // Sweeps group size and retained-history length; reports wall time plus the
-// scheme-reported work (re-encrypted envelopes / key operations).
-#include <chrono>
+// scheme-reported work (re-encrypted envelopes / key operations). One benchkit
+// scenario per (members, history) sweep point; the two heavy points are
+// skipped in `--smoke`.
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "dosn/benchkit/benchkit.hpp"
 #include "dosn/privacy/abe_acl.hpp"
 #include "dosn/privacy/hybrid_acl.hpp"
 #include "dosn/privacy/ibbe_acl.hpp"
@@ -18,22 +22,20 @@
 #include "dosn/privacy/symmetric_acl.hpp"
 
 using namespace dosn;
+using benchkit::ScenarioContext;
 
 namespace {
-
-double msSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
-}
 
 struct SchemeEntry {
   const char* name;
   std::unique_ptr<privacy::AccessController> acl;
 };
 
-void runSweep(std::size_t members, std::size_t historyLen) {
-  util::Rng rng(42);
+bool gHeaderPrinted = false;
+
+void runSweep(ScenarioContext& ctx, std::size_t members,
+              std::size_t historyLen) {
+  util::Rng rng(ctx.seed());
   const auto& group = pkcrypto::DlogGroup::cached(512);
   std::vector<SchemeEntry> schemes;
   schemes.push_back({"symmetric", std::make_unique<privacy::SymmetricAcl>(rng)});
@@ -45,10 +47,18 @@ void runSweep(std::size_t members, std::size_t historyLen) {
       {"hybrid+pk", std::make_unique<privacy::HybridAcl>(
                         group, rng, privacy::WrapScheme::kPublicKey)});
 
-  std::printf("members=%zu history=%zu posts (1 KiB each)\n", members,
-              historyLen);
-  std::printf("  %-12s %10s %12s %10s %12s\n", "scheme", "add(ms)",
-              "revoke(ms)", "reenc", "key-ops");
+  ctx.param("members", static_cast<double>(members));
+  ctx.param("history", static_cast<double>(historyLen));
+  if (ctx.printing()) {
+    if (!gHeaderPrinted) {
+      gHeaderPrinted = true;
+      std::printf("E2: membership-change cost per ACL scheme (paper sec III)\n\n");
+    }
+    std::printf("members=%zu history=%zu posts (1 KiB each)\n", members,
+                historyLen);
+    std::printf("  %-12s %10s %12s %10s %12s\n", "scheme", "add(ms)",
+                "revoke(ms)", "reenc", "key-ops");
+  }
   const util::Bytes payload(1024, 0x5a);
   for (auto& [name, acl] : schemes) {
     acl->createGroup("g");
@@ -59,30 +69,44 @@ void runSweep(std::size_t members, std::size_t historyLen) {
       acl->encrypt("g", payload, rng);
     }
     // Adding one more member.
-    auto t0 = std::chrono::steady_clock::now();
+    benchkit::Timer timer;
     acl->addMember("g", "latecomer");
-    const double addMs = msSince(t0);
+    const double addMs = timer.ms();
     // Revoking one member.
-    t0 = std::chrono::steady_clock::now();
+    timer.reset();
     const privacy::RevocationReport report = acl->removeMember("g", "user0");
-    const double revokeMs = msSince(t0);
-    std::printf("  %-12s %10.3f %12.3f %10zu %12zu\n", name, addMs, revokeMs,
-                report.reencryptedEnvelopes, report.keyOperations);
+    const double revokeMs = timer.ms();
+    if (ctx.printing()) {
+      std::printf("  %-12s %10.3f %12.3f %10zu %12zu\n", name, addMs, revokeMs,
+                  report.reencryptedEnvelopes, report.keyOperations);
+    }
+    const std::string tag = std::string(".") + name;
+    ctx.param("add_ms" + tag, addMs);
+    ctx.param("revoke_ms" + tag, revokeMs);
+    ctx.counter("reenc" + tag, report.reencryptedEnvelopes);
+    ctx.counter("key_ops" + tag, report.keyOperations);
   }
-  std::printf("\n");
+  if (ctx.printing()) std::printf("\n");
 }
 
 }  // namespace
 
-int main() {
-  std::printf("E2: membership-change cost per ACL scheme (paper sec III)\n\n");
-  runSweep(/*members=*/4, /*historyLen=*/8);
-  runSweep(/*members=*/16, /*historyLen=*/8);
-  runSweep(/*members=*/16, /*historyLen=*/32);
-  runSweep(/*members=*/64, /*historyLen=*/8);
-  std::printf(
-      "expected shape: ibbe revoke ~0 work; public-key revoke O(1);\n"
-      "symmetric & cp-abe & hybrid rewrite the whole history, with cp-abe\n"
-      "paying public-key work per envelope and symmetric only AEAD work.\n");
-  return 0;
+BENCH_SCENARIO(e2_members4_history8) { runSweep(ctx, 4, 8); }
+
+BENCH_SCENARIO(e2_members16_history8) { runSweep(ctx, 16, 8); }
+
+BENCH_SCENARIO(e2_members16_history32, {.skipInSmoke = true}) {
+  runSweep(ctx, 16, 32);
 }
+
+BENCH_SCENARIO(e2_members64_history8, {.skipInSmoke = true}) {
+  runSweep(ctx, 64, 8);
+  if (ctx.printing()) {
+    std::printf(
+        "expected shape: ibbe revoke ~0 work; public-key revoke O(1);\n"
+        "symmetric & cp-abe & hybrid rewrite the whole history, with cp-abe\n"
+        "paying public-key work per envelope and symmetric only AEAD work.\n");
+  }
+}
+
+BENCHKIT_MAIN()

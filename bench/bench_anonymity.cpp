@@ -3,28 +3,43 @@
 //     depth ("communicate with the user without revealing identity");
 //   - proxy aliases: fraction of users deanonymized as proxies collude
 //     ("under the risk by collusion of proxy servers").
+//
+// Two benchkit scenarios (E11a rings, E11b collusion); `--smoke` shrinks the
+// graph and the sampled core count.
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "dosn/benchkit/benchkit.hpp"
 #include "dosn/search/friend_rings.hpp"
 #include "dosn/search/proxy_alias.hpp"
 #include "dosn/social/graph_gen.hpp"
 
 using namespace dosn;
 using namespace dosn::search;
+using benchkit::ScenarioContext;
 
-int main() {
-  util::Rng rng(42);
-
-  std::printf("E11a: matryoshka anonymity vs ring depth\n");
-  std::printf("(small-world graph: 300 users, k=4, beta=0.15; 40 cores)\n\n");
-  const social::SocialGraph graph = social::wattsStrogatz(300, 4, 0.15, rng);
-  std::printf("  %-8s %18s %16s %14s\n", "depth", "anonymity-set", "path-len",
-              "built-ok");
+BENCH_SCENARIO(e11a_matryoshka) {
+  util::Rng rng(ctx.seed());
+  const std::size_t users = ctx.smoke() ? 100 : 300;
+  const std::size_t cores = ctx.smoke() ? 12 : 40;
+  ctx.param("users", static_cast<double>(users));
+  ctx.param("cores", static_cast<double>(cores));
+  if (ctx.printing()) {
+    std::printf("E11a: matryoshka anonymity vs ring depth\n");
+    std::printf("(small-world graph: %zu users, k=4, beta=0.15; %zu cores)\n\n",
+                users, cores);
+  }
+  const social::SocialGraph graph = social::wattsStrogatz(users, 4, 0.15, rng);
+  if (ctx.printing()) {
+    std::printf("  %-8s %18s %16s %14s\n", "depth", "anonymity-set", "path-len",
+                "built-ok");
+  }
   for (const std::size_t depth : {1u, 2u, 3u, 4u, 5u}) {
     double anonSum = 0;
     double lenSum = 0;
     std::size_t built = 0;
-    for (std::size_t c = 0; c < 40; ++c) {
+    for (std::size_t c = 0; c < cores; ++c) {
       const std::string core = "u" + std::to_string(c * 7);
       Matryoshka ring(graph, core, depth, 1, rng);
       if (ring.pathCount() == 0 || ring.path(0).size() < depth) continue;
@@ -32,31 +47,56 @@ int main() {
       anonSum += static_cast<double>(ring.anonymitySetSize(graph, 0));
       lenSum += static_cast<double>(ring.path(0).size());
     }
-    std::printf("  %-8zu %18.1f %16.1f %11zu/40\n", depth,
-                built ? anonSum / static_cast<double>(built) : 0,
-                built ? lenSum / static_cast<double>(built) : 0, built);
+    if (ctx.printing()) {
+      std::printf("  %-8zu %18.1f %16.1f %11zu/%zu\n", depth,
+                  built ? anonSum / static_cast<double>(built) : 0,
+                  built ? lenSum / static_cast<double>(built) : 0, built,
+                  cores);
+    }
+    const std::string tag = ".depth" + std::to_string(depth);
+    ctx.param("anonymity_set" + tag,
+              built ? anonSum / static_cast<double>(built) : 0);
+    ctx.param("path_len" + tag,
+              built ? lenSum / static_cast<double>(built) : 0);
+    ctx.counter("built" + tag, built);
   }
-  std::printf(
-      "\nexpected shape: the anonymity set grows with depth (more users at\n"
-      "the chain-length radius) at the cost of longer relay paths.\n");
+  if (ctx.printing()) {
+    std::printf(
+        "\nexpected shape: the anonymity set grows with depth (more users at\n"
+        "the chain-length radius) at the cost of longer relay paths.\n");
+  }
+}
 
-  std::printf("\nE11b: proxy-collusion deanonymization\n");
-  std::printf("(6 proxies, 120 users spread round-robin)\n\n");
+BENCH_SCENARIO(e11b_proxy_collusion) {
+  util::Rng rng(ctx.seed());
+  const int users = ctx.smoke() ? 48 : 120;
+  ctx.param("proxies", 6.0);
+  ctx.param("users", static_cast<double>(users));
+  if (ctx.printing()) {
+    std::printf("\nE11b: proxy-collusion deanonymization\n");
+    std::printf("(6 proxies, %d users spread round-robin)\n\n", users);
+  }
   ProxyNetwork network;
   for (int p = 0; p < 6; ++p) network.addProxy("proxy" + std::to_string(p));
-  for (int u = 0; u < 120; ++u) {
+  for (int u = 0; u < users; ++u) {
     network.registerUser("user" + std::to_string(u),
                          static_cast<std::size_t>(u % 6), rng);
   }
-  std::printf("  %-22s %14s\n", "colluding proxies", "deanonymized");
+  if (ctx.printing()) std::printf("  %-22s %14s\n", "colluding proxies", "deanonymized");
   std::vector<std::size_t> colluding;
   for (std::size_t p = 0; p < 6; ++p) {
     colluding.push_back(p);
-    std::printf("  %-22zu %13.0f%%\n", colluding.size(),
-                100 * network.collusionRecoveryFraction(colluding));
+    const double fraction = network.collusionRecoveryFraction(colluding);
+    if (ctx.printing()) {
+      std::printf("  %-22zu %13.0f%%\n", colluding.size(), 100 * fraction);
+    }
+    ctx.param("deanonymized." + std::to_string(colluding.size()), fraction);
   }
-  std::printf(
-      "\nexpected shape: deanonymization grows linearly with the colluding\n"
-      "set; full collusion recovers every alias mapping.\n");
-  return 0;
+  if (ctx.printing()) {
+    std::printf(
+        "\nexpected shape: deanonymization grows linearly with the colluding\n"
+        "set; full collusion recovers every alias mapping.\n");
+  }
 }
+
+BENCHKIT_MAIN()

@@ -5,10 +5,16 @@
 // Sweeps the replication factor under a churn model and reports measured item
 // availability vs the analytic prediction 1-(1-a)^k, plus the replica-state
 // cost (mean items observable per node — the paper's small-provider view).
+//
+// Three benchkit scenarios: the E7 churn sweep, the A3 repair ablation, and
+// the E7b replica wire-protocol observability run. `--smoke` shrinks the
+// node/sample counts.
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <string>
 
+#include "dosn/benchkit/benchkit.hpp"
 #include "dosn/overlay/replication.hpp"
 #include "dosn/sim/churn.hpp"
 #include "dosn/sim/faults.hpp"
@@ -16,22 +22,39 @@
 
 using namespace dosn;
 using namespace dosn::overlay;
+using benchkit::ScenarioContext;
 using sim::kMillisecond;
 using sim::kSecond;
 
-int main() {
-  constexpr std::size_t kNodes = 200;
-  constexpr std::size_t kItemsPerFactor = 60;
-  constexpr std::size_t kSamples = 40;
+namespace {
 
-  std::printf("E7: availability vs replication factor under churn\n\n");
+struct Sizes {
+  std::size_t nodes;
+  std::size_t itemsPerFactor;
+  std::size_t samples;
+};
+
+Sizes sizesFor(const ScenarioContext& ctx) {
+  return ctx.smoke() ? Sizes{60, 20, 8} : Sizes{200, 60, 40};
+}
+
+}  // namespace
+
+BENCH_SCENARIO(e7_availability_churn) {
+  const Sizes sz = sizesFor(ctx);
+  ctx.param("nodes", static_cast<double>(sz.nodes));
+  ctx.param("items_per_factor", static_cast<double>(sz.itemsPerFactor));
+  ctx.param("samples", static_cast<double>(sz.samples));
+  if (ctx.printing()) {
+    std::printf("E7: availability vs replication factor under churn\n\n");
+  }
 
   for (const double onlineFraction : {0.3, 0.5, 0.7}) {
-    util::Rng rng(42);
+    util::Rng rng(ctx.seed());
     sim::Simulator simulator;
     sim::Network net(simulator, sim::LatencyModel{}, rng);
     std::vector<sim::NodeAddr> nodes;
-    for (std::size_t i = 0; i < kNodes; ++i) nodes.push_back(net.addNode());
+    for (std::size_t i = 0; i < sz.nodes; ++i) nodes.push_back(net.addNode());
 
     sim::ChurnConfig churnConfig;
     churnConfig.meanOnlineSeconds = 600 * onlineFraction;
@@ -40,16 +63,18 @@ int main() {
     sim::ChurnProcess churn(net, churnConfig, nodes);
 
     ReplicationManager manager(net);
-    std::printf("node availability a=%.0f%% (mean session %.0fs)\n",
-                100 * onlineFraction, churnConfig.meanOnlineSeconds);
-    std::printf("  %-4s %14s %14s %18s\n", "k", "measured", "1-(1-a)^k",
-                "items/node");
+    if (ctx.printing()) {
+      std::printf("node availability a=%.0f%% (mean session %.0fs)\n",
+                  100 * onlineFraction, churnConfig.meanOnlineSeconds);
+      std::printf("  %-4s %14s %14s %18s\n", "k", "measured", "1-(1-a)^k",
+                  "items/node");
+    }
 
     std::vector<std::vector<OverlayId>> itemSets;
     std::vector<std::size_t> factors = {1, 2, 3, 5, 8};
     for (const std::size_t k : factors) {
       std::vector<OverlayId> items;
-      for (std::size_t i = 0; i < kItemsPerFactor; ++i) {
+      for (std::size_t i = 0; i < sz.itemsPerFactor; ++i) {
         const OverlayId id = OverlayId::hash(
             "a" + std::to_string(onlineFraction) + "-k" + std::to_string(k) +
             "-i" + std::to_string(i));
@@ -62,61 +87,73 @@ int main() {
     std::vector<AvailabilityProbe> probes;
     probes.reserve(factors.size());
     for (auto& items : itemSets) probes.emplace_back(manager, items);
-    for (auto& probe : probes) probe.schedule(simulator, 120 * kSecond, kSamples);
-    simulator.runUntil((kSamples + 1) * 120 * kSecond);
+    for (auto& probe : probes) {
+      probe.schedule(simulator, 120 * kSecond, sz.samples);
+    }
+    simulator.runUntil((sz.samples + 1) * 120 * kSecond);
     churn.stop();
 
     const auto views = manager.observerViewSizes();
     double meanView = 0;
     for (const auto& [node, count] : views) meanView += static_cast<double>(count);
-    meanView /= static_cast<double>(kNodes);
+    meanView /= static_cast<double>(sz.nodes);
 
+    double factorTotal = 0;
+    for (const std::size_t kk : factors) factorTotal += static_cast<double>(kk);
     for (std::size_t f = 0; f < factors.size(); ++f) {
       const double predicted =
           1.0 - std::pow(1.0 - onlineFraction, static_cast<double>(factors[f]));
-      std::printf("  %-4zu %13.1f%% %13.1f%% %18.2f\n", factors[f],
-                  100 * probes[f].meanAvailability(), 100 * predicted,
-                  meanView * static_cast<double>(factors[f]) /
-                      [&] {
-                        double total = 0;
-                        for (const std::size_t kk : factors) {
-                          total += static_cast<double>(kk);
-                        }
-                        return total;
-                      }());
+      const double measured = probes[f].meanAvailability();
+      if (ctx.printing()) {
+        std::printf("  %-4zu %13.1f%% %13.1f%% %18.2f\n", factors[f],
+                    100 * measured, 100 * predicted,
+                    meanView * static_cast<double>(factors[f]) / factorTotal);
+      }
+      const std::string tag = ".a" + std::to_string(static_cast<int>(
+                                  100 * onlineFraction)) +
+                              ".k" + std::to_string(factors[f]);
+      ctx.param("measured" + tag, measured);
+      ctx.param("predicted" + tag, predicted);
     }
-    std::printf("\n");
+    if (ctx.printing()) std::printf("\n");
   }
-  std::printf(
-      "expected shape: measured availability tracks 1-(1-a)^k; higher k\n"
-      "buys availability but spreads more user data onto more replica nodes\n"
-      "(the survey's 'several small providers' trade-off).\n");
+  if (ctx.printing()) {
+    std::printf(
+        "expected shape: measured availability tracks 1-(1-a)^k; higher k\n"
+        "buys availability but spreads more user data onto more replica nodes\n"
+        "(the survey's 'several small providers' trade-off).\n");
+  }
+}
 
-  // --- Repair ablation (A3): periodic re-replication vs none ---
-  std::printf("\nA3: periodic repair vs none (a=50%%, repair every 5 min)\n");
-  std::printf("  %-4s %14s %14s %16s\n", "k", "no-repair", "with-repair",
-              "replicas-added");
+// Repair ablation (A3): periodic re-replication vs none.
+BENCH_SCENARIO(a3_repair, {.skipInSmoke = true}) {
+  const Sizes sz = sizesFor(ctx);
+  if (ctx.printing()) {
+    std::printf("\nA3: periodic repair vs none (a=50%%, repair every 5 min)\n");
+    std::printf("  %-4s %14s %14s %16s\n", "k", "no-repair", "with-repair",
+                "replicas-added");
+  }
   for (const std::size_t k : {1u, 2u, 3u}) {
     double results[2];
     std::size_t addedTotal = 0;
     for (const bool withRepair : {false, true}) {
-      util::Rng rng(777);
+      util::Rng rng(ctx.seed() + 735);  // historical seed 777 at default 42
       sim::Simulator simulator;
       sim::Network net(simulator, sim::LatencyModel{}, rng);
       std::vector<sim::NodeAddr> nodes;
-      for (std::size_t i = 0; i < kNodes; ++i) nodes.push_back(net.addNode());
+      for (std::size_t i = 0; i < sz.nodes; ++i) nodes.push_back(net.addNode());
       sim::ChurnConfig cc{300, 300, 0.5};
       sim::ChurnProcess churn(net, cc, nodes);
       ReplicationManager manager(net);
       std::vector<OverlayId> items;
-      for (std::size_t i = 0; i < kItemsPerFactor; ++i) {
+      for (std::size_t i = 0; i < sz.itemsPerFactor; ++i) {
         const OverlayId id =
             OverlayId::hash("rep-" + std::to_string(k) + "-" + std::to_string(i));
         manager.place(id, k, nodes);
         items.push_back(id);
       }
       AvailabilityProbe probe(manager, items);
-      probe.schedule(simulator, 120 * kSecond, kSamples);
+      probe.schedule(simulator, 120 * kSecond, sz.samples);
       if (withRepair) {
         for (int r = 1; r <= 16; ++r) {
           simulator.schedule(static_cast<sim::SimTime>(r) * 300 * kSecond,
@@ -125,71 +162,88 @@ int main() {
                              });
         }
       }
-      simulator.runUntil((kSamples + 1) * 120 * kSecond);
+      simulator.runUntil((sz.samples + 1) * 120 * kSecond);
       churn.stop();
       results[withRepair ? 1 : 0] = probe.meanAvailability();
     }
-    std::printf("  %-4zu %13.1f%% %13.1f%% %16zu\n", k, 100 * results[0],
-                100 * results[1], addedTotal);
+    if (ctx.printing()) {
+      std::printf("  %-4zu %13.1f%% %13.1f%% %16zu\n", k, 100 * results[0],
+                  100 * results[1], addedTotal);
+    }
+    const std::string tag = ".k" + std::to_string(k);
+    ctx.param("no_repair" + tag, results[0]);
+    ctx.param("with_repair" + tag, results[1]);
+    ctx.counter("replicas_added" + tag, addedTotal);
   }
-  std::printf(
-      "expected shape: repair lifts low-k availability sharply (each pass\n"
-      "tops the online replica set back up to k), at the cost of replica\n"
-      "proliferation — more 'small providers' holding the data over time.\n");
+  if (ctx.printing()) {
+    std::printf(
+        "expected shape: repair lifts low-k availability sharply (each pass\n"
+        "tops the online replica set back up to k), at the cost of replica\n"
+        "proliferation — more 'small providers' holding the data over time.\n");
+  }
+}
 
-  // --- E7b: the replica wire protocol's RPC observability ---------------
-  // The sweeps above track *placement* availability; this section drives the
-  // actual repl.store/repl.fetch wire protocol through a 10% drop storm so
-  // the endpoint's uniform rpc.<type>.* surface (same format as bench_faults
-  // F1b) shows the store/fetch traffic, its retries, and — because the
-  // client opts into per-destination adaptive timeouts — the rpc.rtt.*
-  // sample counters feeding each host's RFC 6298 estimator.
-  std::printf(
-      "\nE7b: replica RPC observability (1 adaptive client, 8 hosts, 40 items\n"
-      "x2 replicas, 10%% drop storm; rpc.<type>.* surface as bench_faults F1b)\n\n");
-  {
-    constexpr std::size_t kHosts = 8;
-    constexpr std::size_t kRpcItems = 40;
-    util::Rng rng(42);
-    sim::Simulator simulator;
-    sim::Network net(simulator,
-                     sim::LatencyModel{20 * kMillisecond, 10 * kMillisecond, 0.0},
-                     rng);
-    sim::Metrics metrics;
-    net.setMetrics(&metrics);
-    sim::FaultPlan plan;
-    plan.add(sim::FaultRule::global().drop(0.1));
-    net.setFaultPlan(&plan);
+// E7b: the replica wire protocol's RPC observability. The sweeps above track
+// *placement* availability; this drives the actual repl.store/repl.fetch wire
+// protocol through a 10% drop storm so the endpoint's uniform rpc.<type>.*
+// surface (same format as bench_faults F1b) shows the store/fetch traffic,
+// its retries, and — because the client opts into per-destination adaptive
+// timeouts — the rpc.rtt.* sample counters feeding each host's RFC 6298
+// estimator.
+BENCH_SCENARIO(e7b_replica_rpc) {
+  constexpr std::size_t kHosts = 8;
+  const std::size_t kRpcItems = ctx.smoke() ? 12 : 40;
+  if (ctx.printing()) {
+    std::printf(
+        "\nE7b: replica RPC observability (1 adaptive client, %zu hosts, %zu "
+        "items\nx2 replicas, 10%% drop storm; rpc.<type>.* surface as "
+        "bench_faults F1b)\n\n",
+        kHosts, kRpcItems);
+  }
+  util::Rng rng(ctx.seed());
+  sim::Simulator simulator;
+  sim::Network net(simulator,
+                   sim::LatencyModel{20 * kMillisecond, 10 * kMillisecond, 0.0},
+                   rng);
+  net.setMetrics(&ctx.metrics());
+  sim::FaultPlan plan;
+  plan.add(sim::FaultRule::global().drop(0.1));
+  net.setFaultPlan(&plan);
 
-    std::vector<std::unique_ptr<ReplicaHost>> hosts;
-    for (std::size_t i = 0; i < kHosts; ++i) {
-      hosts.push_back(std::make_unique<ReplicaHost>(net));
-    }
-    ReplicaClient client(net, RetryPolicy{3, 150 * kMillisecond, 2.0},
-                         250 * kMillisecond, /*adaptiveTimeout=*/true);
+  std::vector<std::unique_ptr<ReplicaHost>> hosts;
+  for (std::size_t i = 0; i < kHosts; ++i) {
+    hosts.push_back(std::make_unique<ReplicaHost>(net));
+  }
+  ReplicaClient client(net, RetryPolicy{3, 150 * kMillisecond, 2.0},
+                       250 * kMillisecond, /*adaptiveTimeout=*/true);
 
-    std::vector<OverlayId> items;
-    for (std::size_t i = 0; i < kRpcItems; ++i) {
-      items.push_back(OverlayId::hash("wire-" + std::to_string(i)));
-      for (std::size_t r = 0; r < 2; ++r) {
-        client.store(hosts[(i + r) % kHosts]->addr(), items.back(),
-                     util::toBytes("v"), {});
-      }
-      simulator.run();
+  std::vector<OverlayId> items;
+  for (std::size_t i = 0; i < kRpcItems; ++i) {
+    items.push_back(OverlayId::hash("wire-" + std::to_string(i)));
+    for (std::size_t r = 0; r < 2; ++r) {
+      client.store(hosts[(i + r) % kHosts]->addr(), items.back(),
+                   util::toBytes("v"), {});
     }
-    std::size_t hits = 0;
-    for (std::size_t i = 0; i < kRpcItems; ++i) {
-      client.fetch(hosts[i % kHosts]->addr(), items[i],
-                   [&hits](std::optional<util::Bytes> v) {
-                     if (v) ++hits;
-                   });
-      simulator.run();
-    }
+    simulator.run();
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < kRpcItems; ++i) {
+    client.fetch(hosts[i % kHosts]->addr(), items[i],
+                 [&hits](std::optional<util::Bytes> v) {
+                   if (v) ++hits;
+                 });
+    simulator.run();
+  }
+  if (ctx.printing()) {
     std::printf("fetch hits: %zu/%zu, client retries: %llu, failures: %llu\n\n",
                 hits, kRpcItems,
                 static_cast<unsigned long long>(client.rpcRetries()),
                 static_cast<unsigned long long>(client.rpcFailures()));
-    sim::printRpcObservability(metrics);
+    sim::printRpcObservability(ctx.metrics());
   }
-  return 0;
+  ctx.counter("fetch_hits", hits);
+  ctx.counter("client_retries", client.rpcRetries());
+  ctx.counter("client_failures", client.rpcFailures());
 }
+
+BENCHKIT_MAIN()

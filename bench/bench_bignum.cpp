@@ -4,19 +4,21 @@
 // different numbers measures nothing).
 //
 //   mulMod           (a*b) % m division path   vs MontgomeryContext::mulMod
-//   powMod 2048-bit  powModSimple              vs Montgomery powMod
-//   RSA-2048 sign    plain x^d mod n           vs CRT (dP/dQ/qInv)
+//   powMod           powModSimple              vs Montgomery powMod
+//   RSA sign         plain x^d mod n           vs CRT (dP/dQ/qInv)
 //   ElGamal-style    g^x via powModSimple      vs cached FixedBasePowerTable
 //
-// `--smoke` runs one iteration of every pair with small sizes and asserts
-// equality only — fast enough for CI (including sanitizer jobs), no timing
-// thresholds that could flake.
-#include <chrono>
+// Runs on benchkit (BENCHMARKS.md): `--smoke` shrinks every kernel to one
+// iteration at 512 bits and asserts equality only — fast enough for CI
+// (including sanitizer jobs), no timing thresholds that could flake. Each
+// scenario records old/new ms-per-op and the speedup as JSON params, so
+// BENCH_bignum.json is the artifact future bignum PRs (Barrett, Karatsuba)
+// regress against.
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "dosn/benchkit/benchkit.hpp"
 #include "dosn/bignum/modmath.hpp"
 #include "dosn/bignum/montgomery.hpp"
 #include "dosn/pkcrypto/group.hpp"
@@ -25,30 +27,40 @@
 
 using namespace dosn;
 using bignum::BigUint;
+using benchkit::ScenarioContext;
 
 namespace {
 
-double msSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
+bool gHeaderPrinted = false;
+
+void printHeader() {
+  if (gHeaderPrinted) return;
+  gHeaderPrinted = true;
+  std::printf("B1: bignum microbench (old vs new, fixed seeds)\n");
+  std::printf("  %-22s %10s %10s %9s\n", "kernel", "old ms/op", "new ms/op",
+              "speedup");
 }
 
-bool gAllEqual = true;
-
-void check(const BigUint& oldResult, const BigUint& newResult,
-           const char* what) {
-  if (oldResult != newResult) {
-    gAllEqual = false;
-    std::printf("MISMATCH in %s: old=%s new=%s\n", what,
-                oldResult.toHex().c_str(), newResult.toHex().c_str());
+void report(ScenarioContext& ctx, const char* name, double oldMs, double newMs,
+            std::size_t iters) {
+  if (ctx.printing()) {
+    printHeader();
+    std::printf("  %-22s %10.3f %10.3f %8.2fx   (%zu iters)\n", name,
+                oldMs / static_cast<double>(iters),
+                newMs / static_cast<double>(iters), oldMs / newMs, iters);
   }
+  ctx.param("old_ms_per_op", oldMs / static_cast<double>(iters));
+  ctx.param("new_ms_per_op", newMs / static_cast<double>(iters));
+  ctx.param("speedup", oldMs / newMs);
+  ctx.counter("iters", iters);
 }
 
-void report(const char* name, double oldMs, double newMs, std::size_t iters) {
-  std::printf("  %-22s %10.3f %10.3f %8.2fx   (%zu iters)\n", name,
-              oldMs / static_cast<double>(iters),
-              newMs / static_cast<double>(iters), oldMs / newMs, iters);
+void check(ScenarioContext& ctx, const BigUint& oldResult,
+           const BigUint& newResult, const char* what) {
+  if (oldResult != newResult) {
+    ctx.fail(std::string("differential mismatch in ") + what + ": old=" +
+             oldResult.toHex() + " new=" + newResult.toHex());
+  }
 }
 
 BigUint oddModulus(std::size_t bits, util::Rng& rng) {
@@ -58,119 +70,135 @@ BigUint oddModulus(std::size_t bits, util::Rng& rng) {
 }
 
 // Chained mulMod: each product feeds the next so the work can't be hoisted.
-void benchMulMod(std::size_t bits, std::size_t iters) {
-  util::Rng rng(1001);
+void benchMulMod(ScenarioContext& ctx, std::size_t bits, std::size_t iters) {
+  util::Rng rng(ctx.seed() + 959);
   const BigUint m = oddModulus(bits, rng);
   const BigUint b = bignum::randomBits(bits - 1, rng);
-  const bignum::MontgomeryContext ctx(m);
+  const bignum::MontgomeryContext mont(m);
 
   BigUint accOld = bignum::randomBits(bits - 1, rng);
   BigUint accNew = accOld;
-  auto t0 = std::chrono::steady_clock::now();
+  benchkit::Timer timer;
   for (std::size_t i = 0; i < iters; ++i) accOld = bignum::mulMod(accOld, b, m);
-  const double oldMs = msSince(t0);
-  t0 = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < iters; ++i) accNew = ctx.mulMod(accNew, b);
-  const double newMs = msSince(t0);
-  check(accOld, accNew, "mulMod");
-  std::string name = "mulMod " + std::to_string(bits) + "-bit";
-  report(name.c_str(), oldMs, newMs, iters);
+  const double oldMs = timer.ms();
+  timer.reset();
+  for (std::size_t i = 0; i < iters; ++i) accNew = mont.mulMod(accNew, b);
+  const double newMs = timer.ms();
+  check(ctx, accOld, accNew, "mulMod");
+  ctx.param("bits", static_cast<double>(bits));
+  const std::string name = "mulMod " + std::to_string(bits) + "-bit";
+  report(ctx, name.c_str(), oldMs, newMs, iters);
 }
 
-void benchPowMod(std::size_t bits, std::size_t iters) {
-  util::Rng rng(1002);
+void benchPowMod(ScenarioContext& ctx, std::size_t bits, std::size_t iters) {
+  util::Rng rng(ctx.seed() + 960);
   const BigUint m = oddModulus(bits, rng);
   const BigUint base = bignum::randomBits(bits - 1, rng);
   const BigUint e = bignum::randomBits(bits - 1, rng);
 
   BigUint oldResult, newResult;
-  auto t0 = std::chrono::steady_clock::now();
+  benchkit::Timer timer;
   for (std::size_t i = 0; i < iters; ++i) {
     oldResult = bignum::powModSimple(base, e, m);
   }
-  const double oldMs = msSince(t0);
-  t0 = std::chrono::steady_clock::now();
+  const double oldMs = timer.ms();
+  timer.reset();
   for (std::size_t i = 0; i < iters; ++i) {
     newResult = bignum::powMod(base, e, m);  // dispatches to Montgomery
   }
-  const double newMs = msSince(t0);
-  check(oldResult, newResult, "powMod");
-  std::string name = "powMod " + std::to_string(bits) + "-bit";
-  report(name.c_str(), oldMs, newMs, iters);
+  const double newMs = timer.ms();
+  check(ctx, oldResult, newResult, "powMod");
+  ctx.param("bits", static_cast<double>(bits));
+  const std::string name = "powMod " + std::to_string(bits) + "-bit";
+  report(ctx, name.c_str(), oldMs, newMs, iters);
 }
 
-void benchRsaSign(std::size_t bits, std::size_t iters) {
-  util::Rng rng(1003);
+void benchRsaSign(ScenarioContext& ctx, std::size_t bits, std::size_t iters) {
+  util::Rng rng(ctx.seed() + 961);
   const auto key = pkcrypto::rsaGenerate(bits, rng);
   const auto plain = key.withoutCrt();
   const auto msg = util::toBytes("B1 signing benchmark message");
 
   util::Bytes oldSig, newSig;
-  auto t0 = std::chrono::steady_clock::now();
+  benchkit::Timer timer;
   for (std::size_t i = 0; i < iters; ++i) oldSig = pkcrypto::rsaSign(plain, msg);
-  const double oldMs = msSince(t0);
-  t0 = std::chrono::steady_clock::now();
+  const double oldMs = timer.ms();
+  timer.reset();
   for (std::size_t i = 0; i < iters; ++i) newSig = pkcrypto::rsaSign(key, msg);
-  const double newMs = msSince(t0);
-  if (oldSig != newSig) {
-    gAllEqual = false;
-    std::printf("MISMATCH in rsaSign\n");
-  }
-  std::string name = "RSA-" + std::to_string(bits) + " sign";
-  report(name.c_str(), oldMs, newMs, iters);
+  const double newMs = timer.ms();
+  ctx.require(oldSig == newSig, "differential mismatch in rsaSign");
+  ctx.param("bits", static_cast<double>(bits));
+  const std::string name = "RSA-" + std::to_string(bits) + " sign";
+  report(ctx, name.c_str(), oldMs, newMs, iters);
 }
 
 // ElGamal-style encryption is two fixed-base exponentiations (g^r, h^r); the
 // representative kernel is g^x on the cached group generator.
-void benchFixedBase(std::size_t bits, std::size_t iters) {
+void benchFixedBase(ScenarioContext& ctx, std::size_t bits, std::size_t iters) {
   const auto& group = pkcrypto::DlogGroup::cached(bits);
-  util::Rng rng(1004);
+  util::Rng rng(ctx.seed() + 962);
   std::vector<BigUint> exps;
   exps.reserve(iters);
   for (std::size_t i = 0; i < iters; ++i) exps.push_back(group.randomScalar(rng));
 
   BigUint oldResult, newResult;
-  auto t0 = std::chrono::steady_clock::now();
+  benchkit::Timer timer;
   for (const BigUint& e : exps) {
     oldResult = bignum::powModSimple(group.g(), e, group.p());
   }
-  const double oldMs = msSince(t0);
+  const double oldMs = timer.ms();
   (void)group.exp(exps[0]);  // pay the table build outside the timed region
-  t0 = std::chrono::steady_clock::now();
+  timer.reset();
   for (const BigUint& e : exps) newResult = group.exp(e);
-  const double newMs = msSince(t0);
-  check(oldResult, newResult, "fixed-base exp");
-  std::string name = "g^x " + std::to_string(bits) + "-bit (ElGamal)";
-  report(name.c_str(), oldMs, newMs, iters);
+  const double newMs = timer.ms();
+  check(ctx, oldResult, newResult, "fixed-base exp");
+  ctx.param("bits", static_cast<double>(bits));
+  const std::string name = "g^x " + std::to_string(bits) + "-bit (ElGamal)";
+  report(ctx, name.c_str(), oldMs, newMs, iters);
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
-  if (smoke) {
-    // Correctness-only pass at CI-friendly sizes (also run under ASan/UBSan).
-    benchMulMod(512, 64);
-    benchPowMod(512, 1);
-    benchRsaSign(512, 1);
-    benchFixedBase(512, 4);
-    std::printf(smoke && gAllEqual ? "smoke: all outputs equal\n"
-                                   : "smoke: FAILED\n");
-    return gAllEqual ? 0 : 1;
+// Smoke runs every kernel once at CI-friendly sizes (correctness-only, also
+// run under ASan/UBSan); full mode uses the B1 sizes from EXPERIMENTS.md.
+BENCH_SCENARIO(b1_mulmod, {.hot = true}) {
+  if (ctx.smoke()) {
+    benchMulMod(ctx, 512, 64);
+  } else {
+    benchMulMod(ctx, 2048, 20000);
   }
-
-  std::printf("B1: bignum microbench (old vs new, fixed seeds)\n");
-  std::printf("  %-22s %10s %10s %9s\n", "kernel", "old ms/op", "new ms/op",
-              "speedup");
-  benchMulMod(2048, 20000);
-  benchPowMod(1024, 12);
-  benchPowMod(2048, 4);
-  benchRsaSign(1024, 12);
-  benchRsaSign(2048, 4);
-  benchFixedBase(2048, 24);
-  if (!gAllEqual) {
-    std::printf("FAILED: differential mismatch\n");
-    return 1;
-  }
-  return 0;
 }
+
+BENCH_SCENARIO(b1_powmod_1024, {.hot = true}) {
+  if (ctx.smoke()) {
+    benchPowMod(ctx, 512, 1);
+  } else {
+    benchPowMod(ctx, 1024, 12);
+  }
+}
+
+BENCH_SCENARIO(b1_powmod_2048, {.hot = true, .skipInSmoke = true}) {
+  benchPowMod(ctx, 2048, 4);
+}
+
+BENCH_SCENARIO(b1_rsa_sign_1024, {.hot = true}) {
+  if (ctx.smoke()) {
+    benchRsaSign(ctx, 512, 1);
+  } else {
+    benchRsaSign(ctx, 1024, 12);
+  }
+}
+
+BENCH_SCENARIO(b1_rsa_sign_2048, {.hot = true, .skipInSmoke = true}) {
+  benchRsaSign(ctx, 2048, 4);
+}
+
+BENCH_SCENARIO(b1_fixed_base, {.hot = true}) {
+  if (ctx.smoke()) {
+    benchFixedBase(ctx, 512, 4);
+  } else {
+    benchFixedBase(ctx, 2048, 24);
+  }
+}
+
+BENCHKIT_MAIN()

@@ -10,9 +10,14 @@
 // counters and per-type round-trip latency histograms — plus an adaptive
 // row per storm where a fleet-shared AdaptiveRetryPolicy sizes the budget
 // from the observed timeout rate instead of a hand-picked constant.
+//
+// Four benchkit scenarios: f1_drop_retry, f1a_adaptive, f1b_observability,
+// f3_bimodal. `--smoke` shrinks the swarm and trims the sweeps.
 #include <cstdio>
 #include <memory>
+#include <string>
 
+#include "dosn/benchkit/benchkit.hpp"
 #include "dosn/net/retry.hpp"
 #include "dosn/overlay/kademlia.hpp"
 #include "dosn/sim/faults.hpp"
@@ -20,14 +25,21 @@
 
 using namespace dosn;
 using namespace dosn::overlay;
+using benchkit::ScenarioContext;
 using sim::kMillisecond;
 using sim::kSecond;
 
 namespace {
 
-constexpr std::size_t kPeers = 40;
-constexpr std::size_t kItems = 20;
-constexpr std::size_t kLookups = 60;
+struct Sizes {
+  std::size_t peers;
+  std::size_t items;
+  std::size_t lookups;
+};
+
+Sizes sizesFor(const ScenarioContext& ctx) {
+  return ctx.smoke() ? Sizes{16, 8, 20} : Sizes{40, 20, 60};
+}
 
 struct Outcome {
   double successRate = 0;
@@ -51,7 +63,6 @@ struct Outcome {
 // attempt. The run is lossless, so *every* retransmission is spurious by
 // construction (the original request always arrives; only the reply is slow).
 constexpr std::size_t kF3Waves = 3;
-constexpr std::size_t kF3LookupsPerWave = 40;
 constexpr std::size_t kF3Origins = 4;
 constexpr sim::SimTime kF3FarDelay = 400 * kMillisecond;
 
@@ -75,8 +86,10 @@ std::uint64_t sumRpcCounter(const sim::Metrics& metrics,
   return total;
 }
 
-std::vector<WaveStats> runF3(bool adaptiveTimeout) {
-  util::Rng rng(42);
+std::vector<WaveStats> runF3(const ScenarioContext& ctx, bool adaptiveTimeout) {
+  const Sizes sz = sizesFor(ctx);
+  const std::size_t lookupsPerWave = ctx.smoke() ? 12 : 40;
+  util::Rng rng(ctx.seed());
   sim::Simulator simulator;
   sim::Network net(simulator,
                    sim::LatencyModel{20 * kMillisecond, 10 * kMillisecond, 0.0},
@@ -93,19 +106,19 @@ std::vector<WaveStats> runF3(bool adaptiveTimeout) {
   config.adaptiveTimeout = adaptiveTimeout;
 
   std::vector<std::unique_ptr<KademliaNode>> peers;
-  for (std::size_t i = 0; i < kPeers; ++i) {
+  for (std::size_t i = 0; i < sz.peers; ++i) {
     peers.push_back(
         std::make_unique<KademliaNode>(net, OverlayId::random(rng), config));
   }
   const Contact seed{peers[0]->id(), peers[0]->addr()};
-  for (std::size_t i = 1; i < kPeers; ++i) {
+  for (std::size_t i = 1; i < sz.peers; ++i) {
     peers[i]->bootstrap(seed);
     simulator.run();
   }
   std::vector<OverlayId> keys;
-  for (std::size_t i = 0; i < kItems; ++i) {
+  for (std::size_t i = 0; i < sz.items; ++i) {
     keys.push_back(OverlayId::hash("bimodal-" + std::to_string(i)));
-    peers[i % kPeers]->store(keys.back(), util::toBytes("v"), {});
+    peers[i % sz.peers]->store(keys.back(), util::toBytes("v"), {});
     simulator.run();
   }
 
@@ -114,7 +127,7 @@ std::vector<WaveStats> runF3(bool adaptiveTimeout) {
   // start *mis-trained*: they learned ~50ms RTTs for peers that are about to
   // become slow, the hardest starting point for an adaptive scheme.
   sim::FaultPlan plan;
-  for (std::size_t i = kPeers / 2; i < kPeers; ++i) {
+  for (std::size_t i = sz.peers / 2; i < sz.peers; ++i) {
     plan.at(simulator.now(),
             sim::FaultRule::node(peers[i]->addr()).delay(kF3FarDelay));
   }
@@ -126,11 +139,11 @@ std::vector<WaveStats> runF3(bool adaptiveTimeout) {
   for (std::size_t wave = 0; wave < kF3Waves; ++wave) {
     sim::Histogram completion;
     std::size_t found = 0;
-    for (std::size_t q = 0; q < kF3LookupsPerWave; ++q) {
+    for (std::size_t q = 0; q < lookupsPerWave; ++q) {
       const sim::SimTime started = simulator.now();
       bool ok = false;
       peers[1 + (q % kF3Origins)]->findValue(
-          keys[q % kItems], [&](LookupResult r) {
+          keys[q % sz.items], [&](LookupResult r) {
             ok = r.value.has_value();
             completion.record(
                 static_cast<double>(simulator.now() - started) /
@@ -140,7 +153,8 @@ std::vector<WaveStats> runF3(bool adaptiveTimeout) {
       if (ok) ++found;
     }
     WaveStats stats;
-    stats.successRate = static_cast<double>(found) / kF3LookupsPerWave;
+    stats.successRate =
+        static_cast<double>(found) / static_cast<double>(lookupsPerWave);
     stats.p50Ms = completion.percentile(50);
     stats.p95Ms = completion.percentile(95);
     const std::uint64_t retransmits = sumRpcCounter(metrics, ".retries");
@@ -154,10 +168,11 @@ std::vector<WaveStats> runF3(bool adaptiveTimeout) {
   return waves;
 }
 
-Outcome run(double drop, std::size_t retryAttempts,
+Outcome run(const ScenarioContext& ctx, double drop, std::size_t retryAttempts,
             net::AdaptiveRetryPolicy* adaptive = nullptr,
             sim::Metrics* metricsOut = nullptr) {
-  util::Rng rng(42);
+  const Sizes sz = sizesFor(ctx);
+  util::Rng rng(ctx.seed());
   sim::Simulator simulator;
   sim::Network net(simulator,
                    sim::LatencyModel{20 * kMillisecond, 10 * kMillisecond, 0.0},
@@ -174,19 +189,19 @@ Outcome run(double drop, std::size_t retryAttempts,
   config.adaptiveRetry = adaptive;
 
   std::vector<std::unique_ptr<KademliaNode>> peers;
-  for (std::size_t i = 0; i < kPeers; ++i) {
+  for (std::size_t i = 0; i < sz.peers; ++i) {
     peers.push_back(
         std::make_unique<KademliaNode>(net, OverlayId::random(rng), config));
   }
   const Contact seed{peers[0]->id(), peers[0]->addr()};
-  for (std::size_t i = 1; i < kPeers; ++i) {
+  for (std::size_t i = 1; i < sz.peers; ++i) {
     peers[i]->bootstrap(seed);
     simulator.run();
   }
   std::vector<OverlayId> keys;
-  for (std::size_t i = 0; i < kItems; ++i) {
+  for (std::size_t i = 0; i < sz.items; ++i) {
     keys.push_back(OverlayId::hash("fault-" + std::to_string(i)));
-    peers[i % kPeers]->store(keys.back(), util::toBytes("v"), {});
+    peers[i % sz.peers]->store(keys.back(), util::toBytes("v"), {});
     simulator.run();
   }
 
@@ -201,17 +216,18 @@ Outcome run(double drop, std::size_t retryAttempts,
   if (metricsOut) net.setMetrics(metricsOut);
 
   std::size_t found = 0;
-  for (std::size_t q = 0; q < kLookups; ++q) {
+  for (std::size_t q = 0; q < sz.lookups; ++q) {
     bool ok = false;
-    peers[(q * 7) % kPeers]->findValue(keys[q % kItems], [&](LookupResult r) {
+    peers[(q * 7) % sz.peers]->findValue(keys[q % sz.items], [&](LookupResult r) {
       ok = r.value.has_value();
     });
     simulator.run();
     if (ok) ++found;
   }
   Outcome out;
-  out.successRate = static_cast<double>(found) / kLookups;
-  out.msgsPerLookup = static_cast<double>(net.messagesSent()) / kLookups;
+  out.successRate = static_cast<double>(found) / static_cast<double>(sz.lookups);
+  out.msgsPerLookup =
+      static_cast<double>(net.messagesSent()) / static_cast<double>(sz.lookups);
   for (const auto& peer : peers) out.retries += peer->rpcRetries();
   if (adaptive) {
     out.finalBudget = adaptive->attempts();
@@ -220,86 +236,141 @@ Outcome run(double drop, std::size_t retryAttempts,
   return out;
 }
 
+std::string dropTag(double drop) {
+  return std::to_string(static_cast<int>(100 * drop));
+}
+
 }  // namespace
 
-int main() {
-  std::printf("F1: drop probability x RPC retry budget (%zu peers, %zu lookups)\n\n",
-              kPeers, kLookups);
-  std::printf("%-8s %-9s %10s %14s %10s\n", "drop", "attempts", "success",
-              "msgs/lookup", "retries");
-  for (const double drop : {0.0, 0.1, 0.2, 0.35}) {
-    for (const std::size_t attempts : {1u, 2u, 4u}) {
-      const Outcome o = run(drop, attempts);
-      std::printf("%-8.2f %-9zu %9.0f%% %14.1f %10zu\n", drop, attempts,
-                  100 * o.successRate, o.msgsPerLookup, o.retries);
-    }
-    std::printf("\n");
+BENCH_SCENARIO(f1_drop_retry, {.hot = true}) {
+  const Sizes sz = sizesFor(ctx);
+  ctx.param("peers", static_cast<double>(sz.peers));
+  ctx.param("lookups", static_cast<double>(sz.lookups));
+  if (ctx.printing()) {
+    std::printf(
+        "F1: drop probability x RPC retry budget (%zu peers, %zu lookups)\n\n",
+        sz.peers, sz.lookups);
+    std::printf("%-8s %-9s %10s %14s %10s\n", "drop", "attempts", "success",
+                "msgs/lookup", "retries");
   }
-  std::printf(
-      "expected shape: with a single attempt, success degrades steeply with\n"
-      "the drop rate; adding retry attempts recovers most of it, paying a\n"
-      "message overhead that grows with the drop rate (each retry is itself\n"
-      "subject to the same faults).\n");
-
-  std::printf(
-      "\nF1a: adaptive retry budget (fleet-shared EWMA of timeout outcomes,\n"
-      "budget = smallest n with rate^n <= 1%%, capped at 4 attempts)\n\n");
-  std::printf("%-8s %10s %14s %10s %8s %9s\n", "drop", "success",
-              "msgs/lookup", "retries", "budget", "est.rate");
   for (const double drop : {0.0, 0.1, 0.2, 0.35}) {
+    if (ctx.smoke() && drop > 0.2) continue;
+    for (const std::size_t attempts : {1u, 2u, 4u}) {
+      if (ctx.smoke() && attempts == 2) continue;
+      const Outcome o = run(ctx, drop, attempts);
+      if (ctx.printing()) {
+        std::printf("%-8.2f %-9zu %9.0f%% %14.1f %10zu\n", drop, attempts,
+                    100 * o.successRate, o.msgsPerLookup, o.retries);
+      }
+      const std::string tag =
+          ".d" + dropTag(drop) + ".a" + std::to_string(attempts);
+      ctx.param("success" + tag, o.successRate);
+      ctx.param("msgs_per_lookup" + tag, o.msgsPerLookup);
+      ctx.counter("retries" + tag, o.retries);
+    }
+    if (ctx.printing()) std::printf("\n");
+  }
+  if (ctx.printing()) {
+    std::printf(
+        "expected shape: with a single attempt, success degrades steeply with\n"
+        "the drop rate; adding retry attempts recovers most of it, paying a\n"
+        "message overhead that grows with the drop rate (each retry is itself\n"
+        "subject to the same faults).\n");
+  }
+}
+
+BENCH_SCENARIO(f1a_adaptive) {
+  if (ctx.printing()) {
+    std::printf(
+        "\nF1a: adaptive retry budget (fleet-shared EWMA of timeout outcomes,\n"
+        "budget = smallest n with rate^n <= 1%%, capped at 4 attempts)\n\n");
+    std::printf("%-8s %10s %14s %10s %8s %9s\n", "drop", "success",
+                "msgs/lookup", "retries", "budget", "est.rate");
+  }
+  for (const double drop : {0.0, 0.1, 0.2, 0.35}) {
+    if (ctx.smoke() && drop > 0.2) continue;
     net::AdaptiveRetryPolicy::Config config;
     config.base = RetryPolicy{1, 150 * kMillisecond, 2.0};
     config.maxAttempts = 4;
     net::AdaptiveRetryPolicy adaptive(config);
-    const Outcome o = run(drop, 1, &adaptive);
-    std::printf("%-8.2f %9.0f%% %14.1f %10zu %8zu %8.2f%%\n", drop,
-                100 * o.successRate, o.msgsPerLookup, o.retries, o.finalBudget,
-                100 * o.timeoutRate);
+    const Outcome o = run(ctx, drop, 1, &adaptive);
+    if (ctx.printing()) {
+      std::printf("%-8.2f %9.0f%% %14.1f %10zu %8zu %8.2f%%\n", drop,
+                  100 * o.successRate, o.msgsPerLookup, o.retries,
+                  o.finalBudget, 100 * o.timeoutRate);
+    }
+    const std::string tag = ".d" + dropTag(drop);
+    ctx.param("success" + tag, o.successRate);
+    ctx.param("msgs_per_lookup" + tag, o.msgsPerLookup);
+    ctx.counter("retries" + tag, o.retries);
+    ctx.counter("budget" + tag, o.finalBudget);
+    ctx.param("timeout_rate" + tag, o.timeoutRate);
   }
-  std::printf(
-      "expected shape: the budget stays at 1 on a clean network (no retry\n"
-      "overhead) and grows with the observed timeout rate, approaching the\n"
-      "fixed attempts=4 row's success without hand-tuning per deployment.\n");
-
-  std::printf(
-      "\nF1b: per-RPC observability at drop=0.20, attempts=4 (the endpoint's\n"
-      "uniform rpc.<type>.* surface; lookup phase only)\n\n");
-  sim::Metrics metrics;
-  run(0.2, 4, nullptr, &metrics);
-  sim::printRpcObservability(metrics);
-
-  std::printf(
-      "\nF3: bimodal link delays — half the fleet +%lldms each way — fixed vs\n"
-      "adaptive per-destination timeouts (%zu peers, %zu waves x %zu lookups,\n"
-      "rpcTimeout=250ms, attempts=2, lossless: every retransmit is spurious)\n\n",
-      static_cast<long long>(kF3FarDelay / kMillisecond), kPeers, kF3Waves,
-      kF3LookupsPerWave);
-  std::printf("%-9s %-5s %9s %10s %10s %13s %9s\n", "policy", "wave", "success",
-              "p50(ms)", "p95(ms)", "spur.rexmit", "timeouts");
-  const std::vector<WaveStats> fixedWaves = runF3(false);
-  const std::vector<WaveStats> adaptiveWaves = runF3(true);
-  for (std::size_t w = 0; w < kF3Waves; ++w) {
-    std::printf("%-9s %-5zu %8.0f%% %10.1f %10.1f %13llu %9llu\n", "fixed",
-                w + 1, 100 * fixedWaves[w].successRate, fixedWaves[w].p50Ms,
-                fixedWaves[w].p95Ms,
-                static_cast<unsigned long long>(fixedWaves[w].retransmits),
-                static_cast<unsigned long long>(fixedWaves[w].timeouts));
+  if (ctx.printing()) {
+    std::printf(
+        "expected shape: the budget stays at 1 on a clean network (no retry\n"
+        "overhead) and grows with the observed timeout rate, approaching the\n"
+        "fixed attempts=4 row's success without hand-tuning per deployment.\n");
   }
-  for (std::size_t w = 0; w < kF3Waves; ++w) {
-    std::printf("%-9s %-5zu %8.0f%% %10.1f %10.1f %13llu %9llu\n", "adaptive",
-                w + 1, 100 * adaptiveWaves[w].successRate,
-                adaptiveWaves[w].p50Ms, adaptiveWaves[w].p95Ms,
-                static_cast<unsigned long long>(adaptiveWaves[w].retransmits),
-                static_cast<unsigned long long>(adaptiveWaves[w].timeouts));
-  }
-  std::printf(
-      "\nexpected shape: fixed 250ms gives up 650ms after the first send, so\n"
-      "every far RPC fails — far-replicated items are unreachable and each\n"
-      "far call burns one spurious retransmission, wave after wave. The\n"
-      "adaptive rows back each slow destination's timeout off until its true\n"
-      "RTT is sampled (Karn's rule: only unretransmitted calls count), so by\n"
-      "the last wave far calls complete on their first attempt: higher\n"
-      "success, lower p95 completion, and an order of magnitude fewer\n"
-      "spurious retransmits.\n");
-  return 0;
 }
+
+BENCH_SCENARIO(f1b_observability) {
+  if (ctx.printing()) {
+    std::printf(
+        "\nF1b: per-RPC observability at drop=0.20, attempts=4 (the endpoint's\n"
+        "uniform rpc.<type>.* surface; lookup phase only)\n\n");
+  }
+  const Outcome o = run(ctx, 0.2, 4, nullptr, &ctx.metrics());
+  if (ctx.printing()) sim::printRpcObservability(ctx.metrics());
+  ctx.param("success", o.successRate);
+  ctx.param("msgs_per_lookup", o.msgsPerLookup);
+}
+
+BENCH_SCENARIO(f3_bimodal) {
+  const Sizes sz = sizesFor(ctx);
+  const std::size_t lookupsPerWave = ctx.smoke() ? 12 : 40;
+  if (ctx.printing()) {
+    std::printf(
+        "\nF3: bimodal link delays — half the fleet +%lldms each way — fixed vs\n"
+        "adaptive per-destination timeouts (%zu peers, %zu waves x %zu lookups,\n"
+        "rpcTimeout=250ms, attempts=2, lossless: every retransmit is spurious)\n\n",
+        static_cast<long long>(kF3FarDelay / kMillisecond), sz.peers, kF3Waves,
+        lookupsPerWave);
+    std::printf("%-9s %-5s %9s %10s %10s %13s %9s\n", "policy", "wave",
+                "success", "p50(ms)", "p95(ms)", "spur.rexmit", "timeouts");
+  }
+  const std::vector<WaveStats> fixedWaves = runF3(ctx, false);
+  const std::vector<WaveStats> adaptiveWaves = runF3(ctx, true);
+  const std::pair<const char*, const std::vector<WaveStats>&> rows[] = {
+      {"fixed", fixedWaves}, {"adaptive", adaptiveWaves}};
+  for (const auto& [policy, waves] : rows) {
+    for (std::size_t w = 0; w < kF3Waves; ++w) {
+      if (ctx.printing()) {
+        std::printf("%-9s %-5zu %8.0f%% %10.1f %10.1f %13llu %9llu\n", policy,
+                    w + 1, 100 * waves[w].successRate, waves[w].p50Ms,
+                    waves[w].p95Ms,
+                    static_cast<unsigned long long>(waves[w].retransmits),
+                    static_cast<unsigned long long>(waves[w].timeouts));
+      }
+      const std::string tag =
+          std::string(".") + policy + ".w" + std::to_string(w + 1);
+      ctx.param("success" + tag, waves[w].successRate);
+      ctx.param("p95_ms" + tag, waves[w].p95Ms);
+      ctx.counter("retransmits" + tag, waves[w].retransmits);
+      ctx.counter("timeouts" + tag, waves[w].timeouts);
+    }
+  }
+  if (ctx.printing()) {
+    std::printf(
+        "\nexpected shape: fixed 250ms gives up 650ms after the first send, so\n"
+        "every far RPC fails — far-replicated items are unreachable and each\n"
+        "far call burns one spurious retransmission, wave after wave. The\n"
+        "adaptive rows back each slow destination's timeout off until its true\n"
+        "RTT is sampled (Karn's rule: only unretransmitted calls count), so by\n"
+        "the last wave far calls complete on their first attempt: higher\n"
+        "success, lower p95 completion, and an order of magnitude fewer\n"
+        "spurious retransmits.\n");
+  }
+}
+
+BENCHKIT_MAIN()

@@ -7,25 +7,31 @@
 // measure the probability that the fork has been detected after r rounds as
 // a function of the fork size and p — detection needs exactly one cross-fork
 // pair to talk.
+//
+// Two benchkit scenarios: the detection sweep and the honest-provider
+// control. `--smoke` shrinks the trial count.
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "dosn/benchkit/benchkit.hpp"
 #include "dosn/integrity/fork_consistency.hpp"
 
 using namespace dosn;
+using benchkit::ScenarioContext;
 using integrity::AuditingClient;
 using integrity::ForkingProvider;
 
 namespace {
 
 constexpr std::size_t kClients = 20;
-constexpr std::size_t kTrials = 60;
 
 double detectionProbability(std::size_t forkedClients, double contactProb,
-                            std::size_t rounds, std::uint64_t seed) {
+                            std::size_t rounds, std::uint64_t seed,
+                            std::size_t trials) {
   std::size_t detectedTrials = 0;
-  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+  for (std::size_t trial = 0; trial < trials; ++trial) {
     util::Rng rng(seed + trial);
     const auto& group = pkcrypto::DlogGroup::cached(256);
     ForkingProvider provider(group, rng);
@@ -62,44 +68,61 @@ double detectionProbability(std::size_t forkedClients, double contactProb,
     }
     if (detected) ++detectedTrials;
   }
-  return static_cast<double>(detectedTrials) / kTrials;
+  return static_cast<double>(detectedTrials) / static_cast<double>(trials);
 }
 
 }  // namespace
 
-int main() {
-  std::printf(
-      "E9: fork detection probability (%zu clients, %zu trials)\n"
-      "(per round, each client cross-checks one random peer with prob. p)\n\n",
-      kClients, kTrials);
+BENCH_SCENARIO(e9_fork_detection) {
+  const std::size_t trials = ctx.smoke() ? 10 : 60;
+  ctx.param("clients", static_cast<double>(kClients));
+  ctx.param("trials", static_cast<double>(trials));
+  if (ctx.printing()) {
+    std::printf(
+        "E9: fork detection probability (%zu clients, %zu trials)\n"
+        "(per round, each client cross-checks one random peer with prob. p)\n\n",
+        kClients, trials);
+  }
   for (const double p : {0.1, 0.5}) {
-    std::printf("  contact probability p=%.1f\n", p);
-    std::printf("    %-16s", "forked clients");
-    for (const std::size_t rounds : {1u, 2u, 4u, 8u}) {
-      std::printf("  after %zu round(s)", rounds);
-    }
-    std::printf("\n");
-    for (const std::size_t forked : {1u, 2u, 5u, 10u}) {
-      std::printf("    %-16zu", forked);
+    if (ctx.printing()) {
+      std::printf("  contact probability p=%.1f\n", p);
+      std::printf("    %-16s", "forked clients");
       for (const std::size_t rounds : {1u, 2u, 4u, 8u}) {
-        std::printf("  %15.0f%%",
-                    100 * detectionProbability(
-                              forked, p, rounds,
-                              1000 * forked + static_cast<std::uint64_t>(100 * p)));
+        std::printf("  after %zu round(s)", rounds);
       }
       std::printf("\n");
     }
-    std::printf("\n");
+    for (const std::size_t forked : {1u, 2u, 5u, 10u}) {
+      if (ctx.printing()) std::printf("    %-16zu", forked);
+      for (const std::size_t rounds : {1u, 2u, 4u, 8u}) {
+        const double prob = detectionProbability(
+            forked, p, rounds,
+            ctx.seed() - 42 + 1000 * forked +
+                static_cast<std::uint64_t>(100 * p),
+            trials);
+        if (ctx.printing()) std::printf("  %15.0f%%", 100 * prob);
+        ctx.param("detect.p" + std::to_string(static_cast<int>(100 * p)) +
+                      ".f" + std::to_string(forked) + ".r" +
+                      std::to_string(rounds),
+                  prob);
+      }
+      if (ctx.printing()) std::printf("\n");
+    }
+    if (ctx.printing()) std::printf("\n");
   }
-  std::printf(
-      "\nexpected shape: detection needs one cross-fork contact; a 50/50 fork\n"
-      "is caught almost immediately, while forking a single victim takes\n"
-      "more rounds (only contacts involving that victim help). Either way\n"
-      "detection converges to 1 — the paper's claim that communicating\n"
-      "clients 'will discover the provider's misbehaviour'.\n");
+  if (ctx.printing()) {
+    std::printf(
+        "\nexpected shape: detection needs one cross-fork contact; a 50/50 fork\n"
+        "is caught almost immediately, while forking a single victim takes\n"
+        "more rounds (only contacts involving that victim help). Either way\n"
+        "detection converges to 1 — the paper's claim that communicating\n"
+        "clients 'will discover the provider's misbehaviour'.\n");
+  }
+}
 
-  // A control: an honest (unforked) provider is never falsely accused.
-  util::Rng rng(9);
+// A control: an honest (unforked) provider is never falsely accused.
+BENCH_SCENARIO(e9_honest_control) {
+  util::Rng rng(ctx.seed() - 33);  // historical seed 9 at default 42
   const auto& group = pkcrypto::DlogGroup::cached(256);
   ForkingProvider honest(group, rng);
   honest.addClient("a");
@@ -110,8 +133,13 @@ int main() {
   AuditingClient b(group, "b", honest.publicKey());
   a.observe(honest.headFor("a"));
   b.observe(honest.headFor("b"));
-  std::printf("\ncontrol (honest provider): false positives = %s\n",
-              (a.crossCheck(b, honest) || b.crossCheck(a, honest)) ? "YES (BUG)"
-                                                                   : "0");
-  return 0;
+  const bool falsePositive = a.crossCheck(b, honest) || b.crossCheck(a, honest);
+  ctx.require(!falsePositive, "honest provider falsely accused");
+  if (ctx.printing()) {
+    std::printf("\ncontrol (honest provider): false positives = %s\n",
+                falsePositive ? "YES (BUG)" : "0");
+  }
+  ctx.counter("false_positives", falsePositive ? 1 : 0);
 }
+
+BENCHKIT_MAIN()

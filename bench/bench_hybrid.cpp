@@ -6,72 +6,78 @@
 // encryption pays asymmetric work per byte per member; the hybrid scheme pays
 // it once for a 32-byte data key. The crossover appears immediately and the
 // gap widens with payload size.
-#include <benchmark/benchmark.h>
+//
+// Two benchkit scenarios (naive vs hybrid); JSON params carry
+// `encrypt_us.<payload>` and `envelope_bytes.<payload>` per sweep point.
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "dosn/benchkit/benchkit.hpp"
 #include "dosn/privacy/hybrid_acl.hpp"
 #include "dosn/privacy/publickey_acl.hpp"
 
 namespace {
 
 using namespace dosn;
+using benchkit::ScenarioContext;
 
 constexpr std::size_t kMembers = 8;
 
-struct PkFixture {
-  util::Rng rng{42};
-  privacy::PublicKeyAcl acl{pkcrypto::DlogGroup::cached(512), rng};
-  PkFixture() {
-    acl.createGroup("g");
-    for (std::size_t i = 0; i < kMembers; ++i) {
-      acl.addMember("g", "user" + std::to_string(i));
+bool gHeaderPrinted = false;
+
+void runSweep(ScenarioContext& ctx, const char* label,
+              privacy::AccessController& acl, util::Rng& rng) {
+  acl.createGroup("g");
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    acl.addMember("g", "user" + std::to_string(i));
+  }
+  const std::vector<std::size_t> payloads =
+      ctx.smoke() ? std::vector<std::size_t>{64, 4096}
+                  : std::vector<std::size_t>{64, 512, 4096, 32768, 262144};
+  const std::size_t iters = ctx.smoke() ? 1 : 8;
+  ctx.param("members", static_cast<double>(kMembers));
+  ctx.counter("iters", iters);
+
+  if (ctx.printing() && !gHeaderPrinted) {
+    gHeaderPrinted = true;
+    std::printf("E4: naive public-key vs hybrid encryption, %zu members\n",
+                kMembers);
+    std::printf("  %-10s %9s %12s %15s\n", "scheme", "payload", "us/encrypt",
+                "envelope bytes");
+  }
+  for (const std::size_t payloadBytes : payloads) {
+    const util::Bytes payload(payloadBytes, 0x5a);
+    std::size_t envelopeBytes = 0;
+    benchkit::Timer timer;
+    for (std::size_t i = 0; i < iters; ++i) {
+      const auto env = acl.encrypt("g", payload, rng);
+      envelopeBytes = env.blob.size();
+    }
+    const double encUs = timer.ms() * 1000.0 / static_cast<double>(iters);
+    const std::string suffix = "." + std::to_string(payloadBytes);
+    ctx.param("encrypt_us" + suffix, encUs);
+    ctx.param("envelope_bytes" + suffix, static_cast<double>(envelopeBytes));
+    if (ctx.printing()) {
+      std::printf("  %-10s %9zu %12.1f %15zu\n", label, payloadBytes, encUs,
+                  envelopeBytes);
     }
   }
-};
-
-struct HybridFixture {
-  util::Rng rng{42};
-  privacy::HybridAcl acl{pkcrypto::DlogGroup::cached(512), rng,
-                         privacy::WrapScheme::kPublicKey};
-  HybridFixture() {
-    acl.createGroup("g");
-    for (std::size_t i = 0; i < kMembers; ++i) {
-      acl.addMember("g", "user" + std::to_string(i));
-    }
-  }
-};
-
-void naivePublicKey(benchmark::State& state) {
-  PkFixture fx;
-  const util::Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5a);
-  std::size_t envelopeBytes = 0;
-  for (auto _ : state) {
-    auto env = fx.acl.encrypt("g", payload, fx.rng);
-    envelopeBytes = env.blob.size();
-    benchmark::DoNotOptimize(env);
-  }
-  state.counters["envelope_bytes"] =
-      static_cast<double>(envelopeBytes);
-}
-
-void hybrid(benchmark::State& state) {
-  HybridFixture fx;
-  const util::Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5a);
-  std::size_t envelopeBytes = 0;
-  for (auto _ : state) {
-    auto env = fx.acl.encrypt("g", payload, fx.rng);
-    envelopeBytes = env.blob.size();
-    benchmark::DoNotOptimize(env);
-  }
-  state.counters["envelope_bytes"] = static_cast<double>(envelopeBytes);
 }
 
 }  // namespace
 
-BENCHMARK(naivePublicKey)
-    ->RangeMultiplier(8)
-    ->Range(64, 262144)
-    ->Unit(benchmark::kMicrosecond);
-BENCHMARK(hybrid)
-    ->RangeMultiplier(8)
-    ->Range(64, 262144)
-    ->Unit(benchmark::kMicrosecond);
+BENCH_SCENARIO(e4_naive_pk, {.hot = true}) {
+  util::Rng rng(ctx.seed());
+  privacy::PublicKeyAcl acl(pkcrypto::DlogGroup::cached(512), rng);
+  runSweep(ctx, "naive_pk", acl, rng);
+}
+
+BENCH_SCENARIO(e4_hybrid, {.hot = true}) {
+  util::Rng rng(ctx.seed());
+  privacy::HybridAcl acl(pkcrypto::DlogGroup::cached(512), rng,
+                         privacy::WrapScheme::kPublicKey);
+  runSweep(ctx, "hybrid", acl, rng);
+}
+
+BENCHKIT_MAIN()

@@ -5,42 +5,62 @@
 // Sweeps homophily strength and the fraction of users hiding the attribute;
 // reports how often the hidden value is recovered. Baseline: random guessing
 // over `valueCount` values.
+//
+// One benchkit scenario; `--smoke` shrinks the graph.
 #include <cstdio>
+#include <string>
 
+#include "dosn/benchkit/benchkit.hpp"
 #include "dosn/social/graph_gen.hpp"
 #include "dosn/social/inference.hpp"
 
 using namespace dosn;
 using namespace dosn::social;
+using benchkit::ScenarioContext;
 
-int main() {
+BENCH_SCENARIO(e15_inference) {
   constexpr std::size_t kValues = 4;
-  std::printf(
-      "E15 (extension): attribute inference from friends' public values\n"
-      "(300-user small world, %zu attribute values; random-guess baseline "
-      "%.0f%%)\n\n",
-      kValues, 100.0 / kValues);
-  std::printf("  %-12s %-12s %18s %14s\n", "homophily", "hidden", "attack accuracy",
-              "leak rate");
+  const std::size_t users = ctx.smoke() ? 100 : 300;
+  ctx.param("users", static_cast<double>(users));
+  ctx.param("values", static_cast<double>(kValues));
+  if (ctx.printing()) {
+    std::printf(
+        "E15 (extension): attribute inference from friends' public values\n"
+        "(%zu-user small world, %zu attribute values; random-guess baseline "
+        "%.0f%%)\n\n",
+        users, kValues, 100.0 / kValues);
+    std::printf("  %-12s %-12s %18s %14s\n", "homophily", "hidden",
+                "attack accuracy", "leak rate");
+  }
   for (const double homophily : {0.0, 0.5, 0.8, 0.95}) {
     for (const double hidden : {0.2, 0.5, 0.8}) {
-      util::Rng rng(42);
-      const SocialGraph graph = wattsStrogatz(300, 4, 0.1, rng);
+      util::Rng rng(ctx.seed());
+      const SocialGraph graph = wattsStrogatz(users, 4, 0.1, rng);
       const AttributeWorld world =
           plantHomophilousAttribute(graph, kValues, homophily, hidden, rng);
       const InferenceReport report = runInferenceAttack(graph, world);
-      char hiddenLabel[16];
-      std::snprintf(hiddenLabel, sizeof(hiddenLabel), "%.0f%%", 100 * hidden);
-      std::printf("  %-12.2f %-12s %17.1f%% %13.1f%%\n", homophily,
-                  hiddenLabel, 100 * report.accuracyOnInferred(),
-                  100 * report.leakRate());
+      if (ctx.printing()) {
+        char hiddenLabel[16];
+        std::snprintf(hiddenLabel, sizeof(hiddenLabel), "%.0f%%", 100 * hidden);
+        std::printf("  %-12.2f %-12s %17.1f%% %13.1f%%\n", homophily,
+                    hiddenLabel, 100 * report.accuracyOnInferred(),
+                    100 * report.leakRate());
+      }
+      const std::string tag =
+          ".h" + std::to_string(static_cast<int>(100 * homophily)) + ".hide" +
+          std::to_string(static_cast<int>(100 * hidden));
+      ctx.param("accuracy" + tag, report.accuracyOnInferred());
+      ctx.param("leak_rate" + tag, report.leakRate());
     }
   }
-  std::printf(
-      "\nexpected shape: with no homophily the attack sits at the random\n"
-      "baseline; the stronger the homophily, the more a hidden attribute\n"
-      "leaks through friends — and hiding helps everyone only when most\n"
-      "users hide too (privacy as the 'collective phenomenon' the paper\n"
-      "cites). This is the open problem the survey says has no solution.\n");
-  return 0;
+  if (ctx.printing()) {
+    std::printf(
+        "\nexpected shape: with no homophily the attack sits at the random\n"
+        "baseline; the stronger the homophily, the more a hidden attribute\n"
+        "leaks through friends — and hiding helps everyone only when most\n"
+        "users hide too (privacy as the 'collective phenomenon' the paper\n"
+        "cites). This is the open problem the survey says has no solution.\n");
+  }
 }
+
+BENCHKIT_MAIN()

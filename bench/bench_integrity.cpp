@@ -4,45 +4,45 @@
 //   - object history tree: membership-proof size and verification stay
 //     logarithmic in the log length;
 //   - tamper detection: a corrupted interior entry is always caught.
-#include <chrono>
+//
+// Two benchkit scenarios (chain vs tree); `--smoke` caps the sweep lengths.
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "dosn/benchkit/benchkit.hpp"
 #include "dosn/integrity/hash_chain.hpp"
 #include "dosn/integrity/history_tree.hpp"
 
 using namespace dosn;
+using benchkit::ScenarioContext;
 
-namespace {
-
-double msSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
-}
-
-}  // namespace
-
-int main() {
-  util::Rng rng(42);
+BENCH_SCENARIO(e8_hash_chain) {
+  util::Rng rng(ctx.seed());
   const auto& group = pkcrypto::DlogGroup::cached(512);
   const social::Keyring publisher = social::createKeyring(group, "bob", rng);
 
-  std::printf("E8: historical-integrity costs\n\n");
-  std::printf("hash-chained timeline (Schnorr-512 per entry):\n");
-  std::printf("  %-8s %12s %14s %14s\n", "length", "append(ms)", "verify(ms)",
-              "tamper-found");
+  if (ctx.printing()) {
+    std::printf("E8: historical-integrity costs\n\n");
+    std::printf("hash-chained timeline (Schnorr-512 per entry):\n");
+    std::printf("  %-8s %12s %14s %14s\n", "length", "append(ms)", "verify(ms)",
+                "tamper-found");
+  }
+  const std::size_t maxLength = ctx.smoke() ? 32 : 512;
   for (const std::size_t length : {8u, 32u, 128u, 512u}) {
+    if (length > maxLength) continue;
     integrity::Timeline timeline(group, publisher);
-    auto t0 = std::chrono::steady_clock::now();
+    benchkit::Timer timer;
     for (std::size_t i = 0; i < length; ++i) {
       timeline.append(util::toBytes("post " + std::to_string(i)), rng);
     }
-    const double appendMs = msSince(t0) / static_cast<double>(length);
+    const double appendMs = timer.ms() / static_cast<double>(length);
 
-    t0 = std::chrono::steady_clock::now();
+    timer.reset();
     const bool valid =
         integrity::verifyChain(group, publisher.signing.pub, timeline.entries());
-    const double verifyMs = msSince(t0);
+    const double verifyMs = timer.ms();
+    ctx.require(valid, "untampered chain failed to verify");
 
     // Tamper an interior entry; detection must be 100%.
     std::size_t detected = 0;
@@ -54,48 +54,74 @@ int main() {
         ++detected;
       }
     }
-    std::printf("  %-8zu %12.3f %14.2f %11zu/%zu%s\n", length, appendMs,
-                verifyMs, detected, trials, valid ? "" : "  (BUG: invalid)");
+    ctx.require(detected == trials, "interior tampering went undetected");
+    if (ctx.printing()) {
+      std::printf("  %-8zu %12.3f %14.2f %11zu/%zu%s\n", length, appendMs,
+                  verifyMs, detected, trials, valid ? "" : "  (BUG: invalid)");
+    }
+    const std::string tag = "." + std::to_string(length);
+    ctx.param("append_ms" + tag, appendMs);
+    ctx.param("verify_ms" + tag, verifyMs);
+    ctx.counter("tamper_detected" + tag, detected);
   }
+}
 
-  std::printf("\nobject history tree (Frientegrity):\n");
-  std::printf("  %-8s %14s %12s %12s %14s %12s\n", "ops", "append(us)",
-              "prove(us)", "verify(us)", "proof-steps", "consistent");
+BENCH_SCENARIO(e8_history_tree, {.hot = true}) {
+  util::Rng rng(ctx.seed());
+  if (ctx.printing()) {
+    std::printf("\nobject history tree (Frientegrity):\n");
+    std::printf("  %-8s %14s %12s %12s %14s %12s\n", "ops", "append(us)",
+                "prove(us)", "verify(us)", "proof-steps", "consistent");
+  }
+  const std::size_t maxOps = ctx.smoke() ? 128 : 8192;
+  const std::size_t trials = ctx.smoke() ? 50 : 200;
   for (const std::size_t ops : {16u, 128u, 1024u, 8192u}) {
+    if (ops > maxOps) continue;
     integrity::HistoryTree tree;
-    auto t0 = std::chrono::steady_clock::now();
+    benchkit::Timer timer;
     for (std::size_t i = 0; i < ops; ++i) {
       tree.append(util::toBytes("op" + std::to_string(i)));
     }
-    const double appendUs = 1000 * msSince(t0) / static_cast<double>(ops);
+    const double appendUs = 1000 * timer.ms() / static_cast<double>(ops);
 
     const crypto::Digest root = tree.root();
-    const std::size_t trials = 200;
     std::vector<integrity::HistoryTree::MembershipProof> proofs;
     proofs.reserve(trials);
-    t0 = std::chrono::steady_clock::now();
+    timer.reset();
     for (std::size_t t = 0; t < trials; ++t) {
       proofs.push_back(*tree.prove(rng.uniform(ops), ops));
     }
-    const double proveUs = 1000 * msSince(t0) / static_cast<double>(trials);
+    const double proveUs = 1000 * timer.ms() / static_cast<double>(trials);
 
-    t0 = std::chrono::steady_clock::now();
+    timer.reset();
     bool allGood = true;
     for (const auto& proof : proofs) {
       allGood &= integrity::HistoryTree::verifyMembership(root, proof);
     }
-    const double verifyUs = 1000 * msSince(t0) / static_cast<double>(trials);
+    const double verifyUs = 1000 * timer.ms() / static_cast<double>(trials);
+    ctx.require(allGood, "membership proof failed to verify");
 
     // Prefix consistency against a historical root.
     const bool consistent = tree.consistentWith(ops / 2, tree.rootAt(ops / 2));
-    std::printf("  %-8zu %14.2f %12.2f %12.2f %14zu %12s%s\n", ops, appendUs,
-                proveUs, verifyUs, proofs.back().path.size(),
-                consistent ? "yes" : "NO",
-                allGood ? "" : "  (BUG: proof failed)");
+    ctx.require(consistent, "prefix consistency check failed");
+    if (ctx.printing()) {
+      std::printf("  %-8zu %14.2f %12.2f %12.2f %14zu %12s%s\n", ops, appendUs,
+                  proveUs, verifyUs, proofs.back().path.size(),
+                  consistent ? "yes" : "NO",
+                  allGood ? "" : "  (BUG: proof failed)");
+    }
+    const std::string tag = "." + std::to_string(ops);
+    ctx.param("append_us" + tag, appendUs);
+    ctx.param("prove_us" + tag, proveUs);
+    ctx.param("verify_us" + tag, verifyUs);
+    ctx.counter("proof_steps" + tag, proofs.back().path.size());
   }
-  std::printf(
-      "\nexpected shape: chain verification linear in length (one signature\n"
-      "check per entry); history-tree proof size/time logarithmic in ops;\n"
-      "interior tampering detected 10/10.\n");
-  return 0;
+  if (ctx.printing()) {
+    std::printf(
+        "\nexpected shape: chain verification linear in length (one signature\n"
+        "check per entry); history-tree proof size/time logarithmic in ops;\n"
+        "interior tampering detected 10/10.\n");
+  }
 }
+
+BENCHKIT_MAIN()

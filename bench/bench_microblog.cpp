@@ -6,15 +6,19 @@
 // verification outcomes and latency — the paper's §I thesis ("replication
 // ... to ensure availability" at the price of replica exposure) measured on
 // the complete system rather than a single layer.
-// F2 (appended below) layers a FaultPlan on top of the churn: a sustained
-// drop storm plus a substrate partition window, sweeping the DHT retry
-// budget (single-shot, fixed, adaptive) — the combined-failure scenario the
-// unified RPC endpoint exists for.
+// F2 (the second scenario) layers a FaultPlan on top of the churn: a
+// sustained drop storm plus a substrate partition window, sweeping the DHT
+// retry budget (single-shot, fixed, adaptive) — the combined-failure scenario
+// the unified RPC endpoint exists for.
+//
+// `--smoke` shrinks the substrate, fetch rounds and the k sweep.
 #include <cstdio>
 #include <memory>
 #include <set>
+#include <string>
 
 #include "dosn/app/microblog.hpp"
+#include "dosn/benchkit/benchkit.hpp"
 #include "dosn/net/retry.hpp"
 #include "dosn/privacy/symmetric_acl.hpp"
 #include "dosn/sim/churn.hpp"
@@ -22,6 +26,7 @@
 
 using namespace dosn;
 using namespace dosn::app;
+using benchkit::ScenarioContext;
 using sim::kMillisecond;
 using sim::kSecond;
 
@@ -36,11 +41,13 @@ struct Outcome {
   std::uint64_t fleetRetries = 0;   // whole swarm, via the shared endpoints
 };
 
-Outcome run(std::size_t replication, double onlineFraction,
-            std::size_t retryAttempts = 1,
+Outcome run(const ScenarioContext& ctx, std::size_t replication,
+            double onlineFraction, std::size_t retryAttempts = 1,
             net::AdaptiveRetryPolicy* adaptive = nullptr,
             bool withFaults = false, double jitterFraction = 0.0) {
-  util::Rng rng(42);
+  const int substrateSize = ctx.smoke() ? 12 : 30;
+  const int rounds = ctx.smoke() ? 8 : 30;
+  util::Rng rng(ctx.seed());
   sim::Simulator simulator;
   sim::Network net(simulator,
                    sim::LatencyModel{20 * kMillisecond, 10 * kMillisecond, 0.0},
@@ -65,7 +72,7 @@ Outcome run(std::size_t replication, double onlineFraction,
 
   // Substrate peers carry replicas; publisher and readers are MicroblogNodes.
   std::vector<std::unique_ptr<overlay::KademliaNode>> substrate;
-  for (int i = 0; i < 30; ++i) {
+  for (int i = 0; i < substrateSize; ++i) {
     substrate.push_back(std::make_unique<overlay::KademliaNode>(
         net, overlay::OverlayId::random(rng), config));
   }
@@ -118,7 +125,7 @@ Outcome run(std::size_t replication, double onlineFraction,
 
   Outcome out;
   double latencySum = 0;
-  for (int round = 0; round < 30; ++round) {
+  for (int round = 0; round < rounds; ++round) {
     simulator.runUntil(simulator.now() + 30 * kSecond);
     ++out.attempts;
     const sim::SimTime start = simulator.now();
@@ -154,70 +161,121 @@ Outcome run(std::size_t replication, double onlineFraction,
 
 }  // namespace
 
-int main() {
-  std::printf(
-      "E16 (system-level): encrypted microblog fetches under churn\n"
-      "(30 substrate peers + publisher churn, 5-post timeline, 30 fetches)\n\n");
+BENCH_SCENARIO(e16_churn_sweep) {
+  const int substrateSize = ctx.smoke() ? 12 : 30;
+  const int rounds = ctx.smoke() ? 8 : 30;
+  ctx.param("substrate", static_cast<double>(substrateSize));
+  ctx.param("rounds", static_cast<double>(rounds));
+  if (ctx.printing()) {
+    std::printf(
+        "E16 (system-level): encrypted microblog fetches under churn\n"
+        "(%d substrate peers + publisher churn, 5-post timeline, %d fetches)\n\n",
+        substrateSize, rounds);
+  }
   for (const double online : {0.5, 0.8}) {
-    std::printf("node availability a=%.0f%%\n", 100 * online);
-    std::printf("  %-6s %18s %18s %14s\n", "k", "verified fetches",
-                "fully decrypted", "latency(ms)");
-    for (const std::size_t k : {1u, 2u, 4u, 8u}) {
-      const Outcome o = run(k, online);
-      std::printf("  %-6zu %13zu/%-4zu %13zu/%-4zu %14.0f\n", k, o.fetched,
-                  o.attempts, o.decrypted, o.attempts, o.meanLatencyMs);
+    if (ctx.smoke() && online < 0.8) continue;
+    if (ctx.printing()) {
+      std::printf("node availability a=%.0f%%\n", 100 * online);
+      std::printf("  %-6s %18s %18s %14s\n", "k", "verified fetches",
+                  "fully decrypted", "latency(ms)");
     }
-    std::printf("\n");
+    for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+      if (ctx.smoke() && k != 2 && k != 4) continue;
+      const Outcome o = run(ctx, k, online);
+      if (ctx.printing()) {
+        std::printf("  %-6zu %13zu/%-4zu %13zu/%-4zu %14.0f\n", k, o.fetched,
+                    o.attempts, o.decrypted, o.attempts, o.meanLatencyMs);
+      }
+      const std::string tag = ".a" + std::to_string(static_cast<int>(
+                                  100 * online)) +
+                              ".k" + std::to_string(k);
+      ctx.counter("fetched" + tag, o.fetched);
+      ctx.counter("decrypted" + tag, o.decrypted);
+      ctx.param("latency_ms" + tag, o.meanLatencyMs);
+    }
+    if (ctx.printing()) std::printf("\n");
   }
-  std::printf(
-      "expected shape: fetch success tracks replica availability (all 6 DHT\n"
-      "records must be reachable), rising steeply with k and with node\n"
-      "uptime; every successful fetch verifies the chain and decrypts — the\n"
-      "full privacy+integrity+availability story at once.\n");
+  if (ctx.printing()) {
+    std::printf(
+        "expected shape: fetch success tracks replica availability (all 6 DHT\n"
+        "records must be reachable), rising steeply with k and with node\n"
+        "uptime; every successful fetch verifies the chain and decrypts — the\n"
+        "full privacy+integrity+availability story at once.\n");
+  }
+}
 
-  std::printf(
-      "\nF2: churn + fault storm combined (k=4, a=80%%, 25%% drop for the\n"
-      "whole fetch phase, 1/3 of the substrate partitioned for ~5 minutes),\n"
-      "sweeping the per-destination retry budget base through the shared\n"
-      "RPC endpoint (adaptive timeouts on: each peer's budget can grow\n"
-      "beyond the base as its observed timeout rate warrants)\n\n");
-  std::printf("  %-10s %18s %18s %14s %10s %10s\n", "budget",
-              "verified fetches", "fully decrypted", "latency(ms)",
-              "rdr.retry", "all.retry");
-  for (const std::size_t attempts : {1u, 3u}) {
-    const Outcome o = run(4, 0.8, attempts, nullptr, /*withFaults=*/true);
-    std::printf("  %-10zu %13zu/%-4zu %13zu/%-4zu %14.0f %10llu %10llu\n",
-                attempts, o.fetched, o.attempts, o.decrypted, o.attempts,
-                o.meanLatencyMs, static_cast<unsigned long long>(o.readerRetries),
-                static_cast<unsigned long long>(o.fleetRetries));
+BENCH_SCENARIO(f2_storm) {
+  if (ctx.printing()) {
+    std::printf(
+        "\nF2: churn + fault storm combined (k=4, a=80%%, 25%% drop for the\n"
+        "whole fetch phase, 1/3 of the substrate partitioned for ~5 minutes),\n"
+        "sweeping the per-destination retry budget base through the shared\n"
+        "RPC endpoint (adaptive timeouts on: each peer's budget can grow\n"
+        "beyond the base as its observed timeout rate warrants)\n\n");
+    std::printf("  %-10s %18s %18s %14s %10s %10s\n", "budget",
+                "verified fetches", "fully decrypted", "latency(ms)",
+                "rdr.retry", "all.retry");
   }
-  {
+  auto record = [&ctx](const char* label, const Outcome& o) {
+    const std::string tag = std::string(".") + label;
+    ctx.counter("fetched" + tag, o.fetched);
+    ctx.counter("decrypted" + tag, o.decrypted);
+    ctx.param("latency_ms" + tag, o.meanLatencyMs);
+    ctx.counter("reader_retries" + tag, o.readerRetries);
+    ctx.counter("fleet_retries" + tag, o.fleetRetries);
+  };
+  for (const std::size_t attempts : {1u, 3u}) {
+    if (ctx.smoke() && attempts == 1) continue;
+    const Outcome o = run(ctx, 4, 0.8, attempts, nullptr, /*withFaults=*/true);
+    if (ctx.printing()) {
+      std::printf("  %-10zu %13zu/%-4zu %13zu/%-4zu %14.0f %10llu %10llu\n",
+                  attempts, o.fetched, o.attempts, o.decrypted, o.attempts,
+                  o.meanLatencyMs,
+                  static_cast<unsigned long long>(o.readerRetries),
+                  static_cast<unsigned long long>(o.fleetRetries));
+    }
+    record(attempts == 1 ? "base1" : "base3", o);
+  }
+  if (!ctx.smoke()) {
     // Budget 3 with +/-30% backoff jitter: same retry spend, but the storm's
     // synchronized timeout cohorts retransmit at decorrelated instants.
     const Outcome o =
-        run(4, 0.8, 3, nullptr, /*withFaults=*/true, /*jitterFraction=*/0.3);
-    std::printf("  %-10s %13zu/%-4zu %13zu/%-4zu %14.0f %10llu %10llu\n",
-                "3+jitter", o.fetched, o.attempts, o.decrypted, o.attempts,
-                o.meanLatencyMs, static_cast<unsigned long long>(o.readerRetries),
-                static_cast<unsigned long long>(o.fleetRetries));
+        run(ctx, 4, 0.8, 3, nullptr, /*withFaults=*/true, /*jitterFraction=*/0.3);
+    if (ctx.printing()) {
+      std::printf("  %-10s %13zu/%-4zu %13zu/%-4zu %14.0f %10llu %10llu\n",
+                  "3+jitter", o.fetched, o.attempts, o.decrypted, o.attempts,
+                  o.meanLatencyMs,
+                  static_cast<unsigned long long>(o.readerRetries),
+                  static_cast<unsigned long long>(o.fleetRetries));
+    }
+    record("jitter", o);
   }
   {
     net::AdaptiveRetryPolicy::Config config;
     config.base = overlay::RetryPolicy{1, 150 * kMillisecond, 2.0};
     config.maxAttempts = 4;
     net::AdaptiveRetryPolicy adaptive(config);
-    const Outcome o = run(4, 0.8, 1, &adaptive, /*withFaults=*/true);
-    std::printf("  %-10s %13zu/%-4zu %13zu/%-4zu %14.0f %10llu %10llu"
-                "   (final budget %zu, est.rate %.0f%%)\n",
-                "adaptive", o.fetched, o.attempts, o.decrypted, o.attempts,
-                o.meanLatencyMs, static_cast<unsigned long long>(o.readerRetries),
-                static_cast<unsigned long long>(o.fleetRetries),
-                adaptive.attempts(), 100 * adaptive.timeoutRate());
+    const Outcome o = run(ctx, 4, 0.8, 1, &adaptive, /*withFaults=*/true);
+    if (ctx.printing()) {
+      std::printf("  %-10s %13zu/%-4zu %13zu/%-4zu %14.0f %10llu %10llu"
+                  "   (final budget %zu, est.rate %.0f%%)\n",
+                  "adaptive", o.fetched, o.attempts, o.decrypted, o.attempts,
+                  o.meanLatencyMs,
+                  static_cast<unsigned long long>(o.readerRetries),
+                  static_cast<unsigned long long>(o.fleetRetries),
+                  adaptive.attempts(), 100 * adaptive.timeoutRate());
+    }
+    record("adaptive", o);
+    ctx.counter("adaptive_budget", adaptive.attempts());
+    ctx.param("adaptive_timeout_rate", adaptive.timeoutRate());
   }
-  std::printf(
-      "expected shape: per-destination budgets grow where the storm bites,\n"
-      "so even base 1 recovers most fetches; a larger base spends more\n"
-      "retries for the same success; backoff jitter decorrelates the\n"
-      "storm's synchronized retransmit cohorts and buys back the rest.\n");
-  return 0;
+  if (ctx.printing()) {
+    std::printf(
+        "expected shape: per-destination budgets grow where the storm bites,\n"
+        "so even base 1 recovers most fetches; a larger base spends more\n"
+        "retries for the same success; backoff jitter decorrelates the\n"
+        "storm's synchronized retransmit cohorts and buys back the rest.\n");
+  }
 }
+
+BENCHKIT_MAIN()

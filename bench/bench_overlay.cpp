@@ -8,15 +8,18 @@
 //     gossip cache, DHT fallback for rare ones.
 //
 // All overlays run the same workload on the same simulated network: 60 peers,
-// 40 items, 200 Zipf-distributed lookups.
+// 40 items, 200 Zipf-distributed lookups (20/10/30 in `--smoke`). One benchkit
+// scenario per overlay; the workload is rebuilt from `--seed` per scenario so
+// every overlay still sees identical queries.
 //
 // Every overlay's traffic flows through net::RpcEndpoint, so each run also
-// collects the endpoint's uniform rpc.<type>.* observability surface over
-// its lookup phase (same format as bench_faults F1b), printed per overlay
-// after the comparison table.
+// collects the endpoint's uniform rpc.<type>.* observability surface over its
+// lookup phase (same format as bench_faults F1b), printed after each row and
+// merged into the scenario's JSON counters.
 #include <cstdio>
 #include <memory>
 
+#include "dosn/benchkit/benchkit.hpp"
 #include "dosn/overlay/flooding.hpp"
 #include "dosn/overlay/hybrid.hpp"
 #include "dosn/overlay/kademlia.hpp"
@@ -25,32 +28,43 @@
 
 using namespace dosn;
 using namespace dosn::overlay;
+using benchkit::ScenarioContext;
 using sim::kMillisecond;
 using sim::kSecond;
 
 namespace {
 
-constexpr std::size_t kPeers = 60;
-constexpr std::size_t kItems = 40;
-constexpr std::size_t kLookups = 200;
 constexpr double kZipfExponent = 1.0;
 
+struct Sizes {
+  std::size_t peers;
+  std::size_t items;
+  std::size_t lookups;
+};
+
+Sizes sizesFor(const ScenarioContext& ctx) {
+  return ctx.smoke() ? Sizes{20, 10, 30} : Sizes{60, 40, 200};
+}
+
 struct Workload {
+  Sizes sizes;
   std::vector<OverlayId> keys;
   std::vector<std::size_t> owners;    // which peer publishes item i
   std::vector<std::size_t> queries;   // item index per lookup (Zipf)
   std::vector<std::size_t> queriers;  // peer issuing each lookup
 };
 
-Workload makeWorkload(util::Rng& rng) {
+Workload makeWorkload(const ScenarioContext& ctx) {
+  util::Rng rng(ctx.seed());
   Workload w;
-  for (std::size_t i = 0; i < kItems; ++i) {
+  w.sizes = sizesFor(ctx);
+  for (std::size_t i = 0; i < w.sizes.items; ++i) {
     w.keys.push_back(OverlayId::hash("item-" + std::to_string(i)));
-    w.owners.push_back(rng.uniform(kPeers));
+    w.owners.push_back(rng.uniform(w.sizes.peers));
   }
-  for (std::size_t q = 0; q < kLookups; ++q) {
-    w.queries.push_back(rng.zipf(kItems, kZipfExponent));
-    w.queriers.push_back(rng.uniform(kPeers));
+  for (std::size_t q = 0; q < w.sizes.lookups; ++q) {
+    w.queries.push_back(rng.zipf(w.sizes.items, kZipfExponent));
+    w.queriers.push_back(rng.uniform(w.sizes.peers));
   }
   return w;
 }
@@ -64,13 +78,45 @@ struct Result {
   double cacheHitRate = -1;  // hybrid only
 };
 
-void printRow(const Result& r) {
-  std::printf("  %-12s %8zu/%-4zu %14.1f %14.1f %14llu", r.name, r.found,
-              kLookups, r.meanLatencyMs, r.msgsPerLookup,
-              static_cast<unsigned long long>(r.setupMessages));
-  if (r.cacheHitRate >= 0) {
-    std::printf(" %13.0f%%", 100 * r.cacheHitRate);
+bool gHeaderPrinted = false;
+
+void report(ScenarioContext& ctx, const Workload& w, const Result& r) {
+  if (ctx.printing()) {
+    if (!gHeaderPrinted) {
+      gHeaderPrinted = true;
+      std::printf(
+          "E6: overlay lookup comparison (%zu peers, %zu items, %zu Zipf(%.1f) "
+          "lookups)\n\n",
+          w.sizes.peers, w.sizes.items, w.sizes.lookups, kZipfExponent);
+      std::printf("  %-12s %13s %14s %14s %14s %14s\n", "overlay", "found",
+                  "latency(ms)", "msgs/lookup", "setup-msgs", "cache-hits");
+    }
+    std::printf("  %-12s %8zu/%-4zu %14.1f %14.1f %14llu", r.name, r.found,
+                w.sizes.lookups, r.meanLatencyMs, r.msgsPerLookup,
+                static_cast<unsigned long long>(r.setupMessages));
+    if (r.cacheHitRate >= 0) {
+      std::printf(" %13.0f%%", 100 * r.cacheHitRate);
+    }
+    std::printf("\n");
   }
+  ctx.param("peers", static_cast<double>(w.sizes.peers));
+  ctx.param("items", static_cast<double>(w.sizes.items));
+  ctx.param("lookups", static_cast<double>(w.sizes.lookups));
+  ctx.counter("found", r.found);
+  ctx.param("mean_latency_ms", r.meanLatencyMs);
+  ctx.param("msgs_per_lookup", r.msgsPerLookup);
+  ctx.counter("setup_messages", r.setupMessages);
+  if (r.cacheHitRate >= 0) ctx.param("cache_hit_rate", r.cacheHitRate);
+}
+
+void printSurface(const ScenarioContext& ctx, const char* name,
+                  const sim::Metrics& metrics) {
+  if (!ctx.printing()) return;
+  std::printf(
+      "\n%s RPC observability (lookup phase only; the endpoint's uniform\n"
+      "rpc.<type>.* surface, format as bench_faults F1b)\n",
+      name);
+  sim::printRpcObservability(metrics);
   std::printf("\n");
 }
 
@@ -81,15 +127,15 @@ Result runDht(const Workload& w, sim::Metrics* rpcMetrics) {
                    sim::LatencyModel{20 * kMillisecond, 10 * kMillisecond, 0.0},
                    rng);
   std::vector<std::unique_ptr<KademliaNode>> peers;
-  for (std::size_t i = 0; i < kPeers; ++i) {
+  for (std::size_t i = 0; i < w.sizes.peers; ++i) {
     peers.push_back(std::make_unique<KademliaNode>(net, OverlayId::random(rng)));
   }
   const Contact seed{peers[0]->id(), peers[0]->addr()};
-  for (std::size_t i = 1; i < kPeers; ++i) {
+  for (std::size_t i = 1; i < w.sizes.peers; ++i) {
     peers[i]->bootstrap(seed);
     simulator.run();
   }
-  for (std::size_t i = 0; i < kItems; ++i) {
+  for (std::size_t i = 0; i < w.sizes.items; ++i) {
     peers[w.owners[i]]->store(w.keys[i], util::toBytes("v"), {});
     simulator.run();
   }
@@ -100,7 +146,7 @@ Result runDht(const Workload& w, sim::Metrics* rpcMetrics) {
   // msgs/lookup column (and bench_faults F1b's convention).
   if (rpcMetrics) net.setMetrics(rpcMetrics);
   double latencySum = 0;
-  for (std::size_t q = 0; q < kLookups; ++q) {
+  for (std::size_t q = 0; q < w.sizes.lookups; ++q) {
     const sim::SimTime start = simulator.now();
     bool found = false;
     sim::SimTime foundAt = start;
@@ -116,7 +162,8 @@ Result runDht(const Workload& w, sim::Metrics* rpcMetrics) {
     }
   }
   r.meanLatencyMs = r.found ? latencySum / static_cast<double>(r.found) : 0;
-  r.msgsPerLookup = static_cast<double>(net.messagesSent()) / kLookups;
+  r.msgsPerLookup =
+      static_cast<double>(net.messagesSent()) / static_cast<double>(w.sizes.lookups);
   return r;
 }
 
@@ -127,18 +174,18 @@ Result runFlooding(const Workload& w, sim::Metrics* rpcMetrics) {
                    sim::LatencyModel{20 * kMillisecond, 10 * kMillisecond, 0.0},
                    rng);
   std::vector<std::unique_ptr<FloodingNode>> peers;
-  for (std::size_t i = 0; i < kPeers; ++i) {
+  for (std::size_t i = 0; i < w.sizes.peers; ++i) {
     peers.push_back(std::make_unique<FloodingNode>(net, OverlayId::random(rng)));
   }
   // Random 4-regular-ish graph: ring + 2 random chords per node.
-  for (std::size_t i = 0; i < kPeers; ++i) {
-    linkNodes(*peers[i], *peers[(i + 1) % kPeers]);
+  for (std::size_t i = 0; i < w.sizes.peers; ++i) {
+    linkNodes(*peers[i], *peers[(i + 1) % w.sizes.peers]);
   }
-  for (std::size_t i = 0; i < kPeers; ++i) {
-    const std::size_t j = rng.uniform(kPeers);
+  for (std::size_t i = 0; i < w.sizes.peers; ++i) {
+    const std::size_t j = rng.uniform(w.sizes.peers);
     if (j != i) linkNodes(*peers[i], *peers[j]);
   }
-  for (std::size_t i = 0; i < kItems; ++i) {
+  for (std::size_t i = 0; i < w.sizes.items; ++i) {
     peers[w.owners[i]]->publish(w.keys[i], util::toBytes("v"));
   }
   Result r{"flooding"};
@@ -146,7 +193,7 @@ Result runFlooding(const Workload& w, sim::Metrics* rpcMetrics) {
   net.resetStats();
   if (rpcMetrics) net.setMetrics(rpcMetrics);
   double latencySum = 0;
-  for (std::size_t q = 0; q < kLookups; ++q) {
+  for (std::size_t q = 0; q < w.sizes.lookups; ++q) {
     const sim::SimTime start = simulator.now();
     bool found = false;
     sim::SimTime foundAt = start;
@@ -163,7 +210,8 @@ Result runFlooding(const Workload& w, sim::Metrics* rpcMetrics) {
     }
   }
   r.meanLatencyMs = r.found ? latencySum / static_cast<double>(r.found) : 0;
-  r.msgsPerLookup = static_cast<double>(net.messagesSent()) / kLookups;
+  r.msgsPerLookup =
+      static_cast<double>(net.messagesSent()) / static_cast<double>(w.sizes.lookups);
   return r;
 }
 
@@ -186,11 +234,11 @@ Result runSuperPeer(const Workload& w, sim::Metrics* rpcMetrics) {
     supers[i]->setPeers(others);
   }
   std::vector<std::unique_ptr<LeafPeer>> peers;
-  for (std::size_t i = 0; i < kPeers; ++i) {
+  for (std::size_t i = 0; i < w.sizes.peers; ++i) {
     peers.push_back(
         std::make_unique<LeafPeer>(net, supers[i % kSupers]->addr()));
   }
-  for (std::size_t i = 0; i < kItems; ++i) {
+  for (std::size_t i = 0; i < w.sizes.items; ++i) {
     peers[w.owners[i]]->publish(w.keys[i], util::toBytes("v"));
   }
   simulator.run();
@@ -199,7 +247,7 @@ Result runSuperPeer(const Workload& w, sim::Metrics* rpcMetrics) {
   net.resetStats();
   if (rpcMetrics) net.setMetrics(rpcMetrics);
   double latencySum = 0;
-  for (std::size_t q = 0; q < kLookups; ++q) {
+  for (std::size_t q = 0; q < w.sizes.lookups; ++q) {
     const sim::SimTime start = simulator.now();
     bool found = false;
     sim::SimTime foundAt = start;
@@ -215,7 +263,8 @@ Result runSuperPeer(const Workload& w, sim::Metrics* rpcMetrics) {
     }
   }
   r.meanLatencyMs = r.found ? latencySum / static_cast<double>(r.found) : 0;
-  r.msgsPerLookup = static_cast<double>(net.messagesSent()) / kLookups;
+  r.msgsPerLookup =
+      static_cast<double>(net.messagesSent()) / static_cast<double>(w.sizes.lookups);
   return r;
 }
 
@@ -226,22 +275,22 @@ Result runHybrid(const Workload& w, sim::Metrics* rpcMetrics) {
                    sim::LatencyModel{20 * kMillisecond, 10 * kMillisecond, 0.0},
                    rng);
   std::vector<std::unique_ptr<HybridNode>> peers;
-  for (std::size_t i = 0; i < kPeers; ++i) {
+  for (std::size_t i = 0; i < w.sizes.peers; ++i) {
     peers.push_back(std::make_unique<HybridNode>(net, OverlayId::random(rng)));
   }
   const Contact seed{peers[0]->dht().id(), peers[0]->dht().addr()};
   std::vector<sim::NodeAddr> cachePeers;
   for (const auto& p : peers) cachePeers.push_back(p->cache().addr());
-  for (std::size_t i = 0; i < kPeers; ++i) {
+  for (std::size_t i = 0; i < w.sizes.peers; ++i) {
     if (i > 0) peers[i]->dht().bootstrap(seed);
     peers[i]->cache().setPeers(cachePeers);
     simulator.run();
   }
   // Popular items (top 20% of the Zipf ranks) are gossiped; the rest are
   // DHT-only.
-  for (std::size_t i = 0; i < kItems; ++i) {
+  for (std::size_t i = 0; i < w.sizes.items; ++i) {
     peers[w.owners[i]]->publish(w.keys[i], util::toBytes("v"),
-                                /*seedCache=*/i < kItems / 5);
+                                /*seedCache=*/i < w.sizes.items / 5);
     simulator.run();
   }
   for (const auto& p : peers) p->cache().start();
@@ -254,7 +303,7 @@ Result runHybrid(const Workload& w, sim::Metrics* rpcMetrics) {
   if (rpcMetrics) net.setMetrics(rpcMetrics);
   double latencySum = 0;
   std::size_t cacheHits = 0;
-  for (std::size_t q = 0; q < kLookups; ++q) {
+  for (std::size_t q = 0; q < w.sizes.lookups; ++q) {
     const sim::SimTime start = simulator.now();
     bool found = false;
     bool fromCache = false;
@@ -273,7 +322,8 @@ Result runHybrid(const Workload& w, sim::Metrics* rpcMetrics) {
     }
   }
   r.meanLatencyMs = r.found ? latencySum / static_cast<double>(r.found) : 0;
-  r.msgsPerLookup = static_cast<double>(net.messagesSent()) / kLookups;
+  r.msgsPerLookup =
+      static_cast<double>(net.messagesSent()) / static_cast<double>(w.sizes.lookups);
   r.cacheHitRate = r.found ? static_cast<double>(cacheHits) /
                                  static_cast<double>(r.found)
                            : 0;
@@ -282,39 +332,36 @@ Result runHybrid(const Workload& w, sim::Metrics* rpcMetrics) {
 
 }  // namespace
 
-int main() {
-  util::Rng rng(42);
-  const Workload w = makeWorkload(rng);
-  std::printf(
-      "E6: overlay lookup comparison (%zu peers, %zu items, %zu Zipf(%.1f) "
-      "lookups)\n\n",
-      kPeers, kItems, kLookups, kZipfExponent);
-  std::printf("  %-12s %13s %14s %14s %14s %14s\n", "overlay", "found",
-              "latency(ms)", "msgs/lookup", "setup-msgs", "cache-hits");
-  sim::Metrics dhtMetrics, floodMetrics, superMetrics, hybridMetrics;
-  printRow(runDht(w, &dhtMetrics));
-  printRow(runFlooding(w, &floodMetrics));
-  printRow(runSuperPeer(w, &superMetrics));
-  printRow(runHybrid(w, &hybridMetrics));
-  std::printf(
-      "\nexpected shape: flooding has ~0 setup messages but the most traffic\n"
-      "per lookup and TTL-bounded success; the DHT resolves everything in\n"
-      "bounded steps at moderate cost; super-peers are cheapest per query\n"
-      "but concentrate index state; hybrid serves popular items from cache\n"
-      "at near-zero marginal cost with DHT completeness for rare ones.\n");
-
-  const std::pair<const char*, const sim::Metrics*> surfaces[] = {
-      {"dht", &dhtMetrics},
-      {"flooding", &floodMetrics},
-      {"super-peer", &superMetrics},
-      {"hybrid", &hybridMetrics},
-  };
-  std::printf(
-      "\nper-overlay RPC observability (lookup phase only; the endpoint's\n"
-      "uniform rpc.<type>.* surface, format as bench_faults F1b)\n");
-  for (const auto& [name, metrics] : surfaces) {
-    std::printf("\n--- %s ---\n", name);
-    sim::printRpcObservability(*metrics);
-  }
-  return 0;
+BENCH_SCENARIO(e6_dht, {.hot = true}) {
+  const Workload w = makeWorkload(ctx);
+  report(ctx, w, runDht(w, &ctx.metrics()));
+  printSurface(ctx, "dht", ctx.metrics());
 }
+
+BENCH_SCENARIO(e6_flooding) {
+  const Workload w = makeWorkload(ctx);
+  report(ctx, w, runFlooding(w, &ctx.metrics()));
+  printSurface(ctx, "flooding", ctx.metrics());
+}
+
+BENCH_SCENARIO(e6_superpeer) {
+  const Workload w = makeWorkload(ctx);
+  report(ctx, w, runSuperPeer(w, &ctx.metrics()));
+  printSurface(ctx, "super-peer", ctx.metrics());
+}
+
+BENCH_SCENARIO(e6_hybrid, {.hot = true}) {
+  const Workload w = makeWorkload(ctx);
+  report(ctx, w, runHybrid(w, &ctx.metrics()));
+  printSurface(ctx, "hybrid", ctx.metrics());
+  if (ctx.printing()) {
+    std::printf(
+        "expected shape: flooding has ~0 setup messages but the most traffic\n"
+        "per lookup and TTL-bounded success; the DHT resolves everything in\n"
+        "bounded steps at moderate cost; super-peers are cheapest per query\n"
+        "but concentrate index state; hybrid serves popular items from cache\n"
+        "at near-zero marginal cost with DHT completeness for rare ones.\n");
+  }
+}
+
+BENCHKIT_MAIN()

@@ -4,34 +4,31 @@
 //
 // Sweeps ACL member count and compares PAD lookup (+ proof) against a flat
 // list-scan ACL; also reports the structure height to make the O(log n)
-// shape visible.
-#include <chrono>
+// shape visible. One benchkit scenario runs the sweep; `--smoke` caps the
+// dictionary at 256 members.
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "dosn/benchkit/benchkit.hpp"
 #include "dosn/privacy/pad.hpp"
 #include "dosn/util/rng.hpp"
 
 using namespace dosn;
+using benchkit::ScenarioContext;
 
-namespace {
+BENCH_SCENARIO(e5_pad_lookup, {.hot = true}) {
+  if (ctx.printing()) {
+    std::printf("E5: PAD (log-time) vs flat-list ACL lookup\n\n");
+    std::printf("%-10s %14s %14s %16s %10s %14s\n", "members", "pad-find(ns)",
+                "list-scan(ns)", "pad+proof(ns)", "height", "proof-steps");
+  }
 
-double nsPerOp(std::chrono::steady_clock::time_point start, int ops) {
-  return std::chrono::duration<double, std::nano>(
-             std::chrono::steady_clock::now() - start)
-             .count() /
-         ops;
-}
-
-}  // namespace
-
-int main() {
-  std::printf("E5: PAD (log-time) vs flat-list ACL lookup\n\n");
-  std::printf("%-10s %14s %14s %16s %10s %14s\n", "members", "pad-find(ns)",
-              "list-scan(ns)", "pad+proof(ns)", "height", "proof-steps");
-
-  util::Rng rng(42);
+  util::Rng rng(ctx.seed());
+  const std::size_t maxN = ctx.smoke() ? 256 : 16384;
+  const int lookups = ctx.smoke() ? 50 : 200;
   for (std::size_t n : {16u, 64u, 256u, 1024u, 4096u, 16384u}) {
+    if (n > maxN) continue;
     privacy::Pad pad;
     std::vector<std::pair<std::string, util::Bytes>> list;
     for (std::size_t i = 0; i < n; ++i) {
@@ -41,18 +38,19 @@ int main() {
     }
     // Lookup targets spread over the key space.
     std::vector<std::string> targets;
-    for (int i = 0; i < 200; ++i) {
+    for (int i = 0; i < lookups; ++i) {
       targets.push_back("member-" + std::to_string(rng.uniform(n)));
     }
 
-    auto t0 = std::chrono::steady_clock::now();
+    benchkit::Timer timer;
     for (const auto& key : targets) {
       volatile bool hit = pad.find(key).has_value();
       (void)hit;
     }
-    const double padNs = nsPerOp(t0, static_cast<int>(targets.size()));
+    const double padNs =
+        timer.ms() * 1e6 / static_cast<double>(targets.size());
 
-    t0 = std::chrono::steady_clock::now();
+    timer.reset();
     for (const auto& key : targets) {
       bool hit = false;
       for (const auto& [k, v] : list) {
@@ -64,22 +62,35 @@ int main() {
       volatile bool sink = hit;
       (void)sink;
     }
-    const double listNs = nsPerOp(t0, static_cast<int>(targets.size()));
+    const double listNs =
+        timer.ms() * 1e6 / static_cast<double>(targets.size());
 
-    t0 = std::chrono::steady_clock::now();
+    timer.reset();
     std::size_t proofSteps = 0;
     for (const auto& key : targets) {
       const auto proof = pad.prove(key);
       proofSteps = proof->steps.size();
     }
-    const double proofNs = nsPerOp(t0, static_cast<int>(targets.size()));
+    const double proofNs =
+        timer.ms() * 1e6 / static_cast<double>(targets.size());
 
-    std::printf("%-10zu %14.0f %14.0f %16.0f %10zu %14zu\n", n, padNs, listNs,
-                proofNs, pad.height(), proofSteps);
+    if (ctx.printing()) {
+      std::printf("%-10zu %14.0f %14.0f %16.0f %10zu %14zu\n", n, padNs,
+                  listNs, proofNs, pad.height(), proofSteps);
+    }
+    const std::string tag = "." + std::to_string(n);
+    ctx.param("pad_find_ns" + tag, padNs);
+    ctx.param("list_scan_ns" + tag, listNs);
+    ctx.param("pad_proof_ns" + tag, proofNs);
+    ctx.counter("height" + tag, pad.height());
+    ctx.counter("proof_steps" + tag, proofSteps);
   }
-  std::printf(
-      "\nexpected shape: pad-find grows ~log n (height ~1.5-3x log2 n);\n"
-      "list-scan grows linearly and overtakes the PAD by orders of magnitude\n"
-      "at large n.\n");
-  return 0;
+  if (ctx.printing()) {
+    std::printf(
+        "\nexpected shape: pad-find grows ~log n (height ~1.5-3x log2 n);\n"
+        "list-scan grows linearly and overtakes the PAD by orders of magnitude\n"
+        "at large n.\n");
+  }
 }
+
+BENCHKIT_MAIN()

@@ -5,8 +5,14 @@
 // Expected shape: all operations are dominated by modular exponentiation, so
 // costs grow ~cubically with modulus bits; every protocol stays in the
 // single-digit-millisecond range at simulation sizes.
-#include <benchmark/benchmark.h>
+//
+// One benchkit scenario per protocol; each sweeps group sizes and records
+// `ms_per_round.<bits>` params. `--smoke` runs the smallest size once.
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "dosn/benchkit/benchkit.hpp"
 #include "dosn/pkcrypto/blind_rsa.hpp"
 #include "dosn/pkcrypto/oprf.hpp"
 #include "dosn/pkcrypto/schnorr.hpp"
@@ -15,67 +21,104 @@ namespace {
 
 using namespace dosn;
 using namespace dosn::pkcrypto;
+using benchkit::ScenarioContext;
 
-// --- Blind RSA (one full subscribe: blind, sign, unblind, verify) ---
+bool gHeaderPrinted = false;
 
-void blindSignatureRound(benchmark::State& state) {
-  util::Rng rng(42);
-  const RsaPrivateKey signer =
-      rsaGenerate(static_cast<std::size_t>(state.range(0)), rng);
-  const util::Bytes tag = util::toBytes("#hashtag");
-  for (auto _ : state) {
-    BlindSignatureRequest request(signer.pub, tag, rng);
-    const auto sig = request.unblind(blindSign(signer, request.blinded()));
-    benchmark::DoNotOptimize(blindSignatureVerify(signer.pub, tag, sig));
-  }
+std::vector<std::size_t> sweep(const ScenarioContext& ctx,
+                               std::vector<std::size_t> full) {
+  if (ctx.smoke()) return {full.front()};
+  return full;
 }
 
-// --- OPRF (one oblivious evaluation: blind, evaluate, finalize) ---
-
-void oprfRound(benchmark::State& state) {
-  util::Rng rng(42);
-  const DlogGroup& group =
-      DlogGroup::cached(static_cast<std::size_t>(state.range(0)));
-  const OprfSender sender(group, rng);
-  const util::Bytes input = util::toBytes("#hashtag");
-  for (auto _ : state) {
-    OprfReceiver receiver(group, input, rng);
-    benchmark::DoNotOptimize(
-        receiver.finalize(sender.evaluateBlinded(receiver.blinded())));
-  }
-}
-
-// --- Schnorr ZKP (non-interactive prove + verify) ---
-
-void zkpRound(benchmark::State& state) {
-  util::Rng rng(42);
-  const DlogGroup& group =
-      DlogGroup::cached(static_cast<std::size_t>(state.range(0)));
-  const SchnorrPrivateKey key = schnorrGenerate(group, rng);
-  const util::Bytes context = util::toBytes("resource/album");
-  for (auto _ : state) {
-    const SchnorrProof proof = schnorrProve(group, key, context, rng);
-    benchmark::DoNotOptimize(schnorrProofVerify(group, key.pub, context, proof));
-  }
-}
-
-// --- Plain Schnorr signature (the §IV baseline all integrity uses) ---
-
-void schnorrSignVerify(benchmark::State& state) {
-  util::Rng rng(42);
-  const DlogGroup& group =
-      DlogGroup::cached(static_cast<std::size_t>(state.range(0)));
-  const SchnorrPrivateKey key = schnorrGenerate(group, rng);
-  const util::Bytes message = util::toBytes("a signed wall post");
-  for (auto _ : state) {
-    const auto sig = schnorrSign(group, key, message, rng);
-    benchmark::DoNotOptimize(schnorrVerify(group, key.pub, message, sig));
+void report(ScenarioContext& ctx, const char* protocol, std::size_t bits,
+            double totalMs, std::size_t iters) {
+  const double msPerRound = totalMs / static_cast<double>(iters);
+  ctx.param("ms_per_round." + std::to_string(bits), msPerRound);
+  ctx.counter("iters", iters);
+  if (ctx.printing()) {
+    if (!gHeaderPrinted) {
+      gHeaderPrinted = true;
+      std::printf("E10: secure-search crypto primitives (ms/round)\n");
+      std::printf("  %-22s %6s %12s\n", "protocol", "bits", "ms/round");
+    }
+    std::printf("  %-22s %6zu %12.3f\n", protocol, bits, msPerRound);
   }
 }
 
 }  // namespace
 
-BENCHMARK(blindSignatureRound)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
-BENCHMARK(oprfRound)->Arg(256)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
-BENCHMARK(zkpRound)->Arg(256)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
-BENCHMARK(schnorrSignVerify)->Arg(256)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+// One full subscribe: blind, sign, unblind, verify.
+BENCH_SCENARIO(e10_blind_rsa, {.hot = true}) {
+  for (const std::size_t bits : sweep(ctx, {512, 1024})) {
+    util::Rng rng(ctx.seed());
+    const RsaPrivateKey signer = rsaGenerate(bits, rng);
+    const util::Bytes tag = util::toBytes("#hashtag");
+    const std::size_t iters = ctx.smoke() ? 1 : 10;
+    benchkit::Timer timer;
+    for (std::size_t i = 0; i < iters; ++i) {
+      BlindSignatureRequest request(signer.pub, tag, rng);
+      const auto sig = request.unblind(blindSign(signer, request.blinded()));
+      ctx.require(blindSignatureVerify(signer.pub, tag, sig),
+                  "blind signature failed to verify");
+    }
+    report(ctx, "blind_rsa_round", bits, timer.ms(), iters);
+  }
+}
+
+// One oblivious evaluation: blind, evaluate, finalize.
+BENCH_SCENARIO(e10_oprf, {.hot = true}) {
+  for (const std::size_t bits : sweep(ctx, {256, 512, 1024})) {
+    util::Rng rng(ctx.seed());
+    const DlogGroup& group = DlogGroup::cached(bits);
+    const OprfSender sender(group, rng);
+    const util::Bytes input = util::toBytes("#hashtag");
+    const std::size_t iters = ctx.smoke() ? 1 : 10;
+    benchkit::Timer timer;
+    for (std::size_t i = 0; i < iters; ++i) {
+      OprfReceiver receiver(group, input, rng);
+      const auto out =
+          receiver.finalize(sender.evaluateBlinded(receiver.blinded()));
+      ctx.require(!out.empty(), "OPRF output empty");
+    }
+    report(ctx, "oprf_round", bits, timer.ms(), iters);
+  }
+}
+
+// Non-interactive Schnorr proof-of-knowledge: prove + verify.
+BENCH_SCENARIO(e10_zkp, {.hot = true}) {
+  for (const std::size_t bits : sweep(ctx, {256, 512, 1024})) {
+    util::Rng rng(ctx.seed());
+    const DlogGroup& group = DlogGroup::cached(bits);
+    const SchnorrPrivateKey key = schnorrGenerate(group, rng);
+    const util::Bytes context = util::toBytes("resource/album");
+    const std::size_t iters = ctx.smoke() ? 1 : 10;
+    benchkit::Timer timer;
+    for (std::size_t i = 0; i < iters; ++i) {
+      const SchnorrProof proof = schnorrProve(group, key, context, rng);
+      ctx.require(schnorrProofVerify(group, key.pub, context, proof),
+                  "Schnorr proof failed to verify");
+    }
+    report(ctx, "zkp_round", bits, timer.ms(), iters);
+  }
+}
+
+// Plain Schnorr signature (the §IV baseline all integrity uses).
+BENCH_SCENARIO(e10_schnorr_sign, {.hot = true}) {
+  for (const std::size_t bits : sweep(ctx, {256, 512, 1024})) {
+    util::Rng rng(ctx.seed());
+    const DlogGroup& group = DlogGroup::cached(bits);
+    const SchnorrPrivateKey key = schnorrGenerate(group, rng);
+    const util::Bytes message = util::toBytes("a signed wall post");
+    const std::size_t iters = ctx.smoke() ? 1 : 10;
+    benchkit::Timer timer;
+    for (std::size_t i = 0; i < iters; ++i) {
+      const auto sig = schnorrSign(group, key, message, rng);
+      ctx.require(schnorrVerify(group, key.pub, message, sig),
+                  "Schnorr signature failed to verify");
+    }
+    report(ctx, "schnorr_sign_verify", bits, timer.ms(), iters);
+  }
+}
+
+BENCHKIT_MAIN()

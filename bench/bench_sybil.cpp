@@ -5,13 +5,18 @@
 // Sweeps the attack-edge count and reports honest-acceptance vs
 // sybil-acceptance rates — the defense degrades gracefully as the attacker
 // buys more real friendships (the known SybilGuard limitation).
+//
+// One benchkit scenario; `--smoke` trims the attack-edge sweep.
 #include <cstdio>
+#include <string>
 
+#include "dosn/benchkit/benchkit.hpp"
 #include "dosn/social/graph_gen.hpp"
 #include "dosn/social/sybil.hpp"
 
 using namespace dosn;
 using namespace dosn::social;
+using benchkit::ScenarioContext;
 
 namespace {
 
@@ -53,21 +58,33 @@ Rates measure(std::size_t attackEdges, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
-  std::printf(
-      "E13 (extension): SybilGuard random-walk defense\n"
-      "(150 honest users, 40 sybils, walk length 12, 24 walks, thresh 0.2)\n\n");
-  std::printf("  %-14s %16s %16s\n", "attack edges", "honest accepted",
-              "sybil accepted");
-  for (const std::size_t edges : {1u, 2u, 5u, 10u, 25u, 60u}) {
-    const Rates r = measure(edges, 42 + edges);
-    std::printf("  %-14zu %15.0f%% %15.0f%%\n", edges, 100 * r.honestAccept,
-                100 * r.sybilAccept);
+BENCH_SCENARIO(e13_sybilguard) {
+  if (ctx.printing()) {
+    std::printf(
+        "E13 (extension): SybilGuard random-walk defense\n"
+        "(150 honest users, 40 sybils, walk length 12, 24 walks, thresh 0.2)\n\n");
+    std::printf("  %-14s %16s %16s\n", "attack edges", "honest accepted",
+                "sybil accepted");
   }
-  std::printf(
-      "\nexpected shape: honest users are accepted at a high stable rate;\n"
-      "sybil acceptance starts near zero and grows with attack edges — the\n"
-      "defense is only as strong as real friendships are hard to obtain\n"
-      "(the survey's point that sybil attacks subvert reputation systems).\n");
-  return 0;
+  const std::size_t maxEdges = ctx.smoke() ? 10 : 60;
+  for (const std::size_t edges : {1u, 2u, 5u, 10u, 25u, 60u}) {
+    if (edges > maxEdges) continue;
+    const Rates r = measure(edges, ctx.seed() + edges);
+    if (ctx.printing()) {
+      std::printf("  %-14zu %15.0f%% %15.0f%%\n", edges, 100 * r.honestAccept,
+                  100 * r.sybilAccept);
+    }
+    const std::string tag = "." + std::to_string(edges);
+    ctx.param("honest_accept" + tag, r.honestAccept);
+    ctx.param("sybil_accept" + tag, r.sybilAccept);
+  }
+  if (ctx.printing()) {
+    std::printf(
+        "\nexpected shape: honest users are accepted at a high stable rate;\n"
+        "sybil acceptance starts near zero and grows with attack edges — the\n"
+        "defense is only as strong as real friendships are hard to obtain\n"
+        "(the survey's point that sybil attacks subvert reputation systems).\n");
+  }
 }
+
+BENCHKIT_MAIN()

@@ -1,11 +1,61 @@
 // Experiment T1: regenerate the paper's Table I ("Classification of security
 // aspects and solutions in OSNs") from the live scheme registry, and list the
 // module implementing each row in this repository.
+//
+// `--markdown` emits the committed TABLE1.md document (CI regenerates it and
+// fails on drift); every other invocation goes through the shared benchkit
+// CLI (`--smoke`, `--json`, ... — see BENCHMARKS.md).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
+#include "dosn/benchkit/benchkit.hpp"
 #include "dosn/core/table1.hpp"
 
-int main() {
-  std::printf("%s\n", dosn::core::renderImplementationInventory().c_str());
-  return 0;
+using namespace dosn;
+
+namespace {
+
+std::size_t countLines(const std::string& text) {
+  std::size_t lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+}  // namespace
+
+BENCH_SCENARIO(t1_table1_render) {
+  const std::string table = core::renderImplementationInventory();
+  if (ctx.printing()) std::printf("%s\n", table.c_str());
+  ctx.param("renderer", "renderImplementationInventory");
+  ctx.counter("table1.bytes", table.size());
+  ctx.counter("table1.lines", countLines(table));
+}
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--markdown") == 0) {
+    // The exact content of TABLE1.md. Keep this stable: CI diffs the output
+    // against the committed file (see .github/workflows/ci.yml).
+    std::printf(
+        "# Table I — capability matrix\n"
+        "\n"
+        "Generated from the live scheme registry. Regenerate with:\n"
+        "\n"
+        "```sh\n"
+        "cmake -B build -S . && cmake --build build -j --target bench_table1\n"
+        "./build/bench/bench_table1 --markdown > TABLE1.md\n"
+        "```\n"
+        "\n"
+        "CI regenerates this file and fails on drift, so a registry change\n"
+        "must land together with the refreshed TABLE1.md.\n"
+        "\n"
+        "```text\n"
+        "%s\n"
+        "```\n",
+        core::renderImplementationInventory().c_str());
+    return 0;
+  }
+  return benchkit::benchMain(argc, argv);
 }

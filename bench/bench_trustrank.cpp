@@ -6,17 +6,25 @@
 // users reachable through high-trust chains — among popular-but-untrusted
 // decoys, and measure precision@3 of trust-ranked search vs popularity-only
 // ranking, plus how chain trust decays with hop distance.
+//
+// One benchkit scenario; `--smoke` shrinks the graph and searcher count.
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "dosn/benchkit/benchkit.hpp"
 #include "dosn/search/trust_rank.hpp"
 #include "dosn/social/graph_gen.hpp"
 
 using namespace dosn;
 using namespace dosn::search;
+using benchkit::ScenarioContext;
 
-int main() {
-  util::Rng rng(42);
-  social::SocialGraph graph = social::wattsStrogatz(200, 3, 0.1, rng, 0.7);
+BENCH_SCENARIO(e12_trustrank) {
+  util::Rng rng(ctx.seed());
+  const std::size_t users = ctx.smoke() ? 100 : 200;
+  const int searchers = ctx.smoke() ? 12 : 30;
+  social::SocialGraph graph = social::wattsStrogatz(users, 3, 0.1, rng, 0.7);
 
   // Plant popular decoys: hubs with many low-trust edges, disconnected from
   // the searchers' trust neighborhoods.
@@ -28,15 +36,18 @@ int main() {
     }
   }
 
-  std::printf("E12: trust-ranked search vs popularity-only ranking\n");
-  std::printf("(200-user small world + 5 planted popular decoys)\n\n");
+  ctx.param("users", static_cast<double>(users));
+  if (ctx.printing()) {
+    std::printf("E12: trust-ranked search vs popularity-only ranking\n");
+    std::printf("(%zu-user small world + 5 planted popular decoys)\n\n", users);
+  }
 
   // For each searcher, candidates = 3 users at graph distance 2-3 (trusted
   // through chains) + the 5 decoys. Good result = non-decoy.
   std::size_t trials = 0;
   double trustPrecision = 0;
   double popularityPrecision = 0;
-  for (int s = 0; s < 30; ++s) {
+  for (int s = 0; s < searchers; ++s) {
     const std::string searcher = "u" + std::to_string(s * 6);
     std::vector<social::UserId> candidates;
     for (const auto& fof : graph.friendsOfFriends(searcher)) {
@@ -60,21 +71,31 @@ int main() {
     popularityPrecision += precisionAt3(byPopularity);
     ++trials;
   }
-  std::printf("  ranking            precision@3 (over %zu searchers)\n", trials);
-  std::printf("  trust-chain        %6.1f%%\n",
-              100 * trustPrecision / static_cast<double>(trials));
-  std::printf("  popularity-only    %6.1f%%\n\n",
-              100 * popularityPrecision / static_cast<double>(trials));
+  ctx.require(trials > 0, "no searcher had enough candidates");
+  if (ctx.printing()) {
+    std::printf("  ranking            precision@3 (over %zu searchers)\n", trials);
+    std::printf("  trust-chain        %6.1f%%\n",
+                100 * trustPrecision / static_cast<double>(trials));
+    std::printf("  popularity-only    %6.1f%%\n\n",
+                100 * popularityPrecision / static_cast<double>(trials));
+  }
+  ctx.counter("searchers", trials);
+  ctx.param("trust_precision_at3", trustPrecision / static_cast<double>(trials));
+  ctx.param("popularity_precision_at3",
+            popularityPrecision / static_cast<double>(trials));
 
   // Chain-trust decay with distance: mean best-chain trust at hop k.
-  std::printf("  chain-trust decay with distance (mean edge trust ~0.85):\n");
-  std::printf("  %-6s %14s %10s\n", "hops", "mean trust", "samples");
+  if (ctx.printing()) {
+    std::printf("  chain-trust decay with distance (mean edge trust ~0.85):\n");
+    std::printf("  %-6s %14s %10s\n", "hops", "mean trust", "samples");
+  }
+  const int pairSamples = ctx.smoke() ? 10 : 25;
   for (std::size_t hops = 1; hops <= 5; ++hops) {
     double sum = 0;
     std::size_t count = 0;
-    for (int s = 0; s < 25; ++s) {
+    for (int s = 0; s < pairSamples; ++s) {
       const std::string from = "u" + std::to_string(s * 8);
-      for (int t = 0; t < 25; ++t) {
+      for (int t = 0; t < pairSamples; ++t) {
         const std::string to = "u" + std::to_string(t * 8 + 3);
         const auto dist = graph.distance(from, to);
         if (!dist || *dist != hops) continue;
@@ -84,12 +105,19 @@ int main() {
         ++count;
       }
     }
-    std::printf("  %-6zu %14.3f %10zu\n", hops,
-                count ? sum / static_cast<double>(count) : 0.0, count);
+    if (ctx.printing()) {
+      std::printf("  %-6zu %14.3f %10zu\n", hops,
+                  count ? sum / static_cast<double>(count) : 0.0, count);
+    }
+    ctx.param("chain_trust.hops" + std::to_string(hops),
+              count ? sum / static_cast<double>(count) : 0.0);
   }
-  std::printf(
-      "\nexpected shape: trust ranking keeps planted decoys out of the top-3\n"
-      "(high precision) while popularity ranking surfaces them; chain trust\n"
-      "decays geometrically with hop count (product of edge trusts).\n");
-  return 0;
+  if (ctx.printing()) {
+    std::printf(
+        "\nexpected shape: trust ranking keeps planted decoys out of the top-3\n"
+        "(high precision) while popularity ranking surfaces them; chain trust\n"
+        "decays geometrically with hop count (product of edge trusts).\n");
+  }
 }
+
+BENCHKIT_MAIN()

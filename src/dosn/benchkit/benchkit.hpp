@@ -1,0 +1,205 @@
+// The unified benchmark harness (DESIGN.md §3c). Every bench_* executable
+// registers named scenarios with BENCH_SCENARIO and delegates its main() to
+// benchMain(), which provides the shared CLI
+//
+//   --list            print registered scenario names and exit
+//   --filter <regex>  run only scenarios whose name matches (ECMAScript)
+//   --smoke           CI mode: scenarios shrink their workloads, reps forced
+//                     to 1 (unless --reps is explicit), heavyweight scenarios
+//                     marked skipInSmoke are skipped
+//   --seed <n>        base RNG seed for every scenario (default 42 — the
+//                     historical value, so default output is unchanged)
+//   --reps <n>        override timed repetitions per scenario
+//   --warmup <n>      override untimed warmup runs per scenario
+//   --json <path>     write the schema-versioned trajectory document
+//   --help            usage, exit 0 (unknown flags exit 2)
+//
+// The runner times each scenario invocation with a steady clock (warmup runs
+// first, untimed, against a throwaway context), reports min/median/mean/p95
+// over the rep samples, and embeds the scenario's final sim::Metrics
+// counter/gauge snapshot — either recorded directly via the context or
+// mirrored from a simulation's metrics sink — into one BENCH_<name>.json
+// per executable. tools/bench_compare.py diffs two such documents.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <chrono>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dosn/benchkit/json.hpp"
+#include "dosn/sim/metrics.hpp"
+
+namespace dosn::benchkit {
+
+/// Document format version written to every trajectory file; bump on any
+/// backwards-incompatible change and teach tools/bench_compare.py both.
+inline constexpr const char* kSchema = "dosn-bench/1";
+
+struct Options {
+  std::size_t reps = 1;     ///< timed repetitions (sim experiments default 1)
+  std::size_t warmup = 0;   ///< untimed runs before the samples
+  bool hot = false;         ///< hot path: median gated by bench_compare.py
+  bool skipInSmoke = false; ///< too heavy for CI's --smoke sweep
+};
+
+/// Wall-clock sample statistics, milliseconds. Percentiles use the same
+/// linear interpolation between order statistics as sim::Histogram.
+struct WallStats {
+  std::size_t reps = 0;
+  double minMs = 0, medianMs = 0, meanMs = 0, p95Ms = 0, maxMs = 0;
+
+  static WallStats fromSamples(std::vector<double> samplesMs);
+  /// p in [0,100] over an already-sorted sample vector.
+  static double percentile(const std::vector<double>& sorted, double p);
+};
+
+class ScenarioContext {
+ public:
+  ScenarioContext(std::uint64_t seed, bool smoke, bool printing)
+      : seed_(seed), smoke_(smoke), printing_(printing) {}
+
+  /// Base RNG seed (--seed). Scenarios must derive every generator from this
+  /// instead of hardcoding constants, so seed plumbing is testable; the
+  /// default (42) reproduces the historical tables.
+  std::uint64_t seed() const { return seed_; }
+  bool smoke() const { return smoke_; }
+  /// True only on the first timed rep — guard human-readable table output
+  /// with this so --reps N and warmup runs don't duplicate it.
+  bool printing() const { return printing_; }
+  void setPrinting(bool printing) { printing_ = printing; }
+
+  /// The scenario's metrics snapshot, embedded in the JSON document. Hand
+  /// this to sim::Network::setMetrics, or record into it directly.
+  sim::Metrics& metrics() { return metrics_; }
+  const sim::Metrics& metrics() const { return metrics_; }
+  /// Adds `other`'s counters and copies its gauges into the snapshot (for
+  /// simulations that own a separate sink per sub-run).
+  void mergeMetrics(const sim::Metrics& other);
+
+  void counter(const std::string& name, std::uint64_t value) {
+    metrics_.increment(name, value);
+  }
+  void gauge(const std::string& name, double value) {
+    metrics_.gauge(name, value);
+  }
+
+  /// Free-form scenario parameters recorded in the JSON document (sizes,
+  /// derived ms/op figures, sweep labels).
+  void param(const std::string& name, double value);
+  void param(const std::string& name, const std::string& value);
+  void param(const std::string& name, const char* value) {
+    param(name, std::string(value));
+  }
+
+  /// Marks the scenario (and the whole run) failed; benchMain exits 1.
+  /// Differential benches use this instead of printf-and-exit so a mismatch
+  /// is visible in the JSON artifact too.
+  void fail(const std::string& message);
+  void require(bool ok, const std::string& message) {
+    if (!ok) fail(message);
+  }
+  bool failed() const { return !failures_.empty(); }
+  const std::vector<std::string>& failures() const { return failures_; }
+  const Json& params() const { return params_; }
+
+ private:
+  std::uint64_t seed_;
+  bool smoke_;
+  bool printing_;
+  sim::Metrics metrics_;
+  Json params_ = Json::object();
+  std::vector<std::string> failures_;
+};
+
+using ScenarioFn = void (*)(ScenarioContext&);
+
+struct Scenario {
+  std::string name;
+  ScenarioFn fn;
+  Options opts;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry BENCH_SCENARIO registers into.
+  static Registry& instance();
+
+  /// Returns true (the macro binds it to a static bool). Duplicate names are
+  /// rejected with a loud stderr message so a copy-paste slip can't silently
+  /// shadow a scenario.
+  bool add(std::string name, ScenarioFn fn, Options opts = {});
+
+  const std::vector<Scenario>& scenarios() const { return scenarios_; }
+
+  /// Indices of scenarios whose name matches `pattern` (ECMAScript regex,
+  /// partial match; empty pattern matches all), in registration order.
+  std::vector<std::size_t> match(const std::string& pattern) const;
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+struct RunConfig {
+  std::uint64_t seed = 42;
+  bool smoke = false;
+  bool list = false;
+  std::string filter;
+  std::string jsonPath;
+  std::optional<std::size_t> repsOverride;
+  std::optional<std::size_t> warmupOverride;
+};
+
+struct CliResult {
+  RunConfig config;
+  /// Exit immediately with this code when >= 0 (--help, parse errors).
+  int exitCode = -1;
+};
+
+/// Parses the shared CLI. Usage goes to `out` for --help and to `err` for
+/// unrecognized input. Accepts both `--flag value` and `--flag=value`.
+CliResult parseCli(int argc, const char* const* argv, std::FILE* out,
+                   std::FILE* err);
+
+/// Runs every scenario selected by `config` and returns the trajectory
+/// document. `anyFailed` (optional) reports scenario require()/fail() calls.
+Json runScenarios(const Registry& registry, const RunConfig& config,
+                  const std::string& benchName, bool* anyFailed = nullptr);
+
+/// The shared main: parse CLI, run, print per-scenario timing footers, write
+/// --json. Returns 0 on success, 1 on scenario failure, 2 on CLI/IO errors.
+int benchMain(int argc, char** argv);
+
+/// Simple steady-clock stopwatch shared by the bench kernels.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dosn::benchkit
+
+/// Registers a scenario: BENCH_SCENARIO(name) { ...body using ctx... }
+/// An optional second argument supplies benchkit::Options, e.g.
+/// BENCH_SCENARIO(powmod_2048, {.reps = 5, .warmup = 1, .hot = true}) {...}
+#define BENCH_SCENARIO(name, ...)                                           \
+  static void dosn_benchkit_fn_##name(::dosn::benchkit::ScenarioContext&);  \
+  [[maybe_unused]] static const bool dosn_benchkit_reg_##name =             \
+      ::dosn::benchkit::Registry::instance().add(                           \
+          #name, &dosn_benchkit_fn_##name __VA_OPT__(, ) __VA_ARGS__);      \
+  static void dosn_benchkit_fn_##name(::dosn::benchkit::ScenarioContext& ctx)
+
+#define BENCHKIT_MAIN()                                      \
+  int main(int argc, char** argv) {                          \
+    return ::dosn::benchkit::benchMain(argc, argv);          \
+  }

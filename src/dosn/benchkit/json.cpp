@@ -1,0 +1,356 @@
+#include "dosn/benchkit/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dosn::benchkit {
+
+namespace {
+
+void appendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void appendNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";  // JSON has no NaN/Inf; null is unmistakable in a report
+    return;
+  }
+  // Integers (the common case: counters, reps, byte sizes) print without an
+  // exponent or trailing ".0"; everything else round-trips via %.17g.
+  if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> parseDocument() {
+    skipWs();
+    Json value;
+    if (!parseValue(value)) return std::nullopt;
+    skipWs();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skipWs() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool consumeLiteral(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parseValue(Json& out) {
+    if (eof()) return false;
+    switch (peek()) {
+      case '{': return parseObject(out);
+      case '[': return parseArray(out);
+      case '"': {
+        std::string s;
+        if (!parseString(s)) return false;
+        out = Json(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!consumeLiteral("true")) return false;
+        out = Json(true);
+        return true;
+      case 'f':
+        if (!consumeLiteral("false")) return false;
+        out = Json(false);
+        return true;
+      case 'n':
+        if (!consumeLiteral("null")) return false;
+        out = Json();
+        return true;
+      default: return parseNumber(out);
+    }
+  }
+
+  bool parseObject(Json& out) {
+    if (!consume('{')) return false;
+    out = Json::object();
+    skipWs();
+    if (consume('}')) return true;
+    while (true) {
+      skipWs();
+      std::string key;
+      if (!parseString(key)) return false;
+      skipWs();
+      if (!consume(':')) return false;
+      skipWs();
+      Json value;
+      if (!parseValue(value)) return false;
+      out.set(key, std::move(value));
+      skipWs();
+      if (consume(',')) continue;
+      return consume('}');
+    }
+  }
+
+  bool parseArray(Json& out) {
+    if (!consume('[')) return false;
+    out = Json::array();
+    skipWs();
+    if (consume(']')) return true;
+    while (true) {
+      skipWs();
+      Json value;
+      if (!parseValue(value)) return false;
+      out.push(std::move(value));
+      skipWs();
+      if (consume(',')) continue;
+      return consume(']');
+    }
+  }
+
+  static int hexDigit(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  }
+
+  bool parseString(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (true) {
+      if (eof()) return false;
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        if (static_cast<unsigned char>(c) < 0x20) return false;
+        out += c;
+        continue;
+      }
+      if (eof()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const int d = hexDigit(text_[pos_++]);
+            if (d < 0) return false;
+            code = code * 16 + static_cast<unsigned>(d);
+          }
+          // BMP only (we never emit surrogate pairs); reject lone surrogates.
+          if (code >= 0xD800 && code <= 0xDFFF) return false;
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return false;
+      }
+    }
+  }
+
+  bool parseNumber(Json& out) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                      peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                      peek() == '+' || peek() == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return false;
+    out = Json(v);
+    return true;
+  }
+};
+
+}  // namespace
+
+bool Json::asBool() const {
+  if (type_ != Type::kBool) throw std::runtime_error("Json: not a bool");
+  return bool_;
+}
+
+double Json::asNumber() const {
+  if (type_ != Type::kNumber) throw std::runtime_error("Json: not a number");
+  return number_;
+}
+
+const std::string& Json::asString() const {
+  if (type_ != Type::kString) throw std::runtime_error("Json: not a string");
+  return string_;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  if (type_ != Type::kObject) throw std::runtime_error("Json: not an object");
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::push(Json value) {
+  if (type_ != Type::kArray) throw std::runtime_error("Json: not an array");
+  elements_.push_back(std::move(value));
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return elements_.size();
+  if (type_ == Type::kObject) return members_.size();
+  return 0;
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (type_ != Type::kArray) throw std::runtime_error("Json: not an array");
+  return elements_.at(index);
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kNumber: return number_ == other.number_;
+    case Type::kString: return string_ == other.string_;
+    case Type::kArray: return elements_ == other.elements_;
+    case Type::kObject: return members_ == other.members_;
+  }
+  return false;
+}
+
+void Json::dumpTo(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: appendNumber(out, number_); break;
+    case Type::kString: appendEscaped(out, string_); break;
+    case Type::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        elements_[i].dumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        appendEscaped(out, members_[i].first);
+        out += indent > 0 ? ": " : ":";
+        members_[i].second.dumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dumpTo(out, indent, 0);
+  return out;
+}
+
+std::optional<Json> Json::parse(std::string_view text) {
+  return Parser(text).parseDocument();
+}
+
+}  // namespace dosn::benchkit
