@@ -1,5 +1,6 @@
 #include "dosn/net/rpc_endpoint.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "dosn/sim/metrics.hpp"
@@ -8,9 +9,25 @@
 
 namespace dosn::net {
 
+namespace {
+
+template <class Table>
+auto* findByType(Table& table, sim::MessageTypeId id) {
+  for (auto& [key, handler] : table) {
+    if (key == id) return &handler;
+  }
+  using Handler = std::remove_reference_t<decltype(table.front().second)>;
+  return static_cast<Handler*>(nullptr);
+}
+
+}  // namespace
+
 RpcEndpoint::RpcEndpoint(sim::Network& network, std::string statsPrefix)
     : network_(network),
       statsPrefix_(std::move(statsPrefix)),
+      statsRetry_(statsPrefix_ + ".retry"),
+      statsFail_(statsPrefix_ + ".fail"),
+      statsOrphan_(statsPrefix_ + ".orphan"),
       addr_(network.addNode()),
       state_(std::make_shared<State>()) {
   network_.setHandler(addr_, [this](sim::NodeAddr from, const sim::Message& msg) {
@@ -33,26 +50,64 @@ RpcEndpoint::~RpcEndpoint() {
   network_.removeStatusObserver(statusToken_);
 }
 
-void RpcEndpoint::onRequest(const std::string& type, RequestHandler handler) {
-  requestHandlers_[type] = std::move(handler);
+void RpcEndpoint::onRequest(sim::MessageType type, RequestHandler handler) {
+  if (auto* existing = findByType(requestHandlers_, type.id())) {
+    *existing = std::move(handler);
+    return;
+  }
+  requestHandlers_.emplace_back(type.id(), std::move(handler));
 }
 
-void RpcEndpoint::onMessage(const std::string& type, MessageHandler handler) {
-  messageHandlers_[type] = std::move(handler);
+void RpcEndpoint::onMessage(sim::MessageType type, MessageHandler handler) {
+  if (auto* existing = findByType(messageHandlers_, type.id())) {
+    *existing = std::move(handler);
+    return;
+  }
+  messageHandlers_.emplace_back(type.id(), std::move(handler));
 }
 
-void RpcEndpoint::addReplyChannel(const std::string& type) {
-  replyChannels_.insert(type);
+void RpcEndpoint::addReplyChannel(sim::MessageType type) {
+  if (std::find(replyChannels_.begin(), replyChannels_.end(), type.id()) ==
+      replyChannels_.end()) {
+    replyChannels_.push_back(type.id());
+  }
 }
 
-void RpcEndpoint::setReplyObserver(const std::string& type,
+void RpcEndpoint::setReplyObserver(sim::MessageType type,
                                    ReplyObserver observer) {
-  replyObservers_[type] = std::move(observer);
+  if (auto* existing = findByType(replyObservers_, type.id())) {
+    *existing = std::move(observer);
+    return;
+  }
+  replyObservers_.emplace_back(type.id(), std::move(observer));
 }
 
-void RpcEndpoint::bump(const std::string& type, const char* event) {
+RpcEndpoint::TypeMetricNames& RpcEndpoint::metricNames(sim::MessageType type) {
+  const std::size_t id = type.id();
+  if (id >= typeMetricNames_.size()) typeMetricNames_.resize(id + 1);
+  auto& slot = typeMetricNames_[id];
+  if (!slot) {
+    slot = std::make_unique<TypeMetricNames>();
+    const std::string& t = type.name();
+    slot->sent = "rpc." + t + ".sent";
+    slot->retries = "rpc." + t + ".retries";
+    slot->timeouts = "rpc." + t + ".timeouts";
+    slot->completed = "rpc." + t + ".completed";
+    slot->failed = "rpc." + t + ".failed";
+    slot->spuriousTimeouts = "rpc." + t + ".spurious_timeouts";
+    slot->rttMs = "rpc." + t + ".rtt_ms";
+    slot->rttSamples = "rpc.rtt." + t + ".samples";
+    slot->rttSrtt = "rpc.rtt." + t + ".srtt";
+    slot->rttRttvar = "rpc.rtt." + t + ".rttvar";
+    slot->rttTimeout = "rpc.rtt." + t + ".timeout";
+  }
+  return *slot;
+}
+
+void RpcEndpoint::bump(sim::MessageType type,
+                       std::string TypeMetricNames::* event) {
   if (auto* m = network_.metrics()) {
-    m->increment("rpc." + type + "." + event);
+    m->increment(metricNames(type).*event);
   }
 }
 
@@ -60,7 +115,7 @@ void RpcEndpoint::observeOutcome(bool timedOut) {
   if (adaptive_) adaptive_->observeAttempt(timedOut);
 }
 
-RpcId RpcEndpoint::call(sim::NodeAddr to, const std::string& type,
+RpcId RpcEndpoint::call(sim::NodeAddr to, sim::MessageType type,
                         util::BytesView body, const CallOptions& options,
                         ReplyCallback onReply) {
   const RpcId id =
@@ -69,13 +124,12 @@ RpcId RpcEndpoint::call(sim::NodeAddr to, const std::string& type,
   w.u64(id);
   w.raw(body);
 
-  PendingCall pending;
+  PendingCall& pending = state_->pending[id];
   pending.type = type;
   pending.onReply = std::move(onReply);
   pending.startedAt = network_.simulator().now();
   pending.peer = to;
   pending.adaptive = options.adaptiveTimeout;
-  state_->pending.emplace(id, std::move(pending));
 
   const RetryPolicy retry = options.adaptiveTimeout
                                 ? peers_.state(to).retry.current()
@@ -86,11 +140,11 @@ RpcId RpcEndpoint::call(sim::NodeAddr to, const std::string& type,
   return id;
 }
 
-void RpcEndpoint::transmit(sim::NodeAddr to, const std::string& type,
+void RpcEndpoint::transmit(sim::NodeAddr to, sim::MessageType type,
                            const util::Bytes& frame, RpcId id,
                            std::size_t attempt, sim::SimTime timeout,
                            const RetryPolicy& retry, bool adaptive) {
-  bump(type, "sent");
+  bump(type, &TypeMetricNames::sent);
   try {
     network_.send(addr_, to, sim::Message{type, frame});
   } catch (const util::NetError&) {
@@ -110,10 +164,10 @@ void RpcEndpoint::transmit(sim::NodeAddr to, const std::string& type,
              adaptive] {
         const auto state = weak.lock();
         if (!state) return;  // endpoint destroyed
-        const auto it = state->pending.find(id);
-        if (it == state->pending.end()) return;  // answered in time
-        ++it->second.timeouts;
-        bump(type, "timeouts");
+        PendingCall* call = state->pending.find(id);
+        if (!call) return;  // answered in time
+        ++call->timeouts;
+        bump(type, &TypeMetricNames::timeouts);
         observeOutcome(true);
         if (adaptive) {
           PeerStateTable::PeerState& ps = peers_.state(to);
@@ -121,54 +175,53 @@ void RpcEndpoint::transmit(sim::NodeAddr to, const std::string& type,
           ps.retry.observeAttempt(true);
         }
         if (attempt < retry.attempts) {
-          it->second.retransmitted = true;
+          call->retransmitted = true;
           ++state->retries;
-          bump(type, "retries");
-          if (auto* m = network_.metrics()) m->increment(statsPrefix_ + ".retry");
+          bump(type, &TypeMetricNames::retries);
+          if (auto* m = network_.metrics()) m->increment(statsRetry_);
           network_.simulator().schedule(
               retry.backoff(attempt, network_.rng()),
               [this, weak, to, type, frame, id, attempt, timeout, retry,
                adaptive] {
                 const auto s = weak.lock();
                 if (!s) return;
-                if (!s->pending.count(id)) return;  // answered during backoff
+                if (!s->pending.contains(id)) return;  // answered during backoff
                 transmit(to, type, frame, id, attempt + 1, timeout, retry,
                          adaptive);
               });
           return;
         }
         ++state->failures;
-        bump(type, "failed");
-        if (auto* m = network_.metrics()) m->increment(statsPrefix_ + ".fail");
-        auto callback = std::move(it->second.onReply);
-        state->pending.erase(it);
+        bump(type, &TypeMetricNames::failed);
+        if (auto* m = network_.metrics()) m->increment(statsFail_);
+        auto callback = std::move(call->onReply);
+        state->pending.erase(id);
         if (callback) callback(false, {});
       });
 }
 
-RpcId RpcEndpoint::openCall(const std::string& opType, sim::SimTime timeout,
+RpcId RpcEndpoint::openCall(sim::MessageType opType, sim::SimTime timeout,
                             util::Bytes tag, ReplyCallback onReply) {
   OpenCallOptions options;
   options.timeout = timeout;
   return openCall(opType, options, std::move(tag), std::move(onReply));
 }
 
-RpcId RpcEndpoint::openCall(const std::string& opType,
+RpcId RpcEndpoint::openCall(sim::MessageType opType,
                             const OpenCallOptions& options, util::Bytes tag,
                             ReplyCallback onReply) {
   const RpcId id =
       (static_cast<RpcId>(addr_) << 32) | static_cast<RpcId>(nextCallId_++);
   const bool adaptive = options.adaptiveTimeout;
   const sim::NodeAddr peer = options.peer;
-  PendingCall pending;
+  PendingCall& pending = state_->pending[id];
   pending.type = opType;
   pending.onReply = std::move(onReply);
   pending.startedAt = network_.simulator().now();
   pending.tag = std::move(tag);
   pending.peer = peer;
   pending.adaptive = adaptive;
-  state_->pending.emplace(id, std::move(pending));
-  bump(opType, "sent");
+  bump(opType, &TypeMetricNames::sent);
 
   const sim::SimTime deadline =
       adaptive ? peers_.state(peer).rtt.timeout(options.timeout)
@@ -178,86 +231,84 @@ RpcId RpcEndpoint::openCall(const std::string& opType,
                                            peer] {
     const auto state = weak.lock();
     if (!state) return;
-    const auto it = state->pending.find(id);
-    if (it == state->pending.end()) return;  // completed in time
-    bump(opType, "timeouts");
+    PendingCall* call = state->pending.find(id);
+    if (!call) return;  // completed in time
+    bump(opType, &TypeMetricNames::timeouts);
     if (adaptive) peers_.state(peer).rtt.onTimeout();
     ++state->failures;
-    bump(opType, "failed");
-    if (auto* m = network_.metrics()) m->increment(statsPrefix_ + ".fail");
-    auto callback = std::move(it->second.onReply);
-    state->pending.erase(it);
+    bump(opType, &TypeMetricNames::failed);
+    if (auto* m = network_.metrics()) m->increment(statsFail_);
+    auto callback = std::move(call->onReply);
+    state->pending.erase(id);
     if (callback) callback(false, {});
   });
   return id;
 }
 
 bool RpcEndpoint::complete(RpcId id, util::BytesView payload) {
-  if (!state_->pending.count(id)) return false;
+  if (!state_->pending.contains(id)) return false;
   finish(id, true, payload);
   return true;
 }
 
 bool RpcEndpoint::isPending(RpcId id) const {
-  return state_->pending.count(id) > 0;
+  return state_->pending.contains(id);
 }
 
 const util::Bytes* RpcEndpoint::tag(RpcId id) const {
-  const auto it = state_->pending.find(id);
-  if (it == state_->pending.end()) return nullptr;
-  return &it->second.tag;
+  const PendingCall* call = state_->pending.find(id);
+  return call ? &call->tag : nullptr;
 }
 
 void RpcEndpoint::finish(RpcId id, bool ok, util::BytesView payload) {
-  const auto it = state_->pending.find(id);
-  if (it == state_->pending.end()) return;
-  const std::string type = it->second.type;
+  PendingCall* call = state_->pending.find(id);
+  if (!call) return;
+  const sim::MessageType type = call->type;
   if (ok) {
-    bump(type, "completed");
+    bump(type, &TypeMetricNames::completed);
     const sim::SimTime rtt =
-        network_.simulator().now() - it->second.startedAt;
+        network_.simulator().now() - call->startedAt;
     if (auto* m = network_.metrics()) {
       const double rttMs =
           static_cast<double>(rtt) / static_cast<double>(sim::kMillisecond);
-      m->histogram("rpc." + type + ".rtt_ms").record(rttMs);
-      if (trackSpurious_ && it->second.timeouts > 0) {
+      m->histogram(metricNames(type).rttMs).record(rttMs);
+      if (trackSpurious_ && call->timeouts > 0) {
         // The call completed after timing out: those timeouts fired on a
         // reply that was late, not lost (exact when links never drop; an
         // upper bound under loss, comparably so across timeout policies).
-        m->increment("rpc." + type + ".spurious_timeouts",
-                     it->second.timeouts);
+        m->increment(metricNames(type).spuriousTimeouts, call->timeouts);
       }
     }
     observeOutcome(false);
-    if (it->second.adaptive) {
-      PeerStateTable::PeerState& ps = peers_.state(it->second.peer);
+    if (call->adaptive) {
+      PeerStateTable::PeerState& ps = peers_.state(call->peer);
       ps.retry.observeAttempt(false);
       // Karn's rule: only calls answered on their first attempt yield an
       // unambiguous sample. openCall never retransmits, so every completed
       // operation samples its first-hop estimator.
-      if (!it->second.retransmitted) recordRttSample(it->second.peer, type, rtt);
+      if (!call->retransmitted) recordRttSample(call->peer, type, rtt);
     }
   }
-  auto callback = std::move(it->second.onReply);
-  state_->pending.erase(it);
+  auto callback = std::move(call->onReply);
+  state_->pending.erase(id);
   if (callback) callback(ok, payload);
 }
 
-void RpcEndpoint::recordRttSample(sim::NodeAddr peer, const std::string& type,
+void RpcEndpoint::recordRttSample(sim::NodeAddr peer, sim::MessageType type,
                                   sim::SimTime rtt) {
   RttEstimator& est = peers_.state(peer).rtt;
   est.addSample(rtt);
   if (auto* m = network_.metrics()) {
     constexpr double kMs = static_cast<double>(sim::kMillisecond);
-    m->increment("rpc.rtt." + type + ".samples");
-    m->gauge("rpc.rtt." + type + ".srtt", est.srtt() / kMs);
-    m->gauge("rpc.rtt." + type + ".rttvar", est.rttvar() / kMs);
-    m->gauge("rpc.rtt." + type + ".timeout",
-             static_cast<double>(est.timeout(0)) / kMs);
+    const TypeMetricNames& names = metricNames(type);
+    m->increment(names.rttSamples);
+    m->gauge(names.rttSrtt, est.srtt() / kMs);
+    m->gauge(names.rttRttvar, est.rttvar() / kMs);
+    m->gauge(names.rttTimeout, static_cast<double>(est.timeout(0)) / kMs);
   }
 }
 
-void RpcEndpoint::reply(sim::NodeAddr to, const std::string& replyType,
+void RpcEndpoint::reply(sim::NodeAddr to, sim::MessageType replyType,
                         RpcId rpcId, util::BytesView body) {
   util::Writer w;
   w.u64(rpcId);
@@ -265,7 +316,7 @@ void RpcEndpoint::reply(sim::NodeAddr to, const std::string& replyType,
   network_.send(addr_, to, sim::Message{replyType, w.take()});
 }
 
-void RpcEndpoint::send(sim::NodeAddr to, const std::string& type,
+void RpcEndpoint::send(sim::NodeAddr to, sim::MessageType type,
                        util::Bytes payload) {
   network_.send(addr_, to, sim::Message{type, std::move(payload)});
 }
@@ -279,43 +330,43 @@ void RpcEndpoint::handleReply(sim::NodeAddr from, const sim::Message& msg) {
     return;  // frame too short to carry an rpcId
   }
   const util::BytesView body = util::BytesView(msg.payload).subspan(8);
-  const auto observer = replyObservers_.find(msg.type);
-  if (observer != replyObservers_.end()) {
+  if (const ReplyObserver* observer =
+          findByType(replyObservers_, msg.type.id())) {
     try {
-      observer->second(from, body);
+      (*observer)(from, body);
     } catch (const util::DosnError&) {
       // The observer doubles as a frame validator: a corrupted reply is
       // dropped and the call stays pending for a retry or the timeout.
       return;
     }
   }
-  if (!state_->pending.count(id)) {
-    if (auto* m = network_.metrics()) m->increment(statsPrefix_ + ".orphan");
+  if (!state_->pending.contains(id)) {
+    if (auto* m = network_.metrics()) m->increment(statsOrphan_);
     return;  // timed out already, or a fault-duplicated reply
   }
   finish(id, true, body);
 }
 
 void RpcEndpoint::handleMessage(sim::NodeAddr from, const sim::Message& msg) {
-  if (replyChannels_.count(msg.type)) {
+  const sim::MessageTypeId typeId = msg.type.id();
+  if (std::find(replyChannels_.begin(), replyChannels_.end(), typeId) !=
+      replyChannels_.end()) {
     handleReply(from, msg);
     return;
   }
-  const auto request = requestHandlers_.find(msg.type);
-  if (request != requestHandlers_.end()) {
+  if (const RequestHandler* request = findByType(requestHandlers_, typeId)) {
     try {
       util::Reader r(msg.payload);
       const RpcId id = r.u64();
-      request->second(from, util::BytesView(msg.payload).subspan(8), id);
+      (*request)(from, util::BytesView(msg.payload).subspan(8), id);
     } catch (const util::DosnError&) {
       // Malformed payload or unroutable wire-derived address: drop.
     }
     return;
   }
-  const auto handler = messageHandlers_.find(msg.type);
-  if (handler != messageHandlers_.end()) {
+  if (const MessageHandler* handler = findByType(messageHandlers_, typeId)) {
     try {
-      handler->second(from, msg.payload);
+      (*handler)(from, msg.payload);
     } catch (const util::DosnError&) {
       // Malformed payload or unroutable wire-derived address: drop.
     }

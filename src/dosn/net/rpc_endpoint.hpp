@@ -40,14 +40,16 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
 #include <string>
+#include <vector>
 
 #include "dosn/net/retry.hpp"
 #include "dosn/net/rtt.hpp"
+#include "dosn/sim/flat_map.hpp"
+#include "dosn/sim/message_type.hpp"
 #include "dosn/sim/network.hpp"
 #include "dosn/util/bytes.hpp"
 
@@ -113,30 +115,32 @@ class RpcEndpoint {
   sim::Network& network() { return network_; }
 
   // --- server side ---
-  void onRequest(const std::string& type, RequestHandler handler);
-  void onMessage(const std::string& type, MessageHandler handler);
+  // Types are interned sim::MessageType handles; string spellings convert
+  // implicitly (interning once), and hot paths dispatch on the dense id.
+  void onRequest(sim::MessageType type, RequestHandler handler);
+  void onMessage(sim::MessageType type, MessageHandler handler);
   /// Frames and sends `body` as the reply to `rpcId`.
-  void reply(sim::NodeAddr to, const std::string& replyType, RpcId rpcId,
+  void reply(sim::NodeAddr to, sim::MessageType replyType, RpcId rpcId,
              util::BytesView body);
 
   // --- client side ---
   /// Marks `type` as a reply channel: incoming messages of this type are
   /// parsed as `u64 rpcId | body` and complete the matching pending call.
-  void addReplyChannel(const std::string& type);
-  void setReplyObserver(const std::string& type, ReplyObserver observer);
+  void addReplyChannel(sim::MessageType type);
+  void setReplyObserver(sim::MessageType type, ReplyObserver observer);
 
   /// Starts a paired RPC to `to`. The wire frame is `u64 rpcId | body`.
-  RpcId call(sim::NodeAddr to, const std::string& type, util::BytesView body,
+  RpcId call(sim::NodeAddr to, sim::MessageType type, util::BytesView body,
              const CallOptions& options, ReplyCallback onReply);
 
   /// Opens a correlation slot with a single overall deadline and no
   /// retransmission. `opType` is the metrics name (e.g. "flood.search");
   /// `tag` is opaque per-call context readable back via tag() (super-peer
   /// chains stash the searched key there).
-  RpcId openCall(const std::string& opType, sim::SimTime timeout,
+  RpcId openCall(sim::MessageType opType, sim::SimTime timeout,
                  util::Bytes tag, ReplyCallback onReply);
   /// As above with an optionally adaptive deadline (see OpenCallOptions).
-  RpcId openCall(const std::string& opType, const OpenCallOptions& options,
+  RpcId openCall(sim::MessageType opType, const OpenCallOptions& options,
                  util::Bytes tag, ReplyCallback onReply);
   /// Completes a pending call with a validated payload; returns false if the
   /// call is no longer pending (timed out, duplicate completion).
@@ -146,7 +150,7 @@ class RpcEndpoint {
   const util::Bytes* tag(RpcId id) const;
 
   /// Fire-and-forget message from this endpoint's address.
-  void send(sim::NodeAddr to, const std::string& type, util::Bytes payload);
+  void send(sim::NodeAddr to, sim::MessageType type, util::Bytes payload);
 
   /// Attaches an adaptive budget (nullptr detaches). Not owned; must outlive
   /// use. While attached it replaces CallOptions::retry on every call and is
@@ -176,7 +180,7 @@ class RpcEndpoint {
 
  private:
   struct PendingCall {
-    std::string type;            // request type (metrics key)
+    sim::MessageType type;       // request type (metrics key)
     ReplyCallback onReply;
     sim::SimTime startedAt = 0;
     util::Bytes tag;             // openCall context
@@ -188,27 +192,38 @@ class RpcEndpoint {
 
   // Shared with every closure scheduled on the simulator so timeouts fired
   // after the endpoint is destroyed find the state gone instead of dangling.
+  // RpcIds are (addr << 32 | counter), never ~0, so AddrMap's reserved key
+  // is safe here too.
   struct State {
-    std::map<RpcId, PendingCall> pending;
+    sim::AddrMap<PendingCall> pending;
     std::uint64_t retries = 0;
     std::uint64_t failures = 0;
   };
 
+  /// The per-type metric names, built once per type on first use so the
+  /// hot path never concatenates strings ("rpc.<type>.sent" et al.).
+  struct TypeMetricNames {
+    std::string sent, retries, timeouts, completed, failed, spuriousTimeouts;
+    std::string rttMs, rttSamples, rttSrtt, rttRttvar, rttTimeout;
+  };
+
   void handleMessage(sim::NodeAddr from, const sim::Message& msg);
   void handleReply(sim::NodeAddr from, const sim::Message& msg);
-  void transmit(sim::NodeAddr to, const std::string& type, const util::Bytes& frame,
+  void transmit(sim::NodeAddr to, sim::MessageType type, const util::Bytes& frame,
                 RpcId id, std::size_t attempt, sim::SimTime timeout,
                 const RetryPolicy& retry, bool adaptive);
   void finish(RpcId id, bool ok, util::BytesView payload);
-  void bump(const std::string& type, const char* event);
+  TypeMetricNames& metricNames(sim::MessageType type);
+  void bump(sim::MessageType type, std::string TypeMetricNames::* event);
   void observeOutcome(bool timedOut);
   /// Feeds a Karn-valid sample to `peer`'s estimator and exports the
   /// rpc.rtt.<type>.{srtt,rttvar,timeout} gauges + sample counter.
-  void recordRttSample(sim::NodeAddr peer, const std::string& type,
+  void recordRttSample(sim::NodeAddr peer, sim::MessageType type,
                        sim::SimTime rtt);
 
   sim::Network& network_;
   std::string statsPrefix_;
+  std::string statsRetry_, statsFail_, statsOrphan_;  // "<prefix>.<event>"
   sim::NodeAddr addr_;
   std::uint64_t statusToken_ = 0;
   std::shared_ptr<State> state_;
@@ -216,10 +231,14 @@ class RpcEndpoint {
   AdaptiveRetryPolicy* adaptive_ = nullptr;
   PeerStateTable peers_;
   bool trackSpurious_ = false;
-  std::map<std::string, RequestHandler> requestHandlers_;
-  std::map<std::string, MessageHandler> messageHandlers_;
-  std::map<std::string, ReplyObserver> replyObservers_;
-  std::set<std::string> replyChannels_;
+  // Dispatch tables keyed by interned id; handler lists are deques so a
+  // handler registering further handlers never invalidates the one running.
+  // Endpoints register a handful of types, so lookup is a linear scan.
+  std::deque<std::pair<sim::MessageTypeId, RequestHandler>> requestHandlers_;
+  std::deque<std::pair<sim::MessageTypeId, MessageHandler>> messageHandlers_;
+  std::deque<std::pair<sim::MessageTypeId, ReplyObserver>> replyObservers_;
+  std::vector<sim::MessageTypeId> replyChannels_;
+  std::vector<std::unique_ptr<TypeMetricNames>> typeMetricNames_;  // by id
 };
 
 }  // namespace dosn::net

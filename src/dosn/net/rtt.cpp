@@ -44,43 +44,49 @@ PeerStateTable::PeerStateTable(PeerTableConfig config) : config_(config) {
 }
 
 PeerStateTable::PeerState& PeerStateTable::state(sim::NodeAddr peer) {
-  auto it = peers_.find(peer);
-  if (it == peers_.end()) {
-    Entry entry;
-    entry.state.rtt = RttEstimator(config_.rtt);
-    entry.state.retry = AdaptiveRetryPolicy(config_.retry);
-    it = peers_.emplace(peer, std::move(entry)).first;
+  Entry* entry = peers_.find(peer);
+  if (!entry) {
+    entry = &peers_[peer];
+    entry->state.rtt = RttEstimator(config_.rtt);
+    entry->state.retry = AdaptiveRetryPolicy(config_.retry);
   }
   // Touch before evicting so a just-created entry can never be its own
-  // eviction victim.
-  it->second.lastTouch = ++touchClock_;
+  // eviction victim (unique monotonic touches keep eviction deterministic
+  // regardless of the table's iteration order).
+  entry->lastTouch = ++touchClock_;
   evictIfNeeded();
-  return it->second.state;
+  // Eviction's backward-shift deletion may relocate surviving entries, so
+  // the pre-eviction pointer cannot be returned.
+  return peers_.find(peer)->state;
 }
 
 const PeerStateTable::PeerState* PeerStateTable::find(sim::NodeAddr peer) const {
-  const auto it = peers_.find(peer);
-  return it == peers_.end() ? nullptr : &it->second.state;
+  const Entry* entry = peers_.find(peer);
+  return entry ? &entry->state : nullptr;
 }
 
 bool PeerStateTable::erase(sim::NodeAddr peer) {
-  return peers_.erase(peer) > 0;
+  return peers_.erase(peer);
 }
 
 std::size_t PeerStateTable::sampledPeers() const {
   std::size_t n = 0;
-  for (const auto& [addr, entry] : peers_) {
+  peers_.forEach([&](sim::NodeAddr, const Entry& entry) {
     if (entry.state.rtt.hasSample()) ++n;
-  }
+  });
   return n;
 }
 
 void PeerStateTable::evictIfNeeded() {
   while (peers_.size() > config_.maxPeers) {
-    auto victim = peers_.begin();
-    for (auto it = peers_.begin(); it != peers_.end(); ++it) {
-      if (it->second.lastTouch < victim->second.lastTouch) victim = it;
-    }
+    sim::NodeAddr victim = sim::kNoAddr;
+    std::uint64_t victimTouch = ~std::uint64_t{0};
+    peers_.forEach([&](sim::NodeAddr addr, const Entry& entry) {
+      if (entry.lastTouch < victimTouch) {
+        victim = addr;
+        victimTouch = entry.lastTouch;
+      }
+    });
     peers_.erase(victim);
   }
 }

@@ -28,14 +28,16 @@
 // instead of sharing fleet-global constants. The table is bounded: under
 // churn, peers come and go forever, so entries are evicted least-recently-
 // used once maxPeers is exceeded (eviction order is deterministic — a
-// monotonic touch counter, no clocks).
+// monotonic touch counter, no clocks). Storage is an open-addressing
+// AddrMap (DESIGN.md §3d): the per-send state(peer) lookup is one hash and
+// a short probe instead of a red-black-tree walk.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
 
 #include "dosn/net/retry.hpp"
+#include "dosn/sim/flat_map.hpp"
 #include "dosn/sim/network.hpp"
 
 namespace dosn::net {
@@ -128,7 +130,7 @@ class PeerStateTable {
   void evictIfNeeded();
 
   PeerTableConfig config_;
-  std::map<sim::NodeAddr, Entry> peers_;
+  sim::AddrMap<Entry> peers_;
   std::uint64_t touchClock_ = 0;
 };
 

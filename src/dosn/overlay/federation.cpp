@@ -5,6 +5,15 @@
 
 namespace dosn::overlay {
 
+namespace {
+
+// Interned once at static-init; per-send dispatch is by dense id.
+const sim::MessageType kMsgQuery("fed.query");
+const sim::MessageType kMsgReply("fed.reply");
+
+}  // namespace
+
+
 void FederationDirectory::assign(const std::string& user, sim::NodeAddr server) {
   homes_[user] = server;
 }
@@ -26,7 +35,7 @@ FederatedServer::FederatedServer(sim::Network& network,
                                  const FederationDirectory& directory)
     : network_(network), directory_(directory), endpoint_(network, "fed.rpc") {
   endpoint_.onRequest(
-      "fed.query",
+      kMsgQuery,
       [this](sim::NodeAddr from, util::BytesView body, net::RpcId rpcId) {
         util::Reader r(body);
         const std::string user = r.str();
@@ -38,18 +47,18 @@ FederatedServer::FederatedServer(sim::Network& network,
           if (keyIt != userIt->second.end()) {
             w.boolean(true);
             w.bytes(keyIt->second);
-            endpoint_.reply(from, "fed.reply", rpcId, w.buffer());
+            endpoint_.reply(from, kMsgReply, rpcId, w.buffer());
             return;
           }
         }
         w.boolean(false);
-        endpoint_.reply(from, "fed.reply", rpcId, w.buffer());
+        endpoint_.reply(from, kMsgReply, rpcId, w.buffer());
       });
   // The observer validates the found-flag and value so a corrupted reply is
   // dropped (the query then resolves nullopt at its deadline) instead of
   // silently losing the caller's callback as the pre-endpoint code did.
-  endpoint_.addReplyChannel("fed.reply");
-  endpoint_.setReplyObserver("fed.reply", [](sim::NodeAddr, util::BytesView body) {
+  endpoint_.addReplyChannel(kMsgReply);
+  endpoint_.setReplyObserver(kMsgReply, [](sim::NodeAddr, util::BytesView body) {
     util::Reader r(body);
     if (r.boolean()) r.bytes();
   });
@@ -86,7 +95,7 @@ void FederatedServer::query(
   net::CallOptions options;
   options.timeout = timeout;
   options.adaptiveTimeout = adaptiveTimeout_;
-  endpoint_.call(*home, "fed.query", w.buffer(), options,
+  endpoint_.call(*home, kMsgQuery, w.buffer(), options,
                  [done = std::move(done)](bool ok, util::BytesView reply) {
                    if (!ok) {
                      done(std::nullopt);

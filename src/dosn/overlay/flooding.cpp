@@ -7,6 +7,16 @@ namespace dosn::overlay {
 
 namespace {
 
+// Interned once at static-init; per-send dispatch is by dense id.
+const sim::MessageType kMsgQuery("flood.query");
+const sim::MessageType kMsgHit("flood.hit");
+const sim::MessageType kOpSearch("flood.search");
+
+}  // namespace
+
+
+namespace {
+
 // Query payload: u64 queryId, u64 originAddr, i32 ttl, raw key(20).
 util::Bytes encodeQuery(std::uint64_t queryId, sim::NodeAddr origin, int ttl,
                         const OverlayId& key) {
@@ -22,15 +32,15 @@ util::Bytes encodeQuery(std::uint64_t queryId, sim::NodeAddr origin, int ttl,
 
 FloodingNode::FloodingNode(sim::Network& network, OverlayId id)
     : network_(network), id_(id), endpoint_(network, "flood.rpc") {
-  endpoint_.onMessage("flood.query",
+  endpoint_.onMessage(kMsgQuery,
                       [this](sim::NodeAddr from, util::BytesView payload) {
                         onQuery(from, payload);
                       });
   // A hit carries `u64 queryId | bytes value`; the observer validates the
   // value field so a corrupted hit is dropped and the search keeps waiting
   // for another replica (or the deadline).
-  endpoint_.addReplyChannel("flood.hit");
-  endpoint_.setReplyObserver("flood.hit",
+  endpoint_.addReplyChannel(kMsgHit);
+  endpoint_.setReplyObserver(kMsgHit,
                              [](sim::NodeAddr, util::BytesView body) {
                                util::Reader r(body);
                                r.bytes();
@@ -69,7 +79,7 @@ void FloodingNode::search(
   options.adaptiveTimeout = adaptiveTimeout_;
   options.peer = endpoint_.addr();  // flood-wide op, keyed by the origin
   const net::RpcId queryId = endpoint_.openCall(
-      "flood.search", options, {},
+      kOpSearch, options, {},
       [done = std::move(done)](bool ok, util::BytesView reply) {
         if (!ok) {
           done(std::nullopt);
@@ -82,7 +92,7 @@ void FloodingNode::search(
 
   const util::Bytes payload = encodeQuery(queryId, endpoint_.addr(), ttl, key);
   for (const sim::NodeAddr n : neighbors_) {
-    endpoint_.send(n, "flood.query", payload);
+    endpoint_.send(n, kMsgQuery, payload);
   }
 }
 
@@ -101,14 +111,14 @@ void FloodingNode::onQuery(sim::NodeAddr from, util::BytesView payload) {
   if (it != store_.end()) {
     util::Writer hit;
     hit.bytes(it->second);
-    endpoint_.reply(origin, "flood.hit", queryId, hit.buffer());
+    endpoint_.reply(origin, kMsgHit, queryId, hit.buffer());
     return;
   }
   if (ttl <= 1) return;
   const util::Bytes forward = encodeQuery(queryId, origin, ttl - 1, key);
   for (const sim::NodeAddr n : neighbors_) {
     if (n == from) continue;
-    endpoint_.send(n, "flood.query", forward);
+    endpoint_.send(n, kMsgQuery, forward);
   }
 }
 

@@ -7,6 +7,16 @@ namespace dosn::overlay {
 
 namespace {
 
+// Interned once at static-init; per-send dispatch is by dense id.
+const sim::MessageType kMsgDigest("gossip.digest");
+const sim::MessageType kMsgSync("gossip.sync");
+const sim::MessageType kMsgEntries("gossip.entries");
+
+}  // namespace
+
+
+namespace {
+
 void writeId(util::Writer& w, const OverlayId& id) {
   w.raw(util::BytesView(id.bytes));
 }
@@ -46,7 +56,7 @@ GossipNode::GossipNode(sim::Network& network, GossipConfig config)
     endpoint_.configurePeerTable(peerConfig);
   }
   endpoint_.onRequest(
-      "gossip.digest",
+      kMsgDigest,
       [this](sim::NodeAddr from, util::BytesView body, net::RpcId rpcId) {
         // Push-pull: reply with entries the peer is missing plus the keys we
         // want from it. The reply is sent even when both lists are empty —
@@ -76,14 +86,14 @@ GossipNode::GossipNode(sim::Network& network, GossipConfig config)
         w.raw(encodeEntries(toSend));
         w.u32(static_cast<std::uint32_t>(toRequest.size()));
         for (const OverlayId& key : toRequest) writeId(w, key);
-        endpoint_.reply(from, "gossip.sync", rpcId, w.buffer());
+        endpoint_.reply(from, kMsgSync, rpcId, w.buffer());
       });
-  endpoint_.addReplyChannel("gossip.sync");
-  endpoint_.setReplyObserver("gossip.sync",
+  endpoint_.addReplyChannel(kMsgSync);
+  endpoint_.setReplyObserver(kMsgSync,
                              [](sim::NodeAddr, util::BytesView body) {
                                validateSync(body);
                              });
-  endpoint_.onMessage("gossip.entries",
+  endpoint_.onMessage(kMsgEntries,
                       [this](sim::NodeAddr, util::BytesView payload) {
                         util::Reader r(payload);
                         applyEntries(r);
@@ -147,7 +157,7 @@ void GossipNode::exchangeWith(sim::NodeAddr peer) {
   options.retry = config_.retry;
   options.adaptiveTimeout = config_.adaptiveTimeout;
   endpoint_.call(
-      peer, "gossip.digest", encodeDigest(), options,
+      peer, kMsgDigest, encodeDigest(), options,
       // Note no running_ gate: a stopped node still applies incoming state
       // passively, exactly as the pre-endpoint message handler did.
       [this, peer](bool ok, util::BytesView reply) {
@@ -159,7 +169,7 @@ void GossipNode::exchangeWith(sim::NodeAddr peer) {
         keys.reserve(requested);
         for (std::uint32_t i = 0; i < requested; ++i) keys.push_back(readId(r));
         if (!keys.empty()) {
-          endpoint_.send(peer, "gossip.entries", encodeEntries(keys));
+          endpoint_.send(peer, kMsgEntries, encodeEntries(keys));
         }
       });
 }

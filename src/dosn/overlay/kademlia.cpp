@@ -11,6 +11,18 @@ namespace dosn::overlay {
 
 namespace {
 
+// Interned once at static-init; per-send dispatch is by dense id.
+const sim::MessageType kMsgReply("kad.reply");
+const sim::MessageType kMsgPing("kad.ping");
+const sim::MessageType kMsgFindNode("kad.find_node");
+const sim::MessageType kMsgFindValue("kad.find_value");
+const sim::MessageType kMsgStore("kad.store");
+
+}  // namespace
+
+
+namespace {
+
 void writeId(util::Writer& w, const OverlayId& id) {
   w.raw(util::BytesView(id.bytes));
 }
@@ -109,9 +121,9 @@ void KademliaNode::setupRpcHandlers() {
   // a reply too short to carry a sender id throws and is dropped, leaving
   // the call pending for the retry/timeout path (matching the historical
   // parse-failure-drops behavior).
-  endpoint_.addReplyChannel("kad.reply");
+  endpoint_.addReplyChannel(kMsgReply);
   endpoint_.setReplyObserver(
-      "kad.reply", [this](sim::NodeAddr from, util::BytesView body) {
+      kMsgReply, [this](sim::NodeAddr from, util::BytesView body) {
         util::Reader r(body);
         const OverlayId senderId = readId(r);
         table_.observe(Contact{senderId, from});
@@ -130,16 +142,16 @@ void KademliaNode::setupRpcHandlers() {
     util::Writer reply;
     writeId(reply, id_);
     answer(r, reply);
-    endpoint_.reply(from, "kad.reply", rpcId, reply.buffer());
+    endpoint_.reply(from, kMsgReply, rpcId, reply.buffer());
   };
 
-  endpoint_.onRequest("kad.ping", [serve](sim::NodeAddr from,
+  endpoint_.onRequest(kMsgPing, [serve](sim::NodeAddr from,
                                           util::BytesView body, net::RpcId id) {
     serve(from, body, id,
           [](util::Reader&, util::Writer& reply) { reply.u8(kReplyOk); });
   });
   endpoint_.onRequest(
-      "kad.find_node",
+      kMsgFindNode,
       [this, serve](sim::NodeAddr from, util::BytesView body, net::RpcId id) {
         serve(from, body, id, [this](util::Reader& r, util::Writer& reply) {
           const OverlayId target = readId(r);
@@ -148,7 +160,7 @@ void KademliaNode::setupRpcHandlers() {
         });
       });
   endpoint_.onRequest(
-      "kad.find_value",
+      kMsgFindValue,
       [this, serve](sim::NodeAddr from, util::BytesView body, net::RpcId id) {
         serve(from, body, id, [this](util::Reader& r, util::Writer& reply) {
           const OverlayId key = readId(r);
@@ -163,7 +175,7 @@ void KademliaNode::setupRpcHandlers() {
         });
       });
   endpoint_.onRequest(
-      "kad.store",
+      kMsgStore,
       [this, serve](sim::NodeAddr from, util::BytesView body, net::RpcId id) {
         serve(from, body, id, [this](util::Reader& r, util::Writer& reply) {
           const OverlayId key = readId(r);
@@ -248,7 +260,7 @@ void KademliaNode::store(const OverlayId& key, util::Bytes value,
         store_[key] = value;
         continue;
       }
-      sendRpc(contact, "kad.store", encoded, [](bool, util::BytesView) {});
+      sendRpc(contact, kMsgStore, encoded, [](bool, util::BytesView) {});
     }
     if (done) done(true);
   });
@@ -306,7 +318,7 @@ void KademliaNode::lookupStep(const std::shared_ptr<Lookup>& lookup) {
 
     util::Writer body;
     body.raw(util::BytesView(lookup->target.bytes));
-    const std::string type = lookup->wantValue ? "kad.find_value" : "kad.find_node";
+    const sim::MessageType type = lookup->wantValue ? kMsgFindValue : kMsgFindNode;
     sendRpc(entry.contact, type, body.take(),
             [this, lookup](bool ok, util::BytesView reply) {
               --lookup->inflight;

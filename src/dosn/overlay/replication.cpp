@@ -10,6 +10,17 @@ namespace dosn::overlay {
 
 namespace {
 
+// Interned once at static-init; per-send dispatch is by dense id.
+const sim::MessageType kMsgStore("repl.store");
+const sim::MessageType kMsgFetch("repl.fetch");
+const sim::MessageType kMsgAck("repl.ack");
+const sim::MessageType kMsgValue("repl.value");
+
+}  // namespace
+
+
+namespace {
+
 void writeId(util::Writer& w, const OverlayId& id) {
   w.raw(util::BytesView(id.bytes));
 }
@@ -101,17 +112,17 @@ std::map<sim::NodeAddr, std::size_t> ReplicationManager::observerViewSizes()
 ReplicaHost::ReplicaHost(sim::Network& network)
     : endpoint_(network, "repl.host") {
   endpoint_.onRequest(
-      "repl.store",
+      kMsgStore,
       [this](sim::NodeAddr from, util::BytesView body, net::RpcId reqId) {
         util::Reader r(body);
         const OverlayId item = readId(r);
         data_[item] = r.bytes();
         util::Writer w;
         w.boolean(true);
-        endpoint_.reply(from, "repl.ack", reqId, w.buffer());
+        endpoint_.reply(from, kMsgAck, reqId, w.buffer());
       });
   endpoint_.onRequest(
-      "repl.fetch",
+      kMsgFetch,
       [this](sim::NodeAddr from, util::BytesView body, net::RpcId reqId) {
         util::Reader r(body);
         const OverlayId item = readId(r);
@@ -123,7 +134,7 @@ ReplicaHost::ReplicaHost(sim::Network& network)
         } else {
           w.boolean(false);
         }
-        endpoint_.reply(from, "repl.value", reqId, w.buffer());
+        endpoint_.reply(from, kMsgValue, reqId, w.buffer());
       });
 }
 
@@ -141,8 +152,8 @@ ReplicaClient::ReplicaClient(sim::Network& network, RetryPolicy retry,
   // No reply observers: a corrupted ack/value still completes the call and
   // the store/fetch adapters map the unparseable body to failure (matching
   // the historical client behavior the fault tests pin down).
-  endpoint_.addReplyChannel("repl.ack");
-  endpoint_.addReplyChannel("repl.value");
+  endpoint_.addReplyChannel(kMsgAck);
+  endpoint_.addReplyChannel(kMsgValue);
 }
 
 void ReplicaClient::sendRpc(
@@ -160,7 +171,7 @@ void ReplicaClient::store(sim::NodeAddr host, const OverlayId& item,
   util::Writer body;
   writeId(body, item);
   body.bytes(value);
-  sendRpc(host, "repl.store", body.take(),
+  sendRpc(host, kMsgStore, body.take(),
           [done = std::move(done)](bool ok, util::BytesView reply) {
             if (!done) return;
             if (!ok) {
@@ -181,7 +192,7 @@ void ReplicaClient::fetch(
     std::function<void(std::optional<util::Bytes>)> done) {
   util::Writer body;
   writeId(body, item);
-  sendRpc(host, "repl.fetch", body.take(),
+  sendRpc(host, kMsgFetch, body.take(),
           [done = std::move(done)](bool ok, util::BytesView reply) {
             if (!done) return;
             if (!ok) {

@@ -7,6 +7,20 @@ namespace dosn::overlay {
 
 namespace {
 
+// Interned once at static-init; per-send dispatch is by dense id.
+const sim::MessageType kMsgRegister("sp.register");
+const sim::MessageType kMsgQuery("sp.query");
+const sim::MessageType kMsgPeerQuery("sp.peer_query");
+const sim::MessageType kMsgOwner("sp.owner");
+const sim::MessageType kMsgFetch("sp.fetch");
+const sim::MessageType kMsgValue("sp.value");
+const sim::MessageType kOpSearch("sp.search");
+
+}  // namespace
+
+
+namespace {
+
 void writeId(util::Writer& w, const OverlayId& id) {
   w.raw(util::BytesView(id.bytes));
 }
@@ -22,12 +36,12 @@ OverlayId readId(util::Reader& r) {
 
 SuperPeer::SuperPeer(sim::Network& network) : endpoint_(network, "sp.rpc") {
   endpoint_.onMessage(
-      "sp.register", [this](sim::NodeAddr from, util::BytesView payload) {
+      kMsgRegister, [this](sim::NodeAddr from, util::BytesView payload) {
         util::Reader r(payload);
         index_[readId(r)] = from;
       });
   endpoint_.onMessage(
-      "sp.query", [this](sim::NodeAddr, util::BytesView payload) {
+      kMsgQuery, [this](sim::NodeAddr, util::BytesView payload) {
         // From a leaf: answer locally or fan out to the other super peers.
         util::Reader r(payload);
         const std::uint64_t queryId = r.u64();
@@ -37,7 +51,7 @@ SuperPeer::SuperPeer(sim::Network& network) : endpoint_(network, "sp.rpc") {
         if (it != index_.end()) {
           util::Writer w;
           w.u64(it->second);
-          endpoint_.reply(origin, "sp.owner", queryId, w.buffer());
+          endpoint_.reply(origin, kMsgOwner, queryId, w.buffer());
           return;
         }
         util::Writer w;
@@ -46,11 +60,11 @@ SuperPeer::SuperPeer(sim::Network& network) : endpoint_(network, "sp.rpc") {
         writeId(w, key);
         const util::Bytes payload2 = w.take();
         for (const sim::NodeAddr peer : peers_) {
-          endpoint_.send(peer, "sp.peer_query", payload2);
+          endpoint_.send(peer, kMsgPeerQuery, payload2);
         }
       });
   endpoint_.onMessage(
-      "sp.peer_query", [this](sim::NodeAddr, util::BytesView payload) {
+      kMsgPeerQuery, [this](sim::NodeAddr, util::BytesView payload) {
         // From another super peer: answer the origin directly on a hit.
         util::Reader r(payload);
         const std::uint64_t queryId = r.u64();
@@ -60,7 +74,7 @@ SuperPeer::SuperPeer(sim::Network& network) : endpoint_(network, "sp.rpc") {
         if (it != index_.end()) {
           util::Writer w;
           w.u64(it->second);
-          endpoint_.reply(origin, "sp.owner", queryId, w.buffer());
+          endpoint_.reply(origin, kMsgOwner, queryId, w.buffer());
         }
       });
 }
@@ -72,7 +86,7 @@ void SuperPeer::setPeers(std::vector<sim::NodeAddr> otherSuperPeers) {
 LeafPeer::LeafPeer(sim::Network& network, sim::NodeAddr superPeer)
     : network_(network), endpoint_(network, "sp.rpc"), superPeer_(superPeer) {
   endpoint_.onMessage(
-      "sp.owner", [this](sim::NodeAddr, util::BytesView payload) {
+      kMsgOwner, [this](sim::NodeAddr, util::BytesView payload) {
         // The index gave us the owner; fetch the value from it. The searched
         // key rides on the pending call's tag.
         util::Reader r(payload);
@@ -84,10 +98,10 @@ LeafPeer::LeafPeer(sim::Network& network, sim::NodeAddr superPeer)
         w.u64(queryId);
         w.u64(endpoint_.addr());
         w.raw(*key);
-        endpoint_.send(owner, "sp.fetch", w.take());
+        endpoint_.send(owner, kMsgFetch, w.take());
       });
   endpoint_.onMessage(
-      "sp.fetch", [this](sim::NodeAddr, util::BytesView payload) {
+      kMsgFetch, [this](sim::NodeAddr, util::BytesView payload) {
         // Another leaf wants one of our values.
         util::Reader r(payload);
         const std::uint64_t queryId = r.u64();
@@ -97,12 +111,12 @@ LeafPeer::LeafPeer(sim::Network& network, sim::NodeAddr superPeer)
         if (it == store_.end()) return;
         util::Writer w;
         w.bytes(it->second);
-        endpoint_.reply(origin, "sp.value", queryId, w.buffer());
+        endpoint_.reply(origin, kMsgValue, queryId, w.buffer());
       });
   // The observer validates the value field, so a corrupted sp.value leaves
   // the search pending until the deadline instead of completing it.
-  endpoint_.addReplyChannel("sp.value");
-  endpoint_.setReplyObserver("sp.value", [](sim::NodeAddr, util::BytesView body) {
+  endpoint_.addReplyChannel(kMsgValue);
+  endpoint_.setReplyObserver(kMsgValue, [](sim::NodeAddr, util::BytesView body) {
     util::Reader r(body);
     r.bytes();
   });
@@ -112,7 +126,7 @@ void LeafPeer::publish(const OverlayId& key, util::Bytes value) {
   store_[key] = std::move(value);
   util::Writer w;
   writeId(w, key);
-  endpoint_.send(superPeer_, "sp.register", w.take());
+  endpoint_.send(superPeer_, kMsgRegister, w.take());
 }
 
 void LeafPeer::search(const OverlayId& key, sim::SimTime timeout,
@@ -129,7 +143,7 @@ void LeafPeer::search(const OverlayId& key, sim::SimTime timeout,
   options.adaptiveTimeout = adaptiveTimeout_;
   options.peer = superPeer_;  // whole-chain time, keyed by the first hop
   const net::RpcId queryId = endpoint_.openCall(
-      "sp.search", options, util::Bytes(key.bytes.begin(), key.bytes.end()),
+      kOpSearch, options, util::Bytes(key.bytes.begin(), key.bytes.end()),
       [done = std::move(done)](bool ok, util::BytesView reply) {
         if (!ok) {
           done(std::nullopt);
@@ -142,7 +156,7 @@ void LeafPeer::search(const OverlayId& key, sim::SimTime timeout,
   w.u64(queryId);
   w.u64(endpoint_.addr());
   writeId(w, key);
-  endpoint_.send(superPeer_, "sp.query", w.take());
+  endpoint_.send(superPeer_, kMsgQuery, w.take());
 }
 
 }  // namespace dosn::overlay

@@ -1,0 +1,84 @@
+#include "dosn/sim/event_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dosn::sim {
+
+namespace {
+
+// Same ordering the old std::priority_queue used: a "later than" comparator,
+// which std::*_heap turns into a min-heap on (when, seq).
+bool later(const Event& a, const Event& b) {
+  if (a.when != b.when) return a.when > b.when;
+  return a.seq > b.seq;
+}
+
+}  // namespace
+
+void EventQueue::heapPush(Heap& heap, Event e) {
+  heap.push_back(std::move(e));
+  std::push_heap(heap.begin(), heap.end(), later);
+}
+
+Event EventQueue::heapPop(Heap& heap) {
+  std::pop_heap(heap.begin(), heap.end(), later);
+  Event e = std::move(heap.back());
+  heap.pop_back();
+  return e;
+}
+
+void EventQueue::push(Event e) {
+  // All comparisons are in bucket space: times near 2^64 (kFaultForever
+  // horizons) would overflow `windowStart + span` in time units, while the
+  // max bucket number (2^54) leaves plenty of headroom.
+  const std::uint64_t b = bucketOf(e.when);
+  if (b < windowStartBucket_) {
+    heapPush(early_, std::move(e));
+  } else if (b >= windowStartBucket_ + kBucketCount) {
+    heapPush(overflow_, std::move(e));
+  } else {
+    heapPush(ring_[b % kBucketCount], std::move(e));
+    ++ringSize_;
+    // An event may land behind the cursor (delay-0 scheduling, arbitrary
+    // property-test orders); dragging the cursor back keeps the scan-from-
+    // cursor invariant: no ring event lives in a bucket before it.
+    if (b < cursorBucket_) cursorBucket_ = b;
+  }
+  ++size_;
+}
+
+EventQueue::Heap& EventQueue::locate() {
+  // Partitions are totally ordered in time: early < ring < overflow.
+  if (!early_.empty()) return early_;
+  if (ringSize_ == 0) rebase();  // overflow must be non-empty (size_ > 0)
+  while (ring_[cursorBucket_ % kBucketCount].empty()) ++cursorBucket_;
+  // Buckets from the cursor up are visited in time order, and a bucket's
+  // events all precede any later bucket's, so the first non-empty bucket
+  // holds the ring minimum.
+  return ring_[cursorBucket_ % kBucketCount];
+}
+
+void EventQueue::rebase() {
+  windowStartBucket_ = bucketOf(overflow_.front().when);
+  cursorBucket_ = windowStartBucket_;
+  const std::uint64_t windowEndBucket = windowStartBucket_ + kBucketCount;
+  while (!overflow_.empty() && bucketOf(overflow_.front().when) < windowEndBucket) {
+    Event e = heapPop(overflow_);
+    heapPush(ring_[bucketOf(e.when) % kBucketCount], std::move(e));
+    ++ringSize_;
+  }
+}
+
+Event EventQueue::pop() {
+  Heap& heap = locate();
+  const bool fromRing = &heap != &early_;
+  Event e = heapPop(heap);
+  if (fromRing) --ringSize_;
+  --size_;
+  return e;
+}
+
+SimTime EventQueue::nextTime() { return locate().front().when; }
+
+}  // namespace dosn::sim

@@ -1,0 +1,119 @@
+// Calendar (bucketed) event queue for the simulator (DESIGN.md §3d).
+//
+// The simulator used one std::priority_queue over every pending event: each
+// push/pop paid O(log n) comparisons over a heap spanning wildly different
+// horizons (20–30 ms deliveries interleaved with 60 s churn timers). The
+// calendar queue splits pending events into three partitions by virtual
+// time, so the hot near-future traffic sorts only against its own bucket:
+//
+//   early    — events before the current window (binary heap; only
+//              reachable after runUntil() jumps `now` forward and a rebase
+//              has moved the window past it)
+//   ring     — kBucketCount buckets of kBucketWidth µs each, covering the
+//              static window [windowStart, windowStart + span); one small
+//              binary heap per bucket
+//   overflow — events at or beyond the window end (binary heap)
+//
+// Ordering invariant: every early event precedes every ring event precedes
+// every overflow event in virtual time (buckets never straddle a partition
+// boundary), so pop() never compares across partitions. Within a partition,
+// heaps order by (when, seq) — EXACTLY the comparator the old priority
+// queue used — so same-timestamp events still pop in scheduling (FIFO)
+// order and the replacement is pop-for-pop identical (test_event_queue
+// differentially checks this against a reference std::priority_queue).
+//
+// The window is STATIC: windowStart moves only in rebase(), and rebase()
+// runs only when early and ring are both empty, pulling the overflow prefix
+// into a fresh window. The cursor's march through ring buckets never moves
+// the window — that is what makes "pushed behind the cursor" (delay-0
+// events, arbitrary property-test interleavings) safe: push just drags the
+// cursor back.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dosn/sim/pool.hpp"
+
+namespace dosn::sim {
+
+/// Virtual time in microseconds (mirrors simulator.hpp; kept header-light).
+using SimTime = std::uint64_t;
+
+struct Event {
+  SimTime when;
+  std::uint64_t seq;
+  EventClosure fn;
+};
+
+class EventQueue {
+ public:
+  // 1024 µs buckets x 4096 buckets = a ~4.2 s window. Swept empirically on
+  // the S1 workload: finer buckets lose more to cache footprint than they
+  // gain in shorter per-bucket heaps.
+  static constexpr unsigned kBucketShift = 10;
+  static constexpr SimTime kBucketWidth = SimTime{1} << kBucketShift;
+  static constexpr std::size_t kBucketCount = 4096;
+
+  void push(Event e);
+  /// Removes and returns the minimum event by (when, seq). Precondition:
+  /// !empty().
+  Event pop();
+  /// The minimum pending `when` (what runUntil peeks). Precondition:
+  /// !empty().
+  SimTime nextTime();
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Best-effort cache warm-up: prefetches the NEXT event's closure block
+  /// while the current event executes. The block was written when its event
+  /// was scheduled — thousands of events ago — so it is essentially always
+  /// cold, and the handler running in between gives the lines time to
+  /// arrive. Purely a hint; never affects ordering. (A push during the
+  /// current event can still preempt the prefetched event; that only wastes
+  /// the hint.)
+  void prefetchNext() {
+    if (size_ == 0) return;
+    const char* p = static_cast<const char*>(locate().front().fn.block());
+    if (!p) return;
+    __builtin_prefetch(p);
+    __builtin_prefetch(p + 64);
+    __builtin_prefetch(p + 128);
+  }
+
+  // Introspection for tests and bench_scale.
+  std::size_t ringSize() const { return ringSize_; }
+  std::size_t earlySize() const { return early_.size(); }
+  std::size_t overflowSize() const { return overflow_.size(); }
+  /// Absolute bucket number the window starts at.
+  std::uint64_t windowStartBucket() const { return windowStartBucket_; }
+
+ private:
+  using Heap = std::vector<Event>;  // binary min-heap via std::*_heap
+
+  static std::uint64_t bucketOf(SimTime when) { return when >> kBucketShift; }
+  static void heapPush(Heap& heap, Event e);
+  static Event heapPop(Heap& heap);
+
+  /// Normalizes state (rebases if the ring and early heap are drained,
+  /// advances the cursor past empty buckets) and returns the heap holding
+  /// the global minimum. Precondition: !empty().
+  Heap& locate();
+  /// Moves the window to start at the overflow minimum's bucket and pulls
+  /// every overflow event that fits the new window into the ring.
+  /// Precondition: early, ring empty; overflow non-empty.
+  void rebase();
+
+  std::array<Heap, kBucketCount> ring_;
+  Heap early_;
+  Heap overflow_;
+  std::uint64_t windowStartBucket_ = 0;  // absolute; moves only in rebase()
+  std::uint64_t cursorBucket_ = 0;       // absolute; min possibly-occupied
+  std::size_t ringSize_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dosn::sim

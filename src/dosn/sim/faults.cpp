@@ -83,8 +83,8 @@ FaultRule& FaultPlan::between(SimTime t1, SimTime t2, FaultRule rule) {
 
 NetPartition& FaultPlan::partition(std::string name, std::set<NodeAddr> island,
                                    SimTime start, SimTime heal) {
-  partitions_.push_back(
-      NetPartition{std::move(name), std::move(island), start, heal});
+  partitions_.push_back(NetPartition{
+      std::move(name), AddrSet(island.begin(), island.end()), start, heal});
   return partitions_.back();
 }
 
@@ -139,13 +139,26 @@ FaultPlan::Decision FaultPlan::decide(SimTime now, NodeAddr from, NodeAddr to,
   return d;
 }
 
-void corruptPayload(util::Bytes& payload, util::Rng& rng) {
-  if (payload.empty()) return;
+namespace {
+
+// One body for both payload representations — the draw order (flip count,
+// then per flip: index, bit) is part of the deterministic trace.
+void corruptBytes(std::uint8_t* data, std::size_t size, util::Rng& rng) {
+  if (size == 0) return;
   const std::size_t flips = 1 + static_cast<std::size_t>(rng.uniform(3));
   for (std::size_t f = 0; f < flips; ++f) {
-    payload[rng.uniform(payload.size())] ^=
-        static_cast<std::uint8_t>(1u << rng.uniform(8));
+    data[rng.uniform(size)] ^= static_cast<std::uint8_t>(1u << rng.uniform(8));
   }
+}
+
+}  // namespace
+
+void corruptPayload(util::Bytes& payload, util::Rng& rng) {
+  corruptBytes(payload.data(), payload.size(), rng);
+}
+
+void corruptPayload(PooledBytes& payload, util::Rng& rng) {
+  corruptBytes(payload.data(), payload.size(), rng);
 }
 
 }  // namespace dosn::sim

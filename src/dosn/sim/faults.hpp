@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "dosn/sim/flat_map.hpp"
+#include "dosn/sim/pool.hpp"
 #include "dosn/sim/simulator.hpp"
 #include "dosn/util/bytes.hpp"
 #include "dosn/util/rng.hpp"
@@ -77,7 +79,10 @@ struct FaultRule {
 /// island-to-island traffic (each crossing is a boundary crossing).
 struct NetPartition {
   std::string name;
-  std::set<NodeAddr> island;
+  // Open-addressing membership set: severs() runs on every send while a
+  // plan is attached, so the island check is two O(1) probes, not two
+  // red-black tree walks.
+  AddrSet island;
   SimTime start = 0;
   SimTime heal = kFaultForever;
 
@@ -133,6 +138,9 @@ class FaultPlan {
 
 /// Flips 1–3 random bits of `payload` in place (no-op on empty payloads);
 /// models in-flight corruption that a checksum/AEAD layer must reject.
+/// Both overloads consume rng draws in the identical order, so swapping the
+/// payload representation cannot shift the deterministic trace.
 void corruptPayload(util::Bytes& payload, util::Rng& rng);
+void corruptPayload(PooledBytes& payload, util::Rng& rng);
 
 }  // namespace dosn::sim

@@ -1,0 +1,66 @@
+#include "dosn/sim/message_type.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "dosn/util/error.hpp"
+
+namespace dosn::sim {
+
+namespace {
+
+struct TransparentHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+struct TransparentEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return a == b;
+  }
+};
+
+struct InternTable {
+  // deque: name storage never relocates, so messageTypeName() can hand out
+  // stable references for the process lifetime.
+  std::deque<std::string> names;
+  std::unordered_map<std::string, MessageTypeId, TransparentHash, TransparentEq>
+      ids;
+
+  InternTable() { intern(""); }  // id 0: the default MessageType
+
+  MessageTypeId intern(std::string_view name) {
+    const auto it = ids.find(name);
+    if (it != ids.end()) return it->second;
+    const auto id = static_cast<MessageTypeId>(names.size());
+    names.emplace_back(name);
+    ids.emplace(names.back(), id);
+    return id;
+  }
+};
+
+InternTable& table() {
+  static InternTable instance;
+  return instance;
+}
+
+}  // namespace
+
+MessageTypeId internMessageType(std::string_view name) {
+  return table().intern(name);
+}
+
+const std::string& messageTypeName(MessageTypeId id) {
+  const InternTable& t = table();
+  if (id >= t.names.size()) {
+    throw util::DosnError("MessageType: unknown id");
+  }
+  return t.names[id];
+}
+
+std::size_t messageTypeCount() { return table().names.size(); }
+
+}  // namespace dosn::sim

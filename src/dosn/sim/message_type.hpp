@@ -1,0 +1,75 @@
+// Interned message-type names (DESIGN.md §3d). Every sim::Message carries a
+// dense MessageTypeId instead of an owned std::string, so the network's
+// per-type traffic counters are flat arrays indexed without hashing and
+// per-delivery dispatch compares one 32-bit id. Interning happens once —
+// at endpoint registration or at first use of a string literal — and the
+// id->name mapping is process-lifetime stable, so string-keyed views
+// (printers, tests, the JSON artifacts) read exactly the names they always
+// did.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dosn::sim {
+
+using MessageTypeId = std::uint32_t;
+
+/// Interns `name`, returning its dense id. Re-interning the same name
+/// returns the same id; ids are assigned contiguously from 0 (the empty
+/// name is pre-interned as id 0, the id a default MessageType carries).
+MessageTypeId internMessageType(std::string_view name);
+
+/// The interned name for `id`. Throws util::DosnError on an id that was
+/// never handed out (only possible by forging one from an integer).
+const std::string& messageTypeName(MessageTypeId id);
+
+/// Number of distinct names interned so far (upper bound for any id yet
+/// handed out; dense counter arrays size themselves against this).
+std::size_t messageTypeCount();
+
+/// Value handle for an interned message type: 4 bytes, trivially copyable,
+/// compares by id. Implicitly converts from any string spelling (interning
+/// on construction) and back to the interned name, so string-based call
+/// sites keep compiling while the hot path never touches a std::string.
+class MessageType {
+ public:
+  MessageType() = default;  // the pre-interned empty name, id 0
+  MessageType(std::string_view name) : id_(internMessageType(name)) {}
+  MessageType(const char* name) : id_(internMessageType(name)) {}
+  MessageType(const std::string& name) : id_(internMessageType(name)) {}
+  /// Wraps an id previously obtained from internMessageType()/id().
+  static MessageType fromId(MessageTypeId id) {
+    MessageType t;
+    t.id_ = id;
+    return t;
+  }
+
+  MessageTypeId id() const { return id_; }
+  const std::string& name() const { return messageTypeName(id_); }
+  operator const std::string&() const { return name(); }
+
+  friend bool operator==(MessageType a, MessageType b) { return a.id_ == b.id_; }
+  friend bool operator!=(MessageType a, MessageType b) { return a.id_ != b.id_; }
+  // Exact-type overloads (not string_view) so `type == "x"` never has to
+  // choose between two user-defined conversions — and never interns: a
+  // comparison against a name nobody sends should not grow the table.
+  friend bool operator==(MessageType a, const char* b) { return a.name() == b; }
+  friend bool operator==(const char* a, MessageType b) { return b.name() == a; }
+  friend bool operator==(MessageType a, const std::string& b) {
+    return a.name() == b;
+  }
+  friend bool operator==(const std::string& a, MessageType b) {
+    return b.name() == a;
+  }
+  friend bool operator!=(MessageType a, const char* b) { return !(a == b); }
+  friend bool operator!=(const char* a, MessageType b) { return !(a == b); }
+  friend bool operator!=(MessageType a, const std::string& b) { return !(a == b); }
+  friend bool operator!=(const std::string& a, MessageType b) { return !(a == b); }
+
+ private:
+  MessageTypeId id_ = 0;
+};
+
+}  // namespace dosn::sim

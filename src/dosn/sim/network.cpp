@@ -18,29 +18,25 @@ Network::Network(Simulator& sim, LatencyModel latency, util::Rng& rng)
     : sim_(sim), latency_(latency), rng_(rng) {}
 
 NodeAddr Network::addNode() {
-  const NodeAddr addr = nextAddr_++;
-  nodes_.emplace(addr, NodeState{});
-  return addr;
+  handlers_.emplace_back();
+  online_.push_back(1);
+  return static_cast<NodeAddr>(handlers_.size());
 }
 
-Network::NodeState& Network::state(NodeAddr node) {
-  const auto it = nodes_.find(node);
-  if (it == nodes_.end()) throw util::NetError("Network: unknown node");
-  return it->second;
-}
-
-const Network::NodeState& Network::state(NodeAddr node) const {
-  const auto it = nodes_.find(node);
-  if (it == nodes_.end()) throw util::NetError("Network: unknown node");
-  return it->second;
+void Network::validate(NodeAddr node) const {
+  if (node == 0 || node > handlers_.size()) {
+    throw util::NetError("Network: unknown node");
+  }
 }
 
 void Network::setHandler(NodeAddr node, Handler handler) {
-  state(node).handler = std::move(handler);
+  validate(node);
+  handlers_[node - 1] = std::move(handler);
 }
 
 void Network::setStatusHook(NodeAddr node, StatusHook hook) {
-  state(node).statusHook = std::move(hook);
+  validate(node);
+  statusHooks_[node] = std::move(hook);
 }
 
 std::uint64_t Network::addStatusObserver(StatusHook observer) {
@@ -54,10 +50,12 @@ void Network::removeStatusObserver(std::uint64_t token) {
 }
 
 void Network::setOnline(NodeAddr node, bool online) {
-  NodeState& s = state(node);
-  if (s.online == online) return;
-  s.online = online;
-  if (s.statusHook) s.statusHook(node, online);
+  validate(node);
+  if (static_cast<bool>(online_[node - 1]) == online) return;
+  online_[node - 1] = online ? 1 : 0;
+  if (StatusHook* hook = statusHooks_.find(node); hook && *hook) {
+    (*hook)(node, online);
+  }
   // Copy the tokens first: an observer may add/remove observers while
   // running (e.g. an endpoint tearing down in reaction to churn).
   std::vector<std::uint64_t> tokens;
@@ -69,12 +67,15 @@ void Network::setOnline(NodeAddr node, bool online) {
   }
 }
 
-bool Network::isOnline(NodeAddr node) const { return state(node).online; }
+bool Network::isOnline(NodeAddr node) const {
+  validate(node);
+  return online_[node - 1] != 0;
+}
 
 std::size_t Network::onlineCount() const {
   std::size_t count = 0;
-  for (const auto& [addr, s] : nodes_) {
-    if (s.online) ++count;
+  for (const std::uint8_t flag : online_) {
+    if (flag) ++count;
   }
   return count;
 }
@@ -83,29 +84,70 @@ void Network::count(const char* name) {
   if (metrics_) metrics_->increment(name);
 }
 
+void Network::bumpTypeCounter(std::vector<std::uint64_t>& counters,
+                              MessageTypeId id) {
+  if (id >= counters.size()) counters.resize(id + 1, 0);
+  ++counters[id];
+}
+
+std::map<std::string, std::uint64_t> Network::typeCounterView(
+    const std::vector<std::uint64_t>& counters) {
+  std::map<std::string, std::uint64_t> view;
+  for (MessageTypeId id = 0; id < counters.size(); ++id) {
+    if (counters[id] != 0) view.emplace(messageTypeName(id), counters[id]);
+  }
+  return view;
+}
+
+std::map<std::string, std::uint64_t> Network::messagesByType() const {
+  return typeCounterView(sentByType_);
+}
+
+std::map<std::string, std::uint64_t> Network::deliveredByType() const {
+  return typeCounterView(deliveredByType_);
+}
+
+std::uint64_t Network::sentOfType(MessageType type) const {
+  return type.id() < sentByType_.size() ? sentByType_[type.id()] : 0;
+}
+
+std::uint64_t Network::deliveredOfType(MessageType type) const {
+  return type.id() < deliveredByType_.size() ? deliveredByType_[type.id()] : 0;
+}
+
+void Network::recordSent(const Message& msg) {
+  ++messagesSent_;
+  bytesSent_ += msg.payload.size();
+  bumpTypeCounter(sentByType_, msg.type.id());
+}
+
+void Network::recordDelivered(const Message& msg) {
+  ++messagesDelivered_;
+  bytesDelivered_ += msg.payload.size();
+  bumpTypeCounter(deliveredByType_, msg.type.id());
+}
+
 void Network::deliver(NodeAddr from, NodeAddr to, SimTime delay, Message msg) {
   sim_.schedule(delay, [this, from, to, msg = std::move(msg)]() mutable {
-    const auto it = nodes_.find(to);
-    if (it == nodes_.end() || !it->second.online || !it->second.handler) {
+    // `to` was validated at send time and nodes are never removed, so only
+    // the flag and handler need rechecking at delivery time.
+    Handler& handler = handlers_[to - 1];
+    if (!online_[to - 1] || !handler) {
       ++messagesDropped_;
       count("net.dropped.offline");
       return;
     }
-    ++messagesDelivered_;
-    bytesDelivered_ += msg.payload.size();
-    ++deliveredByType_[msg.type];
-    it->second.handler(from, msg);
+    recordDelivered(msg);
+    handler(from, msg);
   });
 }
 
 void Network::send(NodeAddr from, NodeAddr to, Message msg) {
-  const NodeState& sender = state(from);
-  state(to);  // validate address
-  if (!sender.online) return;
+  validate(from);
+  validate(to);
+  if (!online_[from - 1]) return;
 
-  ++messagesSent_;
-  bytesSent_ += msg.payload.size();
-  ++messagesByType_[msg.type];
+  recordSent(msg);
 
   if (faults_ && !faults_->empty()) {
     const FaultPlan::Decision d =
@@ -143,8 +185,8 @@ void Network::resetStats() {
   messagesDropped_ = 0;
   bytesSent_ = 0;
   bytesDelivered_ = 0;
-  messagesByType_.clear();
-  deliveredByType_.clear();
+  sentByType_.assign(sentByType_.size(), 0);
+  deliveredByType_.assign(deliveredByType_.size(), 0);
 }
 
 }  // namespace dosn::sim

@@ -1,0 +1,99 @@
+#include "dosn/sim/pool.hpp"
+
+#include <cstring>
+
+namespace dosn::sim {
+
+namespace {
+
+std::size_t roundUp(std::size_t n, std::size_t to) {
+  return (n + to - 1) / to * to;
+}
+
+}  // namespace
+
+Pool::Pool(std::size_t blockSize, std::size_t blocksPerSlab)
+    : blockSize_(roundUp(std::max(blockSize, sizeof(FreeNode)),
+                         alignof(std::max_align_t))),
+      blocksPerSlab_(std::max<std::size_t>(blocksPerSlab, 1)) {}
+
+void* Pool::allocate(std::size_t n) {
+  if (n > blockSize_) {
+    ++spills_;
+    ++liveSpills_;
+    return ::operator new(n);
+  }
+  ++blockAllocs_;
+  ++liveBlocks_;
+  if (freeList_) {
+    ++reuses_;
+    FreeNode* node = freeList_;
+    freeList_ = node->next;
+    return node;
+  }
+  if (slabs_.empty() || slabUsed_ == blocksPerSlab_) {
+    // new unsigned char[] is aligned for any type without extended
+    // alignment, and blockSize_ is a multiple of alignof(max_align_t), so
+    // every carved block keeps that alignment.
+    slabs_.push_back(
+        std::make_unique<unsigned char[]>(blockSize_ * blocksPerSlab_));
+    slabUsed_ = 0;
+  }
+  return slabs_.back().get() + blockSize_ * slabUsed_++;
+}
+
+void Pool::deallocate(void* p, std::size_t n) noexcept {
+  if (!p) return;
+  if (n > blockSize_) {
+    --liveSpills_;
+    ::operator delete(p);
+    return;
+  }
+  --liveBlocks_;
+  FreeNode* node = static_cast<FreeNode*>(p);
+  node->next = freeList_;
+  freeList_ = node;
+}
+
+void Pool::reset() {
+  if (liveBlocks_ > 0 || liveSpills_ > 0) {
+    throw util::DosnError("Pool: reset with live allocations outstanding");
+  }
+  slabs_.clear();
+  freeList_ = nullptr;
+  slabUsed_ = 0;
+}
+
+Pool& payloadPool() {
+  static Pool pool(/*blockSize=*/256, /*blocksPerSlab=*/1024);
+  return pool;
+}
+
+void PooledBytes::assign(util::BytesView data) {
+  if (data.size() <= kInlineSize) {
+    inlined_ = true;
+    size_ = static_cast<std::uint32_t>(data.size());
+    if (!data.empty()) std::memcpy(inline_, data.data(), data.size());
+    return;
+  }
+  Pool& pool = payloadPool();
+  if (data.size() <= pool.blockSize()) {
+    block_ = static_cast<std::uint8_t*>(pool.allocate(data.size()));
+    size_ = static_cast<std::uint32_t>(data.size());
+    std::memcpy(block_, data.data(), data.size());
+  } else {
+    spill_.assign(data.begin(), data.end());
+  }
+}
+
+void PooledBytes::release() noexcept {
+  if (block_) {
+    payloadPool().deallocate(block_, size_);
+    block_ = nullptr;
+  }
+  inlined_ = false;
+  size_ = 0;
+  spill_.clear();
+}
+
+}  // namespace dosn::sim

@@ -1,24 +1,13 @@
 #include "dosn/sim/simulator.hpp"
 
-#include "dosn/util/error.hpp"
-
 namespace dosn::sim {
-
-void Simulator::schedule(SimTime delay, std::function<void()> fn) {
-  scheduleAt(now_ + delay, std::move(fn));
-}
-
-void Simulator::scheduleAt(SimTime when, std::function<void()> fn) {
-  if (when < now_) throw util::NetError("Simulator: scheduling in the past");
-  queue_.push(Event{when, nextSeq_++, std::move(fn)});
-}
 
 std::size_t Simulator::run(std::size_t maxEvents) {
   std::size_t executed = 0;
   while (!queue_.empty() && executed < maxEvents) {
-    // Copy out before pop: the handler may schedule new events.
-    Event event = queue_.top();
-    queue_.pop();
+    // Move out before running: the handler may schedule new events.
+    Event event = queue_.pop();
+    queue_.prefetchNext();  // warm the next closure block while this one runs
     now_ = event.when;
     event.fn();
     ++executed;
@@ -28,9 +17,9 @@ std::size_t Simulator::run(std::size_t maxEvents) {
 
 std::size_t Simulator::runUntil(SimTime until, std::size_t maxEvents) {
   std::size_t executed = 0;
-  while (!queue_.empty() && executed < maxEvents && queue_.top().when <= until) {
-    Event event = queue_.top();
-    queue_.pop();
+  while (!queue_.empty() && executed < maxEvents && queue_.nextTime() <= until) {
+    Event event = queue_.pop();
+    queue_.prefetchNext();  // warm the next closure block while this one runs
     now_ = event.when;
     event.fn();
     ++executed;

@@ -1,17 +1,24 @@
 // Discrete-event simulator: the substrate substituting for a planet-scale P2P
-// deployment (DESIGN.md §3.2). Virtual time is in microseconds; events are
-// closures ordered by (time, insertion sequence).
+// deployment (DESIGN.md §3.2, §3d). Virtual time is in microseconds; events
+// are closures ordered by (time, insertion sequence) — the sequence number is
+// the FIFO tie-break for same-timestamp events and is load-bearing for
+// deterministic replay.
+//
+// The hot path is allocation-free for small closures: schedule() type-erases
+// the callable into an EventClosure (48-byte inline buffer, simulator-owned
+// pool for larger captures — no std::function, no malloc per event) and the
+// calendar EventQueue buckets near-future events so pushes and pops stop
+// paying log(pending) comparisons across the whole horizon.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
+#include <utility>
+
+#include "dosn/sim/event_queue.hpp"
+#include "dosn/sim/pool.hpp"
+#include "dosn/util/error.hpp"
 
 namespace dosn::sim {
-
-/// Virtual time in microseconds.
-using SimTime = std::uint64_t;
 
 inline constexpr SimTime kMicrosecond = 1;
 inline constexpr SimTime kMillisecond = 1000;
@@ -22,10 +29,17 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedules `fn` to run `delay` after the current time.
-  void schedule(SimTime delay, std::function<void()> fn);
+  template <class F>
+  void schedule(SimTime delay, F&& fn) {
+    scheduleAt(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` at an absolute time (>= now).
-  void scheduleAt(SimTime when, std::function<void()> fn);
+  template <class F>
+  void scheduleAt(SimTime when, F&& fn) {
+    if (when < now_) throw util::NetError("Simulator: scheduling in the past");
+    queue_.push(Event{when, nextSeq_++, EventClosure(pool_, std::forward<F>(fn))});
+  }
 
   /// Runs events until the queue drains or `maxEvents` have executed.
   /// Returns the number of events executed.
@@ -37,24 +51,20 @@ class Simulator {
   bool idle() const { return queue_.empty(); }
   std::size_t pendingEvents() const { return queue_.size(); }
 
+  /// The pool backing spilled event closures (stats feed bench_scale).
+  const Pool& eventPool() const { return pool_; }
+  /// The calendar queue (partition sizes feed tests and bench_scale).
+  const EventQueue& eventQueue() const { return queue_; }
+
   static constexpr std::size_t kDefaultMaxEvents = 50'000'000;
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
-
+  // Declared before queue_: pending EventClosures hold blocks from this
+  // pool, so it must outlive (construct before, destruct after) the queue.
+  Pool pool_{/*blockSize=*/192, /*blocksPerSlab=*/1024};
+  EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t nextSeq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 
 }  // namespace dosn::sim

@@ -40,8 +40,22 @@ std::uint64_t Rng::next() {
 
 std::uint64_t Rng::uniform(std::uint64_t bound) {
   if (bound == 0) throw std::invalid_argument("Rng::uniform: bound == 0");
-  // Rejection sampling to remove modulo bias.
-  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  // Rejection sampling to remove modulo bias. The rejection limit depends
+  // only on the bound, and hot callers alternate between the same couple of
+  // bounds, so the last two limits are memoized (identical values, one
+  // division per draw instead of two).
+  std::uint64_t limit;
+  if (bound == lastBound_[0]) {
+    limit = lastLimit_[0];
+  } else if (bound == lastBound_[1]) {
+    limit = lastLimit_[1];
+  } else {
+    limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+    lastBound_[1] = lastBound_[0];
+    lastLimit_[1] = lastLimit_[0];
+    lastBound_[0] = bound;
+    lastLimit_[0] = limit;
+  }
   std::uint64_t v = next();
   while (v >= limit) v = next();
   return v % bound;

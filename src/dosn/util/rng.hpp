@@ -64,6 +64,12 @@ class Rng {
 
  private:
   std::array<std::uint64_t, 4> state_{};
+  // uniform() rejection limits, memoized for the last two bounds. Simulator
+  // hot paths alternate between the same couple of bounds (jitter span, node
+  // count) millions of times; caching the limits removes one 64-bit division
+  // per draw without changing a single output value.
+  std::uint64_t lastBound_[2] = {0, 0};
+  std::uint64_t lastLimit_[2] = {0, 0};
 };
 
 /// Process-wide RNG used when callers don't thread their own through.

@@ -1,0 +1,364 @@
+// Property tests for the calendar event queue (DESIGN.md §3d): randomized
+// differential checks against a reference std::priority_queue with the exact
+// comparator the simulator used before the calendar queue replaced it, edge
+// cases for every partition transition (ring rollover, far-future overflow,
+// early events behind a rebased window, pushes behind the cursor), and a
+// fixed-seed determinism pin over the first 10k pops so any future change to
+// pop order — however subtle — fails loudly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "dosn/sim/event_queue.hpp"
+#include "dosn/sim/pool.hpp"
+#include "dosn/util/rng.hpp"
+
+namespace dosn::sim {
+namespace {
+
+using Key = std::pair<SimTime, std::uint64_t>;  // (when, seq)
+
+// The comparator std::priority_queue<Event> used before the calendar queue:
+// min by `when`, ties broken min by `seq` (scheduling = FIFO order).
+struct LaterByWhenSeq {
+  bool operator()(const Key& a, const Key& b) const {
+    return a.first != b.first ? a.first > b.first : a.second > b.second;
+  }
+};
+using ReferenceQueue =
+    std::priority_queue<Key, std::vector<Key>, LaterByWhenSeq>;
+
+constexpr SimTime kWindowSpan =
+    EventQueue::kBucketWidth * EventQueue::kBucketCount;
+
+Event makeEvent(Pool& pool, SimTime when, std::uint64_t seq) {
+  return Event{when, seq, EventClosure(pool, [] {})};
+}
+
+/// Drains both queues in lockstep, asserting identical (when, seq) order.
+void expectSameDrain(EventQueue& queue, ReferenceQueue& reference) {
+  while (!reference.empty()) {
+    ASSERT_FALSE(queue.empty());
+    const Key want = reference.top();
+    reference.pop();
+    ASSERT_EQ(queue.nextTime(), want.first);
+    Event got = queue.pop();
+    ASSERT_EQ(got.when, want.first);
+    ASSERT_EQ(got.seq, want.second);
+  }
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.ringSize(), 0u);
+  EXPECT_EQ(queue.earlySize(), 0u);
+  EXPECT_EQ(queue.overflowSize(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  Pool pool;
+  EventQueue queue;
+  ReferenceQueue reference;
+  const SimTime whens[] = {30, 10, 20, 5, 25};
+  std::uint64_t seq = 0;
+  for (SimTime when : whens) {
+    queue.push(makeEvent(pool, when, seq));
+    reference.push({when, seq});
+    ++seq;
+  }
+  expectSameDrain(queue, reference);
+}
+
+TEST(EventQueue, SameTimestampPopsInSchedulingOrder) {
+  Pool pool;
+  EventQueue queue;
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    queue.push(makeEvent(pool, 777, seq));
+  }
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    Event e = queue.pop();
+    EXPECT_EQ(e.when, 777u);
+    EXPECT_EQ(e.seq, seq);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, FifoTiesSurviveInterleavedTimestamps) {
+  // Ties at several distinct timestamps, pushed in shuffled order: within
+  // each timestamp the original scheduling order must come back out.
+  Pool pool;
+  EventQueue queue;
+  ReferenceQueue reference;
+  util::Rng rng(7);
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 500; ++i) {
+    const SimTime when = 1000 + 10 * rng.uniform(5);  // 5 distinct stamps
+    queue.push(makeEvent(pool, when, seq));
+    reference.push({when, seq});
+    ++seq;
+  }
+  expectSameDrain(queue, reference);
+}
+
+TEST(EventQueue, RandomizedDifferentialPushThenDrain) {
+  Pool pool;
+  EventQueue queue;
+  ReferenceQueue reference;
+  util::Rng rng(42);
+  for (std::uint64_t seq = 0; seq < 20000; ++seq) {
+    // Mixed horizons: mostly near-future (in-window), some far timers that
+    // land in overflow, some duplicates for tie coverage.
+    const SimTime when = rng.uniform(4) == 0
+                             ? kWindowSpan * (1 + rng.uniform(5)) + rng.uniform(1000)
+                             : rng.uniform(100000);
+    queue.push(makeEvent(pool, when, seq));
+    reference.push({when, seq});
+  }
+  expectSameDrain(queue, reference);
+}
+
+TEST(EventQueue, RandomizedDifferentialInterleavedPushPop) {
+  // The simulator's actual usage pattern: pops and pushes interleave, and a
+  // push may target a time at or before the event just popped (delay-0
+  // reschedules land behind the cursor).
+  Pool pool;
+  EventQueue queue;
+  ReferenceQueue reference;
+  util::Rng rng(4242);
+  std::uint64_t seq = 0;
+  SimTime now = 0;
+  for (int op = 0; op < 30000; ++op) {
+    const bool doPop = !reference.empty() && rng.uniform(100) < 45;
+    if (doPop) {
+      const Key want = reference.top();
+      reference.pop();
+      ASSERT_FALSE(queue.empty());
+      Event got = queue.pop();
+      ASSERT_EQ(got.when, want.first);
+      ASSERT_EQ(got.seq, want.second);
+      now = got.when;
+    } else {
+      // Delays 0..~2 windows, anchored at the last popped time, so pushes
+      // land in every partition including exactly-now (behind the cursor).
+      const SimTime when = now + rng.uniform(2 * kWindowSpan);
+      queue.push(makeEvent(pool, when, seq));
+      reference.push({when, seq});
+      ++seq;
+    }
+  }
+  expectSameDrain(queue, reference);
+}
+
+TEST(EventQueue, PushBehindCursorDragsCursorBack) {
+  Pool pool;
+  EventQueue queue;
+  // March the cursor forward by draining a late bucket...
+  queue.push(makeEvent(pool, 100 * EventQueue::kBucketWidth, 0));
+  EXPECT_EQ(queue.pop().seq, 0u);
+  // ...then push into an earlier bucket of the same window. The static
+  // window means this must still pop (no event may be stranded).
+  queue.push(makeEvent(pool, EventQueue::kBucketWidth, 1));
+  queue.push(makeEvent(pool, 2 * EventQueue::kBucketWidth, 2));
+  EXPECT_EQ(queue.nextTime(), EventQueue::kBucketWidth);
+  EXPECT_EQ(queue.pop().seq, 1u);
+  EXPECT_EQ(queue.pop().seq, 2u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, BucketRolloverAcrossWindowBoundary) {
+  // Events straddling the first window boundary: the in-window ones fill the
+  // ring, the rest sit in overflow until a rebase pulls them in.
+  Pool pool;
+  EventQueue queue;
+  ReferenceQueue reference;
+  std::uint64_t seq = 0;
+  for (SimTime when = kWindowSpan - 5 * EventQueue::kBucketWidth;
+       when < kWindowSpan + 5 * EventQueue::kBucketWidth;
+       when += EventQueue::kBucketWidth / 2) {
+    queue.push(makeEvent(pool, when, seq));
+    reference.push({when, seq});
+    ++seq;
+  }
+  EXPECT_GT(queue.ringSize(), 0u);
+  EXPECT_GT(queue.overflowSize(), 0u);
+  expectSameDrain(queue, reference);
+}
+
+TEST(EventQueue, FarFutureEventsGoToOverflow) {
+  Pool pool;
+  EventQueue queue;
+  queue.push(makeEvent(pool, 60u * 1000 * 1000, 0));  // +60s, many windows out
+  EXPECT_EQ(queue.overflowSize(), 1u);
+  EXPECT_EQ(queue.ringSize(), 0u);
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.nextTime(), 60u * 1000 * 1000);
+  EXPECT_EQ(queue.pop().seq, 0u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, RebasePullsOverflowPrefixIntoRing) {
+  Pool pool;
+  EventQueue queue;
+  ReferenceQueue reference;
+  // Spread events over ~8 windows; draining forces repeated rebases, each
+  // pulling the overflow prefix that fits the fresh window.
+  std::uint64_t seq = 0;
+  util::Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const SimTime when = rng.uniform(8 * kWindowSpan);
+    queue.push(makeEvent(pool, when, seq));
+    reference.push({when, seq});
+    ++seq;
+  }
+  expectSameDrain(queue, reference);
+}
+
+TEST(EventQueue, EarlyPartitionAfterRebase) {
+  Pool pool;
+  EventQueue queue;
+  // Rebase the window far forward by draining a far-future event...
+  queue.push(makeEvent(pool, 10 * kWindowSpan, 0));
+  EXPECT_EQ(queue.pop().seq, 0u);
+  ASSERT_GT(queue.windowStartBucket(), 0u);
+  // ...then push events BEFORE the rebased window: they must land in the
+  // early heap and still pop first, in (when, seq) order.
+  queue.push(makeEvent(pool, 50, 1));
+  queue.push(makeEvent(pool, 10, 2));
+  queue.push(makeEvent(pool, 10 * kWindowSpan + 100, 3));
+  EXPECT_EQ(queue.earlySize(), 2u);
+  EXPECT_EQ(queue.nextTime(), 10u);
+  EXPECT_EQ(queue.pop().seq, 2u);
+  EXPECT_EQ(queue.pop().seq, 1u);
+  EXPECT_EQ(queue.pop().seq, 3u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, EarlyTiesWithRingEventsKeepSeqOrder) {
+  Pool pool;
+  EventQueue queue;
+  queue.push(makeEvent(pool, 5 * kWindowSpan, 0));
+  queue.pop();  // move the window forward
+  const SimTime when = 5 * kWindowSpan + 7;  // in the rebased window
+  queue.push(makeEvent(pool, when, 1));      // ring
+  queue.push(makeEvent(pool, 3, 2));         // early
+  queue.push(makeEvent(pool, when, 3));      // ring, tie with seq 1
+  EXPECT_EQ(queue.pop().seq, 2u);
+  EXPECT_EQ(queue.pop().seq, 1u);
+  EXPECT_EQ(queue.pop().seq, 3u);
+}
+
+TEST(EventQueue, SizeAccountsAllPartitions) {
+  Pool pool;
+  EventQueue queue;
+  queue.push(makeEvent(pool, 10 * kWindowSpan, 0));
+  queue.pop();
+  queue.push(makeEvent(pool, 1, 1));                       // early
+  queue.push(makeEvent(pool, 10 * kWindowSpan + 50, 2));   // ring
+  queue.push(makeEvent(pool, 30 * kWindowSpan, 3));        // overflow
+  EXPECT_EQ(queue.earlySize(), 1u);
+  EXPECT_EQ(queue.ringSize(), 1u);
+  EXPECT_EQ(queue.overflowSize(), 1u);
+  EXPECT_EQ(queue.size(), 3u);
+  queue.pop();
+  queue.pop();
+  queue.pop();
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.earlySize() + queue.ringSize() + queue.overflowSize(), 0u);
+}
+
+TEST(EventQueue, NextTimeMatchesEveryPop) {
+  Pool pool;
+  EventQueue queue;
+  util::Rng rng(5);
+  for (std::uint64_t seq = 0; seq < 3000; ++seq) {
+    queue.push(makeEvent(pool, rng.uniform(3 * kWindowSpan), seq));
+  }
+  SimTime last = 0;
+  while (!queue.empty()) {
+    const SimTime peek = queue.nextTime();
+    Event e = queue.pop();
+    EXPECT_EQ(e.when, peek);
+    EXPECT_GE(e.when, last);  // virtual time never runs backwards
+    last = e.when;
+  }
+}
+
+TEST(EventQueue, PoppedClosuresRun) {
+  Pool pool;
+  EventQueue queue;
+  int ran = 0;
+  queue.push(Event{10, 0, EventClosure(pool, [&ran] { ran += 1; })});
+  queue.push(Event{5, 1, EventClosure(pool, [&ran] { ran += 10; })});
+  Event first = queue.pop();
+  first.fn();
+  EXPECT_EQ(ran, 10);
+  Event second = queue.pop();
+  second.fn();
+  EXPECT_EQ(ran, 11);
+}
+
+TEST(EventQueue, PrefetchNextIsSafeEverywhere) {
+  // prefetchNext is a pure hint: legal on an empty queue, after pushes into
+  // any partition, and it must never perturb pop order.
+  Pool pool;
+  EventQueue queue;
+  queue.prefetchNext();  // empty: no-op
+  queue.push(makeEvent(pool, 10, 0));
+  queue.push(makeEvent(pool, 5 * kWindowSpan, 1));  // overflow
+  queue.prefetchNext();
+  EXPECT_EQ(queue.pop().seq, 0u);
+  queue.prefetchNext();
+  EXPECT_EQ(queue.pop().seq, 1u);
+  queue.prefetchNext();  // empty again
+  EXPECT_TRUE(queue.empty());
+}
+
+// Fixed-seed determinism pin: FNV-1a over the (when, seq) stream of the
+// first 10k pops of a canonical mixed-horizon workload. The constant was
+// recorded from the reference std::priority_queue drain of the same
+// workload (the calendar queue is pop-for-pop identical, as the
+// differential tests above establish); any change to comparator semantics,
+// partition boundaries, or rebase behavior shifts the stream and fails this
+// EXPECT with both hashes printed.
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xff;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+TEST(EventQueue, DeterminismPinFirst10kPops) {
+  Pool pool;
+  EventQueue queue;
+  util::Rng rng(20260808);
+  std::uint64_t seq = 0;
+  SimTime now = 0;
+  std::uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  std::size_t pops = 0;
+  while (pops < 10000) {
+    if (queue.empty() || rng.uniform(100) < 55) {
+      const SimTime when =
+          now + (rng.uniform(8) == 0 ? 60u * 1000 * 1000 + rng.uniform(1000)
+                                     : rng.uniform(50000));
+      queue.push(makeEvent(pool, when, seq++));
+    } else {
+      Event e = queue.pop();
+      now = e.when;
+      hash = fnv1a(hash, e.when);
+      hash = fnv1a(hash, e.seq);
+      ++pops;
+    }
+  }
+  EXPECT_EQ(hash, 0xe1b4cfc53ba07992ull)
+      << "pop order changed: hash 0x" << std::hex << hash;
+}
+
+}  // namespace
+}  // namespace dosn::sim

@@ -2,10 +2,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string_view>
+#include <utility>
 
 #include "dosn/sim/churn.hpp"
+#include "dosn/sim/message_type.hpp"
 #include "dosn/sim/metrics.hpp"
 #include "dosn/sim/network.hpp"
+#include "dosn/sim/pool.hpp"
 #include "dosn/sim/simulator.hpp"
 #include "dosn/util/error.hpp"
 
@@ -424,6 +428,264 @@ TEST(Metrics, CountersWithPrefixHandlesOverlappingPrefixes) {
   // The empty prefix matches everything; a non-existent one, nothing.
   EXPECT_EQ(m.countersWithPrefix("").size(), 4u);
   EXPECT_TRUE(m.countersWithPrefix("zzz.").empty());
+}
+
+// ---- Interned message types (DESIGN.md §3d) ----
+
+TEST(MessageTypeIntern, RoundTripsIdAndName) {
+  const MessageType t("intern.roundtrip");
+  EXPECT_EQ(t.name(), "intern.roundtrip");
+  EXPECT_EQ(MessageType::fromId(t.id()).name(), "intern.roundtrip");
+  EXPECT_EQ(internMessageType("intern.roundtrip"), t.id());
+}
+
+TEST(MessageTypeIntern, DuplicateRegistrationReturnsSameId) {
+  const MessageType a("intern.dup");
+  const MessageType b(std::string("intern.dup"));
+  const MessageType c(std::string_view("intern.dup"));
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a.id(), c.id());
+  EXPECT_EQ(a, b);
+  // A distinct spelling gets a distinct id.
+  EXPECT_NE(a, MessageType("intern.dup2"));
+}
+
+TEST(MessageTypeIntern, DefaultIsTheEmptyNameWithIdZero) {
+  const MessageType def;
+  EXPECT_EQ(def.id(), 0u);
+  EXPECT_EQ(def.name(), "");
+  EXPECT_EQ(MessageType("").id(), 0u);
+}
+
+TEST(MessageTypeIntern, StringComparisonNeverInterns) {
+  const MessageType t("intern.compare");
+  const std::size_t before = messageTypeCount();
+  EXPECT_FALSE(t == "intern.nobody-sends-this");
+  EXPECT_TRUE(t != std::string("intern.nor-this"));
+  EXPECT_TRUE(t == "intern.compare");
+  EXPECT_EQ(messageTypeCount(), before);
+}
+
+TEST(MessageTypeIntern, CountGrowsMonotonically) {
+  const std::size_t before = messageTypeCount();
+  const MessageType t("intern.growth-probe");
+  EXPECT_EQ(messageTypeCount(), before + 1);
+  EXPECT_LT(t.id(), messageTypeCount());
+  // Re-interning does not grow the table.
+  internMessageType("intern.growth-probe");
+  EXPECT_EQ(messageTypeCount(), before + 1);
+}
+
+TEST(MessageTypeIntern, ForgedIdThrows) {
+  EXPECT_THROW(messageTypeName(static_cast<MessageTypeId>(~0u)),
+               util::DosnError);
+}
+
+TEST_F(NetworkTest, TypeCounterViewMatchesDenseLookups) {
+  const NodeAddr a = net_.addNode();
+  const NodeAddr b = net_.addNode();
+  net_.setHandler(b, [](NodeAddr, const Message&) {});
+  const MessageType ping("view.ping");
+  const MessageType pong("view.pong");
+  net_.send(a, b, Message{ping, util::toBytes("x")});
+  net_.send(a, b, Message{ping, util::toBytes("y")});
+  net_.send(a, b, Message{pong, util::toBytes("z")});
+  sim_.run();
+
+  // Dense per-id counters and the string-keyed views must agree exactly.
+  EXPECT_EQ(net_.sentOfType(ping), 2u);
+  EXPECT_EQ(net_.sentOfType(pong), 1u);
+  EXPECT_EQ(net_.deliveredOfType(ping), 2u);
+  const auto sent = net_.messagesByType();
+  const auto delivered = net_.deliveredByType();
+  EXPECT_EQ(sent.at("view.ping"), 2u);
+  EXPECT_EQ(sent.at("view.pong"), 1u);
+  EXPECT_EQ(delivered.at("view.ping"), 2u);
+  EXPECT_EQ(delivered.at("view.pong"), 1u);
+  // Zero-count types are omitted from the views (the old map behavior).
+  const MessageType silent("view.never-sent");
+  EXPECT_EQ(net_.sentOfType(silent), 0u);
+  EXPECT_EQ(sent.count("view.never-sent"), 0u);
+}
+
+// ---- Event/payload pools (DESIGN.md §3d) ----
+
+TEST(PoolTest, ReusesFreedBlocks) {
+  Pool pool(64, 8);
+  void* first = pool.allocate(64);
+  pool.deallocate(first, 64);
+  void* second = pool.allocate(64);
+  EXPECT_EQ(first, second);  // LIFO free list hands the hot block back
+  EXPECT_EQ(pool.blockAllocs(), 2u);
+  EXPECT_EQ(pool.reuses(), 1u);
+  EXPECT_EQ(pool.spills(), 0u);
+  pool.deallocate(second, 64);
+}
+
+TEST(PoolTest, OversizedRequestsSpill) {
+  Pool pool(64, 8);
+  void* big = pool.allocate(65);
+  EXPECT_NE(big, nullptr);
+  EXPECT_EQ(pool.spills(), 1u);
+  EXPECT_EQ(pool.liveSpills(), 1u);
+  EXPECT_EQ(pool.blockAllocs(), 0u);
+  pool.deallocate(big, 65);
+  EXPECT_EQ(pool.liveSpills(), 0u);
+}
+
+TEST(PoolTest, CarvesNewSlabsOnDemand) {
+  Pool pool(32, 4);
+  std::vector<void*> blocks;
+  for (int i = 0; i < 9; ++i) blocks.push_back(pool.allocate(32));
+  EXPECT_EQ(pool.slabCount(), 3u);  // 4 + 4 + 1
+  EXPECT_EQ(pool.liveBlocks(), 9u);
+  for (void* p : blocks) pool.deallocate(p, 32);
+  EXPECT_EQ(pool.liveBlocks(), 0u);
+}
+
+TEST(PoolTest, ResetRefusesWhileBlocksLive) {
+  Pool pool(32, 4);
+  void* p = pool.allocate(32);
+  EXPECT_THROW(pool.reset(), util::DosnError);
+  pool.deallocate(p, 32);
+  pool.reset();
+  EXPECT_EQ(pool.slabCount(), 0u);
+  // Cumulative counters survive reset; the pool is immediately usable.
+  EXPECT_EQ(pool.blockAllocs(), 1u);
+  void* q = pool.allocate(32);
+  EXPECT_NE(q, nullptr);
+  pool.deallocate(q, 32);
+}
+
+TEST(PoolTest, ReuseUnderChurn) {
+  // Steady-state simulation shape: allocate/free cycling far more blocks
+  // than one slab holds must reuse the free list, not grow slabs.
+  Pool pool(64, 16);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<void*> live;
+    for (int i = 0; i < 8; ++i) live.push_back(pool.allocate(64));
+    for (void* p : live) pool.deallocate(p, 64);
+  }
+  EXPECT_EQ(pool.slabCount(), 1u);
+  EXPECT_EQ(pool.blockAllocs(), 800u);
+  EXPECT_GE(pool.reuses(), 800u - 16u);
+  EXPECT_EQ(pool.liveBlocks(), 0u);
+}
+
+TEST(PooledBytesTest, SmallPayloadsLiveInline) {
+  const util::Bytes small = util::toBytes("inline-sized payload");
+  PooledBytes b(small);
+  EXPECT_TRUE(b.inlined());
+  EXPECT_FALSE(b.pooled());
+  EXPECT_EQ(util::Bytes(b), small);
+  EXPECT_EQ(b.size(), small.size());
+}
+
+TEST(PooledBytesTest, InlineBoundaryIsExact) {
+  const util::Bytes atLimit(PooledBytes::kInlineSize, 0xab);
+  const util::Bytes overLimit(PooledBytes::kInlineSize + 1, 0xcd);
+  PooledBytes in(atLimit);
+  PooledBytes out(overLimit);
+  EXPECT_TRUE(in.inlined());
+  EXPECT_FALSE(out.inlined());
+  EXPECT_TRUE(out.pooled());
+  EXPECT_EQ(util::Bytes(in), atLimit);
+  EXPECT_EQ(util::Bytes(out), overLimit);
+}
+
+TEST(PooledBytesTest, MidSizePayloadsTakePoolBlocks) {
+  const std::uint64_t before = payloadPool().blockAllocs();
+  const util::Bytes mid(128, 0x5a);
+  PooledBytes b(mid);
+  EXPECT_TRUE(b.pooled());
+  EXPECT_FALSE(b.inlined());
+  EXPECT_EQ(payloadPool().blockAllocs(), before + 1);
+  EXPECT_EQ(util::Bytes(b), mid);
+}
+
+TEST(PooledBytesTest, OversizedPayloadsSpillToHeap) {
+  const util::Bytes big(payloadPool().blockSize() + 1, 0x11);
+  PooledBytes b(big);
+  EXPECT_FALSE(b.pooled());
+  EXPECT_FALSE(b.inlined());
+  EXPECT_EQ(b.size(), big.size());
+  EXPECT_EQ(util::Bytes(b), big);
+}
+
+TEST(PooledBytesTest, AdoptsRvalueBytesWithoutPoolTraffic) {
+  util::Bytes payload(200, 0x77);
+  const std::uint8_t* storage = payload.data();
+  const std::uint64_t allocsBefore = payloadPool().blockAllocs();
+  const std::uint64_t spillsBefore = payloadPool().spills();
+  PooledBytes b(std::move(payload));
+  EXPECT_EQ(b.data(), storage);  // same heap buffer, no copy
+  EXPECT_EQ(payloadPool().blockAllocs(), allocsBefore);
+  EXPECT_EQ(payloadPool().spills(), spillsBefore);
+}
+
+TEST(PooledBytesTest, MovesPreserveEveryTier) {
+  const util::Bytes small = util::toBytes("tiny");
+  const util::Bytes mid(128, 0x22);
+  const util::Bytes big(payloadPool().blockSize() + 16, 0x33);
+  for (const util::Bytes& payload : {small, mid, big}) {
+    PooledBytes source(payload);
+    PooledBytes moved(std::move(source));
+    EXPECT_EQ(util::Bytes(moved), payload);
+    EXPECT_TRUE(source.empty());
+    PooledBytes assigned;
+    assigned = std::move(moved);
+    EXPECT_EQ(util::Bytes(assigned), payload);
+  }
+}
+
+TEST(PooledBytesTest, CopiesReassignStorageTier) {
+  // A copy re-tiers by size, regardless of the source's storage: a copy of
+  // an adopted heap buffer that fits inline goes inline.
+  util::Bytes adopted = util::toBytes("fits inline after copy");
+  PooledBytes source(std::move(adopted));
+  EXPECT_FALSE(source.inlined());
+  PooledBytes copy(source);
+  EXPECT_TRUE(copy.inlined());
+  EXPECT_EQ(util::Bytes(copy), util::toBytes("fits inline after copy"));
+}
+
+TEST(PooledBytesTest, ReleasesBlocksOnDestruction) {
+  const std::size_t liveBefore = payloadPool().liveBlocks();
+  const util::Bytes mid(128, 0x44);  // lvalue: copied into a pool block
+  {
+    PooledBytes b(mid);
+    EXPECT_EQ(payloadPool().liveBlocks(), liveBefore + 1);
+  }
+  EXPECT_EQ(payloadPool().liveBlocks(), liveBefore);
+}
+
+TEST(EventClosureTest, DroppedUnrunClosureReleasesItsBlock) {
+  Pool pool(256, 16);
+  bool ran = false;
+  // Captures larger than the header's block make the closure take a pool
+  // block; dropping it unrun must destroy the capture and free the block.
+  {
+    EventClosure closure(pool, [&ran] { ran = true; });
+    EXPECT_TRUE(static_cast<bool>(closure));
+    EXPECT_EQ(pool.liveBlocks(), 1u);
+  }
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(pool.liveBlocks(), 0u);
+}
+
+TEST(EventClosureTest, RunReleasesAndClears) {
+  Pool pool(256, 16);
+  int calls = 0;
+  EventClosure closure(pool, [&calls] { ++calls; });
+  closure();
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(static_cast<bool>(closure));
+  EXPECT_EQ(pool.liveBlocks(), 0u);
+  // The freed block recycles to the next closure.
+  EventClosure next(pool, [&calls] { ++calls; });
+  EXPECT_EQ(pool.reuses(), 1u);
+  next();
+  EXPECT_EQ(calls, 2);
 }
 
 }  // namespace

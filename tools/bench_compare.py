@@ -23,6 +23,14 @@ the same machine at the same --reps; CI uses the structural mode against
 bench/baselines/ and developers use --max-regress locally before/after a
 change.
 
+With --exact-counters every baseline counter must exist in the current run
+WITH THE SAME VALUE. Counters produced by the deterministic simulator are a
+pure function of the workload and the seed — independent of machine, load,
+and compiler — so at a pinned seed this is a byte-identity check on the
+simulation: any drift means scheduling order, RNG consumption, or delivery
+semantics changed. The `bench_byte_identity` ctest case runs bench_faults
+--smoke --seed 42 under this flag against the committed baseline.
+
 Exit codes: 0 ok, 1 comparison failed, 2 usage or I/O error.
 Stdlib only; do not add dependencies.
 """
@@ -63,7 +71,8 @@ def wall_ok(name, scenario):
     return ok
 
 
-def compare_docs(base, cur, base_path, cur_path, max_regress):
+def compare_docs(base, cur, base_path, cur_path, max_regress,
+                 exact_counters=False):
     ok = True
     for path, doc in ((base_path, base), (cur_path, cur)):
         if doc.get("schema") != SCHEMA:
@@ -93,6 +102,12 @@ def compare_docs(base, cur, base_path, cur_path, max_regress):
         for key in base_counters:
             if key not in cur_counters:
                 ok = fail(f"{label}: counter {key!r} disappeared")
+            elif exact_counters and cur_counters[key] != base_counters[key]:
+                ok = fail(
+                    f"{label}: counter {key!r} drifted: baseline "
+                    f"{base_counters[key]} vs current {cur_counters[key]} "
+                    f"(deterministic-sim byte identity violated)"
+                )
         if max_regress is not None and base_s.get("hot") and cur_s.get("hot"):
             base_median = (base_s.get("wall_ms") or {}).get("median", 0)
             cur_median = (cur_s.get("wall_ms") or {}).get("median", 0)
@@ -113,8 +128,9 @@ def compare_docs(base, cur, base_path, cur_path, max_regress):
     if ok:
         gate = (f", hot medians within {max_regress:g}%"
                 if max_regress is not None else "")
+        exact = ", counters byte-identical" if exact_counters else ""
         print(f"bench_compare: ok: {bench}: "
-              f"{len(base_scenarios)} baseline scenarios present{gate}")
+              f"{len(base_scenarios)} baseline scenarios present{gate}{exact}")
     return ok
 
 
@@ -148,6 +164,13 @@ def main(argv):
         help="fail if a hot scenario's wall median regresses more than PCT%% "
              "(same-machine comparisons only)",
     )
+    parser.add_argument(
+        "--exact-counters",
+        action="store_true",
+        help="require every baseline counter to match the current value "
+             "exactly (byte identity of deterministic sim counters at a "
+             "pinned seed)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -161,7 +184,8 @@ def main(argv):
         ok = True
         for base_path, cur_path in pairs:
             ok &= compare_docs(load(base_path), load(cur_path),
-                               base_path, cur_path, args.max_regress)
+                               base_path, cur_path, args.max_regress,
+                               args.exact_counters)
     except (OSError, ValueError, json.JSONDecodeError) as err:
         print(f"bench_compare: error: {err}", file=sys.stderr)
         return 2
