@@ -67,6 +67,14 @@ class MicroblogNode {
   const UserId& user() const { return keyring_.user; }
   overlay::KademliaNode& dht() { return dht_; }
 
+  /// This node's DHT block store (DESIGN.md §3e). Records this node holds as
+  /// a *replica host* for others live here; pass a
+  /// `KademliaConfig::makeStore` factory at construction to run a durable /
+  /// encrypting stack (e.g. Crypt(Cache(Async(File))) via store::makeStack)
+  /// instead of the default in-memory backend.
+  store::BlockStore& blockStore() { return dht_.blockStore(); }
+  const store::BlockStore& blockStore() const { return dht_.localStore(); }
+
   // DHT RPC robustness stats, surfaced so the fault/churn benches can report
   // per-node retry spend without reaching through dht().
   std::uint64_t dhtRpcRetries() const { return dht_.rpcRetries(); }

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "dosn/sim/metrics.hpp"
+#include "dosn/store/memory_store.hpp"
 #include "dosn/util/codec.hpp"
 #include "dosn/util/error.hpp"
 
@@ -105,7 +106,9 @@ KademliaNode::KademliaNode(sim::Network& network, OverlayId id,
       id_(id),
       config_(config),
       endpoint_(network, "kad.rpc"),
-      table_(id, config.k) {
+      table_(id, config.k),
+      store_(config_.makeStore ? config_.makeStore()
+                               : std::make_unique<store::MemoryStore>()) {
   endpoint_.setAdaptiveRetry(config_.adaptiveRetry);
   if (config_.adaptiveTimeout) {
     net::PeerTableConfig peerConfig;
@@ -164,10 +167,10 @@ void KademliaNode::setupRpcHandlers() {
       [this, serve](sim::NodeAddr from, util::BytesView body, net::RpcId id) {
         serve(from, body, id, [this](util::Reader& r, util::Writer& reply) {
           const OverlayId key = readId(r);
-          const auto it = store_.find(key);
-          if (it != store_.end()) {
+          const auto value = localGet(key);
+          if (value) {
             reply.u8(kReplyValue);
-            reply.bytes(it->second);
+            reply.bytes(*value);
           } else {
             reply.u8(kReplyContacts);
             reply.raw(encodeContacts(table_.closest(key, config_.k)));
@@ -179,10 +182,27 @@ void KademliaNode::setupRpcHandlers() {
       [this, serve](sim::NodeAddr from, util::BytesView body, net::RpcId id) {
         serve(from, body, id, [this](util::Reader& r, util::Writer& reply) {
           const OverlayId key = readId(r);
-          store_[key] = r.bytes();
+          localPut(key, r.bytes());
           reply.u8(kReplyOk);
         });
       });
+}
+
+void KademliaNode::localPut(const OverlayId& key, util::BytesView value) {
+  try {
+    store_->put(key, value);
+  } catch (const store::StoreError&) {
+    // The classic handler acked stores unconditionally; a failing backend
+    // degrades this node to a non-storer, it does not break the protocol.
+  }
+}
+
+std::optional<util::Bytes> KademliaNode::localGet(const OverlayId& key) {
+  try {
+    return store_->get(key);
+  } catch (const store::StoreError&) {
+    return std::nullopt;  // corrupt block reads as absent, never as forged
+  }
 }
 
 void KademliaNode::bootstrap(const Contact& seed, std::function<void()> done) {
@@ -242,7 +262,7 @@ void KademliaNode::store(const OverlayId& key, util::Bytes value,
                  done = std::move(done)](LookupResult result) {
     if (result.closest.empty()) {
       // No peers known: keep the value locally so at least the owner has it.
-      store_[key] = value;
+      localPut(key, value);
       if (done) done(false);
       return;
     }
@@ -257,7 +277,7 @@ void KademliaNode::store(const OverlayId& key, util::Bytes value,
     for (std::size_t i = 0; i < width; ++i) {
       const Contact& contact = result.closest[i];
       if (contact.addr == endpoint_.addr()) {
-        store_[key] = value;
+        localPut(key, value);
         continue;
       }
       sendRpc(contact, kMsgStore, encoded, [](bool, util::BytesView) {});
@@ -268,10 +288,10 @@ void KademliaNode::store(const OverlayId& key, util::Bytes value,
 
 void KademliaNode::findValue(const OverlayId& key,
                              std::function<void(LookupResult)> done) {
-  const auto it = store_.find(key);
-  if (it != store_.end()) {
+  const auto value = localGet(key);
+  if (value) {
     LookupResult result;
-    result.value = it->second;
+    result.value = *value;
     network_.simulator().schedule(0, [done = std::move(done), result] {
       done(result);
     });

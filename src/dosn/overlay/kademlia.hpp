@@ -20,6 +20,7 @@
 #include "dosn/overlay/node_id.hpp"
 #include "dosn/overlay/retry.hpp"
 #include "dosn/sim/network.hpp"
+#include "dosn/store/block_store.hpp"
 #include "dosn/util/codec.hpp"
 
 namespace dosn::overlay {
@@ -52,6 +53,13 @@ struct KademliaConfig {
   /// pre-sample fallback and `retry` as the per-destination budget base.
   /// Off by default: the classic fixed-timeout behavior is untouched.
   bool adaptiveTimeout = false;
+  /// Factory for the node's local value store (DESIGN.md §3e). Null keeps
+  /// the default in-memory backend; supply one to run replica nodes on a
+  /// durable/encrypting stack, e.g. Crypt(Cache(Async(File))) via
+  /// store::makeStack. Store-layer failures never cross the wire protocol:
+  /// a put that throws is swallowed (the classic handler acked blindly) and
+  /// a corrupt block reads as absent.
+  std::function<std::unique_ptr<store::BlockStore>()> makeStore;
 };
 
 /// LRU k-bucket routing table.
@@ -105,8 +113,9 @@ class KademliaNode {
   void findNode(const OverlayId& target,
                 std::function<void(LookupResult)> done);
 
-  /// Local storage inspection (for tests).
-  const std::map<OverlayId, util::Bytes>& localStore() const { return store_; }
+  /// The node's local block store (pluggable; default MemoryStore).
+  const store::BlockStore& localStore() const { return *store_; }
+  store::BlockStore& blockStore() { return *store_; }
 
   /// Re-joins after churn downtime: data survives locally, the routing table
   /// is refreshed via a self-lookup through the seed.
@@ -131,12 +140,16 @@ class KademliaNode {
   static util::Bytes encodeContacts(const std::vector<Contact>& contacts);
   static std::vector<Contact> decodeContacts(util::Reader& r);
 
+  // Store-layer failures stay local (see KademliaConfig::makeStore).
+  void localPut(const OverlayId& key, util::BytesView value);
+  std::optional<util::Bytes> localGet(const OverlayId& key);
+
   sim::Network& network_;
   OverlayId id_;
   KademliaConfig config_;
   net::RpcEndpoint endpoint_;
   RoutingTable table_;
-  std::map<OverlayId, util::Bytes> store_;
+  std::unique_ptr<store::BlockStore> store_;
 };
 
 }  // namespace dosn::overlay

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "dosn/sim/flat_map.hpp"
 #include "dosn/sim/metrics.hpp"
+#include "dosn/store/memory_store.hpp"
 #include "dosn/util/codec.hpp"
 #include "dosn/util/error.hpp"
 
@@ -37,6 +39,20 @@ OverlayId readId(util::Reader& r) {
 ReplicationManager::ReplicationManager(sim::Network& network)
     : network_(network) {}
 
+ReplicationManager::ItemState* ReplicationManager::findItem(
+    const OverlayId& item) {
+  const auto it = std::lower_bound(
+      items_.begin(), items_.end(), item,
+      [](const auto& entry, const OverlayId& id) { return entry.first < id; });
+  if (it == items_.end() || it->first != item) return nullptr;
+  return &it->second;
+}
+
+const ReplicationManager::ItemState* ReplicationManager::findItem(
+    const OverlayId& item) const {
+  return const_cast<ReplicationManager*>(this)->findItem(item);
+}
+
 std::vector<sim::NodeAddr> ReplicationManager::place(
     const OverlayId& item, std::size_t replicas,
     const std::vector<sim::NodeAddr>& candidates) {
@@ -46,9 +62,21 @@ std::vector<sim::NodeAddr> ReplicationManager::place(
   std::vector<sim::NodeAddr> pool = candidates;
   network_.rng().shuffle(pool);
   if (pool.size() > replicas) pool.resize(replicas);
-  ItemState& state = items_[item];
-  state.replicas = std::set<sim::NodeAddr>(pool.begin(), pool.end());
-  state.target = replicas;
+  const auto it = std::lower_bound(
+      items_.begin(), items_.end(), item,
+      [](const auto& entry, const OverlayId& id) { return entry.first < id; });
+  ItemState* state;
+  if (it != items_.end() && it->first == item) {
+    state = &it->second;
+  } else {
+    state = &items_.emplace(it, item, ItemState{})->second;
+  }
+  state->replicas.assign(pool.begin(), pool.end());
+  std::sort(state->replicas.begin(), state->replicas.end());
+  state->replicas.erase(
+      std::unique(state->replicas.begin(), state->replicas.end()),
+      state->replicas.end());
+  state->target = replicas;
   return pool;
 }
 
@@ -64,14 +92,18 @@ std::size_t ReplicationManager::repair(
     // Recruit online candidates not already holding a replica.
     std::vector<sim::NodeAddr> pool;
     for (const sim::NodeAddr node : candidates) {
-      if (network_.isOnline(node) && !state.replicas.count(node)) {
+      if (network_.isOnline(node) &&
+          !std::binary_search(state.replicas.begin(), state.replicas.end(),
+                              node)) {
         pool.push_back(node);
       }
     }
     network_.rng().shuffle(pool);
     for (const sim::NodeAddr node : pool) {
       if (online >= state.target) break;
-      state.replicas.insert(node);
+      state.replicas.insert(
+          std::lower_bound(state.replicas.begin(), state.replicas.end(), node),
+          node);
       ++online;
       ++added;
     }
@@ -84,41 +116,59 @@ bool ReplicationManager::available(const OverlayId& item) const {
 }
 
 std::size_t ReplicationManager::onlineReplicas(const OverlayId& item) const {
-  const auto it = items_.find(item);
-  if (it == items_.end()) return 0;
+  const ItemState* state = findItem(item);
+  if (!state) return 0;
   std::size_t online = 0;
-  for (const sim::NodeAddr node : it->second.replicas) {
+  for (const sim::NodeAddr node : state->replicas) {
     if (network_.isOnline(node)) ++online;
   }
   return online;
 }
 
-const std::set<sim::NodeAddr>& ReplicationManager::replicasOf(
+const std::vector<sim::NodeAddr>& ReplicationManager::replicasOf(
     const OverlayId& item) const {
-  static const std::set<sim::NodeAddr> kEmpty;
-  const auto it = items_.find(item);
-  return it == items_.end() ? kEmpty : it->second.replicas;
+  static const std::vector<sim::NodeAddr> kEmpty;
+  const ItemState* state = findItem(item);
+  return state ? state->replicas : kEmpty;
 }
 
-std::map<sim::NodeAddr, std::size_t> ReplicationManager::observerViewSizes()
-    const {
-  std::map<sim::NodeAddr, std::size_t> views;
+std::vector<std::pair<sim::NodeAddr, std::size_t>>
+ReplicationManager::observerViewSizes() const {
+  sim::AddrMap<std::size_t> counts;
   for (const auto& [item, state] : items_) {
-    for (const sim::NodeAddr node : state.replicas) ++views[node];
+    for (const sim::NodeAddr node : state.replicas) ++counts[node];
+  }
+  std::vector<std::pair<sim::NodeAddr, std::size_t>> views;
+  views.reserve(counts.size());
+  for (const sim::NodeAddr node : counts.sortedKeys()) {
+    views.emplace_back(node, *counts.find(node));
   }
   return views;
 }
 
-ReplicaHost::ReplicaHost(sim::Network& network)
-    : endpoint_(network, "repl.host") {
+ReplicaHost::ReplicaHost(sim::Network& network,
+                         std::unique_ptr<store::BlockStore> blocks)
+    : blocks_(blocks ? std::move(blocks)
+                     : std::make_unique<store::MemoryStore>()),
+      endpoint_(network, "repl.host") {
   endpoint_.onRequest(
       kMsgStore,
       [this](sim::NodeAddr from, util::BytesView body, net::RpcId reqId) {
         util::Reader r(body);
         const OverlayId item = readId(r);
-        data_[item] = r.bytes();
+        const util::Bytes value = r.bytes();
+        bool ok = true;
+        try {
+          blocks_->put(item, value);
+        } catch (const store::StoreError&) {
+          ok = false;
+          ++storeErrors_;
+          if (auto* m = endpoint_.network().metrics()) {
+            m->increment("repl.store.error");
+          }
+        }
         util::Writer w;
-        w.boolean(true);
+        w.boolean(ok);
         endpoint_.reply(from, kMsgAck, reqId, w.buffer());
       });
   endpoint_.onRequest(
@@ -127,10 +177,20 @@ ReplicaHost::ReplicaHost(sim::Network& network)
         util::Reader r(body);
         const OverlayId item = readId(r);
         util::Writer w;
-        const auto it = data_.find(item);
-        if (it != data_.end()) {
+        std::optional<util::Bytes> value;
+        try {
+          value = blocks_->get(item);
+        } catch (const store::StoreError&) {
+          // Tampered/undecodable block: answer not-found — a corrupt replica
+          // can deny a block, never serve a forged one.
+          ++storeErrors_;
+          if (auto* m = endpoint_.network().metrics()) {
+            m->increment("repl.fetch.corrupt");
+          }
+        }
+        if (value) {
           w.boolean(true);
-          w.bytes(it->second);
+          w.bytes(*value);
         } else {
           w.boolean(false);
         }

@@ -5,15 +5,15 @@
 #pragma once
 
 #include <functional>
-#include <map>
+#include <memory>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "dosn/net/rpc_endpoint.hpp"
 #include "dosn/overlay/node_id.hpp"
 #include "dosn/overlay/retry.hpp"
 #include "dosn/sim/network.hpp"
+#include "dosn/store/block_store.hpp"
 #include "dosn/util/bytes.hpp"
 
 namespace dosn::overlay {
@@ -42,37 +42,72 @@ class ReplicationManager {
   /// Number of currently online replicas.
   std::size_t onlineReplicas(const OverlayId& item) const;
 
-  const std::set<sim::NodeAddr>& replicasOf(const OverlayId& item) const;
+  /// The item's replica set, ascending by address (empty if unknown).
+  const std::vector<sim::NodeAddr>& replicasOf(const OverlayId& item) const;
 
   /// How many distinct items a node can observe (it stores their replicas) —
-  /// the "small-scale service provider" view-size metric.
-  std::map<sim::NodeAddr, std::size_t> observerViewSizes() const;
+  /// the "small-scale service provider" view-size metric. Pairs are sorted
+  /// ascending by address (deterministic output path).
+  std::vector<std::pair<sim::NodeAddr, std::size_t>> observerViewSizes() const;
 
   std::size_t itemCount() const { return items_.size(); }
 
  private:
+  // Replica sets are small sorted vectors (k is single digits); the item
+  // index is a sorted flat vector — at 100k-1M-node scale a tree node per
+  // item/replica was all pointer chases (same rationale as sim/flat_map).
   struct ItemState {
-    std::set<sim::NodeAddr> replicas;
+    std::vector<sim::NodeAddr> replicas;  // sorted ascending
     std::size_t target = 0;
   };
 
+  ItemState* findItem(const OverlayId& item);
+  const ItemState* findItem(const OverlayId& item) const;
+
   sim::Network& network_;
-  std::map<OverlayId, ItemState> items_;
+  std::vector<std::pair<OverlayId, ItemState>> items_;  // sorted by id
 };
 
 /// Holds replica payloads at a simulated node and answers the replica wire
 /// protocol: `repl.store` {reqId, item, value} -> `repl.ack` {reqId, ok} and
 /// `repl.fetch` {reqId, item} -> `repl.value` {reqId, found, value}.
+///
+/// Storage is a pluggable store::BlockStore (DESIGN.md §3e); the default
+/// MemoryStore preserves the historical hardwired-map behavior byte for
+/// byte. A host over a durable stack (e.g. Crypt(Cache(Async(File)))) can be
+/// torn down and rebuilt over the same backend: every block flushed before
+/// teardown is re-served — the cold-restart recovery path E7c measures.
+///
+/// Error mapping at the wire: a put that throws StoreError nacks the store
+/// RPC; a fetch whose block fails authentication (CorruptBlockError) answers
+/// not-found — a tampered replica can deny a block, never forge one.
 class ReplicaHost {
  public:
-  explicit ReplicaHost(sim::Network& network);
+  /// `blocks` defaults to an in-memory store when null.
+  explicit ReplicaHost(sim::Network& network,
+                       std::unique_ptr<store::BlockStore> blocks = nullptr);
 
   sim::NodeAddr addr() const { return endpoint_.addr(); }
-  const std::map<OverlayId, util::Bytes>& data() const { return data_; }
+
+  // Narrow storage surface (the raw map accessor is gone — backends are
+  // pluggable now): count, membership, and the store itself for wiring and
+  // stats.
+  std::size_t blockCount() const { return blocks_->size(); }
+  bool hasBlock(const OverlayId& id) const { return blocks_->has(id); }
+  store::BlockStore& store() { return *blocks_; }
+  const store::BlockStore& store() const { return *blocks_; }
+
+  /// Store-layer rejections observed at the wire (nacked puts + corrupt
+  /// fetches), also counted in the attached Metrics as `repl.store.error` /
+  /// `repl.fetch.corrupt`.
+  std::uint64_t storeErrors() const { return storeErrors_; }
 
  private:
+  // Declared before endpoint_: RPC handlers capture `this` and may touch the
+  // store, so it must outlive the endpoint's registration.
+  std::unique_ptr<store::BlockStore> blocks_;
+  std::uint64_t storeErrors_ = 0;
   net::RpcEndpoint endpoint_;
-  std::map<OverlayId, util::Bytes> data_;
 };
 
 /// Client side of the replica protocol: store/fetch against a ReplicaHost

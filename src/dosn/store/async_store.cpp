@@ -1,0 +1,168 @@
+#include "dosn/store/async_store.hpp"
+
+#include <algorithm>
+
+namespace dosn::store {
+
+AsyncStore::AsyncStore(std::unique_ptr<BlockStore> inner,
+                       sim::Simulator& simulator, AsyncConfig config)
+    : StoreDecorator(std::move(inner)),
+      simulator_(simulator),
+      config_(config),
+      alive_(std::make_shared<bool>(true)) {
+  if (config_.maxDirty == 0) throw StoreError("AsyncStore: zero dirty bound");
+}
+
+AsyncStore::~AsyncStore() {
+  // No flush on destruction — destruction without flush() models a crash.
+  *alive_ = false;
+}
+
+void AsyncStore::scheduleFlush() {
+  if (config_.flushInterval == 0 || flushScheduled_) return;
+  flushScheduled_ = true;
+  simulator_.schedule(config_.flushInterval, [this, alive = alive_] {
+    if (!*alive) return;
+    flushScheduled_ = false;
+    flush();
+    if (!queue_.empty()) scheduleFlush();
+  });
+}
+
+void AsyncStore::enqueue(const BlockId& id, PendingOp op) {
+  ++stats_.queuedOps;
+  const auto it = pending_.find(id);
+  if (it != pending_.end()) {
+    // Coalesce: keep the original queue position and enqueue time so flush
+    // order stays FIFO by first-dirty time.
+    op.queuedAt = it->second.queuedAt;
+    it->second = std::move(op);
+  } else {
+    if (queue_.size() >= config_.maxDirty) {
+      // Bounded dirty set: spill the oldest op synchronously.
+      const BlockId victim = queue_.front();
+      queue_.pop_front();
+      const auto vit = pending_.find(victim);
+      applyToInner(victim, vit->second);
+      pending_.erase(vit);
+      ++stats_.spilledOps;
+      ++stats_.flushedOps;
+    }
+    queue_.push_back(id);
+    pending_.emplace(id, std::move(op));
+  }
+  stats_.queueDepth = queue_.size();
+  stats_.maxQueueDepth = std::max(stats_.maxQueueDepth, queue_.size());
+  scheduleFlush();
+}
+
+void AsyncStore::applyToInner(const BlockId& id, const PendingOp& op) {
+  const sim::SimTime latency = simulator_.now() - op.queuedAt;
+  stats_.flushLatencyTotal += latency;
+  stats_.flushLatencyMax = std::max(stats_.flushLatencyMax, latency);
+  if (op.isErase) {
+    inner_->erase(id);
+  } else {
+    inner_->put(id, op.data);
+  }
+}
+
+void AsyncStore::put(const BlockId& id, util::BytesView data) {
+  ++counters_.puts;
+  counters_.putBytes += data.size();
+  enqueue(id, PendingOp{false, util::Bytes(data.begin(), data.end()),
+                        simulator_.now()});
+}
+
+std::optional<util::Bytes> AsyncStore::get(const BlockId& id) {
+  ++counters_.gets;
+  const auto it = pending_.find(id);
+  if (it != pending_.end()) {
+    if (it->second.isErase) {
+      ++counters_.misses;
+      return std::nullopt;
+    }
+    ++counters_.hits;
+    counters_.getBytes += it->second.data.size();
+    return it->second.data;
+  }
+  auto value = inner_->get(id);
+  if (!value) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  ++counters_.hits;
+  counters_.getBytes += value->size();
+  return value;
+}
+
+bool AsyncStore::erase(const BlockId& id) {
+  const auto it = pending_.find(id);
+  const bool pendingPut = it != pending_.end() && !it->second.isErase;
+  const bool present = pendingPut ||
+                       (it == pending_.end() && inner_->has(id));
+  if (!present) return false;
+  ++counters_.erases;
+  if (inner_->has(id)) {
+    // Queue a tombstone so the inner copy dies in flush order.
+    enqueue(id, PendingOp{true, {}, simulator_.now()});
+  } else {
+    // The block only ever existed in the dirty set: cancel the pending put.
+    queue_.erase(std::find(queue_.begin(), queue_.end(), id));
+    pending_.erase(it);
+    stats_.queueDepth = queue_.size();
+  }
+  return true;
+}
+
+bool AsyncStore::has(const BlockId& id) const {
+  const auto it = pending_.find(id);
+  if (it != pending_.end()) return !it->second.isErase;
+  return inner_->has(id);
+}
+
+std::vector<BlockId> AsyncStore::list() const {
+  std::vector<BlockId> ids = inner_->list();
+  for (const auto& [id, op] : pending_) {
+    const auto pos = std::lower_bound(ids.begin(), ids.end(), id);
+    const bool present = pos != ids.end() && *pos == id;
+    if (op.isErase) {
+      if (present) ids.erase(pos);
+    } else if (!present) {
+      ids.insert(pos, id);
+    }
+  }
+  return ids;
+}
+
+std::size_t AsyncStore::size() const { return list().size(); }
+
+std::size_t AsyncStore::flush() {
+  std::size_t applied = 0;
+  while (!queue_.empty()) {
+    const BlockId id = queue_.front();
+    queue_.pop_front();
+    const auto it = pending_.find(id);
+    applyToInner(id, it->second);
+    pending_.erase(it);
+    ++applied;
+  }
+  stats_.queueDepth = 0;
+  if (applied > 0) {
+    stats_.flushedOps += applied;
+    ++stats_.flushes;
+  }
+  inner_->flush();  // drain any nested write-behind tier too
+  return applied;
+}
+
+std::size_t AsyncStore::discardPending() {
+  const std::size_t lost = queue_.size();
+  queue_.clear();
+  pending_.clear();
+  stats_.lostOps += lost;
+  stats_.queueDepth = 0;
+  return lost;
+}
+
+}  // namespace dosn::store

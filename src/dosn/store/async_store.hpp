@@ -1,0 +1,98 @@
+// Write-behind decorator on the sim clock: puts and erases are acknowledged
+// immediately, queued in a bounded dirty set, and applied to the inner store
+// in FIFO order on flush. Reads are read-your-writes — the dirty set is
+// consulted before the inner store — and list()/size() merge pending state so
+// the outside view is always coherent.
+//
+// Durability semantics (pinned by test_store and measured by E7c):
+//  - flush() is the durability boundary. Acked-but-unflushed writes are lost
+//    on crash; discardPending() models exactly that and reports the loss.
+//  - The destructor does NOT flush: tearing a host down without flushing is
+//    a crash, not a graceful shutdown. Call flush() first for the latter.
+//  - A second put/erase to a pending id coalesces in place, keeping the
+//    original queue position (FIFO by first-dirty time).
+//  - The dirty set is bounded (`maxDirty`): an op that would exceed it first
+//    spills the oldest pending op synchronously to the inner store.
+//
+// When constructed with a simulator and a flush interval, a periodic flush
+// event self-reschedules while the store is alive; flush latency (sim time
+// from enqueue to inner-store apply) is tracked per op.
+#pragma once
+
+#include <deque>
+#include <map>
+
+#include "dosn/sim/simulator.hpp"
+#include "dosn/store/block_store.hpp"
+
+namespace dosn::store {
+
+struct AsyncConfig {
+  /// Max pending ops before the oldest is spilled synchronously.
+  std::size_t maxDirty = 256;
+  /// Periodic flush interval on the sim clock; 0 = manual flush() only.
+  sim::SimTime flushInterval = 0;
+};
+
+struct AsyncStats {
+  std::uint64_t queuedOps = 0;     ///< ops ever enqueued
+  std::uint64_t flushedOps = 0;    ///< ops applied to the inner store
+  std::uint64_t spilledOps = 0;    ///< synchronous spills (dirty bound hit)
+  std::uint64_t lostOps = 0;       ///< ops dropped by discardPending()
+  std::uint64_t flushes = 0;       ///< flush() calls that applied >= 1 op
+  std::size_t queueDepth = 0;      ///< pending ops right now
+  std::size_t maxQueueDepth = 0;
+  sim::SimTime flushLatencyTotal = 0;  ///< sum over flushed ops
+  sim::SimTime flushLatencyMax = 0;
+};
+
+class AsyncStore final : public StoreDecorator {
+ public:
+  AsyncStore(std::unique_ptr<BlockStore> inner, sim::Simulator& simulator,
+             AsyncConfig config = {});
+  ~AsyncStore() override;
+
+  void put(const BlockId& id, util::BytesView data) override;
+  std::optional<util::Bytes> get(const BlockId& id) override;
+  bool erase(const BlockId& id) override;
+  bool has(const BlockId& id) const override;
+  std::vector<BlockId> list() const override;
+  std::size_t size() const override;
+  std::string describe() const override {
+    return "async(" + inner_->describe() + ")";
+  }
+
+  /// Applies every pending op to the inner store in FIFO order, then flushes
+  /// any write-behind tier below. Returns the number of own ops applied.
+  std::size_t flush() override;
+
+  /// Crash: drops every pending op without applying it. Returns the number
+  /// of acked writes lost.
+  std::size_t discardPending();
+
+  std::size_t pendingOps() const { return queue_.size(); }
+  const AsyncStats& asyncStats() const { return stats_; }
+
+ private:
+  struct PendingOp {
+    bool isErase = false;
+    util::Bytes data;
+    sim::SimTime queuedAt = 0;
+  };
+
+  void enqueue(const BlockId& id, PendingOp op);
+  void applyToInner(const BlockId& id, const PendingOp& op);
+  void scheduleFlush();
+
+  sim::Simulator& simulator_;
+  AsyncConfig config_;
+  std::deque<BlockId> queue_;            // FIFO of first-dirty ids
+  std::map<BlockId, PendingOp> pending_; // latest op per id
+  AsyncStats stats_;
+  bool flushScheduled_ = false;
+  // Shared with scheduled closures so a flush event that fires after this
+  // store is destroyed finds the flag down instead of a dangling `this`.
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace dosn::store

@@ -1,0 +1,10 @@
+#include "dosn/store/block_store.hpp"
+
+namespace dosn::store {
+
+StoreDecorator::StoreDecorator(std::unique_ptr<BlockStore> inner)
+    : inner_(std::move(inner)) {
+  if (!inner_) throw StoreError("StoreDecorator: null inner store");
+}
+
+}  // namespace dosn::store

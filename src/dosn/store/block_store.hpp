@@ -1,0 +1,133 @@
+// Pluggable block storage under replication (DESIGN.md §3e). The paper's §I
+// observes that replicas become "another kind of service provider in a small
+// scale" — this layer is where that provider's storage properties live:
+// persistence (FileStore), confidentiality at rest (CryptStore), a cache tier
+// (CacheStore) and write-behind batching (AsyncStore), all composable behind
+// one interface that ReplicaHost / KademliaNode own.
+//
+// Contract:
+//  - put/get/erase/list/size are the whole surface; decorators wrap an inner
+//    store and preserve the observable key->value semantics of a plain map
+//    (the differential suite in tests/test_store.cpp pins this).
+//  - Expected absence is std::nullopt / false; *integrity* violations
+//    (tampered ciphertext, truncation, wrong key) throw CorruptBlockError and
+//    never surface forged plaintext; environment failures (unwritable root,
+//    rename failure) throw BackendError.
+//  - list() is sorted ascending and size() == list().size() at every point,
+//    including while an AsyncStore holds unflushed writes — decorators merge
+//    their pending state so readers always see a coherent view.
+//  - Implementations are deterministic: no wall clock, no ambient RNG; the
+//    only randomness a stack consumes is what the caller seeds it with.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dosn/overlay/node_id.hpp"
+#include "dosn/util/bytes.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::store {
+
+/// Blocks are keyed by overlay identifiers — the same ids the DHT and the
+/// replica wire protocol address content by.
+using BlockId = overlay::OverlayId;
+
+/// Root of the store error hierarchy.
+class StoreError : public util::DosnError {
+ public:
+  using util::DosnError::DosnError;
+};
+
+/// The backing medium failed (unwritable root, rename failure, bad file).
+class BackendError : public StoreError {
+ public:
+  using StoreError::StoreError;
+};
+
+/// A block failed authentication or arrived structurally damaged (AEAD tag
+/// mismatch, truncated envelope, wrong key). Thrown instead of returning
+/// data: a CryptStore never yields unauthenticated plaintext.
+class CorruptBlockError : public StoreError {
+ public:
+  using StoreError::StoreError;
+};
+
+/// Per-store operation counters, maintained by every implementation and
+/// surfaced into bench metrics. Decorators count their own layer; reading a
+/// stack top-down shows where each request was answered.
+struct StoreCounters {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t hits = 0;     ///< gets answered with a value
+  std::uint64_t misses = 0;   ///< gets answered with nullopt
+  std::uint64_t erases = 0;   ///< erase calls that removed a block
+  std::uint64_t putBytes = 0;
+  std::uint64_t getBytes = 0;
+};
+
+class BlockStore {
+ public:
+  virtual ~BlockStore() = default;
+  BlockStore() = default;
+  BlockStore(const BlockStore&) = delete;
+  BlockStore& operator=(const BlockStore&) = delete;
+
+  /// Inserts or overwrites the block. Throws BackendError on medium failure.
+  virtual void put(const BlockId& id, util::BytesView data) = 0;
+
+  /// The block's bytes, or nullopt if absent. Throws CorruptBlockError when
+  /// the stored block fails authentication/decoding. Non-const: cache tiers
+  /// update recency, write-behind tiers serve from their dirty set.
+  virtual std::optional<util::Bytes> get(const BlockId& id) = 0;
+
+  /// Removes the block; returns whether it was present.
+  virtual bool erase(const BlockId& id) = 0;
+
+  /// Presence check without integrity verification or cache promotion.
+  virtual bool has(const BlockId& id) const = 0;
+
+  /// All block ids, ascending (deterministic across implementations).
+  virtual std::vector<BlockId> list() const = 0;
+
+  /// Number of blocks (== list().size()).
+  virtual std::size_t size() const = 0;
+
+  /// Pushes any buffered writes down to the durable tier (the write-behind
+  /// decorator's durability boundary). Returns the number of buffered ops
+  /// applied; a store with no write-behind tier returns 0. Decorators
+  /// forward, so flushing the top of a stack flushes every tier.
+  virtual std::size_t flush() { return 0; }
+
+  /// Human-readable stack description, outermost first —
+  /// e.g. "crypt(cache(async(file)))".
+  virtual std::string describe() const = 0;
+
+  const StoreCounters& counters() const { return counters_; }
+
+ protected:
+  StoreCounters counters_;
+};
+
+/// Base for the decorators: owns the wrapped store and forwards the
+/// membership/enumeration surface; subclasses override the data path.
+class StoreDecorator : public BlockStore {
+ public:
+  explicit StoreDecorator(std::unique_ptr<BlockStore> inner);
+
+  bool has(const BlockId& id) const override { return inner_->has(id); }
+  std::vector<BlockId> list() const override { return inner_->list(); }
+  std::size_t size() const override { return inner_->size(); }
+  std::size_t flush() override { return inner_->flush(); }
+
+  BlockStore& inner() { return *inner_; }
+  const BlockStore& inner() const { return *inner_; }
+
+ protected:
+  std::unique_ptr<BlockStore> inner_;
+};
+
+}  // namespace dosn::store

@@ -1,0 +1,111 @@
+#include "dosn/store/cache_store.hpp"
+
+namespace dosn::store {
+
+CacheStore::CacheStore(std::unique_ptr<BlockStore> inner,
+                       std::size_t capacityBlocks, std::size_t capacityBytes)
+    : StoreDecorator(std::move(inner)),
+      capacityBlocks_(capacityBlocks),
+      capacityBytes_(capacityBytes) {
+  if (capacityBlocks_ == 0 || capacityBytes_ == 0) {
+    throw StoreError("CacheStore: zero capacity");
+  }
+}
+
+void CacheStore::touch(Entry& entry, const BlockId& id) {
+  recency_.erase(entry.recency);
+  recency_.push_front(id);
+  entry.recency = recency_.begin();
+}
+
+void CacheStore::insert(const BlockId& id, util::BytesView data) {
+  // Blocks larger than the byte budget are served straight from the inner
+  // store; caching one would evict everything for a single-use entry.
+  if (data.size() > capacityBytes_) return;
+  const auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    cachedBytes_ -= it->second.data.size();
+    it->second.data.assign(data.begin(), data.end());
+    cachedBytes_ += it->second.data.size();
+    touch(it->second, id);
+  } else {
+    recency_.push_front(id);
+    cache_.emplace(id, Entry{recency_.begin(),
+                             util::Bytes(data.begin(), data.end())});
+    cachedBytes_ += data.size();
+  }
+  evictToFit();
+}
+
+void CacheStore::evictToFit() {
+  while (cache_.size() > capacityBlocks_ || cachedBytes_ > capacityBytes_) {
+    const BlockId victim = recency_.back();
+    recency_.pop_back();
+    const auto it = cache_.find(victim);
+    cachedBytes_ -= it->second.data.size();
+    cache_.erase(it);
+    ++evictions_;
+  }
+}
+
+void CacheStore::put(const BlockId& id, util::BytesView data) {
+  ++counters_.puts;
+  counters_.putBytes += data.size();
+  inner_->put(id, data);  // write-through first: inner is authoritative
+  insert(id, data);
+}
+
+std::optional<util::Bytes> CacheStore::get(const BlockId& id) {
+  ++counters_.gets;
+  const auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    ++counters_.hits;
+    counters_.getBytes += it->second.data.size();
+    touch(it->second, id);
+    return it->second.data;
+  }
+  auto value = inner_->get(id);
+  if (!value) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  // A miss answered below still counts as a miss for the hit-ratio metric;
+  // the fetched block is promoted so repeat reads hit.
+  ++counters_.misses;
+  counters_.getBytes += value->size();
+  insert(id, *value);
+  return value;
+}
+
+bool CacheStore::erase(const BlockId& id) {
+  const auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    cachedBytes_ -= it->second.data.size();
+    recency_.erase(it->second.recency);
+    cache_.erase(it);
+  }
+  const bool removed = inner_->erase(id);
+  if (removed) ++counters_.erases;
+  return removed;
+}
+
+bool CacheStore::has(const BlockId& id) const {
+  return cache_.count(id) != 0 || inner_->has(id);
+}
+
+CacheStats CacheStore::cacheStats() const {
+  return CacheStats{counters_.hits, counters_.misses, evictions_,
+                    cache_.size(), cachedBytes_};
+}
+
+double CacheStore::hitRatio() const {
+  const std::uint64_t total = counters_.hits + counters_.misses;
+  if (total == 0) return 0.0;
+  return static_cast<double>(counters_.hits) / static_cast<double>(total);
+}
+
+std::vector<BlockId> CacheStore::cachedIds() const {
+  return std::vector<BlockId>(recency_.begin(), recency_.end());
+}
+
+}  // namespace dosn::store

@@ -1,0 +1,63 @@
+// LRU cache decorator: a bounded hot tier in front of a slower backend
+// (file, crypt, async stacks). Write-through — every put lands in the inner
+// store before it is cached, so the cache never holds dirtier state than the
+// tier below it; get() serves hits from memory and promotes misses.
+//
+// Capacity is bounded both in blocks and in bytes; whichever bound is
+// exceeded first evicts from the least-recently-used end. Eviction order is
+// fully deterministic (recency list, no hashing), which the eviction-order
+// test pins.
+#pragma once
+
+#include <list>
+#include <map>
+
+#include "dosn/store/block_store.hpp"
+
+namespace dosn::store {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t cachedBlocks = 0;
+  std::size_t cachedBytes = 0;
+};
+
+class CacheStore final : public StoreDecorator {
+ public:
+  CacheStore(std::unique_ptr<BlockStore> inner, std::size_t capacityBlocks,
+             std::size_t capacityBytes);
+
+  void put(const BlockId& id, util::BytesView data) override;
+  std::optional<util::Bytes> get(const BlockId& id) override;
+  bool erase(const BlockId& id) override;
+  bool has(const BlockId& id) const override;
+  std::string describe() const override {
+    return "cache(" + inner_->describe() + ")";
+  }
+
+  CacheStats cacheStats() const;
+  double hitRatio() const;
+  /// Cached ids, most-recently-used first (the eviction-order pin).
+  std::vector<BlockId> cachedIds() const;
+
+ private:
+  struct Entry {
+    std::list<BlockId>::iterator recency;
+    util::Bytes data;
+  };
+
+  void insert(const BlockId& id, util::BytesView data);
+  void touch(Entry& entry, const BlockId& id);
+  void evictToFit();
+
+  std::size_t capacityBlocks_;
+  std::size_t capacityBytes_;
+  std::list<BlockId> recency_;  // front = most recent, back = next victim
+  std::map<BlockId, Entry> cache_;
+  std::size_t cachedBytes_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace dosn::store

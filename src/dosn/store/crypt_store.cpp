@@ -1,0 +1,110 @@
+#include "dosn/store/crypt_store.hpp"
+
+#include "dosn/crypto/aead.hpp"
+#include "dosn/crypto/hkdf.hpp"
+
+namespace dosn::store {
+
+namespace {
+
+constexpr std::size_t kSeqBytes = 8;
+constexpr std::size_t kTagBytes = 16;
+constexpr std::size_t kNonceBytes = 12;
+constexpr std::string_view kKeyInfo = "dosn.store.crypt.key";
+constexpr std::string_view kNonceInfo = "dosn.store.crypt.nonce";
+
+void appendU64(util::Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t readU64(util::BytesView in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+CryptStore::CryptStore(std::unique_ptr<BlockStore> inner,
+                       util::BytesView masterKey)
+    : StoreDecorator(std::move(inner)),
+      masterKey_(masterKey.begin(), masterKey.end()) {
+  if (masterKey_.empty()) throw StoreError("CryptStore: empty master key");
+  // Resume the put counter above anything already stored (cold restart over
+  // a durable inner store): the seq prefix is readable without decrypting.
+  for (const BlockId& id : inner_->list()) {
+    const auto envelope = inner_->get(id);
+    if (!envelope || envelope->size() < kSeqBytes) continue;
+    const std::uint64_t seq = readU64(*envelope);
+    if (seq >= nextSeq_) nextSeq_ = seq + 1;
+  }
+}
+
+util::Bytes CryptStore::blockKey(const BlockId& id) const {
+  return crypto::hkdf(masterKey_, util::BytesView(id.bytes),
+                      util::toBytes(kKeyInfo), 32);
+}
+
+void CryptStore::put(const BlockId& id, util::BytesView data) {
+  ++counters_.puts;
+  counters_.putBytes += data.size();
+  const std::uint64_t seq = nextSeq_++;
+  const util::Bytes key = blockKey(id);
+
+  util::Bytes nonceInfo = util::toBytes(kNonceInfo);
+  appendU64(nonceInfo, seq);
+  const util::Bytes nonce = crypto::hkdfExpand(key, nonceInfo, kNonceBytes);
+
+  util::Bytes aad(id.bytes.begin(), id.bytes.end());
+  appendU64(aad, seq);
+
+  util::Bytes envelope;
+  envelope.reserve(kSeqBytes + data.size() + kTagBytes);
+  appendU64(envelope, seq);
+  const util::Bytes sealed = crypto::aeadSeal(key, nonce, data, aad);
+  envelope.insert(envelope.end(), sealed.begin(), sealed.end());
+  inner_->put(id, envelope);
+}
+
+std::optional<util::Bytes> CryptStore::get(const BlockId& id) {
+  ++counters_.gets;
+  const auto envelope = inner_->get(id);
+  if (!envelope) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  if (envelope->size() < kSeqBytes + kTagBytes) {
+    ++rejected_;
+    throw CorruptBlockError("CryptStore: truncated envelope for " +
+                            util::toHex(util::BytesView(id.bytes)));
+  }
+  const std::uint64_t seq = readU64(*envelope);
+  const util::Bytes key = blockKey(id);
+
+  util::Bytes nonceInfo = util::toBytes(kNonceInfo);
+  appendU64(nonceInfo, seq);
+  const util::Bytes nonce = crypto::hkdfExpand(key, nonceInfo, kNonceBytes);
+
+  util::Bytes aad(id.bytes.begin(), id.bytes.end());
+  appendU64(aad, seq);
+
+  const util::BytesView sealed(envelope->data() + kSeqBytes,
+                               envelope->size() - kSeqBytes);
+  auto plain = crypto::aeadOpen(key, nonce, sealed, aad);
+  if (!plain) {
+    ++rejected_;
+    throw CorruptBlockError("CryptStore: authentication failed for " +
+                            util::toHex(util::BytesView(id.bytes)));
+  }
+  ++counters_.hits;
+  counters_.getBytes += plain->size();
+  return plain;
+}
+
+bool CryptStore::erase(const BlockId& id) {
+  const bool removed = inner_->erase(id);
+  if (removed) ++counters_.erases;
+  return removed;
+}
+
+}  // namespace dosn::store

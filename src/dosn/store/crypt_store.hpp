@@ -1,0 +1,50 @@
+// AEAD-encrypting decorator: confidentiality and integrity at the storage
+// boundary, DECENT-style — the inner store (and thus the replica host's disk)
+// only ever sees ciphertext. Composes the repo's ChaCha20-Poly1305 with
+// HKDF-derived per-block keys and nonces:
+//
+//   blockKey = HKDF(master, salt=id, info="dosn.store.crypt.key", 32)
+//   nonce    = HKDF-Expand(blockKey, "dosn.store.crypt.nonce" || seq, 12)
+//   envelope = seq (8 bytes LE) || AEAD-Seal(blockKey, nonce, plain,
+//                                            aad = id || seq)
+//
+// `seq` is a store-wide put counter, so a re-put of the same block never
+// reuses a (key, nonce) pair; on construction the counter resumes above the
+// largest seq found in the inner store, so a cold restart over a FileStore
+// keeps the guarantee. The AAD binds each envelope to its block id — copying
+// a valid envelope under another id is detected, not decrypted.
+//
+// Any authentication failure (tampered byte, truncated envelope, wrong
+// master key, id swap) throws CorruptBlockError; plaintext is returned only
+// when the tag verifies.
+#pragma once
+
+#include "dosn/store/block_store.hpp"
+
+namespace dosn::store {
+
+class CryptStore final : public StoreDecorator {
+ public:
+  CryptStore(std::unique_ptr<BlockStore> inner, util::BytesView masterKey);
+
+  void put(const BlockId& id, util::BytesView data) override;
+  std::optional<util::Bytes> get(const BlockId& id) override;
+  bool erase(const BlockId& id) override;
+  std::string describe() const override {
+    return "crypt(" + inner_->describe() + ")";
+  }
+
+  /// Envelopes rejected by authentication so far (tamper/truncation/key).
+  std::uint64_t rejectedBlocks() const { return rejected_; }
+  /// The next put's sequence number (tests pin the restart-recovery scan).
+  std::uint64_t nextSeq() const { return nextSeq_; }
+
+ private:
+  util::Bytes blockKey(const BlockId& id) const;
+
+  util::Bytes masterKey_;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace dosn::store

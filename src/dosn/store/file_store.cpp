@@ -1,0 +1,120 @@
+#include "dosn/store/file_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <system_error>
+
+namespace dosn::store {
+
+namespace {
+
+constexpr const char* kBlockSuffix = ".blk";
+constexpr const char* kTempSuffix = ".tmp";
+
+std::string hexName(const BlockId& id) {
+  return util::toHex(util::BytesView(id.bytes));
+}
+
+/// Parses "<40 hex chars>.blk" back into a BlockId; nullopt for anything else
+/// (stray temp files, foreign droppings).
+std::optional<BlockId> parseName(const std::string& name) {
+  const std::string suffix = kBlockSuffix;
+  if (name.size() != overlay::kIdBytes * 2 + suffix.size()) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  const auto raw = util::fromHex(name.substr(0, overlay::kIdBytes * 2));
+  if (!raw || raw->size() != overlay::kIdBytes) return std::nullopt;
+  BlockId id;
+  std::copy(raw->begin(), raw->end(), id.bytes.begin());
+  return id;
+}
+
+}  // namespace
+
+FileStore::FileStore(std::filesystem::path root) : root_(std::move(root)) {
+  std::error_code ec;
+  std::filesystem::create_directories(root_, ec);
+  if (ec || !std::filesystem::is_directory(root_)) {
+    throw BackendError("FileStore: cannot create root " + root_.string());
+  }
+}
+
+std::filesystem::path FileStore::blockPath(const BlockId& id) const {
+  return root_ / (hexName(id) + kBlockSuffix);
+}
+
+void FileStore::put(const BlockId& id, util::BytesView data) {
+  ++counters_.puts;
+  counters_.putBytes += data.size();
+  const std::filesystem::path tmp = root_ / (hexName(id) + kTempSuffix);
+  {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (!f) throw BackendError("FileStore: cannot open " + tmp.string());
+    const std::size_t written =
+        data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+    const bool ok = written == data.size() && std::fclose(f) == 0;
+    if (!ok) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw BackendError("FileStore: short write to " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, blockPath(id), ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw BackendError("FileStore: rename failed for " + hexName(id));
+  }
+}
+
+std::optional<util::Bytes> FileStore::get(const BlockId& id) {
+  ++counters_.gets;
+  std::FILE* f = std::fopen(blockPath(id).c_str(), "rb");
+  if (!f) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  util::Bytes data;
+  std::uint8_t buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) throw BackendError("FileStore: read failed for " + hexName(id));
+  ++counters_.hits;
+  counters_.getBytes += data.size();
+  return data;
+}
+
+bool FileStore::erase(const BlockId& id) {
+  std::error_code ec;
+  const bool removed = std::filesystem::remove(blockPath(id), ec);
+  if (ec) throw BackendError("FileStore: remove failed for " + hexName(id));
+  if (removed) ++counters_.erases;
+  return removed;
+}
+
+bool FileStore::has(const BlockId& id) const {
+  std::error_code ec;
+  return std::filesystem::exists(blockPath(id), ec);
+}
+
+std::vector<BlockId> FileStore::list() const {
+  std::vector<BlockId> ids;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(root_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const auto id = parseName(it->path().filename().string());
+    if (id) ids.push_back(*id);
+  }
+  if (ec) throw BackendError("FileStore: cannot list " + root_.string());
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::size_t FileStore::size() const { return list().size(); }
+
+}  // namespace dosn::store

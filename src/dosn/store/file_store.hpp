@@ -1,0 +1,41 @@
+// File-backed block store: one file per block under a root directory. This is
+// the durability tier — a ReplicaHost rebuilt over the same root re-serves
+// everything that was flushed to it (the cold-restart recovery path E7c
+// measures).
+//
+// On-disk layout is deterministic: block <id> lives at
+//   <root>/<40-char lowercase hex of id>.blk
+// Writes go to "<hex>.tmp" first and are renamed into place, so a crash mid-
+// write leaves either the old block or a stray .tmp (ignored by list()),
+// never a torn .blk.
+#pragma once
+
+#include <filesystem>
+
+#include "dosn/store/block_store.hpp"
+
+namespace dosn::store {
+
+class FileStore final : public BlockStore {
+ public:
+  /// Creates the root directory if needed. Throws BackendError if the root
+  /// cannot be created or is not a directory.
+  explicit FileStore(std::filesystem::path root);
+
+  void put(const BlockId& id, util::BytesView data) override;
+  std::optional<util::Bytes> get(const BlockId& id) override;
+  bool erase(const BlockId& id) override;
+  bool has(const BlockId& id) const override;
+  std::vector<BlockId> list() const override;
+  std::size_t size() const override;
+  std::string describe() const override { return "file"; }
+
+  const std::filesystem::path& root() const { return root_; }
+
+ private:
+  std::filesystem::path blockPath(const BlockId& id) const;
+
+  std::filesystem::path root_;
+};
+
+}  // namespace dosn::store

@@ -1,0 +1,68 @@
+#include "dosn/store/memory_store.hpp"
+
+#include <algorithm>
+
+namespace dosn::store {
+
+namespace {
+
+bool idLess(const std::pair<BlockId, util::Bytes>& entry, const BlockId& id) {
+  return entry.first < id;
+}
+
+}  // namespace
+
+std::vector<std::pair<BlockId, util::Bytes>>::iterator MemoryStore::lowerBound(
+    const BlockId& id) {
+  return std::lower_bound(blocks_.begin(), blocks_.end(), id, idLess);
+}
+
+std::vector<std::pair<BlockId, util::Bytes>>::const_iterator
+MemoryStore::lowerBound(const BlockId& id) const {
+  return std::lower_bound(blocks_.begin(), blocks_.end(), id, idLess);
+}
+
+void MemoryStore::put(const BlockId& id, util::BytesView data) {
+  ++counters_.puts;
+  counters_.putBytes += data.size();
+  auto it = lowerBound(id);
+  if (it != blocks_.end() && it->first == id) {
+    it->second.assign(data.begin(), data.end());
+  } else {
+    blocks_.emplace(it, id, util::Bytes(data.begin(), data.end()));
+  }
+}
+
+std::optional<util::Bytes> MemoryStore::get(const BlockId& id) {
+  ++counters_.gets;
+  const auto it = lowerBound(id);
+  if (it == blocks_.end() || it->first != id) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  ++counters_.hits;
+  counters_.getBytes += it->second.size();
+  return it->second;
+}
+
+bool MemoryStore::erase(const BlockId& id) {
+  const auto it = lowerBound(id);
+  if (it == blocks_.end() || it->first != id) return false;
+  blocks_.erase(it);
+  ++counters_.erases;
+  return true;
+}
+
+bool MemoryStore::has(const BlockId& id) const {
+  const auto it = lowerBound(id);
+  return it != blocks_.end() && it->first == id;
+}
+
+std::vector<BlockId> MemoryStore::list() const {
+  std::vector<BlockId> ids;
+  ids.reserve(blocks_.size());
+  for (const auto& [id, data] : blocks_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace dosn::store

@@ -1,0 +1,32 @@
+// In-memory block store over a sorted flat vector — the default backend,
+// byte-for-byte equivalent to the std::map ReplicaHost used to hardwire, but
+// with one contiguous allocation for the index instead of a node per block.
+#pragma once
+
+#include "dosn/store/block_store.hpp"
+
+namespace dosn::store {
+
+class MemoryStore final : public BlockStore {
+ public:
+  MemoryStore() = default;
+
+  void put(const BlockId& id, util::BytesView data) override;
+  std::optional<util::Bytes> get(const BlockId& id) override;
+  bool erase(const BlockId& id) override;
+  bool has(const BlockId& id) const override;
+  std::vector<BlockId> list() const override;
+  std::size_t size() const override { return blocks_.size(); }
+  std::string describe() const override { return "memory"; }
+
+ private:
+  // Sorted by id; lookup is one binary search over contiguous pairs.
+  std::vector<std::pair<BlockId, util::Bytes>> blocks_;
+
+  std::vector<std::pair<BlockId, util::Bytes>>::iterator lowerBound(
+      const BlockId& id);
+  std::vector<std::pair<BlockId, util::Bytes>>::const_iterator lowerBound(
+      const BlockId& id) const;
+};
+
+}  // namespace dosn::store

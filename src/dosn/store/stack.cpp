@@ -1,0 +1,34 @@
+#include "dosn/store/stack.hpp"
+
+#include "dosn/store/cache_store.hpp"
+#include "dosn/store/crypt_store.hpp"
+#include "dosn/store/file_store.hpp"
+#include "dosn/store/memory_store.hpp"
+
+namespace dosn::store {
+
+std::unique_ptr<BlockStore> makeStack(const StackConfig& config) {
+  std::unique_ptr<BlockStore> stack;
+  if (config.fileRoot.empty()) {
+    stack = std::make_unique<MemoryStore>();
+  } else {
+    stack = std::make_unique<FileStore>(config.fileRoot);
+  }
+  if (config.async) {
+    if (!config.simulator) {
+      throw StoreError("makeStack: async tier needs a simulator");
+    }
+    stack = std::make_unique<AsyncStore>(std::move(stack), *config.simulator,
+                                         config.asyncConfig);
+  }
+  if (config.cache) {
+    stack = std::make_unique<CacheStore>(std::move(stack), config.cacheBlocks,
+                                         config.cacheBytes);
+  }
+  if (config.crypt) {
+    stack = std::make_unique<CryptStore>(std::move(stack), config.cryptKey);
+  }
+  return stack;
+}
+
+}  // namespace dosn::store

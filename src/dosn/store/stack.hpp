@@ -1,0 +1,44 @@
+// Stack assembly helper: builds the canonical decorator compositions from a
+// declarative config so benches, tests, and app wiring construct identical
+// stacks. Composition order is fixed (outermost first):
+//
+//   crypt( cache( async( memory | file ) ) )
+//
+// — encrypt above the cache so the hot tier holds ciphertext envelopes and
+// plaintext never outlives a request; cache above async so reads of recently
+// written blocks hit memory; async directly above the durable backend so the
+// write-behind queue batches the expensive medium. Any decorator can be
+// switched off independently.
+#pragma once
+
+#include <filesystem>
+
+#include "dosn/store/async_store.hpp"
+#include "dosn/store/block_store.hpp"
+
+namespace dosn::store {
+
+struct StackConfig {
+  /// Innermost backend: file-backed when `fileRoot` is set, memory otherwise.
+  std::filesystem::path fileRoot;
+
+  /// Write-behind tier; requires `simulator` when enabled.
+  bool async = false;
+  AsyncConfig asyncConfig;
+  sim::Simulator* simulator = nullptr;
+
+  /// LRU cache tier.
+  bool cache = false;
+  std::size_t cacheBlocks = 1024;
+  std::size_t cacheBytes = std::size_t{16} << 20;
+
+  /// AEAD-at-rest tier; requires a non-empty key when enabled.
+  bool crypt = false;
+  util::Bytes cryptKey;
+};
+
+/// Builds the configured stack. Throws StoreError on inconsistent config
+/// (async without simulator, crypt without key).
+std::unique_ptr<BlockStore> makeStack(const StackConfig& config);
+
+}  // namespace dosn::store

@@ -421,7 +421,8 @@ TEST(ReplicaRpc, StoreFetchRoundTripClean) {
   client.store(host.addr(), item, toBytes("hello"), [&](bool ok) { stored = ok; });
   simulator.run();
   EXPECT_TRUE(stored);
-  EXPECT_EQ(host.data().at(item), toBytes("hello"));
+  ASSERT_TRUE(host.hasBlock(item));
+  EXPECT_EQ(host.store().get(item).value(), toBytes("hello"));
   std::optional<util::Bytes> fetched;
   client.fetch(host.addr(), item, [&](std::optional<util::Bytes> v) {
     fetched = std::move(v);
