@@ -39,11 +39,13 @@ void AsyncStore::enqueue(const BlockId& id, PendingOp op) {
     it->second = std::move(op);
   } else {
     if (queue_.size() >= config_.maxDirty) {
-      // Bounded dirty set: spill the oldest op synchronously.
+      // Bounded dirty set: spill the oldest op synchronously. Apply before
+      // dequeuing — if the inner store throws, the victim stays queued (and
+      // the new op is never acked; the exception propagates to the caller).
       const BlockId victim = queue_.front();
-      queue_.pop_front();
       const auto vit = pending_.find(victim);
       applyToInner(victim, vit->second);
+      queue_.pop_front();
       pending_.erase(vit);
       ++stats_.spilledOps;
       ++stats_.flushedOps;
@@ -57,14 +59,16 @@ void AsyncStore::enqueue(const BlockId& id, PendingOp op) {
 }
 
 void AsyncStore::applyToInner(const BlockId& id, const PendingOp& op) {
-  const sim::SimTime latency = simulator_.now() - op.queuedAt;
-  stats_.flushLatencyTotal += latency;
-  stats_.flushLatencyMax = std::max(stats_.flushLatencyMax, latency);
   if (op.isErase) {
     inner_->erase(id);
   } else {
     inner_->put(id, op.data);
   }
+  // Latency is recorded only for applies that reached the inner store; a
+  // throwing apply is retried by a later flush and measured then.
+  const sim::SimTime latency = simulator_.now() - op.queuedAt;
+  stats_.flushLatencyTotal += latency;
+  stats_.flushLatencyMax = std::max(stats_.flushLatencyMax, latency);
 }
 
 void AsyncStore::put(const BlockId& id, util::BytesView data) {
@@ -139,21 +143,33 @@ std::size_t AsyncStore::size() const { return list().size(); }
 
 std::size_t AsyncStore::flush() {
   std::size_t applied = 0;
-  while (!queue_.empty()) {
-    const BlockId id = queue_.front();
-    queue_.pop_front();
-    const auto it = pending_.find(id);
-    applyToInner(id, it->second);
-    pending_.erase(it);
-    ++applied;
+  try {
+    while (!queue_.empty()) {
+      // Apply before dequeuing: if the inner store throws (e.g. a FileStore
+      // BackendError), the op stays in both queue_ and pending_, so a later
+      // put still coalesces onto it and a later flush() retries it.
+      const BlockId id = queue_.front();
+      const auto it = pending_.find(id);
+      applyToInner(id, it->second);
+      queue_.pop_front();
+      pending_.erase(it);
+      ++applied;
+    }
+  } catch (...) {
+    settleFlushStats(applied);
+    throw;
   }
-  stats_.queueDepth = 0;
+  settleFlushStats(applied);
+  inner_->flush();  // drain any nested write-behind tier too
+  return applied;
+}
+
+void AsyncStore::settleFlushStats(std::size_t applied) {
+  stats_.queueDepth = queue_.size();
   if (applied > 0) {
     stats_.flushedOps += applied;
     ++stats_.flushes;
   }
-  inner_->flush();  // drain any nested write-behind tier too
-  return applied;
 }
 
 std::size_t AsyncStore::discardPending() {

@@ -82,6 +82,7 @@ class AsyncStore final : public StoreDecorator {
 
   void enqueue(const BlockId& id, PendingOp op);
   void applyToInner(const BlockId& id, const PendingOp& op);
+  void settleFlushStats(std::size_t applied);
   void scheduleFlush();
 
   sim::Simulator& simulator_;

@@ -20,8 +20,18 @@ void CacheStore::touch(Entry& entry, const BlockId& id) {
 
 void CacheStore::insert(const BlockId& id, util::BytesView data) {
   // Blocks larger than the byte budget are served straight from the inner
-  // store; caching one would evict everything for a single-use entry.
-  if (data.size() > capacityBytes_) return;
+  // store; caching one would evict everything for a single-use entry. A
+  // previously cached (smaller) value for the same id must still be dropped,
+  // or an oversized overwrite would keep serving the stale bytes.
+  if (data.size() > capacityBytes_) {
+    const auto stale = cache_.find(id);
+    if (stale != cache_.end()) {
+      cachedBytes_ -= stale->second.data.size();
+      recency_.erase(stale->second.recency);
+      cache_.erase(stale);
+    }
+    return;
+  }
   const auto it = cache_.find(id);
   if (it != cache_.end()) {
     cachedBytes_ -= it->second.data.size();

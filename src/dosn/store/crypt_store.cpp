@@ -51,16 +51,24 @@ void CryptStore::put(const BlockId& id, util::BytesView data) {
   const std::uint64_t seq = nextSeq_++;
   const util::Bytes key = blockKey(id);
 
+  // SIV-style nonce: derived from the plaintext as well as the seq counter
+  // and stored in the envelope. Even if the counter regresses (erase of the
+  // highest-seq blocks, crash before an AsyncStore flush), a reused
+  // (blockKey, seq) with different plaintext still yields a different nonce;
+  // a repeat only occurs for identical plaintext, where the identical
+  // ciphertext reveals nothing beyond equality.
   util::Bytes nonceInfo = util::toBytes(kNonceInfo);
   appendU64(nonceInfo, seq);
+  nonceInfo.insert(nonceInfo.end(), data.begin(), data.end());
   const util::Bytes nonce = crypto::hkdfExpand(key, nonceInfo, kNonceBytes);
 
   util::Bytes aad(id.bytes.begin(), id.bytes.end());
   appendU64(aad, seq);
 
   util::Bytes envelope;
-  envelope.reserve(kSeqBytes + data.size() + kTagBytes);
+  envelope.reserve(kSeqBytes + kNonceBytes + data.size() + kTagBytes);
   appendU64(envelope, seq);
+  envelope.insert(envelope.end(), nonce.begin(), nonce.end());
   const util::Bytes sealed = crypto::aeadSeal(key, nonce, data, aad);
   envelope.insert(envelope.end(), sealed.begin(), sealed.end());
   inner_->put(id, envelope);
@@ -73,7 +81,7 @@ std::optional<util::Bytes> CryptStore::get(const BlockId& id) {
     ++counters_.misses;
     return std::nullopt;
   }
-  if (envelope->size() < kSeqBytes + kTagBytes) {
+  if (envelope->size() < kSeqBytes + kNonceBytes + kTagBytes) {
     ++rejected_;
     throw CorruptBlockError("CryptStore: truncated envelope for " +
                             util::toHex(util::BytesView(id.bytes)));
@@ -81,15 +89,16 @@ std::optional<util::Bytes> CryptStore::get(const BlockId& id) {
   const std::uint64_t seq = readU64(*envelope);
   const util::Bytes key = blockKey(id);
 
-  util::Bytes nonceInfo = util::toBytes(kNonceInfo);
-  appendU64(nonceInfo, seq);
-  const util::Bytes nonce = crypto::hkdfExpand(key, nonceInfo, kNonceBytes);
+  // The nonce is read back from the envelope; tampering with it fails the
+  // AEAD tag check like any other envelope byte.
+  const util::Bytes nonce(envelope->begin() + kSeqBytes,
+                          envelope->begin() + kSeqBytes + kNonceBytes);
 
   util::Bytes aad(id.bytes.begin(), id.bytes.end());
   appendU64(aad, seq);
 
-  const util::BytesView sealed(envelope->data() + kSeqBytes,
-                               envelope->size() - kSeqBytes);
+  const util::BytesView sealed(envelope->data() + kSeqBytes + kNonceBytes,
+                               envelope->size() - kSeqBytes - kNonceBytes);
   auto plain = crypto::aeadOpen(key, nonce, sealed, aad);
   if (!plain) {
     ++rejected_;

@@ -4,15 +4,21 @@
 // HKDF-derived per-block keys and nonces:
 //
 //   blockKey = HKDF(master, salt=id, info="dosn.store.crypt.key", 32)
-//   nonce    = HKDF-Expand(blockKey, "dosn.store.crypt.nonce" || seq, 12)
-//   envelope = seq (8 bytes LE) || AEAD-Seal(blockKey, nonce, plain,
-//                                            aad = id || seq)
+//   nonce    = HKDF-Expand(blockKey,
+//                          "dosn.store.crypt.nonce" || seq || plain, 12)
+//   envelope = seq (8 bytes LE) || nonce (12 bytes)
+//              || AEAD-Seal(blockKey, nonce, plain, aad = id || seq)
 //
-// `seq` is a store-wide put counter, so a re-put of the same block never
-// reuses a (key, nonce) pair; on construction the counter resumes above the
-// largest seq found in the inner store, so a cold restart over a FileStore
-// keeps the guarantee. The AAD binds each envelope to its block id — copying
-// a valid envelope under another id is detected, not decrypted.
+// The nonce is derived SIV-style from the plaintext as well as a store-wide
+// put counter, and stored in the envelope. The guarantee is: a (key, nonce)
+// pair repeats only when the same plaintext is re-sealed, in which case the
+// identical ciphertext reveals nothing beyond equality — nonce reuse with
+// *different* plaintexts cannot occur even if the counter regresses (e.g.
+// the highest-seq envelopes were erased, or lost to a crash before an
+// AsyncStore flush). On construction the counter still resumes above the
+// largest seq found in the inner store, keeping envelopes distinct across a
+// cold restart in the common case. The AAD binds each envelope to its block
+// id — copying a valid envelope under another id is detected, not decrypted.
 //
 // Any authentication failure (tampered byte, truncated envelope, wrong
 // master key, id swap) throws CorruptBlockError; plaintext is returned only

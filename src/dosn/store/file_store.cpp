@@ -53,8 +53,11 @@ void FileStore::put(const BlockId& id, util::BytesView data) {
     if (!f) throw BackendError("FileStore: cannot open " + tmp.string());
     const std::size_t written =
         data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
-    const bool ok = written == data.size() && std::fclose(f) == 0;
-    if (!ok) {
+    // fclose unconditionally: a short-circuited close would leak the FILE*
+    // (and its fd) on the short-write path.
+    const bool wrote = written == data.size();
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed) {
       std::error_code ec;
       std::filesystem::remove(tmp, ec);
       throw BackendError("FileStore: short write to " + tmp.string());

@@ -87,6 +87,28 @@ class RecordingStore final : public StoreDecorator {
   std::vector<Op> ops;
 };
 
+// Throws BackendError on put/erase while armed — models a transient medium
+// failure (full disk, unreachable root) under a write-behind tier.
+class FailingStore final : public StoreDecorator {
+ public:
+  FailingStore() : StoreDecorator(std::make_unique<MemoryStore>()) {}
+
+  void put(const BlockId& id, BytesView data) override {
+    if (failing) throw BackendError("injected put failure");
+    inner_->put(id, data);
+  }
+  std::optional<Bytes> get(const BlockId& id) override {
+    return inner_->get(id);
+  }
+  bool erase(const BlockId& id) override {
+    if (failing) throw BackendError("injected erase failure");
+    return inner_->erase(id);
+  }
+  std::string describe() const override { return "failing"; }
+
+  bool failing = false;
+};
+
 // --- Differential suite: every stack behaves exactly like MemoryStore ------
 
 // Replays one deterministic randomized trace of put/get/erase/flush against
@@ -189,11 +211,12 @@ TEST(StoreDifferential, FullStackMatchesMemory) {
 // --- CryptStore: known-answer envelope and authentication failures ---------
 
 // The envelope for a fixed (key, id, seq=0, plaintext) tuple is pinned so the
-// derivation chain (HKDF key, HKDF-Expand nonce, AAD binding, layout) cannot
-// drift silently. Regenerate only on a deliberate format change.
+// derivation chain (HKDF key, SIV-style plaintext-bound nonce, AAD binding,
+// layout) cannot drift silently. Regenerate only on a deliberate format
+// change.
 constexpr char kKatEnvelopeHex[] =
-    "0000000000000000f0d011bb5f2cb4bcc6c3aaba82bb07cd481270c7a628d2b036606da7"
-    "ae94";
+    "00000000000000004512ae4201763db92c08daa5a00bd3f758e8f78ffc33a2ade4ba9f87"
+    "b50b878770b11d154666a50fca5c";
 
 TEST(CryptStoreTest, KnownAnswerEnvelope) {
   auto inner = std::make_unique<MemoryStore>();
@@ -203,11 +226,46 @@ TEST(CryptStoreTest, KnownAnswerEnvelope) {
   store.put(id, toBytes("attack at dawn"));
   const auto envelope = raw->get(id);
   ASSERT_TRUE(envelope.has_value());
-  // seq(8) || ciphertext(14) || tag(16)
-  ASSERT_EQ(envelope->size(), 8u + 14u + 16u);
+  // seq(8) || nonce(12) || ciphertext(14) || tag(16)
+  ASSERT_EQ(envelope->size(), 8u + 12u + 14u + 16u);
   EXPECT_EQ(dosn::util::toHex(*envelope), kKatEnvelopeHex);
   // And it round-trips.
   EXPECT_EQ(store.get(id).value(), toBytes("attack at dawn"));
+}
+
+TEST(CryptStoreTest, SeqRegressionNeverReusesNonceForDifferentPlaintext) {
+  // Two stores whose put counters both sit at 0 (modeling a counter that
+  // regressed across erase/crash) seal different plaintexts under the same
+  // (id, seq): the plaintext-bound nonce derivation must yield different
+  // nonces, so the (blockKey, nonce) pair is never reused across plaintexts.
+  const OverlayId id = OverlayId::hash("regress");
+  auto innerA = std::make_unique<MemoryStore>();
+  MemoryStore* rawA = innerA.get();
+  CryptStore a(std::move(innerA), keyBytes());
+  a.put(id, toBytes("first value"));
+
+  auto innerB = std::make_unique<MemoryStore>();
+  MemoryStore* rawB = innerB.get();
+  CryptStore b(std::move(innerB), keyBytes());
+  b.put(id, toBytes("second value"));
+
+  const Bytes envA = rawA->get(id).value();
+  const Bytes envB = rawB->get(id).value();
+  // Same seq prefix...
+  EXPECT_TRUE(std::equal(envA.begin(), envA.begin() + 8, envB.begin()));
+  // ...different nonce (bytes 8..20 of the envelope).
+  EXPECT_FALSE(std::equal(envA.begin() + 8, envA.begin() + 20,
+                          envB.begin() + 8));
+  // Identical plaintext at the same (id, seq) is deterministic — the only
+  // case where a (key, nonce) pair repeats, revealing nothing but equality.
+  auto innerC = std::make_unique<MemoryStore>();
+  MemoryStore* rawC = innerC.get();
+  CryptStore c(std::move(innerC), keyBytes());
+  c.put(id, toBytes("first value"));
+  EXPECT_EQ(rawC->get(id).value(), envA);
+  // Both regressed envelopes still round-trip.
+  EXPECT_EQ(a.get(id).value(), toBytes("first value"));
+  EXPECT_EQ(b.get(id).value(), toBytes("second value"));
 }
 
 TEST(CryptStoreTest, TamperedByteThrowsNeverForges) {
@@ -216,12 +274,19 @@ TEST(CryptStoreTest, TamperedByteThrowsNeverForges) {
   CryptStore store(std::move(inner), keyBytes());
   const OverlayId id = OverlayId::hash("tamper");
   store.put(id, toBytes("secret payload"));
-  auto envelope = raw->get(id).value();
-  // Flip one ciphertext byte (past the seq prefix).
-  envelope[10] ^= 0x01;
+  const auto pristine = raw->get(id).value();
+  // Flip one ciphertext byte (past the seq and nonce header).
+  auto envelope = pristine;
+  envelope[22] ^= 0x01;
   raw->put(id, envelope);
   EXPECT_THROW((void)store.get(id), CorruptBlockError);
   EXPECT_EQ(store.rejectedBlocks(), 1u);
+  // Flip one stored-nonce byte: authenticated the same way.
+  envelope = pristine;
+  envelope[10] ^= 0x01;
+  raw->put(id, envelope);
+  EXPECT_THROW((void)store.get(id), CorruptBlockError);
+  EXPECT_EQ(store.rejectedBlocks(), 2u);
 }
 
 TEST(CryptStoreTest, TruncatedEnvelopeThrows) {
@@ -231,8 +296,8 @@ TEST(CryptStoreTest, TruncatedEnvelopeThrows) {
   const OverlayId id = OverlayId::hash("trunc");
   store.put(id, toBytes("secret payload"));
   auto envelope = raw->get(id).value();
-  // Shorter than seq + tag: structurally invalid.
-  envelope.resize(8 + 15);
+  // Shorter than seq + nonce + tag: structurally invalid.
+  envelope.resize(8 + 12 + 15);
   raw->put(id, envelope);
   EXPECT_THROW((void)store.get(id), CorruptBlockError);
   // Drop the tail of the tag instead.
@@ -334,6 +399,24 @@ TEST(CacheStoreTest, ByteCapacityBoundsResidency) {
   EXPECT_EQ(store.get(blockId(3)).value(), toBytes("0123456789abcdef"));
 }
 
+TEST(CacheStoreTest, OversizedOverwriteInvalidatesCachedEntry) {
+  CacheStore store(std::make_unique<MemoryStore>(), 100, 10);
+  // Cache a small value, then overwrite it with one too big to cache: the
+  // stale cached bytes must be dropped, and reads must serve the new value.
+  store.put(blockId(0), toBytes("small"));
+  EXPECT_EQ(store.cachedIds(), (std::vector<OverlayId>{blockId(0)}));
+  store.put(blockId(0), toBytes("much-too-big-to-cache"));
+  EXPECT_TRUE(store.cachedIds().empty());
+  EXPECT_EQ(store.cacheStats().cachedBytes, 0u);
+  EXPECT_EQ(store.get(blockId(0)).value(), toBytes("much-too-big-to-cache"));
+  // Same stale-read hazard via the promotion path: a get() that promotes a
+  // small value, then an oversized overwrite.
+  store.put(blockId(1), toBytes("tiny"));
+  EXPECT_EQ(store.get(blockId(1)).value(), toBytes("tiny"));
+  store.put(blockId(1), toBytes("also-much-too-big-0123"));
+  EXPECT_EQ(store.get(blockId(1)).value(), toBytes("also-much-too-big-0123"));
+}
+
 TEST(CacheStoreTest, HitRatioTracksWorkload) {
   CacheStore store(std::make_unique<MemoryStore>(), 8, 1 << 20);
   store.put(blockId(0), toBytes("x"));
@@ -409,6 +492,53 @@ TEST(AsyncStoreTest, BoundedDirtySetSpillsOldestSynchronously) {
   EXPECT_EQ(raw->ops[0].id, blockId(0));
   EXPECT_EQ(store.asyncStats().spilledOps, 1u);
   EXPECT_EQ(store.pendingOps(), 2u);
+}
+
+TEST(AsyncStoreTest, InnerFailureDuringFlushKeepsQueueAndPendingInSync) {
+  dosn::sim::Simulator simulator;
+  auto failing = std::make_unique<FailingStore>();
+  FailingStore* raw = failing.get();
+  AsyncStore store(std::move(failing), simulator, AsyncConfig{64, 0});
+  store.put(blockId(0), toBytes("a1"));
+  store.put(blockId(1), toBytes("b1"));
+
+  raw->failing = true;
+  EXPECT_THROW(store.flush(), BackendError);
+  // Nothing was dequeued without being applied: both ops are still pending,
+  // still visible, and still coalescible.
+  EXPECT_EQ(store.pendingOps(), 2u);
+  EXPECT_TRUE(store.has(blockId(0)));
+  EXPECT_TRUE(store.has(blockId(1)));
+  store.put(blockId(0), toBytes("a2"));  // coalesces onto the queued entry
+  EXPECT_EQ(store.pendingOps(), 2u);
+
+  // Once the medium recovers, a retry applies everything — no orphaned
+  // pending entry that flush() would silently skip.
+  raw->failing = false;
+  EXPECT_EQ(store.flush(), 2u);
+  EXPECT_EQ(store.pendingOps(), 0u);
+  EXPECT_EQ(raw->get(blockId(0)).value(), toBytes("a2"));
+  EXPECT_EQ(raw->get(blockId(1)).value(), toBytes("b1"));
+}
+
+TEST(AsyncStoreTest, InnerFailureDuringSpillLeavesVictimQueued) {
+  dosn::sim::Simulator simulator;
+  auto failing = std::make_unique<FailingStore>();
+  FailingStore* raw = failing.get();
+  AsyncStore store(std::move(failing), simulator, AsyncConfig{1, 0});
+  store.put(blockId(0), toBytes("v0"));
+
+  raw->failing = true;
+  // The dirty bound forces a synchronous spill of blockId(0), which fails:
+  // the victim must stay queued and the new put is not acked.
+  EXPECT_THROW(store.put(blockId(1), toBytes("v1")), BackendError);
+  EXPECT_EQ(store.pendingOps(), 1u);
+  EXPECT_TRUE(store.has(blockId(0)));
+  EXPECT_FALSE(store.has(blockId(1)));
+
+  raw->failing = false;
+  EXPECT_EQ(store.flush(), 1u);
+  EXPECT_EQ(raw->get(blockId(0)).value(), toBytes("v0"));
 }
 
 TEST(AsyncStoreTest, PeriodicFlushDrainsOnSimClock) {
