@@ -1,9 +1,23 @@
 #include "dosn/app/microblog.hpp"
 
+#include <algorithm>
+#include <set>
+
+#include "dosn/store/memory_store.hpp"
 #include "dosn/util/codec.hpp"
 #include "dosn/util/error.hpp"
 
 namespace dosn::app {
+
+namespace {
+
+// Friend-cache probe protocol, answered on the node's existing DHT endpoint
+// (no extra network node, so the disabled-tier path stays byte-identical):
+//   mb.cache.get {rpcId, key} -> mb.cache.value {rpcId, found, value}
+const sim::MessageType kMsgCacheGet("mb.cache.get");
+const sim::MessageType kMsgCacheValue("mb.cache.value");
+
+}  // namespace
 
 util::Bytes HeadRecord::signedBytes() const {
   util::Writer w;
@@ -78,15 +92,81 @@ MicroblogNode::MicroblogNode(sim::Network& network, overlay::OverlayId dhtId,
                              const pkcrypto::DlogGroup& group, UserId user,
                              social::IdentityRegistry& registry,
                              AccessController& acl, util::Rng& rng,
-                             overlay::KademliaConfig dhtConfig)
+                             overlay::KademliaConfig dhtConfig,
+                             FriendCacheConfig cacheConfig)
     : group_(group),
       registry_(registry),
       acl_(acl),
       keyring_(social::createKeyring(group, std::move(user), rng)),
       timeline_(group, keyring_),
       dht_(network, dhtId, dhtConfig),
-      rng_(rng) {
+      rng_(rng),
+      cacheConfig_(cacheConfig) {
   registry_.registerIdentity(social::publicIdentity(keyring_));
+  if (cacheConfig_.enabled) {
+    friendCache_ = std::make_unique<store::CacheStore>(
+        std::make_unique<store::MemoryStore>(), cacheConfig_.capacityBlocks,
+        cacheConfig_.capacityBytes);
+    dht_.endpoint().addReplyChannel(kMsgCacheValue);
+    dht_.endpoint().onRequest(
+        kMsgCacheGet,
+        [this](sim::NodeAddr from, util::BytesView body, net::RpcId reqId) {
+          util::Reader r(body);
+          const util::Bytes raw = r.raw(overlay::kIdBytes);
+          overlay::OverlayId key;
+          std::copy(raw.begin(), raw.end(), key.bytes.begin());
+          util::Writer w;
+          const auto value = friendCache_->get(key);
+          if (value) {
+            w.boolean(true);
+            w.bytes(*value);
+          } else {
+            w.boolean(false);
+          }
+          dht_.endpoint().reply(from, kMsgCacheValue, reqId, w.buffer());
+        });
+  }
+}
+
+void MicroblogNode::addFriendPeer(const UserId& user, sim::NodeAddr addr) {
+  for (auto& [peer, peerAddr] : friendPeers_) {
+    if (peer == user) {
+      peerAddr = addr;
+      return;
+    }
+  }
+  friendPeers_.emplace_back(user, addr);
+}
+
+void MicroblogNode::cachePut(const overlay::OverlayId& id,
+                             util::BytesView data) {
+  friendCache_->put(id, data);
+  // CacheStore is a write-through decorator: evicted blocks survive in the
+  // inner MemoryStore, which would grow without bound. Prune everything the
+  // cache no longer tracks so the friend tier honors its capacity.
+  const auto cached = friendCache_->cachedIds();
+  const std::set<store::BlockId> keep(cached.begin(), cached.end());
+  for (const store::BlockId& stored : friendCache_->list()) {
+    if (!keep.count(stored)) friendCache_->erase(stored);
+  }
+}
+
+std::vector<sim::NodeAddr> MicroblogNode::cachePeersFor(
+    const UserId& author) const {
+  // The author's own node first — it seeds its cache at publish time, so a
+  // single probe there resolves a cold fetch in one hop; other registered
+  // friends follow in registration order, capped at the configured fanout.
+  std::vector<sim::NodeAddr> peers;
+  for (const auto& [peer, addr] : friendPeers_) {
+    if (peer == author) peers.push_back(addr);
+  }
+  for (const auto& [peer, addr] : friendPeers_) {
+    if (peers.size() >= cacheConfig_.fanout) break;
+    if (peer == author) continue;
+    peers.push_back(addr);
+  }
+  if (peers.size() > cacheConfig_.fanout) peers.resize(cacheConfig_.fanout);
+  return peers;
 }
 
 void MicroblogNode::join(const overlay::Contact& seed,
@@ -132,21 +212,30 @@ void MicroblogNode::publish(const std::string& circle, const std::string& text,
   head.signature =
       pkcrypto::schnorrSign(group_, keyring_.signing, head.signedBytes(), rng);
 
-  // Store the entry, then the head.
+  // Seed the publisher's own friend cache: followers probing the author
+  // resolve a cold fetch in one hop instead of a full DHT lookup. The head
+  // is deliberately not seeded — it stays a DHT-only freshness anchor.
+  if (friendCache_) {
+    cachePut(entryKey(keyring_.user, seq), record.serialize());
+  }
+
+  // Store the entry, then the head (owner-attributed, so a socially-aware
+  // placement policy can rank the store targets; with no policy configured
+  // this is the classic store()).
   auto shared = std::make_shared<std::pair<bool, bool>>(false, false);
   auto maybeDone = [shared, done]() {
     if (shared->first && shared->second && done) done(true);
   };
-  dht_.store(entryKey(keyring_.user, seq), record.serialize(),
-             [shared, maybeDone](bool) {
-               shared->first = true;
-               maybeDone();
-             });
-  dht_.store(headKey(keyring_.user), head.serialize(),
-             [shared, maybeDone](bool) {
-               shared->second = true;
-               maybeDone();
-             });
+  dht_.storeAs(entryKey(keyring_.user, seq), record.serialize(), keyring_.user,
+               [shared, maybeDone](bool) {
+                 shared->first = true;
+                 maybeDone();
+               });
+  dht_.storeAs(headKey(keyring_.user), head.serialize(), keyring_.user,
+               [shared, maybeDone](bool) {
+                 shared->second = true;
+                 maybeDone();
+               });
 }
 
 struct MicroblogNode::FetchState {
@@ -156,6 +245,9 @@ struct MicroblogNode::FetchState {
   std::vector<std::optional<TimelineRecord>> records;
   std::size_t pending = 0;
   std::function<void(FetchedTimeline)> done;
+  bool usedCache = false;   // any record came from a cache tier
+  bool retried = false;     // one invalidate-and-refetch round already ran
+  bool bypassCache = false; // retry round: resolve straight from the DHT
 };
 
 void MicroblogNode::fetchTimeline(const UserId& author,
@@ -170,7 +262,9 @@ void MicroblogNode::fetchTimeline(const UserId& author,
   state->authorKey = identity->signingKey;
   state->done = std::move(done);
 
+  ++fetchStats_.lookups;
   dht_.findValue(headKey(author), [this, state](overlay::LookupResult result) {
+    fetchStats_.hops += result.hops;
     if (!result.value) {
       state->done(FetchedTimeline{});
       return;
@@ -199,44 +293,114 @@ void MicroblogNode::fetchEntries(const std::shared_ptr<FetchState>& state) {
   state->records.assign(count, std::nullopt);
   state->pending = count;
   for (std::uint64_t seq = 0; seq < count; ++seq) {
-    dht_.findValue(entryKey(state->author, seq),
-                   [this, state, seq](overlay::LookupResult result) {
-                     if (result.value) {
-                       state->records[seq] =
-                           TimelineRecord::deserialize(*result.value);
-                     }
-                     if (--state->pending == 0) finishFetch(state);
-                   });
+    fetchRecord(state, seq);
   }
+}
+
+void MicroblogNode::fetchRecord(const std::shared_ptr<FetchState>& state,
+                                std::uint64_t seq) {
+  const overlay::OverlayId key = entryKey(state->author, seq);
+  if (friendCache_ && !state->bypassCache) {
+    if (const auto cached = friendCache_->get(key)) {
+      ++fetchStats_.cacheLocalHits;
+      state->usedCache = true;
+      state->records[seq] = TimelineRecord::deserialize(*cached);
+      if (--state->pending == 0) finishFetch(state);
+      return;
+    }
+    auto peers = std::make_shared<std::vector<sim::NodeAddr>>(
+        cachePeersFor(state->author));
+    if (!peers->empty()) {
+      tryRemoteCache(state, seq, key, std::move(peers), 0);
+      return;
+    }
+  }
+  if (friendCache_ && !state->bypassCache) ++fetchStats_.cacheMisses;
+  dhtFetch(state, seq, key);
+}
+
+void MicroblogNode::tryRemoteCache(
+    const std::shared_ptr<FetchState>& state, std::uint64_t seq,
+    const overlay::OverlayId& key,
+    std::shared_ptr<std::vector<sim::NodeAddr>> peers, std::size_t index) {
+  if (index >= peers->size()) {
+    ++fetchStats_.cacheMisses;
+    dhtFetch(state, seq, key);
+    return;
+  }
+  util::Writer body;
+  body.raw(util::BytesView(key.bytes));
+  net::CallOptions options;
+  options.timeout = cacheConfig_.rpcTimeout;
+  const sim::NodeAddr peer = (*peers)[index];
+  dht_.endpoint().call(
+      peer, kMsgCacheGet, body.buffer(), options,
+      [this, state, seq, key, peers = std::move(peers), index](
+          bool ok, util::BytesView reply) mutable {
+        if (ok) {
+          try {
+            util::Reader r(reply);
+            if (r.boolean()) {
+              const util::Bytes value = r.bytes();
+              ++fetchStats_.cacheRemoteHits;
+              ++fetchStats_.hops;  // one hop to the friend's cache
+              state->usedCache = true;
+              cachePut(key, value);
+              state->records[seq] = TimelineRecord::deserialize(value);
+              if (--state->pending == 0) finishFetch(state);
+              return;
+            }
+          } catch (const util::CodecError&) {
+            // corrupted probe reply: treat as a miss at this peer
+          }
+        }
+        tryRemoteCache(state, seq, key, std::move(peers), index + 1);
+      });
+}
+
+void MicroblogNode::dhtFetch(const std::shared_ptr<FetchState>& state,
+                             std::uint64_t seq, const overlay::OverlayId& key) {
+  ++fetchStats_.lookups;
+  dht_.findValue(key, [this, state, seq, key](overlay::LookupResult result) {
+    fetchStats_.hops += result.hops;
+    if (result.value) {
+      if (friendCache_) cachePut(key, *result.value);
+      state->records[seq] = TimelineRecord::deserialize(*result.value);
+    }
+    if (--state->pending == 0) finishFetch(state);
+  });
 }
 
 void MicroblogNode::finishFetch(const std::shared_ptr<FetchState>& state) {
   FetchedTimeline out;
   out.headValid = true;
 
-  // Assemble and verify the chain.
+  // Assemble and verify the chain. Any failure routes through failFetch:
+  // when a cache tier contributed records, the cached copies may simply be
+  // stale (the author overwrote the timeline since they were cached) — the
+  // cache is invalidated and the fetch retried once straight from the DHT.
   std::vector<integrity::ChainEntry> entries;
   for (const auto& record : state->records) {
     if (!record) {
-      state->done(std::move(out));  // missing entry: chain invalid
+      failFetch(state, std::move(out));  // missing entry: chain invalid
       return;
     }
     entries.push_back(record->entry);
   }
   if (!integrity::verifyChain(group_, state->authorKey, entries)) {
-    state->done(std::move(out));
+    failFetch(state, std::move(out));
     return;
   }
   // The signed head must match the reconstructed chain's head.
   if (entries.back().entryHash() != state->head.headHash) {
-    state->done(std::move(out));
+    failFetch(state, std::move(out));
     return;
   }
   // Each chain entry must commit to its envelope (payload = H(envelope)).
   for (std::size_t i = 0; i < entries.size(); ++i) {
     if (entries[i].payload !=
         crypto::sha256Bytes((*state->records[i]).envelope.blob)) {
-      state->done(std::move(out));
+      failFetch(state, std::move(out));
       return;
     }
   }
@@ -255,6 +419,25 @@ void MicroblogNode::finishFetch(const std::shared_ptr<FetchState>& state) {
     } else {
       ++out.undecryptable;
     }
+  }
+  state->done(std::move(out));
+}
+
+void MicroblogNode::failFetch(const std::shared_ptr<FetchState>& state,
+                              FetchedTimeline out) {
+  if (friendCache_ && state->usedCache && !state->retried) {
+    // Coherence: the freshly fetched (never cached) head disagreed with
+    // cache-served records. Drop the author's cached entries and re-resolve
+    // the whole timeline from the DHT, once.
+    ++fetchStats_.cacheInvalidations;
+    for (std::uint64_t seq = 0; seq < state->head.length; ++seq) {
+      friendCache_->erase(entryKey(state->author, seq));
+    }
+    state->retried = true;
+    state->bypassCache = true;
+    state->usedCache = false;
+    fetchEntries(state);
+    return;
   }
   state->done(std::move(out));
 }

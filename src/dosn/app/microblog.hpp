@@ -22,6 +22,7 @@
 #include "dosn/overlay/kademlia.hpp"
 #include "dosn/privacy/access_controller.hpp"
 #include "dosn/social/content.hpp"
+#include "dosn/store/cache_store.hpp"
 
 namespace dosn::app {
 
@@ -56,13 +57,45 @@ struct FetchedTimeline {
   std::size_t undecryptable = 0;    // entries the reader had no access to
 };
 
+/// One-hop friend-cache tier (DESIGN.md §3f): followers opportunistically
+/// cache the timeline records they fetch in a bounded CacheStore, answer
+/// `mb.cache.get` probes from friends, and resolve entry fetches
+/// cache-first — local cache, then up to `fanout` friend caches (the
+/// author's own node first), then the DHT. The signed head record is NEVER
+/// cached: it is the freshness anchor, so a stale cached entry is caught by
+/// chain/head verification, invalidated, and re-fetched from the DHT.
+struct FriendCacheConfig {
+  bool enabled = false;
+  std::size_t capacityBlocks = 256;
+  std::size_t capacityBytes = 256 * 1024;
+  /// Remote friend caches probed per entry before falling back to the DHT.
+  std::size_t fanout = 2;
+  /// Single-shot timeout per cache probe (no retries — the DHT is the
+  /// fallback, not a retransmission).
+  sim::SimTime rpcTimeout = 200 * sim::kMillisecond;
+};
+
+/// Fetch-side traffic accounting, kept per node so benches can compare
+/// social/cached vs vanilla configurations without touching the shared
+/// metrics surface: `hops` counts DHT query rounds plus one hop per remote
+/// cache hit (a local hit is free).
+struct FetchStats {
+  std::uint64_t lookups = 0;            // DHT value lookups issued
+  std::uint64_t hops = 0;
+  std::uint64_t cacheLocalHits = 0;
+  std::uint64_t cacheRemoteHits = 0;
+  std::uint64_t cacheMisses = 0;        // fell through to the DHT
+  std::uint64_t cacheInvalidations = 0; // stale cache detected + flushed
+};
+
 class MicroblogNode {
  public:
   /// The node owns its DHT presence; registry/ACL are shared infrastructure.
   MicroblogNode(sim::Network& network, overlay::OverlayId dhtId,
                 const pkcrypto::DlogGroup& group, UserId user,
                 social::IdentityRegistry& registry, AccessController& acl,
-                util::Rng& rng, overlay::KademliaConfig dhtConfig = {});
+                util::Rng& rng, overlay::KademliaConfig dhtConfig = {},
+                FriendCacheConfig cacheConfig = {});
 
   const UserId& user() const { return keyring_.user; }
   overlay::KademliaNode& dht() { return dht_; }
@@ -101,13 +134,36 @@ class MicroblogNode {
 
   std::size_t publishedCount() const { return timeline_.size(); }
 
+  // --- friend-cache tier (no-ops unless FriendCacheConfig::enabled) ---
+
+  /// Registers a friend's node as a cache peer; `user`'s records may be
+  /// probed there. Fetches of `user`'s timeline try that user's own entry
+  /// first, then other registered peers, up to the configured fanout.
+  void addFriendPeer(const UserId& user, sim::NodeAddr addr);
+
+  /// The bounded friend cache, or nullptr when the tier is disabled.
+  const store::CacheStore* friendCache() const { return friendCache_.get(); }
+
+  /// Per-node fetch traffic accounting (see FetchStats).
+  const FetchStats& fetchStats() const { return fetchStats_; }
+
   static overlay::OverlayId headKey(const UserId& user);
   static overlay::OverlayId entryKey(const UserId& user, std::uint64_t seq);
 
  private:
   struct FetchState;
   void fetchEntries(const std::shared_ptr<FetchState>& state);
+  void fetchRecord(const std::shared_ptr<FetchState>& state, std::uint64_t seq);
+  void tryRemoteCache(const std::shared_ptr<FetchState>& state,
+                      std::uint64_t seq, const overlay::OverlayId& key,
+                      std::shared_ptr<std::vector<sim::NodeAddr>> peers,
+                      std::size_t index);
+  void dhtFetch(const std::shared_ptr<FetchState>& state, std::uint64_t seq,
+                const overlay::OverlayId& key);
   void finishFetch(const std::shared_ptr<FetchState>& state);
+  void failFetch(const std::shared_ptr<FetchState>& state, FetchedTimeline out);
+  void cachePut(const overlay::OverlayId& id, util::BytesView data);
+  std::vector<sim::NodeAddr> cachePeersFor(const UserId& author) const;
 
   const pkcrypto::DlogGroup& group_;
   social::IdentityRegistry& registry_;
@@ -118,6 +174,10 @@ class MicroblogNode {
   std::vector<privacy::Envelope> envelopes_;  // local copies, by seq
   social::PostId nextPostId_ = 1;
   util::Rng& rng_;
+  FriendCacheConfig cacheConfig_;
+  std::unique_ptr<store::CacheStore> friendCache_;  // null when disabled
+  std::vector<std::pair<UserId, sim::NodeAddr>> friendPeers_;  // insert order
+  FetchStats fetchStats_;
 };
 
 }  // namespace dosn::app

@@ -258,7 +258,19 @@ std::vector<Contact> KademliaNode::decodeContacts(util::Reader& r) {
 
 void KademliaNode::store(const OverlayId& key, util::Bytes value,
                          std::function<void(bool)> done) {
-  findNode(key, [this, key, value = std::move(value),
+  storeImpl(key, std::move(value), std::nullopt, std::move(done));
+}
+
+void KademliaNode::storeAs(const OverlayId& key, util::Bytes value,
+                           social::UserId owner,
+                           std::function<void(bool)> done) {
+  storeImpl(key, std::move(value), std::move(owner), std::move(done));
+}
+
+void KademliaNode::storeImpl(const OverlayId& key, util::Bytes value,
+                             std::optional<social::UserId> owner,
+                             std::function<void(bool)> done) {
+  findNode(key, [this, key, value = std::move(value), owner = std::move(owner),
                  done = std::move(done)](LookupResult result) {
     if (result.closest.empty()) {
       // No peers known: keep the value locally so at least the owner has it.
@@ -274,6 +286,31 @@ void KademliaNode::store(const OverlayId& key, util::Bytes value,
         config_.storeWidth == 0
             ? result.closest.size()
             : std::min(config_.storeWidth, result.closest.size());
+    if (config_.placement) {
+      // Policy path: the lookup's k-closest contacts form the candidate
+      // pool; the policy picks `width` of them (e.g. SocialPolicy pulls the
+      // owner's friends to the front).
+      std::vector<sim::NodeAddr> addrs;
+      addrs.reserve(result.closest.size());
+      for (const Contact& contact : result.closest) {
+        addrs.push_back(contact.addr);
+      }
+      const PlacementContext ctx{key, owner};
+      for (const sim::NodeAddr addr :
+           config_.placement->select(ctx, width, addrs)) {
+        if (addr == endpoint_.addr()) {
+          localPut(key, value);
+          continue;
+        }
+        const auto it = std::find_if(
+            result.closest.begin(), result.closest.end(),
+            [addr](const Contact& c) { return c.addr == addr; });
+        if (it == result.closest.end()) continue;
+        sendRpc(*it, kMsgStore, encoded, [](bool, util::BytesView) {});
+      }
+      if (done) done(true);
+      return;
+    }
     for (std::size_t i = 0; i < width; ++i) {
       const Contact& contact = result.closest[i];
       if (contact.addr == endpoint_.addr()) {

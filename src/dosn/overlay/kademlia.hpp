@@ -18,6 +18,7 @@
 
 #include "dosn/net/rpc_endpoint.hpp"
 #include "dosn/overlay/node_id.hpp"
+#include "dosn/overlay/placement.hpp"
 #include "dosn/overlay/retry.hpp"
 #include "dosn/sim/network.hpp"
 #include "dosn/store/block_store.hpp"
@@ -53,6 +54,12 @@ struct KademliaConfig {
   /// pre-sample fallback and `retry` as the per-destination budget base.
   /// Off by default: the classic fixed-timeout behavior is untouched.
   bool adaptiveTimeout = false;
+  /// Optional placement policy for store(): when set, the `width` targets
+  /// are chosen by policy from the XOR-closest contacts the lookup found
+  /// (e.g. SocialPolicy prefers the owner's friends among them) instead of
+  /// taking the closest prefix. Borrowed, not owned; must outlive the node.
+  /// Null keeps the classic closest-prefix behavior byte for byte.
+  PlacementPolicy* placement = nullptr;
   /// Factory for the node's local value store (DESIGN.md §3e). Null keeps
   /// the default in-memory backend; supply one to run replica nodes on a
   /// durable/encrypting stack, e.g. Crypt(Cache(Async(File))) via
@@ -105,6 +112,14 @@ class KademliaNode {
   void store(const OverlayId& key, util::Bytes value,
              std::function<void(bool ok)> done = {});
 
+  /// Owner-attributed store: identical to store(), but hands the owning
+  /// user to the configured placement policy so socially-aware policies can
+  /// rank the lookup's candidates. With no policy configured this is
+  /// exactly store(). (A distinct name, not an overload: a brace-init
+  /// callback would be ambiguous between UserId and std::function.)
+  void storeAs(const OverlayId& key, util::Bytes value, social::UserId owner,
+               std::function<void(bool ok)> done = {});
+
   /// Iterative value lookup.
   void findValue(const OverlayId& key,
                  std::function<void(LookupResult)> done);
@@ -130,6 +145,9 @@ class KademliaNode {
   struct Lookup;
 
   void setupRpcHandlers();
+  void storeImpl(const OverlayId& key, util::Bytes value,
+                 std::optional<social::UserId> owner,
+                 std::function<void(bool ok)> done);
   void sendRpc(const Contact& to, const std::string& type, util::Bytes payload,
                std::function<void(bool ok, util::BytesView reply)> onReply);
   void startLookup(const OverlayId& target, bool wantValue,

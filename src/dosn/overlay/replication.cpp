@@ -36,8 +36,12 @@ OverlayId readId(util::Reader& r) {
 
 }  // namespace
 
-ReplicationManager::ReplicationManager(sim::Network& network)
-    : network_(network) {}
+ReplicationManager::ReplicationManager(sim::Network& network,
+                                       PlacementPolicy* placement)
+    : network_(network),
+      ownedPolicy_(placement ? nullptr
+                             : std::make_unique<VanillaPolicy>(network)),
+      placement_(placement ? placement : ownedPolicy_.get()) {}
 
 ReplicationManager::ItemState* ReplicationManager::findItem(
     const OverlayId& item) {
@@ -55,13 +59,14 @@ const ReplicationManager::ItemState* ReplicationManager::findItem(
 
 std::vector<sim::NodeAddr> ReplicationManager::place(
     const OverlayId& item, std::size_t replicas,
-    const std::vector<sim::NodeAddr>& candidates) {
+    const std::vector<sim::NodeAddr>& candidates,
+    std::optional<social::UserId> owner) {
   if (replicas == 0 || candidates.empty()) {
     throw util::NetError("ReplicationManager::place: bad arguments");
   }
-  std::vector<sim::NodeAddr> pool = candidates;
-  network_.rng().shuffle(pool);
-  if (pool.size() > replicas) pool.resize(replicas);
+  const PlacementContext ctx{item, owner};
+  std::vector<sim::NodeAddr> chosen =
+      placement_->select(ctx, replicas, candidates);
   const auto it = std::lower_bound(
       items_.begin(), items_.end(), item,
       [](const auto& entry, const OverlayId& id) { return entry.first < id; });
@@ -71,13 +76,14 @@ std::vector<sim::NodeAddr> ReplicationManager::place(
   } else {
     state = &items_.emplace(it, item, ItemState{})->second;
   }
-  state->replicas.assign(pool.begin(), pool.end());
+  state->replicas.assign(chosen.begin(), chosen.end());
   std::sort(state->replicas.begin(), state->replicas.end());
   state->replicas.erase(
       std::unique(state->replicas.begin(), state->replicas.end()),
       state->replicas.end());
   state->target = replicas;
-  return pool;
+  state->owner = std::move(owner);
+  return chosen;
 }
 
 std::size_t ReplicationManager::repair(
@@ -98,12 +104,18 @@ std::size_t ReplicationManager::repair(
         pool.push_back(node);
       }
     }
-    network_.rng().shuffle(pool);
-    for (const sim::NodeAddr node : pool) {
+    if (pool.empty()) continue;
+    const PlacementContext ctx{item, state.owner};
+    const std::vector<sim::NodeAddr> chosen =
+        placement_->select(ctx, state.target - online, pool);
+    for (const sim::NodeAddr node : chosen) {
       if (online >= state.target) break;
-      state.replicas.insert(
-          std::lower_bound(state.replicas.begin(), state.replicas.end(), node),
-          node);
+      // Membership is re-checked by NodeAddr: a duplicate candidate must
+      // never recruit the same node twice into one replica set.
+      const auto pos = std::lower_bound(state.replicas.begin(),
+                                        state.replicas.end(), node);
+      if (pos != state.replicas.end() && *pos == node) continue;
+      state.replicas.insert(pos, node);
       ++online;
       ++added;
     }

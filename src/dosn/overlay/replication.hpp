@@ -11,6 +11,7 @@
 
 #include "dosn/net/rpc_endpoint.hpp"
 #include "dosn/overlay/node_id.hpp"
+#include "dosn/overlay/placement.hpp"
 #include "dosn/overlay/retry.hpp"
 #include "dosn/sim/network.hpp"
 #include "dosn/store/block_store.hpp"
@@ -19,15 +20,26 @@
 namespace dosn::overlay {
 
 /// Tracks which nodes hold a replica of each item and answers availability
-/// queries against the network's live/offline state.
+/// queries against the network's live/offline state. Replica targets are
+/// chosen by a pluggable PlacementPolicy; the default (null) policy is
+/// VanillaPolicy, which reproduces the historical uniform-shuffle placement
+/// byte for byte.
 class ReplicationManager {
  public:
-  explicit ReplicationManager(sim::Network& network);
+  /// `placement` is borrowed (not owned) and must outlive the manager; null
+  /// selects an internally owned VanillaPolicy.
+  explicit ReplicationManager(sim::Network& network,
+                              PlacementPolicy* placement = nullptr);
 
   /// Places `replicas` copies of the item on distinct nodes drawn from
-  /// `candidates` (uniformly at random). Returns the chosen replica set.
-  std::vector<sim::NodeAddr> place(const OverlayId& item, std::size_t replicas,
-                                   const std::vector<sim::NodeAddr>& candidates);
+  /// `candidates` (policy-ranked; VanillaPolicy = uniformly at random).
+  /// `owner` is the item's owning user — the social anchor recorded with the
+  /// item so repair() recruits with the same context. Returns the chosen
+  /// replica set in placement-preference order.
+  std::vector<sim::NodeAddr> place(
+      const OverlayId& item, std::size_t replicas,
+      const std::vector<sim::NodeAddr>& candidates,
+      std::optional<social::UserId> owner = std::nullopt);
 
   /// Maintenance pass: for every item whose ONLINE replica count fell below
   /// its placement target, recruits additional online candidates (and drops
@@ -59,12 +71,15 @@ class ReplicationManager {
   struct ItemState {
     std::vector<sim::NodeAddr> replicas;  // sorted ascending
     std::size_t target = 0;
+    std::optional<social::UserId> owner;  // social anchor for repair
   };
 
   ItemState* findItem(const OverlayId& item);
   const ItemState* findItem(const OverlayId& item) const;
 
   sim::Network& network_;
+  std::unique_ptr<PlacementPolicy> ownedPolicy_;  // when none was injected
+  PlacementPolicy* placement_;
   std::vector<std::pair<OverlayId, ItemState>> items_;  // sorted by id
 };
 

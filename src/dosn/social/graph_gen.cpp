@@ -98,4 +98,28 @@ SocialGraph barabasiAlbert(std::size_t n, std::size_t m, util::Rng& rng,
   return graph;
 }
 
+SocialGraph zipfFollower(std::size_t n, std::size_t followsPerUser,
+                         double exponent, util::Rng& rng, double minTrust) {
+  if (n < 2) throw std::invalid_argument("zipfFollower: n too small");
+  SocialGraph graph;
+  for (std::size_t i = 0; i < n; ++i) graph.addUser(syntheticUser(i));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < followsPerUser; ++f) {
+      // Rng::zipf returns a 0-based rank where rank 0 is the most popular;
+      // map ranks onto user indices directly so u0, u1, ... are the
+      // celebrities.
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const std::size_t t = rng.zipf(n, exponent);
+        if (t == i || graph.areFriends(syntheticUser(i), syntheticUser(t))) {
+          continue;
+        }
+        graph.addFriendship(syntheticUser(i), syntheticUser(t),
+                            randomTrust(rng, minTrust));
+        break;
+      }
+    }
+  }
+  return graph;
+}
+
 }  // namespace dosn::social

@@ -23,4 +23,14 @@ SocialGraph wattsStrogatz(std::size_t n, std::size_t k, double beta,
 SocialGraph barabasiAlbert(std::size_t n, std::size_t m, util::Rng& rng,
                            double minTrust = 0.5);
 
+/// Zipf-follower graph: every user befriends `followsPerUser` targets drawn
+/// from a Zipf(exponent) popularity distribution over user ranks — the
+/// celebrity-skewed follower structure microblog workloads assume (a few
+/// high-rank users collect most edges). Self-loops and duplicate picks are
+/// re-drawn with a bounded retry, so low-degree stragglers are possible in
+/// pathological parameterizations but the graph is always simple.
+SocialGraph zipfFollower(std::size_t n, std::size_t followsPerUser,
+                         double exponent, util::Rng& rng,
+                         double minTrust = 0.5);
+
 }  // namespace dosn::social

@@ -14,6 +14,8 @@
 #include "dosn/overlay/replication.hpp"
 #include "dosn/overlay/superpeer.hpp"
 #include "dosn/sim/churn.hpp"
+#include "dosn/sim/faults.hpp"
+#include "dosn/social/graph_gen.hpp"
 
 namespace dosn::overlay {
 namespace {
@@ -639,6 +641,76 @@ TEST(Replication, RepairRestoresTargetOnlineReplicas) {
   EXPECT_EQ(manager.onlineReplicas(item), 3u);
   // A second pass is a no-op.
   EXPECT_EQ(manager.repair(nodes), 0u);
+}
+
+TEST(Replication, SocialPlacementConvergesUnderChurnAndFaults) {
+  // Social placement under the PR 1 fault machinery: exponential churn plus
+  // a 20% global drop storm and a partition that heals. Faults shape message
+  // delivery, churn shapes the online set the repair loop recruits from —
+  // after everything heals, every item must be back at its full replication
+  // factor with no node holding two replicas of the same item.
+  util::Rng rng(42);
+  sim::Simulator sim;
+  sim::Network net(sim, sim::LatencyModel{}, rng);
+  std::vector<sim::NodeAddr> nodes;
+  for (int i = 0; i < 30; ++i) nodes.push_back(net.addNode());
+
+  util::Rng graphRng(7);
+  const social::SocialGraph graph =
+      social::zipfFollower(30, 4, 1.0, graphRng);
+  SocialPolicy policy(net, {&graph});
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    policy.bind(nodes[i], social::syntheticUser(i));
+    policy.bindId(nodes[i], OverlayId::hash("n" + std::to_string(i)));
+  }
+
+  sim::FaultPlan plan;
+  plan.between(2 * 60 * kSecond, 8 * 60 * kSecond,
+               sim::FaultRule::global().drop(0.2));
+  plan.partition("island", {nodes[0], nodes[1], nodes[2]}, 3 * 60 * kSecond,
+                 /*heal=*/9 * 60 * kSecond);
+  net.setFaultPlan(&plan);
+
+  ReplicationManager manager(net, &policy);
+  std::vector<OverlayId> items;
+  for (int i = 0; i < 20; ++i) {
+    const OverlayId item = OverlayId::hash("wall-" + std::to_string(i));
+    const auto chosen =
+        manager.place(item, 3, nodes, social::syntheticUser(i));
+    EXPECT_EQ(chosen.size(), 3u);
+    items.push_back(item);
+  }
+
+  sim::ChurnConfig churnConfig{240, 120, 0.8};
+  sim::ChurnProcess churn(net, churnConfig, nodes);
+  for (int minute = 1; minute <= 15; ++minute) {
+    sim.schedule(minute * 60 * kSecond, [&] {
+      manager.repair(nodes);
+      for (const OverlayId& item : items) {
+        const auto& replicas = manager.replicasOf(item);
+        for (std::size_t i = 1; i < replicas.size(); ++i) {
+          ASSERT_LT(replicas[i - 1], replicas[i])
+              << "duplicate replica placed on one node";
+        }
+      }
+    });
+  }
+  sim.runUntil(16 * 60 * kSecond);
+  churn.stop();
+  net.setFaultPlan(nullptr);
+
+  // Everything heals: one final repair restores every item to at least its
+  // full factor (repair never drops, so sets recruited during churn can
+  // exceed the target once offline replicas return).
+  for (const sim::NodeAddr node : nodes) net.setOnline(node, true);
+  manager.repair(nodes);
+  for (const OverlayId& item : items) {
+    EXPECT_GE(manager.onlineReplicas(item), 3u);
+    const auto& replicas = manager.replicasOf(item);
+    for (std::size_t i = 1; i < replicas.size(); ++i) {
+      EXPECT_LT(replicas[i - 1], replicas[i]);
+    }
+  }
 }
 
 TEST(Replication, RepairSkipsHealthyItems) {
