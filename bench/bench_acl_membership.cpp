@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "dosn/benchkit/benchkit.hpp"
+#include "dosn/policy/shamir.hpp"
 #include "dosn/privacy/abe_acl.hpp"
 #include "dosn/privacy/hybrid_acl.hpp"
 #include "dosn/privacy/ibbe_acl.hpp"
@@ -97,6 +98,55 @@ BENCH_SCENARIO(e2_members16_history8) { runSweep(ctx, 16, 8); }
 
 BENCH_SCENARIO(e2_members16_history32, {.skipInSmoke = true}) {
   runSweep(ctx, 16, 32);
+}
+
+// CP-ABE decryption's Lagrange interpolation (policy::shamirReconstruct,
+// called per satisfied threshold gate): one batch inversion over all
+// denominators vs one extended-Euclid per coefficient. Swept over the
+// share-set size so EXPERIMENTS.md can quote the 64-share speedup.
+BENCH_SCENARIO(e2_reconstruct_batch, {.hot = true}) {
+  util::Rng rng(ctx.seed());
+  const auto& field = policy::PrimeField::standard();
+  const std::size_t rounds = ctx.smoke() ? 1 : 50;
+  if (ctx.printing()) {
+    std::printf("E2: Shamir reconstruction, per-coefficient vs batched\n");
+  }
+  for (const std::size_t k : {1u, 4u, 16u, 64u}) {
+    if (ctx.smoke() && k > 4) continue;
+    const bignum::BigUint secret = field.reduce(bignum::randomBits(250, rng));
+    const auto shares = policy::shamirShare(field, secret, k, k, rng);
+    bignum::BigUint oldResult, newResult;
+    benchkit::Timer timer;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      // The retained reference: one field.inv per Lagrange coefficient.
+      bignum::BigUint acc{};
+      for (std::size_t i = 0; i < shares.size(); ++i) {
+        const auto li = policy::lagrangeCoefficientAtZero(field, shares, i);
+        acc = field.add(acc, field.mul(shares[i].y, li));
+      }
+      oldResult = acc;
+    }
+    const double oldMs = timer.ms();
+    timer.reset();
+    for (std::size_t r = 0; r < rounds; ++r) {
+      newResult = policy::shamirReconstruct(field, shares);
+    }
+    const double newMs = timer.ms();
+    ctx.require(oldResult == newResult && newResult == secret,
+                "reconstruction mismatch");
+    const std::string tag = std::to_string(k);
+    ctx.param("old_ms_per_reconstruct." + tag,
+              oldMs / static_cast<double>(rounds));
+    ctx.param("new_ms_per_reconstruct." + tag,
+              newMs / static_cast<double>(rounds));
+    ctx.param("speedup." + tag, oldMs / newMs);
+    if (ctx.printing()) {
+      std::printf("  k=%-4zu %10.4f -> %10.4f ms/reconstruct  %6.2fx\n", k,
+                  oldMs / static_cast<double>(rounds),
+                  newMs / static_cast<double>(rounds), oldMs / newMs);
+    }
+  }
+  ctx.counter("rounds", rounds);
 }
 
 BENCH_SCENARIO(e2_members64_history8, {.skipInSmoke = true}) {

@@ -7,6 +7,9 @@
 //   powMod           powModSimple              vs Montgomery powMod
 //   RSA sign         plain x^d mod n           vs CRT (dP/dQ/qInv)
 //   ElGamal-style    g^x via powModSimple      vs cached FixedBasePowerTable
+//   multiply         schoolbookMul             vs Karatsuba operator*
+//   batch inversion  per-element invMod        vs batchInvMod, sweep 1/4/16/64
+//   Schnorr page     per-item schnorrVerify    vs schnorrVerifyBatch, same sweep
 //
 // Runs on benchkit (BENCHMARKS.md): `--smoke` shrinks every kernel to one
 // iteration at 512 bits and asserts equality only — fast enough for CI
@@ -19,10 +22,12 @@
 #include <vector>
 
 #include "dosn/benchkit/benchkit.hpp"
+#include "dosn/bignum/batch.hpp"
 #include "dosn/bignum/modmath.hpp"
 #include "dosn/bignum/montgomery.hpp"
 #include "dosn/pkcrypto/group.hpp"
 #include "dosn/pkcrypto/rsa.hpp"
+#include "dosn/pkcrypto/schnorr.hpp"
 #include "dosn/util/rng.hpp"
 
 using namespace dosn;
@@ -157,6 +162,122 @@ void benchFixedBase(ScenarioContext& ctx, std::size_t bits, std::size_t iters) {
   report(ctx, name.c_str(), oldMs, newMs, iters);
 }
 
+// Chained wide multiply: schoolbook reference vs the Karatsuba operator*
+// (the crossover sits at 32 limbs = 1024 bits, so both sizes here recurse).
+void benchKaratsuba(ScenarioContext& ctx, std::size_t bits, std::size_t iters) {
+  util::Rng rng(ctx.seed() + 963);
+  const BigUint a = bignum::randomBits(bits, rng);
+  const BigUint b = bignum::randomBits(bits, rng);
+  const BigUint m = oddModulus(bits, rng);
+
+  // Feed each product back through % m so the operands stay at width and the
+  // multiply can't be hoisted.
+  BigUint accOld = a;
+  benchkit::Timer timer;
+  for (std::size_t i = 0; i < iters; ++i) {
+    accOld = bignum::schoolbookMul(accOld, b) % m;
+  }
+  const double oldMs = timer.ms();
+  BigUint accNew = a;
+  timer.reset();
+  for (std::size_t i = 0; i < iters; ++i) accNew = (accNew * b) % m;
+  const double newMs = timer.ms();
+  check(ctx, accOld, accNew, "karatsuba");
+  ctx.param("bits", static_cast<double>(bits));
+  const std::string name = "mul " + std::to_string(bits) + "-bit";
+  report(ctx, name.c_str(), oldMs, newMs, iters);
+}
+
+// Batch inversion sweep: n extended-Euclid invMod calls vs one batchInvMod
+// (1 invMod + 3(n-1) Montgomery multiplies). Reported per batch size so
+// EXPERIMENTS.md can quote the 64-element speedup directly.
+void benchBatchInv(ScenarioContext& ctx, std::size_t bits, std::size_t rounds) {
+  util::Rng rng(ctx.seed() + 964);
+  const BigUint m = oddModulus(bits, rng);
+  const bignum::MontgomeryContext mont(m);
+  if (ctx.printing()) printHeader();
+  for (const std::size_t n : {1u, 4u, 16u, 64u}) {
+    std::vector<BigUint> values;
+    while (values.size() < n) {
+      BigUint v = bignum::randomBits(bits - 1, rng);
+      if (bignum::invMod(v, m).has_value()) values.push_back(std::move(v));
+    }
+    std::vector<BigUint> oldInv(n), newInv;
+    benchkit::Timer timer;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (std::size_t i = 0; i < n; ++i) oldInv[i] = *bignum::invMod(values[i], m);
+    }
+    const double oldMs = timer.ms();
+    timer.reset();
+    for (std::size_t r = 0; r < rounds; ++r) {
+      newInv = *bignum::batchInvMod(values, mont);
+    }
+    const double newMs = timer.ms();
+    for (std::size_t i = 0; i < n; ++i) check(ctx, oldInv[i], newInv[i], "batchInv");
+    const std::string tag = std::to_string(n);
+    const double items = static_cast<double>(n * rounds);
+    ctx.param("old_ms_per_item." + tag, oldMs / items);
+    ctx.param("new_ms_per_item." + tag, newMs / items);
+    ctx.param("speedup." + tag, oldMs / newMs);
+    if (ctx.printing()) {
+      std::printf("  %-22s %10.4f %10.4f %8.2fx   (%zu rounds)\n",
+                  ("invMod batch n=" + tag).c_str(), oldMs / items,
+                  newMs / items, oldMs / newMs, rounds);
+    }
+  }
+  ctx.param("bits", static_cast<double>(bits));
+  ctx.counter("rounds", rounds);
+}
+
+// Feed-page Schnorr verification sweep: one-by-one schnorrVerify vs one
+// schnorrVerifyBatch call, single-author pages (the microblog shape) so the
+// batch amortizes the author-key subgroup check and fixed-base table.
+void benchSchnorrPage(ScenarioContext& ctx, std::size_t bits,
+                      std::size_t rounds) {
+  const auto& group = pkcrypto::DlogGroup::cached(bits);
+  util::Rng rng(ctx.seed() + 965);
+  const auto key = pkcrypto::schnorrGenerate(group, rng);
+  if (ctx.printing()) printHeader();
+  for (const std::size_t n : {1u, 4u, 16u, 64u}) {
+    std::vector<pkcrypto::SchnorrBatchItem> items;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto msg = util::toBytes("feed post " + std::to_string(i));
+      items.push_back(pkcrypto::SchnorrBatchItem{
+          key.pub, msg, pkcrypto::schnorrSign(group, key, msg, rng)});
+    }
+    bool oldOk = true;
+    benchkit::Timer timer;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (const auto& item : items) {
+        oldOk = pkcrypto::schnorrVerify(group, item.key, item.message,
+                                        item.sig) && oldOk;
+      }
+    }
+    const double oldMs = timer.ms();
+    bool newOk = true;
+    timer.reset();
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (const bool ok : pkcrypto::schnorrVerifyBatch(group, items)) {
+        newOk = newOk && ok;
+      }
+    }
+    const double newMs = timer.ms();
+    ctx.require(oldOk && newOk, "schnorr page verification failed");
+    const std::string tag = std::to_string(n);
+    const double itemCount = static_cast<double>(n * rounds);
+    ctx.param("old_ms_per_item." + tag, oldMs / itemCount);
+    ctx.param("new_ms_per_item." + tag, newMs / itemCount);
+    ctx.param("speedup." + tag, oldMs / newMs);
+    if (ctx.printing()) {
+      std::printf("  %-22s %10.4f %10.4f %8.2fx   (%zu rounds)\n",
+                  ("schnorr page n=" + tag).c_str(), oldMs / itemCount,
+                  newMs / itemCount, oldMs / newMs, rounds);
+    }
+  }
+  ctx.param("bits", static_cast<double>(bits));
+  ctx.counter("rounds", rounds);
+}
+
 }  // namespace
 
 // Smoke runs every kernel once at CI-friendly sizes (correctness-only, also
@@ -198,6 +319,30 @@ BENCH_SCENARIO(b1_fixed_base, {.hot = true}) {
     benchFixedBase(ctx, 512, 4);
   } else {
     benchFixedBase(ctx, 2048, 24);
+  }
+}
+
+BENCH_SCENARIO(b1_karatsuba, {.hot = true}) {
+  if (ctx.smoke()) {
+    benchKaratsuba(ctx, 2048, 4);
+  } else {
+    benchKaratsuba(ctx, 8192, 400);
+  }
+}
+
+BENCH_SCENARIO(b1_batch_inv, {.hot = true}) {
+  if (ctx.smoke()) {
+    benchBatchInv(ctx, 256, 1);
+  } else {
+    benchBatchInv(ctx, 256, 50);
+  }
+}
+
+BENCH_SCENARIO(b1_schnorr_page, {.hot = true}) {
+  if (ctx.smoke()) {
+    benchSchnorrPage(ctx, 256, 1);
+  } else {
+    benchSchnorrPage(ctx, 256, 8);
   }
 }
 

@@ -103,6 +103,103 @@ BENCH_SCENARIO(e10_zkp, {.hot = true}) {
   }
 }
 
+// Subscription-round batching: finalize n OPRF requests with one batch
+// inversion (oprfFinalizeBatch) vs one extended-Euclid inversion per tag.
+// Only the receiver-side finalize is timed — blinding and the sender's
+// evaluation are identical on both paths.
+BENCH_SCENARIO(e10_oprf_batch, {.hot = true}) {
+  util::Rng rng(ctx.seed());
+  const DlogGroup& group = DlogGroup::cached(256);
+  const OprfSender sender(group, rng);
+  const std::size_t rounds = ctx.smoke() ? 1 : 20;
+  for (const std::size_t n : sweep(ctx, {1, 4, 16, 64})) {
+    std::vector<OprfReceiver> receivers;
+    std::vector<bignum::BigUint> replies;
+    std::vector<const OprfReceiver*> ptrs;
+    for (std::size_t i = 0; i < n; ++i) {
+      receivers.emplace_back(group,
+                             util::toBytes("#tag" + std::to_string(i)), rng);
+      replies.push_back(sender.evaluateBlinded(receivers.back().blinded()));
+    }
+    for (const auto& r : receivers) ptrs.push_back(&r);
+    std::vector<util::Bytes> oldOut(n), newOut;
+    benchkit::Timer timer;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (std::size_t i = 0; i < n; ++i) {
+        oldOut[i] = receivers[i].finalize(replies[i]);
+      }
+    }
+    const double oldMs = timer.ms();
+    timer.reset();
+    for (std::size_t r = 0; r < rounds; ++r) {
+      newOut = oprfFinalizeBatch(ptrs, replies);
+    }
+    const double newMs = timer.ms();
+    ctx.require(oldOut == newOut, "batched OPRF outputs diverge");
+    const std::string tag = std::to_string(n);
+    const double items = static_cast<double>(n * rounds);
+    ctx.param("old_ms_per_item." + tag, oldMs / items);
+    ctx.param("new_ms_per_item." + tag, newMs / items);
+    ctx.param("speedup." + tag, oldMs / newMs);
+    if (ctx.printing()) {
+      std::printf("  oprf finalize batch n=%-4zu %8.4f -> %8.4f ms/item  %6.2fx\n",
+                  n, oldMs / items, newMs / items, oldMs / newMs);
+    }
+  }
+  ctx.counter("rounds", rounds);
+}
+
+// Access-check batching: verify a page of Schnorr proofs through the random-
+// linear-combination batch (one multi-exponentiation) vs one-by-one. The page
+// shape is the hot one from search/zkp_access: ONE pseudonym requesting n
+// resources (opening an album), so the key's subgroup check amortizes across
+// the page. With n distinct keys the batch does NOT pay — the per-item
+// subgroup checks (soundness-mandatory, DESIGN.md §3g) already cost what the
+// single path costs — so callers with mixed-key pages should expect parity,
+// not a win.
+BENCH_SCENARIO(e10_zkp_batch, {.hot = true}) {
+  util::Rng rng(ctx.seed());
+  const DlogGroup& group = DlogGroup::cached(256);
+  const SchnorrPrivateKey key = schnorrGenerate(group, rng);
+  const std::size_t rounds = ctx.smoke() ? 1 : 10;
+  for (const std::size_t n : sweep(ctx, {1, 4, 16, 64})) {
+    std::vector<SchnorrProofBatchItem> items;
+    for (std::size_t i = 0; i < n; ++i) {
+      const util::Bytes context = util::toBytes("album/" + std::to_string(i));
+      items.push_back(SchnorrProofBatchItem{
+          key.pub, context, schnorrProve(group, key, context, rng)});
+    }
+    bool oldOk = true;
+    benchkit::Timer timer;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (const auto& item : items) {
+        oldOk = schnorrProofVerify(group, item.key, item.context, item.proof) &&
+                oldOk;
+      }
+    }
+    const double oldMs = timer.ms();
+    bool newOk = true;
+    timer.reset();
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (const bool ok : schnorrProofVerifyBatch(group, items)) {
+        newOk = newOk && ok;
+      }
+    }
+    const double newMs = timer.ms();
+    ctx.require(oldOk && newOk, "ZKP batch verification failed");
+    const std::string tag = std::to_string(n);
+    const double itemCount = static_cast<double>(n * rounds);
+    ctx.param("old_ms_per_item." + tag, oldMs / itemCount);
+    ctx.param("new_ms_per_item." + tag, newMs / itemCount);
+    ctx.param("speedup." + tag, oldMs / newMs);
+    if (ctx.printing()) {
+      std::printf("  zkp verify batch n=%-4zu    %8.4f -> %8.4f ms/item  %6.2fx\n",
+                  n, oldMs / itemCount, newMs / itemCount, oldMs / newMs);
+    }
+  }
+  ctx.counter("rounds", rounds);
+}
+
 // Plain Schnorr signature (the §IV baseline all integrity uses).
 BENCH_SCENARIO(e10_schnorr_sign, {.hot = true}) {
   for (const std::size_t bits : sweep(ctx, {256, 512, 1024})) {

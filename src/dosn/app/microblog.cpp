@@ -387,6 +387,9 @@ void MicroblogNode::finishFetch(const std::shared_ptr<FetchState>& state) {
     }
     entries.push_back(record->entry);
   }
+  // verifyChain checks the whole fetched page's signatures in one
+  // schnorrVerifyBatch call (single-author pages amortize the author-key
+  // subgroup check and fixed-base table across every entry).
   if (!integrity::verifyChain(group_, state->authorKey, entries)) {
     failFetch(state, std::move(out));
     return;

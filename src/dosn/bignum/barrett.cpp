@@ -1,0 +1,60 @@
+#include "dosn/bignum/barrett.hpp"
+
+#include <array>
+
+#include "dosn/util/error.hpp"
+
+namespace dosn::bignum {
+
+BarrettReducer::BarrettReducer(const BigUint& modulus) : m_(modulus) {
+  if (m_ <= BigUint(1)) {
+    throw util::DosnError("BarrettReducer: modulus must be > 1");
+  }
+  k_ = (m_.bitLength() + 31) / 32;
+  mu_ = (BigUint(1) << (64 * k_)) / m_;
+}
+
+BigUint BarrettReducer::reduce(const BigUint& x) const {
+  if (x < m_) return x;
+  if (x.bitLength() > 64 * k_) return x % m_;  // outside the precomputed range
+  const BigUint q1 = x >> (32 * (k_ - 1));
+  const BigUint q3 = (q1 * mu_) >> (32 * (k_ + 1));
+  BigUint r = x - q3 * m_;
+  while (r >= m_) r = r - m_;  // at most two iterations (see header)
+  return r;
+}
+
+BigUint BarrettReducer::mulMod(const BigUint& a, const BigUint& b) const {
+  return reduce(reduce(a) * reduce(b));
+}
+
+BigUint BarrettReducer::powMod(const BigUint& base,
+                               const BigUint& exponent) const {
+  const std::size_t bits = exponent.bitLength();
+  if (bits == 0) return BigUint(1) % m_;
+
+  std::array<BigUint, 16> table;
+  table[0] = BigUint(1);
+  table[1] = reduce(base);
+  for (std::size_t i = 2; i < table.size(); ++i) {
+    table[i] = reduce(table[i - 1] * table[1]);
+  }
+
+  BigUint result(1);
+  const std::size_t windows = (bits + 3) / 4;
+  for (std::size_t w = windows; w-- > 0;) {
+    if (w + 1 != windows) {
+      for (int i = 0; i < 4; ++i) result = reduce(result * result);
+    }
+    std::uint32_t window = 0;
+    for (int i = 3; i >= 0; --i) {
+      window = (window << 1) |
+               static_cast<std::uint32_t>(
+                   exponent.bit(w * 4 + static_cast<std::size_t>(i)));
+    }
+    if (window != 0) result = reduce(result * table[window]);
+  }
+  return result;
+}
+
+}  // namespace dosn::bignum

@@ -1,0 +1,48 @@
+// Barrett reduction: division-free modular arithmetic for moduli where the
+// Montgomery machinery does not apply (even moduli — R = 2^(64k) and n must
+// be coprime there). One setup division computes mu = floor(b^(2k) / m) with
+// b = 2^32; every later reduction of an x < b^(2k) is two multiplies, two
+// shifts, and at most two correcting subtractions:
+//
+//   q3 = ((x >> 32(k-1)) * mu) >> 32(k+1)      — an underestimate of x / m
+//   r  = x - q3 * m                            — in [0, 3m), peel m off
+//
+// q3 <= floor(x/m) by construction, and the classic bound (Menezes, Handbook
+// of Applied Cryptography, Alg. 14.42) gives floor(x/m) - q3 <= 2, so r is
+// nonnegative and the correction loop runs at most twice.
+//
+// bignum::powMod dispatches here for even moduli > 1 and keeps powModSimple
+// as the retained differential-testing reference.
+#pragma once
+
+#include <cstddef>
+
+#include "dosn/bignum/biguint.hpp"
+
+namespace dosn::bignum {
+
+class BarrettReducer {
+ public:
+  /// Throws DosnError unless modulus > 1 (any parity accepted).
+  explicit BarrettReducer(const BigUint& modulus);
+
+  const BigUint& modulus() const { return m_; }
+
+  /// x mod m. Division-free for x < 2^(64k) (covers any product of two
+  /// reduced operands); wider inputs fall back to one exact division.
+  BigUint reduce(const BigUint& x) const;
+
+  /// (a * b) mod m via reduce; equals mulMod(a, b, m).
+  BigUint mulMod(const BigUint& a, const BigUint& b) const;
+
+  /// base^exponent mod m, 4-bit fixed window over Barrett multiplies; equals
+  /// powModSimple(base, exponent, m).
+  BigUint powMod(const BigUint& base, const BigUint& exponent) const;
+
+ private:
+  BigUint m_;
+  BigUint mu_;     // floor(b^(2k) / m), b = 2^32
+  std::size_t k_;  // 32-bit limbs in m
+};
+
+}  // namespace dosn::bignum

@@ -1,0 +1,73 @@
+#include "dosn/bignum/batch.hpp"
+
+#include <utility>
+
+#include "dosn/bignum/modmath.hpp"
+#include "dosn/util/error.hpp"
+
+namespace dosn::bignum {
+
+std::optional<std::vector<BigUint>> batchInvMod(
+    const std::vector<BigUint>& values, const BigUint& m) {
+  if (m.isZero()) throw util::DosnError("batchInvMod: zero modulus");
+  if (m.isOdd() && m > BigUint(1)) {
+    const MontgomeryContext ctx(m);
+    return batchInvMod(values, ctx);
+  }
+
+  // Even-modulus path: division-based multiplies (rare — no prime modulus in
+  // the library is even; kept for API completeness and differential tests).
+  const std::size_t n = values.size();
+  std::vector<BigUint> out(n);
+  if (n == 0) return out;
+  if (m == BigUint(1)) return out;  // invMod(a, 1) == 0 for every a
+
+  std::vector<BigUint> prefix(n);
+  prefix[0] = values[0] % m;
+  for (std::size_t i = 1; i < n; ++i) {
+    prefix[i] = mulMod(prefix[i - 1], values[i], m);
+  }
+  auto inv = invMod(prefix[n - 1], m);
+  if (!inv) return std::nullopt;  // some gcd(v_i, m) != 1
+  BigUint t = std::move(*inv);
+  for (std::size_t i = n; i-- > 1;) {
+    out[i] = mulMod(t, prefix[i - 1], m);
+    t = mulMod(t, values[i], m);
+  }
+  out[0] = std::move(t);
+  return out;
+}
+
+std::optional<std::vector<BigUint>> batchInvMod(
+    const std::vector<BigUint>& values, const MontgomeryContext& ctx) {
+  const std::size_t n = values.size();
+  std::vector<BigUint> out(n);
+  if (n == 0) return out;
+  if (ctx.modulus() == BigUint(1)) return out;
+
+  // Whole sweep in the Montgomery domain: one to/from conversion per element
+  // plus 3(n-1) CIOS multiplies — the conversions don't multiply up like they
+  // would through value-level mulMod calls.
+  using Limbs = MontgomeryContext::Limbs;
+  std::vector<Limbs> vm(n);
+  std::vector<Limbs> prefix(n);
+  for (std::size_t i = 0; i < n; ++i) vm[i] = ctx.toMont(values[i]);
+  prefix[0] = vm[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    prefix[i] = ctx.montMul(prefix[i - 1], vm[i]);
+  }
+  // fromMont strips the R factor the prefix carries; toMont after the
+  // inversion restores it, so the peeled products land back on plain values
+  // with a single montMul + fromMont each.
+  auto inv = invMod(ctx.fromMont(prefix[n - 1]), ctx.modulus());
+  if (!inv) return std::nullopt;  // some gcd(v_i, m) != 1
+  Limbs t = ctx.toMont(*inv);
+  for (std::size_t i = n; i-- > 1;) {
+    out[i] = ctx.fromMont(ctx.montMul(t, prefix[i - 1]));
+    t = ctx.montMul(t, vm[i]);
+  }
+  out[0] = ctx.fromMont(t);
+  return out;
+}
+
+}  // namespace dosn::bignum

@@ -1,0 +1,37 @@
+// Montgomery's batch-inversion trick: n modular inverses for the price of
+// ONE extended-Euclid invMod plus 3(n-1) modular multiplies. The hot-loop
+// consumers are OPRF unblinding (one inversion per tag otherwise), Schnorr
+// verification helpers, and Shamir/Lagrange reconstruction (one inversion per
+// coefficient otherwise).
+//
+//   prefix:  p_i = v_1 * v_2 * ... * v_i          (n-1 multiplies)
+//   invert:  t   = (p_n)^{-1}                     (one invMod)
+//   peel:    v_i^{-1} = t * p_{i-1};  t *= v_i    (2(n-1) multiplies)
+//
+// Inverses mod m are unique, so the outputs are byte-identical to calling
+// invMod element-wise — batching is a pure cost transformation.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dosn/bignum/biguint.hpp"
+#include "dosn/bignum/montgomery.hpp"
+
+namespace dosn::bignum {
+
+/// Inverts every values[i] mod m. Returns std::nullopt if ANY element is
+/// non-invertible (gcd(v_i, m) != 1 — the prefix product then shares that
+/// factor); callers needing per-element blame fall back to invMod
+/// element-wise. Odd moduli route the multiplies through a Montgomery
+/// context automatically.
+std::optional<std::vector<BigUint>> batchInvMod(
+    const std::vector<BigUint>& values, const BigUint& m);
+
+/// As above with a caller-provided Montgomery context (skips the per-call
+/// R^2 setup division when the caller already holds one, e.g. DlogGroup or
+/// PrimeField).
+std::optional<std::vector<BigUint>> batchInvMod(
+    const std::vector<BigUint>& values, const MontgomeryContext& ctx);
+
+}  // namespace dosn::bignum

@@ -16,6 +16,115 @@ int hexNibble(char c) {
   return -1;
 }
 
+using LimbVec = std::vector<std::uint32_t>;
+
+// Below this many limbs per operand (32 limbs = 1024 bits) the quadratic
+// multiply wins; above it Karatsuba's three half-size products beat four.
+constexpr std::size_t kKaratsubaLimbs = 32;
+
+// Schoolbook product of two raw limb spans; result has an + bn limbs (may
+// carry trailing zeros — callers trim).
+LimbVec mulSchoolbookSpans(const std::uint32_t* a, std::size_t an,
+                           const std::uint32_t* b, std::size_t bn) {
+  LimbVec out(an + bn, 0);
+  for (std::size_t i = 0; i < an; ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < bn; ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(out[i + j]) + ai * b[j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    out[i + bn] = static_cast<std::uint32_t>(carry);
+  }
+  return out;
+}
+
+// Plain limb-span addition (little-endian, carry kept).
+LimbVec addSpans(const std::uint32_t* a, std::size_t an,
+                 const std::uint32_t* b, std::size_t bn) {
+  const std::size_t n = std::max(an, bn);
+  LimbVec out;
+  out.reserve(n + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < an) sum += a[i];
+    if (i < bn) sum += b[i];
+    out.push_back(static_cast<std::uint32_t>(sum));
+    carry = sum >> 32;
+  }
+  if (carry) out.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+// a -= b in place; requires a >= b (guaranteed by the Karatsuba identity
+// z1 = (a0+a1)(b0+b1) - z0 - z2 >= 0).
+void subInPlace(LimbVec& a, const LimbVec& b) {
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow;
+    if (i < b.size()) diff -= b[i];
+    if (diff < 0) {
+      diff += (std::int64_t{1} << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    a[i] = static_cast<std::uint32_t>(diff);
+  }
+}
+
+// acc[off..] += v with carry propagation (acc is sized for the full product,
+// so the carry never runs off the end for a correct Karatsuba recombination).
+void addInto(LimbVec& acc, std::size_t off, const LimbVec& v) {
+  std::uint64_t carry = 0;
+  std::size_t k = off;
+  for (std::size_t i = 0; i < v.size(); ++i, ++k) {
+    const std::uint64_t sum = static_cast<std::uint64_t>(acc[k]) + v[i] + carry;
+    acc[k] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  while (carry && k < acc.size()) {
+    const std::uint64_t sum = static_cast<std::uint64_t>(acc[k]) + carry;
+    acc[k] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+    ++k;
+  }
+}
+
+// Karatsuba on raw spans: split both operands at limb m, recurse on the three
+// half-size products, recombine as z0 + z1*B^m + z2*B^2m.
+LimbVec mulKaratsubaSpans(const std::uint32_t* a, std::size_t an,
+                          const std::uint32_t* b, std::size_t bn) {
+  if (an == 0 || bn == 0) return {};
+  if (std::min(an, bn) < kKaratsubaLimbs) {
+    return mulSchoolbookSpans(a, an, b, bn);
+  }
+  const std::size_t m = (std::max(an, bn) + 1) / 2;
+  const std::size_t a0n = std::min(an, m);
+  const std::size_t b0n = std::min(bn, m);
+  const std::uint32_t* a1 = a + a0n;
+  const std::uint32_t* b1 = b + b0n;
+  const std::size_t a1n = an - a0n;
+  const std::size_t b1n = bn - b0n;
+
+  LimbVec z0 = mulKaratsubaSpans(a, a0n, b, b0n);
+  LimbVec z2 = mulKaratsubaSpans(a1, a1n, b1, b1n);
+  const LimbVec sa = addSpans(a, a0n, a1, a1n);
+  const LimbVec sb = addSpans(b, b0n, b1, b1n);
+  LimbVec z1 = mulKaratsubaSpans(sa.data(), sa.size(), sb.data(), sb.size());
+  subInPlace(z1, z0);
+  subInPlace(z1, z2);
+
+  LimbVec out(an + bn, 0);
+  addInto(out, 0, z0);
+  addInto(out, m, z1);
+  if (!z2.empty()) addInto(out, 2 * m, z2);
+  return out;
+}
+
 }  // namespace
 
 BigUint::BigUint(std::uint64_t value) {
@@ -210,24 +319,22 @@ BigUint BigUint::operator-(const BigUint& o) const {
 BigUint BigUint::operator*(const BigUint& o) const {
   if (isZero() || o.isZero()) return BigUint{};
   BigUint out;
-  out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
-  for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    std::uint64_t carry = 0;
-    const std::uint64_t a = limbs_[i];
-    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
-      const std::uint64_t cur =
-          static_cast<std::uint64_t>(out.limbs_[i + j]) + a * o.limbs_[j] + carry;
-      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
-    }
-    std::size_t k = i + o.limbs_.size();
-    while (carry) {
-      const std::uint64_t cur = static_cast<std::uint64_t>(out.limbs_[k]) + carry;
-      out.limbs_[k] = static_cast<std::uint32_t>(cur);
-      carry = cur >> 32;
-      ++k;
-    }
+  if (std::min(limbs_.size(), o.limbs_.size()) >= kKaratsubaLimbs) {
+    out.limbs_ = mulKaratsubaSpans(limbs_.data(), limbs_.size(),
+                                   o.limbs_.data(), o.limbs_.size());
+  } else {
+    out.limbs_ = mulSchoolbookSpans(limbs_.data(), limbs_.size(),
+                                    o.limbs_.data(), o.limbs_.size());
   }
+  out.trim();
+  return out;
+}
+
+BigUint schoolbookMul(const BigUint& a, const BigUint& b) {
+  if (a.isZero() || b.isZero()) return BigUint{};
+  BigUint out;
+  out.limbs_ = mulSchoolbookSpans(a.limbs_.data(), a.limbs_.size(),
+                                  b.limbs_.data(), b.limbs_.size());
   out.trim();
   return out;
 }

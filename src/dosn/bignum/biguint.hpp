@@ -2,8 +2,11 @@
 // cryptography in this repository (RSA, ElGamal, Schnorr, DH, OPRF).
 //
 // Representation: little-endian vector of 32-bit limbs with no trailing zero
-// limbs (zero is the empty vector). Schoolbook multiplication and Knuth
-// Algorithm D division; adequate for the 512-2048 bit moduli used here.
+// limbs (zero is the empty vector). Multiplication is schoolbook below 32
+// limbs and Karatsuba above (the crossover where the extra additions pay for
+// themselves at these operand shapes); division is Knuth Algorithm D.
+// schoolbookMul() retains the quadratic path as the differential-testing
+// reference for the Karatsuba split.
 #pragma once
 
 #include <cstdint>
@@ -90,8 +93,15 @@ class BigUint {
  private:
   void trim();
 
+  friend BigUint schoolbookMul(const BigUint& a, const BigUint& b);
+
   std::vector<std::uint32_t> limbs_;
 };
+
+/// The quadratic multiply, regardless of operand size — the retained simple
+/// path operator* is differential-tested against (operator* switches to
+/// Karatsuba above ~32 limbs).
+BigUint schoolbookMul(const BigUint& a, const BigUint& b);
 
 struct DivMod {
   BigUint quotient;

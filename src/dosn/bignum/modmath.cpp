@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "dosn/bignum/barrett.hpp"
 #include "dosn/bignum/montgomery.hpp"
 #include "dosn/util/error.hpp"
 
@@ -26,7 +27,7 @@ BigUint powMod(const BigUint& base, const BigUint& exponent, const BigUint& m) {
   if (m.isZero()) throw util::DosnError("powMod: zero modulus");
   if (m == BigUint(1)) return BigUint{};
   if (m.isOdd()) return MontgomeryContext(m).powMod(base, exponent);
-  return powModSimple(base, exponent, m);
+  return BarrettReducer(m).powMod(base, exponent);
 }
 
 BigUint powModSimple(const BigUint& base, const BigUint& exponent,

@@ -17,8 +17,8 @@ BigUint subMod(const BigUint& a, const BigUint& b, const BigUint& m);
 BigUint mulMod(const BigUint& a, const BigUint& b, const BigUint& m);
 
 /// base^exponent mod m. Odd moduli (every prime modulus in the library) take
-/// the Montgomery/CIOS fast path (montgomery.hpp); even moduli fall back to
-/// powModSimple. m must be nonzero.
+/// the Montgomery/CIOS fast path (montgomery.hpp); even moduli take Barrett
+/// reduction (barrett.hpp). m must be nonzero.
 BigUint powMod(const BigUint& base, const BigUint& exponent, const BigUint& m);
 
 /// The historical 4-bit-window square-and-multiply with a full division after

@@ -113,27 +113,49 @@ MontgomeryContext::Limbs MontgomeryContext::powMont(
   const std::size_t bits = exponent.bitLength();
   if (bits == 0) return one_;
 
-  // base^0..base^15, all in the Montgomery domain, for a 4-bit window.
-  std::array<Limbs, 16> table;
-  table[0] = one_;
-  table[1] = baseMont;
-  for (std::size_t i = 2; i < table.size(); ++i) {
-    table[i] = montMul(table[i - 1], baseMont);
+  // Sliding-window recoding: only odd powers base^1, base^3, .. base^(2^w - 1)
+  // are tabulated (half the table of a fixed window), and runs of zero bits
+  // cost squarings only. Width by exponent size: ~bits/(w+1) multiplies after
+  // the 2^(w-1)-entry table build.
+  const std::size_t w = bits <= 128 ? 4 : (bits <= 768 ? 5 : 6);
+  const std::size_t tableSize = std::size_t{1} << (w - 1);
+  std::vector<Limbs> table;
+  table.reserve(tableSize);
+  table.push_back(baseMont);
+  if (tableSize > 1) {
+    const Limbs baseSq = montMul(baseMont, baseMont);
+    for (std::size_t i = 1; i < tableSize; ++i) {
+      table.push_back(montMul(table.back(), baseSq));
+    }
   }
 
-  Limbs result = one_;
-  const std::size_t windows = (bits + 3) / 4;
-  for (std::size_t w = windows; w-- > 0;) {
-    if (w + 1 != windows) {
-      for (int i = 0; i < 4; ++i) result = montMul(result, result);
+  Limbs result;
+  bool started = false;
+  std::ptrdiff_t i = static_cast<std::ptrdiff_t>(bits) - 1;
+  while (i >= 0) {
+    if (!exponent.bit(static_cast<std::size_t>(i))) {
+      result = montMul(result, result);  // started is always true here: the
+      --i;                               // top bit of the exponent is set
+      continue;
     }
+    // Greedy window [i..l] with both end bits set, at most w bits wide; the
+    // window value is therefore odd and indexes the table directly.
+    std::ptrdiff_t l =
+        i >= static_cast<std::ptrdiff_t>(w) - 1 ? i - static_cast<std::ptrdiff_t>(w) + 1 : 0;
+    while (!exponent.bit(static_cast<std::size_t>(l))) ++l;
     std::uint32_t window = 0;
-    for (int i = 3; i >= 0; --i) {
+    for (std::ptrdiff_t j = i; j >= l; --j) {
       window = (window << 1) |
-               static_cast<std::uint32_t>(
-                   exponent.bit(w * 4 + static_cast<std::size_t>(i)));
+               static_cast<std::uint32_t>(exponent.bit(static_cast<std::size_t>(j)));
     }
-    if (window != 0) result = montMul(result, table[window]);
+    if (started) {
+      for (std::ptrdiff_t j = l; j <= i; ++j) result = montMul(result, result);
+      result = montMul(result, table[(window - 1) >> 1]);
+    } else {
+      result = table[(window - 1) >> 1];
+      started = true;
+    }
+    i = l - 1;
   }
   return result;
 }

@@ -45,8 +45,9 @@ class MontgomeryContext {
   /// CIOS multiply-reduce: a * b * R^{-1} mod n for Montgomery-domain a, b.
   Limbs montMul(const Limbs& a, const Limbs& b) const;
 
-  /// base^exponent mod n via a 4-bit window entirely in the Montgomery
-  /// domain; equals powModSimple(base, exponent, modulus()).
+  /// base^exponent mod n via sliding-window recoding (width 4-6 by exponent
+  /// size, odd powers only) entirely in the Montgomery domain; equals
+  /// powModSimple(base, exponent, modulus()).
   BigUint powMod(const BigUint& base, const BigUint& exponent) const;
   /// As powMod but in-domain at both ends: baseMont is Montgomery-form and so
   /// is the result (Miller-Rabin keeps squaring the result afterwards).

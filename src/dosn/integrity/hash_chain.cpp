@@ -1,5 +1,7 @@
 #include "dosn/integrity/hash_chain.hpp"
 
+#include <algorithm>
+
 #include "dosn/util/codec.hpp"
 #include "dosn/util/error.hpp"
 
@@ -70,18 +72,27 @@ crypto::Digest Timeline::head() const {
 bool verifyChain(const pkcrypto::DlogGroup& group,
                  const pkcrypto::SchnorrPublicKey& publisherKey,
                  const std::vector<ChainEntry>& entries) {
+  // Structural pass first (cheap hashing), then every signature of the page
+  // in ONE schnorrVerifyBatch call — a single-publisher chain is exactly the
+  // same-key shape the batch amortizes best (subgroup check and fixed-base
+  // table once for the whole page instead of per entry).
   crypto::Digest expectedPrev{};
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const ChainEntry& entry = entries[i];
     if (entry.seq != i) return false;
     if (entry.prev != expectedPrev) return false;
-    if (!pkcrypto::schnorrVerify(group, publisherKey, entry.signedBytes(),
-                                 entry.signature)) {
-      return false;
-    }
     expectedPrev = entry.entryHash();
   }
-  return true;
+  std::vector<pkcrypto::SchnorrBatchItem> items;
+  items.reserve(entries.size());
+  for (const ChainEntry& entry : entries) {
+    items.push_back(pkcrypto::SchnorrBatchItem{publisherKey,
+                                               entry.signedBytes(),
+                                               entry.signature});
+  }
+  const std::vector<bool> results = pkcrypto::schnorrVerifyBatch(group, items);
+  return std::all_of(results.begin(), results.end(),
+                     [](bool ok) { return ok; });
 }
 
 bool provablyPrecedes(const std::vector<ChainEntry>& entries, std::size_t i,

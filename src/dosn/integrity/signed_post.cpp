@@ -51,4 +51,27 @@ bool verifyPost(const pkcrypto::DlogGroup& group,
                                  signedPost.signature);
 }
 
+std::vector<bool> verifyPostsBatch(const pkcrypto::DlogGroup& group,
+                                   const social::IdentityRegistry& registry,
+                                   const std::vector<SignedPost>& posts) {
+  std::vector<bool> out(posts.size(), false);
+  // Posts whose claimed author is unregistered reject up front and are left
+  // out of the batch; the rest verify in one call, grouped by key inside.
+  std::vector<pkcrypto::SchnorrBatchItem> items;
+  std::vector<std::size_t> mapping;
+  items.reserve(posts.size());
+  mapping.reserve(posts.size());
+  for (std::size_t i = 0; i < posts.size(); ++i) {
+    const auto identity = registry.lookup(posts[i].post.author);
+    if (!identity) continue;
+    items.push_back(pkcrypto::SchnorrBatchItem{identity->signingKey,
+                                               posts[i].post.serialize(),
+                                               posts[i].signature});
+    mapping.push_back(i);
+  }
+  const std::vector<bool> results = pkcrypto::schnorrVerifyBatch(group, items);
+  for (std::size_t k = 0; k < mapping.size(); ++k) out[mapping[k]] = results[k];
+  return out;
+}
+
 }  // namespace dosn::integrity

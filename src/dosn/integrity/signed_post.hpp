@@ -4,6 +4,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "dosn/pkcrypto/schnorr.hpp"
 #include "dosn/social/content.hpp"
@@ -31,5 +32,13 @@ SignedPost signPost(const pkcrypto::DlogGroup& group,
 bool verifyPost(const pkcrypto::DlogGroup& group,
                 const social::IdentityRegistry& registry,
                 const SignedPost& signedPost);
+
+/// Verifies a fetched page of posts in one schnorrVerifyBatch call;
+/// result[i] == verifyPost(posts[i]) for every i. Feed ingestion
+/// (app/microblog) calls this so a page from one author pays the author-key
+/// subgroup check once rather than per post.
+std::vector<bool> verifyPostsBatch(const pkcrypto::DlogGroup& group,
+                                   const social::IdentityRegistry& registry,
+                                   const std::vector<SignedPost>& posts);
 
 }  // namespace dosn::integrity

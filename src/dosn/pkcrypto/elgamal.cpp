@@ -27,8 +27,16 @@ ElGamalElementCiphertext elgamalEncryptElement(const DlogGroup& group,
 BigUint elgamalDecryptElement(const DlogGroup& group,
                               const ElGamalPrivateKey& key,
                               const ElGamalElementCiphertext& ct) {
-  const BigUint shared = group.exp(ct.c1, key.x);
-  return group.mul(ct.c2, group.inv(shared));
+  // Fermat: c1^{p-1} == 1 for any unit c1 mod the prime p, so the shared
+  // secret's inverse c1^{-x} is c1^{p-1-x} — one exponentiation replaces
+  // the historical exp + extended-Euclid inversion, same value. Non-unit c1
+  // (≡ 0 mod p) still rejects, as inv() did.
+  if ((ct.c1 % group.p()).isZero()) {
+    throw util::CryptoError("elgamal: ciphertext not a unit");
+  }
+  const BigUint pm1 = group.p() - BigUint(1);
+  const BigUint sharedInv = group.exp(ct.c1, pm1 - key.x % pm1);
+  return group.mul(ct.c2, sharedInv);
 }
 
 util::Bytes elgamalEncrypt(const DlogGroup& group, const ElGamalPublicKey& key,

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <string>
 
+#include "dosn/bignum/batch.hpp"
 #include "dosn/bignum/prime.hpp"
 #include "dosn/crypto/sha256.hpp"
 #include "dosn/util/error.hpp"
@@ -82,6 +83,12 @@ const bignum::FixedBasePowerTable& fixedBasePowerTable(
 DlogGroup::DlogGroup(BigUint p, BigUint q, BigUint g)
     : p_(std::move(p)), q_(std::move(q)), g_(std::move(g)) {
   if (p_ < BigUint(7)) throw util::CryptoError("DlogGroup: modulus too small");
+  if (p_.isOdd()) {
+    pCtx_ = std::make_shared<const bignum::MontgomeryContext>(p_);
+  }
+  if (q_.isOdd() && q_ > BigUint(1)) {
+    qCtx_ = std::make_shared<const bignum::MontgomeryContext>(q_);
+  }
 }
 
 DlogGroup DlogGroup::generate(std::size_t bits, util::Rng& rng) {
@@ -116,10 +123,14 @@ BigUint DlogGroup::exp(const BigUint& e) const {
 }
 
 BigUint DlogGroup::exp(const BigUint& b, const BigUint& e) const {
+  // The cached context skips the per-call R^2 setup division that a plain
+  // powMod(b, e, p_) would pay; the value is identical.
+  if (pCtx_) return pCtx_->powMod(b, e);
   return powMod(b, e, p_);
 }
 
 BigUint DlogGroup::mul(const BigUint& a, const BigUint& b) const {
+  if (pCtx_) return pCtx_->mulMod(a, b);
   return mulMod(a, b, p_);
 }
 
@@ -140,6 +151,16 @@ BigUint DlogGroup::scalarInv(const BigUint& s) const {
   const auto result = invMod(s, q_);
   if (!result) throw util::CryptoError("DlogGroup::scalarInv: not invertible");
   return *result;
+}
+
+std::vector<BigUint> DlogGroup::scalarInvBatch(
+    const std::vector<BigUint>& scalars) const {
+  auto result = qCtx_ ? bignum::batchInvMod(scalars, *qCtx_)
+                      : bignum::batchInvMod(scalars, q_);
+  if (!result) {
+    throw util::CryptoError("DlogGroup::scalarInvBatch: not invertible");
+  }
+  return std::move(*result);
 }
 
 BigUint DlogGroup::hashToGroup(util::BytesView input) const {
@@ -164,6 +185,7 @@ BigUint DlogGroup::hashToScalar(util::BytesView input) const {
 
 bool DlogGroup::isElement(const BigUint& x) const {
   if (x.isZero() || x >= p_) return false;
+  if (pCtx_) return pCtx_->powMod(x, q_) == BigUint(1);
   return powMod(x, q_, p_) == BigUint(1);
 }
 

@@ -7,6 +7,9 @@
 // (seed 42); 1024/2048-bit groups are the RFC 2409 / RFC 3526 MODP groups.
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "dosn/bignum/biguint.hpp"
 #include "dosn/bignum/modmath.hpp"
 #include "dosn/bignum/montgomery.hpp"
@@ -50,6 +53,11 @@ class DlogGroup {
   BigUint randomScalar(util::Rng& rng) const;
   /// Scalar inverse mod q.
   BigUint scalarInv(const BigUint& s) const;
+  /// All scalar inverses mod q in one extended-Euclid call (Montgomery's
+  /// batch-inversion trick, bignum/batch.hpp); element i equals
+  /// scalarInv(scalars[i]) byte-for-byte. Throws if any scalar is not
+  /// invertible.
+  std::vector<BigUint> scalarInvBatch(const std::vector<BigUint>& scalars) const;
   /// Hash arbitrary bytes to a group element: g^{H(x) mod q}.
   BigUint hashToGroup(util::BytesView input) const;
   /// Hash arbitrary bytes to a scalar mod q.
@@ -61,10 +69,19 @@ class DlogGroup {
   /// Serialized element width in bytes (elements are fixed-width encoded).
   std::size_t elementBytes() const { return (p_.bitLength() + 7) / 8; }
 
+  /// The group's cached Montgomery context for p — shared by exp/mul/
+  /// isElement so no caller pays the R^2 setup division per operation.
+  /// Null only if p is even (never for a valid safe prime).
+  const bignum::MontgomeryContext* montContext() const { return pCtx_.get(); }
+
  private:
   BigUint p_;
   BigUint q_;
   BigUint g_;
+  // Built once in the constructor; copies of the group share them. Null when
+  // the respective modulus is even (degenerate parameters only).
+  std::shared_ptr<const bignum::MontgomeryContext> pCtx_;
+  std::shared_ptr<const bignum::MontgomeryContext> qCtx_;
 };
 
 }  // namespace dosn::pkcrypto

@@ -1,0 +1,59 @@
+#include "dosn/pkcrypto/multiexp.hpp"
+
+#include <algorithm>
+
+namespace dosn::pkcrypto {
+
+using Limbs = bignum::MontgomeryContext::Limbs;
+
+BigUint dualPowMod(const bignum::MontgomeryContext& ctx, const BigUint& b1,
+                   const BigUint& e1, const BigUint& b2, const BigUint& e2) {
+  // Shamir's trick: one squaring chain over max(|e1|, |e2|) bits, with the
+  // joint table {b1, b2, b1*b2} so a position where both exponents have a set
+  // bit still costs a single multiply.
+  const Limbs m1 = ctx.toMont(b1);
+  const Limbs m2 = ctx.toMont(b2);
+  const Limbs table[3] = {m1, m2, ctx.montMul(m1, m2)};
+
+  const std::size_t bits = std::max(e1.bitLength(), e2.bitLength());
+  Limbs acc = ctx.one();
+  bool started = false;
+  for (std::size_t i = bits; i-- > 0;) {
+    if (started) acc = ctx.montMul(acc, acc);
+    const unsigned idx = static_cast<unsigned>(e1.bit(i)) |
+                         (static_cast<unsigned>(e2.bit(i)) << 1);
+    if (idx != 0) {
+      acc = started ? ctx.montMul(acc, table[idx - 1]) : table[idx - 1];
+      started = true;
+    }
+  }
+  return ctx.fromMont(acc);
+}
+
+BigUint multiPowMod(const bignum::MontgomeryContext& ctx,
+                    const std::vector<PowTerm>& terms) {
+  // Strauss interleaving: every term rides the same squaring chain, so k
+  // n-bit terms cost n squarings total (not k*n) plus one multiply per set
+  // exponent bit.
+  std::vector<Limbs> bases;
+  bases.reserve(terms.size());
+  std::size_t bits = 0;
+  for (const PowTerm& t : terms) {
+    bases.push_back(ctx.toMont(t.base));
+    bits = std::max(bits, t.exponent.bitLength());
+  }
+
+  Limbs acc = ctx.one();
+  bool started = false;
+  for (std::size_t i = bits; i-- > 0;) {
+    if (started) acc = ctx.montMul(acc, acc);
+    for (std::size_t t = 0; t < terms.size(); ++t) {
+      if (!terms[t].exponent.bit(i)) continue;
+      acc = started ? ctx.montMul(acc, bases[t]) : bases[t];
+      started = true;
+    }
+  }
+  return ctx.fromMont(acc);
+}
+
+}  // namespace dosn::pkcrypto

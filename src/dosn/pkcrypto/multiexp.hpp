@@ -1,0 +1,39 @@
+// Multi-exponentiation (Shamir's trick / Strauss interleaving): evaluate
+// products of powers b1^e1 * b2^e2 * ... mod p sharing ONE squaring chain
+// instead of one per term. With k terms of n-bit exponents the naive route
+// costs ~k*n squarings + k*n/2 multiplies; interleaving costs n squarings +
+// k*n/2 multiplies — the squaring work is amortized k-fold.
+//
+// Consumers: the random-linear-combination combined check in
+// schnorrProofVerifyBatch (2k variable bases per batch) and Schnorr/ElGamal
+// verification shapes of the form g^s * y^e.
+#pragma once
+
+#include <vector>
+
+#include "dosn/bignum/biguint.hpp"
+#include "dosn/bignum/montgomery.hpp"
+
+namespace dosn::pkcrypto {
+
+using bignum::BigUint;
+
+/// One base^exponent term of a multi-exponentiation product.
+struct PowTerm {
+  BigUint base;
+  BigUint exponent;
+};
+
+/// b1^e1 * b2^e2 mod ctx.modulus() — Shamir's trick with the joint 2-bit
+/// window {b1, b2, b1*b2}; equals powModSimple(b1,e1,m) * powModSimple(
+/// b2,e2,m) mod m.
+BigUint dualPowMod(const bignum::MontgomeryContext& ctx, const BigUint& b1,
+                   const BigUint& e1, const BigUint& b2, const BigUint& e2);
+
+/// Product of terms[i].base ^ terms[i].exponent mod ctx.modulus(), Strauss
+/// interleaving with a per-term odd-powers window table (width 4). Empty
+/// input returns 1 mod m.
+BigUint multiPowMod(const bignum::MontgomeryContext& ctx,
+                    const std::vector<PowTerm>& terms);
+
+}  // namespace dosn::pkcrypto

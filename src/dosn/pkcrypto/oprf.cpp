@@ -54,4 +54,32 @@ util::Bytes OprfReceiver::finalize(const BigUint& reply) const {
   return outputHash(group_, input_, unblinded);
 }
 
+std::vector<util::Bytes> oprfFinalizeBatch(
+    const std::vector<const OprfReceiver*>& receivers,
+    const std::vector<BigUint>& replies) {
+  if (receivers.size() != replies.size()) {
+    throw util::CryptoError("oprfFinalizeBatch: size mismatch");
+  }
+  std::vector<util::Bytes> out(receivers.size());
+  if (receivers.empty()) return out;
+
+  const DlogGroup& group = receivers.front()->group_;
+  std::vector<BigUint> blinds;
+  blinds.reserve(receivers.size());
+  for (std::size_t i = 0; i < receivers.size(); ++i) {
+    if (!group.isElement(replies[i])) {
+      throw util::CryptoError("OprfReceiver: reply not a group element");
+    }
+    blinds.push_back(receivers[i]->r_);
+  }
+  // One extended-Euclid for the whole page; inverses are unique mod q, so
+  // each output matches the per-receiver finalize byte-for-byte.
+  const std::vector<BigUint> inverses = group.scalarInvBatch(blinds);
+  for (std::size_t i = 0; i < receivers.size(); ++i) {
+    const BigUint unblinded = group.exp(replies[i], inverses[i]);
+    out[i] = outputHash(group, receivers[i]->input_, unblinded);
+  }
+  return out;
+}
+
 }  // namespace dosn::pkcrypto

@@ -7,6 +7,8 @@
 //   Receiver: f = H2(x, b^{1/r})               <--b--
 #pragma once
 
+#include <vector>
+
 #include "dosn/pkcrypto/group.hpp"
 #include "dosn/util/bytes.hpp"
 #include "dosn/util/rng.hpp"
@@ -44,10 +46,23 @@ class OprfReceiver {
   util::Bytes finalize(const BigUint& reply) const;
 
  private:
+  friend std::vector<util::Bytes> oprfFinalizeBatch(
+      const std::vector<const OprfReceiver*>& receivers,
+      const std::vector<BigUint>& replies);
+
   const DlogGroup& group_;
   util::Bytes input_;
   BigUint r_;
   BigUint blinded_;
 };
+
+/// Finalizes many receivers at once (all over the SAME group): the per-tag
+/// scalar inversion 1/r_i — one extended-Euclid each on the single path —
+/// collapses into one batch inversion (bignum/batch.hpp). Element i equals
+/// receivers[i]->finalize(replies[i]) byte-for-byte. Throws like finalize on
+/// a non-element reply; sizes must match.
+std::vector<util::Bytes> oprfFinalizeBatch(
+    const std::vector<const OprfReceiver*>& receivers,
+    const std::vector<BigUint>& replies);
 
 }  // namespace dosn::pkcrypto

@@ -1,7 +1,11 @@
 #include "dosn/pkcrypto/schnorr.hpp"
 
+#include <map>
+#include <optional>
+
 #include "dosn/bignum/modmath.hpp"
 #include "dosn/crypto/sha256.hpp"
+#include "dosn/pkcrypto/multiexp.hpp"
 #include "dosn/util/codec.hpp"
 #include "dosn/util/error.hpp"
 
@@ -69,11 +73,55 @@ bool schnorrVerify(const DlogGroup& group, const SchnorrPublicKey& key,
                    util::BytesView message, const SchnorrSignature& sig) {
   if (sig.s >= group.q() || sig.e >= group.q()) return false;
   if (!group.isElement(key.y)) return false;
-  // r' = g^s * y^{-e}
+  // r' = g^s * y^{-e}, with y^{-e} computed as y^{q-e}: the isElement check
+  // just established y^q == 1, so the extended-Euclid inversion of the
+  // historical path is unnecessary (e == 0 gives y^q == 1 == y^0 inverted).
   const BigUint gs = group.exp(sig.s);
-  const BigUint ye = group.exp(key.y, sig.e);
-  const BigUint r = group.mul(gs, group.inv(ye));
+  const BigUint ypow = group.exp(key.y, group.q() - sig.e);
+  const BigUint r = group.mul(gs, ypow);
   return challengeHash(group, r, key.y, message) == sig.e;
+}
+
+std::vector<bool> schnorrVerifyBatch(
+    const DlogGroup& group, const std::vector<SchnorrBatchItem>& items) {
+  std::vector<bool> out(items.size(), false);
+  if (items.empty()) return out;
+
+  // Bucket item indices by public key: subgroup membership — a full q-bit
+  // exponentiation, the single most expensive step of one-by-one
+  // verification — is paid once per DISTINCT key.
+  std::map<BigUint, std::vector<std::size_t>> byKey;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    byKey[items[i].key.y].push_back(i);
+  }
+
+  // A fixed-base window table costs ~3 exponentiations to build and ~0.25
+  // per pow() afterwards, so it pays for itself from 4 items per key up
+  // (single-author feed pages land here).
+  constexpr std::size_t kTableThreshold = 4;
+
+  for (const auto& [y, idxs] : byKey) {
+    if (!group.isElement(y)) continue;  // every item under this key rejects
+    std::optional<bignum::FixedBasePowerTable> yTable;
+    if (idxs.size() >= kTableThreshold) {
+      yTable.emplace(y, group.p(), group.p().bitLength());
+    }
+    for (const std::size_t i : idxs) {
+      const SchnorrSignature& sig = items[i].sig;
+      if (sig.s >= group.q() || sig.e >= group.q()) continue;
+      const BigUint qe = group.q() - sig.e;  // y^{-e} == y^{q-e}, as above
+      const BigUint ypow = yTable ? yTable->pow(qe) : group.exp(y, qe);
+      const BigUint r = group.mul(group.exp(sig.s), ypow);
+      bool ok = challengeHash(group, r, y, items[i].message) == sig.e;
+      if (!ok) {
+        // Fallback contract: the retained one-by-one path arbitrates every
+        // rejection, so a batch "no" is always a single-verify "no".
+        ok = schnorrVerify(group, items[i].key, items[i].message, sig);
+      }
+      out[i] = ok;
+    }
+  }
+  return out;
 }
 
 SchnorrProver::SchnorrProver(const DlogGroup& group,
@@ -129,12 +177,104 @@ SchnorrProof schnorrProve(const DlogGroup& group, const SchnorrPrivateKey& key,
 
 bool schnorrProofVerify(const DlogGroup& group, const SchnorrPublicKey& key,
                         util::BytesView context, const SchnorrProof& proof) {
-  if (!group.isElement(proof.r) || !group.isElement(key.y)) return false;
+  // A full isElement(r) is unnecessary: with r in canonical range, y in the
+  // subgroup and the equation g^s == r * y^c holding, r equals the subgroup
+  // element g^s * y^{-c} — so r's membership is implied, and when the
+  // equation fails we reject regardless. Accept set is identical to the
+  // historical explicit-check version, one q-bit exponentiation cheaper.
+  if (proof.r.isZero() || proof.r >= group.p()) return false;
+  if (!group.isElement(key.y)) return false;
   if (proof.s >= group.q()) return false;
   const BigUint c = challengeHash(group, proof.r, key.y, context);
   const BigUint lhs = group.exp(proof.s);
   const BigUint rhs = group.mul(proof.r, group.exp(key.y, c));
   return lhs == rhs;
+}
+
+std::vector<bool> schnorrProofVerifyBatch(
+    const DlogGroup& group, const std::vector<SchnorrProofBatchItem>& items) {
+  std::vector<bool> out(items.size(), false);
+  if (items.empty()) return out;
+  const bignum::MontgomeryContext* ctx = group.montContext();
+  if (!ctx || items.size() == 1) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      out[i] = schnorrProofVerify(group, items[i].key, items[i].context,
+                                  items[i].proof);
+    }
+    return out;
+  }
+
+  // Structural pass: s < q per item, y in the subgroup once per distinct
+  // key, and r in the subgroup per item. r's membership must be EXPLICIT
+  // here (unlike the single path): the combined equation only constrains the
+  // product of the r_i^{z_i}, so an order-2 component on one r_i could
+  // vanish under an even z_i instead of forcing a rejection.
+  std::map<BigUint, bool> keyOk;
+  std::vector<std::size_t> live;
+  std::vector<BigUint> challenges(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto [it, inserted] = keyOk.try_emplace(items[i].key.y, false);
+    if (inserted) it->second = group.isElement(items[i].key.y);
+    if (!it->second) continue;
+    if (items[i].proof.s >= group.q()) continue;
+    if (!group.isElement(items[i].proof.r)) continue;
+    challenges[i] =
+        challengeHash(group, items[i].proof.r, items[i].key.y, items[i].context);
+    live.push_back(i);
+  }
+  if (live.empty()) return out;
+
+  // 128-bit coefficients z_i from a hash over the whole batch: deterministic
+  // (no RNG consumed — seeded simulations stay byte-identical) and fixed
+  // only after every item is, so no item can be chosen against its z.
+  util::Writer seedW;
+  for (const std::size_t i : live) {
+    seedW.bytes(items[i].key.y.toBytes());
+    seedW.bytes(items[i].context);
+    seedW.bytes(items[i].proof.r.toBytes());
+    seedW.bytes(items[i].proof.s.toBytes());
+  }
+  const auto seed = crypto::sha256(seedW.buffer());
+
+  BigUint sSum{};
+  std::vector<PowTerm> terms;
+  terms.reserve(live.size() + keyOk.size());
+  // The r_i are distinct per proof, but keys repeat across an access page
+  // (one pseudonym opening an album); since y^q == 1 held above, all of one
+  // key's terms fold into a single y^{sum z_i c_i mod q}, leaving only the
+  // short 128-bit z_i exponents on the per-item side.
+  std::map<BigUint, BigUint> keyExponent;
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    const std::size_t i = live[k];
+    util::Writer zw;
+    zw.raw(util::BytesView(seed.data(), seed.size()));
+    zw.u64(static_cast<std::uint64_t>(k));
+    const auto digest = crypto::sha256(zw.buffer());
+    BigUint z = BigUint::fromBytes(util::BytesView(digest.data(), 16));
+    if (z.isZero()) z = BigUint(1);
+    sSum = addMod(sSum, mulMod(z, items[i].proof.s, group.q()), group.q());
+    terms.push_back(PowTerm{items[i].proof.r, z});
+    BigUint& acc = keyExponent[items[i].key.y];
+    acc = addMod(acc, mulMod(z, challenges[i], group.q()), group.q());
+  }
+  for (const auto& [y, e] : keyExponent) terms.push_back(PowTerm{y, e});
+
+  // g^{sum z_i s_i} == prod r_i^{z_i} * prod_y y^{sum z_i c_i}: all variable
+  // bases share one squaring chain (multiPowMod), and the g side rides the
+  // cached fixed-base table.
+  const BigUint lhs = group.exp(sSum);
+  const BigUint rhs = multiPowMod(*ctx, terms);
+  if (lhs == rhs) {
+    for (const std::size_t i : live) out[i] = true;
+    return out;
+  }
+  // Fallback contract: a failed combined check isolates the offender(s) by
+  // re-verifying every structurally-sound item one-by-one.
+  for (const std::size_t i : live) {
+    out[i] = schnorrProofVerify(group, items[i].key, items[i].context,
+                                items[i].proof);
+  }
+  return out;
 }
 
 }  // namespace dosn::pkcrypto

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "dosn/pkcrypto/group.hpp"
 #include "dosn/util/bytes.hpp"
@@ -37,6 +38,28 @@ SchnorrSignature schnorrSign(const DlogGroup& group,
 
 bool schnorrVerify(const DlogGroup& group, const SchnorrPublicKey& key,
                    util::BytesView message, const SchnorrSignature& sig);
+
+/// One (key, message, signature) triple of a batched verification.
+struct SchnorrBatchItem {
+  SchnorrPublicKey key;
+  util::Bytes message;
+  SchnorrSignature sig;
+};
+
+/// Verifies a page of signatures; result[i] == schnorrVerify(item i) for
+/// every i (same accept set — batching here is amortization, not a
+/// probabilistic check, because the compact (e, s) form pins each r_i
+/// through the challenge hash; DESIGN.md §3g).
+///
+/// Cost wins over one-by-one: subgroup membership of each DISTINCT key is
+/// checked once per batch instead of per item; keys appearing >= 4 times get
+/// a per-batch fixed-base window table (feed pages are single-author, so
+/// this is the common case); and y^{-e} is computed inversion-free as
+/// y^{q-e}. Items failing the challenge-hash check are re-verified through
+/// plain schnorrVerify, so the one-by-one path remains the arbiter of every
+/// rejection (fallback contract).
+std::vector<bool> schnorrVerifyBatch(const DlogGroup& group,
+                                     const std::vector<SchnorrBatchItem>& items);
 
 /// Interactive Schnorr identification (honest-verifier ZKP).
 ///
@@ -88,5 +111,28 @@ SchnorrProof schnorrProve(const DlogGroup& group, const SchnorrPrivateKey& key,
 
 bool schnorrProofVerify(const DlogGroup& group, const SchnorrPublicKey& key,
                         util::BytesView context, const SchnorrProof& proof);
+
+/// One (key, context, proof) triple of a batched proof verification.
+struct SchnorrProofBatchItem {
+  SchnorrPublicKey key;
+  util::Bytes context;
+  SchnorrProof proof;
+};
+
+/// Verifies a page of non-interactive proofs with random-linear-combination
+/// batching: after per-item structural checks (r, y in the subgroup, s < q),
+/// one combined equation
+///
+///   g^{sum z_i s_i mod q}  ==  prod r_i^{z_i} * prod y_i^{z_i c_i mod q}
+///
+/// is evaluated via multiPowMod, with 128-bit coefficients z_i derived
+/// deterministically by hashing the whole batch (no RNG is consumed — seeded
+/// simulation runs stay byte-identical). If the combined check fails, every
+/// structurally-sound item is re-verified one-by-one to isolate the
+/// offender(s), so a rejection is always attributed exactly. An invalid
+/// batch passing the combined check requires a hash-targeted cancellation
+/// across items (probability ~ n * 2^-128); see DESIGN.md §3g.
+std::vector<bool> schnorrProofVerifyBatch(
+    const DlogGroup& group, const std::vector<SchnorrProofBatchItem>& items);
 
 }  // namespace dosn::pkcrypto

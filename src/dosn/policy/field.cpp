@@ -1,5 +1,6 @@
 #include "dosn/policy/field.hpp"
 
+#include "dosn/bignum/batch.hpp"
 #include "dosn/bignum/modmath.hpp"
 #include "dosn/util/error.hpp"
 
@@ -30,6 +31,9 @@ BigUint PrimeField::sub(const BigUint& a, const BigUint& b) const {
 }
 
 BigUint PrimeField::mul(const BigUint& a, const BigUint& b) const {
+  // Same value as the historical multiply-then-divide path, but the cached
+  // context replaces the Knuth division with CIOS passes.
+  if (mont_) return mont_->mulMod(a, b);
   return bignum::mulMod(a, b, p_);
 }
 
@@ -43,6 +47,14 @@ BigUint PrimeField::inv(const BigUint& a) const {
   const auto result = bignum::invMod(a, p_);
   if (!result) throw util::DosnError("PrimeField::inv: zero or non-unit");
   return *result;
+}
+
+std::vector<BigUint> PrimeField::invBatch(
+    const std::vector<BigUint>& values) const {
+  auto result = mont_ ? bignum::batchInvMod(values, *mont_)
+                      : bignum::batchInvMod(values, p_);
+  if (!result) throw util::DosnError("PrimeField::inv: zero or non-unit");
+  return std::move(*result);
 }
 
 BigUint PrimeField::pow(const BigUint& a, const BigUint& e) const {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "dosn/bignum/biguint.hpp"
 #include "dosn/bignum/montgomery.hpp"
@@ -29,6 +30,10 @@ class PrimeField {
   BigUint neg(const BigUint& a) const;
   /// Throws if a == 0.
   BigUint inv(const BigUint& a) const;
+  /// Inverts every element for one extended-Euclid call (Montgomery's batch
+  /// trick, bignum/batch.hpp); element i equals inv(values[i]) byte-for-
+  /// byte. Throws like inv if any element is zero or a non-unit.
+  std::vector<BigUint> invBatch(const std::vector<BigUint>& values) const;
   BigUint pow(const BigUint& a, const BigUint& e) const;
   BigUint reduce(const BigUint& a) const;
   BigUint random(util::Rng& rng) const;

@@ -46,9 +46,29 @@ BigUint lagrangeCoefficientAtZero(const PrimeField& field,
 BigUint shamirReconstruct(const PrimeField& field,
                           const std::vector<Share>& shares) {
   if (shares.empty()) throw util::DosnError("shamirReconstruct: no shares");
+  // The per-coefficient path (lagrangeCoefficientAtZero, retained as the
+  // differential reference) pays one extended-Euclid inversion per share;
+  // here all denominators invert in ONE invBatch call. Numerators,
+  // denominators and the summation keep the reference path's exact
+  // multiplication order, and inverses are unique, so the result is
+  // byte-identical share set by share set.
+  const std::size_t n = shares.size();
+  std::vector<BigUint> nums(n), dens(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    BigUint num(1);
+    BigUint den(1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      num = field.mul(num, shares[j].x);
+      den = field.mul(den, field.sub(shares[j].x, shares[i].x));
+    }
+    nums[i] = std::move(num);
+    dens[i] = std::move(den);
+  }
+  const std::vector<BigUint> invs = field.invBatch(dens);
   BigUint secret{};
-  for (std::size_t i = 0; i < shares.size(); ++i) {
-    const BigUint li = lagrangeCoefficientAtZero(field, shares, i);
+  for (std::size_t i = 0; i < n; ++i) {
+    const BigUint li = field.mul(nums[i], invs[i]);
     secret = field.add(secret, field.mul(shares[i].y, li));
   }
   return secret;

@@ -84,6 +84,24 @@ Subscription HummingbirdSubscriber::finishOprf(
       request.receiver.finalize(reply));
 }
 
+std::vector<Subscription> HummingbirdSubscriber::finishOprfBatch(
+    const std::vector<const OprfRequest*>& requests,
+    const std::vector<bignum::BigUint>& replies) const {
+  std::vector<const pkcrypto::OprfReceiver*> receivers;
+  receivers.reserve(requests.size());
+  for (const OprfRequest* request : requests) {
+    receivers.push_back(&request->receiver);
+  }
+  const std::vector<util::Bytes> outputs =
+      pkcrypto::oprfFinalizeBatch(receivers, replies);
+  std::vector<Subscription> subs;
+  subs.reserve(outputs.size());
+  for (const util::Bytes& prf : outputs) {
+    subs.push_back(HummingbirdPublisher::deriveFromPrfOutput(prf));
+  }
+  return subs;
+}
+
 HummingbirdSubscriber::BlindRequest HummingbirdSubscriber::beginBlind(
     const pkcrypto::RsaPublicKey& publisherKey, const std::string& hashtag,
     util::Rng& rng) const {

@@ -89,6 +89,13 @@ class HummingbirdSubscriber {
   OprfRequest beginOprf(const std::string& hashtag, util::Rng& rng) const;
   Subscription finishOprf(const OprfRequest& request,
                           const bignum::BigUint& reply) const;
+  /// Finishes a whole subscription round at once: one batch inversion covers
+  /// every request's unblinding scalar (pkcrypto::oprfFinalizeBatch), instead
+  /// of one extended-Euclid per tag. result[i] == finishOprf(requests[i],
+  /// replies[i]) byte-for-byte; sizes must match.
+  std::vector<Subscription> finishOprfBatch(
+      const std::vector<const OprfRequest*>& requests,
+      const std::vector<bignum::BigUint>& replies) const;
 
   /// Blind-signature flow.
   struct BlindRequest {

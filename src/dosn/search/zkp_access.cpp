@@ -45,6 +45,30 @@ bool AccessGate::checkAccess(const std::string& resource,
                                       accessContext(resource, handle), proof);
 }
 
+std::vector<bool> AccessGate::checkAccessBatch(
+    const std::vector<AccessRequest>& requests) const {
+  std::vector<bool> out(requests.size(), false);
+  std::vector<pkcrypto::SchnorrProofBatchItem> items;
+  std::vector<std::size_t> mapping;
+  items.reserve(requests.size());
+  mapping.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto resIt = authorized_.find(requests[i].resource);
+    if (resIt == authorized_.end()) continue;
+    const auto keyIt = resIt->second.find(requests[i].handle);
+    if (keyIt == resIt->second.end()) continue;
+    items.push_back(pkcrypto::SchnorrProofBatchItem{
+        keyIt->second,
+        accessContext(requests[i].resource, requests[i].handle),
+        requests[i].proof});
+    mapping.push_back(i);
+  }
+  const std::vector<bool> results =
+      pkcrypto::schnorrProofVerifyBatch(group_, items);
+  for (std::size_t k = 0; k < mapping.size(); ++k) out[mapping[k]] = results[k];
+  return out;
+}
+
 std::size_t AccessGate::authorizedCount(const std::string& resource) const {
   const auto it = authorized_.find(resource);
   return it == authorized_.end() ? 0 : it->second.size();

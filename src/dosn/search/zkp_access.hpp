@@ -12,6 +12,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "dosn/pkcrypto/schnorr.hpp"
 
@@ -41,6 +42,20 @@ class AccessGate {
   /// handle).
   bool checkAccess(const std::string& resource, const std::string& handle,
                    const pkcrypto::SchnorrProof& proof) const;
+
+  /// One pending access request of a batched check.
+  struct AccessRequest {
+    std::string resource;
+    std::string handle;
+    pkcrypto::SchnorrProof proof;
+  };
+
+  /// Checks a page of requests through one random-linear-combination
+  /// schnorrProofVerifyBatch call; result[i] == checkAccess(request i).
+  /// Requests for unknown resources/handles reject without joining the
+  /// combined check.
+  std::vector<bool> checkAccessBatch(
+      const std::vector<AccessRequest>& requests) const;
 
   std::size_t authorizedCount(const std::string& resource) const;
 
