@@ -76,12 +76,18 @@ void subInPlace(LimbVec& a, const LimbVec& b) {
   }
 }
 
-// acc[off..] += v with carry propagation (acc is sized for the full product,
-// so the carry never runs off the end for a correct Karatsuba recombination).
+void trimTrailingZeroLimbs(LimbVec& v) {
+  while (!v.empty() && v.back() == 0) v.pop_back();
+}
+
+// acc[off..] += v with carry propagation. acc is sized for the full product
+// and callers trim v to its value length first, so any limb of v that would
+// land past acc.size() is provably zero — the bound check makes running off
+// the end impossible even for degenerate inputs.
 void addInto(LimbVec& acc, std::size_t off, const LimbVec& v) {
   std::uint64_t carry = 0;
   std::size_t k = off;
-  for (std::size_t i = 0; i < v.size(); ++i, ++k) {
+  for (std::size_t i = 0; i < v.size() && k < acc.size(); ++i, ++k) {
     const std::uint64_t sum = static_cast<std::uint64_t>(acc[k]) + v[i] + carry;
     acc[k] = static_cast<std::uint32_t>(sum);
     carry = sum >> 32;
@@ -117,6 +123,16 @@ LimbVec mulKaratsubaSpans(const std::uint32_t* a, std::size_t an,
   LimbVec z1 = mulKaratsubaSpans(sa.data(), sa.size(), sb.data(), sb.size());
   subInPlace(z1, z0);
   subInPlace(z1, z2);
+
+  // Trim each partial product to its value length before recombination. For
+  // asymmetric splits (e.g. an=32, bn=63 makes a1 empty) z1's vector keeps
+  // the full (a0+a1)(b0+b1) product length even though the subtractions shrink
+  // its value, so off + z1.size() can exceed the an+bn output allocation —
+  // trimming restores the invariant m + size(z1) <= an + bn that the
+  // recombination relies on.
+  trimTrailingZeroLimbs(z0);
+  trimTrailingZeroLimbs(z1);
+  trimTrailingZeroLimbs(z2);
 
   LimbVec out(an + bn, 0);
   addInto(out, 0, z0);

@@ -30,9 +30,10 @@ struct PowTerm {
 BigUint dualPowMod(const bignum::MontgomeryContext& ctx, const BigUint& b1,
                    const BigUint& e1, const BigUint& b2, const BigUint& e2);
 
-/// Product of terms[i].base ^ terms[i].exponent mod ctx.modulus(), Strauss
-/// interleaving with a per-term odd-powers window table (width 4). Empty
-/// input returns 1 mod m.
+/// Product of terms[i].base ^ terms[i].exponent mod ctx.modulus(), bit-serial
+/// Strauss interleaving: one shared squaring chain over the widest exponent
+/// plus one multiply per set exponent bit across all terms. Empty input
+/// returns 1 mod m.
 BigUint multiPowMod(const bignum::MontgomeryContext& ctx,
                     const std::vector<PowTerm>& terms);
 

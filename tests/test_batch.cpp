@@ -96,6 +96,29 @@ TEST(Karatsuba, AsymmetricOperandsAndEdges) {
   EXPECT_EQ(ones * ones, schoolbookMul(ones, ones));
 }
 
+TEST(Karatsuba, AsymmetricRecombinationStaysInBounds) {
+  // Regression for a heap overflow in the Karatsuba recombination: when the
+  // split point m (derived from the LARGER operand) reaches the smaller
+  // operand's width, a1 is empty and z1 = (a0+a1)(b0+b1) - z0 - z2 keeps its
+  // full untrimmed product length even though the subtractions shrink its
+  // value, so addInto(out, m, z1) indexed past the an+bn output allocation
+  // (e.g. 32x63 limbs: off 32 + 65 untrimmed limbs > 95). Both operands must
+  // be >= 32 limbs to take the Karatsuba path at all; these shapes sweep the
+  // asymmetric region around and past the empty-a1 threshold bn >= 2*an - 1.
+  Rng rng(109);
+  const std::size_t shapes[][2] = {{32, 60},  {32, 62},  {32, 63},  {32, 64},
+                                   {32, 65},  {32, 96},  {32, 127}, {33, 64},
+                                   {33, 200}, {40, 127}, {48, 97},  {64, 255}};
+  for (const auto& shape : shapes) {
+    const BigUint a = randomBits(shape[0] * 32, rng);
+    const BigUint b = randomBits(shape[1] * 32, rng);
+    EXPECT_EQ(a * b, schoolbookMul(a, b))
+        << "an=" << shape[0] << " bn=" << shape[1];
+    EXPECT_EQ(b * a, schoolbookMul(b, a))
+        << "an=" << shape[1] << " bn=" << shape[0];
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Montgomery batch inversion vs per-element invMod.
 
