@@ -307,6 +307,7 @@ Json runScenarios(const Registry& registry, const RunConfig& config,
       histograms.set(name, summarizeHistogram(histogram));
     }
     entry.set("histograms", std::move(histograms));
+    if (ctx.timeline()) entry.set("timeline", *ctx.timeline());
     if (ctx.failed()) {
       Json failures = Json::array();
       for (const auto& message : ctx.failures()) failures.push(message);

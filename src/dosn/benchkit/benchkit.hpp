@@ -86,6 +86,16 @@ class ScenarioContext {
     metrics_.gauge(name, value);
   }
 
+  /// Per-phase timeline for macro-workload scenarios: a Json array of phase
+  /// objects — each `{"name": ..., "counters": {...}, "params": {...}}` — that
+  /// the harness emits as the scenario's "timeline" field, so
+  /// tools/bench_compare.py can localize a regression to a workload phase.
+  /// Each call replaces the previous timeline; with --reps > 1 the last
+  /// timed rep's timeline is the one recorded (phases carry per-rep deltas,
+  /// unlike the context's cumulative counters).
+  void setTimeline(Json timeline) { timeline_ = std::move(timeline); }
+  const std::optional<Json>& timeline() const { return timeline_; }
+
   /// Free-form scenario parameters recorded in the JSON document (sizes,
   /// derived ms/op figures, sweep labels).
   void param(const std::string& name, double value);
@@ -111,6 +121,7 @@ class ScenarioContext {
   bool printing_;
   sim::Metrics metrics_;
   Json params_ = Json::object();
+  std::optional<Json> timeline_;
   std::vector<std::string> failures_;
 };
 

@@ -71,6 +71,26 @@ BigUint gcd(BigUint a, BigUint b) {
   return a;
 }
 
+int jacobi(BigUint a, BigUint n) {
+  if (!n.isOdd()) throw util::DosnError("jacobi: modulus must be odd");
+  a = a % n;
+  int result = 1;
+  while (!a.isZero()) {
+    while (a.isEven()) {
+      a = a >> 1;
+      // (2/n) = -1 iff n ≡ 3 or 5 (mod 8).
+      const std::uint32_t n8 = n.limbs()[0] & 7;
+      if (n8 == 3 || n8 == 5) result = -result;
+    }
+    // Reciprocity: both operands are odd here; the swap flips the sign iff
+    // both are ≡ 3 (mod 4).
+    std::swap(a, n);
+    if ((a.limbs()[0] & 3) == 3 && (n.limbs()[0] & 3) == 3) result = -result;
+    a = a % n;
+  }
+  return n == BigUint(1) ? result : 0;
+}
+
 std::optional<BigUint> invMod(const BigUint& a, const BigUint& m) {
   if (m.isZero()) throw util::DosnError("invMod: zero modulus");
   // Extended Euclid with coefficients tracked as (value, isNegative).

@@ -30,6 +30,13 @@ BigUint powModSimple(const BigUint& base, const BigUint& exponent,
 /// Greatest common divisor (binary-free Euclid).
 BigUint gcd(BigUint a, BigUint b);
 
+/// Jacobi symbol (a/n) in {-1, 0, 1}; n must be odd and nonzero. Binary
+/// algorithm (strip twos via the supplement, quadratic-reciprocity swap), so
+/// it costs O(bits^2) shifts/reductions where the Euler-criterion exponent
+/// x^((n-1)/2) costs a full O(bits^3) powMod. For prime n, (a/n) == 1 iff a
+/// is a nonzero quadratic residue mod n.
+int jacobi(BigUint a, BigUint n);
+
 /// Multiplicative inverse of a mod m, if gcd(a, m) == 1.
 std::optional<BigUint> invMod(const BigUint& a, const BigUint& m);
 

@@ -185,6 +185,14 @@ BigUint DlogGroup::hashToScalar(util::BytesView input) const {
 
 bool DlogGroup::isElement(const BigUint& x) const {
   if (x.isZero() || x >= p_) return false;
+  // For a safe prime p = 2q + 1 the order-q subgroup is exactly the set of
+  // quadratic residues mod p, so a binary Jacobi symbol (O(bits^2)) answers
+  // membership without the O(bits^3) Euler-criterion exponentiation. Every
+  // group this library ships is a safe-prime group, but the guard keeps the
+  // slow path correct for arbitrary (p, q) pairs constructed by tests.
+  if (p_.isOdd() && p_ == (q_ << 1) + BigUint(1)) {
+    return bignum::jacobi(x, p_) == 1;
+  }
   if (pCtx_) return pCtx_->powMod(x, q_) == BigUint(1);
   return powMod(x, q_, p_) == BigUint(1);
 }

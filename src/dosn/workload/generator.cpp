@@ -1,0 +1,155 @@
+#include "dosn/workload/generator.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "dosn/social/graph_gen.hpp"
+
+namespace dosn::workload {
+
+namespace {
+
+// Sub-seed tweaks: each stream gets its own Rng, so extending one stream
+// cannot shift another's draws (Rng runs the raw seed through splitmix64, so
+// additive tweaks land in unrelated states).
+constexpr std::uint64_t kGraphStream = 0x6752415048ull;
+constexpr std::uint64_t kBackgroundStream = 0xd1f75a1ull;
+constexpr std::uint64_t kFlashStream = 0xf1a5c0ull;
+constexpr std::uint64_t kRevokeStream = 0x5e70feull;
+
+std::uint32_t rankOf(const social::UserId& user) {
+  return static_cast<std::uint32_t>(std::stoul(user.substr(1)));
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config, std::uint64_t seed)
+    : config_(std::move(config)) {
+  util::Rng graphRng(seed + kGraphStream);
+  graph_ = social::zipfFollower(config_.users, config_.followsPerUser,
+                                config_.followExponent, graphRng);
+  buildCircles();
+  generateBackground(seed + kBackgroundStream);
+  generateFlashCrowds(seed + kFlashStream);
+  generateRevocations(seed + kRevokeStream);
+  // Deterministic total order: time-sorted, generation order breaks ties.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const WorkloadEvent& a, const WorkloadEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+void WorkloadGenerator::buildCircles() {
+  circles_.resize(config_.users);
+  for (std::uint32_t u = 0; u < config_.users; ++u) {
+    std::vector<std::uint32_t> circle;
+    for (const auto& friendId : graph_.friendsOf(social::syntheticUser(u))) {
+      circle.push_back(rankOf(friendId));
+    }
+    std::sort(circle.begin(), circle.end());
+    circles_[u] = std::move(circle);
+  }
+  survivors_ = circles_;
+}
+
+void WorkloadGenerator::generateBackground(std::uint64_t seed) {
+  const sim::SimTime day = config_.dayLength();
+  const double perUserHour =
+      config_.peakPostsPerUserHour + config_.peakFetchesPerUserHour;
+  if (day == 0 || perUserHour <= 0 || config_.users == 0) return;
+  const double fleetPerTick = static_cast<double>(config_.users) *
+                              perUserHour /
+                              (3600.0 * static_cast<double>(sim::kSecond));
+  const double meanGapTicks = 1.0 / fleetPerTick;
+  const double fetchShare = config_.peakFetchesPerUserHour / perUserHour;
+
+  util::Rng rng(seed);
+  double t = rng.exponential(meanGapTicks);
+  while (t < static_cast<double>(day)) {
+    const sim::SimTime at = static_cast<sim::SimTime>(t);
+    // Poisson thinning: candidate arrivals run at the peak rate; the diurnal
+    // wave keeps lambda(t)/lambda(peak) of them.
+    if (rng.uniformReal() < diurnalLevel(config_, at)) {
+      const auto actor =
+          static_cast<std::uint32_t>(rng.zipf(config_.users,
+                                              config_.activityExponent));
+      const bool isFetch = rng.uniformReal() < fetchShare;
+      if (isFetch) {
+        const auto& follows = circles_[actor];
+        if (!follows.empty()) {
+          const auto target = follows[static_cast<std::size_t>(
+              rng.uniform(follows.size()))];
+          events_.push_back({at, EventKind::kFetch, actor, target, 0});
+        }
+      } else {
+        events_.push_back({at, EventKind::kPost, actor, 0, 0});
+      }
+    }
+    t += rng.exponential(meanGapTicks);
+  }
+}
+
+void WorkloadGenerator::generateFlashCrowds(std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::uint32_t flashId = 0;
+  sim::SimTime phaseStart = 0;
+  for (const PhaseSpec& phase : config_.phases) {
+    for (std::size_t i = 0; phase.duration > 0 && i < phase.flashCrowds; ++i) {
+      // Celebrity ranks come from the same Zipf the follower graph used, so
+      // the flash usually lands on a high-degree wall; bounded redraw skips
+      // the rare rank that ended up friendless.
+      std::uint32_t celebrity = 0;
+      bool found = false;
+      for (int attempt = 0; attempt < 16 && !found; ++attempt) {
+        celebrity = static_cast<std::uint32_t>(
+            rng.zipf(config_.users, config_.followExponent));
+        found = !circles_[celebrity].empty();
+      }
+      if (!found) continue;
+      const sim::SimTime at =
+          phaseStart + static_cast<sim::SimTime>(rng.uniform(phase.duration));
+      ++flashId;
+      events_.push_back({at, EventKind::kFlashPost, celebrity, 0, flashId});
+      // Fan out through the whole circle — every member reads the wall,
+      // jittered so the crowd arrives as a wave, never before the post.
+      for (const std::uint32_t member : circles_[celebrity]) {
+        const auto jitter = static_cast<sim::SimTime>(
+            rng.exponential(static_cast<double>(config_.flashJitterMean)));
+        events_.push_back({at + sim::kMillisecond + jitter,
+                           EventKind::kFlashFetch, member, celebrity,
+                           flashId});
+      }
+    }
+    phaseStart += phase.duration;
+  }
+}
+
+void WorkloadGenerator::generateRevocations(std::uint64_t seed) {
+  util::Rng rng(seed);
+  sim::SimTime phaseStart = 0;
+  for (const PhaseSpec& phase : config_.phases) {
+    for (std::size_t i = 0; phase.duration > 0 && i < phase.revocations; ++i) {
+      // An owner can revoke while they still have at least two members (the
+      // schedule never empties a circle, so every wall stays readable).
+      std::uint32_t owner = 0;
+      bool found = false;
+      for (int attempt = 0; attempt < 16 && !found; ++attempt) {
+        owner = static_cast<std::uint32_t>(
+            rng.zipf(config_.users, config_.followExponent));
+        found = survivors_[owner].size() >= 2;
+      }
+      if (!found) continue;
+      auto& pool = survivors_[owner];
+      const auto pick = static_cast<std::size_t>(rng.uniform(pool.size()));
+      const std::uint32_t member = pool[pick];
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+      const sim::SimTime at =
+          phaseStart + static_cast<sim::SimTime>(rng.uniform(phase.duration));
+      events_.push_back({at, EventKind::kRevoke, owner, member, 0});
+      revocations_.emplace_back(owner, member);
+    }
+    phaseStart += phase.duration;
+  }
+}
+
+}  // namespace dosn::workload

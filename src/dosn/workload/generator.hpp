@@ -1,0 +1,68 @@
+// Deterministic materialization of a WorkloadConfig: one seed in, one social
+// graph and one time-sorted event schedule out (DESIGN.md §3h).
+//
+// Streams: the generator derives independent sub-seeds from the base seed for
+// the graph, the background post/fetch arrivals, the flash crowds and the
+// revocation storm, so adding events to one stream cannot shift another
+// stream's draws. The schedule is fully materialized up front — benches
+// replay it against the live stack; tests assert on it directly.
+#pragma once
+
+#include <vector>
+
+#include "dosn/social/graph.hpp"
+#include "dosn/util/rng.hpp"
+#include "dosn/workload/model.hpp"
+
+namespace dosn::workload {
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadConfig config, std::uint64_t seed);
+
+  const WorkloadConfig& config() const { return config_; }
+  const social::SocialGraph& graph() const { return graph_; }
+
+  /// The full day's schedule, sorted by `at` (generation order breaks ties,
+  /// so the order is deterministic).
+  const std::vector<WorkloadEvent>& events() const { return events_; }
+
+  /// Wall-circle membership (follower ranks) for each user rank, snapshotted
+  /// from the graph at generation time — the "IBBE group" a flash crowd fans
+  /// out through and the member pool revocations draw from.
+  const std::vector<std::uint32_t>& circleOf(std::uint32_t user) const {
+    return circles_[user];
+  }
+
+  /// Members still in `user`'s circle after the day's revocations (the
+  /// schedule never revokes the same member twice or empties a circle).
+  const std::vector<std::uint32_t>& survivorsOf(std::uint32_t user) const {
+    return survivors_[user];
+  }
+
+  /// (owner, revoked member) pairs in schedule order.
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>>& revocations()
+      const {
+    return revocations_;
+  }
+
+  /// scheduleHash over this generator's first `maxEvents` events.
+  std::uint64_t hash(std::size_t maxEvents = 256) const {
+    return scheduleHash(events_, maxEvents);
+  }
+
+ private:
+  void buildCircles();
+  void generateBackground(std::uint64_t seed);
+  void generateFlashCrowds(std::uint64_t seed);
+  void generateRevocations(std::uint64_t seed);
+
+  WorkloadConfig config_;
+  social::SocialGraph graph_;
+  std::vector<std::vector<std::uint32_t>> circles_;
+  std::vector<std::vector<std::uint32_t>> survivors_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> revocations_;
+  std::vector<WorkloadEvent> events_;
+};
+
+}  // namespace dosn::workload

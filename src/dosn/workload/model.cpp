@@ -1,0 +1,80 @@
+#include "dosn/workload/model.hpp"
+
+#include <algorithm>
+
+namespace dosn::workload {
+
+const char* kindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPost: return "post";
+    case EventKind::kFetch: return "fetch";
+    case EventKind::kFlashPost: return "flash_post";
+    case EventKind::kFlashFetch: return "flash_fetch";
+    case EventKind::kRevoke: return "revoke";
+  }
+  return "?";
+}
+
+sim::SimTime WorkloadConfig::dayLength() const {
+  sim::SimTime total = 0;
+  for (const PhaseSpec& phase : phases) total += phase.duration;
+  return total;
+}
+
+WorkloadConfig WorkloadConfig::dayInLife(std::size_t users, double hourScale) {
+  WorkloadConfig config;
+  config.users = users;
+  const auto hours = [hourScale](double h) {
+    return static_cast<sim::SimTime>(h * hourScale * 3600.0 *
+                                     static_cast<double>(sim::kSecond));
+  };
+  // The wave rises from a night trough through a morning ramp to a midday
+  // peak and back down; the heavy special events ride the phases where they
+  // hurt the most (flash crowds at peak, revocations and faults after it).
+  config.phases = {
+      {"dawn", hours(2), 0.25, 0, 0, 0.0, 0.0},
+      {"morning_ramp", hours(2), 0.60, 0, 0, 0.0, 0.0},
+      {"noon_flash", hours(2), 1.00, 2, 0, 0.0, 0.0},
+      {"revocation_storm", hours(2), 0.80, 0, 6, 0.0, 0.0},
+      {"evening_faultstorm", hours(2), 0.70, 1, 2, 0.20, 0.30},
+      {"night", hours(2), 0.15, 0, 0, 0.0, 0.0},
+  };
+  return config;
+}
+
+std::size_t phaseIndexAt(const WorkloadConfig& config, sim::SimTime t) {
+  sim::SimTime end = 0;
+  for (std::size_t i = 0; i < config.phases.size(); ++i) {
+    end += config.phases[i].duration;
+    if (t < end) return i;
+  }
+  return config.phases.empty() ? 0 : config.phases.size() - 1;
+}
+
+double diurnalLevel(const WorkloadConfig& config, sim::SimTime t) {
+  if (config.phases.empty()) return 1.0;
+  return config.phases[phaseIndexAt(config, t)].activityLevel;
+}
+
+std::uint64_t scheduleHash(const std::vector<WorkloadEvent>& events,
+                           std::size_t maxEvents) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xff;
+      hash *= 0x100000001b3ull;  // FNV-1a 64 prime
+    }
+  };
+  const std::size_t n = std::min(maxEvents, events.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const WorkloadEvent& e = events[i];
+    mix(e.at);
+    mix(static_cast<std::uint64_t>(e.kind));
+    mix(e.actor);
+    mix(e.target);
+    mix(e.flashId);
+  }
+  return hash;
+}
+
+}  // namespace dosn::workload

@@ -1,0 +1,111 @@
+// The production-load model behind bench_dayinlife (DESIGN.md §3h): a
+// declarative description of one simulated "day" of social-network traffic —
+// named phases tiling the sim clock, a diurnal activity wave modulating
+// per-user post/fetch rates, flash crowds (a celebrity post fanned out to the
+// whole follower circle), DECENT-style ACL revocation storms, and per-phase
+// churn/fault-storm knobs consumed by the bench.
+//
+// The model is pure data plus pure functions of it; every random decision is
+// made by WorkloadGenerator (generator.hpp) from a single seed, so a
+// (config, seed) pair maps to exactly one event schedule. scheduleHash pins
+// that contract byte-for-byte in test_workload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dosn/sim/simulator.hpp"
+#include "dosn/social/identity.hpp"
+
+namespace dosn::workload {
+
+/// What one scheduled event does when the bench applies it.
+enum class EventKind : std::uint8_t {
+  kPost = 0,       // actor publishes to their wall circle
+  kFetch = 1,      // actor fetches target's timeline
+  kFlashPost = 2,  // celebrity post that opens a flash crowd
+  kFlashFetch = 3, // a circle member fetching the flash post
+  kRevoke = 4,     // actor revokes target from their wall circle
+};
+
+const char* kindName(EventKind kind);
+
+/// One scheduled action. Users are identified by their rank index into the
+/// Zipf-follower graph (social::syntheticUser(actor) names them); `target` is
+/// meaningful for kFetch/kFlashFetch (the author being read) and kRevoke (the
+/// member being revoked). `flashId` groups a kFlashPost with the kFlashFetch
+/// fan-out it triggered (0 for non-flash events).
+struct WorkloadEvent {
+  sim::SimTime at = 0;
+  EventKind kind = EventKind::kPost;
+  std::uint32_t actor = 0;
+  std::uint32_t target = 0;
+  std::uint32_t flashId = 0;
+};
+
+/// One contiguous window of the simulated day. Phases tile [0, dayLength):
+/// phase i starts where phase i-1 ended. `activityLevel` is the diurnal wave
+/// sampled for this window — the fraction of the peak post/fetch rates that
+/// survives Poisson thinning. Flash crowds and revocations are scheduled
+/// uniformly within their phase; churn/fault knobs are applied by the bench
+/// for the phase's duration.
+struct PhaseSpec {
+  std::string name;
+  sim::SimTime duration = 0;
+  double activityLevel = 1.0;    // in (0, 1]: lambda(phase) / lambda(peak)
+  std::size_t flashCrowds = 0;   // celebrity fan-out events in this phase
+  std::size_t revocations = 0;   // ACL revocations in this phase
+  double dropProbability = 0.0;  // fault storm: global drop rate while active
+  double offlineFraction = 0.0;  // substrate churn target while active
+};
+
+/// The full day-in-the-life parameterization. Rates are per user per
+/// simulated hour at the diurnal peak; the generator thins them by each
+/// phase's activityLevel.
+struct WorkloadConfig {
+  // Social graph (social::zipfFollower).
+  std::size_t users = 24;
+  std::size_t followsPerUser = 3;
+  double followExponent = 1.0;   // Zipf exponent over follower popularity
+
+  // Activity distribution: who acts is Zipf(activityExponent) over ranks, so
+  // popular users are also the busiest (the microblog workload assumption).
+  double activityExponent = 0.8;
+
+  // Peak (activityLevel == 1.0) rates, per user per simulated hour.
+  double peakPostsPerUserHour = 2.0;
+  double peakFetchesPerUserHour = 12.0;
+
+  /// Mean jitter between a flash post and each follower's fetch of it.
+  sim::SimTime flashJitterMean = 2 * sim::kSecond;
+
+  std::vector<PhaseSpec> phases;
+
+  /// Sum of phase durations — the simulated day.
+  sim::SimTime dayLength() const;
+
+  /// The canonical six-phase day bench_dayinlife runs: dawn, morning-ramp,
+  /// noon-flash (flash crowds at full activity), revocation-storm,
+  /// evening-faultstorm (drop storm + deep churn), night. `hourScale`
+  /// compresses each "hour" of simulated day onto the sim clock (1.0 = one
+  /// phase hour lasts one sim hour); benches shrink it so a full day fits in
+  /// a CI run without changing the event *mix*.
+  static WorkloadConfig dayInLife(std::size_t users, double hourScale = 1.0);
+};
+
+/// The diurnal wave: piecewise-constant per phase. Returns the activityLevel
+/// of the phase containing `t` (clamped to the last phase for t past the end
+/// of the day). Pure function of (config, t).
+double diurnalLevel(const WorkloadConfig& config, sim::SimTime t);
+
+/// Index of the phase containing `t` (clamped to the last phase).
+std::size_t phaseIndexAt(const WorkloadConfig& config, sim::SimTime t);
+
+/// FNV-1a 64 over the first `maxEvents` events' (at, kind, actor, target,
+/// flashId) fields — the schedule-determinism pin: a fixed (config, seed)
+/// must reproduce this hash on every platform and build.
+std::uint64_t scheduleHash(const std::vector<WorkloadEvent>& events,
+                           std::size_t maxEvents);
+
+}  // namespace dosn::workload

@@ -199,6 +199,50 @@ TEST(ModMath, InvModLarge) {
   }
 }
 
+TEST(ModMath, JacobiKnownValues) {
+  // (a/7) for a = 0..6: residues are {1, 2, 4}.
+  const int expected7[] = {0, 1, 1, -1, 1, -1, -1};
+  for (std::uint64_t a = 0; a < 7; ++a) {
+    EXPECT_EQ(jacobi(BigUint(a), BigUint(7)), expected7[a]) << a;
+  }
+  // Composite modulus: (2/15) = (2/3)(2/5) = (-1)(-1) = 1 even though 2 is
+  // a non-residue mod 15 — the Jacobi symbol is only a residue test for
+  // prime moduli.
+  EXPECT_EQ(jacobi(BigUint(2), BigUint(15)), 1);
+  EXPECT_EQ(jacobi(BigUint(5), BigUint(15)), 0);  // shared factor
+  EXPECT_EQ(jacobi(BigUint(1001), BigUint(9907)), -1);  // textbook example
+  EXPECT_THROW(jacobi(BigUint(3), BigUint(10)), util::DosnError);  // even n
+}
+
+TEST(ModMath, JacobiMatchesEulerCriterion) {
+  // For prime p, (a/p) == 1 iff a^((p-1)/2) == 1 — differential test of the
+  // binary Jacobi against the powMod reference across several prime widths.
+  util::Rng rng(23);
+  for (std::size_t bits : {64u, 128u, 256u}) {
+    const BigUint p = randomPrime(bits, rng);
+    const BigUint halfOrder = (p - BigUint(1)) >> 1;
+    for (int i = 0; i < 25; ++i) {
+      const BigUint a = randomUnit(p, rng);
+      const BigUint euler = powMod(a, halfOrder, p);
+      const int viaEuler = euler == BigUint(1) ? 1 : -1;
+      EXPECT_EQ(jacobi(a, p), viaEuler) << "bits=" << bits;
+    }
+    EXPECT_EQ(jacobi(p, p), 0);
+    EXPECT_EQ(jacobi(BigUint(0), p), 0);
+    EXPECT_EQ(jacobi(BigUint(1), p), 1);
+  }
+}
+
+TEST(ModMath, JacobiIsMultiplicative) {
+  util::Rng rng(29);
+  const BigUint n = randomPrime(96, rng);
+  for (int i = 0; i < 25; ++i) {
+    const BigUint a = randomBelow(n, rng);
+    const BigUint b = randomBelow(n, rng);
+    EXPECT_EQ(jacobi(mulMod(a, b, n), n), jacobi(a, n) * jacobi(b, n));
+  }
+}
+
 TEST(ModMath, RandomBelowInRange) {
   util::Rng rng(15);
   const BigUint bound(1000);

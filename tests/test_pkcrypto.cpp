@@ -79,6 +79,26 @@ TEST(Group, IsElementRejectsNonMembers) {
   EXPECT_FALSE(g.isElement(g.p() - bignum::BigUint(1)));
 }
 
+TEST(Group, IsElementMatchesEulerCriterion) {
+  // The safe-prime fast path answers membership with a Jacobi symbol;
+  // differential-test it against the full Euler-criterion exponentiation the
+  // slow path uses, on members (squares), their complements, and arbitrary
+  // candidates.
+  util::Rng rng(7);
+  const DlogGroup& g = testGroup();
+  ASSERT_EQ((g.q() << 1) + bignum::BigUint(1), g.p());  // fast path active
+  for (int i = 0; i < 32; ++i) {
+    const auto candidate = bignum::randomUnit(g.p(), rng);
+    const bool viaEuler =
+        bignum::powMod(candidate, g.q(), g.p()) == bignum::BigUint(1);
+    EXPECT_EQ(g.isElement(candidate), viaEuler) << candidate.toHex();
+    // x^2 is always a residue; -x^2 never is when p ≡ 3 (mod 4).
+    const auto square = bignum::mulMod(candidate, candidate, g.p());
+    EXPECT_TRUE(g.isElement(square));
+    EXPECT_FALSE(g.isElement(g.p() - square));
+  }
+}
+
 // --- RSA ---
 
 class RsaTest : public ::testing::Test {

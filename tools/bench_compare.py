@@ -23,6 +23,13 @@ the same machine at the same --reps; CI uses the structural mode against
 bench/baselines/ and developers use --max-regress locally before/after a
 change.
 
+Scenarios that record a per-phase "timeline" (macro-workload benches such as
+bench_dayinlife) are diffed phase by phase, not just as totals: the baseline's
+phase-name sequence must be reproduced in order, every baseline phase counter
+key must still be recorded, and under --exact-counters the per-phase counter
+values must match exactly — so a regression (or determinism break) is
+localized to the workload phase that caused it.
+
 With --exact-counters every baseline counter must exist in the current run
 WITH THE SAME VALUE. Counters produced by the deterministic simulator are a
 pure function of the workload and the seed — independent of machine, load,
@@ -71,6 +78,42 @@ def wall_ok(name, scenario):
     return ok
 
 
+def counters_ok(label, base_counters, cur_counters, exact_counters):
+    ok = True
+    for key in base_counters:
+        if key not in cur_counters:
+            ok = fail(f"{label}: counter {key!r} disappeared")
+        elif exact_counters and cur_counters[key] != base_counters[key]:
+            ok = fail(
+                f"{label}: counter {key!r} drifted: baseline "
+                f"{base_counters[key]} vs current {cur_counters[key]} "
+                f"(deterministic-sim byte identity violated)"
+            )
+    return ok
+
+
+def timeline_ok(label, base_s, cur_s, exact_counters):
+    base_tl = base_s.get("timeline")
+    if not isinstance(base_tl, list):
+        return True  # baseline has no timeline: nothing to hold cur to
+    ok = True
+    cur_tl = cur_s.get("timeline")
+    if not isinstance(cur_tl, list):
+        return fail(f"{label}: per-phase timeline disappeared")
+    base_names = [p.get("name") for p in base_tl]
+    cur_names = [p.get("name") for p in cur_tl]
+    if base_names != cur_names:
+        return fail(
+            f"{label}: timeline phases changed: baseline {base_names} vs "
+            f"current {cur_names} (phase sequence is part of the contract)"
+        )
+    for base_p, cur_p in zip(base_tl, cur_tl):
+        phase_label = f"{label}[{base_p.get('name')}]"
+        ok &= counters_ok(phase_label, base_p.get("counters") or {},
+                          cur_p.get("counters") or {}, exact_counters)
+    return ok
+
+
 def compare_docs(base, cur, base_path, cur_path, max_regress,
                  exact_counters=False):
     ok = True
@@ -97,17 +140,9 @@ def compare_docs(base, cur, base_path, cur_path, max_regress,
                       f"current run")
             continue
         ok &= wall_ok(label, cur_s)
-        base_counters = base_s.get("counters") or {}
-        cur_counters = cur_s.get("counters") or {}
-        for key in base_counters:
-            if key not in cur_counters:
-                ok = fail(f"{label}: counter {key!r} disappeared")
-            elif exact_counters and cur_counters[key] != base_counters[key]:
-                ok = fail(
-                    f"{label}: counter {key!r} drifted: baseline "
-                    f"{base_counters[key]} vs current {cur_counters[key]} "
-                    f"(deterministic-sim byte identity violated)"
-                )
+        ok &= counters_ok(label, base_s.get("counters") or {},
+                          cur_s.get("counters") or {}, exact_counters)
+        ok &= timeline_ok(label, base_s, cur_s, exact_counters)
         if max_regress is not None and base_s.get("hot") and cur_s.get("hot"):
             base_median = (base_s.get("wall_ms") or {}).get("median", 0)
             cur_median = (cur_s.get("wall_ms") or {}).get("median", 0)
